@@ -1,0 +1,62 @@
+//! Baseline overlays the paper compares the DR-tree against (§3.1, §4).
+//!
+//! Three DHT-free designs discussed in the paper are re-implemented
+//! from their descriptions as analytic overlay models (structure +
+//! per-event routing outcome):
+//!
+//! * [`ContainmentTreeOverlay`] — "a direct mapping of the containment
+//!   graph to a tree structure \[11\] is often inadequate. First, it
+//!   requires a virtual root with as many children as subscriptions
+//!   that are not contained in any other subscription. Second … the
+//!   resulting tree might be heavily unbalanced."
+//! * [`PerDimensionOverlay`] — "building one containment tree per
+//!   dimension \[3\] … tends to produce flat trees with high fan-out
+//!   and may generate a significant number of false positives."
+//! * [`FloodingOverlay`] — the trivial broadcast overlay: no false
+//!   negatives, maximal false positives and message cost.
+//!
+//! Each implements [`Baseline`], producing the same statistics the
+//! DR-tree harness reports, so `experiments baselines` can print the
+//! comparison table.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod containment_tree;
+mod flooding;
+mod per_dimension;
+
+pub use containment_tree::ContainmentTreeOverlay;
+pub use flooding::FloodingOverlay;
+pub use per_dimension::PerDimensionOverlay;
+
+use drtree_spatial::Point;
+
+/// Outcome of routing one event through a baseline overlay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RoutingOutcome {
+    /// Subscribers that received the event.
+    pub receivers: usize,
+    /// Subscribers whose filter matches the event.
+    pub matching: usize,
+    /// Receivers that did not match (false positives).
+    pub false_positives: usize,
+    /// Matching subscribers that were missed (false negatives).
+    pub false_negatives: usize,
+    /// Messages spent.
+    pub messages: usize,
+    /// Longest hop path taken by any delivery (latency proxy).
+    pub max_hops: usize,
+}
+
+/// Common interface of the baseline overlays.
+pub trait Baseline<const D: usize> {
+    /// Short name for report tables.
+    fn name(&self) -> &'static str;
+    /// Routes one event and accounts the outcome.
+    fn route(&self, event: &Point<D>) -> RoutingOutcome;
+    /// Depth of the overlay structure (latency bound).
+    fn depth(&self) -> usize;
+    /// Maximum fan-out any single node must maintain.
+    fn max_fanout(&self) -> usize;
+}

@@ -1,0 +1,121 @@
+//! Criterion benches of the overlay's core operations: joins,
+//! publications, stabilization rounds, and crash recovery. These
+//! complement the `experiments` binary (which regenerates the paper's
+//! tables) with raw wall-clock costs.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+
+use drtree_core::{DrTreeCluster, DrTreeConfig};
+use drtree_spatial::{Point, Rect};
+use drtree_workloads::{EventWorkload, SubscriptionWorkload};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn filters(n: usize, seed: u64) -> Vec<Rect<2>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    SubscriptionWorkload::Uniform {
+        min_extent: 2.0,
+        max_extent: 20.0,
+    }
+    .generate(n, &mut rng)
+}
+
+/// Cost of one subscriber joining a stable overlay (Lemma 3.2's
+/// operation), per overlay size.
+fn bench_join(c: &mut Criterion) {
+    let mut group = c.benchmark_group("join");
+    group.sample_size(10);
+    for n in [32usize, 64, 128] {
+        let base = DrTreeCluster::build(DrTreeConfig::default(), 71, &filters(n, 72));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter_batched(
+                || base.clone(),
+                |mut cluster| {
+                    cluster.add_subscriber(Rect::new([40.0, 40.0], [52.0, 52.0]));
+                    cluster.stabilize(3_000).expect("join stabilizes");
+                },
+                BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+/// Cost of publishing one event through the overlay (T-MSG's
+/// operation), per overlay size.
+fn bench_publish(c: &mut Criterion) {
+    let mut group = c.benchmark_group("publish");
+    group.sample_size(10);
+    for n in [32usize, 64, 128] {
+        let fs = filters(n, 73);
+        let base = DrTreeCluster::build(DrTreeConfig::default(), 74, &fs);
+        let mut rng = StdRng::seed_from_u64(75);
+        let events: Vec<Point<2>> = EventWorkload::Following.generate_with(64, &fs, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let mut cluster = base.clone();
+            let ids = cluster.ids();
+            let mut i = 0usize;
+            b.iter(|| {
+                let report = cluster.publish_from(ids[i % ids.len()], events[i % events.len()]);
+                i += 1;
+                report.messages
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Cost of one synchronous stabilization round on a quiescent overlay
+/// (the steady-state maintenance price).
+fn bench_stabilization_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stabilize-round");
+    group.sample_size(10);
+    for n in [64usize, 256] {
+        let base = DrTreeCluster::build(DrTreeConfig::default(), 76, &filters(n, 77));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let mut cluster = base.clone();
+            b.iter(|| cluster.run_round());
+        });
+    }
+    group.finish();
+}
+
+/// Recovery cost after 10% simultaneous crash failures (Lemma 3.5's
+/// operation).
+fn bench_crash_recovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crash-recovery");
+    group.sample_size(10);
+    {
+        let n = 64usize;
+        let base = DrTreeCluster::build(DrTreeConfig::default(), 78, &filters(n, 79));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter_batched(
+                || base.clone(),
+                |mut cluster| {
+                    let root = cluster.root();
+                    let victims: Vec<_> = cluster
+                        .ids()
+                        .into_iter()
+                        .filter(|&id| Some(id) != root)
+                        .step_by(10)
+                        .collect();
+                    for v in victims {
+                        cluster.crash(v);
+                    }
+                    cluster.stabilize(10_000).expect("recovers");
+                },
+                BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_join,
+    bench_publish,
+    bench_stabilization_round,
+    bench_crash_recovery
+);
+criterion_main!(benches);

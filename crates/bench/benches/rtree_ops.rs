@@ -1,0 +1,129 @@
+//! Criterion benches of the centralized R-tree substrate: insertion and
+//! point queries per split method, and the raw split procedures — the
+//! costs behind the paper's "linear time" / "quadratic time" discussion
+//! of §3.2.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+
+use drtree_rtree::{RTree, RTreeConfig, SplitMethod};
+use drtree_spatial::Rect;
+use drtree_workloads::SubscriptionWorkload;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn rects(n: usize, seed: u64) -> Vec<Rect<2>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    SubscriptionWorkload::Uniform {
+        min_extent: 1.0,
+        max_extent: 10.0,
+    }
+    .generate(n, &mut rng)
+}
+
+/// Bulk insertion throughput per split method.
+fn bench_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rtree-insert-1k");
+    group.sample_size(10);
+    let data = rects(1_000, 81);
+    for method in SplitMethod::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(method),
+            &method,
+            |b, &method| {
+                b.iter_batched(
+                    || data.clone(),
+                    |data| {
+                        let mut tree: RTree<usize, 2> =
+                            RTree::new(RTreeConfig::new(2, 8, method).expect("valid"));
+                        for (i, r) in data.into_iter().enumerate() {
+                            tree.insert(i, r);
+                        }
+                        tree.len()
+                    },
+                    BatchSize::LargeInput,
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Point-query throughput on a 10k-entry tree.
+fn bench_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rtree-point-query-10k");
+    group.sample_size(20);
+    let data = rects(10_000, 82);
+    let mut tree: RTree<usize, 2> =
+        RTree::new(RTreeConfig::new(4, 16, SplitMethod::RStar).expect("valid"));
+    for (i, r) in data.iter().enumerate() {
+        tree.insert(i, *r);
+    }
+    let probes: Vec<_> = data.iter().map(|r| r.center()).collect();
+    let mut i = 0usize;
+    group.bench_function("center-probes", |b| {
+        b.iter(|| {
+            let hits = tree.search_point(&probes[i % probes.len()]);
+            i += 1;
+            hits.len()
+        });
+    });
+    group.finish();
+}
+
+/// The raw split procedures on an overflowing children set (M+1 = 17).
+fn bench_split(c: &mut Criterion) {
+    let mut group = c.benchmark_group("split-17-entries");
+    let entries = rects(17, 83);
+    for method in SplitMethod::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(method),
+            &method,
+            |b, &method| {
+                b.iter(|| method.split(&entries, 4));
+            },
+        );
+    }
+    group.finish();
+}
+
+/// STR bulk loading vs incremental construction of the same 10k set.
+fn bench_bulk_load(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rtree-build-10k");
+    group.sample_size(10);
+    let data = rects(10_000, 84);
+    let config = RTreeConfig::new(4, 16, SplitMethod::RStar).expect("valid");
+    group.bench_function("bulk-str", |b| {
+        b.iter_batched(
+            || data.clone(),
+            |data| {
+                let tree =
+                    RTree::bulk_load(config, data.into_iter().enumerate().collect::<Vec<_>>());
+                tree.height()
+            },
+            BatchSize::LargeInput,
+        );
+    });
+    group.bench_function("incremental", |b| {
+        b.iter_batched(
+            || data.clone(),
+            |data| {
+                let mut tree: RTree<usize, 2> = RTree::new(config);
+                for (i, r) in data.into_iter().enumerate() {
+                    tree.insert(i, r);
+                }
+                tree.height()
+            },
+            BatchSize::LargeInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_insert,
+    bench_query,
+    bench_split,
+    bench_bulk_load
+);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Regenerates every table of EXPERIMENTS.md.
+//!
+//! ```text
+//! experiments [all | height | join | leave | crash | corrupt | churn |
+//!              fp | messages | baselines | ablation] [--fast]
+//! ```
+
+use std::time::Instant;
+
+use drtree_bench::experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let which: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let selected = if which.is_empty() || which.contains(&"all") {
+        None
+    } else {
+        Some(which)
+    };
+
+    let registry = experiments::registry();
+    let mut ran = 0usize;
+    for (name, runner) in &registry {
+        if let Some(sel) = &selected {
+            if !sel.contains(name) {
+                continue;
+            }
+        }
+        let start = Instant::now();
+        eprintln!(
+            "running experiment `{name}`{}…",
+            if fast { " (fast)" } else { "" }
+        );
+        for table in runner(fast) {
+            println!("{table}");
+        }
+        eprintln!("  `{name}` done in {:.1?}", start.elapsed());
+        ran += 1;
+    }
+    if ran == 0 {
+        eprintln!(
+            "unknown experiment; available: all, {}",
+            registry
+                .iter()
+                .map(|(n, _)| *n)
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,46 @@
+//! Scale probe: builds large overlays and prints the Lemma-3.1 numbers
+//! plus wall-clock build time. Complements the `experiments` binary
+//! with sizes beyond the default sweep.
+//!
+//! ```text
+//! cargo run -p drtree-bench --release --bin scale -- [max_n]
+//! ```
+
+use std::time::Instant;
+
+use drtree_core::{DrTreeCluster, DrTreeConfig};
+use drtree_workloads::SubscriptionWorkload;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let max_n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1024);
+    println!("| N | build (s) | height | ceil(log2 N) | max degree | mem max | mem mean |");
+    println!("|---|-----------|--------|--------------|------------|---------|----------|");
+    let mut n = 64usize;
+    while n <= max_n {
+        let mut rng = StdRng::seed_from_u64(9_000 + n as u64);
+        let filters = SubscriptionWorkload::Uniform {
+            min_extent: 2.0,
+            max_extent: 20.0,
+        }
+        .generate::<2>(n, &mut rng);
+        let start = Instant::now();
+        let cluster = DrTreeCluster::build(DrTreeConfig::default(), 9_500, &filters);
+        let elapsed = start.elapsed().as_secs_f64();
+        assert!(cluster.check_legal().is_ok(), "N={n} not legal");
+        let (mem_max, mem_mean) = cluster.memory_stats();
+        println!(
+            "| {n} | {elapsed:.2} | {} | {} | {} | {} | {:.1} |",
+            cluster.height(),
+            (n as f64).log2().ceil(),
+            cluster.max_degree_observed(),
+            mem_max,
+            mem_mean,
+        );
+        n *= 2;
+    }
+}

@@ -1,0 +1,168 @@
+//! T-ABL: ablations of the design choices DESIGN.md calls out.
+//!
+//! 1. **CHECK_COVER on/off** — without the cover exchange (Fig. 13) the
+//!    root is whatever node happened to be promoted, not the best
+//!    cover; routing accuracy degrades.
+//! 2. **FP-driven reorganization on/off under a hotspot** — §3.2's
+//!    second dynamic reorganization: with biased events, swapping
+//!    parents by observed false positives should reduce the FP rate of
+//!    the later part of the stream.
+//! 3. **Split methods** — linear vs quadratic vs R\* grouping quality
+//!    (measured through the resulting FP rate).
+
+use drtree_core::{DrTreeCluster, DrTreeConfig, FpReorgConfig, SplitMethod};
+use drtree_workloads::{EventWorkload, SubscriptionWorkload};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::table::fmt_f;
+use crate::Table;
+
+/// Runs the experiment; `fast` shrinks sizes.
+pub fn run(fast: bool) -> Vec<Table> {
+    let n = if fast { 40 } else { 80 };
+    let n_events = if fast { 80 } else { 240 };
+    let mut tables = Vec::new();
+
+    // --- 1) cover swap ------------------------------------------------------
+    //
+    // Fresh builds already place large filters high through the split-
+    // time election, so the ablation must exercise tree *evolution*:
+    // small filters join first, the containers join last. CHECK_COVER
+    // is what promotes the late-arriving containers over their
+    // small-filter parents (Property 3.1 maintenance).
+    {
+        let mut t = Table::new(
+            format!("T-ABL-1 — CHECK_COVER ablation, containers join last (N={n})"),
+            &[
+                "cover swap",
+                "FP/delivery",
+                "FP/population",
+                "root area ratio",
+            ],
+        );
+        for enabled in [true, false] {
+            let mut rng = StdRng::seed_from_u64(43_000);
+            let mut filters = SubscriptionWorkload::Containment {
+                chains: 6,
+                shrink: 0.72,
+            }
+            .generate::<2>(n, &mut rng);
+            // ascending area: containees first, containers last
+            filters.sort_by(|a, b| a.area().partial_cmp(&b.area()).expect("finite"));
+            let config = DrTreeConfig {
+                cover_swap: enabled,
+                ..DrTreeConfig::default()
+            };
+            let mut cluster = DrTreeCluster::build(config, 43_500, &filters);
+            let events = EventWorkload::Following.generate_with(n_events, &filters, &mut rng);
+            let acc = super::fp::measure(&mut cluster, &events);
+            let max_area = filters.iter().map(|f| f.area()).fold(0.0f64, f64::max);
+            let root_area = cluster
+                .root()
+                .and_then(|r| cluster.node(r))
+                .map_or(0.0, |nd| nd.filter().area());
+            t.push(vec![
+                if enabled { "on".into() } else { "off".into() },
+                fmt_f(acc.fp_per_delivery * 100.0, 1) + "%",
+                fmt_f(acc.fp_per_population * 100.0, 2) + "%",
+                fmt_f(root_area / max_area, 2),
+            ]);
+        }
+        tables.push(t);
+    }
+
+    // --- 2) FP-driven reorganization under a hotspot -------------------------
+    {
+        let mut t = Table::new(
+            format!("T-ABL-2 — FP-driven reorganization under hotspot events (N={n})"),
+            &[
+                "fp reorg",
+                "FP/event (first half)",
+                "FP/event (second half)",
+            ],
+        );
+        let reorg_events = n_events.max(240);
+        for enabled in [false, true] {
+            let mut rng = StdRng::seed_from_u64(47_000);
+            // §3.2's scenario: "small false positive regions are hit by
+            // many events while larger areas see none." Medium filters
+            // cover the (hot) region around (30, 30); strictly larger
+            // filters sit in the cold half of the space, so the static
+            // area-based election promotes cold filters.
+            let mut filters: Vec<drtree_spatial::Rect<2>> = Vec::new();
+            for _ in 0..n / 4 {
+                let cx: f64 = rng.gen_range(27.0..33.0);
+                let cy: f64 = rng.gen_range(27.0..33.0);
+                filters.push(drtree_spatial::Rect::new(
+                    [cx - 8.0, cy - 8.0],
+                    [cx + 8.0, cy + 8.0],
+                ));
+            }
+            while filters.len() < n {
+                let x: f64 = rng.gen_range(55.0..75.0);
+                let y: f64 = rng.gen_range(0.0..75.0);
+                filters.push(drtree_spatial::Rect::new([x, y], [x + 24.0, y + 24.0]));
+            }
+            let config = DrTreeConfig {
+                fp_reorg: FpReorgConfig {
+                    enabled,
+                    min_samples: 12,
+                    cover_cooldown: 400,
+                },
+                ..DrTreeConfig::default()
+            };
+            let mut cluster = DrTreeCluster::build(config, 47_500, &filters);
+            let events = EventWorkload::Hotspot {
+                center: 30.0,
+                radius: 5.0,
+                bias: 0.95,
+            }
+            .generate_with::<2>(reorg_events, &filters, &mut rng);
+            let half = events.len() / 2;
+            let first = super::fp::measure(&mut cluster, &events[..half]);
+            // Let any pending swaps settle before the second half.
+            cluster.stabilize(2_000);
+            let second = super::fp::measure(&mut cluster, &events[half..]);
+            let fp_per_event = |a: &super::fp::Accuracy| a.fp_per_population * (n as f64 - 1.0);
+            t.push(vec![
+                if enabled { "on".into() } else { "off".into() },
+                fmt_f(fp_per_event(&first), 2),
+                fmt_f(fp_per_event(&second), 2),
+            ]);
+        }
+        tables.push(t);
+    }
+
+    // --- 3) split methods -----------------------------------------------------
+    {
+        let mut t = Table::new(
+            format!("T-ABL-3 — split-method comparison (clustered workload, N={n})"),
+            &["split", "FP/delivery", "msgs/event", "height"],
+        );
+        for split in SplitMethod::ALL {
+            let mut rng = StdRng::seed_from_u64(53_000);
+            let filters = SubscriptionWorkload::Clustered {
+                clusters: 6,
+                skew: 0.9,
+                spread: 4.0,
+                min_extent: 2.0,
+                max_extent: 18.0,
+            }
+            .generate::<2>(n, &mut rng);
+            let config = DrTreeConfig::with_degree(2, 4, split).expect("valid");
+            let mut cluster = DrTreeCluster::build(config, 53_500, &filters);
+            let events = EventWorkload::Following.generate_with(n_events, &filters, &mut rng);
+            let acc = super::fp::measure(&mut cluster, &events);
+            t.push(vec![
+                split.to_string(),
+                fmt_f(acc.fp_per_delivery * 100.0, 1) + "%",
+                fmt_f(acc.msgs_per_event, 1),
+                cluster.height().to_string(),
+            ]);
+        }
+        tables.push(t);
+    }
+
+    tables
+}

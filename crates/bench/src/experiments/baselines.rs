@@ -1,0 +1,128 @@
+//! T-BASE: the DR-tree against the overlays §3.1/§4 discusses — the
+//! containment-graph tree \[11\], the per-dimension forest \[3\], and
+//! flooding. Reported per workload: accuracy, message cost, structural
+//! depth (latency bound) and the maximum fan-out any node must carry
+//! (the containment tree's virtual root and the per-dimension roots are
+//! the paper's stated weaknesses).
+
+use drtree_baselines::{Baseline, ContainmentTreeOverlay, FloodingOverlay, PerDimensionOverlay};
+use drtree_core::{DrTreeCluster, DrTreeConfig};
+use drtree_spatial::{Point, Rect};
+use drtree_workloads::{EventWorkload, SubscriptionWorkload};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::table::fmt_f;
+use crate::Table;
+
+struct Row {
+    name: String,
+    fp_rate: f64,
+    fns: u64,
+    msgs_per_event: f64,
+    depth: usize,
+    fanout: usize,
+}
+
+fn run_baseline<const D: usize>(
+    b: &dyn Baseline<D>,
+    events: &[Point<D>],
+    depth: usize,
+    fanout: usize,
+) -> Row {
+    let mut deliveries = 0u64;
+    let mut fps = 0u64;
+    let mut fns = 0u64;
+    let mut msgs = 0u64;
+    for e in events {
+        let out = b.route(e);
+        deliveries += out.receivers as u64;
+        fps += out.false_positives as u64;
+        fns += out.false_negatives as u64;
+        msgs += out.messages as u64;
+    }
+    Row {
+        name: b.name().to_string(),
+        fp_rate: if deliveries == 0 {
+            0.0
+        } else {
+            fps as f64 / deliveries as f64
+        },
+        fns,
+        msgs_per_event: msgs as f64 / events.len() as f64,
+        depth,
+        fanout,
+    }
+}
+
+/// Runs the experiment; `fast` shrinks sizes.
+pub fn run(fast: bool) -> Vec<Table> {
+    let n = if fast { 48 } else { 96 };
+    let n_events = if fast { 60 } else { 200 };
+    let mut tables = Vec::new();
+    for (wl_name, workload) in SubscriptionWorkload::standard() {
+        let mut rng = StdRng::seed_from_u64(41_000);
+        let filters: Vec<Rect<2>> = workload.generate(n, &mut rng);
+        let events = EventWorkload::Following.generate_with(n_events, &filters, &mut rng);
+
+        let mut rows: Vec<Row> = Vec::new();
+
+        // DR-tree (the real protocol, simulated).
+        let mut cluster = DrTreeCluster::build(DrTreeConfig::default(), 41_500, &filters);
+        let acc = super::fp::measure(&mut cluster, &events);
+        rows.push(Row {
+            name: "dr-tree".into(),
+            fp_rate: acc.fp_per_delivery,
+            fns: acc.false_negatives,
+            msgs_per_event: acc.msgs_per_event,
+            depth: cluster.height() as usize,
+            fanout: cluster.max_degree_observed(),
+        });
+
+        let containment = ContainmentTreeOverlay::build(&filters);
+        rows.push(run_baseline(
+            &containment,
+            &events,
+            containment.depth(),
+            containment.max_fanout(),
+        ));
+        let per_dim = PerDimensionOverlay::build(&filters);
+        rows.push(run_baseline(
+            &per_dim,
+            &events,
+            per_dim.depth(),
+            per_dim.max_fanout(),
+        ));
+        let flooding = FloodingOverlay::build(&filters, 4);
+        rows.push(run_baseline(
+            &flooding,
+            &events,
+            flooding.depth(),
+            flooding.max_fanout(),
+        ));
+
+        let mut t = Table::new(
+            format!("T-BASE — overlay comparison, {wl_name} workload (N={n}, {n_events} events)"),
+            &[
+                "overlay",
+                "FP/delivery",
+                "false negatives",
+                "msgs/event",
+                "depth",
+                "max fan-out",
+            ],
+        );
+        for r in rows {
+            t.push(vec![
+                r.name,
+                fmt_f(r.fp_rate * 100.0, 1) + "%",
+                r.fns.to_string(),
+                fmt_f(r.msgs_per_event, 1),
+                r.depth.to_string(),
+                r.fanout.to_string(),
+            ]);
+        }
+        tables.push(t);
+    }
+    tables
+}

@@ -1,0 +1,133 @@
+//! T-CHURN (Lemma 3.7): "Let ∆ be an interval of time during which no
+//! stabilization operation is triggered and let λ be the rate of
+//! departures. The expected time before the DR-tree disconnects is
+//! (∆/N)·e^((N−∆λ)²/(4∆λ))."
+//!
+//! Two measurements sit next to the analytic bound:
+//!
+//! 1. **Window model (Monte-Carlo)** — the reading consistent with the
+//!    formula's Chernoff-style exponent: between stabilization passes
+//!    (windows of length ∆) departures arrive as Poisson(∆λ); the
+//!    overlay is lost when a single window churns through the whole
+//!    population. Mean disconnection time over many trials.
+//! 2. **Overlay measurement** — on the real DR-tree with stabilization
+//!    suspended, Poisson departures per round; rounds until a subtree
+//!    is orphaned (some live process's parent is gone). This shows the
+//!    raw (unrepaired) vulnerability decreasing in λ with the same
+//!    shape.
+
+use drtree_core::churn::expected_disconnect_time;
+use drtree_core::DrTreeConfig;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::table::fmt_f;
+use crate::Table;
+
+use super::build_uniform;
+
+/// Draws a Poisson(mean) count (Knuth's method; mean kept small here).
+fn poisson(rng: &mut StdRng, mean: f64) -> usize {
+    let l = (-mean).exp();
+    let mut k = 0usize;
+    let mut p = 1.0;
+    loop {
+        p *= rng.gen_range(0.0..1.0);
+        if p <= l {
+            return k;
+        }
+        k += 1;
+        if k > 10_000 {
+            return k; // numerical guard for very large means
+        }
+    }
+}
+
+/// Runs the experiment; `fast` shrinks the trial counts.
+pub fn run(fast: bool) -> Vec<Table> {
+    let n = 24usize;
+    let delta = 4.0f64;
+    let trials = if fast { 40 } else { 200 };
+    let max_windows = 200_000u64;
+
+    let mut t = Table::new(
+        "T-CHURN — expected time to disconnection vs departure rate λ (Lemma 3.7, N=24, ∆=4)",
+        &[
+            "λ (dep/unit)",
+            "∆λ / N",
+            "analytic E[T]",
+            "window-model E[T] (MC)",
+            "overlay rounds to orphan (mean)",
+        ],
+    );
+
+    let lambdas = [3.0f64, 4.5, 6.0, 7.5, 9.0];
+    for &lambda in &lambdas {
+        // 1) Monte-Carlo window model.
+        let mut rng = StdRng::seed_from_u64(23_000 + (lambda * 10.0) as u64);
+        let mut total_windows = 0.0f64;
+        for _ in 0..trials {
+            let mut windows = 1u64;
+            while poisson(&mut rng, delta * lambda) < n && windows < max_windows {
+                windows += 1;
+            }
+            total_windows += windows as f64;
+        }
+        let mc_time = delta * total_windows / trials as f64;
+
+        // 2) Overlay measurement: stabilization suspended, Poisson
+        //    departures per round, stop at the first orphaned subtree.
+        let overlay_trials = if fast { 3 } else { 10 };
+        let mut orphan_rounds_sum = 0.0f64;
+        for trial in 0..overlay_trials {
+            let mut cluster = build_uniform(n, DrTreeConfig::default(), 29_000 + trial as u64);
+            cluster.set_stabilization_enabled(false);
+            // Per-round departure mean scaled so a round ≈ one time unit.
+            let per_round = lambda / delta;
+            let mut rounds = 0u64;
+            'outer: loop {
+                rounds += 1;
+                let k = {
+                    let rng = cluster.rng();
+                    poisson(rng, per_round)
+                };
+                for _ in 0..k {
+                    let ids = cluster.ids();
+                    if ids.len() <= 1 {
+                        break 'outer;
+                    }
+                    let victim = {
+                        let rng = cluster.rng();
+                        ids[rng.gen_range(0..ids.len())]
+                    };
+                    cluster.crash(victim);
+                }
+                // Disconnected as soon as a live process's topmost
+                // parent is gone.
+                let snapshot = cluster.snapshot();
+                let orphaned = snapshot.iter().any(|(&id, st)| {
+                    let parent = st.level(st.top()).map_or(id, |l| l.parent);
+                    parent != id && !snapshot.contains_key(&parent)
+                });
+                if orphaned || rounds > 100_000 {
+                    break;
+                }
+            }
+            orphan_rounds_sum += rounds as f64;
+        }
+
+        let analytic = expected_disconnect_time(n, delta, lambda);
+        t.push(vec![
+            fmt_f(lambda, 1),
+            fmt_f(delta * lambda / n as f64, 2),
+            if analytic.is_finite() {
+                fmt_f(analytic, 1)
+            } else {
+                "inf".into()
+            },
+            fmt_f(mc_time, 1),
+            fmt_f(orphan_rounds_sum / overlay_trials as f64, 1),
+        ]);
+    }
+    vec![t]
+}

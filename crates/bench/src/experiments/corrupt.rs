@@ -1,0 +1,55 @@
+//! T-CORRUPT (Lemma 3.6): "Let c be an initial arbitrary configuration
+//! of the system. The system reaches a legitimate configuration c′ in a
+//! finite number of steps." The adversary corrupts the memory of a
+//! fraction of the processes with each strategy; the table reports the
+//! rounds until Definition 3.1 holds again.
+
+use drtree_core::corruption::CorruptionKind;
+use drtree_core::DrTreeConfig;
+
+use crate::Table;
+
+use super::build_uniform;
+
+/// Runs the experiment; `fast` shrinks the sweep.
+pub fn run(fast: bool) -> Vec<Table> {
+    let mut t = Table::new(
+        "T-CORRUPT — recovery from adversarial memory corruption (Lemma 3.6)",
+        &["corruption", "victims", "rounds to legal", "legal again"],
+    );
+    let n = if fast { 32 } else { 64 };
+    let fractions: &[usize] = if fast { &[3] } else { &[3, 1] }; // every 3rd / every process
+    for kind in CorruptionKind::ALL {
+        for &step in fractions {
+            let mut cluster = build_uniform(n, DrTreeConfig::default(), 17_000);
+            let victims: Vec<_> = cluster.ids().into_iter().step_by(step).collect();
+            let count = victims.len();
+            for v in victims {
+                cluster.corrupt(v, kind);
+            }
+            let rounds = cluster.stabilize(10_000);
+            t.push(vec![
+                format!("{kind:?}"),
+                format!("{count}/{n}"),
+                rounds.map_or("timeout".into(), |r| r.to_string()),
+                cluster.check_legal().is_ok().to_string(),
+            ]);
+        }
+    }
+
+    // The "arbitrary configuration" case: every process corrupted with a
+    // different strategy at once.
+    let mut cluster = build_uniform(n, DrTreeConfig::default(), 17_001);
+    let ids = cluster.ids();
+    for (i, id) in ids.iter().enumerate() {
+        cluster.corrupt(*id, CorruptionKind::ALL[i % CorruptionKind::ALL.len()]);
+    }
+    let rounds = cluster.stabilize(10_000);
+    t.push(vec![
+        "Mixed (all kinds)".into(),
+        format!("{n}/{n}"),
+        rounds.map_or("timeout".into(), |r| r.to_string()),
+        cluster.check_legal().is_ok().to_string(),
+    ]);
+    vec![t]
+}

@@ -1,0 +1,55 @@
+//! T-CRASH (Lemma 3.5): recovery after *uncontrolled* departures —
+//! simultaneous crash failures of a fraction of the population. The
+//! lemma bounds stabilization by O(N log_m N) steps; the table shows
+//! rounds to a legitimate configuration for several failure fractions.
+
+use drtree_core::DrTreeConfig;
+
+use crate::table::fmt_f;
+use crate::Table;
+
+use super::build_uniform;
+
+/// Runs the experiment; `fast` shrinks the sweep.
+pub fn run(fast: bool) -> Vec<Table> {
+    let mut t = Table::new(
+        "T-CRASH — recovery after simultaneous crash failures (Lemma 3.5)",
+        &[
+            "N",
+            "failed",
+            "fraction",
+            "rounds to legal",
+            "survivors legal",
+        ],
+    );
+    let sizes: &[usize] = if fast { &[48] } else { &[48, 96, 192] };
+    let fractions = [0.02, 0.05, 0.10, 0.25];
+    for &n in sizes {
+        for &frac in &fractions {
+            let mut cluster = build_uniform(n, DrTreeConfig::default(), 13_000 + n as u64);
+            let root = cluster.root();
+            let victims: Vec<_> = {
+                let ids = cluster.ids();
+                let count = ((n as f64 * frac).round() as usize).max(1);
+                ids.into_iter()
+                    .filter(|&id| Some(id) != root)
+                    .step_by(3)
+                    .take(count)
+                    .collect()
+            };
+            let failed = victims.len();
+            for v in victims {
+                cluster.crash(v);
+            }
+            let rounds = cluster.stabilize(10_000);
+            t.push(vec![
+                n.to_string(),
+                failed.to_string(),
+                fmt_f(frac * 100.0, 0) + "%",
+                rounds.map_or("timeout".into(), |r| r.to_string()),
+                cluster.check_legal().is_ok().to_string(),
+            ]);
+        }
+    }
+    vec![t]
+}

@@ -1,0 +1,60 @@
+//! T-HEIGHT (Lemma 3.1): "In a legitimate configuration the height of
+//! the DR-tree is O(log_m(N)) while the memory complexity for the
+//! structure maintenance is O(M log²(N)/log(m))."
+//!
+//! For a sweep of N and (m, M) the table reports the measured height
+//! against ⌈log_m N⌉, the maximum observed degree against M, and the
+//! per-process memory (children-table entries) against the lemma's
+//! bound.
+
+use drtree_core::{DrTreeConfig, SplitMethod};
+
+use crate::table::fmt_f;
+use crate::Table;
+
+use super::{build_uniform, n_sweep};
+
+/// Runs the experiment; `fast` shrinks the sweep.
+pub fn run(fast: bool) -> Vec<Table> {
+    let mut t = Table::new(
+        "T-HEIGHT — height and memory vs N (Lemma 3.1)",
+        &[
+            "N",
+            "m",
+            "M",
+            "height",
+            "ceil(log_m N)",
+            "max degree",
+            "mem max",
+            "mem mean",
+            "M·log²N/log m",
+        ],
+    );
+    let degree_settings: &[(usize, usize)] = if fast {
+        &[(2, 4)]
+    } else {
+        &[(2, 4), (2, 6), (4, 8)]
+    };
+    for &n in &n_sweep(fast) {
+        for &(m, max) in degree_settings {
+            let config =
+                DrTreeConfig::with_degree(m, max, SplitMethod::Quadratic).expect("valid degree");
+            let cluster = build_uniform(n, config, 1000 + n as u64 + m as u64);
+            assert!(cluster.check_legal().is_ok());
+            let (mem_max, mem_mean) = cluster.memory_stats();
+            let logm = (n as f64).ln() / (m as f64).ln();
+            t.push(vec![
+                n.to_string(),
+                m.to_string(),
+                max.to_string(),
+                cluster.height().to_string(),
+                fmt_f(logm.ceil(), 0),
+                cluster.max_degree_observed().to_string(),
+                mem_max.to_string(),
+                fmt_f(mem_mean, 1),
+                fmt_f(max as f64 * (n as f64).ln().powi(2) / (m as f64).ln(), 0),
+            ]);
+        }
+    }
+    vec![t]
+}

@@ -1,0 +1,72 @@
+//! T-JOIN (Lemma 3.2): after a join from a legitimate configuration,
+//! the system is legitimate again "in O(log_m(N)) steps".
+//!
+//! For each N we add a handful of fresh subscribers, one at a time,
+//! measuring the rounds until the configuration is legal again and the
+//! join-phase message cost (JOIN routing + ADD_CHILD + acknowledgment
+//! traffic, heartbeats excluded).
+
+use drtree_core::DrTreeConfig;
+use drtree_spatial::Rect;
+use rand::Rng;
+
+use crate::table::fmt_f;
+use crate::Table;
+
+use super::{build_uniform, n_sweep};
+
+const JOINS_PER_SIZE: usize = 5;
+
+/// Runs the experiment; `fast` shrinks the sweep.
+pub fn run(fast: bool) -> Vec<Table> {
+    let mut t = Table::new(
+        "T-JOIN — single-join recovery vs N (Lemma 3.2)",
+        &[
+            "N",
+            "rounds to legal (mean)",
+            "rounds (max)",
+            "join msgs (mean)",
+            "ceil(log_2 N)",
+        ],
+    );
+    for &n in &n_sweep(fast) {
+        let mut cluster = build_uniform(n, DrTreeConfig::default(), 7000 + n as u64);
+        let mut rounds_sum = 0u64;
+        let mut rounds_max = 0u64;
+        let mut msgs_sum = 0u64;
+        for k in 0..JOINS_PER_SIZE {
+            let filter = {
+                let rng = cluster.rng();
+                let x: f64 = rng.gen_range(0.0..85.0);
+                let y: f64 = rng.gen_range(0.0..85.0);
+                let w: f64 = rng.gen_range(2.0..15.0);
+                let h: f64 = rng.gen_range(2.0..15.0);
+                Rect::new([x, y], [x + w, y + h])
+            };
+            let labels = ["join", "add-child", "adopted", "assume-role", "reparent"];
+            let before: u64 = labels
+                .iter()
+                .map(|l| cluster.metrics().label_count(l))
+                .sum();
+            cluster.add_subscriber(filter);
+            let rounds = cluster
+                .stabilize(3_000)
+                .unwrap_or_else(|| panic!("join {k} at n={n} did not stabilize"));
+            let after: u64 = labels
+                .iter()
+                .map(|l| cluster.metrics().label_count(l))
+                .sum();
+            rounds_sum += rounds;
+            rounds_max = rounds_max.max(rounds);
+            msgs_sum += after - before;
+        }
+        t.push(vec![
+            n.to_string(),
+            fmt_f(rounds_sum as f64 / JOINS_PER_SIZE as f64, 1),
+            rounds_max.to_string(),
+            fmt_f(msgs_sum as f64 / JOINS_PER_SIZE as f64, 1),
+            fmt_f((n as f64).log2().ceil(), 0),
+        ]);
+    }
+    vec![t]
+}

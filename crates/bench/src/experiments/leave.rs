@@ -1,0 +1,60 @@
+//! T-LEAVE (Lemmas 3.3/3.4): recovery after controlled departures and
+//! the compaction they trigger, bounded by O(N log_m N) steps (with
+//! far smaller constants in practice, as the paper notes subtree
+//! reconnection makes recovery cheap).
+
+use drtree_core::DrTreeConfig;
+
+use crate::table::fmt_f;
+use crate::Table;
+
+use super::{build_uniform, n_sweep};
+
+const LEAVES_PER_SIZE: usize = 5;
+
+/// Runs the experiment; `fast` shrinks the sweep.
+pub fn run(fast: bool) -> Vec<Table> {
+    let mut t = Table::new(
+        "T-LEAVE — controlled-departure recovery vs N (Lemmas 3.3/3.4)",
+        &[
+            "N",
+            "rounds to legal (mean)",
+            "rounds (max)",
+            "N·log2 N (bound)",
+        ],
+    );
+    for &n in &n_sweep(fast) {
+        let mut cluster = build_uniform(n, DrTreeConfig::default(), 11_000 + n as u64);
+        let mut rounds_sum = 0u64;
+        let mut rounds_max = 0u64;
+        let mut done = 0usize;
+        for k in 0..LEAVES_PER_SIZE {
+            let ids = cluster.ids();
+            if ids.len() <= 3 {
+                break;
+            }
+            let root = cluster.root();
+            // Prefer interior victims: their departure orphans subtrees.
+            let victim = ids
+                .iter()
+                .copied()
+                .filter(|&id| Some(id) != root)
+                .max_by_key(|&id| cluster.node(id).map(|nd| nd.top()).unwrap_or(0))
+                .expect("non-root victim exists");
+            cluster.controlled_leave(victim);
+            let rounds = cluster
+                .stabilize(6_000)
+                .unwrap_or_else(|| panic!("leave {k} at n={n} did not stabilize"));
+            rounds_sum += rounds;
+            rounds_max = rounds_max.max(rounds);
+            done += 1;
+        }
+        t.push(vec![
+            n.to_string(),
+            fmt_f(rounds_sum as f64 / done.max(1) as f64, 1),
+            rounds_max.to_string(),
+            fmt_f(n as f64 * (n as f64).log2(), 0),
+        ]);
+    }
+    vec![t]
+}

@@ -1,0 +1,57 @@
+//! T-MSG: publish/subscribe cost — "the DR-tree overlay also guarantees
+//! subscription and publication times logarithmic in the size of the
+//! network" (abstract). The table sweeps N and reports the message and
+//! latency (round) cost of publications, with the flooding cost N·k as
+//! the contrast line.
+
+use drtree_core::DrTreeConfig;
+use drtree_workloads::EventWorkload;
+
+use crate::table::fmt_f;
+use crate::Table;
+
+use super::{build_uniform, n_sweep, uniform_filters};
+
+/// Runs the experiment; `fast` shrinks the sweep.
+pub fn run(fast: bool) -> Vec<Table> {
+    let n_events = if fast { 30 } else { 100 };
+    let mut t = Table::new(
+        format!("T-MSG — dissemination cost vs N ({n_events} events, following workload)"),
+        &[
+            "N",
+            "height",
+            "msgs/event",
+            "matching/event",
+            "publish rounds (≈2·h+6)",
+            "flooding msgs (N·4)",
+        ],
+    );
+    for &n in &n_sweep(fast) {
+        let mut cluster = build_uniform(n, DrTreeConfig::default(), 37_000 + n as u64);
+        let filters = uniform_filters(n, (37_000 + n as u64) ^ 0x9e37_79b9);
+        let events = {
+            let rng = cluster.rng();
+            EventWorkload::Following.generate_with(n_events, &filters, rng)
+        };
+        let ids = cluster.ids();
+        let mut msgs = 0u64;
+        let mut matching = 0u64;
+        let mut rounds = 0u64;
+        for (i, e) in events.iter().enumerate() {
+            let report = cluster.publish_from(ids[(i * 7) % ids.len()], *e);
+            msgs += report.messages;
+            matching += report.matching.len() as u64;
+            rounds = rounds.max(report.rounds);
+            assert!(report.false_negatives.is_empty());
+        }
+        t.push(vec![
+            n.to_string(),
+            cluster.height().to_string(),
+            fmt_f(msgs as f64 / n_events as f64, 1),
+            fmt_f(matching as f64 / n_events as f64, 1),
+            rounds.to_string(),
+            (n * 4).to_string(),
+        ]);
+    }
+    vec![t]
+}

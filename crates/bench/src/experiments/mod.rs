@@ -1,0 +1,63 @@
+//! One module per table/figure of the evaluation (DESIGN.md §4).
+
+pub mod ablation;
+pub mod baselines;
+pub mod churn;
+pub mod corrupt;
+pub mod crash;
+pub mod fp;
+pub mod height;
+pub mod join;
+pub mod leave;
+pub mod messages;
+
+use drtree_core::{DrTreeCluster, DrTreeConfig};
+use drtree_spatial::Rect;
+use drtree_workloads::SubscriptionWorkload;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::Table;
+
+/// An experiment entry point: `fast` in, tables out.
+pub type Runner = fn(bool) -> Vec<Table>;
+
+/// The experiment registry: `(name, runner)` for the CLI.
+pub fn registry() -> Vec<(&'static str, Runner)> {
+    vec![
+        ("height", height::run as Runner),
+        ("join", join::run),
+        ("leave", leave::run),
+        ("crash", crash::run),
+        ("corrupt", corrupt::run),
+        ("churn", churn::run),
+        ("fp", fp::run),
+        ("messages", messages::run),
+        ("baselines", baselines::run),
+        ("ablation", ablation::run),
+    ]
+}
+
+/// Standard uniform filters used by the structural experiments.
+pub(crate) fn uniform_filters(n: usize, seed: u64) -> Vec<Rect<2>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    SubscriptionWorkload::Uniform {
+        min_extent: 2.0,
+        max_extent: 20.0,
+    }
+    .generate(n, &mut rng)
+}
+
+/// Builds a stabilized overlay over uniform filters.
+pub(crate) fn build_uniform(n: usize, config: DrTreeConfig, seed: u64) -> DrTreeCluster<2> {
+    DrTreeCluster::build(config, seed, &uniform_filters(n, seed ^ 0x9e37_79b9))
+}
+
+/// N sweep used by the scaling experiments.
+pub(crate) fn n_sweep(fast: bool) -> Vec<usize> {
+    if fast {
+        vec![16, 32, 64]
+    } else {
+        vec![16, 32, 64, 128, 256]
+    }
+}

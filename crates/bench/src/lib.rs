@@ -1,0 +1,22 @@
+//! Experiment harness for the DR-tree reproduction.
+//!
+//! One experiment per table/figure of the evaluation (see DESIGN.md §4
+//! and EXPERIMENTS.md): each [`experiments`] module exposes
+//! `run(fast) -> Vec<Table>` regenerating the corresponding rows. The
+//! `experiments` binary prints them:
+//!
+//! ```text
+//! cargo run -p drtree-bench --release --bin experiments -- all
+//! cargo run -p drtree-bench --release --bin experiments -- height --fast
+//! ```
+//!
+//! The Criterion benches under `benches/` measure the raw operation
+//! costs (joins, publishes, splits, stabilization rounds, recovery).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+mod table;
+
+pub use table::Table;

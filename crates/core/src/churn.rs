@@ -1,0 +1,86 @@
+//! Churn-resistance analysis (paper Lemma 3.7).
+//!
+//! "Let ∆ be an interval of time during which no stabilization operation
+//! is triggered and let λ be the rate of departures. The expected time
+//! before the DR-tree disconnects is ∆N e^((N−∆λ)²/(4∆λ))." Arrivals
+//! and departures are modeled by a Poisson distribution (the paper's
+//! footnote 4); joins never disconnect the overlay, so only departures
+//! matter.
+//!
+//! The printed formula in the proceedings is typographically ambiguous
+//! (`∆N e^{(N−∆λ)²/(4∆λ)}`); we implement the literal reading
+//! `∆·N·exp(…)`, which also tracks the first-principles window model
+//! (departures Poisson(∆λ) per stabilization window, disconnection when
+//! a window churns through the whole population) to within its
+//! moderate-deviation approximation. EXPERIMENTS.md compares both.
+
+/// Expected time before the DR-tree disconnects under departure rate
+/// `lambda`, with stabilization suspended for windows of length `delta`,
+/// in a network of `n` processes (Lemma 3.7).
+///
+/// Returns `f64::INFINITY` when the exponent overflows — the regime
+/// where departures are far rarer than repairs and disconnection is
+/// effectively never observed.
+///
+/// # Panics
+///
+/// Panics if `n == 0`, `delta <= 0` or `lambda <= 0`.
+pub fn expected_disconnect_time(n: usize, delta: f64, lambda: f64) -> f64 {
+    assert!(n > 0, "network size must be positive");
+    assert!(delta > 0.0, "stabilization window must be positive");
+    assert!(lambda > 0.0, "departure rate must be positive");
+    let n = n as f64;
+    let exponent = (n - delta * lambda).powi(2) / (4.0 * delta * lambda);
+    delta * n * exponent.exp()
+}
+
+/// Samples an exponential inter-event time with rate `lambda` from a
+/// uniform draw `u ∈ (0, 1]` — the Poisson-process arrival model of the
+/// paper's footnote 4, implemented by inversion so no extra dependency
+/// is needed.
+pub fn exponential_inter_arrival(u: f64, lambda: f64) -> f64 {
+    assert!(lambda > 0.0, "rate must be positive");
+    let u = u.clamp(f64::MIN_POSITIVE, 1.0);
+    -u.ln() / lambda
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decreasing_in_lambda() {
+        let t1 = expected_disconnect_time(100, 10.0, 0.5);
+        let t2 = expected_disconnect_time(100, 10.0, 1.0);
+        let t3 = expected_disconnect_time(100, 10.0, 2.0);
+        assert!(t1 > t2, "{t1} !> {t2}");
+        assert!(t2 > t3, "{t2} !> {t3}");
+    }
+
+    #[test]
+    fn increasing_in_n_for_fixed_churn() {
+        let t_small = expected_disconnect_time(50, 10.0, 1.0);
+        let t_large = expected_disconnect_time(200, 10.0, 1.0);
+        assert!(t_large > t_small);
+    }
+
+    #[test]
+    fn extreme_regime_saturates() {
+        let t = expected_disconnect_time(1_000_000, 1.0, 1e-9);
+        assert!(t.is_infinite());
+    }
+
+    #[test]
+    fn exponential_sampling_matches_mean() {
+        // inversion at u = e^{-1} gives exactly 1/λ
+        let lambda = 2.0;
+        let t = exponential_inter_arrival((-1.0f64).exp(), lambda);
+        assert!((t - 1.0 / lambda).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_lambda_rejected() {
+        let _ = expected_disconnect_time(10, 1.0, 0.0);
+    }
+}

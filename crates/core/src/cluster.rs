@@ -1,0 +1,405 @@
+//! High-level harness: a whole DR-tree overlay in one value.
+//!
+//! [`DrTreeCluster`] wraps the synchronous round engine with everything
+//! an experiment needs: subscribing/leaving/crashing processes,
+//! publishing events with delivery accounting, the contact oracle, the
+//! Definition-3.1 legality check, and structural statistics (height,
+//! degrees, memory). Rounds are the paper's "steps": every process runs
+//! its periodic checks once per round and messages take one round per
+//! hop.
+
+use std::collections::BTreeMap;
+
+use rand::rngs::StdRng;
+
+use drtree_sim::{Metrics, ProcessId, RoundNetwork};
+use drtree_spatial::{Point, Rect};
+
+use crate::config::DrTreeConfig;
+use crate::corruption::CorruptionKind;
+use crate::legal::{self, Snapshot, Violation};
+use crate::message::{DrtMessage, DrtTimer, PubEvent};
+use crate::protocol::node::DrtNode;
+use crate::state::NodeState;
+
+/// Outcome of a single published event (the measurement unit of the
+/// false-positive/false-negative experiments).
+#[derive(Debug, Clone)]
+pub struct PublishReport {
+    /// The event id assigned by the cluster.
+    pub event_id: u64,
+    /// Every process that received the event (publisher excluded).
+    pub receivers: Vec<ProcessId>,
+    /// Subscribers whose filter matches the event (publisher excluded).
+    pub matching: Vec<ProcessId>,
+    /// Receivers whose filter does not match (§2.3 false positives).
+    pub false_positives: Vec<ProcessId>,
+    /// Matching subscribers that did not receive the event (§2.3 false
+    /// negatives — zero in legitimate configurations).
+    pub false_negatives: Vec<ProcessId>,
+    /// `PubDown`/`PubUp` messages spent on this event.
+    pub messages: u64,
+    /// Rounds the dissemination was given to complete.
+    pub rounds: u64,
+}
+
+impl PublishReport {
+    /// False-positive rate among receivers (0 when nobody received).
+    pub fn false_positive_rate(&self) -> f64 {
+        if self.receivers.is_empty() {
+            return 0.0;
+        }
+        self.false_positives.len() as f64 / self.receivers.len() as f64
+    }
+}
+
+/// A complete simulated DR-tree overlay (round-based engine).
+///
+/// See the [crate documentation](crate) for a quick-start example.
+#[derive(Clone)]
+pub struct DrTreeCluster<const D: usize> {
+    net: RoundNetwork<DrtNode<D>>,
+    config: DrTreeConfig,
+    next_event_id: u64,
+    /// Every id ever allocated (for adversarial corruption universes).
+    all_ids: Vec<ProcessId>,
+}
+
+impl<const D: usize> DrTreeCluster<D> {
+    /// Creates an empty overlay with deterministic seed.
+    pub fn new(config: DrTreeConfig, seed: u64) -> Self {
+        Self {
+            net: RoundNetwork::with_tick(seed, DrtTimer::Tick),
+            config,
+            next_event_id: 0,
+            all_ids: Vec::new(),
+        }
+    }
+
+    /// The overlay configuration.
+    pub fn config(&self) -> &DrTreeConfig {
+        &self.config
+    }
+
+    /// Number of live subscribers.
+    pub fn len(&self) -> usize {
+        self.net.len()
+    }
+
+    /// `true` when no subscriber is live.
+    pub fn is_empty(&self) -> bool {
+        self.net.is_empty()
+    }
+
+    /// Ids of live subscribers.
+    pub fn ids(&self) -> Vec<ProcessId> {
+        self.net.ids()
+    }
+
+    /// Rounds executed so far.
+    pub fn round(&self) -> u64 {
+        self.net.round()
+    }
+
+    /// Message metrics of the underlying network.
+    pub fn metrics(&self) -> &Metrics {
+        self.net.metrics()
+    }
+
+    /// Resets message metrics (between experiment phases).
+    pub fn reset_metrics(&mut self) {
+        self.net.reset_metrics();
+    }
+
+    /// Deterministic randomness for harness decisions.
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.net.rng()
+    }
+
+    /// Shared view of one subscriber process.
+    pub fn node(&self, id: ProcessId) -> Option<&DrtNode<D>> {
+        self.net.process(id)
+    }
+
+    /// Adds a subscriber with `filter`. It joins the overlay through the
+    /// contact oracle during the following rounds.
+    pub fn add_subscriber(&mut self, filter: Rect<D>) -> ProcessId {
+        let node = DrtNode::new(self.config, filter);
+        let id = self.net.add_process(node);
+        self.all_ids.push(id);
+        let contact = self.contact();
+        if let Some(n) = self.net.process_mut(id) {
+            n.set_contact_hint(contact.or(Some(id)));
+        }
+        id
+    }
+
+    /// Adds a subscriber and runs rounds until it is attached to the
+    /// main tree (or `max_rounds` elapse). Returns the id.
+    pub fn add_subscriber_stable(&mut self, filter: Rect<D>) -> ProcessId {
+        let id = self.add_subscriber(filter);
+        let max_rounds = 40 + 4 * (self.height() as u64 + 2) + self.config.join_retry;
+        for _ in 0..max_rounds {
+            let contact = self.contact();
+            let joined = self
+                .node(id)
+                .is_some_and(|n| !n.believes_root() || contact == Some(id));
+            if joined {
+                break;
+            }
+            self.run_round();
+        }
+        id
+    }
+
+    /// Builds an overlay over `filters`, one stable join at a time, and
+    /// stabilizes it. Panics if the overlay cannot reach a legal
+    /// configuration — construction from a quiescent state always can.
+    pub fn build(config: DrTreeConfig, seed: u64, filters: &[Rect<D>]) -> Self {
+        let mut cluster = Self::new(config, seed);
+        for f in filters {
+            cluster.add_subscriber_stable(*f);
+        }
+        cluster
+            .stabilize(10_000 + 50 * filters.len() as u64)
+            .expect("freshly built overlay stabilizes");
+        cluster
+    }
+
+    /// Suspends or resumes the periodic stabilization tick (the ∆
+    /// windows of Lemma 3.7 are simulated by suspending it).
+    pub fn set_stabilization_enabled(&mut self, enabled: bool) {
+        self.net.set_tick(enabled.then_some(DrtTimer::Tick));
+    }
+
+    /// Executes one round (refreshing the contact oracle first).
+    pub fn run_round(&mut self) {
+        let contact = self.contact();
+        let ids = self.net.ids();
+        for id in ids {
+            if let Some(n) = self.net.process_mut(id) {
+                n.set_contact_hint(contact.or(Some(id)));
+            }
+        }
+        self.net.run_round();
+    }
+
+    /// Executes `n` rounds.
+    pub fn run_rounds(&mut self, n: u64) {
+        for _ in 0..n {
+            self.run_round();
+        }
+    }
+
+    /// Runs until the configuration is legitimate (Definition 3.2).
+    /// Returns the number of rounds needed, or `None` on timeout.
+    pub fn stabilize(&mut self, max_rounds: u64) -> Option<u64> {
+        for executed in 0..=max_rounds {
+            if self.check_legal().is_ok() {
+                return Some(executed);
+            }
+            if executed == max_rounds {
+                break;
+            }
+            self.run_round();
+        }
+        None
+    }
+
+    /// Checks Definition 3.1/3.2 on the current global state.
+    ///
+    /// # Errors
+    ///
+    /// Returns every violated condition.
+    pub fn check_legal(&self) -> Result<(), Vec<Violation>> {
+        let v = legal::check_legal(&self.snapshot(), &self.config);
+        if v.is_empty() {
+            Ok(())
+        } else {
+            Err(v)
+        }
+    }
+
+    /// Clones the state of every live process.
+    pub fn snapshot(&self) -> Snapshot<D> {
+        self.net
+            .iter()
+            .map(|(id, n)| (id, n.state().clone()))
+            .collect()
+    }
+
+    /// The contact oracle (§3.2): the root of the largest tree
+    /// component — "a subscriber already in the structure".
+    pub fn contact(&self) -> Option<ProcessId> {
+        let tops: BTreeMap<ProcessId, ProcessId> = self
+            .net
+            .iter()
+            .map(|(id, n)| (id, n.parent_of(n.top())))
+            .collect();
+        let mut sizes: BTreeMap<ProcessId, usize> = BTreeMap::new();
+        for &start in tops.keys() {
+            let mut cur = start;
+            let mut hops = 0;
+            loop {
+                let parent = tops.get(&cur).copied();
+                match parent {
+                    Some(p) if p != cur && tops.contains_key(&p) && hops <= tops.len() => {
+                        cur = p;
+                        hops += 1;
+                    }
+                    _ => break,
+                }
+            }
+            *sizes.entry(cur).or_insert(0) += 1;
+        }
+        sizes
+            .into_iter()
+            .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+            .map(|(root, _)| root)
+    }
+
+    /// The overlay root (the contact, in a legal configuration).
+    pub fn root(&self) -> Option<ProcessId> {
+        self.contact()
+    }
+
+    /// Height of the main tree: the root's topmost level (leaf-only
+    /// root = 0). Lemma 3.1 bounds this by `O(log_m N)`.
+    pub fn height(&self) -> u32 {
+        self.root()
+            .and_then(|r| self.node(r))
+            .map_or(0, |n| n.top())
+    }
+
+    /// Controlled departure (Fig. 9): the subscriber announces `LEAVE`
+    /// to its parent, then disconnects.
+    pub fn controlled_leave(&mut self, id: ProcessId) {
+        if !self.net.is_alive(id) {
+            return;
+        }
+        self.net.send_external(id, DrtMessage::DepartRequest);
+        // One round for the request to arrive and the LEAVE to be sent …
+        self.run_round();
+        self.run_round();
+        // … then the process is gone.
+        self.net.crash(id);
+    }
+
+    /// Uncontrolled departure (crash failure): the subscriber vanishes
+    /// silently.
+    pub fn crash(&mut self, id: ProcessId) {
+        self.net.crash(id);
+    }
+
+    /// Applies an adversarial corruption to one subscriber's memory
+    /// (Lemma 3.6's transient faults). Returns `false` if it is dead.
+    pub fn corrupt(&mut self, id: ProcessId, kind: CorruptionKind) -> bool {
+        let universe = self.all_ids.clone();
+        self.net
+            .corrupt(id, |node, rng| kind.apply(node.state_mut(), &universe, rng))
+    }
+
+    /// Direct mutable access to a subscriber's state for custom faults.
+    pub fn corrupt_with(
+        &mut self,
+        id: ProcessId,
+        f: impl FnOnce(&mut NodeState<D>, &mut StdRng),
+    ) -> bool {
+        self.net.corrupt(id, |node, rng| f(node.state_mut(), rng))
+    }
+
+    /// Publishes `point` from `publisher` and accounts the outcome.
+    ///
+    /// Runs enough rounds for the event to traverse the tree twice over
+    /// (up and down) in a steady state.
+    pub fn publish_from(&mut self, publisher: ProcessId, point: Point<D>) -> PublishReport {
+        let event_id = self.next_event_id;
+        self.next_event_id += 1;
+        let event = PubEvent {
+            id: event_id,
+            point,
+            publisher,
+        };
+        let down_before = self.metrics().label_count("pub-down");
+        let up_before = self.metrics().label_count("pub-up");
+        self.net
+            .send_external(publisher, DrtMessage::PublishRequest { event });
+        let rounds = 2 * (u64::from(self.height()) + 2) + 2;
+        self.run_rounds(rounds);
+
+        let mut receivers = Vec::new();
+        let mut matching = Vec::new();
+        let mut false_positives = Vec::new();
+        let mut false_negatives = Vec::new();
+        for (id, node) in self.net.iter() {
+            if id == publisher {
+                continue;
+            }
+            let received = node.pubsub().has_seen(event_id);
+            let matches = node.filter().contains_point(&point);
+            if received {
+                receivers.push(id);
+            }
+            if matches {
+                matching.push(id);
+            }
+            if received && !matches {
+                false_positives.push(id);
+            }
+            if matches && !received {
+                false_negatives.push(id);
+            }
+        }
+        let messages = self.metrics().label_count("pub-down") - down_before
+            + self.metrics().label_count("pub-up")
+            - up_before;
+        PublishReport {
+            event_id,
+            receivers,
+            matching,
+            false_positives,
+            false_negatives,
+            messages,
+            rounds,
+        }
+    }
+
+    /// Maximum and mean per-process memory entries (Lemma 3.1's
+    /// `O(M log² N / log m)` quantity).
+    pub fn memory_stats(&self) -> (usize, f64) {
+        let mut max = 0usize;
+        let mut total = 0usize;
+        let mut count = 0usize;
+        for (_, n) in self.net.iter() {
+            let entries = n.state().memory_entries();
+            max = max.max(entries);
+            total += entries;
+            count += 1;
+        }
+        let mean = if count == 0 {
+            0.0
+        } else {
+            total as f64 / count as f64
+        };
+        (max, mean)
+    }
+
+    /// Maximum instance degree across the overlay.
+    pub fn max_degree_observed(&self) -> usize {
+        self.net
+            .iter()
+            .flat_map(|(_, n)| n.state().levels.values().map(|l| l.degree()))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+impl<const D: usize> std::fmt::Debug for DrTreeCluster<D> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DrTreeCluster")
+            .field("processes", &self.len())
+            .field("round", &self.round())
+            .field("height", &self.height())
+            .finish()
+    }
+}

@@ -1,0 +1,317 @@
+//! The asynchronous harness: the same overlay on the event-driven
+//! engine.
+//!
+//! [`DrTreeCluster`](crate::DrTreeCluster) counts synchronous rounds —
+//! the right ruler for the stabilization lemmas. [`AsyncDrTreeCluster`]
+//! runs the *identical* protocol code on
+//! [`drtree_sim::EventNetwork`]: message latencies are drawn from a
+//! latency model, messages can be lost, and every node paces its own
+//! stabilization tick ([`DrTreeConfig::tick_interval`]) — the paper's
+//! actual asynchronous system model (§2.1). The asynchronous
+//! integration tests show that legality, recovery and zero false
+//! negatives survive latency jitter and message loss.
+
+use rand::rngs::StdRng;
+
+use drtree_sim::{EventNetwork, Metrics, NetConfig, ProcessId};
+use drtree_spatial::{Point, Rect};
+
+use crate::cluster::PublishReport;
+use crate::config::DrTreeConfig;
+use crate::corruption::CorruptionKind;
+use crate::legal::{self, Snapshot, Violation};
+use crate::message::{DrtMessage, PubEvent};
+use crate::protocol::node::DrtNode;
+
+/// A DR-tree overlay on the asynchronous discrete-event engine.
+///
+/// # Example
+///
+/// ```
+/// use drtree_core::{AsyncDrTreeCluster, DrTreeConfig};
+/// use drtree_sim::{LatencyModel, NetConfig};
+/// use drtree_spatial::Rect;
+///
+/// let net = NetConfig {
+///     latency: LatencyModel::Uniform { min: 1, max: 4 },
+///     drop_probability: 0.0,
+/// };
+/// let mut config = DrTreeConfig::default();
+/// config.tick_interval = 8; // nodes pace their own stabilization
+/// config.failure_timeout = 6; // in ticks, scaled for jitter
+/// let mut cluster: AsyncDrTreeCluster<2> = AsyncDrTreeCluster::new(config, net, 7);
+/// for i in 0..12u32 {
+///     let x = f64::from(i % 4) * 20.0;
+///     let y = f64::from(i / 4) * 20.0;
+///     cluster.add_subscriber(Rect::new([x, y], [x + 25.0, y + 25.0]));
+/// }
+/// cluster.stabilize(200_000).expect("legal under asynchrony");
+/// ```
+pub struct AsyncDrTreeCluster<const D: usize> {
+    net: EventNetwork<DrtNode<D>>,
+    config: DrTreeConfig,
+    next_event_id: u64,
+    all_ids: Vec<ProcessId>,
+}
+
+impl<const D: usize> AsyncDrTreeCluster<D> {
+    /// Creates an empty asynchronous overlay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.tick_interval == 0` — asynchronous nodes must
+    /// pace their own ticks.
+    pub fn new(config: DrTreeConfig, net_config: NetConfig, seed: u64) -> Self {
+        assert!(
+            config.tick_interval > 0,
+            "asynchronous operation requires a self-arming tick_interval"
+        );
+        Self {
+            net: EventNetwork::new(net_config, seed),
+            config,
+            next_event_id: 0,
+            all_ids: Vec::new(),
+        }
+    }
+
+    /// The overlay configuration.
+    pub fn config(&self) -> &DrTreeConfig {
+        &self.config
+    }
+
+    /// Number of live subscribers.
+    pub fn len(&self) -> usize {
+        self.net.len()
+    }
+
+    /// `true` when no subscriber is live.
+    pub fn is_empty(&self) -> bool {
+        self.net.is_empty()
+    }
+
+    /// Ids of live subscribers.
+    pub fn ids(&self) -> Vec<ProcessId> {
+        self.net.ids()
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> u64 {
+        self.net.now()
+    }
+
+    /// Message metrics.
+    pub fn metrics(&self) -> &Metrics {
+        self.net.metrics()
+    }
+
+    /// Deterministic harness randomness.
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.net.rng()
+    }
+
+    /// Shared view of one subscriber.
+    pub fn node(&self, id: ProcessId) -> Option<&DrtNode<D>> {
+        self.net.process(id)
+    }
+
+    /// Adds a subscriber; it joins through the oracle as its ticks run.
+    pub fn add_subscriber(&mut self, filter: Rect<D>) -> ProcessId {
+        let node = DrtNode::new(self.config, filter);
+        let id = self.net.add_process(node);
+        self.all_ids.push(id);
+        self.refresh_hints();
+        id
+    }
+
+    /// Advances simulated time by `duration`, refreshing the contact
+    /// oracle at tick granularity.
+    pub fn run_for(&mut self, duration: u64) {
+        let step = self.config.tick_interval.max(1);
+        let deadline = self.net.now() + duration;
+        while self.net.now() < deadline {
+            let next = (self.net.now() + step).min(deadline);
+            self.refresh_hints();
+            self.net.run_until(next);
+        }
+    }
+
+    /// Runs until the configuration is legitimate, checking every tick
+    /// interval. Returns the simulated time consumed, or `None` if
+    /// `max_duration` elapses first.
+    pub fn stabilize(&mut self, max_duration: u64) -> Option<u64> {
+        let start = self.net.now();
+        let step = self.config.tick_interval.max(1);
+        loop {
+            if self.check_legal().is_ok() {
+                return Some(self.net.now() - start);
+            }
+            if self.net.now() - start >= max_duration {
+                return None;
+            }
+            self.run_for(step);
+        }
+    }
+
+    /// Checks Definition 3.1/3.2 on the current global state.
+    ///
+    /// # Errors
+    ///
+    /// Returns every violated condition.
+    pub fn check_legal(&self) -> Result<(), Vec<Violation>> {
+        let v = legal::check_legal(&self.snapshot(), &self.config);
+        if v.is_empty() {
+            Ok(())
+        } else {
+            Err(v)
+        }
+    }
+
+    /// Clones every live process's state.
+    pub fn snapshot(&self) -> Snapshot<D> {
+        self.net
+            .ids()
+            .into_iter()
+            .filter_map(|id| self.net.process(id).map(|n| (id, n.state().clone())))
+            .collect()
+    }
+
+    /// The contact oracle: root of the largest component.
+    pub fn contact(&self) -> Option<ProcessId> {
+        let tops: std::collections::BTreeMap<ProcessId, ProcessId> = self
+            .net
+            .ids()
+            .into_iter()
+            .filter_map(|id| self.net.process(id).map(|n| (id, n.parent_of(n.top()))))
+            .collect();
+        let mut sizes: std::collections::BTreeMap<ProcessId, usize> =
+            std::collections::BTreeMap::new();
+        for &start in tops.keys() {
+            let mut cur = start;
+            let mut hops = 0;
+            while let Some(&p) = tops.get(&cur) {
+                if p == cur || !tops.contains_key(&p) || hops > tops.len() {
+                    break;
+                }
+                cur = p;
+                hops += 1;
+            }
+            *sizes.entry(cur).or_insert(0) += 1;
+        }
+        sizes
+            .into_iter()
+            .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+            .map(|(root, _)| root)
+    }
+
+    /// The overlay root.
+    pub fn root(&self) -> Option<ProcessId> {
+        self.contact()
+    }
+
+    /// Height of the main tree.
+    pub fn height(&self) -> u32 {
+        self.root()
+            .and_then(|r| self.node(r))
+            .map_or(0, |n| n.top())
+    }
+
+    /// Uncontrolled departure.
+    pub fn crash(&mut self, id: ProcessId) {
+        self.net.crash(id);
+    }
+
+    /// Controlled departure (Fig. 9): deliver the depart request, give
+    /// the LEAVE a tick to propagate, then disconnect.
+    pub fn controlled_leave(&mut self, id: ProcessId) {
+        if !self.net.is_alive(id) {
+            return;
+        }
+        self.net.send_external(id, DrtMessage::DepartRequest);
+        self.run_for(2 * self.config.tick_interval);
+        self.net.crash(id);
+    }
+
+    /// Adversarial memory corruption (Lemma 3.6).
+    pub fn corrupt(&mut self, id: ProcessId, kind: CorruptionKind) -> bool {
+        let universe = self.all_ids.clone();
+        self.net
+            .corrupt(id, |node, rng| kind.apply(node.state_mut(), &universe, rng))
+    }
+
+    /// Publishes `point` from `publisher` and accounts the delivery
+    /// after letting the event propagate for `2·(height+2)` tick
+    /// intervals.
+    pub fn publish_from(&mut self, publisher: ProcessId, point: Point<D>) -> PublishReport {
+        let event_id = self.next_event_id;
+        self.next_event_id += 1;
+        let event = PubEvent {
+            id: event_id,
+            point,
+            publisher,
+        };
+        let down_before = self.metrics().label_count("pub-down");
+        let up_before = self.metrics().label_count("pub-up");
+        self.net
+            .send_external(publisher, DrtMessage::PublishRequest { event });
+        let duration = 2 * (u64::from(self.height()) + 2) * self.config.tick_interval;
+        self.run_for(duration);
+
+        let mut receivers = Vec::new();
+        let mut matching = Vec::new();
+        let mut false_positives = Vec::new();
+        let mut false_negatives = Vec::new();
+        for id in self.net.ids() {
+            if id == publisher {
+                continue;
+            }
+            let Some(node) = self.net.process(id) else {
+                continue;
+            };
+            let received = node.pubsub().has_seen(event_id);
+            let matches = node.filter().contains_point(&point);
+            if received {
+                receivers.push(id);
+            }
+            if matches {
+                matching.push(id);
+            }
+            if received && !matches {
+                false_positives.push(id);
+            }
+            if matches && !received {
+                false_negatives.push(id);
+            }
+        }
+        let messages = self.metrics().label_count("pub-down") - down_before
+            + self.metrics().label_count("pub-up")
+            - up_before;
+        PublishReport {
+            event_id,
+            receivers,
+            matching,
+            false_positives,
+            false_negatives,
+            messages,
+            rounds: duration,
+        }
+    }
+
+    fn refresh_hints(&mut self) {
+        let contact = self.contact();
+        for id in self.net.ids() {
+            if let Some(n) = self.net.process_mut(id) {
+                n.set_contact_hint(contact.or(Some(id)));
+            }
+        }
+    }
+}
+
+impl<const D: usize> std::fmt::Debug for AsyncDrTreeCluster<D> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AsyncDrTreeCluster")
+            .field("processes", &self.len())
+            .field("time", &self.now())
+            .field("height", &self.height())
+            .finish()
+    }
+}

@@ -1,0 +1,124 @@
+use drtree_rtree::RTreeConfig;
+
+/// Configuration of the false-positive-driven reorganization (§3.2
+/// "Dynamic Reorganizations", second mechanism).
+///
+/// "Under bias event workloads … each node computes its number of false
+/// positives, and the number of false positives that each of its
+/// children would have experienced if it had been in its place. If the
+/// former is higher than the latter … both nodes exchange their
+/// positions."
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FpReorgConfig {
+    /// Whether the mechanism runs at all (default: off — it targets
+    /// biased workloads; the ablation benches toggle it).
+    pub enabled: bool,
+    /// Events a node must observe at its topmost instance before it may
+    /// swap — guards against reacting to noise.
+    pub min_samples: u64,
+    /// Ticks during which a freshly FP-promoted node suspends its
+    /// area-based CHECK_COVER, so the traffic-driven and the MBR-driven
+    /// exchanges (both §3.2) do not oscillate.
+    pub cover_cooldown: u64,
+}
+
+impl Default for FpReorgConfig {
+    fn default() -> Self {
+        Self {
+            enabled: false,
+            min_samples: 32,
+            cover_cooldown: 64,
+        }
+    }
+}
+
+/// Configuration of a DR-tree overlay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DrTreeConfig {
+    /// Degree bounds `m`/`M` and the children-set split method (§3.2).
+    pub degree: RTreeConfig,
+    /// Ticks without a heartbeat after which a parent considers a child
+    /// dead (CHECK_CHILDREN) and a child considers its parent dead
+    /// (CHECK_PARENT). Realizes the paper's periodic checks plus an
+    /// eventually-perfect failure detector for uncontrolled departures.
+    pub failure_timeout: u64,
+    /// Ticks a joining node waits for an `Adopted` acknowledgment before
+    /// retrying its join through the contact oracle.
+    pub join_retry: u64,
+    /// Whether CHECK_COVER (Fig. 13) runs: promote a child over its
+    /// parent when the child's MBR offers better coverage. On by
+    /// default; the ablation benches disable it.
+    pub cover_swap: bool,
+    /// Self-arming tick period for the *event-driven* engine (time
+    /// units between stabilization ticks). `0` (the default) means the
+    /// engine drives ticks externally — the round engine's synchronous
+    /// daemon.
+    pub tick_interval: u64,
+    /// False-positive-driven reorganization (§3.2).
+    pub fp_reorg: FpReorgConfig,
+}
+
+impl Default for DrTreeConfig {
+    /// `m = 2`, `M = 4`, quadratic split, failure timeout of 4 ticks.
+    fn default() -> Self {
+        Self {
+            degree: RTreeConfig::default(),
+            failure_timeout: 4,
+            join_retry: 8,
+            cover_swap: true,
+            tick_interval: 0,
+            fp_reorg: FpReorgConfig::default(),
+        }
+    }
+}
+
+impl DrTreeConfig {
+    /// Convenience constructor from degree bounds, keeping every other
+    /// field at its default.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`drtree_rtree::ConfigError`] for invalid `m`/`M`.
+    pub fn with_degree(
+        m: usize,
+        max: usize,
+        split: drtree_rtree::SplitMethod,
+    ) -> Result<Self, drtree_rtree::ConfigError> {
+        Ok(Self {
+            degree: RTreeConfig::new(m, max, split)?,
+            ..Self::default()
+        })
+    }
+
+    /// Minimum children per non-root internal instance (`m`).
+    pub fn min_degree(&self) -> usize {
+        self.degree.min_entries()
+    }
+
+    /// Maximum children per instance (`M`).
+    pub fn max_degree(&self) -> usize {
+        self.degree.max_entries()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drtree_rtree::SplitMethod;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = DrTreeConfig::default();
+        assert_eq!(c.min_degree(), 2);
+        assert_eq!(c.max_degree(), 4);
+        assert!(c.cover_swap);
+        assert!(!c.fp_reorg.enabled);
+        assert!(c.failure_timeout >= 1);
+    }
+
+    #[test]
+    fn with_degree_validates() {
+        assert!(DrTreeConfig::with_degree(3, 9, SplitMethod::Linear).is_ok());
+        assert!(DrTreeConfig::with_degree(3, 5, SplitMethod::Linear).is_err());
+    }
+}

@@ -1,0 +1,191 @@
+//! Adversarial state corruption for the stabilization experiments
+//! (paper Lemma 3.6: "Let c be an initial arbitrary configuration …
+//! the system reaches a legitimate configuration in a finite number of
+//! steps").
+//!
+//! Each [`CorruptionKind`] mutates a node's *corruptible* memory — the
+//! per-level `parent`, `children`, `mbr` and `underloaded` variables
+//! (the filter is constant and non-corruptible per §3.2). Strategies
+//! are deliberately nasty: dangling references, forged children, wrong
+//! MBRs, phantom instances, total wipes.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use drtree_sim::ProcessId;
+use drtree_spatial::Rect;
+
+use crate::state::{ChildInfo, LevelState, NodeState};
+
+/// A family of adversarial mutations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorruptionKind {
+    /// Point parent pointers at arbitrary (possibly dead) processes.
+    RandomParents,
+    /// Replace cached child MBRs with arbitrary rectangles.
+    ScrambleChildMbrs,
+    /// Insert children entries referencing arbitrary process ids.
+    ForgeChildren,
+    /// Overwrite instance MBRs with arbitrary rectangles (CHECK_MBR's
+    /// target fault).
+    ScrambleOwnMbrs,
+    /// Invert every underloaded flag (Fig. 12's target fault).
+    FlipUnderloaded,
+    /// Add a bogus instance one level above the top.
+    PhantomInstance,
+    /// Remove a random instance, breaking contiguity.
+    DropInstance,
+    /// Erase all instances (total memory loss short of the filter).
+    Wipe,
+}
+
+impl CorruptionKind {
+    /// All strategies, for sweep experiments.
+    pub const ALL: [CorruptionKind; 8] = [
+        CorruptionKind::RandomParents,
+        CorruptionKind::ScrambleChildMbrs,
+        CorruptionKind::ForgeChildren,
+        CorruptionKind::ScrambleOwnMbrs,
+        CorruptionKind::FlipUnderloaded,
+        CorruptionKind::PhantomInstance,
+        CorruptionKind::DropInstance,
+        CorruptionKind::Wipe,
+    ];
+
+    /// Applies the mutation to `state`, drawing arbitrary values from
+    /// `rng`. `universe` is the pool of process ids the adversary may
+    /// reference (typically all ids ever allocated, dead ones included).
+    pub fn apply<const D: usize>(
+        &self,
+        state: &mut NodeState<D>,
+        universe: &[ProcessId],
+        rng: &mut StdRng,
+    ) {
+        let pick = |rng: &mut StdRng| -> ProcessId {
+            if universe.is_empty() {
+                ProcessId::from_raw(rng.gen_range(0..1_000_000))
+            } else {
+                universe[rng.gen_range(0..universe.len())]
+            }
+        };
+        match self {
+            CorruptionKind::RandomParents => {
+                for inst in state.levels.values_mut() {
+                    inst.parent = pick(rng);
+                }
+            }
+            CorruptionKind::ScrambleChildMbrs => {
+                for inst in state.levels.values_mut() {
+                    for info in inst.children.values_mut() {
+                        info.mbr = random_rect(rng);
+                    }
+                }
+            }
+            CorruptionKind::ForgeChildren => {
+                let forged: Vec<ProcessId> = (0..3).map(|_| pick(rng)).collect();
+                for inst in state.levels.values_mut() {
+                    for &f in &forged {
+                        inst.children.insert(
+                            f,
+                            ChildInfo {
+                                mbr: random_rect(rng),
+                                filter: random_rect(rng),
+                                count: rng.gen_range(0..9),
+                                underloaded: rng.gen_bool(0.5),
+                                last_seen: u64::MAX / 2, // looks fresh
+                            },
+                        );
+                    }
+                }
+            }
+            CorruptionKind::ScrambleOwnMbrs => {
+                for inst in state.levels.values_mut() {
+                    inst.mbr = random_rect(rng);
+                }
+            }
+            CorruptionKind::FlipUnderloaded => {
+                for inst in state.levels.values_mut() {
+                    inst.underloaded = !inst.underloaded;
+                }
+            }
+            CorruptionKind::PhantomInstance => {
+                let top = state.top();
+                let owner = pick(rng);
+                let mut inst = LevelState::leaf(owner, random_rect(rng), 0);
+                inst.parent = pick(rng);
+                inst.children.insert(
+                    pick(rng),
+                    ChildInfo {
+                        mbr: random_rect(rng),
+                        filter: random_rect(rng),
+                        count: 1,
+                        underloaded: false,
+                        last_seen: u64::MAX / 2,
+                    },
+                );
+                state.levels.insert(top + 2, inst);
+            }
+            CorruptionKind::DropInstance => {
+                let keys: Vec<_> = state.levels.keys().copied().collect();
+                if !keys.is_empty() {
+                    let level = keys[rng.gen_range(0..keys.len())];
+                    state.levels.remove(&level);
+                }
+            }
+            CorruptionKind::Wipe => {
+                state.levels.clear();
+            }
+        }
+    }
+}
+
+fn random_rect<const D: usize>(rng: &mut StdRng) -> Rect<D> {
+    let mut lo = [0.0; D];
+    let mut hi = [0.0; D];
+    for i in 0..D {
+        let a: f64 = rng.gen_range(-100.0..100.0);
+        let b: f64 = rng.gen_range(0.0..50.0);
+        lo[i] = a;
+        hi[i] = a + b;
+    }
+    Rect::new(lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn node() -> NodeState<2> {
+        NodeState::new_leaf(ProcessId::from_raw(0), Rect::new([0.0, 0.0], [1.0, 1.0]))
+    }
+
+    #[test]
+    fn every_strategy_applies_without_panicking() {
+        let universe: Vec<ProcessId> = (0..10).map(ProcessId::from_raw).collect();
+        for kind in CorruptionKind::ALL {
+            let mut rng = StdRng::seed_from_u64(7);
+            let mut st = node();
+            kind.apply(&mut st, &universe, &mut rng);
+            // The filter must never change (non-corruptible).
+            assert_eq!(st.filter, Rect::new([0.0, 0.0], [1.0, 1.0]), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn wipe_clears_levels() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut st = node();
+        CorruptionKind::Wipe.apply(&mut st, &[], &mut rng);
+        assert!(st.levels.is_empty());
+    }
+
+    #[test]
+    fn phantom_breaks_contiguity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut st = node();
+        CorruptionKind::PhantomInstance.apply(&mut st, &[], &mut rng);
+        assert!(st.levels.contains_key(&2));
+        assert!(!st.levels.contains_key(&1));
+    }
+}

@@ -1,0 +1,298 @@
+//! Protocol messages of the DR-tree overlay.
+//!
+//! Each variant corresponds to a message or remote procedure of the
+//! paper's pseudo-code (Figures 8–14), translated to an explicitly
+//! asynchronous message-passing style: where the pseudo-code reads a
+//! neighbor's variable directly (shared-memory style), the protocol here
+//! carries the same information in [`ChildSummary`] payloads refreshed by
+//! periodic heartbeats.
+
+use drtree_sim::{MessageLabel, ProcessId};
+use drtree_spatial::{Point, Rect};
+
+use crate::state::Level;
+
+/// What a parent knows about one child instance: the child's cached MBR,
+/// its (constant) filter, its degree and underloaded flag.
+///
+/// This is exactly the per-child state the pseudo-code reads remotely:
+/// `mbr^{l+1}_q` (Figures 7/10/13), `underloaded^{l+1}_q` and
+/// `|C^{l+1}_q|` (Figure 14), and `filter_q` (`Best_Set_Cover`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChildSummary<const D: usize> {
+    /// The child process.
+    pub id: ProcessId,
+    /// MBR of the child instance (equals its filter for leaf instances).
+    pub mbr: Rect<D>,
+    /// The child's subscription filter (constant).
+    pub filter: Rect<D>,
+    /// Number of children of the child instance (0 for leaves).
+    pub count: usize,
+    /// The child instance's underloaded flag (Fig. 12).
+    pub underloaded: bool,
+}
+
+/// One level taken over in an [`DrtMessage::AssumeRole`] transfer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LevelTransfer<const D: usize> {
+    /// The level of the instance the receiver must create.
+    pub level: Level,
+    /// The children of that instance, *excluding* the receiver's own
+    /// self-child entry (the receiver inserts that itself).
+    pub children: Vec<ChildSummary<D>>,
+}
+
+/// A published event in flight.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PubEvent<const D: usize> {
+    /// Harness-assigned unique id, used for delivery accounting and as a
+    /// routing-loop guard while the structure is corrupted.
+    pub id: u64,
+    /// The event point (§2.1: an event is a point in attribute space).
+    pub point: Point<D>,
+    /// The producing subscriber.
+    pub publisher: ProcessId,
+}
+
+/// Timers driving the periodic behavior of a DR-tree node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DrtTimer {
+    /// The periodic stabilization tick: heartbeats plus the CHECK_MBR /
+    /// CHECK_PARENT / CHECK_CHILDREN / CHECK_COVER / CHECK_STRUCTURE
+    /// modules, exactly the events the paper triggers "periodically for
+    /// each level where the subscriber is active" (§3.3).
+    Tick,
+}
+
+/// Messages of the DR-tree protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DrtMessage<const D: usize> {
+    /// Join request (Fig. 8 `JOIN`), also used to re-attach whole
+    /// subtrees after failures (Fig. 11) and to merge trees. The joiner
+    /// attaches the subtree rooted at its topmost instance (`top_level`;
+    /// 0 for a fresh subscriber).
+    Join {
+        /// The joining process.
+        joiner: ProcessId,
+        /// Level of the joiner's topmost instance.
+        top_level: Level,
+        /// MBR of that instance.
+        mbr: Rect<D>,
+        /// The joiner's filter.
+        filter: Rect<D>,
+        /// Degree of the joiner's topmost instance.
+        count: usize,
+        /// `None`: route toward the root first (the paper: the request
+        /// "is recursively redirected upward the tree until it reaches
+        /// the root"). `Some(l)`: descend — handle at the receiver's
+        /// instance at level `l`.
+        descend: Option<Level>,
+    },
+    /// The receiving root's tree is shorter than the joining subtree;
+    /// the joiner must dissolve its instance at `level` and let each
+    /// child subtree rejoin on its own.
+    JoinTooTall {
+        /// The joiner instance level to dissolve.
+        level: Level,
+    },
+    /// Ask the receiver to adopt `child` at the receiver's instance at
+    /// `level + 1` (Fig. 8 `ADD_CHILD`).
+    AddChild {
+        /// Level of the child's topmost instance.
+        level: Level,
+        /// The child's summary.
+        summary: ChildSummary<D>,
+    },
+    /// Parent → child: "you are now my child at `level`"
+    /// (the `parent_q ← p` assignment of `Adjust_Children`, Fig. 7).
+    Adopted {
+        /// The child's instance level.
+        level: Level,
+    },
+    /// Receiver must create the instances in `transfers` (contiguous,
+    /// starting right above its current topmost instance). Used for the
+    /// `Adjust_Parent` role exchange (Figs. 7/13), for handing the
+    /// second half of a split to its elected leader, and for growing a
+    /// new root. `parent == receiver` means the receiver becomes the
+    /// root.
+    AssumeRole {
+        /// Levels to take over, ascending.
+        transfers: Vec<LevelTransfer<D>>,
+        /// Parent of the topmost transferred instance.
+        parent: ProcessId,
+        /// `true` when the transfer is a §3.2 false-positive-driven
+        /// promotion: the receiver suspends its area-based CHECK_COVER
+        /// for a cooldown so the two reorganization rules do not
+        /// oscillate (see `FpReorgConfig::cover_cooldown`).
+        fp_promotion: bool,
+    },
+    /// Your parent at `level` (your topmost instance) is now
+    /// `new_parent` (children-set handover during splits/exchanges).
+    ReparentTo {
+        /// The receiver's instance level.
+        level: Level,
+        /// The new parent.
+        new_parent: ProcessId,
+    },
+    /// In the receiver's instance at `level`, replace child `old` with
+    /// the summarized child (role exchanges seen from the old parent).
+    ReplaceChild {
+        /// The receiver's instance level.
+        level: Level,
+        /// Child to remove.
+        old: ProcessId,
+        /// Child to insert instead.
+        summary: ChildSummary<D>,
+    },
+    /// Periodic child → parent refresh (realizes the remote reads of the
+    /// CHECK modules and the failure detector for uncontrolled leaves).
+    Heartbeat {
+        /// The sender's (child's) instance level.
+        level: Level,
+        /// Fresh summary of the sender's instance.
+        summary: ChildSummary<D>,
+    },
+    /// Parent → child heartbeat acknowledgment. `still_child == false`
+    /// triggers the CHECK_PARENT repair (Fig. 11): the child rejoins.
+    HeartbeatAck {
+        /// The child's instance level.
+        level: Level,
+        /// Whether the parent still lists the sender as child.
+        still_child: bool,
+    },
+    /// Controlled departure (Fig. 9): the sender (child at `level`)
+    /// leaves the system.
+    Leave {
+        /// The leaver's topmost instance level.
+        level: Level,
+    },
+    /// Run the CHECK_STRUCTURE module now at the receiver's instance at
+    /// `level` (sent by underloaded children, Fig. 9).
+    CheckStructure {
+        /// The receiver's instance level.
+        level: Level,
+    },
+    /// Compaction (Fig. 14 `Compact`/`Merge_Children`): the receiver
+    /// must dissolve its instance at `level` and hand its children to
+    /// `into`.
+    MergeInto {
+        /// The receiver's instance level to dissolve.
+        level: Level,
+        /// The elected survivor.
+        into: ProcessId,
+    },
+    /// Compaction companion: absorb these children into the receiver's
+    /// instance at `level`.
+    AdoptChildren {
+        /// The receiver's instance level.
+        level: Level,
+        /// Children handed over.
+        children: Vec<ChildSummary<D>>,
+    },
+    /// Fig. 14 `INITIATE_NEW_CONNECTION`: dissolve the subtree below the
+    /// receiver's instance at `level`; every leaf rejoins through the
+    /// contact oracle.
+    InitiateNewConnection {
+        /// The receiver's instance level.
+        level: Level,
+    },
+    /// Instruct the receiver to re-attach the subtree rooted at its
+    /// instance at `level` via the oracle (JoinTooTall cascade).
+    RejoinSubtree {
+        /// The receiver's instance level.
+        level: Level,
+    },
+    /// Harness-injected request to perform a controlled departure: the
+    /// receiver announces `LEAVE` to its parent (Fig. 9) before being
+    /// disconnected.
+    DepartRequest,
+    /// Ask the receiver to publish an event it produced (harness-
+    /// injected; the paper's "event produced by a node n").
+    PublishRequest {
+        /// The event.
+        event: PubEvent<D>,
+    },
+    /// Event propagating down a subtree (§2.3: "an interior node
+    /// forwards the event to each of its children whose MBR contains the
+    /// event").
+    PubDown {
+        /// The event.
+        event: PubEvent<D>,
+        /// The receiver's instance level.
+        level: Level,
+    },
+    /// Event propagating up toward the root (§3: "propagated upwards the
+    /// root … and down every sibling subtree encountered on the path").
+    PubUp {
+        /// The event.
+        event: PubEvent<D>,
+        /// The *sender's* instance level (the receiver handles it at
+        /// `level + 1`).
+        level: Level,
+    },
+}
+
+impl<const D: usize> MessageLabel for DrtMessage<D> {
+    fn label(&self) -> &'static str {
+        match self {
+            DrtMessage::Join { .. } => "join",
+            DrtMessage::JoinTooTall { .. } => "join-too-tall",
+            DrtMessage::AddChild { .. } => "add-child",
+            DrtMessage::Adopted { .. } => "adopted",
+            DrtMessage::AssumeRole { .. } => "assume-role",
+            DrtMessage::ReparentTo { .. } => "reparent",
+            DrtMessage::ReplaceChild { .. } => "replace-child",
+            DrtMessage::Heartbeat { .. } => "heartbeat",
+            DrtMessage::HeartbeatAck { .. } => "hb-ack",
+            DrtMessage::Leave { .. } => "leave",
+            DrtMessage::CheckStructure { .. } => "check-structure",
+            DrtMessage::MergeInto { .. } => "merge-into",
+            DrtMessage::AdoptChildren { .. } => "adopt-children",
+            DrtMessage::InitiateNewConnection { .. } => "inc",
+            DrtMessage::RejoinSubtree { .. } => "rejoin-subtree",
+            DrtMessage::DepartRequest => "depart-request",
+            DrtMessage::PublishRequest { .. } => "pub-request",
+            DrtMessage::PubDown { .. } => "pub-down",
+            DrtMessage::PubUp { .. } => "pub-up",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_distinct_for_core_messages() {
+        let filter = Rect::new([0.0], [1.0]);
+        let summary = ChildSummary {
+            id: ProcessId::from_raw(1),
+            mbr: filter,
+            filter,
+            count: 0,
+            underloaded: false,
+        };
+        let msgs: Vec<DrtMessage<1>> = vec![
+            DrtMessage::Join {
+                joiner: ProcessId::from_raw(1),
+                top_level: 0,
+                mbr: filter,
+                filter,
+                count: 0,
+                descend: None,
+            },
+            DrtMessage::AddChild { level: 0, summary },
+            DrtMessage::Adopted { level: 0 },
+            DrtMessage::Heartbeat { level: 0, summary },
+            DrtMessage::HeartbeatAck {
+                level: 0,
+                still_child: true,
+            },
+            DrtMessage::Leave { level: 0 },
+        ];
+        let mut labels: Vec<&str> = msgs.iter().map(|m| m.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), msgs.len());
+    }
+}

@@ -1,0 +1,363 @@
+//! The join phase (paper Fig. 8) and its extensions.
+//!
+//! A joining subscriber asks the contact oracle for a node already in
+//! the structure and sends it a `JOIN`. The request "is recursively
+//! redirected upward the tree until it reaches the root", then descends:
+//! each node on the way down enlarges its MBR and forwards the request
+//! to the child "whose MBR needs the less adjustment to encompass the
+//! filter of the joining subscriber", until the last non-leaf level adds
+//! the joiner as a child (`ADD_CHILD`).
+//!
+//! Joins are generalized to *subtree* joins (the paper's Fig. 11 rejoin
+//! sends `JOIN(p, l)` with a level): a subtree of height `k` descends to
+//! an instance at level `k+1` so the tree stays height-balanced. Two
+//! special cases arise when whole trees merge after failures:
+//!
+//! * equal heights — a new root is elected over both trees by largest
+//!   MBR (the Fig. 6 rule);
+//! * the receiving tree is *shorter* than the joining subtree — the
+//!   joiner dissolves its top instance and each child subtree rejoins
+//!   on its own ([`DrtMessage::JoinTooTall`]).
+
+use crate::message::{ChildSummary, DrtMessage, LevelTransfer};
+use crate::state::{ChildInfo, Level, LevelState};
+
+use super::node::{Ctx, DrtNode};
+use drtree_sim::ProcessId;
+
+impl<const D: usize> DrtNode<D> {
+    /// Entry point for `JOIN` messages.
+    pub(crate) fn handle_join(
+        &mut self,
+        joiner: ChildSummary<D>,
+        top_level: Level,
+        descend: Option<Level>,
+        ctx: &mut Ctx<'_, D>,
+    ) {
+        if joiner.id == self.id {
+            // The oracle handed the joiner itself (it *is* the main
+            // root); nothing to do.
+            return;
+        }
+        let forward = DrtMessage::Join {
+            joiner: joiner.id,
+            top_level,
+            mbr: joiner.mbr,
+            filter: joiner.filter,
+            count: joiner.count,
+            descend: None,
+        };
+        match descend {
+            None => {
+                if self.believes_root() {
+                    self.descend_join(self.top(), joiner, top_level, ctx);
+                } else {
+                    // Redirect upward until the root is reached.
+                    ctx.send(self.parent_of(self.top()), forward);
+                }
+            }
+            Some(level) => {
+                if self.state.level(level).is_some() {
+                    self.descend_join(level, joiner, top_level, ctx);
+                } else if self.believes_root() {
+                    self.descend_join(self.top(), joiner, top_level, ctx);
+                } else {
+                    // Stale descent (structure changed under the
+                    // request): restart from the root.
+                    ctx.send(self.parent_of(self.top()), forward);
+                }
+            }
+        }
+    }
+
+    /// Downward phase of Fig. 8, starting at the own instance at
+    /// `level`. The joiner's subtree has height `top_level`, so it must
+    /// end up as child of an instance at `top_level + 1`.
+    fn descend_join(
+        &mut self,
+        mut level: Level,
+        joiner: ChildSummary<D>,
+        top_level: Level,
+        ctx: &mut Ctx<'_, D>,
+    ) {
+        loop {
+            let target = top_level + 1;
+            if level < target {
+                // Only reachable at the root of a tree not taller than
+                // the joining subtree.
+                if level == top_level {
+                    self.merge_equal_height_trees(joiner, ctx);
+                } else {
+                    ctx.send(joiner.id, DrtMessage::JoinTooTall { level: top_level });
+                }
+                return;
+            }
+            if level == target {
+                self.add_child(level, joiner, ctx);
+                return;
+            }
+            // level > target: enlarge and route down the best child.
+            let Some(inst) = self.state.level_mut(level) else {
+                return;
+            };
+            inst.mbr.enlarge_to_cover(&joiner.mbr);
+            let own = self.id;
+            let inst = self.state.level(level).expect("instance exists");
+            let best = choose_best_child(inst, &joiner)
+                .expect("internal instances have at least the self child");
+            if best == own {
+                level -= 1;
+                continue;
+            }
+            ctx.send(
+                best,
+                DrtMessage::Join {
+                    joiner: joiner.id,
+                    top_level,
+                    mbr: joiner.mbr,
+                    filter: joiner.filter,
+                    count: joiner.count,
+                    descend: Some(level - 1),
+                },
+            );
+            return;
+        }
+    }
+
+    /// Two trees of equal height merge: a fresh root is elected over
+    /// both by largest MBR (the Fig. 6 root-election rule).
+    fn merge_equal_height_trees(&mut self, joiner: ChildSummary<D>, ctx: &mut Ctx<'_, D>) {
+        let k = self.top();
+        let own = self.own_summary(k);
+        if better_cover(&own, &joiner) {
+            // This node stays root: grow an instance above both trees.
+            let mut inst = LevelState::leaf(self.id, self.state.filter, self.now);
+            inst.children
+                .insert(self.id, ChildInfo::from_summary(&own, self.now));
+            inst.children
+                .insert(joiner.id, ChildInfo::from_summary(&joiner, self.now));
+            inst.recompute_mbr();
+            inst.underloaded = inst.degree() < self.m();
+            inst.parent = self.id;
+            self.state.levels.insert(k + 1, inst);
+            ctx.send(joiner.id, DrtMessage::Adopted { level: k });
+        } else {
+            // The joiner provides better coverage: it becomes the root
+            // over both trees.
+            ctx.send(
+                joiner.id,
+                DrtMessage::AssumeRole {
+                    transfers: vec![LevelTransfer {
+                        level: k + 1,
+                        children: vec![own],
+                    }],
+                    parent: joiner.id,
+                    fp_promotion: false,
+                },
+            );
+            let now = self.now;
+            if let Some(top) = self.state.level_mut(k) {
+                top.parent = joiner.id;
+                top.last_parent_ack = now;
+            }
+            self.join_sent_at = None;
+        }
+    }
+
+    /// Fig. 8 `ADD_CHILD`: adopt `child` (topmost instance at
+    /// `parent_level − 1`) into the own instance at `parent_level`.
+    pub(crate) fn add_child(
+        &mut self,
+        parent_level: Level,
+        child: ChildSummary<D>,
+        ctx: &mut Ctx<'_, D>,
+    ) {
+        if self.state.level(parent_level).is_none() || child.id == self.id {
+            return;
+        }
+        // `Adjust_Children` (Fig. 7): C ← C ∪ {q}, mbr ← mbr ∪ mbr_q,
+        // parent_q ← p.
+        self.cache_child(parent_level, &child);
+        let m = self.m();
+        {
+            let inst = self.state.level_mut(parent_level).expect("checked");
+            inst.mbr.enlarge_to_cover(&child.mbr);
+            inst.underloaded = inst.degree() < m;
+        }
+        ctx.send(
+            child.id,
+            DrtMessage::Adopted {
+                level: parent_level - 1,
+            },
+        );
+        let degree = self.state.level(parent_level).expect("checked").degree();
+        if degree > self.max_degree() {
+            self.split_level(parent_level, ctx);
+        } else if self.config.cover_swap {
+            // Fig. 8: `if Is_Better_MBR_Cover(p, q, l) then Adjust_Parent`
+            // — the new child covers more than this node's own instance
+            // one level below, so the roles swap.
+            let own_below = self
+                .own_mbr(parent_level - 1)
+                .expect("contiguous instances");
+            if child.mbr.area() > own_below.area() {
+                self.exchange_roles(parent_level, child.id, ctx);
+            }
+        }
+    }
+
+    /// `ADD_CHILD` arriving by message (from a child that split).
+    pub(crate) fn handle_add_child(
+        &mut self,
+        child_top: Level,
+        summary: ChildSummary<D>,
+        ctx: &mut Ctx<'_, D>,
+    ) {
+        self.add_child(child_top + 1, summary, ctx);
+    }
+
+    /// Confirmation from a parent (`parent_q ← p`): effective only for
+    /// the topmost instance.
+    pub(crate) fn handle_adopted(&mut self, from: ProcessId, level: Level) {
+        if level != self.top() {
+            return;
+        }
+        let now = self.now;
+        if let Some(inst) = self.state.level_mut(level) {
+            inst.parent = from;
+            inst.last_parent_ack = now;
+        }
+        self.join_sent_at = None;
+    }
+
+    /// The receiving tree was shorter than this joining subtree: drop
+    /// the top instance; each child subtree rejoins on its own.
+    pub(crate) fn handle_join_too_tall(&mut self, level: Level, ctx: &mut Ctx<'_, D>) {
+        if level != self.top() || level == 0 {
+            return;
+        }
+        let Some(inst) = self.state.levels.remove(&level) else {
+            return;
+        };
+        for (&c, _) in inst.children.iter().filter(|(&c, _)| c != self.id) {
+            ctx.send(c, DrtMessage::RejoinSubtree { level: level - 1 });
+        }
+        self.become_root();
+    }
+
+    /// Detach the subtree rooted at the own instance at `level` and
+    /// rejoin it through the oracle on the next tick.
+    pub(crate) fn handle_rejoin_subtree(&mut self, level: Level) {
+        if level != self.top() {
+            return;
+        }
+        self.become_root();
+    }
+
+    /// Join (or merge) into the main tree through the contact oracle —
+    /// invoked from CHECK_PARENT while this node believes it is a root.
+    pub(crate) fn try_join_via_oracle(&mut self, ctx: &mut Ctx<'_, D>) {
+        let Some(contact) = self.contact_hint else {
+            return;
+        };
+        if contact == self.id {
+            return; // we are the main root
+        }
+        if let Some(sent) = self.join_sent_at {
+            if self.now.saturating_sub(sent) < self.config.join_retry {
+                return; // a join attempt is still in flight
+            }
+        }
+        let top = self.top();
+        let Some(own) = self.state.summary_at(self.id, top) else {
+            return;
+        };
+        ctx.send(
+            contact,
+            DrtMessage::Join {
+                joiner: self.id,
+                top_level: top,
+                mbr: own.mbr,
+                filter: own.filter,
+                count: own.count,
+                descend: None,
+            },
+        );
+        self.join_sent_at = Some(self.now);
+    }
+}
+
+/// `Choose_Best_Child` (§3.2): the child "whose MBR needs the less
+/// adjustment to encompass the filter of the joining subscriber"; ties
+/// broken by smaller area, then smaller id (deterministic).
+fn choose_best_child<const D: usize>(
+    inst: &LevelState<D>,
+    joiner: &ChildSummary<D>,
+) -> Option<ProcessId> {
+    let mut best: Option<(f64, f64, ProcessId)> = None;
+    for (&c, info) in &inst.children {
+        let grow = info.mbr.enlargement(&joiner.mbr);
+        let area = info.mbr.area();
+        let better = match best {
+            None => true,
+            Some((bg, ba, _)) => grow < bg || (grow == bg && area < ba),
+        };
+        if better {
+            best = Some((grow, area, c));
+        }
+    }
+    best.map(|(_, _, c)| c)
+}
+
+/// Root election between two candidates (Fig. 6): the larger MBR wins;
+/// ties keep the first operand (deterministically, the current holder).
+fn better_cover<const D: usize>(a: &ChildSummary<D>, b: &ChildSummary<D>) -> bool {
+    a.mbr.area() >= b.mbr.area()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drtree_spatial::Rect;
+
+    fn summary(raw: u64, lo: f64, hi: f64) -> ChildSummary<1> {
+        let r = Rect::new([lo], [hi]);
+        ChildSummary {
+            id: ProcessId::from_raw(raw),
+            mbr: r,
+            filter: r,
+            count: 0,
+            underloaded: false,
+        }
+    }
+
+    #[test]
+    fn best_child_minimizes_enlargement() {
+        let mut inst: LevelState<1> =
+            LevelState::leaf(ProcessId::from_raw(0), Rect::new([0.0], [1.0]), 0);
+        for (raw, lo, hi) in [(1u64, 0.0, 10.0), (2, 20.0, 30.0)] {
+            let s = summary(raw, lo, hi);
+            inst.children.insert(s.id, ChildInfo::from_summary(&s, 0));
+        }
+        let joiner = summary(9, 21.0, 22.0);
+        assert_eq!(
+            choose_best_child(&inst, &joiner),
+            Some(ProcessId::from_raw(2))
+        );
+        let joiner2 = summary(9, 1.0, 2.0);
+        assert_eq!(
+            choose_best_child(&inst, &joiner2),
+            Some(ProcessId::from_raw(1))
+        );
+    }
+
+    #[test]
+    fn better_cover_prefers_larger_then_holder() {
+        let big = summary(1, 0.0, 100.0);
+        let small = summary(2, 0.0, 1.0);
+        assert!(better_cover(&big, &small));
+        assert!(!better_cover(&small, &big));
+        // tie: first operand (current holder) wins
+        assert!(better_cover(&small, &summary(3, 5.0, 6.0)));
+    }
+}

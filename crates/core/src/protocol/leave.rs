@@ -1,0 +1,63 @@
+//! Controlled departures (paper Fig. 9).
+//!
+//! A subscriber leaves "by sending a leave message to the parent of its
+//! topmost instance". The parent removes it from the children set and
+//! recomputes its MBR; if the removal leaves the children set
+//! underloaded, the parent asks *its* parent to run CHECK_STRUCTURE
+//! (compaction). "For simplicity, we rely on the stabilization
+//! mechanisms for repairing the subtree rooted at the departing node" —
+//! orphans detect the dead parent through heartbeat timeouts and rejoin
+//! with their subtrees intact.
+
+use drtree_sim::ProcessId;
+
+use crate::message::DrtMessage;
+use crate::state::Level;
+
+use super::node::{Ctx, DrtNode};
+
+impl<const D: usize> DrtNode<D> {
+    /// `LEAVE(q, l)` (Fig. 9): `leaver`'s topmost instance at
+    /// `child_level` departs; this node is its parent.
+    pub(crate) fn handle_leave(
+        &mut self,
+        leaver: ProcessId,
+        child_level: Level,
+        ctx: &mut Ctx<'_, D>,
+    ) {
+        let level = child_level + 1;
+        let m = self.m();
+        let Some(inst) = self.state.level_mut(level) else {
+            return;
+        };
+        if inst.children.remove(&leaver).is_none() {
+            return;
+        }
+        inst.recompute_mbr();
+        inst.underloaded = inst.degree() < m;
+        let underloaded = inst.underloaded;
+        let is_root_here =
+            level == self.top() && self.state.level(level).is_some_and(|l| l.parent == self.id);
+        if underloaded && !is_root_here {
+            // Fig. 9: "send CHECK_STRUCTURE to parent" — the parent
+            // compacts its underloaded children (this node among them).
+            let parent = self.parent_of(level);
+            if parent == self.id {
+                self.check_structure(level + 1, ctx);
+            } else {
+                ctx.send(parent, DrtMessage::CheckStructure { level: level + 1 });
+            }
+        }
+    }
+
+    /// Controlled-departure initiation: the harness asks this node to
+    /// leave; it notifies the parent of its topmost instance (Fig. 9)
+    /// and is then removed from the network.
+    pub(crate) fn announce_departure(&mut self, ctx: &mut Ctx<'_, D>) {
+        let top = self.top();
+        let parent = self.parent_of(top);
+        if parent != self.id {
+            ctx.send(parent, DrtMessage::Leave { level: top });
+        }
+    }
+}

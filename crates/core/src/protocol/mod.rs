@@ -1,0 +1,22 @@
+//! The DR-tree node protocol.
+//!
+//! [`node::DrtNode`] implements [`drtree_sim::Process`]; the remaining
+//! modules contribute `impl` blocks grouped by paper figure:
+//!
+//! * [`join`] — the join phase (Fig. 8) including subtree re-attachment
+//!   and tree merging;
+//! * [`split`] — `Split_Node` + root election (Fig. 6, §3.2);
+//! * [`leave`] — controlled departures (Fig. 9);
+//! * [`stabilize`] — the periodic repair modules (Figs. 10–14):
+//!   CHECK_MBR, CHECK_PARENT, CHECK_CHILDREN, CHECK_COVER,
+//!   CHECK_STRUCTURE with compaction, and INITIATE_NEW_CONNECTION;
+//! * [`dissemination`] — event routing (§2.3, §3);
+//! * [`reorg`] — the false-positive-driven position exchange (§3.2).
+
+pub mod dissemination;
+pub mod join;
+pub mod leave;
+pub mod node;
+pub mod reorg;
+pub mod split;
+pub mod stabilize;

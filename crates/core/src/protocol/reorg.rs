@@ -1,0 +1,72 @@
+//! False-positive-driven reorganization (paper §3.2, "Dynamic
+//! Reorganizations", second mechanism).
+//!
+//! "Under bias event workloads, it may happen that the organization of
+//! the DR-tree (computed statically so as to minimize MBR coverage) may
+//! perform poorly because small false positive regions are hit by many
+//! events while larger areas see none. To deal with such situations,
+//! each node computes its number of false positives, and the number of
+//! false positives that each of its children would have experienced if
+//! it had been in its place. If the former is higher than the latter …
+//! then both nodes exchange their positions."
+//!
+//! The counters are maintained in
+//! [`PubSubState`](super::node::PubSubState) as events are received;
+//! this module takes the periodic swap decision.
+
+use super::node::{Ctx, DrtNode};
+
+impl<const D: usize> DrtNode<D> {
+    /// Periodic decision: once enough events were sampled, promote the
+    /// child that would have experienced strictly fewer false positives
+    /// in this node's place.
+    pub(crate) fn check_fp_reorg(&mut self, ctx: &mut Ctx<'_, D>) {
+        if self.pubsub.samples < self.config.fp_reorg.min_samples {
+            return;
+        }
+        let top = self.top();
+        if top == 0 {
+            self.pubsub.reset_reorg();
+            return;
+        }
+        // Candidates: children at any level where this node is active,
+        // still present *and* sampled while present; the lowest
+        // hypothetical false-positive count wins (ties: lower level,
+        // then smaller id). The exchange transfers this node's chain
+        // from the candidate's level upward (§3.2: "both nodes exchange
+        // their positions").
+        let mut best: Option<(u64, crate::state::Level, drtree_sim::ProcessId)> = None;
+        for k in 1..=top {
+            let Some(inst) = self.state.level(k) else {
+                continue;
+            };
+            for &c in inst.children.keys() {
+                if c == self.id {
+                    continue;
+                }
+                let Some(&h) = self.pubsub.hyp_fp.get(&c) else {
+                    continue;
+                };
+                if best.is_none_or(|(bh, bk, bc)| (h, k, c) < (bh, bk, bc)) {
+                    best = Some((h, k, c));
+                }
+            }
+        }
+        let fp_self = self.pubsub.fp_self;
+        let samples = self.pubsub.samples;
+        // Start a fresh observation window whether or not we swap.
+        self.pubsub.reset_reorg();
+        if let Some((hyp, level, candidate)) = best {
+            // Swap only on a significant, not a marginal, improvement:
+            // this node must actually be suffering (false positives on
+            // at least half its traffic) and the candidate must beat it
+            // by at least a quarter of the window — a one-event edge on
+            // a small sample is noise, and a swap is not free.
+            let suffering = 2 * fp_self >= samples;
+            let significant = fp_self.saturating_sub(hyp) >= samples.div_ceil(4);
+            if suffering && significant {
+                self.exchange_roles_fp(level, candidate, ctx);
+            }
+        }
+    }
+}

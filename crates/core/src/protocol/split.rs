@@ -1,0 +1,371 @@
+//! `Split_Node` and role transfers (§3.2, Fig. 6).
+//!
+//! When an instance overflows (more than `M` children), its children set
+//! is divided in two groups of at least `m` by the configured split
+//! method (`drtree-rtree`'s shared implementations). "One of the
+//! subtrees returned by the split stays as the children of the invoking
+//! subscriber … The other subtree is pushed backward to p's parent",
+//! under a freshly elected parent: "we elect as root the node whose
+//! current MBR is largest" (Fig. 6). A root split grows the tree by one
+//! level and elects the new root among the two halves.
+//!
+//! The same machinery implements the `Adjust_Parent` role exchange used
+//! by `ADD_CHILD` and CHECK_COVER: `DrtNode::exchange_roles` transfers
+//! every instance from a level upward to a better-covering child.
+
+use drtree_sim::ProcessId;
+use drtree_spatial::Rect;
+
+use crate::message::{ChildSummary, DrtMessage, LevelTransfer};
+use crate::state::{ChildInfo, Level, LevelState};
+
+use super::node::{Ctx, DrtNode};
+
+impl<const D: usize> DrtNode<D> {
+    /// Splits the overflowing own instance at `level` (Fig. 8's
+    /// `Split_Node` + `Create_Root` path).
+    pub(crate) fn split_level(&mut self, level: Level, ctx: &mut Ctx<'_, D>) {
+        let m = self.m();
+        let max = self.max_degree();
+        let Some(inst) = self.state.level(level) else {
+            return;
+        };
+        if inst.degree() <= max {
+            return;
+        }
+        let entries: Vec<(ProcessId, ChildInfo<D>)> =
+            inst.children.iter().map(|(&c, i)| (c, *i)).collect();
+        let Some(own_pos) = entries.iter().position(|(c, _)| *c == self.id) else {
+            // The self-child entry was corrupted away; local repair will
+            // restore it before the next overflow is handled.
+            return;
+        };
+        let rects: Vec<Rect<D>> = entries.iter().map(|(_, i)| i.mbr).collect();
+        let (ga, gb) = self.config.degree.split_method().split(&rects, m);
+        let (own_idx, other_idx) = if ga.contains(&own_pos) {
+            (ga, gb)
+        } else {
+            (gb, ga)
+        };
+        let other: Vec<(ProcessId, ChildInfo<D>)> = other_idx.iter().map(|&i| entries[i]).collect();
+        let leader = elect_largest(other.iter().map(|(c, i)| (*c, i.mbr)))
+            .expect("split groups are non-empty");
+        let other_mbr =
+            Rect::union_all(other.iter().map(|(_, i)| &i.mbr)).expect("non-empty group");
+
+        // Keep the own group in place.
+        {
+            let inst = self.state.level_mut(level).expect("checked");
+            inst.children = own_idx.iter().map(|&i| entries[i]).collect();
+            inst.recompute_mbr();
+            inst.underloaded = inst.degree() < m;
+        }
+        let own_mbr = self.state.level(level).expect("checked").mbr;
+
+        let leader_info = other
+            .iter()
+            .find(|(c, _)| *c == leader)
+            .expect("leader from group")
+            .1;
+        let leader_summary = ChildSummary {
+            id: leader,
+            mbr: other_mbr,
+            filter: leader_info.filter,
+            count: other.len(),
+            underloaded: other.len() < m,
+        };
+        let handed_children: Vec<ChildSummary<D>> = other
+            .iter()
+            .filter(|(c, _)| *c != leader)
+            .map(|(c, i)| child_summary(*c, i))
+            .collect();
+
+        // Children moving to the new parent learn about it.
+        for (c, _) in other.iter().filter(|(c, _)| *c != leader) {
+            ctx.send(
+                *c,
+                DrtMessage::ReparentTo {
+                    level: level - 1,
+                    new_parent: leader,
+                },
+            );
+        }
+
+        let top = self.top();
+        let was_root = level == top && self.state.level(level).is_some_and(|l| l.parent == self.id);
+
+        if was_root {
+            // "This process eventually stops with the split of the root,
+            // which generates … the election of a new root."
+            if other_mbr.area() > own_mbr.area() {
+                // The handed-off half covers more: its leader becomes
+                // the new root over both halves.
+                let own_top = ChildSummary {
+                    id: self.id,
+                    mbr: own_mbr,
+                    filter: self.state.filter,
+                    count: own_idx.len(),
+                    underloaded: own_idx.len() < m,
+                };
+                ctx.send(
+                    leader,
+                    DrtMessage::AssumeRole {
+                        transfers: vec![
+                            LevelTransfer {
+                                level,
+                                children: handed_children,
+                            },
+                            LevelTransfer {
+                                level: level + 1,
+                                children: vec![own_top],
+                            },
+                        ],
+                        parent: leader,
+                        fp_promotion: false,
+                    },
+                );
+                let now = self.now;
+                if let Some(inst) = self.state.level_mut(level) {
+                    inst.parent = leader;
+                    inst.last_parent_ack = now;
+                }
+            } else {
+                // This node stays root: grow a root instance above.
+                ctx.send(
+                    leader,
+                    DrtMessage::AssumeRole {
+                        transfers: vec![LevelTransfer {
+                            level,
+                            children: handed_children,
+                        }],
+                        parent: self.id,
+                        fp_promotion: false,
+                    },
+                );
+                let own_top = self.own_summary(level);
+                let mut root = LevelState::leaf(self.id, self.state.filter, self.now);
+                root.children
+                    .insert(self.id, ChildInfo::from_summary(&own_top, self.now));
+                root.children
+                    .insert(leader, ChildInfo::from_summary(&leader_summary, self.now));
+                root.recompute_mbr();
+                root.underloaded = root.degree() < m;
+                root.parent = self.id;
+                self.state.levels.insert(level + 1, root);
+            }
+        } else {
+            let parent = self.parent_of(level);
+            ctx.send(
+                leader,
+                DrtMessage::AssumeRole {
+                    transfers: vec![LevelTransfer {
+                        level,
+                        children: handed_children,
+                    }],
+                    parent,
+                    fp_promotion: false,
+                },
+            );
+            if parent == self.id {
+                // The own instance one level up adopts the new sibling
+                // directly (possibly cascading the split upward).
+                self.add_child(level + 1, leader_summary, ctx);
+            } else {
+                ctx.send(
+                    parent,
+                    DrtMessage::AddChild {
+                        level,
+                        summary: leader_summary,
+                    },
+                );
+            }
+        }
+    }
+
+    /// `Adjust_Parent` (Fig. 7) generalized to whole role chains: child
+    /// `q` (topmost instance at `from_level − 1`) takes over this node's
+    /// instances `from_level ..= top`; this node keeps levels below.
+    /// Used by `ADD_CHILD` and CHECK_COVER ("the nodes exchange their
+    /// position") and by the FP-driven reorganization.
+    pub(crate) fn exchange_roles(&mut self, from_level: Level, q: ProcessId, ctx: &mut Ctx<'_, D>) {
+        self.exchange_roles_inner(from_level, q, ctx, false);
+    }
+
+    /// §3.2's false-positive-driven exchange: like
+    /// [`DrtNode::exchange_roles`] but flags the promotion so the
+    /// receiver suspends CHECK_COVER for the configured cooldown.
+    pub(crate) fn exchange_roles_fp(
+        &mut self,
+        from_level: Level,
+        q: ProcessId,
+        ctx: &mut Ctx<'_, D>,
+    ) {
+        self.exchange_roles_inner(from_level, q, ctx, true);
+    }
+
+    fn exchange_roles_inner(
+        &mut self,
+        from_level: Level,
+        q: ProcessId,
+        ctx: &mut Ctx<'_, D>,
+        fp_promotion: bool,
+    ) {
+        if q == self.id || from_level == 0 {
+            return;
+        }
+        let top = self.top();
+        if from_level > top || self.state.level(from_level).is_none() {
+            return;
+        }
+        let Some(q_info) = self
+            .state
+            .level(from_level)
+            .and_then(|l| l.children.get(&q).copied())
+        else {
+            return;
+        };
+
+        let mut transfers = Vec::new();
+        for k in from_level..=top {
+            let inst = self.state.level(k).expect("contiguous");
+            let mut children: Vec<ChildSummary<D>> = inst
+                .children
+                .iter()
+                .filter(|(&c, _)| c != self.id && c != q)
+                .map(|(&c, i)| child_summary(c, i))
+                .collect();
+            if k == from_level {
+                // This node's remaining topmost instance stays a child.
+                children.push(self.own_summary(from_level - 1));
+            }
+            transfers.push(LevelTransfer { level: k, children });
+        }
+        let top_inst = self.state.level(top).expect("contiguous");
+        let was_root = top_inst.parent == self.id;
+        let old_parent = top_inst.parent;
+        let q_top_summary = ChildSummary {
+            id: q,
+            mbr: top_inst.mbr,
+            filter: q_info.filter,
+            count: top_inst.degree(),
+            underloaded: top_inst.underloaded,
+        };
+
+        ctx.send(
+            q,
+            DrtMessage::AssumeRole {
+                transfers,
+                parent: if was_root { q } else { old_parent },
+                fp_promotion,
+            },
+        );
+        for k in from_level..=top {
+            let inst = self.state.level(k).expect("contiguous");
+            for (&c, _) in inst
+                .children
+                .iter()
+                .filter(|(&c, _)| c != self.id && c != q)
+            {
+                ctx.send(
+                    c,
+                    DrtMessage::ReparentTo {
+                        level: k - 1,
+                        new_parent: q,
+                    },
+                );
+            }
+        }
+        if !was_root {
+            ctx.send(
+                old_parent,
+                DrtMessage::ReplaceChild {
+                    level: top + 1,
+                    old: self.id,
+                    summary: q_top_summary,
+                },
+            );
+        }
+        for k in from_level..=top {
+            self.state.levels.remove(&k);
+        }
+        let now = self.now;
+        if let Some(new_top) = self.state.level_mut(from_level - 1) {
+            new_top.parent = q;
+            new_top.last_parent_ack = now;
+        }
+        self.join_sent_at = None;
+        self.pubsub.reset_reorg();
+    }
+}
+
+/// Root/parent election (Fig. 6): largest MBR area wins; ties to the
+/// smaller id (deterministic). Subscription containment implies larger
+/// area, so a container always beats its containees (case 1); for
+/// intersecting or disjoint candidates the largest rectangle minimizes
+/// the false-positive area (cases 2–3).
+pub(crate) fn elect_largest<const D: usize>(
+    candidates: impl Iterator<Item = (ProcessId, Rect<D>)>,
+) -> Option<ProcessId> {
+    let mut best: Option<(f64, ProcessId)> = None;
+    for (c, mbr) in candidates {
+        let area = mbr.area();
+        let better = match best {
+            None => true,
+            Some((ba, bc)) => area > ba || (area == ba && c < bc),
+        };
+        if better {
+            best = Some((area, c));
+        }
+    }
+    best.map(|(_, c)| c)
+}
+
+pub(crate) fn child_summary<const D: usize>(id: ProcessId, info: &ChildInfo<D>) -> ChildSummary<D> {
+    ChildSummary {
+        id,
+        mbr: info.mbr,
+        filter: info.filter,
+        count: info.count,
+        underloaded: info.underloaded,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elect_largest_prefers_area_then_id() {
+        let r = |lo: f64, hi: f64| Rect::new([lo], [hi]);
+        let winner = elect_largest(
+            [
+                (ProcessId::from_raw(3), r(0.0, 5.0)),
+                (ProcessId::from_raw(1), r(0.0, 10.0)),
+                (ProcessId::from_raw(2), r(0.0, 10.0)),
+            ]
+            .into_iter(),
+        );
+        assert_eq!(winner, Some(ProcessId::from_raw(1)));
+        assert_eq!(
+            elect_largest(std::iter::empty::<(ProcessId, Rect<1>)>()),
+            None
+        );
+    }
+
+    #[test]
+    fn containment_case_elects_container() {
+        // Fig. 6 case 1: S1 contains the others → S1 elected.
+        let s1 = Rect::new([0.0, 0.0], [10.0, 10.0]);
+        let s2 = Rect::new([1.0, 1.0], [4.0, 4.0]);
+        let s3 = Rect::new([5.0, 5.0], [9.0, 9.0]);
+        let winner = elect_largest(
+            [
+                (ProcessId::from_raw(1), s1),
+                (ProcessId::from_raw(2), s2),
+                (ProcessId::from_raw(3), s3),
+            ]
+            .into_iter(),
+        );
+        assert_eq!(winner, Some(ProcessId::from_raw(1)));
+    }
+}

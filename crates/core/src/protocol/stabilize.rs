@@ -1,0 +1,423 @@
+//! The periodic stabilization modules (paper §3.3, Figures 10–14).
+//!
+//! "At each subscriber in the DR-tree, the following events are
+//! triggered periodically for each level where the subscriber is
+//! active: CHECK_MBR, CHECK_PARENT, CHECK_CHILDREN, CHECK_COVER and
+//! CHECK_STRUCTURE." In this asynchronous realization:
+//!
+//! * **CHECK_MBR** (Fig. 10) and the purely local parts of
+//!   **CHECK_CHILDREN** (Fig. 12) run inside
+//!   [`DrtNode::local_repair`](super::node) on every tick;
+//! * **CHECK_PARENT** (Fig. 11) is driven by the heartbeat exchange in
+//!   this module — a disowning or silent parent makes the child rejoin
+//!   through the contact oracle, carrying its whole subtree;
+//! * **CHECK_COVER** (Fig. 13) compares every non-self child's MBR with
+//!   the node's own instance one level below and exchanges roles when a
+//!   child covers more;
+//! * **CHECK_STRUCTURE** (Fig. 14) compacts underloaded children into
+//!   siblings (leader elected by `Best_Set_Cover`) and falls back to
+//!   `INITIATE_NEW_CONNECTION` when no sibling can absorb them.
+
+use drtree_sim::ProcessId;
+
+use crate::message::{ChildSummary, DrtMessage, LevelTransfer};
+use crate::state::{ChildInfo, Level, LevelState};
+
+use super::node::{Ctx, DrtNode};
+use super::split::child_summary;
+
+impl<const D: usize> DrtNode<D> {
+    /// CHECK_PARENT (Fig. 11) + heartbeat + tree merging.
+    ///
+    /// Non-roots heartbeat the parent of their topmost instance and
+    /// rejoin (as a whole subtree) when the parent is silent for
+    /// `failure_timeout` ticks or disowns them. Believed roots consult
+    /// the contact oracle: if the main tree is elsewhere, they merge
+    /// into it.
+    pub(crate) fn check_parent(&mut self, ctx: &mut Ctx<'_, D>) {
+        let top = self.top();
+        let parent = self.parent_of(top);
+        if parent == self.id {
+            self.try_join_via_oracle(ctx);
+            return;
+        }
+        let own = self.own_summary(top);
+        ctx.send(
+            parent,
+            DrtMessage::Heartbeat {
+                level: top,
+                summary: own,
+            },
+        );
+        let stale = self.state.level(top).is_some_and(|l| {
+            self.now.saturating_sub(l.last_parent_ack) > self.config.failure_timeout
+        });
+        if stale {
+            // Fig. 11: the parent no longer answers — re-enter the
+            // structure through the oracle (next tick), subtree intact.
+            self.become_root();
+        }
+    }
+
+    /// A child refreshes its summary (the message-passing form of the
+    /// pseudo-code's remote variable reads).
+    pub(crate) fn handle_heartbeat(
+        &mut self,
+        from: ProcessId,
+        level: Level,
+        summary: ChildSummary<D>,
+        ctx: &mut Ctx<'_, D>,
+    ) {
+        if from == self.id {
+            return;
+        }
+        let parent_level = level + 1;
+        let still_child = self
+            .state
+            .level(parent_level)
+            .is_some_and(|l| l.children.contains_key(&from));
+        if still_child {
+            self.cache_child(parent_level, &summary);
+        }
+        ctx.send(from, DrtMessage::HeartbeatAck { level, still_child });
+    }
+
+    /// Fig. 11's membership test: `p ∈ C_{parent(p)}`? A negative answer
+    /// makes this node rejoin through the oracle.
+    pub(crate) fn handle_heartbeat_ack(
+        &mut self,
+        from: ProcessId,
+        level: Level,
+        still_child: bool,
+    ) {
+        if level != self.top() {
+            return;
+        }
+        let now = self.now;
+        let Some(inst) = self.state.level_mut(level) else {
+            return;
+        };
+        if inst.parent != from {
+            return; // stale ack from a previous parent
+        }
+        if still_child {
+            inst.last_parent_ack = now;
+        } else {
+            self.become_root();
+        }
+    }
+
+    /// CHECK_COVER (Fig. 13): if some child provides better coverage
+    /// than this node's own instance one level below, the nodes exchange
+    /// their positions. At most one exchange per tick, applied at the
+    /// highest violating level.
+    pub(crate) fn check_cover(&mut self, ctx: &mut Ctx<'_, D>) {
+        let top = self.top();
+        if top == 0 {
+            return;
+        }
+        for level in (1..=top).rev() {
+            let own_area = match self.own_mbr(level - 1) {
+                Some(r) => r.area(),
+                None => continue,
+            };
+            let best = self.state.level(level).and_then(|inst| {
+                inst.children
+                    .iter()
+                    .filter(|(&c, _)| c != self.id)
+                    .map(|(&c, i)| (c, i.mbr.area()))
+                    .max_by(|a, b| {
+                        a.1.partial_cmp(&b.1)
+                            .expect("areas are comparable")
+                            .then(b.0.cmp(&a.0))
+                    })
+            });
+            if let Some((candidate, area)) = best {
+                if area > own_area {
+                    self.exchange_roles(level, candidate, ctx);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// CHECK_STRUCTURE (Fig. 14) at the own instance at `level`:
+    /// compact underloaded children into a sibling, or dissolve them
+    /// via INITIATE_NEW_CONNECTION when nothing can absorb them.
+    pub(crate) fn check_structure(&mut self, level: Level, ctx: &mut Ctx<'_, D>) {
+        if level < 2 {
+            // Children of a level-1 instance are leaves, which are never
+            // underloaded (they have no children set).
+            return;
+        }
+        let max = self.max_degree();
+        let Some(inst) = self.state.level(level) else {
+            return;
+        };
+        // The underloaded children as currently reported.
+        let underloaded: Vec<(ProcessId, ChildInfo<D>)> = inst
+            .children
+            .iter()
+            .filter(|(_, i)| i.underloaded)
+            .map(|(&c, i)| (c, *i))
+            .collect();
+        let Some(&(q, q_info)) = underloaded
+            .iter()
+            .find(|(c, _)| *c != self.id)
+            .or_else(|| underloaded.first())
+        else {
+            return;
+        };
+
+        if q == self.id {
+            // The node's own chain instance is underloaded. Dissolving
+            // it would break the self-child chain, so instead a sibling
+            // is absorbed *into* it (survivor = self).
+            let donor = inst
+                .children
+                .iter()
+                .filter(|(&c, i)| c != self.id && i.count + q_info.count <= max)
+                .min_by(|a, b| {
+                    let ua = a.1.mbr.union(&q_info.mbr).area();
+                    let ub = b.1.mbr.union(&q_info.mbr).area();
+                    ua.partial_cmp(&ub)
+                        .expect("finite areas")
+                        .then(a.0.cmp(b.0))
+                })
+                .map(|(&c, _)| c);
+            if let Some(donor) = donor {
+                ctx.send(
+                    donor,
+                    DrtMessage::MergeInto {
+                        level: level - 1,
+                        into: self.id,
+                    },
+                );
+            }
+            return;
+        }
+
+        // `Search_Compaction_Candidate`: a sibling that can absorb q's
+        // children, minimizing the dead area of the merged MBR.
+        let candidate = inst
+            .children
+            .iter()
+            .filter(|(&c, i)| c != q && i.count + q_info.count <= max)
+            .min_by(|a, b| {
+                let ua = a.1.mbr.union(&q_info.mbr).area();
+                let ub = b.1.mbr.union(&q_info.mbr).area();
+                ua.partial_cmp(&ub)
+                    .expect("finite areas")
+                    .then(a.0.cmp(b.0))
+            })
+            .map(|(&c, i)| (c, *i));
+
+        match candidate {
+            None => {
+                // Fig. 14: no candidate — the subtree re-executes joins.
+                ctx.send(q, DrtMessage::InitiateNewConnection { level: level - 1 });
+            }
+            Some((t, t_info)) => {
+                // `Elect_Leader`/`Best_Set_Cover`: the member whose
+                // filter covers the merged set best survives. The own
+                // chain, when involved, must survive to stay contiguous.
+                let survivor = if t == self.id {
+                    self.id
+                } else {
+                    let set_mbr = q_info.mbr.union(&t_info.mbr);
+                    if set_mbr.deficit(&q_info.filter) <= set_mbr.deficit(&t_info.filter) {
+                        q
+                    } else {
+                        t
+                    }
+                };
+                let loser = if survivor == q { t } else { q };
+                debug_assert_ne!(loser, self.id);
+                ctx.send(
+                    loser,
+                    DrtMessage::MergeInto {
+                        level: level - 1,
+                        into: survivor,
+                    },
+                );
+            }
+        }
+    }
+
+    /// `Merge_Children` (Fig. 14), loser side: dissolve the own topmost
+    /// instance and hand every child (including the own chain) to the
+    /// elected survivor.
+    pub(crate) fn handle_merge_into(
+        &mut self,
+        level: Level,
+        into: ProcessId,
+        ctx: &mut Ctx<'_, D>,
+    ) {
+        if into == self.id || level == 0 || level != self.top() {
+            return;
+        }
+        let Some(inst) = self.state.levels.remove(&level) else {
+            return;
+        };
+        let mut children: Vec<ChildSummary<D>> = inst
+            .children
+            .iter()
+            .filter(|(&c, _)| c != self.id)
+            .map(|(&c, i)| child_summary(c, i))
+            .collect();
+        // The own remaining topmost instance becomes the survivor's
+        // child as well.
+        children.push(self.own_summary(level - 1));
+        for s in children.iter().filter(|s| s.id != self.id) {
+            ctx.send(
+                s.id,
+                DrtMessage::ReparentTo {
+                    level: level - 1,
+                    new_parent: into,
+                },
+            );
+        }
+        ctx.send(into, DrtMessage::AdoptChildren { level, children });
+        let now = self.now;
+        if let Some(new_top) = self.state.level_mut(level - 1) {
+            new_top.parent = into;
+            new_top.last_parent_ack = now;
+        }
+        self.pubsub.reset_reorg();
+    }
+
+    /// `Merge_Children`, survivor side.
+    pub(crate) fn handle_adopt_children(
+        &mut self,
+        level: Level,
+        children: Vec<ChildSummary<D>>,
+        ctx: &mut Ctx<'_, D>,
+    ) {
+        if level == 0 || self.state.level(level).is_none() {
+            return;
+        }
+        for s in &children {
+            if s.id == self.id {
+                continue;
+            }
+            self.cache_child(level, s);
+        }
+        let m = self.m();
+        {
+            let inst = self.state.level_mut(level).expect("checked");
+            inst.recompute_mbr();
+            inst.underloaded = inst.degree() < m;
+        }
+        if self.state.level(level).expect("checked").degree() > self.max_degree() {
+            self.split_level(level, ctx);
+        }
+    }
+
+    /// Fig. 14 `INITIATE_NEW_CONNECTION`: the subtree rooted at the own
+    /// instance at `level` dissolves; every member re-executes the join
+    /// as a leaf.
+    pub(crate) fn handle_initiate_new_connection(&mut self, level: Level, ctx: &mut Ctx<'_, D>) {
+        if level != self.top() {
+            return;
+        }
+        let top = self.top();
+        for k in 1..=top {
+            if let Some(inst) = self.state.level(k) {
+                for (&c, _) in inst.children.iter().filter(|(&c, _)| c != self.id) {
+                    ctx.send(c, DrtMessage::InitiateNewConnection { level: k - 1 });
+                }
+            }
+        }
+        self.reset_to_leaf();
+    }
+
+    /// Take over instances handed by a split, a role exchange, a
+    /// compaction, or a root election.
+    pub(crate) fn handle_assume_role(
+        &mut self,
+        transfers: Vec<LevelTransfer<D>>,
+        parent: ProcessId,
+        fp_promotion: bool,
+    ) {
+        if transfers.is_empty() {
+            return;
+        }
+        // Transfers must extend the own chain contiguously upward;
+        // anything else is stale and ignored (the sender's view of this
+        // node was outdated).
+        let base = self.top() + 1;
+        let contiguous = transfers
+            .iter()
+            .enumerate()
+            .all(|(i, t)| t.level == base + i as Level);
+        if !contiguous {
+            return;
+        }
+        let now = self.now;
+        let m = self.m();
+        for t in &transfers {
+            let below_summary = self
+                .state
+                .summary_at(self.id, t.level - 1)
+                .expect("chain is contiguous");
+            let mut inst = LevelState::leaf(self.id, self.state.filter, now);
+            inst.children
+                .insert(self.id, ChildInfo::from_summary(&below_summary, now));
+            for s in t.children.iter().filter(|s| s.id != self.id) {
+                inst.children.insert(s.id, ChildInfo::from_summary(s, now));
+            }
+            inst.recompute_mbr();
+            inst.underloaded = inst.degree() < m;
+            inst.parent = self.id;
+            self.state.levels.insert(t.level, inst);
+        }
+        let new_top = self.top();
+        if let Some(inst) = self.state.level_mut(new_top) {
+            inst.parent = parent;
+            inst.last_parent_ack = now;
+        }
+        self.join_sent_at = None;
+        if fp_promotion {
+            self.cover_suspended_until = now + self.config.fp_reorg.cover_cooldown;
+        }
+        self.pubsub.reset_reorg();
+    }
+
+    /// The children-set handover of splits/exchanges, child side.
+    pub(crate) fn handle_reparent_to(&mut self, level: Level, new_parent: ProcessId) {
+        if level != self.top() {
+            return;
+        }
+        let now = self.now;
+        if let Some(inst) = self.state.level_mut(level) {
+            inst.parent = new_parent;
+            inst.last_parent_ack = now;
+        }
+        self.join_sent_at = None;
+    }
+
+    /// Role exchanges seen from the old parent's parent: swap the child
+    /// entry.
+    pub(crate) fn handle_replace_child(
+        &mut self,
+        level: Level,
+        old: ProcessId,
+        summary: ChildSummary<D>,
+    ) {
+        let m = self.m();
+        let now = self.now;
+        let own = self.id;
+        let Some(inst) = self.state.level_mut(level) else {
+            return;
+        };
+        if old != own {
+            inst.children.remove(&old);
+        }
+        if summary.id != own {
+            inst.children
+                .insert(summary.id, ChildInfo::from_summary(&summary, now));
+        }
+        inst.recompute_mbr();
+        inst.underloaded = inst.degree() < m;
+    }
+}

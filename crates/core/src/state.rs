@@ -1,0 +1,255 @@
+//! Per-process DR-tree state (§3.2 "Data Structures").
+//!
+//! Every subscriber owns one instance per level of the range `0..=top`:
+//! its leaf instance at level 0 (MBR = its filter), and — if it was
+//! promoted to interior roles — internal instances above it ("a
+//! subscriber is present in all the levels of its subtree"). Each
+//! instance carries exactly the paper's variables: the children set
+//! `C^l_p`, the minimum bounding rectangle `mbr^l_p`, the `parent^l_p`
+//! pointer, and the `underloaded^l_p` flag.
+//!
+//! Everything in [`NodeState`] except the filter is *corruptible memory*:
+//! the stabilization experiments mutate it arbitrarily and the protocol
+//! must recover (the filter is the paper's "constant non-corruptible
+//! data").
+
+use std::collections::BTreeMap;
+
+use drtree_sim::ProcessId;
+use drtree_spatial::Rect;
+
+use crate::message::ChildSummary;
+
+/// A tree level. Leaves live at level 0; the root at the highest level.
+pub type Level = u32;
+
+/// What a parent instance caches about one child (refreshed by
+/// heartbeats; the message-passing stand-in for the pseudo-code's remote
+/// variable reads).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChildInfo<const D: usize> {
+    /// Last reported MBR of the child instance.
+    pub mbr: Rect<D>,
+    /// The child's constant filter.
+    pub filter: Rect<D>,
+    /// Last reported degree of the child instance.
+    pub count: usize,
+    /// Last reported underloaded flag.
+    pub underloaded: bool,
+    /// Tick of the last heartbeat (failure detection).
+    pub last_seen: u64,
+}
+
+impl<const D: usize> ChildInfo<D> {
+    /// Builds cache state from a received summary.
+    pub fn from_summary(s: &ChildSummary<D>, now: u64) -> Self {
+        Self {
+            mbr: s.mbr,
+            filter: s.filter,
+            count: s.count,
+            underloaded: s.underloaded,
+            last_seen: now,
+        }
+    }
+}
+
+/// One instance of a subscriber at one level: the paper's
+/// `(parent^l_p, C^l_p, mbr^l_p, underloaded^l_p)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LevelState<const D: usize> {
+    /// The parent of this instance. Self for the root instance and for
+    /// every non-topmost instance (whose parent is the same process one
+    /// level up).
+    pub parent: ProcessId,
+    /// Children (instances one level below), keyed by owner process.
+    /// Empty exactly for leaf instances (level 0).
+    pub children: BTreeMap<ProcessId, ChildInfo<D>>,
+    /// The minimum bounding rectangle of this instance.
+    pub mbr: Rect<D>,
+    /// `|C^l_p| < m` (Fig. 12).
+    pub underloaded: bool,
+    /// Tick of the last `HeartbeatAck` from the parent (CHECK_PARENT's
+    /// failure detection; not part of the paper's corruptible variables
+    /// but of the failure-detector abstraction).
+    pub last_parent_ack: u64,
+}
+
+impl<const D: usize> LevelState<D> {
+    /// A fresh leaf instance.
+    pub fn leaf(owner: ProcessId, filter: Rect<D>, now: u64) -> Self {
+        Self {
+            parent: owner,
+            children: BTreeMap::new(),
+            mbr: filter,
+            underloaded: false,
+            last_parent_ack: now,
+        }
+    }
+
+    /// Number of children.
+    pub fn degree(&self) -> usize {
+        self.children.len()
+    }
+
+    /// Recomputes the MBR from the cached children MBRs
+    /// (`Compute_MBR`, Fig. 7). No-op on leaves (their MBR is pinned to
+    /// the filter by the caller).
+    pub fn recompute_mbr(&mut self) {
+        if let Some(mbr) = Rect::union_all(self.children.values().map(|c| &c.mbr)) {
+            self.mbr = mbr;
+        }
+    }
+}
+
+/// The full (corruptible) state of one subscriber.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeState<const D: usize> {
+    /// The subscription filter — constant, non-corruptible (§3.2).
+    pub filter: Rect<D>,
+    /// Instances by level. In a legal state the keys are exactly
+    /// `0..=top` and instance 0 is the leaf.
+    pub levels: BTreeMap<Level, LevelState<D>>,
+}
+
+impl<const D: usize> NodeState<D> {
+    /// Fresh single-leaf state: the subscriber is its own root.
+    pub fn new_leaf(owner: ProcessId, filter: Rect<D>) -> Self {
+        let mut levels = BTreeMap::new();
+        levels.insert(0, LevelState::leaf(owner, filter, 0));
+        Self { filter, levels }
+    }
+
+    /// The topmost instance level (0 if only the leaf exists).
+    ///
+    /// Falls back to 0 when the level map was corrupted empty.
+    pub fn top(&self) -> Level {
+        self.levels.keys().next_back().copied().unwrap_or(0)
+    }
+
+    /// Shared access to the instance at `level`.
+    pub fn level(&self, level: Level) -> Option<&LevelState<D>> {
+        self.levels.get(&level)
+    }
+
+    /// Mutable access to the instance at `level`.
+    pub fn level_mut(&mut self, level: Level) -> Option<&mut LevelState<D>> {
+        self.levels.get_mut(&level)
+    }
+
+    /// `true` if this subscriber believes it is the overlay root: the
+    /// parent of its topmost instance is itself (§3.2: "The parent of
+    /// the DR-tree structure root process is the process itself").
+    pub fn believes_root(&self, own_id: ProcessId) -> bool {
+        self.levels
+            .get(&self.top())
+            .is_none_or(|l| l.parent == own_id)
+    }
+
+    /// Summary of the instance at `level`, as advertised to its parent.
+    pub fn summary_at(&self, own_id: ProcessId, level: Level) -> Option<ChildSummary<D>> {
+        let ls = self.levels.get(&level)?;
+        Some(ChildSummary {
+            id: own_id,
+            mbr: if level == 0 { self.filter } else { ls.mbr },
+            filter: self.filter,
+            count: ls.degree(),
+            underloaded: ls.underloaded,
+        })
+    }
+
+    /// Total number of child entries across all instances — the memory
+    /// footprint measured by Lemma 3.1 (`O(M log² N / log m)`).
+    pub fn memory_entries(&self) -> usize {
+        self.levels.values().map(|l| l.degree()).sum::<usize>() + self.levels.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pid(raw: u64) -> ProcessId {
+        ProcessId::from_raw(raw)
+    }
+
+    #[test]
+    fn fresh_leaf_is_its_own_root() {
+        let f = Rect::new([0.0, 0.0], [1.0, 1.0]);
+        let s: NodeState<2> = NodeState::new_leaf(pid(7), f);
+        assert_eq!(s.top(), 0);
+        assert!(s.believes_root(pid(7)));
+        assert_eq!(s.level(0).unwrap().mbr, f);
+        assert_eq!(s.level(0).unwrap().degree(), 0);
+        assert_eq!(s.memory_entries(), 1);
+    }
+
+    #[test]
+    fn summary_reflects_instance() {
+        let f = Rect::new([0.0, 0.0], [2.0, 2.0]);
+        let mut s: NodeState<2> = NodeState::new_leaf(pid(1), f);
+        let sum0 = s.summary_at(pid(1), 0).unwrap();
+        assert_eq!(sum0.mbr, f);
+        assert_eq!(sum0.count, 0);
+
+        // fabricate an internal instance at level 1
+        let mut l1 = LevelState::leaf(pid(1), f, 0);
+        let child = ChildSummary {
+            id: pid(2),
+            mbr: Rect::new([5.0, 5.0], [9.0, 9.0]),
+            filter: Rect::new([5.0, 5.0], [9.0, 9.0]),
+            count: 0,
+            underloaded: false,
+        };
+        l1.children
+            .insert(pid(2), ChildInfo::from_summary(&child, 3));
+        l1.children.insert(
+            pid(1),
+            ChildInfo {
+                mbr: f,
+                filter: f,
+                count: 0,
+                underloaded: false,
+                last_seen: 3,
+            },
+        );
+        l1.recompute_mbr();
+        s.levels.insert(1, l1);
+
+        assert_eq!(s.top(), 1);
+        let sum1 = s.summary_at(pid(1), 1).unwrap();
+        assert_eq!(sum1.count, 2);
+        assert_eq!(sum1.mbr, Rect::new([0.0, 0.0], [9.0, 9.0]));
+        assert_eq!(s.memory_entries(), 2 + 2);
+    }
+
+    #[test]
+    fn recompute_mbr_unions_children() {
+        let f = Rect::new([0.0], [1.0]);
+        let mut l: LevelState<1> = LevelState::leaf(pid(0), f, 0);
+        for (i, (lo, hi)) in [(0.0, 1.0), (4.0, 6.0)].iter().enumerate() {
+            let r = Rect::new([*lo], [*hi]);
+            l.children.insert(
+                pid(i as u64),
+                ChildInfo {
+                    mbr: r,
+                    filter: r,
+                    count: 0,
+                    underloaded: false,
+                    last_seen: 0,
+                },
+            );
+        }
+        l.recompute_mbr();
+        assert_eq!(l.mbr, Rect::new([0.0], [6.0]));
+    }
+
+    #[test]
+    fn corrupted_empty_levels_fall_back() {
+        let f = Rect::new([0.0], [1.0]);
+        let mut s: NodeState<1> = NodeState::new_leaf(pid(1), f);
+        s.levels.clear(); // adversarial wipe
+        assert_eq!(s.top(), 0);
+        assert!(s.believes_root(pid(1)));
+        assert_eq!(s.summary_at(pid(1), 0), None);
+    }
+}

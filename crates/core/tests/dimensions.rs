@@ -1,0 +1,141 @@
+//! Dimensional generality.
+//!
+//! The paper illustrates everything in two dimensions but states that
+//! "the extension to complex filters represented with poly-space
+//! rectangles is straightforward" (§3), and that "DR-trees generalize
+//! P-trees \[13\], which are the dynamic version of B+-trees" (§4) —
+//! the one-dimensional case. The protocol here is generic over `D`;
+//! these tests exercise D = 1, 3 and 4.
+
+use drtree_core::{DrTreeCluster, DrTreeConfig};
+use drtree_spatial::{Point, Rect};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// D = 1: interval filters over a single attribute — the P-tree /
+/// B+-tree regime the paper's §4 points at.
+#[test]
+fn one_dimensional_overlay_behaves_like_a_ptree() {
+    let mut rng = StdRng::seed_from_u64(201);
+    let filters: Vec<Rect<1>> = (0..48)
+        .map(|_| {
+            let lo: f64 = rng.gen_range(0.0..90.0);
+            let w: f64 = rng.gen_range(1.0..12.0);
+            Rect::new([lo], [lo + w])
+        })
+        .collect();
+    let mut cluster = DrTreeCluster::build(DrTreeConfig::default(), 202, &filters);
+    cluster.check_legal().expect("legal 1-D overlay");
+    assert!(
+        f64::from(cluster.height()) <= (48f64).log2().ceil() + 2.0,
+        "1-D height {} not logarithmic",
+        cluster.height()
+    );
+
+    // Range dissemination: every interval subscriber covering the probe
+    // value receives it, nobody is missed.
+    let ids = cluster.ids();
+    for probe in [5.0, 33.3, 61.0, 88.8] {
+        let report = cluster.publish_from(ids[0], Point::new([probe]));
+        assert!(
+            report.false_negatives.is_empty(),
+            "1-D probe {probe} missed {:?}",
+            report.false_negatives
+        );
+        let expected = filters
+            .iter()
+            .enumerate()
+            .filter(|(i, f)| *i != 0 && f.contains_point(&Point::new([probe])))
+            .count();
+        assert_eq!(report.matching.len(), expected, "probe {probe}");
+    }
+}
+
+/// D = 3: poly-space rectangles (boxes).
+#[test]
+fn three_dimensional_overlay() {
+    let mut rng = StdRng::seed_from_u64(203);
+    let filters: Vec<Rect<3>> = (0..32)
+        .map(|_| {
+            let mut lo = [0.0; 3];
+            let mut hi = [0.0; 3];
+            for d in 0..3 {
+                lo[d] = rng.gen_range(0.0..80.0);
+                hi[d] = lo[d] + rng.gen_range(2.0..25.0);
+            }
+            Rect::new(lo, hi)
+        })
+        .collect();
+    let mut cluster = DrTreeCluster::build(DrTreeConfig::default(), 204, &filters);
+    cluster.check_legal().expect("legal 3-D overlay");
+
+    let ids = cluster.ids();
+    for i in 0..8 {
+        let p = Point::new([
+            rng.gen_range(0.0..100.0),
+            rng.gen_range(0.0..100.0),
+            rng.gen_range(0.0..100.0),
+        ]);
+        let report = cluster.publish_from(ids[i % ids.len()], p);
+        assert!(report.false_negatives.is_empty(), "3-D event {i}");
+    }
+}
+
+/// D = 4: higher-dimensional filters, plus recovery from churn to make
+/// sure nothing in the repair path is dimension-specific.
+#[test]
+fn four_dimensional_overlay_with_churn() {
+    let mut rng = StdRng::seed_from_u64(205);
+    let filters: Vec<Rect<4>> = (0..24)
+        .map(|_| {
+            let mut lo = [0.0; 4];
+            let mut hi = [0.0; 4];
+            for d in 0..4 {
+                lo[d] = rng.gen_range(0.0..70.0);
+                hi[d] = lo[d] + rng.gen_range(5.0..30.0);
+            }
+            Rect::new(lo, hi)
+        })
+        .collect();
+    let mut cluster = DrTreeCluster::build(DrTreeConfig::default(), 206, &filters);
+    cluster.check_legal().expect("legal 4-D overlay");
+
+    let root = cluster.root().unwrap();
+    let victims: Vec<_> = cluster
+        .ids()
+        .into_iter()
+        .filter(|&id| id != root)
+        .take(4)
+        .collect();
+    for v in victims {
+        cluster.crash(v);
+    }
+    assert!(
+        cluster.stabilize(6_000).is_some(),
+        "4-D overlay did not recover from crashes"
+    );
+    assert_eq!(cluster.len(), 20);
+}
+
+/// Unbounded dimensions (filters leaving an attribute unconstrained)
+/// flow through the whole stack: the MBRs become unbounded, elections
+/// rank them above bounded filters, and matching stays exact.
+#[test]
+fn unbounded_filters_are_supported() {
+    let filters: Vec<Rect<2>> = vec![
+        Rect::new([0.0, f64::NEG_INFINITY], [10.0, f64::INFINITY]), // x-band, any y
+        Rect::new([2.0, 2.0], [8.0, 8.0]),
+        Rect::new([20.0, 0.0], [30.0, 10.0]),
+        Rect::new([4.0, 50.0], [9.0, 60.0]),
+    ];
+    let mut cluster = DrTreeCluster::build(DrTreeConfig::default(), 207, &filters);
+    cluster.check_legal().expect("legal with unbounded filter");
+    let ids = cluster.ids();
+    // The unbounded band has infinite area → the election makes it root.
+    assert_eq!(cluster.root(), Some(ids[0]));
+    // y is irrelevant for the band: a point at extreme y still matches.
+    let report = cluster.publish_from(ids[2], Point::new([5.0, 1e9]));
+    assert!(report.false_negatives.is_empty());
+    assert!(report.matching.contains(&ids[0]));
+    assert!(!report.matching.contains(&ids[1]));
+}

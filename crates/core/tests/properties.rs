@@ -1,0 +1,99 @@
+//! Property-based tests of the self-stabilization claims.
+//!
+//! Lemma 3.6 says the overlay reaches a legitimate configuration from
+//! *any* initial configuration; here proptest generates the arbitrary
+//! configurations (random overlays + random corruption + random churn)
+//! and we assert convergence and the structural bounds.
+
+use drtree_core::{corruption::CorruptionKind, DrTreeCluster, DrTreeConfig, SplitMethod};
+use drtree_spatial::{Point, Rect};
+use proptest::prelude::*;
+
+fn arb_filter() -> impl Strategy<Value = Rect<2>> {
+    (0.0f64..100.0, 0.0f64..100.0, 0.5f64..30.0, 0.5f64..30.0)
+        .prop_map(|(x, y, w, h)| Rect::new([x, y], [x + w, y + h]))
+}
+
+fn arb_config() -> impl Strategy<Value = DrTreeConfig> {
+    (2usize..4, prop::sample::select(SplitMethod::ALL.to_vec()))
+        .prop_map(|(m, split)| DrTreeConfig::with_degree(m, 2 * m + 1, split).expect("valid"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn random_overlays_are_legal_and_balanced(
+        config in arb_config(),
+        filters in prop::collection::vec(arb_filter(), 2..40),
+        seed in 0u64..1_000,
+    ) {
+        let cluster = DrTreeCluster::build(config, seed, &filters);
+        prop_assert!(cluster.check_legal().is_ok());
+        let n = filters.len() as f64;
+        let m = config.min_degree() as f64;
+        let bound = n.log(m).ceil() + 2.0;
+        prop_assert!((cluster.height() as f64) <= bound,
+            "height {} > bound {}", cluster.height(), bound);
+        prop_assert!(cluster.max_degree_observed() <= config.max_degree());
+    }
+
+    #[test]
+    fn convergence_from_arbitrary_corruption(
+        filters in prop::collection::vec(arb_filter(), 3..25),
+        kinds in prop::collection::vec(
+            prop::sample::select(CorruptionKind::ALL.to_vec()), 1..6),
+        seed in 0u64..1_000,
+    ) {
+        let mut cluster =
+            DrTreeCluster::build(DrTreeConfig::default(), seed, &filters);
+        let ids = cluster.ids();
+        for (i, kind) in kinds.iter().enumerate() {
+            let victim = ids[(i * 5 + 1) % ids.len()];
+            cluster.corrupt(victim, *kind);
+        }
+        let rounds = cluster.stabilize(6_000);
+        prop_assert!(rounds.is_some(), "no convergence after {kinds:?}");
+        // Closure: once legal, it stays legal without faults.
+        cluster.run_rounds(10);
+        prop_assert!(cluster.check_legal().is_ok(), "left legal state again");
+    }
+
+    #[test]
+    fn no_false_negatives_after_stabilization(
+        filters in prop::collection::vec(arb_filter(), 2..30),
+        events in prop::collection::vec((0.0f64..110.0, 0.0f64..110.0), 1..6),
+        seed in 0u64..1_000,
+    ) {
+        let mut cluster =
+            DrTreeCluster::build(DrTreeConfig::default(), seed, &filters);
+        let ids = cluster.ids();
+        for (i, (x, y)) in events.iter().enumerate() {
+            let publisher = ids[i % ids.len()];
+            let report = cluster.publish_from(publisher, Point::new([*x, *y]));
+            prop_assert!(report.false_negatives.is_empty(),
+                "missed {:?}", report.false_negatives);
+        }
+    }
+
+    #[test]
+    fn churn_sequences_recover(
+        filters in prop::collection::vec(arb_filter(), 8..25),
+        leave_controlled in prop::collection::vec(any::<bool>(), 1..5),
+        seed in 0u64..1_000,
+    ) {
+        let mut cluster =
+            DrTreeCluster::build(DrTreeConfig::default(), seed, &filters);
+        for (i, controlled) in leave_controlled.iter().enumerate() {
+            let ids = cluster.ids();
+            if ids.len() <= 2 { break; }
+            let victim = ids[(i * 3 + 1) % ids.len()];
+            if *controlled {
+                cluster.controlled_leave(victim);
+            } else {
+                cluster.crash(victim);
+            }
+        }
+        prop_assert!(cluster.stabilize(6_000).is_some(), "churn not absorbed");
+    }
+}

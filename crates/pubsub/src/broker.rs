@@ -1,0 +1,337 @@
+use std::collections::BTreeMap;
+use std::fmt;
+
+use drtree_core::{DrTreeCluster, DrTreeConfig, ProcessId, PublishReport};
+use drtree_rtree::{RTree, RTreeConfig};
+use drtree_spatial::filter::FilterError;
+use drtree_spatial::{Event, FilterExpr, Point, Rect, Schema};
+
+use crate::stats::RoutingStats;
+
+/// Errors surfaced by the [`Broker`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum BrokerError {
+    /// A filter or event did not compile against the broker's schema.
+    Filter(FilterError),
+    /// The named subscriber does not exist (or already left).
+    UnknownSubscriber(ProcessId),
+    /// The schema's dimensionality does not match the const generic `D`.
+    SchemaDimensionMismatch {
+        /// Dimensions of the broker (`D`).
+        expected: usize,
+        /// Dimensions declared by the schema.
+        schema: usize,
+    },
+}
+
+impl fmt::Display for BrokerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BrokerError::Filter(e) => write!(f, "filter error: {e}"),
+            BrokerError::UnknownSubscriber(id) => write!(f, "unknown subscriber {id}"),
+            BrokerError::SchemaDimensionMismatch { expected, schema } => write!(
+                f,
+                "schema declares {schema} attributes but the broker is {expected}-dimensional"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BrokerError {}
+
+impl From<FilterError> for BrokerError {
+    fn from(e: FilterError) -> Self {
+        BrokerError::Filter(e)
+    }
+}
+
+/// A content-based publish/subscribe broker backed by a DR-tree overlay.
+///
+/// Every subscription becomes a DR-tree subscriber process; every
+/// publication is disseminated through the overlay. A centralized
+/// R-tree mirror serves as the exact-matching oracle so each delivery
+/// can be audited for false positives/negatives. See the
+/// [crate documentation](crate) for an example.
+pub struct Broker<const D: usize> {
+    schema: Schema,
+    cluster: DrTreeCluster<D>,
+    oracle: RTree<ProcessId, D>,
+    subscriptions: BTreeMap<ProcessId, Rect<D>>,
+    /// Exact member filters of subscription *sets* (§2.1); subscribers
+    /// registered via `subscribe`/`subscribe_rect` are singleton sets
+    /// and are not listed here.
+    sets: BTreeMap<ProcessId, Vec<Rect<D>>>,
+    stats: RoutingStats,
+}
+
+impl<const D: usize> Broker<D> {
+    /// Creates a broker for `schema` over a fresh overlay.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BrokerError::SchemaDimensionMismatch`] when
+    /// `schema.dims() != D`.
+    pub fn new(schema: Schema, config: DrTreeConfig, seed: u64) -> Result<Self, BrokerError> {
+        if schema.dims() != D {
+            return Err(BrokerError::SchemaDimensionMismatch {
+                expected: D,
+                schema: schema.dims(),
+            });
+        }
+        Ok(Self {
+            schema,
+            cluster: DrTreeCluster::new(config, seed),
+            oracle: RTree::new(RTreeConfig::default()),
+            subscriptions: BTreeMap::new(),
+            sets: BTreeMap::new(),
+            stats: RoutingStats::default(),
+        })
+    }
+
+    /// The attribute schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of live subscriptions.
+    pub fn len(&self) -> usize {
+        self.subscriptions.len()
+    }
+
+    /// `true` when nobody is subscribed.
+    pub fn is_empty(&self) -> bool {
+        self.subscriptions.is_empty()
+    }
+
+    /// Registers a subscription written in the predicate language of
+    /// §2.1 and waits for the subscriber to join the overlay.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BrokerError::Filter`] when the conjunction does not
+    /// compile against the schema.
+    pub fn subscribe(&mut self, filter: &FilterExpr) -> Result<ProcessId, BrokerError> {
+        let rect: Rect<D> = filter.compile(&self.schema)?;
+        Ok(self.subscribe_rect(rect))
+    }
+
+    /// Registers a subscription directly as a rectangle.
+    pub fn subscribe_rect(&mut self, rect: Rect<D>) -> ProcessId {
+        let id = self.cluster.add_subscriber_stable(rect);
+        self.subscriptions.insert(id, rect);
+        self.oracle.insert(id, rect);
+        id
+    }
+
+    /// Registers one subscriber with a *set* of filters (§2.1: "each
+    /// node in the system has associated a set of subscriptions").
+    ///
+    /// The overlay sees the set's minimum bounding rectangle — the
+    /// natural generalization of the paper's single-filter model: no
+    /// member event can be missed (the MBR contains every member), and
+    /// the subscriber filters locally against the exact set. Delivery
+    /// reports from [`Broker::publish`] account matching/false
+    /// positives against the *set*, not the MBR.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BrokerError::Filter`] if the set is empty (reported as
+    /// an unsatisfiable filter) or any member does not compile.
+    pub fn subscribe_set(&mut self, filters: &[FilterExpr]) -> Result<ProcessId, BrokerError> {
+        let members: Vec<Rect<D>> = filters
+            .iter()
+            .map(|f| f.compile(&self.schema))
+            .collect::<Result<_, _>>()?;
+        let Some(mbr) = Rect::union_all(members.iter()) else {
+            return Err(BrokerError::Filter(FilterError::Unsatisfiable(
+                "empty subscription set".into(),
+            )));
+        };
+        let id = self.cluster.add_subscriber_stable(mbr);
+        self.subscriptions.insert(id, mbr);
+        for r in &members {
+            self.oracle.insert(id, *r);
+        }
+        self.sets.insert(id, members);
+        Ok(id)
+    }
+
+    /// Removes a subscription via a controlled departure (Fig. 9).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BrokerError::UnknownSubscriber`] when `id` is not live.
+    pub fn unsubscribe(&mut self, id: ProcessId) -> Result<(), BrokerError> {
+        let rect = self
+            .subscriptions
+            .remove(&id)
+            .ok_or(BrokerError::UnknownSubscriber(id))?;
+        match self.sets.remove(&id) {
+            Some(members) => {
+                for r in members {
+                    self.oracle.remove(&id, &r);
+                }
+            }
+            None => {
+                self.oracle.remove(&id, &rect);
+            }
+        }
+        self.cluster.controlled_leave(id);
+        Ok(())
+    }
+
+    /// Replaces an existing subscription with a new filter expression.
+    ///
+    /// Filters are constant per process in the paper's model (§3.2), so
+    /// an update is realized faithfully as a controlled departure
+    /// followed by a fresh join; the subscriber receives a **new id**,
+    /// which is returned.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BrokerError::UnknownSubscriber`] for dead subscribers
+    /// and [`BrokerError::Filter`] for filters that do not compile.
+    pub fn resubscribe(
+        &mut self,
+        id: ProcessId,
+        filter: &FilterExpr,
+    ) -> Result<ProcessId, BrokerError> {
+        let rect: Rect<D> = filter.compile(&self.schema)?;
+        self.unsubscribe(id)?;
+        Ok(self.subscribe_rect(rect))
+    }
+
+    /// Publishes `event` from subscriber `publisher`, auditing the
+    /// delivery against the oracle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BrokerError::Filter`] for events that do not compile
+    /// and [`BrokerError::UnknownSubscriber`] for dead publishers.
+    pub fn publish(
+        &mut self,
+        publisher: ProcessId,
+        event: &Event,
+    ) -> Result<PublishReport, BrokerError> {
+        let point: Point<D> = event.compile(&self.schema)?;
+        self.publish_point(publisher, point)
+    }
+
+    /// Publishes a pre-compiled point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BrokerError::UnknownSubscriber`] for dead publishers.
+    pub fn publish_point(
+        &mut self,
+        publisher: ProcessId,
+        point: Point<D>,
+    ) -> Result<PublishReport, BrokerError> {
+        if !self.subscriptions.contains_key(&publisher) {
+            return Err(BrokerError::UnknownSubscriber(publisher));
+        }
+        let mut report = self.cluster.publish_from(publisher, point);
+        if !self.sets.is_empty() {
+            // Re-account against exact subscription sets: the overlay
+            // classified deliveries by each node's MBR filter, but a
+            // set-subscriber matches only if some member matches.
+            self.reclassify(publisher, &point, &mut report);
+        }
+        debug_assert!(
+            self.audit(publisher, &report, &point),
+            "oracle disagrees with report"
+        );
+        self.stats.absorb(&report);
+        Ok(report)
+    }
+
+    /// `true` iff subscriber `id` exactly matches `point` (any member of
+    /// its set; the plain filter for singleton subscribers).
+    fn matches_exactly(&self, id: ProcessId, point: &Point<D>) -> bool {
+        match self.sets.get(&id) {
+            Some(members) => members.iter().any(|r| r.contains_point(point)),
+            None => self
+                .subscriptions
+                .get(&id)
+                .is_some_and(|r| r.contains_point(point)),
+        }
+    }
+
+    fn reclassify(&self, publisher: ProcessId, point: &Point<D>, report: &mut PublishReport) {
+        report.matching = self
+            .subscriptions
+            .keys()
+            .copied()
+            .filter(|&id| id != publisher && self.matches_exactly(id, point))
+            .collect();
+        report.false_positives = report
+            .receivers
+            .iter()
+            .copied()
+            .filter(|&id| !self.matches_exactly(id, point))
+            .collect();
+        report.false_negatives = report
+            .matching
+            .iter()
+            .copied()
+            .filter(|id| !report.receivers.contains(id))
+            .collect();
+    }
+
+    /// Cross-checks a report's matching set against the centralized
+    /// R-tree oracle: the overlay's notion of "who should get this
+    /// event" must equal the oracle's exact answer (publisher excluded).
+    fn audit(&self, publisher: ProcessId, report: &PublishReport, point: &Point<D>) -> bool {
+        let mut expected: Vec<ProcessId> = self
+            .oracle
+            .search_point(point)
+            .into_iter()
+            .copied()
+            .filter(|&id| id != publisher)
+            .collect();
+        expected.sort_unstable();
+        expected.dedup(); // set-subscribers appear once per matching member
+        let mut matching = report.matching.clone();
+        matching.sort_unstable();
+        expected == matching
+    }
+
+    /// Accumulated routing statistics over all publishes.
+    pub fn stats(&self) -> &RoutingStats {
+        &self.stats
+    }
+
+    /// Resets the accumulated statistics.
+    pub fn reset_stats(&mut self) {
+        self.stats = RoutingStats::default();
+    }
+
+    /// The underlying overlay (escape hatch for experiments).
+    pub fn cluster(&self) -> &DrTreeCluster<D> {
+        &self.cluster
+    }
+
+    /// Mutable access to the underlying overlay.
+    pub fn cluster_mut(&mut self) -> &mut DrTreeCluster<D> {
+        &mut self.cluster
+    }
+
+    /// Runs the overlay until it reaches a legitimate configuration.
+    pub fn stabilize(&mut self, max_rounds: u64) -> Option<u64> {
+        self.cluster.stabilize(max_rounds)
+    }
+
+    /// Subscription rectangles by subscriber id.
+    pub fn subscriptions(&self) -> &BTreeMap<ProcessId, Rect<D>> {
+        &self.subscriptions
+    }
+}
+
+impl<const D: usize> fmt::Debug for Broker<D> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Broker")
+            .field("subscriptions", &self.subscriptions.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}

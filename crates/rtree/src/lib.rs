@@ -1,0 +1,46 @@
+//! Centralized R-tree substrate for the DR-tree reproduction.
+//!
+//! The DR-tree of the paper distributes the classical R-tree index
+//! structure (Guttman, SIGMOD 1984 — reference \[18\] of the paper). This
+//! crate provides:
+//!
+//! * [`RTree`] — a complete centralized R-tree (insert, delete, point and
+//!   window queries), used as the *exact-matching oracle* when measuring
+//!   false positives/negatives of the distributed overlays, and as a
+//!   baseline index;
+//! * [`split`] — the three children-set split methods the paper supports
+//!   (§3.2): Guttman's **linear** and **quadratic** methods and the
+//!   **R\*-tree** split of Beckmann et al. (reference \[5\]). The split
+//!   functions are shared verbatim with the distributed DR-tree protocol
+//!   (`drtree-core`), so both trees split children sets identically.
+//!
+//! # Example
+//!
+//! ```
+//! use drtree_rtree::{RTree, RTreeConfig, SplitMethod};
+//! use drtree_spatial::{Rect, Point};
+//!
+//! let config = RTreeConfig::new(2, 4, SplitMethod::Quadratic)?;
+//! let mut tree: RTree<&str, 2> = RTree::new(config);
+//! tree.insert("sub-1", Rect::new([0.0, 0.0], [10.0, 10.0]));
+//! tree.insert("sub-2", Rect::new([5.0, 5.0], [6.0, 6.0]));
+//!
+//! let hits = tree.search_point(&drtree_spatial::Point::new([5.5, 5.5]));
+//! assert_eq!(hits.len(), 2);
+//! tree.validate()?;
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bulk;
+mod config;
+pub mod split;
+mod tree;
+mod validate;
+
+pub use config::{ConfigError, RTreeConfig};
+pub use split::SplitMethod;
+pub use tree::RTree;
+pub use validate::{InvariantViolation, ValidationError};

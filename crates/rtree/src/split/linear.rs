@@ -1,0 +1,125 @@
+//! Guttman's linear split: "chooses two children from the overflowing
+//! node such that the union of their MBRs waste the most area and place
+//! each one in a separate node. The remaining children are assigned to
+//! the nodes whose MBR is increased the least by the addition. This
+//! method takes linear time." (paper §3.2)
+//!
+//! Seed selection is Guttman's `LinearPickSeeds`: along every dimension,
+//! find the rectangle with the highest low side and the one with the
+//! lowest high side; normalize their separation by the extent of the
+//! whole set along that dimension; take the pair with the greatest
+//! normalized separation.
+
+use drtree_spatial::Rect;
+
+/// Splits `rects` into two groups of at least `m` indices each using the
+/// linear method.
+///
+/// # Panics
+///
+/// Panics (in debug builds, via the caller `SplitMethod::split`) when
+/// `rects.len() < 2m`; call through [`crate::SplitMethod::split`].
+pub fn split_linear<const D: usize>(rects: &[Rect<D>], m: usize) -> (Vec<usize>, Vec<usize>) {
+    let n = rects.len();
+    let (seed_a, seed_b) = linear_pick_seeds(rects);
+    let pending: Vec<usize> = (0..n).filter(|&i| i != seed_a && i != seed_b).collect();
+    // Linear method examines remaining entries in arbitrary (input) order:
+    // always pick the first pending entry.
+    super::distribute(
+        rects,
+        m,
+        vec![seed_a],
+        vec![seed_b],
+        pending,
+        |_pending, _a, _b, _rects| 0,
+    )
+}
+
+fn linear_pick_seeds<const D: usize>(rects: &[Rect<D>]) -> (usize, usize) {
+    let n = rects.len();
+    let mut best: Option<(f64, usize, usize)> = None;
+    for dim in 0..D {
+        // Entry with the highest low side, and entry with the lowest high
+        // side (Guttman's "greatest normalized separation").
+        let mut highest_low = 0usize;
+        let mut lowest_high = 0usize;
+        let mut overall_lo = f64::INFINITY;
+        let mut overall_hi = f64::NEG_INFINITY;
+        for (i, r) in rects.iter().enumerate() {
+            if r.lo(dim) > rects[highest_low].lo(dim) {
+                highest_low = i;
+            }
+            if r.hi(dim) < rects[lowest_high].hi(dim) {
+                lowest_high = i;
+            }
+            overall_lo = overall_lo.min(r.lo(dim));
+            overall_hi = overall_hi.max(r.hi(dim));
+        }
+        if highest_low == lowest_high {
+            continue;
+        }
+        let width = (overall_hi - overall_lo).max(f64::MIN_POSITIVE);
+        let separation = (rects[highest_low].lo(dim) - rects[lowest_high].hi(dim)) / width;
+        if best.is_none_or(|(s, _, _)| separation > s) {
+            best = Some((separation, lowest_high, highest_low));
+        }
+    }
+    match best {
+        Some((_, a, b)) => (a, b),
+        // All candidate pairs collapsed to a single entry (e.g. identical
+        // rectangles): any two distinct entries work.
+        None => (0, n - 1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeds_are_the_extreme_pair() {
+        let rects = vec![
+            Rect::new([0.0, 0.0], [1.0, 1.0]),   // far left
+            Rect::new([4.0, 0.0], [5.0, 1.0]),   // middle
+            Rect::new([10.0, 0.0], [11.0, 1.0]), // far right
+        ];
+        let (a, b) = linear_pick_seeds(&rects);
+        let mut pair = [a, b];
+        pair.sort_unstable();
+        assert_eq!(pair, [0, 2]);
+    }
+
+    #[test]
+    fn identical_rects_fall_back_to_distinct_seeds() {
+        let rects = vec![Rect::new([0.0, 0.0], [1.0, 1.0]); 4];
+        let (a, b) = linear_pick_seeds(&rects);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn split_partitions_all() {
+        let rects: Vec<Rect<2>> = (0..7)
+            .map(|i| {
+                let x = i as f64 * 3.0;
+                Rect::new([x, 0.0], [x + 1.0, 1.0])
+            })
+            .collect();
+        let (a, b) = split_linear(&rects, 3);
+        assert_eq!(a.len() + b.len(), 7);
+        assert!(a.len() >= 3 && b.len() >= 3);
+    }
+
+    #[test]
+    fn separation_normalized_across_dimensions() {
+        // Along x everything overlaps; along y two groups are far apart.
+        let rects = vec![
+            Rect::new([0.0, 0.0], [10.0, 1.0]),
+            Rect::new([0.0, 100.0], [10.0, 101.0]),
+            Rect::new([0.0, 0.5], [10.0, 1.5]),
+        ];
+        let (a, b) = linear_pick_seeds(&rects);
+        let mut pair = [a, b];
+        pair.sort_unstable();
+        assert_eq!(pair, [0, 1]);
+    }
+}

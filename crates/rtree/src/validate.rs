@@ -1,0 +1,198 @@
+//! Structural invariant checking for the centralized R-tree.
+//!
+//! Mirrors the R-tree properties of paper §2.2: degree bounds on every
+//! node, exact (minimal) bounding rectangles, and uniform leaf depth
+//! ("the height of an R-tree containing N objects is log_m(N) − 1").
+
+use std::fmt;
+
+use drtree_spatial::Rect;
+
+use crate::tree::{Node, RTree};
+
+/// One violated R-tree invariant, reported by [`RTree::validate`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum InvariantViolation {
+    /// A non-root node holds fewer than `m` or more than `M` entries.
+    DegreeOutOfBounds {
+        /// Path of child indices from the root to the offending node.
+        path: Vec<usize>,
+        /// Number of entries found.
+        count: usize,
+    },
+    /// The root is an internal node with fewer than two children.
+    RootTooSmall {
+        /// Number of children found.
+        count: usize,
+    },
+    /// A cached child MBR is not the exact union of the child's entries.
+    WrongMbr {
+        /// Path of child indices from the root to the offending child.
+        path: Vec<usize>,
+    },
+    /// Two leaves sit at different depths.
+    UnbalancedLeaves {
+        /// Depth of the first leaf encountered.
+        expected: usize,
+        /// Conflicting depth found.
+        found: usize,
+    },
+}
+
+impl fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InvariantViolation::DegreeOutOfBounds { path, count } => {
+                write!(f, "node at {path:?} has {count} entries (out of bounds)")
+            }
+            InvariantViolation::RootTooSmall { count } => {
+                write!(f, "internal root has only {count} child(ren)")
+            }
+            InvariantViolation::WrongMbr { path } => {
+                write!(f, "cached MBR at {path:?} is not the union of its subtree")
+            }
+            InvariantViolation::UnbalancedLeaves { expected, found } => {
+                write!(f, "leaf at depth {found}, expected {expected}")
+            }
+        }
+    }
+}
+
+/// Error carrying every invariant violation found in one pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValidationError {
+    violations: Vec<InvariantViolation>,
+}
+
+impl ValidationError {
+    /// The individual violations.
+    pub fn violations(&self) -> &[InvariantViolation] {
+        &self.violations
+    }
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} R-tree invariant violation(s):",
+            self.violations.len()
+        )?;
+        for v in &self.violations {
+            write!(f, "\n  - {v}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+pub(crate) fn validate_tree<K, const D: usize>(tree: &RTree<K, D>) -> Result<(), ValidationError> {
+    let mut violations = Vec::new();
+    let config = tree.config();
+    let root = tree.root();
+
+    if let Node::Internal(children) = root {
+        if children.len() < 2 {
+            violations.push(InvariantViolation::RootTooSmall {
+                count: children.len(),
+            });
+        }
+        if children.len() > config.max_entries() {
+            violations.push(InvariantViolation::DegreeOutOfBounds {
+                path: Vec::new(),
+                count: children.len(),
+            });
+        }
+    }
+
+    let mut leaf_depth: Option<usize> = None;
+    walk(
+        root,
+        &mut Vec::new(),
+        0,
+        config.min_entries(),
+        config.max_entries(),
+        &mut leaf_depth,
+        &mut violations,
+    );
+
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(ValidationError { violations })
+    }
+}
+
+fn walk<K, const D: usize>(
+    node: &Node<K, D>,
+    path: &mut Vec<usize>,
+    depth: usize,
+    m: usize,
+    max: usize,
+    leaf_depth: &mut Option<usize>,
+    violations: &mut Vec<InvariantViolation>,
+) {
+    match node {
+        Node::Leaf(_) => match leaf_depth {
+            None => *leaf_depth = Some(depth),
+            Some(expected) if *expected != depth => {
+                violations.push(InvariantViolation::UnbalancedLeaves {
+                    expected: *expected,
+                    found: depth,
+                });
+            }
+            _ => {}
+        },
+        Node::Internal(children) => {
+            for (i, child) in children.iter().enumerate() {
+                path.push(i);
+                let count = child.node.entry_count();
+                if count < m || count > max {
+                    violations.push(InvariantViolation::DegreeOutOfBounds {
+                        path: path.clone(),
+                        count,
+                    });
+                }
+                let actual: Option<Rect<D>> = child.node.mbr();
+                if actual != Some(child.mbr) {
+                    violations.push(InvariantViolation::WrongMbr { path: path.clone() });
+                }
+                walk(&child.node, path, depth + 1, m, max, leaf_depth, violations);
+                path.pop();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{RTreeConfig, SplitMethod};
+    use drtree_spatial::Rect;
+
+    #[test]
+    fn valid_tree_passes() {
+        let mut tree: RTree<usize, 2> =
+            RTree::new(RTreeConfig::new(2, 4, SplitMethod::Quadratic).unwrap());
+        for i in 0..100 {
+            let x = (i % 10) as f64;
+            let y = (i / 10) as f64;
+            tree.insert(i, Rect::new([x, y], [x + 0.5, y + 0.5]));
+        }
+        assert!(tree.validate().is_ok());
+    }
+
+    #[test]
+    fn violation_display_is_informative() {
+        let v = InvariantViolation::DegreeOutOfBounds {
+            path: vec![0, 1],
+            count: 9,
+        };
+        assert!(v.to_string().contains("9 entries"));
+        let e = ValidationError {
+            violations: vec![v],
+        };
+        assert!(e.to_string().contains("1 R-tree invariant"));
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based tests: the R-tree stays valid and complete under random
+//! operation sequences, for every split method.
+
+use drtree_rtree::{RTree, RTreeConfig, SplitMethod};
+use drtree_spatial::{Point, Rect};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(Rect<2>),
+    RemoveNth(usize),
+    QueryPoint(Point<2>),
+}
+
+fn arb_rect() -> impl Strategy<Value = Rect<2>> {
+    (0.0f64..100.0, 0.0f64..100.0, 0.1f64..30.0, 0.1f64..30.0)
+        .prop_map(|(x, y, w, h)| Rect::new([x, y], [x + w, y + h]))
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => arb_rect().prop_map(Op::Insert),
+        1 => (0usize..64).prop_map(Op::RemoveNth),
+        2 => (0.0f64..130.0, 0.0f64..130.0).prop_map(|(x, y)| Op::QueryPoint(Point::new([x, y]))),
+    ]
+}
+
+fn arb_config() -> impl Strategy<Value = RTreeConfig> {
+    (1usize..5, prop::sample::select(SplitMethod::ALL.to_vec()))
+        .prop_map(|(m, s)| RTreeConfig::new(m, 2 * m + m / 2 + 1, s).expect("valid bounds"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_ops_preserve_invariants(
+        config in arb_config(),
+        reinsert in any::<bool>(),
+        ops in prop::collection::vec(arb_op(), 1..150),
+    ) {
+        let mut tree: RTree<usize, 2> = RTree::new(config);
+        tree.set_reinsertion(reinsert);
+        // shadow model: flat list of live entries
+        let mut model: Vec<(usize, Rect<2>)> = Vec::new();
+        let mut next_key = 0usize;
+
+        for op in ops {
+            match op {
+                Op::Insert(r) => {
+                    tree.insert(next_key, r);
+                    model.push((next_key, r));
+                    next_key += 1;
+                }
+                Op::RemoveNth(n) => {
+                    if !model.is_empty() {
+                        let (k, r) = model.remove(n % model.len());
+                        prop_assert!(tree.remove(&k, &r));
+                    }
+                }
+                Op::QueryPoint(p) => {
+                    let mut got: Vec<usize> =
+                        tree.search_point(&p).into_iter().copied().collect();
+                    got.sort_unstable();
+                    let mut want: Vec<usize> = model
+                        .iter()
+                        .filter(|(_, r)| r.contains_point(&p))
+                        .map(|(k, _)| *k)
+                        .collect();
+                    want.sort_unstable();
+                    prop_assert_eq!(got, want, "query mismatch");
+                }
+            }
+            prop_assert_eq!(tree.len(), model.len());
+            if let Err(e) = tree.validate() {
+                prop_assert!(false, "invariants broken: {}", e);
+            }
+        }
+    }
+
+    #[test]
+    fn window_query_matches_linear_scan(
+        rects in prop::collection::vec(arb_rect(), 1..120),
+        window in arb_rect(),
+    ) {
+        let mut tree: RTree<usize, 2> = RTree::new(RTreeConfig::default());
+        for (i, r) in rects.iter().enumerate() {
+            tree.insert(i, *r);
+        }
+        let mut got: Vec<usize> = tree.search_intersecting(&window).into_iter().copied().collect();
+        got.sort_unstable();
+        let mut want: Vec<usize> = rects
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.intersects(&window))
+            .map(|(i, _)| i)
+            .collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn height_is_logarithmic(
+        n in 10usize..400,
+        method in prop::sample::select(SplitMethod::ALL.to_vec()),
+    ) {
+        let m = 2usize;
+        let max = 6usize;
+        let mut tree: RTree<usize, 2> = RTree::new(RTreeConfig::new(m, max, method).unwrap());
+        for i in 0..n {
+            let x = (i % 20) as f64 * 5.0;
+            let y = (i / 20) as f64 * 5.0;
+            tree.insert(i, Rect::new([x, y], [x + 3.0, y + 3.0]));
+        }
+        // Lemma 3.1 shape: height bounded by log_m(N) plus a small constant.
+        let bound = (n as f64).log(m as f64).ceil() as usize + 2;
+        prop_assert!(tree.height() <= bound,
+            "height {} exceeds bound {} at n={}", tree.height(), bound, n);
+    }
+}

@@ -1,0 +1,89 @@
+use rand::rngs::StdRng;
+
+use crate::ProcessId;
+
+/// Buffered effects released by [`Context::into_effects`]: messages to
+/// send and timers to arm.
+pub(crate) type Effects<M, T> = (Vec<(ProcessId, M)>, Vec<(u64, T)>);
+
+/// The interface a [`Process`](crate::Process) uses to act on the world
+/// from inside a callback.
+///
+/// Effects (sends, timers) are buffered and applied by the engine after
+/// the callback returns; the engine decides latency, loss and delivery
+/// order, keeping runs deterministic for a given seed.
+#[derive(Debug)]
+pub struct Context<'a, M, T> {
+    id: ProcessId,
+    now: u64,
+    rng: &'a mut StdRng,
+    pub(crate) outbox: Vec<(ProcessId, M)>,
+    pub(crate) timer_requests: Vec<(u64, T)>,
+}
+
+impl<'a, M, T> Context<'a, M, T> {
+    pub(crate) fn new(id: ProcessId, now: u64, rng: &'a mut StdRng) -> Self {
+        Self {
+            id,
+            now,
+            rng,
+            outbox: Vec::new(),
+            timer_requests: Vec::new(),
+        }
+    }
+
+    /// The id of the process being called.
+    pub fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    /// Current simulation time (event engine: abstract time units; round
+    /// engine: the round number).
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Sends `msg` to `to`. Delivery is asynchronous and may be dropped
+    /// or delayed depending on the engine's [`NetConfig`](crate::NetConfig).
+    pub fn send(&mut self, to: ProcessId, msg: M) {
+        self.outbox.push((to, msg));
+    }
+
+    /// Arms a one-shot timer to fire after `delay` time units (at least
+    /// 1; a zero delay is promoted to 1 so a process cannot starve the
+    /// engine).
+    pub fn set_timer(&mut self, delay: u64, timer: T) {
+        self.timer_requests.push((delay.max(1), timer));
+    }
+
+    /// Deterministic per-network randomness.
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+
+    /// Consumes the context, releasing the buffered effects (and the
+    /// borrow of the network RNG) so the engine can apply them.
+    pub(crate) fn into_effects(self) -> Effects<M, T> {
+        (self.outbox, self.timer_requests)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn buffers_effects() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut ctx: Context<'_, &str, u8> = Context::new(ProcessId::from_raw(3), 99, &mut rng);
+        assert_eq!(ctx.id(), ProcessId::from_raw(3));
+        assert_eq!(ctx.now(), 99);
+        ctx.send(ProcessId::from_raw(4), "hello");
+        ctx.set_timer(0, 1); // promoted to 1
+        ctx.set_timer(5, 2);
+        let _: u32 = ctx.rng().gen();
+        assert_eq!(ctx.outbox.len(), 1);
+        assert_eq!(ctx.timer_requests, vec![(1, 1), (5, 2)]);
+    }
+}

@@ -1,0 +1,463 @@
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::process::MessageLabel;
+use crate::{Context, Metrics, Process, ProcessId};
+
+/// Link latency model for the event-driven engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LatencyModel {
+    /// Every message takes exactly this many time units.
+    Fixed(u64),
+    /// Uniformly random latency in `[min, max]` (inclusive).
+    Uniform {
+        /// Minimum latency (promoted to at least 1).
+        min: u64,
+        /// Maximum latency.
+        max: u64,
+    },
+}
+
+impl LatencyModel {
+    fn sample(&self, rng: &mut StdRng) -> u64 {
+        match *self {
+            LatencyModel::Fixed(l) => l.max(1),
+            LatencyModel::Uniform { min, max } => rng.gen_range(min.max(1)..=max.max(min).max(1)),
+        }
+    }
+}
+
+/// Configuration of the asynchronous network.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetConfig {
+    /// Link latency model (default: `Fixed(1)`).
+    pub latency: LatencyModel,
+    /// Probability that any message is silently lost (default 0).
+    pub drop_probability: f64,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        Self {
+            latency: LatencyModel::Fixed(1),
+            drop_probability: 0.0,
+        }
+    }
+}
+
+enum EventKind<M, T> {
+    Deliver {
+        from: ProcessId,
+        to: ProcessId,
+        msg: M,
+    },
+    Fire {
+        at: ProcessId,
+        timer: T,
+    },
+}
+
+struct Scheduled<M, T> {
+    at: u64,
+    seq: u64,
+    kind: EventKind<M, T>,
+}
+
+impl<M, T> PartialEq for Scheduled<M, T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M, T> Eq for Scheduled<M, T> {}
+impl<M, T> PartialOrd for Scheduled<M, T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M, T> Ord for Scheduled<M, T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Asynchronous discrete-event network engine.
+///
+/// Deterministic for a given seed: events are ordered by `(time, seq)`
+/// where `seq` is allocation order. See the [crate docs](crate) for an
+/// end-to-end example.
+pub struct EventNetwork<P: Process> {
+    config: NetConfig,
+    procs: BTreeMap<ProcessId, P>,
+    queue: BinaryHeap<Reverse<Scheduled<P::Msg, P::Timer>>>,
+    blocked: BTreeSet<(ProcessId, ProcessId)>,
+    time: u64,
+    seq: u64,
+    next_id: u64,
+    rng: StdRng,
+    metrics: Metrics,
+}
+
+impl<P: Process> EventNetwork<P> {
+    /// Creates an empty network with the given config and RNG seed.
+    pub fn new(config: NetConfig, seed: u64) -> Self {
+        Self {
+            config,
+            procs: BTreeMap::new(),
+            queue: BinaryHeap::new(),
+            blocked: BTreeSet::new(),
+            time: 0,
+            seq: 0,
+            next_id: 0,
+            rng: StdRng::seed_from_u64(seed),
+            metrics: Metrics::new(),
+        }
+    }
+
+    /// Adds a process, assigns it a fresh id, and invokes
+    /// [`Process::on_start`].
+    pub fn add_process(&mut self, mut process: P) -> ProcessId {
+        let id = ProcessId::from_raw(self.next_id);
+        self.next_id += 1;
+        let mut ctx = Context::new(id, self.time, &mut self.rng);
+        process.on_start(&mut ctx);
+        self.procs.insert(id, process);
+        let (outbox, timers) = ctx.into_effects();
+        self.apply_effects(id, outbox, timers);
+        id
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> u64 {
+        self.time
+    }
+
+    /// Ids of all live processes, in id order.
+    pub fn ids(&self) -> Vec<ProcessId> {
+        self.procs.keys().copied().collect()
+    }
+
+    /// Number of live processes.
+    pub fn len(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// `true` if no process is alive.
+    pub fn is_empty(&self) -> bool {
+        self.procs.is_empty()
+    }
+
+    /// `true` if `id` refers to a live process.
+    pub fn is_alive(&self, id: ProcessId) -> bool {
+        self.procs.contains_key(&id)
+    }
+
+    /// Shared view of a live process's state.
+    pub fn process(&self, id: ProcessId) -> Option<&P> {
+        self.procs.get(&id)
+    }
+
+    /// Mutable access to a live process's state. Intended for harness
+    /// bookkeeping; for *adversarial* state mutation use
+    /// [`EventNetwork::corrupt`], which also records the fault.
+    pub fn process_mut(&mut self, id: ProcessId) -> Option<&mut P> {
+        self.procs.get_mut(&id)
+    }
+
+    /// Message metrics collected so far.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Resets message metrics (e.g. between experiment phases).
+    pub fn reset_metrics(&mut self) {
+        self.metrics.reset();
+    }
+
+    /// Deterministic per-network randomness for harness decisions.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    /// Crashes `id`: the process vanishes silently (the paper's
+    /// *uncontrolled departure*). In-flight messages to it are counted
+    /// as [`Metrics::to_dead`] on delivery. Returns the final state, if
+    /// the process was alive.
+    pub fn crash(&mut self, id: ProcessId) -> Option<P> {
+        self.procs.remove(&id)
+    }
+
+    /// Applies an adversarial mutation to a live process's memory (the
+    /// paper's *transient fault* / memory corruption). Returns `false`
+    /// if the process is not alive.
+    pub fn corrupt(&mut self, id: ProcessId, mutate: impl FnOnce(&mut P, &mut StdRng)) -> bool {
+        match self.procs.get_mut(&id) {
+            Some(p) => {
+                mutate(p, &mut self.rng);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Blocks the directed link `from → to` (messages silently dropped).
+    pub fn block_link(&mut self, from: ProcessId, to: ProcessId) {
+        self.blocked.insert((from, to));
+    }
+
+    /// Removes all link blocks.
+    pub fn unblock_all(&mut self) {
+        self.blocked.clear();
+    }
+
+    /// Injects a message from outside the system (delivered with normal
+    /// latency; `from` is the destination itself, which protocols treat
+    /// as an external stimulus).
+    pub fn send_external(&mut self, to: ProcessId, msg: P::Msg) {
+        self.metrics.record_sent(msg.label());
+        let latency = self.config.latency.sample(&mut self.rng);
+        self.push(
+            self.time + latency,
+            EventKind::Deliver { from: to, to, msg },
+        );
+    }
+
+    /// Arms a timer on `id` from outside (e.g. kicking off periodic
+    /// stabilization on a fresh process).
+    pub fn set_timer_external(&mut self, id: ProcessId, delay: u64, timer: P::Timer) {
+        self.push(self.time + delay.max(1), EventKind::Fire { at: id, timer });
+    }
+
+    /// Executes the next event. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(Reverse(event)) = self.queue.pop() else {
+            return false;
+        };
+        self.time = self.time.max(event.at);
+        match event.kind {
+            EventKind::Deliver { from, to, msg } => {
+                if !self.procs.contains_key(&to) {
+                    self.metrics.record_to_dead();
+                    return true;
+                }
+                self.metrics.record_delivered();
+                let mut ctx = Context::new(to, self.time, &mut self.rng);
+                let proc = self.procs.get_mut(&to).expect("checked above");
+                proc.on_message(from, msg, &mut ctx);
+                let (outbox, timers) = ctx.into_effects();
+                self.apply_effects(to, outbox, timers);
+            }
+            EventKind::Fire { at, timer } => {
+                if let Some(proc) = self.procs.get_mut(&at) {
+                    let mut ctx = Context::new(at, self.time, &mut self.rng);
+                    proc.on_timer(timer, &mut ctx);
+                    let (outbox, timers) = ctx.into_effects();
+                    self.apply_effects(at, outbox, timers);
+                }
+            }
+        }
+        true
+    }
+
+    /// Runs until simulated time reaches `deadline` or the queue drains.
+    pub fn run_until(&mut self, deadline: u64) {
+        while let Some(Reverse(head)) = self.queue.peek() {
+            if head.at > deadline {
+                break;
+            }
+            self.step();
+        }
+        self.time = self.time.max(deadline);
+    }
+
+    /// Runs until no events remain, up to `max_events` steps. Returns
+    /// the number of events executed.
+    ///
+    /// Protocols with periodic timers never go quiescent; use
+    /// [`EventNetwork::run_until`] for those.
+    pub fn run_to_quiescence(&mut self, max_events: u64) -> u64 {
+        let mut executed = 0;
+        while executed < max_events && self.step() {
+            executed += 1;
+        }
+        executed
+    }
+
+    fn apply_effects(
+        &mut self,
+        from: ProcessId,
+        outbox: Vec<(ProcessId, P::Msg)>,
+        timer_requests: Vec<(u64, P::Timer)>,
+    ) {
+        for (to, msg) in outbox {
+            self.metrics.record_sent(msg.label());
+            if self.blocked.contains(&(from, to))
+                || (self.config.drop_probability > 0.0
+                    && self.rng.gen_bool(self.config.drop_probability))
+            {
+                self.metrics.record_dropped();
+                continue;
+            }
+            let latency = self.config.latency.sample(&mut self.rng);
+            self.push(self.time + latency, EventKind::Deliver { from, to, msg });
+        }
+        for (delay, timer) in timer_requests {
+            self.push(self.time + delay, EventKind::Fire { at: from, timer });
+        }
+    }
+
+    fn push(&mut self, at: u64, kind: EventKind<P::Msg, P::Timer>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Scheduled { at, seq, kind }));
+    }
+}
+
+impl<P: Process> std::fmt::Debug for EventNetwork<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventNetwork")
+            .field("time", &self.time)
+            .field("processes", &self.procs.len())
+            .field("pending_events", &self.queue.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone, Debug)]
+    enum Ping {
+        Ping(u32),
+        Pong(#[allow(dead_code)] u32),
+    }
+
+    impl MessageLabel for Ping {
+        fn label(&self) -> &'static str {
+            match self {
+                Ping::Ping(_) => "ping",
+                Ping::Pong(_) => "pong",
+            }
+        }
+    }
+
+    #[derive(Default)]
+    struct Node {
+        pings: u32,
+        pongs: u32,
+        timer_fired: bool,
+    }
+
+    impl Process for Node {
+        type Msg = Ping;
+        type Timer = &'static str;
+
+        fn on_message(
+            &mut self,
+            from: ProcessId,
+            msg: Ping,
+            ctx: &mut Context<'_, Ping, &'static str>,
+        ) {
+            match msg {
+                Ping::Ping(n) => {
+                    self.pings += 1;
+                    ctx.send(from, Ping::Pong(n));
+                }
+                Ping::Pong(_) => self.pongs += 1,
+            }
+        }
+
+        fn on_timer(&mut self, _t: &'static str, _ctx: &mut Context<'_, Ping, &'static str>) {
+            self.timer_fired = true;
+        }
+    }
+
+    #[test]
+    fn ping_pong_round_trip() {
+        let mut net: EventNetwork<Node> = EventNetwork::new(NetConfig::default(), 1);
+        let a = net.add_process(Node::default());
+        let b = net.add_process(Node::default());
+        // external "ping" to b appears to come from b itself; have b ping a
+        net.send_external(b, Ping::Ping(7)); // b replies Pong to itself
+        net.send_external(a, Ping::Ping(1));
+        net.run_to_quiescence(100);
+        assert_eq!(net.process(a).unwrap().pings, 1);
+        assert!(net.metrics().delivered() >= 4);
+        assert_eq!(net.metrics().label_count("ping"), 2);
+        assert_eq!(net.metrics().label_count("pong"), 2);
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        let mut net: EventNetwork<Node> = EventNetwork::new(NetConfig::default(), 1);
+        let a = net.add_process(Node::default());
+        net.set_timer_external(a, 10, "t");
+        net.run_until(5);
+        assert!(!net.process(a).unwrap().timer_fired);
+        net.run_until(10);
+        assert!(net.process(a).unwrap().timer_fired);
+        assert_eq!(net.now(), 10);
+    }
+
+    #[test]
+    fn crash_swallows_messages() {
+        let mut net: EventNetwork<Node> = EventNetwork::new(NetConfig::default(), 1);
+        let a = net.add_process(Node::default());
+        let _ = net.crash(a);
+        assert!(!net.is_alive(a));
+        net.send_external(a, Ping::Ping(0));
+        net.run_to_quiescence(10);
+        assert_eq!(net.metrics().to_dead(), 1);
+    }
+
+    #[test]
+    fn blocked_links_drop() {
+        let mut net: EventNetwork<Node> = EventNetwork::new(NetConfig::default(), 1);
+        let a = net.add_process(Node::default());
+        let b = net.add_process(Node::default());
+        net.block_link(a, b);
+        // a receives an external ping "from b"; its pong to b is blocked.
+        net.send_external(a, Ping::Ping(0));
+        // external messages carry from == to, so craft via a's handler:
+        net.run_to_quiescence(10);
+        let _ = b;
+        assert!(net.metrics().dropped() <= 1);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let mut net: EventNetwork<Node> = EventNetwork::new(
+                NetConfig {
+                    latency: LatencyModel::Uniform { min: 1, max: 9 },
+                    drop_probability: 0.2,
+                },
+                seed,
+            );
+            let a = net.add_process(Node::default());
+            for _ in 0..50 {
+                net.send_external(a, Ping::Ping(1));
+            }
+            net.run_to_quiescence(1_000);
+            (
+                net.metrics().delivered(),
+                net.metrics().dropped(),
+                net.now(),
+            )
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43)); // different seed, different trace
+    }
+
+    #[test]
+    fn corrupt_mutates_state() {
+        let mut net: EventNetwork<Node> = EventNetwork::new(NetConfig::default(), 1);
+        let a = net.add_process(Node::default());
+        assert!(net.corrupt(a, |p, _| p.pings = 999));
+        assert_eq!(net.process(a).unwrap().pings, 999);
+        assert!(!net.corrupt(ProcessId::from_raw(404), |_, _| {}));
+    }
+}

@@ -1,0 +1,117 @@
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Message-level counters collected by both engines.
+///
+/// Used by the experiments to report the paper's message-cost figures
+/// (e.g. "necessitating only 2 messages" for the §3 dissemination
+/// example) and to compare overlays.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    sent: u64,
+    delivered: u64,
+    dropped: u64,
+    to_dead: u64,
+    per_label: BTreeMap<&'static str, u64>,
+}
+
+impl Metrics {
+    /// Creates zeroed metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total messages handed to the network.
+    pub fn sent(&self) -> u64 {
+        self.sent
+    }
+
+    /// Messages delivered to a live process.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Messages lost to simulated link loss or blocked links.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Messages addressed to a crashed/departed process.
+    pub fn to_dead(&self) -> u64 {
+        self.to_dead
+    }
+
+    /// Sent-message counts per message label.
+    pub fn per_label(&self) -> &BTreeMap<&'static str, u64> {
+        &self.per_label
+    }
+
+    /// Count for one label (0 if never seen).
+    pub fn label_count(&self, label: &str) -> u64 {
+        self.per_label.get(label).copied().unwrap_or(0)
+    }
+
+    /// Resets all counters; used between experiment phases to isolate
+    /// the cost of one operation.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+
+    pub(crate) fn record_sent(&mut self, label: &'static str) {
+        self.sent += 1;
+        *self.per_label.entry(label).or_insert(0) += 1;
+    }
+
+    pub(crate) fn record_delivered(&mut self) {
+        self.delivered += 1;
+    }
+
+    pub(crate) fn record_dropped(&mut self) {
+        self.dropped += 1;
+    }
+
+    pub(crate) fn record_to_dead(&mut self) {
+        self.to_dead += 1;
+    }
+}
+
+impl fmt::Display for Metrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "sent={} delivered={} dropped={} to_dead={}",
+            self.sent, self.delivered, self.dropped, self.to_dead
+        )?;
+        for (label, count) in &self.per_label {
+            write!(f, " {label}={count}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = Metrics::new();
+        m.record_sent("join");
+        m.record_sent("join");
+        m.record_sent("leave");
+        m.record_delivered();
+        m.record_dropped();
+        m.record_to_dead();
+        assert_eq!(m.sent(), 3);
+        assert_eq!(m.delivered(), 1);
+        assert_eq!(m.dropped(), 1);
+        assert_eq!(m.to_dead(), 1);
+        assert_eq!(m.label_count("join"), 2);
+        assert_eq!(m.label_count("leave"), 1);
+        assert_eq!(m.label_count("nope"), 0);
+        let shown = m.to_string();
+        assert!(shown.contains("join=2"));
+        m.reset();
+        assert_eq!(m.sent(), 0);
+    }
+}

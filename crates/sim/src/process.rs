@@ -1,0 +1,101 @@
+use std::fmt;
+
+use crate::Context;
+
+/// Identifier of a simulated process.
+///
+/// Ids are assigned by the network engines in creation order and are
+/// never reused, so a crashed process's id stays dangling — exactly the
+/// situation the stabilization modules must cope with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProcessId(u64);
+
+impl ProcessId {
+    /// Creates an id from a raw value. Intended for tests and for
+    /// adversarial corruption (forging references to nonexistent
+    /// processes).
+    pub fn from_raw(raw: u64) -> Self {
+        ProcessId(raw)
+    }
+
+    /// The raw numeric value.
+    pub fn raw(&self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Classifies messages for per-kind metrics.
+///
+/// Implementations return a small static set of labels (one per protocol
+/// message type); [`crate::Metrics`] aggregates counts per label.
+pub trait MessageLabel {
+    /// A short static name for this message's kind.
+    fn label(&self) -> &'static str;
+}
+
+impl MessageLabel for () {
+    fn label(&self) -> &'static str {
+        "unit"
+    }
+}
+
+/// A simulated protocol participant.
+///
+/// Both engines ([`crate::EventNetwork`], [`crate::RoundNetwork`]) drive
+/// implementations through these two callbacks. All interaction with the
+/// outside world goes through the [`Context`]: sending messages, arming
+/// timers, drawing deterministic randomness.
+pub trait Process {
+    /// Protocol message type.
+    type Msg: Clone + MessageLabel;
+    /// Timer token type (periodic or one-shot alarms).
+    type Timer: Clone;
+
+    /// Handles a message delivered from `from`.
+    fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: Self::Msg,
+        ctx: &mut Context<'_, Self::Msg, Self::Timer>,
+    );
+
+    /// Handles an armed timer firing.
+    fn on_timer(&mut self, timer: Self::Timer, ctx: &mut Context<'_, Self::Msg, Self::Timer>);
+
+    /// Called once when the process is added to a network, with its
+    /// assigned id. Default: no-op.
+    fn on_start(&mut self, ctx: &mut Context<'_, Self::Msg, Self::Timer>) {
+        let _ = ctx;
+    }
+}
+
+impl<M: Clone + MessageLabel> MessageLabel for Box<M> {
+    fn label(&self) -> &'static str {
+        (**self).label()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn process_id_roundtrip_and_order() {
+        let a = ProcessId::from_raw(1);
+        let b = ProcessId::from_raw(2);
+        assert!(a < b);
+        assert_eq!(a.raw(), 1);
+        assert_eq!(a.to_string(), "p1");
+    }
+
+    #[test]
+    fn unit_label() {
+        assert_eq!(().label(), "unit");
+    }
+}

@@ -1,0 +1,413 @@
+use std::collections::BTreeMap;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::process::MessageLabel;
+use crate::{Context, Metrics, Process, ProcessId};
+
+/// Synchronous round-based engine.
+///
+/// Each round, in process-id order, every live process first handles the
+/// messages sent to it during the *previous* round, then any due one-shot
+/// timers, then the periodic *tick* (if configured). The paper's
+/// stabilization lemmas bound convergence in "steps"; a round here is the
+/// usual synchronous-daemon step of the self-stabilization literature,
+/// in which every periodic check module fires once.
+///
+/// # Example
+///
+/// ```
+/// use drtree_sim::{Context, Process, ProcessId, RoundNetwork};
+///
+/// /// Counts ticks.
+/// struct Clock { ticks: u64 }
+/// impl Process for Clock {
+///     type Msg = ();
+///     type Timer = ();
+///     fn on_message(&mut self, _: ProcessId, _: (), _: &mut Context<'_, (), ()>) {}
+///     fn on_timer(&mut self, _: (), _: &mut Context<'_, (), ()>) { self.ticks += 1; }
+/// }
+///
+/// let mut net = RoundNetwork::with_tick(7, ());
+/// let id = net.add_process(Clock { ticks: 0 });
+/// net.run_rounds(5);
+/// assert_eq!(net.process(id).unwrap().ticks, 5);
+/// ```
+pub struct RoundNetwork<P: Process> {
+    procs: BTreeMap<ProcessId, P>,
+    inboxes: BTreeMap<ProcessId, Vec<(ProcessId, P::Msg)>>,
+    timers: BTreeMap<u64, Vec<(ProcessId, P::Timer)>>,
+    tick: Option<P::Timer>,
+    round: u64,
+    next_id: u64,
+    rng: StdRng,
+    metrics: Metrics,
+}
+
+impl<P: Process> RoundNetwork<P> {
+    /// Creates an engine with no periodic tick.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            procs: BTreeMap::new(),
+            inboxes: BTreeMap::new(),
+            timers: BTreeMap::new(),
+            tick: None,
+            round: 0,
+            next_id: 0,
+            rng: StdRng::seed_from_u64(seed),
+            metrics: Metrics::new(),
+        }
+    }
+
+    /// Creates an engine that fires `tick` on every process each round —
+    /// the synchronous daemon driving the periodic CHECK_* modules.
+    pub fn with_tick(seed: u64, tick: P::Timer) -> Self {
+        let mut net = Self::new(seed);
+        net.tick = Some(tick);
+        net
+    }
+
+    /// Adds a process, assigns a fresh id, and calls
+    /// [`Process::on_start`].
+    pub fn add_process(&mut self, mut process: P) -> ProcessId {
+        let id = ProcessId::from_raw(self.next_id);
+        self.next_id += 1;
+        let mut ctx = Context::new(id, self.round, &mut self.rng);
+        process.on_start(&mut ctx);
+        self.procs.insert(id, process);
+        let (outbox, timers) = ctx.into_effects();
+        self.apply_effects(id, outbox, timers);
+        id
+    }
+
+    /// Replaces (or removes) the periodic tick. Used by experiments
+    /// that must suspend stabilization for a window (Lemma 3.7's ∆).
+    pub fn set_tick(&mut self, tick: Option<P::Timer>) {
+        self.tick = tick;
+    }
+
+    /// Rounds completed so far.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Ids of live processes, in id order.
+    pub fn ids(&self) -> Vec<ProcessId> {
+        self.procs.keys().copied().collect()
+    }
+
+    /// Number of live processes.
+    pub fn len(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// `true` if no process is alive.
+    pub fn is_empty(&self) -> bool {
+        self.procs.is_empty()
+    }
+
+    /// `true` if `id` refers to a live process.
+    pub fn is_alive(&self, id: ProcessId) -> bool {
+        self.procs.contains_key(&id)
+    }
+
+    /// Shared view of a live process.
+    pub fn process(&self, id: ProcessId) -> Option<&P> {
+        self.procs.get(&id)
+    }
+
+    /// Mutable access to a live process (harness bookkeeping).
+    pub fn process_mut(&mut self, id: ProcessId) -> Option<&mut P> {
+        self.procs.get_mut(&id)
+    }
+
+    /// Iterates over `(id, process)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (ProcessId, &P)> {
+        self.procs.iter().map(|(id, p)| (*id, p))
+    }
+
+    /// Message metrics collected so far.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Resets metrics between experiment phases.
+    pub fn reset_metrics(&mut self) {
+        self.metrics.reset();
+    }
+
+    /// Deterministic randomness for harness decisions.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    /// Crashes `id` (uncontrolled departure): the process and its queued
+    /// messages vanish.
+    pub fn crash(&mut self, id: ProcessId) -> Option<P> {
+        self.inboxes.remove(&id);
+        self.procs.remove(&id)
+    }
+
+    /// Applies an adversarial mutation to a live process's memory.
+    pub fn corrupt(&mut self, id: ProcessId, mutate: impl FnOnce(&mut P, &mut StdRng)) -> bool {
+        match self.procs.get_mut(&id) {
+            Some(p) => {
+                mutate(p, &mut self.rng);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Queues a message for delivery at the start of the next round.
+    pub fn send_external(&mut self, to: ProcessId, msg: P::Msg) {
+        self.metrics.record_sent(msg.label());
+        self.inboxes.entry(to).or_default().push((to, msg));
+    }
+
+    /// Executes one synchronous round.
+    pub fn run_round(&mut self) {
+        self.round += 1;
+        let inboxes = std::mem::take(&mut self.inboxes);
+        let due_timers = self.timers.remove(&self.round).unwrap_or_default();
+        let ids: Vec<ProcessId> = self.procs.keys().copied().collect();
+        for id in ids {
+            // Deliver last round's messages.
+            if let Some(msgs) = inboxes.get(&id) {
+                for (from, msg) in msgs {
+                    if !self.procs.contains_key(&id) {
+                        self.metrics.record_to_dead();
+                        continue;
+                    }
+                    self.metrics.record_delivered();
+                    let mut ctx = Context::new(id, self.round, &mut self.rng);
+                    let proc = self.procs.get_mut(&id).expect("checked above");
+                    proc.on_message(*from, msg.clone(), &mut ctx);
+                    let (outbox, timers) = ctx.into_effects();
+                    self.apply_effects(id, outbox, timers);
+                }
+            }
+            // One-shot timers due this round.
+            for (at, timer) in due_timers.iter().filter(|(at, _)| *at == id) {
+                if let Some(proc) = self.procs.get_mut(at) {
+                    let mut ctx = Context::new(id, self.round, &mut self.rng);
+                    proc.on_timer(timer.clone(), &mut ctx);
+                    let (outbox, timers) = ctx.into_effects();
+                    self.apply_effects(id, outbox, timers);
+                }
+            }
+            // Periodic tick (the synchronous daemon).
+            if let Some(tick) = self.tick.clone() {
+                if let Some(proc) = self.procs.get_mut(&id) {
+                    let mut ctx = Context::new(id, self.round, &mut self.rng);
+                    proc.on_timer(tick, &mut ctx);
+                    let (outbox, timers) = ctx.into_effects();
+                    self.apply_effects(id, outbox, timers);
+                }
+            }
+        }
+        // Messages addressed to processes that died mid-round are dropped
+        // with the inbox map (they were never delivered).
+    }
+
+    /// Runs `n` rounds.
+    pub fn run_rounds(&mut self, n: u64) {
+        for _ in 0..n {
+            self.run_round();
+        }
+    }
+
+    /// Runs rounds until `predicate(self)` holds, up to `max_rounds`.
+    /// Returns the number of rounds executed if the predicate held, or
+    /// `None` on timeout.
+    pub fn run_until(
+        &mut self,
+        max_rounds: u64,
+        mut predicate: impl FnMut(&Self) -> bool,
+    ) -> Option<u64> {
+        for executed in 0..=max_rounds {
+            if predicate(self) {
+                return Some(executed);
+            }
+            if executed == max_rounds {
+                break;
+            }
+            self.run_round();
+        }
+        None
+    }
+
+    fn apply_effects(
+        &mut self,
+        from: ProcessId,
+        outbox: Vec<(ProcessId, P::Msg)>,
+        timer_requests: Vec<(u64, P::Timer)>,
+    ) {
+        for (to, msg) in outbox {
+            self.metrics.record_sent(msg.label());
+            self.inboxes.entry(to).or_default().push((from, msg));
+        }
+        for (delay, timer) in timer_requests {
+            self.timers
+                .entry(self.round + delay)
+                .or_default()
+                .push((from, timer));
+        }
+    }
+}
+
+impl<P: Process + Clone> Clone for RoundNetwork<P> {
+    fn clone(&self) -> Self {
+        Self {
+            procs: self.procs.clone(),
+            inboxes: self.inboxes.clone(),
+            timers: self.timers.clone(),
+            tick: self.tick.clone(),
+            round: self.round,
+            next_id: self.next_id,
+            rng: self.rng.clone(),
+            metrics: self.metrics.clone(),
+        }
+    }
+}
+
+impl<P: Process> std::fmt::Debug for RoundNetwork<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RoundNetwork")
+            .field("round", &self.round)
+            .field("processes", &self.procs.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone, Debug)]
+    struct Gossip(u64);
+
+    impl MessageLabel for Gossip {
+        fn label(&self) -> &'static str {
+            "gossip"
+        }
+    }
+
+    /// Floods the max value seen to the next process in a ring.
+    struct RingNode {
+        next: Option<ProcessId>,
+        best: u64,
+    }
+
+    impl Process for RingNode {
+        type Msg = Gossip;
+        type Timer = ();
+
+        fn on_message(
+            &mut self,
+            _from: ProcessId,
+            msg: Gossip,
+            _ctx: &mut Context<'_, Gossip, ()>,
+        ) {
+            self.best = self.best.max(msg.0);
+        }
+
+        fn on_timer(&mut self, _t: (), ctx: &mut Context<'_, Gossip, ()>) {
+            if let Some(next) = self.next {
+                ctx.send(next, Gossip(self.best));
+            }
+        }
+    }
+
+    fn ring(n: u64) -> (RoundNetwork<RingNode>, Vec<ProcessId>) {
+        let mut net = RoundNetwork::with_tick(9, ());
+        let ids: Vec<ProcessId> = (0..n)
+            .map(|i| {
+                net.add_process(RingNode {
+                    next: None,
+                    best: i,
+                })
+            })
+            .collect();
+        for (i, &id) in ids.iter().enumerate() {
+            let next = ids[(i + 1) % ids.len()];
+            net.process_mut(id).unwrap().next = Some(next);
+        }
+        (net, ids)
+    }
+
+    #[test]
+    fn max_propagates_one_hop_per_round() {
+        let (mut net, ids) = ring(5);
+        // After k rounds the max has traveled k hops (tick sends, next
+        // round delivers).
+        net.run_rounds(1);
+        // value 4 sent by p4 during round 1 arrives at p0 in round 2
+        assert_eq!(net.process(ids[0]).unwrap().best, 0);
+        net.run_rounds(1);
+        assert_eq!(net.process(ids[0]).unwrap().best, 4);
+        net.run_rounds(4);
+        for &id in &ids {
+            assert_eq!(net.process(id).unwrap().best, 4);
+        }
+    }
+
+    #[test]
+    fn run_until_counts_rounds() {
+        let (mut net, ids) = ring(8);
+        let last = ids[3];
+        let converged = net.run_until(100, |n| n.iter().all(|(_, p)| p.best == 7));
+        assert!(converged.is_some());
+        assert!(converged.unwrap() <= 9, "rounds: {converged:?}");
+        let _ = last;
+    }
+
+    #[test]
+    fn run_until_times_out() {
+        let mut net: RoundNetwork<RingNode> = RoundNetwork::new(0);
+        let id = net.add_process(RingNode {
+            next: None,
+            best: 0,
+        });
+        let r = net.run_until(3, |n| n.process(id).unwrap().best == 99);
+        assert_eq!(r, None);
+        assert_eq!(net.round(), 3);
+    }
+
+    #[test]
+    fn crash_removes_pending_inbox() {
+        let (mut net, ids) = ring(3);
+        net.run_rounds(1); // messages in flight
+        net.crash(ids[1]);
+        net.run_rounds(2); // must not panic; p1's inbox discarded
+        assert!(!net.is_alive(ids[1]));
+        assert_eq!(net.len(), 2);
+    }
+
+    #[test]
+    fn one_shot_timers() {
+        struct OneShot {
+            fired_at: Option<u64>,
+        }
+        impl Process for OneShot {
+            type Msg = ();
+            type Timer = &'static str;
+            fn on_message(&mut self, _: ProcessId, _: (), _: &mut Context<'_, (), &'static str>) {}
+            fn on_timer(&mut self, t: &'static str, ctx: &mut Context<'_, (), &'static str>) {
+                if t == "later" {
+                    self.fired_at = Some(ctx.now());
+                }
+            }
+            fn on_start(&mut self, ctx: &mut Context<'_, (), &'static str>) {
+                ctx.set_timer(5, "later");
+            }
+        }
+        let mut net: RoundNetwork<OneShot> = RoundNetwork::new(1);
+        let id = net.add_process(OneShot { fired_at: None });
+        net.run_rounds(4);
+        assert_eq!(net.process(id).unwrap().fired_at, None);
+        net.run_rounds(1);
+        assert_eq!(net.process(id).unwrap().fired_at, Some(5));
+    }
+}

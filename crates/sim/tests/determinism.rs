@@ -1,0 +1,124 @@
+//! Determinism guarantees of both engines: identical seeds produce
+//! identical traces regardless of jitter/loss configuration, which is
+//! what makes every experiment in this reproduction replayable.
+
+use drtree_sim::{
+    Context, EventNetwork, LatencyModel, MessageLabel, NetConfig, Process, ProcessId, RoundNetwork,
+};
+use proptest::prelude::*;
+use rand::Rng;
+
+#[derive(Clone, Debug)]
+struct Gossip(u64);
+
+impl MessageLabel for Gossip {
+    fn label(&self) -> &'static str {
+        "gossip"
+    }
+}
+
+/// Forwards a decremented token to a pseudo-random peer each time.
+struct Forwarder {
+    peers: Vec<ProcessId>,
+    received: u64,
+}
+
+impl Process for Forwarder {
+    type Msg = Gossip;
+    type Timer = ();
+
+    fn on_message(&mut self, _from: ProcessId, msg: Gossip, ctx: &mut Context<'_, Gossip, ()>) {
+        self.received += 1;
+        if msg.0 > 0 && !self.peers.is_empty() {
+            let next = self.peers[ctx.rng().gen_range(0..self.peers.len())];
+            ctx.send(next, Gossip(msg.0 - 1));
+        }
+    }
+
+    fn on_timer(&mut self, _t: (), _ctx: &mut Context<'_, Gossip, ()>) {}
+}
+
+fn event_trace(seed: u64, drop: f64, jitter: bool) -> (u64, u64, u64, Vec<u64>) {
+    let net_config = NetConfig {
+        latency: if jitter {
+            LatencyModel::Uniform { min: 1, max: 7 }
+        } else {
+            LatencyModel::Fixed(1)
+        },
+        drop_probability: drop,
+    };
+    let mut net: EventNetwork<Forwarder> = EventNetwork::new(net_config, seed);
+    let ids: Vec<ProcessId> = (0..8)
+        .map(|_| {
+            net.add_process(Forwarder {
+                peers: Vec::new(),
+                received: 0,
+            })
+        })
+        .collect();
+    for &id in &ids {
+        net.process_mut(id).unwrap().peers = ids.clone();
+    }
+    for &id in &ids {
+        net.send_external(id, Gossip(30));
+    }
+    net.run_to_quiescence(100_000);
+    let per_node = ids
+        .iter()
+        .map(|&id| net.process(id).unwrap().received)
+        .collect();
+    (
+        net.metrics().sent(),
+        net.metrics().delivered(),
+        net.now(),
+        per_node,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn event_engine_is_deterministic(seed in any::<u64>(), drop in 0.0f64..0.3) {
+        let a = event_trace(seed, drop, true);
+        let b = event_trace(seed, drop, true);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_diverge(seed in any::<u64>()) {
+        // With jitter and drops, two different seeds virtually always
+        // produce different traces; equality would indicate the RNG is
+        // not actually wired through.
+        let a = event_trace(seed, 0.2, true);
+        let b = event_trace(seed.wrapping_add(1), 0.2, true);
+        prop_assert_ne!(a, b);
+    }
+}
+
+#[test]
+fn round_engine_is_deterministic() {
+    let run = |seed: u64| {
+        let mut net: RoundNetwork<Forwarder> = RoundNetwork::new(seed);
+        let ids: Vec<ProcessId> = (0..6)
+            .map(|_| {
+                net.add_process(Forwarder {
+                    peers: Vec::new(),
+                    received: 0,
+                })
+            })
+            .collect();
+        for &id in &ids {
+            net.process_mut(id).unwrap().peers = ids.clone();
+        }
+        net.send_external(ids[0], Gossip(64));
+        net.run_rounds(100);
+        let counts: Vec<u64> = ids
+            .iter()
+            .map(|&id| net.process(id).unwrap().received)
+            .collect();
+        (net.metrics().sent(), counts)
+    };
+    assert_eq!(run(7), run(7));
+    assert_ne!(run(7), run(8));
+}

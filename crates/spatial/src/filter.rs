@@ -1,0 +1,449 @@
+//! The content-based filter language of §2.1.
+//!
+//! A subscription is "a conjunction of predicates over the attributes
+//! field, i.e. `S = f1 ∧ … ∧ fj`, where `fi = (ni opi vi)`" — attribute
+//! name, operator, constant. Conjunctions of range predicates circumscribe
+//! a poly-space rectangle; an attribute left unconstrained makes the
+//! rectangle unbounded in that dimension.
+//!
+//! [`Schema`] fixes the attribute-name → dimension mapping so that filters
+//! and events written in attribute form can be compiled to the geometric
+//! [`Rect`]/[`Point`] form used by the overlay.
+//!
+//! # Example
+//!
+//! ```
+//! use drtree_spatial::{Schema, FilterExpr, Op, Event};
+//!
+//! let schema = Schema::new(["price", "volume"]);
+//! // price in (10, 50] and volume >= 100  →  a half-bounded rectangle
+//! let filt = FilterExpr::new()
+//!     .and("price", Op::Gt, 10.0)
+//!     .and("price", Op::Le, 50.0)
+//!     .and("volume", Op::Ge, 100.0);
+//! let rect = filt.compile::<2>(&schema)?;
+//! assert!(!rect.is_bounded()); // volume has no upper bound
+//!
+//! let event = Event::new().with("price", 20.0).with("volume", 500.0);
+//! let point = event.compile::<2>(&schema)?;
+//! assert!(rect.contains_point(&point));
+//! # Ok::<(), drtree_spatial::filter::FilterError>(())
+//! ```
+
+use std::fmt;
+
+use crate::{Point, Rect};
+
+/// Comparison operators available for numeric attributes (§2.1).
+///
+/// Strict inequalities are honored up to measure-zero boundary effects:
+/// the geometric representation uses closed rectangles, so `<`/`>` and
+/// `<=`/`>=` compile to the same bound. This matches the paper, whose
+/// geometric model ("poly-space rectangles") has the same property.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// Exact equality: pins the dimension to a single value.
+    Eq,
+    /// Strictly less than.
+    Lt,
+    /// Less than or equal.
+    Le,
+    /// Strictly greater than.
+    Gt,
+    /// Greater than or equal.
+    Ge,
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Op::Eq => "=",
+            Op::Lt => "<",
+            Op::Le => "<=",
+            Op::Gt => ">",
+            Op::Ge => ">=",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One predicate `(attribute op value)` of a conjunction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Predicate {
+    /// Attribute name (`ni` in the paper).
+    pub attr: String,
+    /// Comparison operator (`opi`).
+    pub op: Op,
+    /// Constant to compare against (`vi`).
+    pub value: f64,
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.attr, self.op, self.value)
+    }
+}
+
+/// The attribute-name → dimension mapping shared by all participants.
+///
+/// The paper assumes a common attribute space; `Schema` makes that
+/// assumption explicit and checks filters/events against it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    attrs: Vec<String>,
+}
+
+impl Schema {
+    /// Creates a schema from attribute names; dimension `i` is the `i`-th
+    /// name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two attributes share a name.
+    pub fn new<I, S>(attrs: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let attrs: Vec<String> = attrs.into_iter().map(Into::into).collect();
+        for (i, a) in attrs.iter().enumerate() {
+            assert!(
+                !attrs[..i].contains(a),
+                "duplicate attribute name {a:?} in schema"
+            );
+        }
+        Self { attrs }
+    }
+
+    /// Number of attributes (the dimensionality of the space).
+    pub fn dims(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// The dimension index of `attr`, if declared.
+    pub fn dim_of(&self, attr: &str) -> Option<usize> {
+        self.attrs.iter().position(|a| a == attr)
+    }
+
+    /// Attribute name of dimension `dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim >= self.dims()`.
+    pub fn attr_of(&self, dim: usize) -> &str {
+        &self.attrs[dim]
+    }
+}
+
+/// Errors produced when compiling filters or events against a [`Schema`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum FilterError {
+    /// A predicate or event value names an attribute absent from the schema.
+    UnknownAttribute(String),
+    /// The const-generic dimension `D` does not equal `schema.dims()`.
+    DimensionMismatch {
+        /// Dimensions expected by the caller (`D`).
+        expected: usize,
+        /// Dimensions declared by the schema.
+        schema: usize,
+    },
+    /// The conjunction is unsatisfiable (empty rectangle), e.g.
+    /// `x > 5 ∧ x < 3`.
+    Unsatisfiable(String),
+    /// An event omits a value for an attribute (events must be points).
+    MissingValue(String),
+    /// A value is NaN.
+    NotANumber(String),
+}
+
+impl fmt::Display for FilterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FilterError::UnknownAttribute(a) => write!(f, "unknown attribute {a:?}"),
+            FilterError::DimensionMismatch { expected, schema } => write!(
+                f,
+                "dimension mismatch: caller expects {expected}, schema declares {schema}"
+            ),
+            FilterError::Unsatisfiable(a) => {
+                write!(f, "unsatisfiable constraints on attribute {a:?}")
+            }
+            FilterError::MissingValue(a) => write!(f, "event missing value for attribute {a:?}"),
+            FilterError::NotANumber(a) => write!(f, "value for attribute {a:?} is NaN"),
+        }
+    }
+}
+
+impl std::error::Error for FilterError {}
+
+/// A conjunction of predicates — one content-based filter (§2.1).
+///
+/// Build with [`FilterExpr::and`], then [`compile`](FilterExpr::compile)
+/// into a [`Rect`]. See the [module documentation](self) for an example.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FilterExpr {
+    predicates: Vec<Predicate>,
+}
+
+impl FilterExpr {
+    /// An empty conjunction (matches everything).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a predicate to the conjunction.
+    pub fn and(mut self, attr: impl Into<String>, op: Op, value: f64) -> Self {
+        self.predicates.push(Predicate {
+            attr: attr.into(),
+            op,
+            value,
+        });
+        self
+    }
+
+    /// The predicates of the conjunction, in insertion order.
+    pub fn predicates(&self) -> &[Predicate] {
+        &self.predicates
+    }
+
+    /// Compiles the conjunction into the rectangle it circumscribes.
+    ///
+    /// Dimensions with no predicate remain unbounded (`±∞`), matching the
+    /// paper: "if one attribute is undefined, then the corresponding
+    /// rectangle is unbounded in the associated dimension".
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FilterError`] if `D != schema.dims()`, a predicate names
+    /// an unknown attribute or NaN value, or the conjunction is
+    /// unsatisfiable.
+    pub fn compile<const D: usize>(&self, schema: &Schema) -> Result<Rect<D>, FilterError> {
+        if schema.dims() != D {
+            return Err(FilterError::DimensionMismatch {
+                expected: D,
+                schema: schema.dims(),
+            });
+        }
+        let mut lo = [f64::NEG_INFINITY; D];
+        let mut hi = [f64::INFINITY; D];
+        for p in &self.predicates {
+            let dim = schema
+                .dim_of(&p.attr)
+                .ok_or_else(|| FilterError::UnknownAttribute(p.attr.clone()))?;
+            if p.value.is_nan() {
+                return Err(FilterError::NotANumber(p.attr.clone()));
+            }
+            match p.op {
+                Op::Eq => {
+                    lo[dim] = lo[dim].max(p.value);
+                    hi[dim] = hi[dim].min(p.value);
+                }
+                Op::Lt | Op::Le => hi[dim] = hi[dim].min(p.value),
+                Op::Gt | Op::Ge => lo[dim] = lo[dim].max(p.value),
+            }
+            if lo[dim] > hi[dim] {
+                return Err(FilterError::Unsatisfiable(p.attr.clone()));
+            }
+        }
+        Ok(Rect::new(lo, hi))
+    }
+}
+
+/// A publication: a set of attribute/value pairs (§2.1 — "messages sent by
+/// publishers contain a set of attributes with associated values").
+///
+/// Compile to a geometric [`Point`] with [`Event::compile`]. Every
+/// schema attribute must be given a value — events are points, not
+/// regions.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Event {
+    values: Vec<(String, f64)>,
+}
+
+impl Event {
+    /// An event with no values yet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the value of one attribute (last write wins).
+    pub fn with(mut self, attr: impl Into<String>, value: f64) -> Self {
+        let attr = attr.into();
+        if let Some(slot) = self.values.iter_mut().find(|(a, _)| *a == attr) {
+            slot.1 = value;
+        } else {
+            self.values.push((attr, value));
+        }
+        self
+    }
+
+    /// The attribute/value pairs, in insertion order.
+    pub fn values(&self) -> &[(String, f64)] {
+        &self.values
+    }
+
+    /// Compiles the event to the point it denotes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FilterError`] if `D != schema.dims()`, a value names an
+    /// unknown attribute or is NaN, or a schema attribute has no value.
+    pub fn compile<const D: usize>(&self, schema: &Schema) -> Result<Point<D>, FilterError> {
+        if schema.dims() != D {
+            return Err(FilterError::DimensionMismatch {
+                expected: D,
+                schema: schema.dims(),
+            });
+        }
+        let mut coords = [f64::NAN; D];
+        for (attr, v) in &self.values {
+            let dim = schema
+                .dim_of(attr)
+                .ok_or_else(|| FilterError::UnknownAttribute(attr.clone()))?;
+            if v.is_nan() {
+                return Err(FilterError::NotANumber(attr.clone()));
+            }
+            coords[dim] = *v;
+        }
+        for (dim, c) in coords.iter().enumerate() {
+            if c.is_nan() {
+                return Err(FilterError::MissingValue(schema.attr_of(dim).to_owned()));
+            }
+        }
+        Ok(Point::new(coords))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new(["x", "y"])
+    }
+
+    #[test]
+    fn schema_lookup() {
+        let s = schema();
+        assert_eq!(s.dims(), 2);
+        assert_eq!(s.dim_of("x"), Some(0));
+        assert_eq!(s.dim_of("y"), Some(1));
+        assert_eq!(s.dim_of("z"), None);
+        assert_eq!(s.attr_of(1), "y");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn schema_duplicates_rejected() {
+        let _ = Schema::new(["x", "x"]);
+    }
+
+    #[test]
+    fn compile_bounded_filter() {
+        let f = FilterExpr::new()
+            .and("x", Op::Ge, 1.0)
+            .and("x", Op::Le, 5.0)
+            .and("y", Op::Gt, 0.0)
+            .and("y", Op::Lt, 2.0);
+        let r = f.compile::<2>(&schema()).unwrap();
+        assert_eq!(r, Rect::new([1.0, 0.0], [5.0, 2.0]));
+        assert!(r.is_bounded());
+    }
+
+    #[test]
+    fn compile_unbounded_dimension() {
+        let f = FilterExpr::new().and("x", Op::Ge, 1.0);
+        let r = f.compile::<2>(&schema()).unwrap();
+        assert_eq!(r.lo(0), 1.0);
+        assert_eq!(r.hi(0), f64::INFINITY);
+        assert_eq!(r.lo(1), f64::NEG_INFINITY);
+        assert!(!r.is_bounded());
+    }
+
+    #[test]
+    fn compile_eq_pins_dimension() {
+        let f = FilterExpr::new().and("x", Op::Eq, 3.0);
+        let r = f.compile::<2>(&schema()).unwrap();
+        assert_eq!(r.lo(0), 3.0);
+        assert_eq!(r.hi(0), 3.0);
+    }
+
+    #[test]
+    fn tightest_bound_wins() {
+        let f = FilterExpr::new()
+            .and("x", Op::Ge, 1.0)
+            .and("x", Op::Ge, 2.0)
+            .and("x", Op::Le, 9.0)
+            .and("x", Op::Le, 4.0);
+        let r = f.compile::<2>(&schema()).unwrap();
+        assert_eq!((r.lo(0), r.hi(0)), (2.0, 4.0));
+    }
+
+    #[test]
+    fn errors() {
+        assert_eq!(
+            FilterExpr::new()
+                .and("z", Op::Eq, 0.0)
+                .compile::<2>(&schema()),
+            Err(FilterError::UnknownAttribute("z".into()))
+        );
+        assert_eq!(
+            FilterExpr::new()
+                .and("x", Op::Gt, 5.0)
+                .and("x", Op::Lt, 3.0)
+                .compile::<2>(&schema()),
+            Err(FilterError::Unsatisfiable("x".into()))
+        );
+        assert!(matches!(
+            FilterExpr::new().compile::<3>(&schema()),
+            Err(FilterError::DimensionMismatch {
+                expected: 3,
+                schema: 2
+            })
+        ));
+        assert_eq!(
+            FilterExpr::new()
+                .and("x", Op::Eq, f64::NAN)
+                .compile::<2>(&schema()),
+            Err(FilterError::NotANumber("x".into()))
+        );
+    }
+
+    #[test]
+    fn event_compiles_to_point() {
+        let e = Event::new().with("y", 2.0).with("x", 1.0);
+        let p = e.compile::<2>(&schema()).unwrap();
+        assert_eq!(p, Point::new([1.0, 2.0]));
+    }
+
+    #[test]
+    fn event_missing_value() {
+        let e = Event::new().with("x", 1.0);
+        assert_eq!(
+            e.compile::<2>(&schema()),
+            Err(FilterError::MissingValue("y".into()))
+        );
+    }
+
+    #[test]
+    fn event_overwrite() {
+        let e = Event::new().with("x", 1.0).with("x", 7.0).with("y", 0.0);
+        let p = e.compile::<2>(&schema()).unwrap();
+        assert_eq!(p.coord(0), 7.0);
+    }
+
+    #[test]
+    fn filter_matches_event_end_to_end() {
+        let s = schema();
+        let f = FilterExpr::new()
+            .and("x", Op::Ge, 0.0)
+            .and("x", Op::Le, 10.0)
+            .and("y", Op::Ge, 0.0)
+            .and("y", Op::Le, 10.0)
+            .compile::<2>(&s)
+            .unwrap();
+        let inside = Event::new().with("x", 5.0).with("y", 5.0);
+        let outside = Event::new().with("x", 15.0).with("y", 5.0);
+        assert!(f.contains_point(&inside.compile(&s).unwrap()));
+        assert!(!f.contains_point(&outside.compile(&s).unwrap()));
+    }
+}

@@ -1,0 +1,143 @@
+use std::fmt;
+
+/// A point in `D`-dimensional attribute space.
+///
+/// In the publish/subscribe model of the paper, an *event* assigns a value
+/// to every attribute and therefore "corresponds geometrically to a point"
+/// (§2.1). `Point` is the geometric form; the attribute-named form is
+/// [`crate::filter::Event`].
+///
+/// # Example
+///
+/// ```
+/// use drtree_spatial::Point;
+/// let p = Point::new([1.0, 2.0]);
+/// assert_eq!(p.coord(0), 1.0);
+/// assert_eq!(p.coords(), &[1.0, 2.0]);
+/// ```
+#[derive(Clone, Copy, PartialEq)]
+pub struct Point<const D: usize> {
+    coords: [f64; D],
+}
+
+impl<const D: usize> Point<D> {
+    /// Creates a point from its coordinates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any coordinate is NaN.
+    pub fn new(coords: [f64; D]) -> Self {
+        assert!(
+            coords.iter().all(|c| !c.is_nan()),
+            "point coordinates must not be NaN"
+        );
+        Self { coords }
+    }
+
+    /// The coordinate along dimension `dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim >= D`.
+    pub fn coord(&self, dim: usize) -> f64 {
+        self.coords[dim]
+    }
+
+    /// All coordinates, in dimension order.
+    pub fn coords(&self) -> &[f64; D] {
+        &self.coords
+    }
+
+    /// The origin (all coordinates zero).
+    pub fn origin() -> Self {
+        Self { coords: [0.0; D] }
+    }
+
+    /// Squared Euclidean distance to another point.
+    ///
+    /// Exposed because the R\*-tree split/reinsertion heuristics rank
+    /// entries by distance to a center and never need the square root.
+    pub fn distance2(&self, other: &Self) -> f64 {
+        self.coords
+            .iter()
+            .zip(other.coords.iter())
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum()
+    }
+}
+
+impl<const D: usize> Default for Point<D> {
+    fn default() -> Self {
+        Self::origin()
+    }
+}
+
+impl<const D: usize> fmt::Debug for Point<D> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Point{:?}", self.coords)
+    }
+}
+
+impl<const D: usize> fmt::Display for Point<D> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.coords.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl<const D: usize> From<[f64; D]> for Point<D> {
+    fn from(coords: [f64; D]) -> Self {
+        Self::new(coords)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_and_accessors() {
+        let p = Point::new([1.0, -2.5, 3.0]);
+        assert_eq!(p.coord(0), 1.0);
+        assert_eq!(p.coord(1), -2.5);
+        assert_eq!(p.coords(), &[1.0, -2.5, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        let _ = Point::new([f64::NAN, 0.0]);
+    }
+
+    #[test]
+    fn distance2() {
+        let a = Point::new([0.0, 0.0]);
+        let b = Point::new([3.0, 4.0]);
+        assert_eq!(a.distance2(&b), 25.0);
+        assert_eq!(b.distance2(&a), 25.0);
+        assert_eq!(a.distance2(&a), 0.0);
+    }
+
+    #[test]
+    fn default_is_origin() {
+        assert_eq!(Point::<2>::default(), Point::origin());
+    }
+
+    #[test]
+    fn display() {
+        let p = Point::new([1.0, 2.0]);
+        assert_eq!(p.to_string(), "(1, 2)");
+    }
+
+    #[test]
+    fn from_array() {
+        let p: Point<2> = [4.0, 5.0].into();
+        assert_eq!(p, Point::new([4.0, 5.0]));
+    }
+}

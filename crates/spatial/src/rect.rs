@@ -1,0 +1,436 @@
+use std::fmt;
+
+use crate::Point;
+
+/// A `D`-dimensional axis-aligned rectangle ("poly-space rectangle").
+///
+/// Rectangles play two roles in the paper:
+///
+/// * a **subscription filter** — the conjunction of range predicates of
+///   §2.1 circumscribes exactly such a rectangle, possibly unbounded in
+///   dimensions left unconstrained;
+/// * a **minimum bounding rectangle (MBR)** — the tag carried by every
+///   R-tree / DR-tree node (§2.2, §3.2).
+///
+/// Bounds are *closed*: a point on the boundary is contained. Unbounded
+/// dimensions are represented with `±f64::INFINITY`.
+///
+/// # Example
+///
+/// ```
+/// use drtree_spatial::Rect;
+/// let a: Rect<2> = Rect::new([0.0, 0.0], [4.0, 4.0]);
+/// let b: Rect<2> = Rect::new([1.0, 1.0], [2.0, 3.0]);
+/// assert!(a.contains_rect(&b));
+/// assert_eq!(a.area(), 16.0);
+/// assert_eq!(a.union(&b), a);
+/// ```
+#[derive(Clone, Copy, PartialEq)]
+pub struct Rect<const D: usize> {
+    lo: [f64; D],
+    hi: [f64; D],
+}
+
+/// Error returned by [`Rect::try_new`] when the bounds do not describe a
+/// rectangle (NaN coordinate, or `lo > hi` in some dimension).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidRectError;
+
+impl fmt::Display for InvalidRectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("rectangle bounds must be non-NaN with lo <= hi in every dimension")
+    }
+}
+
+impl std::error::Error for InvalidRectError {}
+
+impl<const D: usize> Rect<D> {
+    /// Creates a rectangle from its lower and upper corners.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a coordinate is NaN or `lo[i] > hi[i]` for some `i`.
+    /// Use [`Rect::try_new`] for a fallible variant or
+    /// [`Rect::from_corners`] to normalize swapped bounds.
+    pub fn new(lo: [f64; D], hi: [f64; D]) -> Self {
+        Self::try_new(lo, hi).expect("invalid rectangle bounds")
+    }
+
+    /// Creates a rectangle, returning an error on invalid bounds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidRectError`] if a coordinate is NaN or
+    /// `lo[i] > hi[i]` for some dimension `i`.
+    pub fn try_new(lo: [f64; D], hi: [f64; D]) -> Result<Self, InvalidRectError> {
+        for i in 0..D {
+            if lo[i].is_nan() || hi[i].is_nan() || lo[i] > hi[i] {
+                return Err(InvalidRectError);
+            }
+        }
+        Ok(Self { lo, hi })
+    }
+
+    /// Creates a rectangle from two arbitrary corners, normalizing the
+    /// bounds per dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any coordinate is NaN.
+    pub fn from_corners(a: [f64; D], b: [f64; D]) -> Self {
+        let mut lo = [0.0; D];
+        let mut hi = [0.0; D];
+        for (i, (&ca, &cb)) in a.iter().zip(b.iter()).enumerate() {
+            assert!(!ca.is_nan() && !cb.is_nan(), "corner must not be NaN");
+            lo[i] = ca.min(cb);
+            hi[i] = ca.max(cb);
+        }
+        Self { lo, hi }
+    }
+
+    /// The degenerate rectangle covering exactly one point.
+    pub fn from_point(p: &Point<D>) -> Self {
+        Self {
+            lo: *p.coords(),
+            hi: *p.coords(),
+        }
+    }
+
+    /// The rectangle covering all of space (every dimension unbounded).
+    pub fn everything() -> Self {
+        Self {
+            lo: [f64::NEG_INFINITY; D],
+            hi: [f64::INFINITY; D],
+        }
+    }
+
+    /// Lower bound along `dim`.
+    pub fn lo(&self, dim: usize) -> f64 {
+        self.lo[dim]
+    }
+
+    /// Upper bound along `dim`.
+    pub fn hi(&self, dim: usize) -> f64 {
+        self.hi[dim]
+    }
+
+    /// All lower bounds.
+    pub fn lower(&self) -> &[f64; D] {
+        &self.lo
+    }
+
+    /// All upper bounds.
+    pub fn upper(&self) -> &[f64; D] {
+        &self.hi
+    }
+
+    /// Extent (side length) along `dim`.
+    pub fn extent(&self, dim: usize) -> f64 {
+        self.hi[dim] - self.lo[dim]
+    }
+
+    /// `true` if every dimension is finite.
+    pub fn is_bounded(&self) -> bool {
+        (0..D).all(|i| self.lo[i].is_finite() && self.hi[i].is_finite())
+    }
+
+    /// The center point. Unbounded dimensions yield non-finite centers.
+    pub fn center(&self) -> Point<D> {
+        let mut c = [0.0; D];
+        for (i, slot) in c.iter_mut().enumerate() {
+            *slot = self.lo[i] / 2.0 + self.hi[i] / 2.0;
+        }
+        Point::new(c)
+    }
+
+    /// Hyper-volume (the paper's `|mbr|`, its measure of coverage).
+    ///
+    /// Degenerate rectangles have area 0; rectangles unbounded in any
+    /// dimension have infinite area, which orders them above all bounded
+    /// rectangles in the root-election rule of Figure 6.
+    pub fn area(&self) -> f64 {
+        if (0..D).any(|i| self.extent(i).is_infinite()) {
+            return f64::INFINITY;
+        }
+        (0..D).map(|i| self.extent(i)).product()
+    }
+
+    /// Sum of extents (the "margin" minimized by the R\*-tree split).
+    pub fn margin(&self) -> f64 {
+        (0..D).map(|i| self.extent(i)).sum()
+    }
+
+    /// `true` if the point lies inside the rectangle (closed bounds).
+    pub fn contains_point(&self, p: &Point<D>) -> bool {
+        (0..D).all(|i| self.lo[i] <= p.coord(i) && p.coord(i) <= self.hi[i])
+    }
+
+    /// Subscription containment: `self ⊒ other`, i.e. every point matching
+    /// `other` also matches `self` (§2.1).
+    pub fn contains_rect(&self, other: &Self) -> bool {
+        (0..D).all(|i| self.lo[i] <= other.lo[i] && other.hi[i] <= self.hi[i])
+    }
+
+    /// Strict containment: `self ⊐ other` and the rectangles differ.
+    pub fn contains_rect_strict(&self, other: &Self) -> bool {
+        self.contains_rect(other) && self != other
+    }
+
+    /// `true` if the rectangles share at least one point (closed bounds).
+    pub fn intersects(&self, other: &Self) -> bool {
+        (0..D).all(|i| self.lo[i] <= other.hi[i] && other.lo[i] <= self.hi[i])
+    }
+
+    /// The common region, if any.
+    pub fn intersection(&self, other: &Self) -> Option<Self> {
+        let mut lo = [0.0; D];
+        let mut hi = [0.0; D];
+        for i in 0..D {
+            lo[i] = self.lo[i].max(other.lo[i]);
+            hi[i] = self.hi[i].min(other.hi[i]);
+            if lo[i] > hi[i] {
+                return None;
+            }
+        }
+        Some(Self { lo, hi })
+    }
+
+    /// Area of the common region (0 if disjoint). Used by the R\*-tree
+    /// split, which minimizes overlap.
+    pub fn overlap_area(&self, other: &Self) -> f64 {
+        self.intersection(other).map_or(0.0, |r| r.area())
+    }
+
+    /// Smallest rectangle covering both operands (the MBR union `⋃` of the
+    /// paper's `Adjust_Children` and `Compute_MBR`).
+    pub fn union(&self, other: &Self) -> Self {
+        let mut lo = [0.0; D];
+        let mut hi = [0.0; D];
+        for i in 0..D {
+            lo[i] = self.lo[i].min(other.lo[i]);
+            hi[i] = self.hi[i].max(other.hi[i]);
+        }
+        Self { lo, hi }
+    }
+
+    /// Grows `self` in place to cover `other`.
+    pub fn enlarge_to_cover(&mut self, other: &Self) {
+        *self = self.union(other);
+    }
+
+    /// Area increase required for `self` to cover `other`.
+    ///
+    /// This is the quantity minimized by `Choose_Best_Child` when routing
+    /// a join request down the tree: "chooses in its children set the child
+    /// whose MBR needs the less adjustment to encompass the filter of the
+    /// joining subscriber" (§3.2).
+    ///
+    /// If both the union and `self` are unbounded the enlargement is
+    /// reported as 0 (no growth in any finite sense).
+    pub fn enlargement(&self, other: &Self) -> f64 {
+        let u = self.union(other).area();
+        let a = self.area();
+        if u.is_infinite() && a.is_infinite() {
+            return 0.0;
+        }
+        u - a
+    }
+
+    /// Dead area produced by keeping two rectangles together:
+    /// `area(union) − area(a) − area(b)`. The linear and quadratic split
+    /// methods pick seeds that *maximize* this waste (§3.2).
+    pub fn waste(&self, other: &Self) -> f64 {
+        self.union(other).area() - self.area() - other.area()
+    }
+
+    /// Area of `self` **not** covered by `cover`:
+    /// `area(self) − area(self ∩ cover)`.
+    ///
+    /// This is the paper's `|mbr_set − filter|` used by `Best_Set_Cover`
+    /// when electing the leader of a merged children set (Figure 14).
+    pub fn deficit(&self, cover: &Self) -> f64 {
+        let inter = self.intersection(cover).map_or(0.0, |r| r.area());
+        let a = self.area();
+        if a.is_infinite() && inter.is_infinite() {
+            return 0.0;
+        }
+        a - inter
+    }
+
+    /// MBR of an iterator of rectangles; `None` when empty.
+    ///
+    /// Implements the paper's `Compute_MBR` (Figure 7): the component-wise
+    /// min of lower bounds and max of upper bounds over a children set.
+    pub fn union_all<'a, I>(rects: I) -> Option<Self>
+    where
+        I: IntoIterator<Item = &'a Self>,
+        Self: 'a,
+    {
+        let mut it = rects.into_iter();
+        let first = *it.next()?;
+        Some(it.fold(first, |acc, r| acc.union(r)))
+    }
+}
+
+impl<const D: usize> Eq for Rect<D> {}
+
+impl<const D: usize> fmt::Debug for Rect<D> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Rect{{lo:{:?}, hi:{:?}}}", self.lo, self.hi)
+    }
+}
+
+impl<const D: usize> fmt::Display for Rect<D> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for i in 0..D {
+            if i > 0 {
+                write!(f, " × ")?;
+            }
+            write!(f, "{}..{}", self.lo[i], self.hi[i])?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl<const D: usize> From<Point<D>> for Rect<D> {
+    fn from(p: Point<D>) -> Self {
+        Self::from_point(&p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(lo: [f64; 2], hi: [f64; 2]) -> Rect<2> {
+        Rect::new(lo, hi)
+    }
+
+    #[test]
+    fn construction_valid() {
+        let a = r([0.0, 1.0], [2.0, 3.0]);
+        assert_eq!(a.lo(0), 0.0);
+        assert_eq!(a.hi(1), 3.0);
+        assert_eq!(a.extent(0), 2.0);
+    }
+
+    #[test]
+    fn construction_invalid() {
+        assert_eq!(Rect::try_new([1.0], [0.0]), Err(InvalidRectError));
+        assert!(Rect::try_new([f64::NAN], [0.0]).is_err());
+        assert!(Rect::<1>::try_new([0.0], [0.0]).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid rectangle")]
+    fn new_panics() {
+        let _ = Rect::new([2.0], [1.0]);
+    }
+
+    #[test]
+    fn from_corners_normalizes() {
+        let a = Rect::from_corners([2.0, 0.0], [0.0, 3.0]);
+        assert_eq!(a, r([0.0, 0.0], [2.0, 3.0]));
+    }
+
+    #[test]
+    fn area_margin() {
+        let a = r([0.0, 0.0], [4.0, 2.0]);
+        assert_eq!(a.area(), 8.0);
+        assert_eq!(a.margin(), 6.0);
+        assert_eq!(Rect::<2>::everything().area(), f64::INFINITY);
+        // degenerate with an unbounded dimension: still infinite, not NaN
+        let weird = Rect::new([0.0, 0.0], [0.0, f64::INFINITY]);
+        assert_eq!(weird.area(), f64::INFINITY);
+    }
+
+    #[test]
+    fn point_containment_closed_bounds() {
+        let a = r([0.0, 0.0], [1.0, 1.0]);
+        assert!(a.contains_point(&Point::new([0.0, 1.0])));
+        assert!(a.contains_point(&Point::new([0.5, 0.5])));
+        assert!(!a.contains_point(&Point::new([1.00001, 0.5])));
+    }
+
+    #[test]
+    fn rect_containment() {
+        let a = r([0.0, 0.0], [4.0, 4.0]);
+        let b = r([1.0, 1.0], [2.0, 2.0]);
+        assert!(a.contains_rect(&b));
+        assert!(!b.contains_rect(&a));
+        assert!(a.contains_rect(&a));
+        assert!(!a.contains_rect_strict(&a));
+        assert!(a.contains_rect_strict(&b));
+        assert!(Rect::everything().contains_rect(&a));
+    }
+
+    #[test]
+    fn intersection_union() {
+        let a = r([0.0, 0.0], [2.0, 2.0]);
+        let b = r([1.0, 1.0], [3.0, 3.0]);
+        assert!(a.intersects(&b));
+        assert_eq!(a.intersection(&b), Some(r([1.0, 1.0], [2.0, 2.0])));
+        assert_eq!(a.union(&b), r([0.0, 0.0], [3.0, 3.0]));
+        assert_eq!(a.overlap_area(&b), 1.0);
+
+        let c = r([5.0, 5.0], [6.0, 6.0]);
+        assert!(!a.intersects(&c));
+        assert_eq!(a.intersection(&c), None);
+        assert_eq!(a.overlap_area(&c), 0.0);
+    }
+
+    #[test]
+    fn touching_rects_intersect() {
+        let a = r([0.0, 0.0], [1.0, 1.0]);
+        let b = r([1.0, 0.0], [2.0, 1.0]);
+        assert!(a.intersects(&b));
+        assert_eq!(a.intersection(&b).unwrap().area(), 0.0);
+    }
+
+    #[test]
+    fn enlargement_and_waste() {
+        let a = r([0.0, 0.0], [2.0, 2.0]);
+        let b = r([3.0, 0.0], [4.0, 2.0]);
+        // union is [0..4 × 0..2] = 8; a is 4 → enlargement 4
+        assert_eq!(a.enlargement(&b), 4.0);
+        assert_eq!(a.enlargement(&a), 0.0);
+        // waste = 8 - 4 - 2 = 2
+        assert_eq!(a.waste(&b), 2.0);
+        // overlapping rects can have negative waste
+        let c = r([0.0, 0.0], [2.0, 2.0]);
+        assert!(a.waste(&c) < 0.0);
+    }
+
+    #[test]
+    fn deficit() {
+        let set = r([0.0, 0.0], [4.0, 4.0]);
+        let filt = r([0.0, 0.0], [4.0, 2.0]);
+        assert_eq!(set.deficit(&filt), 8.0);
+        assert_eq!(set.deficit(&set), 0.0);
+        assert_eq!(set.deficit(&Rect::everything()), 0.0);
+    }
+
+    #[test]
+    fn union_all() {
+        let rs = [
+            r([0.0, 0.0], [1.0, 1.0]),
+            r([2.0, 2.0], [3.0, 3.0]),
+            r([-1.0, 0.5], [0.0, 0.6]),
+        ];
+        assert_eq!(Rect::union_all(rs.iter()), Some(r([-1.0, 0.0], [3.0, 3.0])));
+        assert_eq!(Rect::<2>::union_all([].iter()), None);
+    }
+
+    #[test]
+    fn center() {
+        let a = r([0.0, 2.0], [4.0, 4.0]);
+        assert_eq!(a.center(), Point::new([2.0, 3.0]));
+    }
+
+    #[test]
+    fn display() {
+        let a = r([0.0, 1.0], [2.0, 3.0]);
+        assert_eq!(a.to_string(), "[0..2 × 1..3]");
+    }
+}

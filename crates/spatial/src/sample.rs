@@ -1,0 +1,157 @@
+//! The running example of the paper: subscriptions `S1..S8` and events
+//! `a..d` of Figure 1.
+//!
+//! The original figure does not list coordinates, so exact geometry is not
+//! recoverable; the values here are chosen to reproduce every fact the
+//! paper states about the example:
+//!
+//! * `S4` is contained in **both** `S2` and `S3`, which are incomparable
+//!   (§3.1: "This case is illustrated in Figure 1, with S4 being contained
+//!   in both S2 and S3").
+//! * `S3` has the largest coverage, so the root-election rule of Figure 6
+//!   promotes `S3` as the DR-tree root (Figure 4 shows `S3` at the root).
+//! * Event `a` is matched by `S2`, `S3` and `S4` only (§3: producing `a`
+//!   at `S2` reaches exactly `S2`, `S3`, `S4` with no false positives).
+//! * The containment graph is non-trivial: chains of depth 3
+//!   (`S2 ⊐ S1 ⊐ S7`) and a diamond (`S4` under both `S2` and `S3`).
+//!
+//! Used by the figure-reproduction tests, the examples, and as a tiny
+//! smoke workload throughout the workspace.
+
+use crate::{ContainmentGraph, Point, Rect};
+
+/// Number of sample subscriptions.
+pub const N_SUBSCRIPTIONS: usize = 8;
+
+/// The sample subscriptions `S1..S8`, in paper order (`subscriptions()[0]`
+/// is `S1`).
+pub fn subscriptions() -> [Rect<2>; N_SUBSCRIPTIONS] {
+    [
+        Rect::new([10.0, 35.0], [30.0, 85.0]), // S1 ⊂ S2
+        Rect::new([5.0, 30.0], [55.0, 90.0]),  // S2
+        Rect::new([35.0, 5.0], [95.0, 95.0]),  // S3 (largest area → root)
+        Rect::new([40.0, 45.0], [50.0, 70.0]), // S4 ⊂ S2 ∩ S3 (the diamond)
+        Rect::new([60.0, 10.0], [90.0, 40.0]), // S5 ⊂ S3
+        Rect::new([65.0, 15.0], [80.0, 30.0]), // S6 ⊂ S5
+        Rect::new([15.0, 45.0], [25.0, 75.0]), // S7 ⊂ S1
+        Rect::new([45.0, 10.0], [75.0, 35.0]), // S8 ⊂ S3, overlaps S5
+    ]
+}
+
+/// Human-readable labels for the sample subscriptions.
+pub const LABELS: [&str; N_SUBSCRIPTIONS] = ["S1", "S2", "S3", "S4", "S5", "S6", "S7", "S8"];
+
+/// Sample event `a`: matched by `S2`, `S3`, `S4` only.
+pub fn event_a() -> Point<2> {
+    Point::new([45.0, 50.0])
+}
+
+/// Sample event `b`: matched by `S1` and (by containment) `S2`.
+pub fn event_b() -> Point<2> {
+    Point::new([20.0, 40.0])
+}
+
+/// Sample event `c`: matched by `S3`, `S5`, `S6`, `S8`.
+pub fn event_c() -> Point<2> {
+    Point::new([70.0, 20.0])
+}
+
+/// Sample event `d`: matched by no subscription.
+pub fn event_d() -> Point<2> {
+    Point::new([2.0, 5.0])
+}
+
+/// All four sample events with their labels.
+pub fn events() -> [(&'static str, Point<2>); 4] {
+    [
+        ("a", event_a()),
+        ("b", event_b()),
+        ("c", event_c()),
+        ("d", event_d()),
+    ]
+}
+
+/// Indices (0-based) of the subscriptions matching `event`.
+pub fn matching(event: &Point<2>) -> Vec<usize> {
+    subscriptions()
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.contains_point(event))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// The containment graph of the sample (the right side of Figure 1).
+pub fn containment_graph() -> ContainmentGraph {
+    ContainmentGraph::build(&subscriptions())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const S1: usize = 0;
+    const S2: usize = 1;
+    const S3: usize = 2;
+    const S4: usize = 3;
+    const S5: usize = 4;
+    const S6: usize = 5;
+    const S7: usize = 6;
+    const S8: usize = 7;
+
+    #[test]
+    fn s4_diamond_as_stated_in_paper() {
+        let g = containment_graph();
+        assert!(g.contains(S2, S4));
+        assert!(g.contains(S3, S4));
+        assert!(!g.contains(S2, S3));
+        assert!(!g.contains(S3, S2));
+        assert_eq!(g.hasse_parents(S4), vec![S2, S3]);
+    }
+
+    #[test]
+    fn containment_topology() {
+        let g = containment_graph();
+        assert_eq!(g.roots(), &[S2, S3]);
+        assert!(g.contains(S2, S1));
+        assert!(g.contains(S1, S7));
+        assert!(g.contains(S2, S7)); // transitive
+        assert!(g.contains(S3, S5));
+        assert!(g.contains(S5, S6));
+        assert!(g.contains(S3, S8));
+        assert!(!g.contains(S5, S8));
+        assert!(!g.contains(S8, S5));
+        assert_eq!(g.max_depth(), 3);
+    }
+
+    #[test]
+    fn s3_has_largest_area() {
+        let subs = subscriptions();
+        let a3 = subs[S3].area();
+        for (i, s) in subs.iter().enumerate() {
+            if i != S3 {
+                assert!(s.area() < a3, "S{} should be smaller than S3", i + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn event_a_matches_s2_s3_s4_only() {
+        assert_eq!(matching(&event_a()), vec![S2, S3, S4]);
+    }
+
+    #[test]
+    fn event_b_matches_s1_s2() {
+        assert_eq!(matching(&event_b()), vec![S1, S2]);
+    }
+
+    #[test]
+    fn event_c_matches_s3_s5_s6_s8() {
+        assert_eq!(matching(&event_c()), vec![S3, S5, S6, S8]);
+    }
+
+    #[test]
+    fn event_d_matches_nothing() {
+        assert!(matching(&event_d()).is_empty());
+    }
+}

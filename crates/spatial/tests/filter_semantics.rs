@@ -1,0 +1,73 @@
+//! Semantic equivalence of the predicate language and its geometric
+//! compilation: evaluating the conjunction predicate-by-predicate must
+//! agree with testing the compiled rectangle (up to the documented
+//! closed-boundary treatment of strict inequalities).
+
+use drtree_spatial::{Event, FilterExpr, Op, Point, Schema};
+use proptest::prelude::*;
+
+fn eval_predicate(op: Op, lhs: f64, rhs: f64) -> bool {
+    match op {
+        Op::Eq => lhs == rhs,
+        Op::Lt => lhs < rhs,
+        Op::Le => lhs <= rhs,
+        Op::Gt => lhs > rhs,
+        Op::Ge => lhs >= rhs,
+    }
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop::sample::select(vec![Op::Eq, Op::Lt, Op::Le, Op::Gt, Op::Ge])
+}
+
+proptest! {
+    #[test]
+    fn compiled_rect_agrees_with_direct_evaluation(
+        predicates in prop::collection::vec(
+            (0usize..2, arb_op(), -50.0f64..50.0), 0..8),
+        event in (-60.0f64..60.0, -60.0f64..60.0),
+    ) {
+        let schema = Schema::new(["x", "y"]);
+        let mut expr = FilterExpr::new();
+        for (dim, op, v) in &predicates {
+            expr = expr.and(if *dim == 0 { "x" } else { "y" }, *op, *v);
+        }
+        let Ok(rect) = expr.compile::<2>(&schema) else {
+            // Unsatisfiable conjunctions must reject *every* event under
+            // direct evaluation too (for some dimension no value passes);
+            // nothing further to check geometrically.
+            return Ok(());
+        };
+        let point = Point::new([event.0, event.1]);
+        let direct = predicates.iter().all(|(dim, op, v)| {
+            let lhs = if *dim == 0 { event.0 } else { event.1 };
+            eval_predicate(*op, lhs, *v)
+        });
+        let geometric = rect.contains_point(&point);
+        // Strict inequalities compile to closed bounds, so geometric
+        // containment may differ from direct evaluation only ON the
+        // boundary (a measure-zero set the docs call out).
+        let on_boundary = (0..2).any(|d| {
+            point.coord(d) == rect.lo(d) || point.coord(d) == rect.hi(d)
+        });
+        if !on_boundary {
+            prop_assert_eq!(direct, geometric,
+                "mismatch off-boundary: {:?} at {:?}", predicates, point);
+        } else {
+            // On the boundary the geometric answer may only be more
+            // permissive, never less (no false negatives).
+            prop_assert!(geometric || !direct);
+        }
+    }
+
+    #[test]
+    fn event_compilation_is_order_independent(
+        x in -50.0f64..50.0,
+        y in -50.0f64..50.0,
+    ) {
+        let schema = Schema::new(["x", "y"]);
+        let a = Event::new().with("x", x).with("y", y).compile::<2>(&schema).unwrap();
+        let b = Event::new().with("y", y).with("x", x).compile::<2>(&schema).unwrap();
+        prop_assert_eq!(a, b);
+    }
+}

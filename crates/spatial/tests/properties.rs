@@ -1,0 +1,137 @@
+//! Property-based tests for the rectangle algebra and containment order.
+
+use drtree_spatial::{ContainmentGraph, Point, Rect};
+use proptest::prelude::*;
+
+fn arb_rect() -> impl Strategy<Value = Rect<2>> {
+    (
+        -100.0f64..100.0,
+        -100.0f64..100.0,
+        0.0f64..50.0,
+        0.0f64..50.0,
+    )
+        .prop_map(|(x, y, w, h)| Rect::new([x, y], [x + w, y + h]))
+}
+
+fn arb_point() -> impl Strategy<Value = Point<2>> {
+    (-150.0f64..150.0, -150.0f64..150.0).prop_map(|(x, y)| Point::new([x, y]))
+}
+
+proptest! {
+    #[test]
+    fn union_covers_both(a in arb_rect(), b in arb_rect()) {
+        let u = a.union(&b);
+        prop_assert!(u.contains_rect(&a));
+        prop_assert!(u.contains_rect(&b));
+    }
+
+    #[test]
+    fn union_is_commutative_and_idempotent(a in arb_rect(), b in arb_rect()) {
+        prop_assert_eq!(a.union(&b), b.union(&a));
+        prop_assert_eq!(a.union(&a), a);
+    }
+
+    #[test]
+    fn union_is_associative(a in arb_rect(), b in arb_rect(), c in arb_rect()) {
+        prop_assert_eq!(a.union(&b).union(&c), a.union(&b.union(&c)));
+    }
+
+    #[test]
+    fn intersection_contained_in_both(a in arb_rect(), b in arb_rect()) {
+        if let Some(i) = a.intersection(&b) {
+            prop_assert!(a.contains_rect(&i));
+            prop_assert!(b.contains_rect(&i));
+            prop_assert!(a.intersects(&b));
+        } else {
+            prop_assert!(!a.intersects(&b));
+        }
+    }
+
+    #[test]
+    fn containment_implies_point_containment(a in arb_rect(), b in arb_rect(), p in arb_point()) {
+        // The defining property of subscription containment (§2.1):
+        // S1 ⊒ S2 iff every event matching S2 matches S1.
+        if a.contains_rect(&b) && b.contains_point(&p) {
+            prop_assert!(a.contains_point(&p));
+        }
+    }
+
+    #[test]
+    fn containment_is_antisymmetric_and_transitive(
+        a in arb_rect(), b in arb_rect(), c in arb_rect()
+    ) {
+        if a.contains_rect(&b) && b.contains_rect(&a) {
+            prop_assert_eq!(a, b);
+        }
+        if a.contains_rect(&b) && b.contains_rect(&c) {
+            prop_assert!(a.contains_rect(&c));
+        }
+    }
+
+    #[test]
+    fn area_monotone_under_containment(a in arb_rect(), b in arb_rect()) {
+        if a.contains_rect(&b) {
+            prop_assert!(a.area() >= b.area());
+        }
+    }
+
+    #[test]
+    fn enlargement_nonnegative(a in arb_rect(), b in arb_rect()) {
+        prop_assert!(a.enlargement(&b) >= 0.0);
+        prop_assert!(a.enlargement(&a).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deficit_bounds(a in arb_rect(), b in arb_rect()) {
+        let d = a.deficit(&b);
+        prop_assert!(d >= -1e-9);
+        prop_assert!(d <= a.area() + 1e-9);
+        // full cover → zero deficit
+        if b.contains_rect(&a) {
+            prop_assert!(d.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn overlap_symmetric(a in arb_rect(), b in arb_rect()) {
+        prop_assert!((a.overlap_area(&b) - b.overlap_area(&a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn union_all_equals_fold(rects in prop::collection::vec(arb_rect(), 1..20)) {
+        let expected = rects.iter().skip(1).fold(rects[0], |acc, r| acc.union(r));
+        prop_assert_eq!(Rect::union_all(rects.iter()), Some(expected));
+    }
+
+    #[test]
+    fn hasse_is_reduction_of_relation(rects in prop::collection::vec(arb_rect(), 0..15)) {
+        let g = ContainmentGraph::build(&rects);
+        for i in 0..rects.len() {
+            // every hasse edge is in the relation
+            for &j in g.hasse_children(i) {
+                prop_assert!(g.contains(i, j));
+            }
+            // descendants reachable through hasse edges = full relation
+            let mut reach = std::collections::BTreeSet::new();
+            let mut stack: Vec<usize> = g.hasse_children(i).to_vec();
+            while let Some(k) = stack.pop() {
+                if reach.insert(k) {
+                    stack.extend_from_slice(g.hasse_children(k));
+                }
+            }
+            let full: std::collections::BTreeSet<usize> =
+                g.descendants(i).iter().copied().collect();
+            prop_assert_eq!(reach, full);
+        }
+    }
+
+    #[test]
+    fn roots_are_uncontained(rects in prop::collection::vec(arb_rect(), 0..15)) {
+        let g = ContainmentGraph::build(&rects);
+        for &r in g.roots() {
+            for i in 0..rects.len() {
+                prop_assert!(!g.contains(i, r));
+            }
+        }
+    }
+}

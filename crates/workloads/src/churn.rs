@@ -1,0 +1,119 @@
+//! Poisson churn schedules (the paper's footnote 4: "we consider
+//! arrivals and departures modeled by a Poisson distribution").
+//!
+//! [`PoissonChurn`] produces a deterministic timeline of join/leave
+//! operations used by the churn-resistance experiment (Lemma 3.7) and
+//! the recovery benchmarks.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// One churn operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChurnOp {
+    /// A fresh subscriber joins.
+    Join,
+    /// A uniformly chosen live subscriber departs without notice
+    /// (crash/uncontrolled leave).
+    Leave,
+}
+
+/// A scheduled churn operation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChurnEvent {
+    /// Absolute time of the operation (continuous; the harness
+    /// discretizes to rounds).
+    pub at: f64,
+    /// What happens.
+    pub op: ChurnOp,
+}
+
+/// Independent Poisson processes for joins (`lambda_join`) and
+/// departures (`lambda_leave`), in events per time unit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PoissonChurn {
+    /// Arrival rate.
+    pub lambda_join: f64,
+    /// Departure rate (the λ of Lemma 3.7).
+    pub lambda_leave: f64,
+}
+
+impl PoissonChurn {
+    /// Generates the merged, time-ordered schedule over `[0, horizon)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either rate is negative or the horizon non-positive.
+    pub fn schedule(&self, horizon: f64, rng: &mut StdRng) -> Vec<ChurnEvent> {
+        assert!(horizon > 0.0, "horizon must be positive");
+        assert!(
+            self.lambda_join >= 0.0 && self.lambda_leave >= 0.0,
+            "rates must be non-negative"
+        );
+        let mut events = Vec::new();
+        for (rate, op) in [
+            (self.lambda_join, ChurnOp::Join),
+            (self.lambda_leave, ChurnOp::Leave),
+        ] {
+            if rate <= 0.0 {
+                continue;
+            }
+            let mut t = 0.0;
+            loop {
+                let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                t += -u.ln() / rate;
+                if t >= horizon {
+                    break;
+                }
+                events.push(ChurnEvent { at: t, op });
+            }
+        }
+        events.sort_by(|a, b| a.at.partial_cmp(&b.at).expect("finite times"));
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn schedule_is_sorted_and_bounded() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let churn = PoissonChurn {
+            lambda_join: 2.0,
+            lambda_leave: 1.0,
+        };
+        let sched = churn.schedule(100.0, &mut rng);
+        assert!(!sched.is_empty());
+        for w in sched.windows(2) {
+            assert!(w[0].at <= w[1].at);
+        }
+        assert!(sched.iter().all(|e| e.at < 100.0));
+    }
+
+    #[test]
+    fn event_counts_match_rates() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let churn = PoissonChurn {
+            lambda_join: 3.0,
+            lambda_leave: 1.0,
+        };
+        let sched = churn.schedule(1_000.0, &mut rng);
+        let joins = sched.iter().filter(|e| e.op == ChurnOp::Join).count() as f64;
+        let leaves = sched.iter().filter(|e| e.op == ChurnOp::Leave).count() as f64;
+        assert!((joins - 3_000.0).abs() < 300.0, "joins {joins}");
+        assert!((leaves - 1_000.0).abs() < 150.0, "leaves {leaves}");
+    }
+
+    #[test]
+    fn zero_rate_produces_no_events() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let churn = PoissonChurn {
+            lambda_join: 0.0,
+            lambda_leave: 0.0,
+        };
+        assert!(churn.schedule(10.0, &mut rng).is_empty());
+    }
+}

@@ -1,0 +1,145 @@
+//! Event-stream generators.
+//!
+//! * [`EventWorkload::Uniform`] — points uniform over the universe;
+//! * [`EventWorkload::Hotspot`] — a fraction of the stream concentrates
+//!   in a small region ("bias event workloads … small false positive
+//!   regions are hit by many events while larger areas see none",
+//!   §3.2) — the trigger for the FP-driven reorganization;
+//! * [`EventWorkload::Following`] — events drawn inside randomly chosen
+//!   subscriptions, modeling traffic that interests somebody.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use drtree_spatial::{Point, Rect};
+
+use crate::subscriptions::SPACE;
+
+/// A generator of event points in `[0, 100]^D`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EventWorkload {
+    /// Uniform points over the whole universe.
+    Uniform,
+    /// With probability `bias`, a point falls uniformly inside the
+    /// hotspot box `[center − radius, center + radius]^D`; otherwise
+    /// uniform over the universe.
+    Hotspot {
+        /// Center coordinate of the hotspot (same in every dimension).
+        center: f64,
+        /// Half-extent of the hotspot box.
+        radius: f64,
+        /// Fraction of the stream that hits the hotspot.
+        bias: f64,
+    },
+    /// Events land inside a subscription chosen uniformly from the
+    /// provided set (pass the subscriptions to
+    /// [`EventWorkload::generate_with`]).
+    Following,
+}
+
+impl EventWorkload {
+    /// Generates `n` events. `subscriptions` is consulted only by
+    /// [`EventWorkload::Following`]; pass `&[]` otherwise.
+    pub fn generate_with<const D: usize>(
+        &self,
+        n: usize,
+        subscriptions: &[Rect<D>],
+        rng: &mut StdRng,
+    ) -> Vec<Point<D>> {
+        (0..n)
+            .map(|_| match *self {
+                EventWorkload::Uniform => uniform_point(rng),
+                EventWorkload::Hotspot {
+                    center,
+                    radius,
+                    bias,
+                } => {
+                    if rng.gen_bool(bias.clamp(0.0, 1.0)) {
+                        let mut c = [0.0; D];
+                        for x in &mut c {
+                            *x = rng.gen_range(
+                                (center - radius).max(0.0)..=(center + radius).min(SPACE),
+                            );
+                        }
+                        Point::new(c)
+                    } else {
+                        uniform_point(rng)
+                    }
+                }
+                EventWorkload::Following => {
+                    if subscriptions.is_empty() {
+                        uniform_point(rng)
+                    } else {
+                        let sub = subscriptions[rng.gen_range(0..subscriptions.len())];
+                        let mut c = [0.0; D];
+                        for (d, x) in c.iter_mut().enumerate() {
+                            let lo = sub.lo(d).max(0.0);
+                            let hi = sub.hi(d).min(SPACE).max(lo);
+                            *x = if hi > lo { rng.gen_range(lo..=hi) } else { lo };
+                        }
+                        Point::new(c)
+                    }
+                }
+            })
+            .collect()
+    }
+}
+
+fn uniform_point<const D: usize>(rng: &mut StdRng) -> Point<D> {
+    let mut c = [0.0; D];
+    for x in &mut c {
+        *x = rng.gen_range(0.0..SPACE);
+    }
+    Point::new(c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_points_cover_space() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let pts: Vec<Point<2>> = EventWorkload::Uniform.generate_with(1000, &[], &mut rng);
+        let left = pts.iter().filter(|p| p.coord(0) < SPACE / 2.0).count();
+        assert!(left > 350 && left < 650, "skewed: {left}");
+    }
+
+    #[test]
+    fn hotspot_concentrates() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let w = EventWorkload::Hotspot {
+            center: 20.0,
+            radius: 5.0,
+            bias: 0.8,
+        };
+        let pts: Vec<Point<2>> = w.generate_with(1000, &[], &mut rng);
+        let hot = Rect::new([15.0, 15.0], [25.0, 25.0]);
+        let inside = pts.iter().filter(|p| hot.contains_point(p)).count();
+        assert!(inside > 700, "only {inside} in hotspot");
+    }
+
+    #[test]
+    fn following_points_land_inside_subscriptions() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let subs = vec![
+            Rect::new([0.0, 0.0], [10.0, 10.0]),
+            Rect::new([50.0, 50.0], [60.0, 60.0]),
+        ];
+        let pts: Vec<Point<2>> = EventWorkload::Following.generate_with(200, &subs, &mut rng);
+        for p in pts {
+            assert!(
+                subs.iter().any(|s| s.contains_point(&p)),
+                "{p} outside all subscriptions"
+            );
+        }
+    }
+
+    #[test]
+    fn following_without_subscriptions_falls_back_to_uniform() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let pts: Vec<Point<2>> = EventWorkload::Following.generate_with(10, &[], &mut rng);
+        assert_eq!(pts.len(), 10);
+    }
+}

@@ -1,0 +1,33 @@
+//! Workload generators for the DR-tree experiments.
+//!
+//! The companion technical report's workloads are not public, so this
+//! crate generates the synthetic equivalents used throughout the
+//! experiment harness (see DESIGN.md §2):
+//!
+//! * [`subscriptions`] — subscription-set generators: uniform random
+//!   rectangles, clustered "interest community" rectangles, and
+//!   containment-chain workloads (nested filters exercising the
+//!   containment-awareness properties §3.1);
+//! * [`events`] — event streams: uniform, hotspot-biased (the "bias
+//!   event workloads" motivating the FP-driven reorganization §3.2),
+//!   and subscription-following;
+//! * [`churn`] — Poisson join/leave schedules (the paper's footnote 4
+//!   model for Lemma 3.7);
+//! * [`dist`] — the small samplers needed above (Zipf by inverse CDF,
+//!   Gaussian by Box–Muller), implemented locally to keep the
+//!   dependency closure minimal.
+//!
+//! All generators are deterministic for a given [`rand::rngs::StdRng`]
+//! seed, like everything else in this reproduction.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod churn;
+pub mod dist;
+pub mod events;
+pub mod subscriptions;
+
+pub use churn::{ChurnEvent, ChurnOp, PoissonChurn};
+pub use events::EventWorkload;
+pub use subscriptions::SubscriptionWorkload;

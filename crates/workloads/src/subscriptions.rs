@@ -1,0 +1,252 @@
+//! Subscription-set generators.
+//!
+//! Three families cover the space the paper's discussion spans:
+//!
+//! * [`SubscriptionWorkload::Uniform`] — independent random rectangles;
+//!   the adversarial case for containment awareness (few containments
+//!   exist at all).
+//! * [`SubscriptionWorkload::Clustered`] — "semantic communities"
+//!   (§1: "gathering consumers with similar interests"): interests
+//!   cluster around popular centers with Zipf-distributed popularity.
+//! * [`SubscriptionWorkload::Containment`] — nested filter chains, the
+//!   regime the DR-tree's containment-awareness properties (§3.1) are
+//!   designed for, and the regime behind the 2–3% false-positive
+//!   claim.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use drtree_spatial::Rect;
+
+use crate::dist::{normal, Zipf};
+
+/// The unit universe is `[0, SPACE]^D`.
+pub const SPACE: f64 = 100.0;
+
+/// A generator of subscription rectangles in `[0, 100]^D`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SubscriptionWorkload {
+    /// Independent uniform rectangles with extents in `[min_extent,
+    /// max_extent]`.
+    Uniform {
+        /// Smallest side length.
+        min_extent: f64,
+        /// Largest side length.
+        max_extent: f64,
+    },
+    /// `clusters` interest communities; cluster popularity is
+    /// Zipf(`skew`), members scatter around the cluster center with the
+    /// given standard deviation.
+    Clustered {
+        /// Number of communities.
+        clusters: usize,
+        /// Zipf exponent of community popularity.
+        skew: f64,
+        /// Scatter of member rectangles around the center.
+        spread: f64,
+        /// Smallest side length.
+        min_extent: f64,
+        /// Largest side length.
+        max_extent: f64,
+    },
+    /// Nested chains: `chains` root rectangles, each containing a chain
+    /// of progressively shrunken copies (factor `shrink` per step).
+    Containment {
+        /// Number of independent chains.
+        chains: usize,
+        /// Per-step shrink factor in `(0, 1)`.
+        shrink: f64,
+    },
+}
+
+impl SubscriptionWorkload {
+    /// The three standard instances used by the experiment harness.
+    pub fn standard() -> [(&'static str, SubscriptionWorkload); 3] {
+        [
+            (
+                "uniform",
+                SubscriptionWorkload::Uniform {
+                    min_extent: 2.0,
+                    max_extent: 20.0,
+                },
+            ),
+            (
+                "clustered",
+                SubscriptionWorkload::Clustered {
+                    clusters: 8,
+                    skew: 0.9,
+                    spread: 4.0,
+                    min_extent: 2.0,
+                    max_extent: 18.0,
+                },
+            ),
+            (
+                "containment",
+                SubscriptionWorkload::Containment {
+                    chains: 8,
+                    shrink: 0.75,
+                },
+            ),
+        ]
+    }
+
+    /// Generates `n` subscription rectangles.
+    pub fn generate<const D: usize>(&self, n: usize, rng: &mut StdRng) -> Vec<Rect<D>> {
+        match *self {
+            SubscriptionWorkload::Uniform {
+                min_extent,
+                max_extent,
+            } => (0..n)
+                .map(|_| random_rect(rng, min_extent, max_extent))
+                .collect(),
+            SubscriptionWorkload::Clustered {
+                clusters,
+                skew,
+                spread,
+                min_extent,
+                max_extent,
+            } => {
+                let zipf = Zipf::new(clusters.max(1), skew);
+                let centers: Vec<[f64; D]> = (0..clusters.max(1))
+                    .map(|_| {
+                        let mut c = [0.0; D];
+                        for x in &mut c {
+                            *x = rng.gen_range(0.15 * SPACE..0.85 * SPACE);
+                        }
+                        c
+                    })
+                    .collect();
+                (0..n)
+                    .map(|_| {
+                        let center = centers[zipf.sample(rng)];
+                        let mut lo = [0.0; D];
+                        let mut hi = [0.0; D];
+                        for i in 0..D {
+                            let mid = normal(rng, center[i], spread).clamp(0.0, SPACE);
+                            let ext = rng.gen_range(min_extent..=max_extent);
+                            lo[i] = (mid - ext / 2.0).clamp(0.0, SPACE);
+                            hi[i] = (mid + ext / 2.0).clamp(lo[i], SPACE);
+                        }
+                        Rect::new(lo, hi)
+                    })
+                    .collect()
+            }
+            SubscriptionWorkload::Containment { chains, shrink } => {
+                assert!(
+                    shrink > 0.0 && shrink < 1.0,
+                    "shrink factor must be in (0, 1)"
+                );
+                let chains = chains.max(1);
+                let roots: Vec<Rect<D>> = (0..chains)
+                    .map(|_| random_rect(rng, 0.25 * SPACE, 0.45 * SPACE))
+                    .collect();
+                let mut out = Vec::with_capacity(n);
+                let mut current: Vec<Rect<D>> = roots.clone();
+                let mut i = 0usize;
+                while out.len() < n {
+                    let chain = i % chains;
+                    let outer = current[chain];
+                    out.push(outer);
+                    // Shrink toward a random interior anchor so siblings
+                    // of different chains stay distinguishable.
+                    let mut lo = [0.0; D];
+                    let mut hi = [0.0; D];
+                    for d in 0..D {
+                        let ext = (outer.hi(d) - outer.lo(d)) * shrink;
+                        let slack = (outer.hi(d) - outer.lo(d)) - ext;
+                        let off = rng.gen_range(0.0..=slack.max(f64::MIN_POSITIVE));
+                        lo[d] = outer.lo(d) + off;
+                        hi[d] = lo[d] + ext;
+                    }
+                    current[chain] = Rect::new(lo, hi);
+                    i += 1;
+                }
+                out
+            }
+        }
+    }
+}
+
+fn random_rect<const D: usize>(rng: &mut StdRng, min_extent: f64, max_extent: f64) -> Rect<D> {
+    let mut lo = [0.0; D];
+    let mut hi = [0.0; D];
+    for i in 0..D {
+        let ext = rng.gen_range(min_extent..=max_extent);
+        let start = rng.gen_range(0.0..=(SPACE - ext).max(f64::MIN_POSITIVE));
+        lo[i] = start;
+        hi[i] = start + ext;
+    }
+    Rect::new(lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drtree_spatial::ContainmentGraph;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_rects_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = SubscriptionWorkload::Uniform {
+            min_extent: 2.0,
+            max_extent: 20.0,
+        };
+        let rects: Vec<Rect<2>> = w.generate(200, &mut rng);
+        assert_eq!(rects.len(), 200);
+        for r in rects {
+            for d in 0..2 {
+                assert!(r.lo(d) >= 0.0 && r.hi(d) <= SPACE);
+                assert!(r.extent(d) >= 2.0 - 1e-9 && r.extent(d) <= 20.0 + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn clustered_rects_cluster() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let w = SubscriptionWorkload::Clustered {
+            clusters: 3,
+            skew: 1.0,
+            spread: 2.0,
+            min_extent: 2.0,
+            max_extent: 6.0,
+        };
+        let rects: Vec<Rect<2>> = w.generate(150, &mut rng);
+        // Clustering ⇒ much more pairwise overlap than uniform.
+        let overlapping = rects
+            .iter()
+            .enumerate()
+            .flat_map(|(i, a)| rects[i + 1..].iter().map(move |b| a.intersects(b)))
+            .filter(|x| *x)
+            .count();
+        let total_pairs = 150 * 149 / 2;
+        assert!(
+            overlapping as f64 / total_pairs as f64 > 0.05,
+            "clusters produced too little overlap"
+        );
+    }
+
+    #[test]
+    fn containment_chains_nest() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let w = SubscriptionWorkload::Containment {
+            chains: 4,
+            shrink: 0.7,
+        };
+        let rects: Vec<Rect<2>> = w.generate(40, &mut rng);
+        let g = ContainmentGraph::build(&rects);
+        // 40 filters in 4 chains of 10 ⇒ depth 10 chains.
+        assert!(g.max_depth() >= 8, "depth {} too shallow", g.max_depth());
+        assert!(g.roots().len() <= 4 + 1);
+    }
+
+    #[test]
+    fn standard_workloads_generate() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for (name, w) in SubscriptionWorkload::standard() {
+            let rects: Vec<Rect<2>> = w.generate(64, &mut rng);
+            assert_eq!(rects.len(), 64, "{name}");
+        }
+    }
+}

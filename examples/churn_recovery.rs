@@ -1,0 +1,117 @@
+//! Self-stabilization under churn and memory corruption.
+//!
+//! Builds a 64-subscriber DR-tree, then batters it: a wave of crash
+//! failures (uncontrolled departures), a round of controlled leaves,
+//! and adversarial memory corruption of a third of the processes — the
+//! fault model of the paper's §2.1 — measuring the rounds each time
+//! until the overlay is again a legitimate configuration
+//! (Definition 3.2) and verifying that dissemination stays sound.
+//!
+//! Run with: `cargo run --example churn_recovery`
+
+use drtree::corruption::CorruptionKind;
+use drtree::{DrTreeCluster, DrTreeConfig, EventWorkload, Point, SubscriptionWorkload};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn check_dissemination(cluster: &mut DrTreeCluster<2>, rng: &mut StdRng, label: &str) {
+    let subs: Vec<_> = cluster
+        .ids()
+        .iter()
+        .filter_map(|&id| cluster.node(id).map(|n| n.filter()))
+        .collect();
+    let events: Vec<Point<2>> = EventWorkload::Following.generate_with(10, &subs, rng);
+    let ids = cluster.ids();
+    let mut fns = 0usize;
+    let mut msgs = 0u64;
+    for (i, e) in events.iter().enumerate() {
+        let report = cluster.publish_from(ids[i % ids.len()], *e);
+        fns += report.false_negatives.len();
+        msgs += report.messages;
+    }
+    println!(
+        "  [{label}] 10 events: {} false negatives, {:.1} messages/event",
+        fns,
+        msgs as f64 / events.len() as f64
+    );
+    assert_eq!(fns, 0, "false negatives after stabilization");
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(1234);
+    let workload = SubscriptionWorkload::Clustered {
+        clusters: 6,
+        skew: 0.8,
+        spread: 5.0,
+        min_extent: 2.0,
+        max_extent: 15.0,
+    };
+    let filters = workload.generate::<2>(64, &mut rng);
+
+    println!("building a 64-subscriber DR-tree…");
+    let mut cluster = DrTreeCluster::build(DrTreeConfig::default(), 2024, &filters);
+    println!(
+        "  built: height {}, legal: {}",
+        cluster.height(),
+        cluster.check_legal().is_ok()
+    );
+    check_dissemination(&mut cluster, &mut rng, "fresh");
+
+    // --- wave 1: crash failures -------------------------------------------
+    let root = cluster.root().unwrap();
+    let victims: Vec<_> = cluster
+        .ids()
+        .into_iter()
+        .filter(|&id| id != root)
+        .step_by(7)
+        .take(8)
+        .collect();
+    println!(
+        "\ncrashing {} subscribers (uncontrolled departures)…",
+        victims.len()
+    );
+    for v in victims {
+        cluster.crash(v);
+    }
+    let rounds = cluster.stabilize(5_000).expect("recovers from crashes");
+    println!("  re-stabilized in {rounds} rounds (Lemma 3.5)");
+    check_dissemination(&mut cluster, &mut rng, "after crashes");
+
+    // --- wave 2: controlled leaves ------------------------------------------
+    let root = cluster.root().unwrap();
+    let leavers: Vec<_> = cluster
+        .ids()
+        .into_iter()
+        .filter(|&id| id != root)
+        .step_by(9)
+        .take(5)
+        .collect();
+    println!("\n{} controlled departures (Fig. 9)…", leavers.len());
+    for v in leavers {
+        cluster.controlled_leave(v);
+    }
+    let rounds = cluster.stabilize(5_000).expect("recovers from leaves");
+    println!("  re-stabilized in {rounds} rounds (Lemma 3.4)");
+    check_dissemination(&mut cluster, &mut rng, "after leaves");
+
+    // --- wave 3: memory corruption ------------------------------------------
+    println!("\ncorrupting the memory of a third of the processes (Lemma 3.6)…");
+    let ids = cluster.ids();
+    for (i, &id) in ids.iter().enumerate() {
+        if i % 3 == 0 {
+            let kind = CorruptionKind::ALL[i % CorruptionKind::ALL.len()];
+            cluster.corrupt(id, kind);
+        }
+    }
+    let rounds = cluster.stabilize(8_000).expect("recovers from corruption");
+    println!("  re-stabilized in {rounds} rounds");
+    check_dissemination(&mut cluster, &mut rng, "after corruption");
+
+    println!(
+        "\nfinal overlay: {} subscribers, height {}, max degree {} — still legal: {}",
+        cluster.len(),
+        cluster.height(),
+        cluster.max_degree_observed(),
+        cluster.check_legal().is_ok()
+    );
+}

@@ -1,0 +1,111 @@
+//! A realistic content-based pub/sub scenario: a stock-ticker feed.
+//!
+//! Traders subscribe with conjunctions of range predicates over
+//! `(price, volume)` — exactly the filter language of the paper's §2.1
+//! — and quotes are published as attribute/value events. The example
+//! shows subscription containment at work (a broad "market watcher"
+//! contains specialized traders), prints per-event deliveries, and
+//! finishes with the aggregated routing statistics.
+//!
+//! Run with: `cargo run --example news_pubsub`
+
+use drtree::{Broker, DrTreeConfig, Event, FilterExpr, Op, ProcessId, Schema};
+
+fn range(attr: &str, lo: f64, hi: f64) -> FilterExpr {
+    FilterExpr::new()
+        .and(attr, Op::Ge, lo)
+        .and(attr, Op::Le, hi)
+}
+
+fn both(a: FilterExpr, b: FilterExpr) -> FilterExpr {
+    let mut out = a;
+    for p in b.predicates() {
+        out = out.and(p.attr.clone(), p.op, p.value);
+    }
+    out
+}
+
+fn main() {
+    let schema = Schema::new(["price", "volume"]);
+    let mut broker: Broker<2> =
+        Broker::new(schema, DrTreeConfig::default(), 99).expect("schema matches dimensions");
+
+    // --- subscriptions -----------------------------------------------------
+    let mut names: Vec<(ProcessId, &str)> = Vec::new();
+    let mut subscribe = |broker: &mut Broker<2>, name: &'static str, f: FilterExpr| {
+        let id = broker.subscribe(&f).expect("filter compiles");
+        names.push((id, name));
+        id
+    };
+
+    // A market-wide watcher: contains every other subscription.
+    let watcher = subscribe(
+        &mut broker,
+        "market-watcher",
+        both(range("price", 0.0, 1_000.0), range("volume", 0.0, 1e9)),
+    );
+    // Penny-stock hunter: cheap, any volume.
+    subscribe(
+        &mut broker,
+        "penny-hunter",
+        both(range("price", 0.0, 5.0), range("volume", 0.0, 1e9)),
+    );
+    // Block-trade desk: any price, huge volume.
+    subscribe(
+        &mut broker,
+        "block-desk",
+        both(range("price", 0.0, 1_000.0), range("volume", 1e6, 1e9)),
+    );
+    // Mid-cap momentum trader.
+    subscribe(
+        &mut broker,
+        "midcap-momentum",
+        both(range("price", 20.0, 80.0), range("volume", 1e4, 1e6)),
+    );
+    // Narrow arbitrage bot: tight price band, moderate volume.
+    subscribe(
+        &mut broker,
+        "arb-bot",
+        both(range("price", 49.0, 51.0), range("volume", 1e4, 1e5)),
+    );
+
+    broker.stabilize(2_000).expect("overlay stabilizes");
+    let cluster = broker.cluster();
+    println!(
+        "overlay: {} subscribers, height {}, legal: {}",
+        cluster.len(),
+        cluster.height(),
+        cluster.check_legal().is_ok()
+    );
+    let name_of = |id: ProcessId| {
+        names
+            .iter()
+            .find(|(i, _)| *i == id)
+            .map(|(_, n)| *n)
+            .unwrap_or("?")
+    };
+
+    // --- publications ------------------------------------------------------
+    let quotes = [
+        ("ACME @ 2.50 × 1,000", 2.50, 1_000.0),
+        ("BIGCO @ 50.00 × 50,000", 50.0, 50_000.0),
+        ("MEGA @ 120.00 × 5,000,000", 120.0, 5_000_000.0),
+        ("ODD @ 999.00 × 3", 999.0, 3.0),
+    ];
+    for (desc, price, volume) in quotes {
+        let event = Event::new().with("price", price).with("volume", volume);
+        // The watcher doubles as the feed gateway: it publishes quotes.
+        let report = broker.publish(watcher, &event).expect("event compiles");
+        let mut interested: Vec<&str> = report.matching.iter().map(|&m| name_of(m)).collect();
+        interested.sort_unstable();
+        println!(
+            "{desc}: delivered to {interested:?} with {} messages (fp {}, fn {})",
+            report.messages,
+            report.false_positives.len(),
+            report.false_negatives.len(),
+        );
+        assert!(report.false_negatives.is_empty());
+    }
+
+    println!("\naggregate: {}", broker.stats());
+}
