@@ -12,6 +12,7 @@
 //! subscription for every event) and a depth as deep as the containment
 //! chains (no height balancing).
 
+use drtree_rtree::{PackedRTree, SpatialIndex};
 use drtree_spatial::{ContainmentGraph, Point, Rect};
 
 use crate::{Baseline, RoutingOutcome};
@@ -20,6 +21,9 @@ use crate::{Baseline, RoutingOutcome};
 #[derive(Debug, Clone)]
 pub struct ContainmentTreeOverlay<const D: usize> {
     filters: Vec<Rect<D>>,
+    /// Packed index over `filters`, for the exact-matching count every
+    /// routed event needs.
+    matcher: PackedRTree<usize, D>,
     /// children[i] = subscriptions attached below filter i.
     children: Vec<Vec<usize>>,
     /// Subscriptions attached below the virtual root.
@@ -43,6 +47,7 @@ impl<const D: usize> ContainmentTreeOverlay<D> {
         let roots: Vec<usize> = (0..filters.len()).filter(|&i| !attached[i]).collect();
         let mut overlay = Self {
             filters: filters.to_vec(),
+            matcher: PackedRTree::bulk_load(filters.iter().copied().enumerate().collect()),
             children,
             roots,
             depth: 0,
@@ -83,11 +88,7 @@ impl<const D: usize> Baseline<D> for ContainmentTreeOverlay<D> {
     }
 
     fn route(&self, event: &Point<D>) -> RoutingOutcome {
-        let matching = self
-            .filters
-            .iter()
-            .filter(|f| f.contains_point(event))
-            .count();
+        let matching = self.matcher.count_containing(event);
         // The virtual root must consult every top-level subscription's
         // filter: with cached filters this costs one *message* only for
         // matching ones, but the root maintains (and keeps fresh) state

@@ -8,6 +8,7 @@
 //! degenerates to if containment is ignored ("the propagation of an
 //! event may degenerate into a broadcast").
 
+use drtree_rtree::{PackedRTree, SpatialIndex};
 use drtree_spatial::{Point, Rect};
 
 use crate::{Baseline, RoutingOutcome};
@@ -16,6 +17,8 @@ use crate::{Baseline, RoutingOutcome};
 #[derive(Debug, Clone)]
 pub struct FloodingOverlay<const D: usize> {
     filters: Vec<Rect<D>>,
+    /// Packed index over `filters` for the exact-matching count.
+    matcher: PackedRTree<usize, D>,
     degree: usize,
 }
 
@@ -29,6 +32,7 @@ impl<const D: usize> FloodingOverlay<D> {
         assert!(degree > 0, "flooding needs at least one neighbor");
         Self {
             filters: filters.to_vec(),
+            matcher: PackedRTree::bulk_load(filters.iter().copied().enumerate().collect()),
             degree,
         }
     }
@@ -54,11 +58,7 @@ impl<const D: usize> Baseline<D> for FloodingOverlay<D> {
         if n == 0 {
             return RoutingOutcome::default();
         }
-        let matching = self
-            .filters
-            .iter()
-            .filter(|f| f.contains_point(event))
-            .count();
+        let matching = self.matcher.count_containing(event);
         // Classic flood: every node forwards once to each neighbor.
         let messages = n * self.degree;
         let receivers = n.saturating_sub(1); // everybody but the publisher

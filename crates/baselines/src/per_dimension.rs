@@ -17,6 +17,7 @@
 //! dimension and are reached in all their trees, so there are no false
 //! negatives.
 
+use drtree_rtree::{PackedRTree, SpatialIndex};
 use drtree_spatial::{Point, Rect};
 
 use crate::{Baseline, RoutingOutcome};
@@ -131,6 +132,8 @@ impl DimTree {
 #[derive(Debug, Clone)]
 pub struct PerDimensionOverlay<const D: usize> {
     filters: Vec<Rect<D>>,
+    /// Packed index over `filters` for the exact-matching count.
+    matcher: PackedRTree<usize, D>,
     trees: Vec<DimTree>,
 }
 
@@ -152,6 +155,7 @@ impl<const D: usize> PerDimensionOverlay<D> {
             .collect();
         Self {
             filters: filters.to_vec(),
+            matcher: PackedRTree::bulk_load(filters.iter().copied().enumerate().collect()),
             trees,
         }
     }
@@ -173,11 +177,7 @@ impl<const D: usize> Baseline<D> for PerDimensionOverlay<D> {
     }
 
     fn route(&self, event: &Point<D>) -> RoutingOutcome {
-        let matching = self
-            .filters
-            .iter()
-            .filter(|f| f.contains_point(event))
-            .count();
+        let matching = self.matcher.count_containing(event);
         let mut received = vec![false; self.filters.len()];
         let mut messages = 0usize;
         let mut max_hops = 0usize;

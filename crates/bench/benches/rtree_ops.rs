@@ -5,7 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
 
-use drtree_rtree::{RTree, RTreeConfig, SplitMethod};
+use drtree_rtree::{PackedRTree, RTree, RTreeConfig, SplitMethod};
 use drtree_spatial::Rect;
 use drtree_workloads::SubscriptionWorkload;
 use rand::rngs::StdRng;
@@ -119,11 +119,77 @@ fn bench_bulk_load(c: &mut Criterion) {
     group.finish();
 }
 
+/// Pointer vs packed backend: bulk construction of the same 100k set.
+/// The packed (Hilbert) build must stay ≥ 2× faster than the pointer
+/// STR build — the regression gate `BENCH_rtree.json` tracks per PR.
+fn bench_backend_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("backend-build-100k");
+    group.sample_size(10);
+    let data = rects(100_000, 85);
+    let config = RTreeConfig::new(4, 16, SplitMethod::RStar).expect("valid");
+    group.bench_function("pointer-str", |b| {
+        b.iter_batched(
+            || data.clone().into_iter().enumerate().collect::<Vec<_>>(),
+            |entries| RTree::bulk_load(config, entries).height(),
+            BatchSize::LargeInput,
+        );
+    });
+    group.bench_function("packed-hilbert", |b| {
+        b.iter_batched(
+            || data.clone().into_iter().enumerate().collect::<Vec<_>>(),
+            |entries| PackedRTree::bulk_load(entries).height(),
+            BatchSize::LargeInput,
+        );
+    });
+    group.finish();
+}
+
+/// Pointer vs packed backend: point queries against the same 100k set.
+fn bench_backend_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("backend-point-query-100k");
+    group.sample_size(20);
+    let data = rects(100_000, 86);
+    let entries: Vec<(usize, Rect<2>)> = data.iter().copied().enumerate().collect();
+    let config = RTreeConfig::new(4, 16, SplitMethod::RStar).expect("valid");
+    let pointer = RTree::bulk_load(config, entries.clone());
+    let packed = PackedRTree::bulk_load(entries);
+    let probes: Vec<_> = data.iter().map(|r| r.center()).collect();
+
+    let mut i = 0usize;
+    group.bench_function("pointer", |b| {
+        b.iter(|| {
+            let hits = pointer.search_point(&probes[i % probes.len()]);
+            i += 1;
+            hits.len()
+        });
+    });
+    let mut j = 0usize;
+    group.bench_function("packed", |b| {
+        b.iter(|| {
+            let hits = packed.search_point(&probes[j % probes.len()]);
+            j += 1;
+            hits.len()
+        });
+    });
+    let mut k = 0usize;
+    group.bench_function("packed-visitor", |b| {
+        b.iter(|| {
+            let mut count = 0usize;
+            packed.for_each_containing(&probes[k % probes.len()], |_, _| count += 1);
+            k += 1;
+            count
+        });
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_insert,
     bench_query,
     bench_split,
-    bench_bulk_load
+    bench_bulk_load,
+    bench_backend_build,
+    bench_backend_query
 );
 criterion_main!(benches);

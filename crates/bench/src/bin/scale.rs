@@ -1,23 +1,64 @@
-//! Scale probe: builds large overlays and prints the Lemma-3.1 numbers
-//! plus wall-clock build time. Complements the `experiments` binary
-//! with sizes beyond the default sweep.
+//! Scale probes.
 //!
-//! ```text
-//! cargo run -p drtree-bench --release --bin scale -- [max_n]
-//! ```
+//! Two modes:
+//!
+//! * **Overlay** (default): builds large overlays and prints the
+//!   Lemma-3.1 numbers plus wall-clock build time, complementing the
+//!   `experiments` binary with sizes beyond the default sweep.
+//!
+//!   ```text
+//!   cargo run -p drtree-bench --release --bin scale -- [max_n]
+//!   ```
+//!
+//! * **R-tree backends** (`rtree`): measures bulk build and point-query
+//!   cost of the pointer [`RTree`] vs the packed [`PackedRTree`] at
+//!   1k/10k/100k entries, and writes the numbers to a machine-readable
+//!   `BENCH_rtree.json` so the perf trajectory is tracked across PRs.
+//!
+//!   ```text
+//!   cargo run -p drtree-bench --release --bin scale -- rtree [out.json]
+//!   ```
 
+use std::fmt::Write as _;
 use std::time::Instant;
 
 use drtree_core::{DrTreeCluster, DrTreeConfig};
+use drtree_rtree::{PackedRTree, RTree, RTreeConfig, SplitMethod};
+use drtree_spatial::{Point, Rect};
 use drtree_workloads::SubscriptionWorkload;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 fn main() {
-    let max_n: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1024);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("rtree") => {
+            // rtree [out.json] [--check <min_speedup>]
+            let mut out = "BENCH_rtree.json".to_string();
+            let mut check: Option<f64> = None;
+            let mut rest = args[1..].iter();
+            while let Some(a) = rest.next() {
+                if a == "--check" {
+                    check = Some(
+                        rest.next()
+                            .and_then(|v| v.parse().ok())
+                            .expect("--check requires a numeric threshold"),
+                    );
+                } else {
+                    out = a.clone();
+                }
+            }
+            rtree_backends(&out, check);
+        }
+        other => {
+            let max_n = other.and_then(|s| s.parse().ok()).unwrap_or(1024);
+            overlay_scale(max_n);
+        }
+    }
+}
+
+/// The original overlay probe (Lemma 3.1 shape numbers).
+fn overlay_scale(max_n: usize) {
     println!("| N | build (s) | height | ceil(log2 N) | max degree | mem max | mem mean |");
     println!("|---|-----------|--------|--------------|------------|---------|----------|");
     let mut n = 64usize;
@@ -43,4 +84,228 @@ fn main() {
         );
         n *= 2;
     }
+}
+
+/// One backend measurement at one size.
+struct Sample {
+    size: usize,
+    build_ns: u64,
+    query_ns: f64,
+}
+
+/// Constant-selectivity rectangle workload: extents 1–10 in a world
+/// whose side grows with `sqrt(n)` so a point query matches ~10
+/// entries at *every* size. Keeping the output constant isolates what
+/// the backends differ in — traversal and layout — and mirrors the
+/// serving regime the north star targets (an event at million-user
+/// scale interests a bounded audience, not 0.3% of the planet).
+fn scaled_rects(n: usize, seed: u64) -> Vec<Rect<2>> {
+    const TARGET_MATCHES: f64 = 10.0;
+    let avg_area = 5.5 * 5.5;
+    let side = (n as f64 * avg_area / TARGET_MATCHES).sqrt();
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let w = rng.gen_range(1.0..10.0);
+            let h = rng.gen_range(1.0..10.0);
+            let x = rng.gen_range(0.0..side - w);
+            let y = rng.gen_range(0.0..side - h);
+            Rect::new([x, y], [x + w, y + h])
+        })
+        .collect()
+}
+
+/// Pointer-vs-packed backend probe; writes `out_path`. With
+/// `check = Some(t)`, exits nonzero unless the packed backend beats
+/// the STR pointer build by at least `t`× on both build and query at
+/// the largest size — the regression gate CI runs (with a threshold
+/// below the ~2× steady state to absorb runner noise).
+fn rtree_backends(out_path: &str, check: Option<f64>) {
+    const SIZES: [usize; 3] = [1_000, 10_000, 100_000];
+    const QUERY_PROBES: usize = 20_000;
+    let config = RTreeConfig::new(4, 16, SplitMethod::RStar).expect("valid");
+
+    let mut incremental_samples = Vec::new();
+    let mut pointer_samples = Vec::new();
+    let mut packed_samples = Vec::new();
+    println!("| N | backend | build (ns) | point query (ns) |");
+    println!("|---|---------|------------|------------------|");
+    for size in SIZES {
+        let rects = scaled_rects(size, 7_700 + size as u64);
+        let entries: Vec<(usize, Rect<2>)> = rects.iter().copied().enumerate().collect();
+        let probes: Vec<Point<2>> = rects
+            .iter()
+            .cycle()
+            .take(QUERY_PROBES)
+            .map(Rect::center)
+            .collect();
+
+        // Pointer backend built the way the seed's hot consumers did:
+        // one insert per subscription.
+        let (incremental, incremental_build_ns) = time_build(1, || {
+            let mut tree: RTree<usize, 2> = RTree::new(config);
+            for (k, r) in &entries {
+                tree.insert(*k, *r);
+            }
+            tree
+        });
+        let incremental_query_ns = time_queries(&probes, |p| incremental.search_point(p).len());
+        println!(
+            "| {size} | pointer-incremental | {incremental_build_ns} | {incremental_query_ns:.1} |"
+        );
+        incremental_samples.push(Sample {
+            size,
+            build_ns: incremental_build_ns,
+            query_ns: incremental_query_ns,
+        });
+        drop(incremental);
+
+        // Pointer backend at its best: STR bulk load.
+        let (pointer, pointer_build_ns) =
+            time_build_with(3, || entries.clone(), |e| RTree::bulk_load(config, e));
+        let pointer_query_ns = time_queries(&probes, |p| pointer.search_point(p).len());
+        println!("| {size} | pointer-str | {pointer_build_ns} | {pointer_query_ns:.1} |");
+        pointer_samples.push(Sample {
+            size,
+            build_ns: pointer_build_ns,
+            query_ns: pointer_query_ns,
+        });
+
+        // Packed backend: Hilbert bulk load, visitor queries.
+        let (packed, packed_build_ns) =
+            time_build_with(3, || entries.clone(), PackedRTree::bulk_load);
+        let packed_query_ns = time_queries(&probes, |p| {
+            let mut count = 0usize;
+            packed.for_each_containing(p, |_, _| count += 1);
+            count
+        });
+        println!("| {size} | packed | {packed_build_ns} | {packed_query_ns:.1} |");
+        packed_samples.push(Sample {
+            size,
+            build_ns: packed_build_ns,
+            query_ns: packed_query_ns,
+        });
+    }
+
+    let last_incr = incremental_samples.last().expect("sizes non-empty");
+    let last_pointer = pointer_samples.last().expect("sizes non-empty");
+    let last_packed = packed_samples.last().expect("sizes non-empty");
+    let vs_incr_build = last_incr.build_ns as f64 / last_packed.build_ns as f64;
+    let vs_incr_query = last_incr.query_ns / last_packed.query_ns;
+    let vs_str_build = last_pointer.build_ns as f64 / last_packed.build_ns as f64;
+    let vs_str_query = last_pointer.query_ns / last_packed.query_ns;
+    println!(
+        "packed speedup at {}: {vs_incr_build:.1}x build / {vs_incr_query:.1}x query vs incremental, \
+         {vs_str_build:.1}x build / {vs_str_query:.1}x query vs STR",
+        last_packed.size
+    );
+
+    let json = render_json(
+        &[
+            ("pointer_incremental", &incremental_samples),
+            ("pointer_str", &pointer_samples),
+            ("packed", &packed_samples),
+        ],
+        &[
+            ("build_vs_incremental", vs_incr_build),
+            ("query_vs_incremental", vs_incr_query),
+            ("build_vs_str", vs_str_build),
+            ("query_vs_str", vs_str_query),
+        ],
+    );
+    std::fs::write(out_path, json).expect("write BENCH_rtree.json");
+    println!("wrote {out_path}");
+
+    if let Some(threshold) = check {
+        if vs_str_build < threshold || vs_str_query < threshold {
+            eprintln!(
+                "REGRESSION: packed speedup vs STR fell below {threshold}x \
+                 (build {vs_str_build:.2}x, query {vs_str_query:.2}x)"
+            );
+            std::process::exit(1);
+        }
+        println!("check passed: packed >= {threshold}x vs STR on build and query");
+    }
+}
+
+/// Best-of-`reps` wall-clock build time; returns the last tree built.
+/// The per-repetition entry clone happens outside the timed region.
+fn time_build<T>(reps: usize, mut build: impl FnMut() -> T) -> (T, u64) {
+    let mut best = u64::MAX;
+    let mut out = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let tree = build();
+        best = best.min(t0.elapsed().as_nanos() as u64);
+        out = Some(tree);
+    }
+    (out.expect("reps > 0"), best)
+}
+
+/// Like [`time_build`] but excludes input preparation from the timing.
+fn time_build_with<I, T>(
+    reps: usize,
+    mut setup: impl FnMut() -> I,
+    mut build: impl FnMut(I) -> T,
+) -> (T, u64) {
+    let mut best = u64::MAX;
+    let mut out = None;
+    for _ in 0..reps {
+        let input = setup();
+        let t0 = Instant::now();
+        let tree = build(input);
+        best = best.min(t0.elapsed().as_nanos() as u64);
+        out = Some(tree);
+    }
+    (out.expect("reps > 0"), best)
+}
+
+/// Mean per-query nanoseconds over all probes.
+fn time_queries<const D: usize>(
+    probes: &[Point<D>],
+    mut query: impl FnMut(&Point<D>) -> usize,
+) -> f64 {
+    // Warm-up pass, also forcing the work to be observable.
+    let mut hits = 0usize;
+    for p in probes.iter().take(100) {
+        hits += query(p);
+    }
+    let t0 = Instant::now();
+    for p in probes {
+        hits += query(p);
+    }
+    let elapsed = t0.elapsed().as_nanos() as f64;
+    std::hint::black_box(hits);
+    elapsed / probes.len() as f64
+}
+
+/// Hand-rolled JSON (the workspace is offline; no serde).
+fn render_json(backends: &[(&str, &Vec<Sample>)], speedups: &[(&str, f64)]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"bench\": \"rtree-backends\",\n");
+    out.push_str(
+        "  \"workload\": \"uniform 2d, extents 1-10, world scaled to ~10 matches per point query\",\n",
+    );
+    out.push_str("  \"query\": \"point search at entry centers, mean ns over 20000 probes\",\n");
+    out.push_str("  \"backends\": {\n");
+    for (bi, (name, samples)) in backends.iter().enumerate() {
+        let bsep = if bi + 1 == backends.len() { "" } else { "," };
+        let _ = writeln!(out, "    \"{name}\": [");
+        for (i, s) in samples.iter().enumerate() {
+            let sep = if i + 1 == samples.len() { "" } else { "," };
+            let _ = writeln!(
+                out,
+                "      {{\"size\": {}, \"build_ns\": {}, \"query_ns\": {:.1}}}{sep}",
+                s.size, s.build_ns, s.query_ns
+            );
+        }
+        let _ = writeln!(out, "    ]{bsep}");
+    }
+    out.push_str("  },\n  \"packed_speedup_at_100k\": {");
+    for (i, (name, value)) in speedups.iter().enumerate() {
+        let sep = if i + 1 == speedups.len() { "" } else { ", " };
+        let _ = write!(out, "\"{name}\": {value:.2}{sep}");
+    }
+    out.push_str("}\n}\n");
+    out
 }

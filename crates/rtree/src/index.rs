@@ -1,0 +1,43 @@
+//! The common interface of the crate's two spatial-index backends.
+
+use drtree_spatial::{Point, Rect};
+
+/// Read-side interface shared by the pointer-based [`crate::RTree`] and
+/// the flat [`crate::PackedRTree`].
+///
+/// The primitive operations are *visitors*: hits are delivered through
+/// a callback, so counting or testing matches allocates nothing. The
+/// `Vec`-returning searches are derived conveniences for cold paths.
+/// Consumers that only read (oracles, matching sets, audit passes)
+/// should accept `impl SpatialIndex<K, D>` and let the caller pick the
+/// backend.
+pub trait SpatialIndex<K, const D: usize> {
+    /// Number of stored entries.
+    fn len(&self) -> usize;
+
+    /// `true` if no entry is stored.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Visits every entry whose rectangle contains `point` — the exact
+    /// matching set of an event.
+    fn for_each_containing<'a, F>(&'a self, point: &Point<D>, visit: F)
+    where
+        F: FnMut(&'a K, &'a Rect<D>),
+        K: 'a;
+
+    /// Visits every entry whose rectangle intersects `window`.
+    fn for_each_intersecting<'a, F>(&'a self, window: &Rect<D>, visit: F)
+    where
+        F: FnMut(&'a K, &'a Rect<D>),
+        K: 'a;
+
+    /// Number of entries whose rectangle contains `point`, without
+    /// materializing them.
+    fn count_containing(&self, point: &Point<D>) -> usize {
+        let mut count = 0;
+        self.for_each_containing(point, |_, _| count += 1);
+        count
+    }
+}

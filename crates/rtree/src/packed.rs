@@ -1,0 +1,652 @@
+//! The packed, cache-friendly R-tree backend.
+//!
+//! [`PackedRTree`] stores the whole index in contiguous `Vec`-backed
+//! level arrays — no per-node boxes, no pointer chasing. It is built
+//! bottom-up in one pass: entries are sorted by the Hilbert index of
+//! their center ([`drtree_spatial::hilbert`]), tiled into nodes of
+//! `node_size` consecutive entries, and parent levels pack the level
+//! below the same way until a single root remains (the flatbush /
+//! geo-index construction).
+//!
+//! Topology is implicit: node `j` of level `l` always covers children
+//! `j·B .. min((j+1)·B, len(l−1))` of the level below, so the only
+//! stored data are the node MBRs themselves. Searches are iterative
+//! (explicit stack, no recursion), and the visitor API delivers hits
+//! through a callback so the hot path allocates nothing per result.
+//!
+//! The tree is static in *shape* but serves live workloads through
+//! [`PackedRTree::update`], which rewrites one entry's rectangle and
+//! incrementally refits the `O(log N)` ancestor MBRs above it. Growing
+//! or shrinking the entry set requires a rebuild
+//! ([`PackedRTree::bulk_load`] again) — rebuilds are cheap enough that
+//! consumers with mutation (e.g. the pub/sub broker's subscription
+//! index) rebuild lazily on the next query.
+
+use drtree_spatial::hilbert::GridMapper;
+use drtree_spatial::{Point, Rect};
+
+use crate::index::SpatialIndex;
+
+/// Default node capacity; 16 balances depth against per-node scan cost
+/// (the flatbush default).
+pub const DEFAULT_NODE_SIZE: usize = 16;
+
+/// Hard cap on node capacity: per-node hit bitmasks live in one `u32`
+/// word, and the fixed traversal stack ([`STACK_CAPACITY`]) must cover
+/// `(node_size − 1) · (height − 1) + 1` frames for any 2^32-entry tree.
+const MAX_NODE_SIZE: usize = 32;
+
+/// Worst-case traversal stack depth: `node_size = 32` gives height ≤ 7
+/// at 2^32 entries, so `31 · 6 + 1 = 187` frames bound every legal
+/// tree; 256 leaves margin.
+const STACK_CAPACITY: usize = 256;
+
+/// The Hilbert-sorted permutation of `entries` (indexes into it).
+///
+/// The key/index pair is packed into one scalar wherever it fits —
+/// `u64` for `D ≤ 2`, `u128` for `D ≤ 6` — so the dominant sort moves
+/// machine words instead of tuples; wider dimensions fall back to
+/// tuple sorting. All variants order by (curve key, insertion index).
+fn curve_order<K, const D: usize>(mapper: &GridMapper<D>, entries: &[(K, Rect<D>)]) -> Vec<u32> {
+    if D <= 2 {
+        let mut tagged: Vec<u64> = entries
+            .iter()
+            .enumerate()
+            .map(|(i, (_, r))| ((mapper.key(r) as u64) << 32) | i as u64)
+            .collect();
+        tagged.sort_unstable();
+        tagged.into_iter().map(|t| t as u32).collect()
+    } else if D <= 6 {
+        let mut tagged: Vec<u128> = entries
+            .iter()
+            .enumerate()
+            .map(|(i, (_, r))| (mapper.key(r) << 32) | i as u128)
+            .collect();
+        tagged.sort_unstable();
+        tagged.into_iter().map(|t| t as u32).collect()
+    } else {
+        let mut tagged: Vec<(u128, u32)> = entries
+            .iter()
+            .enumerate()
+            .map(|(i, (_, r))| (mapper.key(r), i as u32))
+            .collect();
+        tagged.sort_unstable();
+        tagged.into_iter().map(|(_, i)| i).collect()
+    }
+}
+
+/// Bitmask of rectangles in `rects` (≤ 32 of them) containing `point`.
+///
+/// Branchless on purpose: every test runs to completion with bitwise
+/// `&`, so the loop vectorizes over the contiguous MBR array and pays
+/// no branch mispredictions — the payoff of the flat layout.
+#[inline]
+fn mask_containing<const D: usize>(rects: &[Rect<D>], point: &Point<D>) -> u32 {
+    debug_assert!(rects.len() <= MAX_NODE_SIZE);
+    let mut mask = 0u32;
+    for (i, r) in rects.iter().enumerate() {
+        let mut hit = true;
+        for d in 0..D {
+            let c = point.coord(d);
+            hit &= (r.lo(d) <= c) & (c <= r.hi(d));
+        }
+        mask |= u32::from(hit) << i;
+    }
+    mask
+}
+
+/// Bitmask of rectangles in `rects` (≤ 32 of them) intersecting
+/// `window`; branchless like [`mask_containing`].
+#[inline]
+fn mask_intersecting<const D: usize>(rects: &[Rect<D>], window: &Rect<D>) -> u32 {
+    debug_assert!(rects.len() <= MAX_NODE_SIZE);
+    let mut mask = 0u32;
+    for (i, r) in rects.iter().enumerate() {
+        let mut hit = true;
+        for d in 0..D {
+            hit &= (r.lo(d) <= window.hi(d)) & (window.lo(d) <= r.hi(d));
+        }
+        mask |= u32::from(hit) << i;
+    }
+    mask
+}
+
+/// A packed R-tree: all MBRs in flat per-level arrays, Hilbert
+/// bulk-loaded, with iterative allocation-free searches.
+///
+/// `K` is the caller's key type; duplicates are permitted. Entry order
+/// after construction follows the Hilbert curve, and every entry is
+/// addressed by its *slot* (index in that order) for `O(log N)`
+/// in-place updates.
+///
+/// # Example
+///
+/// ```
+/// use drtree_rtree::{PackedRTree, SpatialIndex};
+/// use drtree_spatial::{Point, Rect};
+///
+/// let entries: Vec<(u32, Rect<2>)> = (0..100)
+///     .map(|i| {
+///         let x = f64::from(i % 10) * 10.0;
+///         let y = f64::from(i / 10) * 10.0;
+///         (i, Rect::new([x, y], [x + 5.0, y + 5.0]))
+///     })
+///     .collect();
+/// let tree = PackedRTree::bulk_load(entries);
+/// assert_eq!(tree.len(), 100);
+/// let hits = tree.search_point(&Point::new([2.0, 2.0]));
+/// assert_eq!(hits, vec![&0]);
+/// tree.validate()?;
+/// # Ok::<(), drtree_rtree::PackedValidationError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct PackedRTree<K, const D: usize> {
+    node_size: usize,
+    /// Entry keys, in *insertion* order. Keys are only touched for
+    /// hits, so they skip the Hilbert permutation (keeping the build a
+    /// cheap `Copy` gather of rectangles) and sit behind [`Self::order`].
+    keys: Vec<K>,
+    /// `order[slot]` = index into `keys` of the entry at `slot`.
+    order: Vec<u32>,
+    /// Entry rectangles in slot (Hilbert) order — the contiguous array
+    /// the leaf-level mask scans run over.
+    rects: Vec<Rect<D>>,
+    /// `levels[0]` holds the leaf-node MBRs, each covering `node_size`
+    /// consecutive entries; each further level packs the one below; the
+    /// last level is the root (length 1). Empty iff the tree is empty.
+    levels: Vec<Vec<Rect<D>>>,
+}
+
+/// A violated packed-level invariant, reported by
+/// [`PackedRTree::validate`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum PackedValidationError {
+    /// A level's length is not `ceil(len(below) / node_size)`.
+    WrongLevelLength {
+        /// Level index (0 = leaf nodes).
+        level: usize,
+        /// Nodes found at the level.
+        found: usize,
+        /// Nodes the implicit topology requires.
+        expected: usize,
+    },
+    /// A node MBR is not the exact union of what it covers.
+    WrongMbr {
+        /// Level index (0 = leaf nodes).
+        level: usize,
+        /// Node index within the level.
+        node: usize,
+    },
+    /// The key and rectangle arrays disagree in length, or a non-empty
+    /// tree has no levels.
+    Inconsistent,
+}
+
+impl std::fmt::Display for PackedValidationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PackedValidationError::WrongLevelLength {
+                level,
+                found,
+                expected,
+            } => write!(
+                f,
+                "packed level {level} has {found} nodes, topology requires {expected}"
+            ),
+            PackedValidationError::WrongMbr { level, node } => {
+                write!(f, "node {node} of level {level} has a non-exact MBR")
+            }
+            PackedValidationError::Inconsistent => {
+                f.write_str("entry arrays inconsistent with level arrays")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PackedValidationError {}
+
+impl<K, const D: usize> PackedRTree<K, D> {
+    /// Hilbert bulk-load with the default node size.
+    pub fn bulk_load(entries: Vec<(K, Rect<D>)>) -> Self {
+        Self::bulk_load_with_node_size(DEFAULT_NODE_SIZE, entries)
+    }
+
+    /// Hilbert bulk-load with node capacity `node_size` (clamped to
+    /// `[2, 32]`; the cap keeps node bitmasks in one machine word and
+    /// bounds the traversal stack).
+    pub fn bulk_load_with_node_size(node_size: usize, entries: Vec<(K, Rect<D>)>) -> Self {
+        let node_size = node_size.clamp(2, MAX_NODE_SIZE);
+        let n = entries.len();
+        assert!(
+            n <= u32::MAX as usize,
+            "packed tree is limited to 2^32 entries"
+        );
+        if n == 0 {
+            return Self {
+                node_size,
+                keys: Vec::new(),
+                order: Vec::new(),
+                rects: Vec::new(),
+                levels: Vec::new(),
+            };
+        }
+
+        // Order entries along the Hilbert curve of their centers. The
+        // sort permutes small scalar (key, index) packs, not the
+        // entries themselves; ties keep insertion order via the index,
+        // so construction is deterministic even on degenerate worlds.
+        let world = GridMapper::world_of(entries.iter().map(|(_, r)| r))
+            .unwrap_or_else(|| Rect::new([0.0; D], [1.0; D]));
+        let mapper = GridMapper::new(&world);
+        let order = curve_order(&mapper, &entries);
+        let rects: Vec<Rect<D>> = order.iter().map(|&i| entries[i as usize].1).collect();
+        let keys: Vec<K> = entries.into_iter().map(|(k, _)| k).collect();
+
+        // Pack levels bottom-up until a single root remains.
+        let mut levels: Vec<Vec<Rect<D>>> = Vec::new();
+        let mut below: &[Rect<D>] = &rects;
+        loop {
+            let level: Vec<Rect<D>> = below
+                .chunks(node_size)
+                .map(|chunk| Rect::union_all(chunk.iter()).expect("chunks are non-empty"))
+                .collect();
+            let done = level.len() == 1;
+            levels.push(level);
+            if done {
+                break;
+            }
+            below = levels.last().expect("just pushed");
+        }
+
+        Self {
+            node_size,
+            keys,
+            order,
+            rects,
+            levels,
+        }
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// `true` if the tree stores no entries.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Node capacity the tree was packed with.
+    pub fn node_size(&self) -> usize {
+        self.node_size
+    }
+
+    /// Number of node levels, counting the leaf-node level as 1. An
+    /// empty tree has height 1, mirroring [`crate::RTree::height`].
+    pub fn height(&self) -> usize {
+        self.levels.len().max(1)
+    }
+
+    /// The MBR of the whole tree (`None` when empty).
+    pub fn mbr(&self) -> Option<Rect<D>> {
+        self.levels.last().map(|root| root[0])
+    }
+
+    /// The entry stored in `slot` (Hilbert order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= self.len()`.
+    pub fn entry(&self, slot: usize) -> (&K, &Rect<D>) {
+        (&self.keys[self.order[slot] as usize], &self.rects[slot])
+    }
+
+    /// Iterates over `(slot, key, rect)` in Hilbert order.
+    pub fn entries(&self) -> impl Iterator<Item = (usize, &K, &Rect<D>)> {
+        self.order
+            .iter()
+            .zip(self.rects.iter())
+            .enumerate()
+            .map(|(slot, (&i, r))| (slot, &self.keys[i as usize], r))
+    }
+
+    /// The slot of the first-inserted entry with key `key`, if any.
+    pub fn slot_of(&self, key: &K) -> Option<usize>
+    where
+        K: PartialEq,
+    {
+        let i = self.keys.iter().position(|k| k == key)? as u32;
+        self.order.iter().position(|&o| o == i)
+    }
+
+    /// Replaces the rectangle in `slot` and incrementally refits the
+    /// `O(log N)` ancestor MBRs above it — the live-update path: no
+    /// rebuild, no allocation.
+    ///
+    /// The entry keeps its slot, so a drifting subscription stays
+    /// addressable; packing quality degrades only as far as the moved
+    /// rectangle inflates its ancestors (refits are exact, shrinking
+    /// included). Rebuild via [`PackedRTree::bulk_load`] when drift
+    /// accumulates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= self.len()`.
+    pub fn update(&mut self, slot: usize, rect: Rect<D>) {
+        assert!(slot < self.keys.len(), "slot {slot} out of bounds");
+        self.rects[slot] = rect;
+        let mut node = slot / self.node_size;
+        for level in 0..self.levels.len() {
+            let exact = self
+                .covered_union(level, node)
+                .expect("covered range is non-empty");
+            if self.levels[level][node] == exact {
+                break; // ancestors above are unions of unchanged MBRs
+            }
+            self.levels[level][node] = exact;
+            node /= self.node_size;
+        }
+    }
+
+    /// The exact union of everything node `(level, node)` covers.
+    fn covered_union(&self, level: usize, node: usize) -> Option<Rect<D>> {
+        let lo = node * self.node_size;
+        let below: &[Rect<D>] = if level == 0 {
+            &self.rects
+        } else {
+            &self.levels[level - 1]
+        };
+        let hi = ((node + 1) * self.node_size).min(below.len());
+        Rect::union_all(below[lo..hi].iter())
+    }
+
+    /// Visits every entry whose rectangle contains `point` — the hot
+    /// path of every matching oracle. Iterative (explicit fixed-size
+    /// stack, zero heap allocation) with branchless bitmask scans over
+    /// the contiguous MBR arrays.
+    pub fn for_each_containing<'a, F>(&'a self, point: &Point<D>, visit: F)
+    where
+        F: FnMut(&'a K, &'a Rect<D>),
+    {
+        self.traverse(|rects| mask_containing(rects, point), visit);
+    }
+
+    /// Visits every entry whose rectangle intersects `window`; same
+    /// allocation-free traversal as
+    /// [`PackedRTree::for_each_containing`].
+    pub fn for_each_intersecting<'a, F>(&'a self, window: &Rect<D>, visit: F)
+    where
+        F: FnMut(&'a K, &'a Rect<D>),
+    {
+        self.traverse(|rects| mask_intersecting(rects, window), visit);
+    }
+
+    /// Iterative pruned traversal. `mask_of` maps a slice of ≤
+    /// `node_size` rectangles to a hit bitmask; nodes with set bits are
+    /// descended, entries with set bits are emitted. The explicit stack
+    /// is a fixed array ([`STACK_CAPACITY`] frames bounds every legal
+    /// tree), so a query performs no heap allocation at all.
+    fn traverse<'a>(
+        &'a self,
+        mask_of: impl Fn(&[Rect<D>]) -> u32,
+        mut emit: impl FnMut(&'a K, &'a Rect<D>),
+    ) {
+        let Some(root) = self.levels.last() else {
+            return;
+        };
+        if mask_of(&root[0..1]) == 0 {
+            return;
+        }
+        let mut stack = [(0u32, 0u32); STACK_CAPACITY];
+        let mut top = 1usize;
+        stack[0] = (self.levels.len() as u32 - 1, 0);
+        while top > 0 {
+            top -= 1;
+            let (level, node) = stack[top];
+            let lo = node as usize * self.node_size;
+            if level == 0 {
+                let hi = (lo + self.node_size).min(self.rects.len());
+                let mut mask = mask_of(&self.rects[lo..hi]);
+                while mask != 0 {
+                    let slot = lo + mask.trailing_zeros() as usize;
+                    emit(&self.keys[self.order[slot] as usize], &self.rects[slot]);
+                    mask &= mask - 1;
+                }
+            } else {
+                let below = &self.levels[level as usize - 1];
+                let hi = (lo + self.node_size).min(below.len());
+                let mut mask = mask_of(&below[lo..hi]);
+                while mask != 0 {
+                    let child = lo as u32 + mask.trailing_zeros();
+                    debug_assert!(top < STACK_CAPACITY);
+                    stack[top] = (level - 1, child);
+                    top += 1;
+                    mask &= mask - 1;
+                }
+            }
+        }
+    }
+
+    /// Keys whose rectangle contains `point`. Prefer
+    /// [`PackedRTree::for_each_containing`] on hot paths; this
+    /// convenience form allocates the result vector.
+    pub fn search_point(&self, point: &Point<D>) -> Vec<&K> {
+        let mut out = Vec::new();
+        self.for_each_containing(point, |k, _| out.push(k));
+        out
+    }
+
+    /// Keys whose rectangle intersects `window`.
+    pub fn search_intersecting(&self, window: &Rect<D>) -> Vec<&K> {
+        let mut out = Vec::new();
+        self.for_each_intersecting(window, |k, _| out.push(k));
+        out
+    }
+
+    /// Checks the packed-level invariants: implicit-topology level
+    /// lengths, exact node MBRs at every level, and array consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`PackedValidationError`] found.
+    pub fn validate(&self) -> Result<(), PackedValidationError> {
+        if self.keys.len() != self.rects.len() || self.order.len() != self.rects.len() {
+            return Err(PackedValidationError::Inconsistent);
+        }
+        // `order` must be a permutation of 0..n.
+        let mut seen = vec![false; self.order.len()];
+        for &i in &self.order {
+            if self.keys.get(i as usize).is_none() || std::mem::replace(&mut seen[i as usize], true)
+            {
+                return Err(PackedValidationError::Inconsistent);
+            }
+        }
+        if self.keys.is_empty() {
+            return if self.levels.is_empty() {
+                Ok(())
+            } else {
+                Err(PackedValidationError::Inconsistent)
+            };
+        }
+        if self.levels.is_empty() || self.levels.last().map(Vec::len) != Some(1) {
+            return Err(PackedValidationError::Inconsistent);
+        }
+        let mut below_len = self.rects.len();
+        for (level, nodes) in self.levels.iter().enumerate() {
+            let expected = below_len.div_ceil(self.node_size);
+            if nodes.len() != expected {
+                return Err(PackedValidationError::WrongLevelLength {
+                    level,
+                    found: nodes.len(),
+                    expected,
+                });
+            }
+            for (node, mbr) in nodes.iter().enumerate() {
+                if self.covered_union(level, node).as_ref() != Some(mbr) {
+                    return Err(PackedValidationError::WrongMbr { level, node });
+                }
+            }
+            below_len = nodes.len();
+        }
+        Ok(())
+    }
+}
+
+impl<K, const D: usize> SpatialIndex<K, D> for PackedRTree<K, D> {
+    fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    fn for_each_containing<'a, F>(&'a self, point: &Point<D>, visit: F)
+    where
+        F: FnMut(&'a K, &'a Rect<D>),
+        K: 'a,
+    {
+        PackedRTree::for_each_containing(self, point, visit);
+    }
+
+    fn for_each_intersecting<'a, F>(&'a self, window: &Rect<D>, visit: F)
+    where
+        F: FnMut(&'a K, &'a Rect<D>),
+        K: 'a,
+    {
+        PackedRTree::for_each_intersecting(self, window, visit);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid(n: usize) -> Vec<(usize, Rect<2>)> {
+        (0..n)
+            .map(|i| {
+                let x = (i % 32) as f64 * 3.0;
+                let y = (i / 32) as f64 * 3.0;
+                (i, Rect::new([x, y], [x + 2.0, y + 2.0]))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_tree() {
+        let tree: PackedRTree<u32, 2> = PackedRTree::bulk_load(Vec::new());
+        assert!(tree.is_empty());
+        assert_eq!(tree.height(), 1);
+        assert_eq!(tree.mbr(), None);
+        assert!(tree.search_point(&Point::new([0.0, 0.0])).is_empty());
+        tree.validate().unwrap();
+    }
+
+    #[test]
+    fn build_sizes_and_completeness() {
+        for n in [1usize, 2, 15, 16, 17, 256, 257, 1000] {
+            let tree = PackedRTree::bulk_load(grid(n));
+            assert_eq!(tree.len(), n);
+            tree.validate().unwrap_or_else(|e| panic!("n={n}: {e}"));
+            for (k, r) in grid(n) {
+                let hits = tree.search_point(&r.center());
+                assert!(hits.contains(&&k), "n={n}: entry {k} lost");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_linear_scan_on_windows() {
+        let entries = grid(500);
+        let tree = PackedRTree::bulk_load_with_node_size(8, entries.clone());
+        for window in [
+            Rect::new([0.0, 0.0], [10.0, 10.0]),
+            Rect::new([40.0, 10.0], [70.0, 30.0]),
+            Rect::new([500.0, 500.0], [600.0, 600.0]),
+        ] {
+            let mut got: Vec<usize> = tree
+                .search_intersecting(&window)
+                .into_iter()
+                .copied()
+                .collect();
+            got.sort_unstable();
+            let mut want: Vec<usize> = entries
+                .iter()
+                .filter(|(_, r)| r.intersects(&window))
+                .map(|(k, _)| *k)
+                .collect();
+            want.sort_unstable();
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn update_refits_ancestors() {
+        let mut tree = PackedRTree::bulk_load_with_node_size(4, grid(200));
+        let slot = tree.slot_of(&77).expect("entry 77 exists");
+        let moved = Rect::new([900.0, 900.0], [901.0, 901.0]);
+        tree.update(slot, moved);
+        tree.validate().unwrap();
+        let hits = tree.search_point(&Point::new([900.5, 900.5]));
+        assert_eq!(hits, vec![&77]);
+        // The old location no longer reports the moved entry.
+        let (_, old) = grid(200)[77];
+        assert!(!tree.search_point(&old.center()).contains(&&77));
+        // Shrinking also refits exactly.
+        tree.update(slot, Rect::new([900.2, 900.2], [900.4, 900.4]));
+        tree.validate().unwrap();
+    }
+
+    #[test]
+    fn unbounded_entries_are_searchable() {
+        let mut entries = grid(50);
+        entries.push((999, Rect::everything()));
+        entries.push((998, Rect::new([0.0, 10.0], [f64::INFINITY, 12.0])));
+        let tree = PackedRTree::bulk_load(entries);
+        tree.validate().unwrap();
+        let hits = tree.search_point(&Point::new([1_000_000.0, 11.0]));
+        let mut keys: Vec<usize> = hits.into_iter().copied().collect();
+        keys.sort_unstable();
+        assert_eq!(keys, vec![998, 999]);
+    }
+
+    #[test]
+    fn high_dimensional_trees_work() {
+        // 9 × HILBERT_ORDER exceeds 128 bits; the curve coarsens
+        // instead of panicking, and searches stay exact.
+        let entries: Vec<(usize, Rect<9>)> = (0..100)
+            .map(|i| {
+                let o = i as f64;
+                (i, Rect::new([o; 9], [o + 0.5; 9]))
+            })
+            .collect();
+        let tree = PackedRTree::bulk_load(entries);
+        tree.validate().unwrap();
+        let hits = tree.search_point(&Point::new([42.25; 9]));
+        assert_eq!(hits, vec![&42]);
+    }
+
+    #[test]
+    fn duplicate_rects_supported() {
+        let r = Rect::new([0.0, 0.0], [1.0, 1.0]);
+        let tree = PackedRTree::bulk_load((0..40usize).map(|i| (i, r)).collect());
+        assert_eq!(tree.search_point(&Point::new([0.5, 0.5])).len(), 40);
+        tree.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_catches_stale_mbr() {
+        let mut tree = PackedRTree::bulk_load_with_node_size(4, grid(100));
+        // Corrupt a leaf-node MBR behind validate's back.
+        tree.levels[0][0] = Rect::new([0.0, 0.0], [0.1, 0.1]);
+        assert!(matches!(
+            tree.validate(),
+            Err(PackedValidationError::WrongMbr { level: 0, node: 0 })
+        ));
+    }
+
+    #[test]
+    fn visitor_counts_without_allocating_results() {
+        let tree = PackedRTree::bulk_load(grid(300));
+        let mut count = 0usize;
+        tree.for_each_containing(&Point::new([1.0, 1.0]), |_, _| count += 1);
+        assert_eq!(count, tree.search_point(&Point::new([1.0, 1.0])).len());
+    }
+}

@@ -1,5 +1,6 @@
 use drtree_spatial::{Point, Rect};
 
+use crate::index::SpatialIndex;
 use crate::validate::{self, ValidationError};
 use crate::RTreeConfig;
 
@@ -310,71 +311,91 @@ impl<K, const D: usize> RTree<K, D> {
         }
     }
 
-    /// Keys whose rectangle contains `point` — the exact matching set of
-    /// an event (zero false positives/negatives by construction).
-    pub fn search_point(&self, point: &Point<D>) -> Vec<&K> {
-        let mut out = Vec::new();
-        let mut stack = vec![&self.root];
+    /// Visits every entry whose rectangle contains `point` — the exact
+    /// matching set of an event (zero false positives/negatives by
+    /// construction). Hits are delivered through the callback, so
+    /// counting or testing allocates no result vector.
+    pub fn for_each_containing<'a, F>(&'a self, point: &Point<D>, mut visit: F)
+    where
+        F: FnMut(&'a K, &'a Rect<D>),
+    {
+        self.traverse(
+            |mbr| mbr.contains_point(point),
+            |entries| {
+                for (k, r) in entries {
+                    if r.contains_point(point) {
+                        visit(k, r);
+                    }
+                }
+            },
+        );
+    }
+
+    /// Visits every entry whose rectangle intersects `window`.
+    pub fn for_each_intersecting<'a, F>(&'a self, window: &Rect<D>, mut visit: F)
+    where
+        F: FnMut(&'a K, &'a Rect<D>),
+    {
+        self.traverse(
+            |mbr| mbr.intersects(window),
+            |entries| {
+                for (k, r) in entries {
+                    if r.intersects(window) {
+                        visit(k, r);
+                    }
+                }
+            },
+        );
+    }
+
+    /// Iterative pruned traversal: descends into children whose MBR
+    /// passes `enter`, handing surviving leaves' entry slices to `leaf`.
+    fn traverse<'a>(
+        &'a self,
+        enter: impl Fn(&Rect<D>) -> bool,
+        mut leaf: impl FnMut(&'a [(K, Rect<D>)]),
+    ) {
+        let mut stack: Vec<&Node<K, D>> =
+            Vec::with_capacity(self.config.max_entries() * self.height());
+        stack.push(&self.root);
         while let Some(node) = stack.pop() {
             match node {
-                Node::Leaf(entries) => {
-                    out.extend(
-                        entries
-                            .iter()
-                            .filter(|(_, r)| r.contains_point(point))
-                            .map(|(k, _)| k),
-                    );
-                }
+                Node::Leaf(entries) => leaf(entries),
                 Node::Internal(children) => {
                     stack.extend(
                         children
                             .iter()
-                            .filter(|c| c.mbr.contains_point(point))
+                            .filter(|c| enter(&c.mbr))
                             .map(|c| c.node.as_ref()),
                     );
                 }
             }
         }
+    }
+
+    /// Keys whose rectangle contains `point`. Prefer
+    /// [`RTree::for_each_containing`] on hot paths; this convenience
+    /// form allocates the result vector.
+    pub fn search_point(&self, point: &Point<D>) -> Vec<&K> {
+        let mut out = Vec::new();
+        self.for_each_containing(point, |k, _| out.push(k));
         out
     }
 
     /// Keys whose rectangle intersects `window`.
     pub fn search_intersecting(&self, window: &Rect<D>) -> Vec<&K> {
         let mut out = Vec::new();
-        let mut stack = vec![&self.root];
-        while let Some(node) = stack.pop() {
-            match node {
-                Node::Leaf(entries) => {
-                    out.extend(
-                        entries
-                            .iter()
-                            .filter(|(_, r)| r.intersects(window))
-                            .map(|(k, _)| k),
-                    );
-                }
-                Node::Internal(children) => {
-                    stack.extend(
-                        children
-                            .iter()
-                            .filter(|c| c.mbr.intersects(window))
-                            .map(|c| c.node.as_ref()),
-                    );
-                }
-            }
-        }
+        self.for_each_intersecting(window, |k, _| out.push(k));
         out
     }
 
     /// Iterates over all `(key, rect)` entries in unspecified order.
     pub fn iter(&self) -> impl Iterator<Item = (&K, &Rect<D>)> {
-        let mut entries = Vec::new();
-        let mut stack = vec![&self.root];
-        while let Some(node) = stack.pop() {
-            match node {
-                Node::Leaf(es) => entries.extend(es.iter().map(|(k, r)| (k, r))),
-                Node::Internal(children) => stack.extend(children.iter().map(|c| c.node.as_ref())),
-            }
-        }
+        let mut entries = Vec::with_capacity(self.len);
+        self.traverse(
+            |_| true,
+            |leaf| entries.extend(leaf.iter().map(|(k, r)| (k, r))),
+        );
         entries.into_iter()
     }
 
@@ -400,6 +421,28 @@ impl<K, const D: usize> RTree<K, D> {
             len,
             reinsertion: false,
         }
+    }
+}
+
+impl<K, const D: usize> SpatialIndex<K, D> for RTree<K, D> {
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn for_each_containing<'a, F>(&'a self, point: &Point<D>, visit: F)
+    where
+        F: FnMut(&'a K, &'a Rect<D>),
+        K: 'a,
+    {
+        RTree::for_each_containing(self, point, visit);
+    }
+
+    fn for_each_intersecting<'a, F>(&'a self, window: &Rect<D>, visit: F)
+    where
+        F: FnMut(&'a K, &'a Rect<D>),
+        K: 'a,
+    {
+        RTree::for_each_intersecting(self, window, visit);
     }
 }
 

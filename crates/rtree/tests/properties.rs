@@ -1,9 +1,15 @@
 //! Property-based tests: the R-tree stays valid and complete under random
-//! operation sequences, for every split method.
+//! operation sequences, for every split method; and the packed backend
+//! returns *identical* result sets to the pointer tree (it is a drop-in
+//! oracle, not an approximation), including on the generated
+//! subscription workloads of `drtree-workloads`.
 
-use drtree_rtree::{RTree, RTreeConfig, SplitMethod};
+use drtree_rtree::{PackedRTree, RTree, RTreeConfig, SplitMethod};
 use drtree_spatial::{Point, Rect};
+use drtree_workloads::SubscriptionWorkload;
 use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -116,5 +122,115 @@ proptest! {
         let bound = (n as f64).log(m as f64).ceil() as usize + 2;
         prop_assert!(tree.height() <= bound,
             "height {} exceeds bound {} at n={}", tree.height(), bound, n);
+    }
+}
+
+/// Sorted key multiset of a point query against both backends.
+fn point_results(
+    pointer: &RTree<usize, 2>,
+    packed: &PackedRTree<usize, 2>,
+    p: &Point<2>,
+) -> (Vec<usize>, Vec<usize>) {
+    let mut a: Vec<usize> = pointer.search_point(p).into_iter().copied().collect();
+    let mut b: Vec<usize> = packed.search_point(p).into_iter().copied().collect();
+    a.sort_unstable();
+    b.sort_unstable();
+    (a, b)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn packed_matches_pointer_on_random_rects(
+        rects in prop::collection::vec(arb_rect(), 0..150),
+        probes in prop::collection::vec(
+            (0.0f64..140.0, 0.0f64..140.0), 1..20),
+        windows in prop::collection::vec(arb_rect(), 0..6),
+        node_size in 2usize..33,
+    ) {
+        let entries: Vec<(usize, Rect<2>)> = rects.iter().copied().enumerate().collect();
+        let mut pointer: RTree<usize, 2> = RTree::new(RTreeConfig::default());
+        for (k, r) in &entries {
+            pointer.insert(*k, *r);
+        }
+        let packed = PackedRTree::bulk_load_with_node_size(node_size, entries);
+        packed.validate().map_err(|e| TestCaseError::fail(e.to_string()))?;
+        prop_assert_eq!(packed.len(), pointer.len());
+
+        for (x, y) in probes {
+            let p = Point::new([x, y]);
+            let (a, b) = point_results(&pointer, &packed, &p);
+            prop_assert_eq!(a, b, "point query at {:?}", p);
+        }
+        for w in windows {
+            let mut a: Vec<usize> =
+                pointer.search_intersecting(&w).into_iter().copied().collect();
+            let mut b: Vec<usize> =
+                packed.search_intersecting(&w).into_iter().copied().collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            prop_assert_eq!(a, b, "window query at {}", w);
+        }
+    }
+
+    #[test]
+    fn packed_matches_pointer_on_generated_workloads(
+        seed in any::<u64>(),
+        n in 1usize..400,
+        workload_idx in 0usize..3,
+    ) {
+        let (_, workload) = SubscriptionWorkload::standard()[workload_idx];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rects: Vec<Rect<2>> = workload.generate(n, &mut rng);
+        let entries: Vec<(usize, Rect<2>)> = rects.iter().copied().enumerate().collect();
+
+        let mut pointer: RTree<usize, 2> =
+            RTree::new(RTreeConfig::new(4, 16, SplitMethod::RStar).unwrap());
+        for (k, r) in &entries {
+            pointer.insert(*k, *r);
+        }
+        let packed = PackedRTree::bulk_load(entries);
+        packed.validate().map_err(|e| TestCaseError::fail(e.to_string()))?;
+
+        // Probe at every entry's center: the exact matching sets the
+        // broker oracle computes must agree between backends.
+        for r in rects.iter().take(64) {
+            let p = r.center();
+            let (a, b) = point_results(&pointer, &packed, &p);
+            prop_assert_eq!(a, b, "center probe at {:?}", p);
+        }
+    }
+
+    #[test]
+    fn packed_update_stays_exact(
+        rects in prop::collection::vec(arb_rect(), 1..120),
+        moves in prop::collection::vec((0usize..120, arb_rect()), 1..20),
+    ) {
+        let entries: Vec<(usize, Rect<2>)> = rects.iter().copied().enumerate().collect();
+        let mut packed = PackedRTree::bulk_load_with_node_size(4, entries);
+        let mut model = rects.clone();
+        for (slot, rect) in moves {
+            let slot = slot % packed.len();
+            let (&key, _) = packed.entry(slot);
+            packed.update(slot, rect);
+            model[key] = rect;
+            packed.validate().map_err(|e| TestCaseError::fail(e.to_string()))?;
+        }
+        // After arbitrary moves the tree still answers exactly.
+        for (i, r) in model.iter().enumerate().take(40) {
+            let p = r.center();
+            let mut got: Vec<usize> =
+                packed.search_point(&p).into_iter().copied().collect();
+            got.sort_unstable();
+            let mut want: Vec<usize> = model
+                .iter()
+                .enumerate()
+                .filter(|(_, m)| m.contains_point(&p))
+                .map(|(k, _)| k)
+                .collect();
+            want.sort_unstable();
+            prop_assert_eq!(got, want, "after moving entry {}", i);
+        }
     }
 }

@@ -15,6 +15,15 @@ use crate::{Context, Metrics, Process, ProcessId};
 /// usual synchronous-daemon step of the self-stabilization literature,
 /// in which every periodic check module fires once.
 ///
+/// Ids are assigned densely from 0, so processes and inboxes live in
+/// flat `Vec`s indexed by raw id (a crashed process leaves a `None`
+/// slot). Inbox buffers are double-buffered and reused round over
+/// round: steady-state rounds allocate nothing for message plumbing.
+/// Messages addressed outside the allocated id range (the protocol
+/// under corruption forges references to nonexistent processes) are
+/// parked in a side map with the same one-round lifetime they had
+/// before.
+///
 /// # Example
 ///
 /// ```
@@ -35,12 +44,21 @@ use crate::{Context, Metrics, Process, ProcessId};
 /// assert_eq!(net.process(id).unwrap().ticks, 5);
 /// ```
 pub struct RoundNetwork<P: Process> {
-    procs: BTreeMap<ProcessId, P>,
-    inboxes: BTreeMap<ProcessId, Vec<(ProcessId, P::Msg)>>,
+    /// `procs[raw_id]`; `None` after a crash (ids are never reused).
+    procs: Vec<Option<P>>,
+    /// Live-process count (`procs` slots that are `Some`).
+    live: usize,
+    /// `inboxes[raw_id]`: messages accumulated for delivery next round.
+    inboxes: Vec<Vec<(ProcessId, P::Msg)>>,
+    /// Last round's buffers, drained this round and then reused as the
+    /// next `inboxes` (capacity retained).
+    scratch: Vec<Vec<(ProcessId, P::Msg)>>,
+    /// Messages to ids outside the allocated range (forged references);
+    /// dropped after one round exactly like map-backed inboxes were.
+    overflow: BTreeMap<ProcessId, Vec<(ProcessId, P::Msg)>>,
     timers: BTreeMap<u64, Vec<(ProcessId, P::Timer)>>,
     tick: Option<P::Timer>,
     round: u64,
-    next_id: u64,
     rng: StdRng,
     metrics: Metrics,
 }
@@ -49,12 +67,14 @@ impl<P: Process> RoundNetwork<P> {
     /// Creates an engine with no periodic tick.
     pub fn new(seed: u64) -> Self {
         Self {
-            procs: BTreeMap::new(),
-            inboxes: BTreeMap::new(),
+            procs: Vec::new(),
+            live: 0,
+            inboxes: Vec::new(),
+            scratch: Vec::new(),
+            overflow: BTreeMap::new(),
             timers: BTreeMap::new(),
             tick: None,
             round: 0,
-            next_id: 0,
             rng: StdRng::seed_from_u64(seed),
             metrics: Metrics::new(),
         }
@@ -71,11 +91,17 @@ impl<P: Process> RoundNetwork<P> {
     /// Adds a process, assigns a fresh id, and calls
     /// [`Process::on_start`].
     pub fn add_process(&mut self, mut process: P) -> ProcessId {
-        let id = ProcessId::from_raw(self.next_id);
-        self.next_id += 1;
+        let id = ProcessId::from_raw(self.procs.len() as u64);
         let mut ctx = Context::new(id, self.round, &mut self.rng);
         process.on_start(&mut ctx);
-        self.procs.insert(id, process);
+        self.procs.push(Some(process));
+        self.live += 1;
+        self.inboxes.push(Vec::new());
+        self.scratch.push(Vec::new());
+        // Messages sent to this id before it existed now have a home.
+        if let Some(pending) = self.overflow.remove(&id) {
+            self.inboxes[id.raw() as usize] = pending;
+        }
         let (outbox, timers) = ctx.into_effects();
         self.apply_effects(id, outbox, timers);
         id
@@ -94,37 +120,46 @@ impl<P: Process> RoundNetwork<P> {
 
     /// Ids of live processes, in id order.
     pub fn ids(&self) -> Vec<ProcessId> {
-        self.procs.keys().copied().collect()
+        self.procs
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| p.as_ref().map(|_| ProcessId::from_raw(i as u64)))
+            .collect()
     }
 
     /// Number of live processes.
     pub fn len(&self) -> usize {
-        self.procs.len()
+        self.live
     }
 
     /// `true` if no process is alive.
     pub fn is_empty(&self) -> bool {
-        self.procs.is_empty()
+        self.live == 0
     }
 
     /// `true` if `id` refers to a live process.
     pub fn is_alive(&self, id: ProcessId) -> bool {
-        self.procs.contains_key(&id)
+        self.slot(id).is_some()
     }
 
     /// Shared view of a live process.
     pub fn process(&self, id: ProcessId) -> Option<&P> {
-        self.procs.get(&id)
+        self.slot(id)
     }
 
     /// Mutable access to a live process (harness bookkeeping).
     pub fn process_mut(&mut self, id: ProcessId) -> Option<&mut P> {
-        self.procs.get_mut(&id)
+        self.procs
+            .get_mut(id.raw() as usize)
+            .and_then(Option::as_mut)
     }
 
     /// Iterates over `(id, process)` pairs in id order.
     pub fn iter(&self) -> impl Iterator<Item = (ProcessId, &P)> {
-        self.procs.iter().map(|(id, p)| (*id, p))
+        self.procs
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| p.as_ref().map(|p| (ProcessId::from_raw(i as u64), p)))
     }
 
     /// Message metrics collected so far.
@@ -145,13 +180,22 @@ impl<P: Process> RoundNetwork<P> {
     /// Crashes `id` (uncontrolled departure): the process and its queued
     /// messages vanish.
     pub fn crash(&mut self, id: ProcessId) -> Option<P> {
-        self.inboxes.remove(&id);
-        self.procs.remove(&id)
+        let slot = self.procs.get_mut(id.raw() as usize)?;
+        let departed = slot.take();
+        if departed.is_some() {
+            self.live -= 1;
+            self.inboxes[id.raw() as usize].clear();
+        }
+        departed
     }
 
     /// Applies an adversarial mutation to a live process's memory.
     pub fn corrupt(&mut self, id: ProcessId, mutate: impl FnOnce(&mut P, &mut StdRng)) -> bool {
-        match self.procs.get_mut(&id) {
+        match self
+            .procs
+            .get_mut(id.raw() as usize)
+            .and_then(Option::as_mut)
+        {
             Some(p) => {
                 mutate(p, &mut self.rng);
                 true
@@ -163,43 +207,54 @@ impl<P: Process> RoundNetwork<P> {
     /// Queues a message for delivery at the start of the next round.
     pub fn send_external(&mut self, to: ProcessId, msg: P::Msg) {
         self.metrics.record_sent(msg.label());
-        self.inboxes.entry(to).or_default().push((to, msg));
+        self.enqueue(to, to, msg);
     }
 
     /// Executes one synchronous round.
     pub fn run_round(&mut self) {
         self.round += 1;
-        let inboxes = std::mem::take(&mut self.inboxes);
+        // The accumulating buffers become this round's deliveries; the
+        // drained buffers from last round (already empty, capacity
+        // intact) start accumulating the next round's messages.
+        std::mem::swap(&mut self.inboxes, &mut self.scratch);
+        // Forged-destination messages never find a process: drop them
+        // with this round, as the map-backed engine did.
+        self.overflow.clear();
         let due_timers = self.timers.remove(&self.round).unwrap_or_default();
-        let ids: Vec<ProcessId> = self.procs.keys().copied().collect();
+        let ids: Vec<ProcessId> = self.ids();
         for id in ids {
-            // Deliver last round's messages.
-            if let Some(msgs) = inboxes.get(&id) {
-                for (from, msg) in msgs {
-                    if !self.procs.contains_key(&id) {
+            let slot = id.raw() as usize;
+            // Deliver last round's messages. The buffer is swapped out
+            // locally so effects can enqueue into `self` while
+            // delivery walks it; it returns cleared, capacity intact.
+            if !self.scratch[slot].is_empty() {
+                let mut deliveries = std::mem::take(&mut self.scratch[slot]);
+                for (from, msg) in deliveries.drain(..) {
+                    if !self.is_alive(id) {
                         self.metrics.record_to_dead();
                         continue;
                     }
                     self.metrics.record_delivered();
                     let mut ctx = Context::new(id, self.round, &mut self.rng);
-                    let proc = self.procs.get_mut(&id).expect("checked above");
-                    proc.on_message(*from, msg.clone(), &mut ctx);
+                    let proc = self.procs[slot].as_mut().expect("checked above");
+                    proc.on_message(from, msg, &mut ctx);
                     let (outbox, timers) = ctx.into_effects();
                     self.apply_effects(id, outbox, timers);
                 }
+                self.scratch[slot] = deliveries;
             }
             // One-shot timers due this round.
             for (at, timer) in due_timers.iter().filter(|(at, _)| *at == id) {
-                if let Some(proc) = self.procs.get_mut(at) {
+                if let Some(proc) = self.procs[slot].as_mut() {
                     let mut ctx = Context::new(id, self.round, &mut self.rng);
                     proc.on_timer(timer.clone(), &mut ctx);
                     let (outbox, timers) = ctx.into_effects();
-                    self.apply_effects(id, outbox, timers);
+                    self.apply_effects(*at, outbox, timers);
                 }
             }
             // Periodic tick (the synchronous daemon).
             if let Some(tick) = self.tick.clone() {
-                if let Some(proc) = self.procs.get_mut(&id) {
+                if let Some(proc) = self.procs[slot].as_mut() {
                     let mut ctx = Context::new(id, self.round, &mut self.rng);
                     proc.on_timer(tick, &mut ctx);
                     let (outbox, timers) = ctx.into_effects();
@@ -207,8 +262,11 @@ impl<P: Process> RoundNetwork<P> {
                 }
             }
         }
-        // Messages addressed to processes that died mid-round are dropped
-        // with the inbox map (they were never delivered).
+        // Anything still sitting in the delivery buffers was addressed
+        // to a dead process; drop it but keep the buffer capacity.
+        for buf in &mut self.scratch {
+            buf.clear();
+        }
     }
 
     /// Runs `n` rounds.
@@ -238,6 +296,17 @@ impl<P: Process> RoundNetwork<P> {
         None
     }
 
+    fn slot(&self, id: ProcessId) -> Option<&P> {
+        self.procs.get(id.raw() as usize).and_then(Option::as_ref)
+    }
+
+    fn enqueue(&mut self, from: ProcessId, to: ProcessId, msg: P::Msg) {
+        match self.inboxes.get_mut(to.raw() as usize) {
+            Some(inbox) => inbox.push((from, msg)),
+            None => self.overflow.entry(to).or_default().push((from, msg)),
+        }
+    }
+
     fn apply_effects(
         &mut self,
         from: ProcessId,
@@ -246,7 +315,7 @@ impl<P: Process> RoundNetwork<P> {
     ) {
         for (to, msg) in outbox {
             self.metrics.record_sent(msg.label());
-            self.inboxes.entry(to).or_default().push((from, msg));
+            self.enqueue(from, to, msg);
         }
         for (delay, timer) in timer_requests {
             self.timers
@@ -261,11 +330,13 @@ impl<P: Process + Clone> Clone for RoundNetwork<P> {
     fn clone(&self) -> Self {
         Self {
             procs: self.procs.clone(),
+            live: self.live,
             inboxes: self.inboxes.clone(),
+            scratch: self.scratch.clone(),
+            overflow: self.overflow.clone(),
             timers: self.timers.clone(),
             tick: self.tick.clone(),
             round: self.round,
-            next_id: self.next_id,
             rng: self.rng.clone(),
             metrics: self.metrics.clone(),
         }
@@ -276,7 +347,7 @@ impl<P: Process> std::fmt::Debug for RoundNetwork<P> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("RoundNetwork")
             .field("round", &self.round)
-            .field("processes", &self.procs.len())
+            .field("processes", &self.live)
             .finish()
     }
 }
@@ -383,6 +454,44 @@ mod tests {
         net.run_rounds(2); // must not panic; p1's inbox discarded
         assert!(!net.is_alive(ids[1]));
         assert_eq!(net.len(), 2);
+    }
+
+    #[test]
+    fn crash_is_idempotent_and_keeps_count() {
+        let (mut net, ids) = ring(4);
+        assert!(net.crash(ids[2]).is_some());
+        assert!(net.crash(ids[2]).is_none());
+        assert!(net.crash(ProcessId::from_raw(999)).is_none());
+        assert_eq!(net.len(), 3);
+        assert_eq!(net.ids(), vec![ids[0], ids[1], ids[3]]);
+    }
+
+    #[test]
+    fn messages_to_forged_ids_are_dropped_after_one_round() {
+        let (mut net, _ids) = ring(2);
+        // Far outside the allocated range (corruption forges these).
+        net.send_external(ProcessId::from_raw(1_000_000), Gossip(7));
+        net.send_external(ProcessId::from_raw(u64::MAX), Gossip(8));
+        net.run_rounds(3); // must neither panic nor leak
+        assert_eq!(net.len(), 2);
+    }
+
+    #[test]
+    fn message_to_future_id_is_delivered_once_it_joins() {
+        let mut net: RoundNetwork<RingNode> = RoundNetwork::new(5);
+        let a = net.add_process(RingNode {
+            next: None,
+            best: 1,
+        });
+        // Address the process that will be created next (id 1).
+        net.send_external(ProcessId::from_raw(1), Gossip(42));
+        let b = net.add_process(RingNode {
+            next: None,
+            best: 0,
+        });
+        net.run_rounds(1);
+        assert_eq!(net.process(b).unwrap().best, 42);
+        let _ = a;
     }
 
     #[test]

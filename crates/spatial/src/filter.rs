@@ -91,6 +91,10 @@ impl fmt::Display for Predicate {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Schema {
     attrs: Vec<String>,
+    /// Dimension indexes sorted by attribute name — the lookup table
+    /// behind [`Schema::dim_of`]. Derived from `attrs`, so equality and
+    /// hashing of schemas can ignore it.
+    by_name: Vec<u32>,
 }
 
 impl Schema {
@@ -106,13 +110,16 @@ impl Schema {
         S: Into<String>,
     {
         let attrs: Vec<String> = attrs.into_iter().map(Into::into).collect();
-        for (i, a) in attrs.iter().enumerate() {
+        let mut by_name: Vec<u32> = (0..attrs.len() as u32).collect();
+        by_name.sort_by(|&a, &b| attrs[a as usize].cmp(&attrs[b as usize]));
+        for w in by_name.windows(2) {
             assert!(
-                !attrs[..i].contains(a),
-                "duplicate attribute name {a:?} in schema"
+                attrs[w[0] as usize] != attrs[w[1] as usize],
+                "duplicate attribute name {:?} in schema",
+                attrs[w[0] as usize]
             );
         }
-        Self { attrs }
+        Self { attrs, by_name }
     }
 
     /// Number of attributes (the dimensionality of the space).
@@ -121,8 +128,15 @@ impl Schema {
     }
 
     /// The dimension index of `attr`, if declared.
+    ///
+    /// `O(log d)` by binary search over the name-sorted index, so
+    /// compiling a filter or event costs `O(p log d)` in the number of
+    /// predicates instead of a linear name scan per predicate.
     pub fn dim_of(&self, attr: &str) -> Option<usize> {
-        self.attrs.iter().position(|a| a == attr)
+        self.by_name
+            .binary_search_by(|&i| self.attrs[i as usize].as_str().cmp(attr))
+            .ok()
+            .map(|pos| self.by_name[pos] as usize)
     }
 
     /// Attribute name of dimension `dim`.
@@ -335,6 +349,24 @@ mod tests {
     #[should_panic(expected = "duplicate")]
     fn schema_duplicates_rejected() {
         let _ = Schema::new(["x", "x"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn schema_nonadjacent_duplicates_rejected() {
+        let _ = Schema::new(["x", "y", "x"]);
+    }
+
+    #[test]
+    fn schema_lookup_scales_past_two_attrs() {
+        let names: Vec<String> = (0..50).map(|i| format!("attr{i:02}")).collect();
+        let s = Schema::new(names.clone());
+        for (dim, name) in names.iter().enumerate() {
+            assert_eq!(s.dim_of(name), Some(dim), "{name}");
+            assert_eq!(s.attr_of(dim), name);
+        }
+        assert_eq!(s.dim_of("attr99"), None);
+        assert_eq!(s.dim_of(""), None);
     }
 
     #[test]

@@ -13,6 +13,9 @@
 //!   over named attributes, compiled against a [`Schema`] into a [`Rect`].
 //! * [`containment`] — the subscription-containment partial order and its
 //!   Hasse diagram (the paper's Figure 1 "containment graph").
+//! * [`hilbert`] — D-dimensional Hilbert-curve indexing (Skilling's
+//!   transpose algorithm), the sort key behind the packed R-tree
+//!   backend's bulk loading.
 //! * [`sample`] — the running example of the paper (subscriptions
 //!   `S1..S8`, events `a..d` of Figure 1), with coordinates chosen to
 //!   reproduce every containment/matching fact stated in the text.
@@ -35,6 +38,7 @@
 
 pub mod containment;
 pub mod filter;
+pub mod hilbert;
 mod point;
 mod rect;
 pub mod sample;

@@ -67,6 +67,6 @@ pub use drtree_core::{
     PublishReport, SplitMethod,
 };
 pub use drtree_pubsub::{Broker, RoutingStats};
-pub use drtree_rtree::{RTree, RTreeConfig};
+pub use drtree_rtree::{PackedRTree, RTree, RTreeConfig, SpatialIndex};
 pub use drtree_spatial::{ContainmentGraph, Event, FilterExpr, Op, Point, Rect, Schema};
 pub use drtree_workloads::{EventWorkload, PoissonChurn, SubscriptionWorkload};

@@ -1,0 +1,37 @@
+//! `any::<T>()` — the canonical full-range strategy of a type.
+
+use std::marker::PhantomData;
+
+use rand::rngs::StdRng;
+use rand::{Rng, StandardSample};
+
+use crate::strategy::Strategy;
+
+/// Types with a canonical [`any`] strategy.
+pub trait Arbitrary: Sized {
+    /// Generates one arbitrary value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+impl<T: StandardSample> Arbitrary for T {
+    fn arbitrary(rng: &mut StdRng) -> T {
+        rng.gen()
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn gen_value(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy of `T`: full range for integers, `[0, 1)` for
+/// floats, fair coin for `bool`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}

@@ -1,0 +1,143 @@
+//! Offline drop-in subset of the `proptest` API.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! shim implements the slice of proptest the workspace's property tests
+//! use: the [`proptest!`] macro, [`strategy::Strategy`] with
+//! `prop_map`, [`prop_oneof!`], [`arbitrary::any`],
+//! [`collection::vec`], [`sample::select`], range and tuple strategies,
+//! and the `prop_assert*` macros.
+//!
+//! Differences from upstream, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case reports its inputs (via the
+//!   assertion message) but is not minimized.
+//! * **Deterministic seeding.** Each test derives its RNG seed from the
+//!   test's name, so failures reproduce exactly across runs; set
+//!   `PROPTEST_SEED_OFFSET` to explore different case streams.
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// The common imports property tests start with.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Namespace mirror of upstream's `prop` module.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+/// Defines property tests: each function's arguments are drawn from the
+/// given strategies for `ProptestConfig::cases` iterations.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            cfg = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr;
+     $( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $cfg;
+                $crate::test_runner::run_cases(&config, stringify!($name), |__proptest_rng| {
+                    $( let $arg = $crate::strategy::Strategy::gen_value(&($strat), __proptest_rng); )+
+                    let mut __proptest_case =
+                        || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                            $body
+                            ::std::result::Result::Ok(())
+                        };
+                    __proptest_case()
+                });
+            }
+        )*
+    };
+}
+
+/// `assert!` that fails the current case instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// `assert_eq!` for property-test cases.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), left, right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{} == {}`: {}\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), format!($($fmt)*), left, right
+        );
+    }};
+}
+
+/// `assert_ne!` for property-test cases.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left
+        );
+    }};
+}
+
+/// Weighted (or unweighted) choice between strategies of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::WeightedUnion::new(vec![
+            $( ($weight as u32, $crate::strategy::boxed($strat)) ),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::WeightedUnion::new(vec![
+            $( (1u32, $crate::strategy::boxed($strat)) ),+
+        ])
+    };
+}

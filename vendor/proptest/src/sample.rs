@@ -1,0 +1,25 @@
+//! Sampling strategies over fixed collections.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::strategy::Strategy;
+
+/// Strategy returned by [`select`].
+pub struct Select<T: Clone> {
+    options: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn gen_value(&self, rng: &mut StdRng) -> T {
+        self.options[rng.gen_range(0..self.options.len())].clone()
+    }
+}
+
+/// Uniform choice from a non-empty list of options.
+pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "select: empty option list");
+    Select { options }
+}

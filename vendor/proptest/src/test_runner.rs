@@ -1,0 +1,84 @@
+//! Case execution: configuration, failure type, and the runner loop.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Per-test configuration.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of cases generated per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// A failed property-test case.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Fails the case with `message`.
+    pub fn fail(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+
+    /// The failure message.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Runs `case` for `config.cases` iterations with a deterministic RNG
+/// derived from `test_name` (perturbable via `PROPTEST_SEED_OFFSET`).
+///
+/// # Panics
+///
+/// Panics on the first failing case, reporting its index and message.
+pub fn run_cases(
+    config: &ProptestConfig,
+    test_name: &str,
+    mut case: impl FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+) {
+    let mut hasher = DefaultHasher::new();
+    test_name.hash(&mut hasher);
+    let offset: u64 = std::env::var("PROPTEST_SEED_OFFSET")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let mut rng = StdRng::seed_from_u64(hasher.finish() ^ offset);
+    for i in 0..config.cases {
+        if let Err(e) = case(&mut rng) {
+            panic!(
+                "proptest: test `{test_name}` failed at case {i}/{}:\n{}",
+                config.cases,
+                e.message()
+            );
+        }
+    }
+}

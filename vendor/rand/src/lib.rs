@@ -1,0 +1,319 @@
+//! Offline drop-in subset of the `rand` 0.8 API.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! shim provides exactly the surface the workspace uses: a seedable,
+//! clonable, deterministic [`rngs::StdRng`] plus the [`Rng`] extension
+//! methods `gen_range`, `gen_bool` and `gen`. The generator is
+//! xoshiro256++ seeded through SplitMix64 — different algorithm than
+//! upstream `StdRng` (ChaCha12), same determinism contract: a seed
+//! fully determines the stream, and clones replay identically.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level source of random 64-bit words.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 random bits (upper half of [`RngCore::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Deterministic construction from seeds.
+pub trait SeedableRng: Sized {
+    /// Raw seed type.
+    type Seed;
+
+    /// Builds a generator from a full-entropy seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds a generator from a `u64`, expanding it with SplitMix64.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// User-facing convenience methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from `range` (half-open or inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ p ≤ 1`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p = {p} not in [0, 1]");
+        unit_f64(self.next_u64()) < p
+    }
+
+    /// A sample of the standard distribution of `T` (full integer range,
+    /// `[0, 1)` for floats, fair coin for `bool`).
+    fn gen<T>(&mut self) -> T
+    where
+        T: StandardSample,
+        Self: Sized,
+    {
+        T::standard_sample(self)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Maps 64 random bits to a uniform `f64` in `[0, 1)`.
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Types with a canonical "standard" distribution for [`Rng::gen`].
+pub trait StandardSample: Sized {
+    /// Draws one standard sample.
+    fn standard_sample<R: RngCore>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl StandardSample for $t {
+            fn standard_sample<R: RngCore>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl StandardSample for u128 {
+    fn standard_sample<R: RngCore>(rng: &mut R) -> Self {
+        (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+    }
+}
+
+impl StandardSample for i128 {
+    fn standard_sample<R: RngCore>(rng: &mut R) -> Self {
+        u128::standard_sample(rng) as i128
+    }
+}
+
+impl StandardSample for bool {
+    fn standard_sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl StandardSample for f64 {
+    fn standard_sample<R: RngCore>(rng: &mut R) -> Self {
+        unit_f64(rng.next_u64())
+    }
+}
+
+impl StandardSample for f32 {
+    fn standard_sample<R: RngCore>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// Types uniformly samplable over a range.
+pub trait SampleUniform: PartialOrd + Copy {
+    /// Uniform sample from `[lo, hi)` (`inclusive = false`) or
+    /// `[lo, hi]` (`inclusive = true`).
+    fn sample_uniform<R: RngCore>(rng: &mut R, lo: Self, hi: Self, inclusive: bool) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<R: RngCore>(rng: &mut R, lo: Self, hi: Self, inclusive: bool) -> Self {
+                let span = (hi as i128 - lo as i128) + i128::from(inclusive);
+                assert!(span > 0, "gen_range: empty range");
+                // Multiply-shift reduction of 64 random bits onto the span;
+                // the bias is < span / 2^64, far below observability here.
+                let scaled = (u128::from(rng.next_u64()) * span as u128) >> 64;
+                (lo as i128 + scaled as i128) as $t
+            }
+        }
+    )*};
+}
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_sample_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<R: RngCore>(rng: &mut R, lo: Self, hi: Self, inclusive: bool) -> Self {
+                if inclusive {
+                    assert!(lo <= hi, "gen_range: empty range");
+                    if lo == hi {
+                        return lo;
+                    }
+                } else {
+                    assert!(lo < hi, "gen_range: empty range");
+                }
+                let u = unit_f64(rng.next_u64()) as $t;
+                let v = lo + (hi - lo) * u;
+                // Guard against rounding up to an excluded upper bound.
+                if !inclusive && v >= hi {
+                    lo
+                } else {
+                    v
+                }
+            }
+        }
+    )*};
+}
+impl_sample_uniform_float!(f32, f64);
+
+/// Range forms accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> T {
+        T::sample_uniform(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        T::sample_uniform(rng, lo, hi, true)
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256++.
+    ///
+    /// Seeded via SplitMix64 so that nearby `u64` seeds yield unrelated
+    /// streams. `Clone` replays the stream from the cloned state.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: [u8; 32]) -> Self {
+            let mut s = [0u64; 4];
+            for (i, chunk) in seed.chunks_exact(8).enumerate() {
+                s[i] = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            }
+            if s == [0; 4] {
+                // xoshiro must not start from the all-zero state.
+                return Self::seed_from_u64(0);
+            }
+            Self { s }
+        }
+
+        fn seed_from_u64(mut state: u64) -> Self {
+            let s = [
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+            ];
+            Self { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn determinism_and_divergence() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let ta: Vec<u64> = (0..16).map(|_| a.gen_range(0..1_000_000u64)).collect();
+        let tb: Vec<u64> = (0..16).map(|_| b.gen_range(0..1_000_000u64)).collect();
+        let tc: Vec<u64> = (0..16).map(|_| c.gen_range(0..1_000_000u64)).collect();
+        assert_eq!(ta, tb);
+        assert_ne!(ta, tc);
+    }
+
+    #[test]
+    fn clone_replays() {
+        let mut a = StdRng::seed_from_u64(42);
+        let _ = a.gen_range(0.0..1.0);
+        let mut b = a.clone();
+        assert_eq!(a.gen_range(0..100usize), b.gen_range(0..100usize));
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(-100.0..100.0);
+            assert!((-100.0..100.0).contains(&x));
+            let y = rng.gen_range(3usize..9);
+            assert!((3..9).contains(&y));
+            let z = rng.gen_range(2.0..=5.0);
+            assert!((2.0..=5.0).contains(&z));
+            let w = rng.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn gen_bool_edges() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+        let heads = (0..10_000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((4_000..6_000).contains(&heads), "heads = {heads}");
+    }
+
+    #[test]
+    fn degenerate_inclusive_float_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(rng.gen_range(4.0..=4.0), 4.0);
+        assert!(rng.gen_range(f64::MIN_POSITIVE..1.0) > 0.0);
+    }
+}
