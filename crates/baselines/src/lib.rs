@@ -18,6 +18,29 @@
 //! Each implements [`Baseline`], producing the same statistics the
 //! DR-tree harness reports, so `experiments baselines` can print the
 //! comparison table.
+//!
+//! # Example
+//!
+//! ```
+//! use drtree_baselines::{Baseline, FloodingOverlay};
+//! use drtree_spatial::{Point, Rect};
+//!
+//! let filters: Vec<Rect<2>> = (0..8)
+//!     .map(|i| {
+//!         let o = f64::from(i) * 10.0;
+//!         Rect::new([o, o], [o + 15.0, o + 15.0])
+//!     })
+//!     .collect();
+//! let flooding = FloodingOverlay::build(&filters, 4);
+//!
+//! // Flooding delivers everywhere (minus the publisher): no false
+//! // negatives, maximal message cost.
+//! let outcome = flooding.route(&Point::new([12.0, 12.0]));
+//! assert_eq!(outcome.receivers, 7);
+//! assert_eq!(outcome.matching, 2); // filters 0 and 1 contain the event
+//! assert_eq!(outcome.false_negatives, 0);
+//! assert_eq!(outcome.messages, 8 * 4);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

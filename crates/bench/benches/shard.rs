@@ -1,0 +1,73 @@
+//! Criterion benches of the sharded publish oracle: single-probe vs
+//! batched matching per shard count. The `scale` binary's `shard` mode
+//! is the tracked, JSON-emitting version of the same comparison at
+//! larger sizes; this bench is the quick local loop.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use drtree_core::ProcessId;
+use drtree_pubsub::{BatchMatches, ShardedOracle};
+use drtree_spatial::{Point, Rect};
+use drtree_workloads::SubscriptionWorkload;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const SUBSCRIPTIONS: usize = 10_000;
+const BATCH: usize = 512;
+
+fn oracle(shards: usize) -> (ShardedOracle<2>, Vec<Point<2>>) {
+    let mut rng = StdRng::seed_from_u64(4242);
+    let rects: Vec<Rect<2>> = SubscriptionWorkload::Uniform {
+        min_extent: 1.0,
+        max_extent: 10.0,
+    }
+    .generate(SUBSCRIPTIONS, &mut rng);
+    let mut oracle = ShardedOracle::new(shards);
+    for (i, r) in rects.iter().enumerate() {
+        oracle.insert(ProcessId::from_raw(i as u64), *r);
+    }
+    oracle.flush();
+    let probes: Vec<Point<2>> = rects.iter().take(BATCH).map(Rect::center).collect();
+    (oracle, probes)
+}
+
+/// Per-event matching cost, one probe at a time.
+fn bench_single(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shard-oracle-single-10k");
+    group.sample_size(20);
+    for shards in [1usize, 4] {
+        let (mut oracle, probes) = oracle(shards);
+        let mut hits = Vec::new();
+        group.bench_with_input(BenchmarkId::from_parameter(shards), &shards, |b, _| {
+            b.iter(|| {
+                let mut total = 0usize;
+                for p in &probes {
+                    oracle.match_point_into(p, &mut hits);
+                    total += hits.len();
+                }
+                total
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Per-event matching cost amortized over one batched shard pass.
+fn bench_batched(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shard-oracle-batched-10k");
+    group.sample_size(20);
+    for shards in [1usize, 4] {
+        let (mut oracle, probes) = oracle(shards);
+        let mut batch = BatchMatches::new();
+        group.bench_with_input(BenchmarkId::from_parameter(shards), &shards, |b, _| {
+            b.iter(|| {
+                oracle.match_batch_into(&probes, &mut batch);
+                batch.total_hits()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_single, bench_batched);
+criterion_main!(benches);

@@ -1,54 +1,109 @@
-//! Scale probes.
+//! Scale probes: the tracked performance numbers of this repo.
 //!
-//! Two modes:
+//! # Modes
 //!
 //! * **Overlay** (default): builds large overlays and prints the
 //!   Lemma-3.1 numbers plus wall-clock build time, complementing the
-//!   `experiments` binary with sizes beyond the default sweep.
+//!   `experiments` binary with sizes beyond the default sweep. Prints
+//!   a Markdown table only; emits no JSON.
 //!
 //!   ```text
 //!   cargo run -p drtree-bench --release --bin scale -- [max_n]
 //!   ```
 //!
 //! * **R-tree backends** (`rtree`): measures bulk build and point-query
-//!   cost of the pointer [`RTree`] vs the packed [`PackedRTree`] at
-//!   1k/10k/100k entries, and writes the numbers to a machine-readable
-//!   `BENCH_rtree.json` so the perf trajectory is tracked across PRs.
+//!   cost of the pointer [`RTree`] (incremental and STR bulk load) vs
+//!   the packed [`PackedRTree`] at 1k/10k/100k entries, and writes the
+//!   numbers to `BENCH_rtree.json` (or the given path).
 //!
 //!   ```text
-//!   cargo run -p drtree-bench --release --bin scale -- rtree [out.json]
+//!   cargo run -p drtree-bench --release --bin scale -- rtree [out.json] [--check <t>]
 //!   ```
+//!
+//! * **Sharded oracle** (`shard`): measures the publish-matching side
+//!   of [`drtree_pubsub::ShardedOracle`] at 10k/100k/250k
+//!   subscriptions across 1/2/4/8 shards — eager flush cost
+//!   (`flush_ns`), single-probe matching (`single_ns` per event), and
+//!   batched matching (`batch_ns` per event, batches of 16384 through
+//!   one joint shard pass) — and writes `BENCH_shard.json` (or the
+//!   given path). Flushes happen *before* timing, so the matching
+//!   columns never include a rebuild (`Broker::flush_oracle`
+//!   semantics).
+//!
+//!   ```text
+//!   cargo run -p drtree-bench --release --bin scale -- shard [out.json] [--check <t>]
+//!   ```
+//!
+//! # Emitted JSON
+//!
+//! The JSON files are committed at the repo root and refreshed
+//! whenever the respective subsystem changes, so the perf trajectory
+//! is reviewable across PRs:
+//!
+//! * `BENCH_rtree.json` — per-backend `{size, build_ns, query_ns}`
+//!   samples plus packed-vs-pointer speedups at 100k.
+//! * `BENCH_shard.json` — per-size, per-shard-count
+//!   `{shards, flush_ns, single_ns, batch_ns}` samples plus the
+//!   headline `batch4_vs_single1_at_100k` ratio: batched throughput on
+//!   4 shards over single-probe throughput on 1 shard at 100k
+//!   subscriptions.
+//!
+//! # `--check` (regression gates)
+//!
+//! With `--check <t>` the binary still prints and writes everything,
+//! then **exits nonzero** if the mode's headline ratio falls below
+//! `t`:
+//!
+//! * `rtree --check t` — packed must beat the STR pointer build by ≥
+//!   `t`× on *both* build and query at the largest size.
+//! * `shard --check t` — batched publish matching on 4 shards must be
+//!   ≥ `t`× the single-probe single-shard rate at 100k subscriptions.
+//!
+//! CI runs both gates with thresholds *below* the steady state (see
+//! `.github/workflows/ci.yml`) so shared-runner noise cannot flake a
+//! merge while a structural regression still fails the build.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use drtree_core::{DrTreeCluster, DrTreeConfig};
+use drtree_core::{DrTreeCluster, DrTreeConfig, ProcessId};
+use drtree_pubsub::{BatchMatches, ShardedOracle};
 use drtree_rtree::{PackedRTree, RTree, RTreeConfig, SplitMethod};
 use drtree_spatial::{Point, Rect};
 use drtree_workloads::SubscriptionWorkload;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+/// `[out.json] [--check <t>]` tail shared by the `rtree` and `shard`
+/// modes.
+fn parse_out_and_check(args: &[String], default_out: &str) -> (String, Option<f64>) {
+    let mut out = default_out.to_string();
+    let mut check = None;
+    let mut rest = args.iter();
+    while let Some(a) = rest.next() {
+        if a == "--check" {
+            check = Some(
+                rest.next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--check requires a numeric threshold"),
+            );
+        } else {
+            out = a.clone();
+        }
+    }
+    (out, check)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("rtree") => {
-            // rtree [out.json] [--check <min_speedup>]
-            let mut out = "BENCH_rtree.json".to_string();
-            let mut check: Option<f64> = None;
-            let mut rest = args[1..].iter();
-            while let Some(a) = rest.next() {
-                if a == "--check" {
-                    check = Some(
-                        rest.next()
-                            .and_then(|v| v.parse().ok())
-                            .expect("--check requires a numeric threshold"),
-                    );
-                } else {
-                    out = a.clone();
-                }
-            }
+            let (out, check) = parse_out_and_check(&args[1..], "BENCH_rtree.json");
             rtree_backends(&out, check);
+        }
+        Some("shard") => {
+            let (out, check) = parse_out_and_check(&args[1..], "BENCH_shard.json");
+            shard_oracle(&out, check);
         }
         other => {
             let max_n = other.and_then(|s| s.parse().ok()).unwrap_or(1024);
@@ -226,6 +281,153 @@ fn rtree_backends(out_path: &str, check: Option<f64>) {
         }
         println!("check passed: packed >= {threshold}x vs STR on build and query");
     }
+}
+
+/// One sharded-oracle measurement at one (size, shard-count) point.
+struct ShardSample {
+    shards: usize,
+    flush_ns: u64,
+    single_ns: f64,
+    batch_ns: f64,
+}
+
+/// Sharded-oracle probe (see the module docs): single vs batched
+/// publish matching per shard count, `BENCH_shard.json`, and the
+/// `batch4_vs_single1_at_100k` gate.
+fn shard_oracle(out_path: &str, check: Option<f64>) {
+    const SIZES: [usize; 3] = [10_000, 100_000, 250_000];
+    const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+    const QUERY_PROBES: usize = 32_768;
+    const BATCH: usize = 16_384;
+    const REPS: usize = 5;
+    const GATE_SIZE: usize = 100_000;
+    const GATE_SHARDS: usize = 4;
+
+    let mut per_size: Vec<(usize, Vec<ShardSample>)> = Vec::new();
+    let mut single_at_gate = None;
+    let mut batch_at_gate = None;
+    println!(
+        "| N | shards | flush (ns) | single publish (ns/event) | batched publish (ns/event) |"
+    );
+    println!(
+        "|---|--------|------------|---------------------------|----------------------------|"
+    );
+    for size in SIZES {
+        let rects = scaled_rects(size, 7_700 + size as u64);
+        let probes: Vec<Point<2>> = rects
+            .iter()
+            .cycle()
+            .take(QUERY_PROBES)
+            .map(Rect::center)
+            .collect();
+        let mut samples = Vec::new();
+        for shards in SHARD_COUNTS {
+            let mut oracle: ShardedOracle<2> = ShardedOracle::new(shards);
+            for (i, r) in rects.iter().enumerate() {
+                oracle.insert(ProcessId::from_raw(i as u64), *r);
+            }
+            // Eager flush outside the timed matching loops — the
+            // `Broker::flush_oracle` discipline — so single/batched
+            // columns measure matching only.
+            let flush_ns = oracle.flush().elapsed.as_nanos() as u64;
+
+            // Best-of-`REPS`, single and batched passes interleaved
+            // so clock drift and neighbor noise hit both columns the
+            // same way; the first round doubles as buffer warm-up.
+            let mut hits = Vec::new();
+            let mut batch = BatchMatches::new();
+            let mut sink = 0usize;
+            let mut single_ns = f64::INFINITY;
+            let mut batch_ns = f64::INFINITY;
+            for _ in 0..REPS {
+                let t0 = Instant::now();
+                for p in &probes {
+                    oracle.match_point_into(p, &mut hits);
+                    sink += hits.len();
+                }
+                single_ns = single_ns.min(t0.elapsed().as_nanos() as f64 / probes.len() as f64);
+
+                let t0 = Instant::now();
+                for chunk in probes.chunks(BATCH) {
+                    oracle.match_batch_into(chunk, &mut batch);
+                    sink += batch.total_hits();
+                }
+                batch_ns = batch_ns.min(t0.elapsed().as_nanos() as f64 / probes.len() as f64);
+            }
+            std::hint::black_box(sink);
+
+            println!("| {size} | {shards} | {flush_ns} | {single_ns:.1} | {batch_ns:.1} |");
+            if size == GATE_SIZE && shards == 1 {
+                single_at_gate = Some(single_ns);
+            }
+            if size == GATE_SIZE && shards == GATE_SHARDS {
+                batch_at_gate = Some(batch_ns);
+            }
+            samples.push(ShardSample {
+                shards,
+                flush_ns,
+                single_ns,
+                batch_ns,
+            });
+        }
+        per_size.push((size, samples));
+    }
+
+    let single1 = single_at_gate.expect("gate size measured");
+    let batch4 = batch_at_gate.expect("gate size measured");
+    let speedup = single1 / batch4;
+    println!(
+        "batched publish on {GATE_SHARDS} shards vs single publish on 1 shard at {GATE_SIZE}: \
+         {speedup:.2}x ({single1:.1} -> {batch4:.1} ns/event)"
+    );
+
+    let json = render_shard_json(&per_size, speedup);
+    std::fs::write(out_path, json).expect("write BENCH_shard.json");
+    println!("wrote {out_path}");
+
+    if let Some(threshold) = check {
+        if speedup < threshold {
+            eprintln!(
+                "REGRESSION: batched publish speedup fell below {threshold}x \
+                 (measured {speedup:.2}x)"
+            );
+            std::process::exit(1);
+        }
+        println!("check passed: batched >= {threshold}x vs single-shard single publish");
+    }
+}
+
+/// Hand-rolled JSON for the shard mode (the workspace is offline; no
+/// serde).
+fn render_shard_json(per_size: &[(usize, Vec<ShardSample>)], speedup: f64) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"bench\": \"sharded-oracle\",\n");
+    out.push_str(
+        "  \"workload\": \"uniform 2d, extents 1-10, world scaled to ~10 matches per point query\",\n",
+    );
+    out.push_str(
+        "  \"query\": \"publish matching at entry centers, best-of-5 mean ns per event over 32768 probes; \
+         batches of 16384; flush excluded (paid eagerly)\",\n",
+    );
+    out.push_str("  \"sizes\": {\n");
+    for (si, (size, samples)) in per_size.iter().enumerate() {
+        let ssep = if si + 1 == per_size.len() { "" } else { "," };
+        let _ = writeln!(out, "    \"{size}\": [");
+        for (i, s) in samples.iter().enumerate() {
+            let sep = if i + 1 == samples.len() { "" } else { "," };
+            let _ = writeln!(
+                out,
+                "      {{\"shards\": {}, \"flush_ns\": {}, \"single_ns\": {:.1}, \"batch_ns\": {:.1}}}{sep}",
+                s.shards, s.flush_ns, s.single_ns, s.batch_ns
+            );
+        }
+        let _ = writeln!(out, "    ]{ssep}");
+    }
+    let _ = writeln!(
+        out,
+        "  }},\n  \"batch4_vs_single1_at_100k\": {speedup:.2}\n}}"
+    );
+    out
 }
 
 /// Best-of-`reps` wall-clock build time; returns the last tree built.

@@ -11,7 +11,25 @@
 //! ```
 //!
 //! The Criterion benches under `benches/` measure the raw operation
-//! costs (joins, publishes, splits, stabilization rounds, recovery).
+//! costs (joins, publishes, splits, stabilization rounds, recovery),
+//! and the `scale` binary tracks the committed perf numbers
+//! (`BENCH_rtree.json`, `BENCH_shard.json`) with `--check` regression
+//! gates — see its module docs for every mode.
+//!
+//! # Example
+//!
+//! Experiments return [`Table`]s that render as Markdown:
+//!
+//! ```
+//! use drtree_bench::Table;
+//!
+//! let mut table = Table::new("demo", &["N", "rounds"]);
+//! table.push(vec!["64".into(), "6".into()]);
+//! assert_eq!(table.len(), 1);
+//! let rendered = table.to_string();
+//! assert!(rendered.contains("### demo"));
+//! assert!(rendered.contains("| N  | rounds |")); // cells pad to column width
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

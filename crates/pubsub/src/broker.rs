@@ -1,83 +1,14 @@
 use std::collections::BTreeMap;
 use std::fmt;
+use std::time::Duration;
 
 use drtree_core::{DrTreeCluster, DrTreeConfig, ProcessId, PublishReport};
-use drtree_rtree::PackedRTree;
+use drtree_rtree::parallel;
 use drtree_spatial::filter::FilterError;
 use drtree_spatial::{Event, FilterExpr, Point, Rect, Schema};
 
+use crate::shard::{BatchMatches, ShardedOracle};
 use crate::stats::RoutingStats;
-
-/// The broker's subscription index: the exact member filters of every
-/// live subscriber, packed for read-heavy serving.
-///
-/// Publishes dominate subscription changes by orders of magnitude in
-/// the workloads this broker targets, so the index is a
-/// [`PackedRTree`] rebuilt lazily: mutations only mark it dirty, and
-/// the next publish pays one Hilbert bulk-load (`O(N log N)`, single-
-/// digit milliseconds at 100k filters) before queries run
-/// allocation-free against flat arrays.
-///
-/// Declared tradeoffs of this regime: `remove` is a linear scan, and a
-/// workload strictly alternating mutation and publish rebuilds on
-/// every publish. Both are acceptable *here* because
-/// [`DrTreeCluster::publish_from`] simulates `O(height)` protocol
-/// rounds across all `N` subscriber processes per publish — the oracle
-/// rebuild can never dominate it. A standalone serving index without
-/// that backdrop should amortize differently (position map, rebuild
-/// thresholds).
-#[derive(Debug)]
-struct SubscriptionIndex<const D: usize> {
-    entries: Vec<(ProcessId, Rect<D>)>,
-    packed: PackedRTree<ProcessId, D>,
-    dirty: bool,
-}
-
-impl<const D: usize> SubscriptionIndex<D> {
-    fn new() -> Self {
-        Self {
-            entries: Vec::new(),
-            packed: PackedRTree::bulk_load(Vec::new()),
-            dirty: false,
-        }
-    }
-
-    fn insert(&mut self, id: ProcessId, rect: Rect<D>) {
-        self.entries.push((id, rect));
-        self.dirty = true;
-    }
-
-    /// Removes one `(id, rect)` entry; `true` if found.
-    fn remove(&mut self, id: ProcessId, rect: &Rect<D>) -> bool {
-        match self
-            .entries
-            .iter()
-            .position(|(eid, er)| *eid == id && er == rect)
-        {
-            Some(pos) => {
-                self.entries.swap_remove(pos);
-                self.dirty = true;
-                true
-            }
-            None => false,
-        }
-    }
-
-    /// Rebuilds the packed tree if mutations happened since the last
-    /// query round.
-    fn ensure_built(&mut self) {
-        if self.dirty {
-            self.packed = PackedRTree::bulk_load(self.entries.clone());
-            self.dirty = false;
-        }
-    }
-
-    /// The packed index; call [`SubscriptionIndex::ensure_built`] first.
-    fn packed(&self) -> &PackedRTree<ProcessId, D> {
-        debug_assert!(!self.dirty, "query against a stale subscription index");
-        &self.packed
-    }
-}
 
 /// Errors surfaced by the [`Broker`].
 #[derive(Debug, Clone, PartialEq)]
@@ -119,30 +50,61 @@ impl From<FilterError> for BrokerError {
 /// A content-based publish/subscribe broker backed by a DR-tree overlay.
 ///
 /// Every subscription becomes a DR-tree subscriber process; every
-/// publication is disseminated through the overlay. A centralized
-/// R-tree mirror serves as the exact-matching oracle so each delivery
-/// can be audited for false positives/negatives. See the
+/// publication is disseminated through the overlay. A sharded packed
+/// R-tree mirror ([`ShardedOracle`]) serves as the exact-matching
+/// oracle so each delivery can be audited for false
+/// positives/negatives, and doubles as the matching engine of the
+/// batched publish pipeline ([`Broker::publish_batch`]). See the
 /// [crate documentation](crate) for an example.
 pub struct Broker<const D: usize> {
     schema: Schema,
     cluster: DrTreeCluster<D>,
-    oracle: SubscriptionIndex<D>,
+    oracle: ShardedOracle<D>,
     subscriptions: BTreeMap<ProcessId, Rect<D>>,
     /// Exact member filters of subscription *sets* (§2.1); subscribers
     /// registered via `subscribe`/`subscribe_rect` are singleton sets
     /// and are not listed here.
     sets: BTreeMap<ProcessId, Vec<Rect<D>>>,
     stats: RoutingStats,
+    /// Reused single-publish matching buffer (sorted, deduplicated,
+    /// publisher still included).
+    match_buf: Vec<ProcessId>,
+    /// Reused batched-publish matching arena.
+    batch_buf: BatchMatches,
 }
 
 impl<const D: usize> Broker<D> {
-    /// Creates a broker for `schema` over a fresh overlay.
+    /// Creates a broker for `schema` over a fresh overlay, sharding
+    /// the oracle across (up to 8) hardware threads.
     ///
     /// # Errors
     ///
     /// Returns [`BrokerError::SchemaDimensionMismatch`] when
     /// `schema.dims() != D`.
     pub fn new(schema: Schema, config: DrTreeConfig, seed: u64) -> Result<Self, BrokerError> {
+        Self::with_shards(
+            schema,
+            config,
+            seed,
+            parallel::available_threads().clamp(1, 8),
+        )
+    }
+
+    /// Creates a broker whose oracle is partitioned across `shards`
+    /// shards (clamped to ≥ 1). Shard count never changes *what* is
+    /// matched — property tests pin every shard count to identical
+    /// hit-sets — only how the matching work is laid out and fanned.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BrokerError::SchemaDimensionMismatch`] when
+    /// `schema.dims() != D`.
+    pub fn with_shards(
+        schema: Schema,
+        config: DrTreeConfig,
+        seed: u64,
+        shards: usize,
+    ) -> Result<Self, BrokerError> {
         if schema.dims() != D {
             return Err(BrokerError::SchemaDimensionMismatch {
                 expected: D,
@@ -152,11 +114,18 @@ impl<const D: usize> Broker<D> {
         Ok(Self {
             schema,
             cluster: DrTreeCluster::new(config, seed),
-            oracle: SubscriptionIndex::new(),
+            oracle: ShardedOracle::new(shards),
             subscriptions: BTreeMap::new(),
             sets: BTreeMap::new(),
             stats: RoutingStats::default(),
+            match_buf: Vec::new(),
+            batch_buf: BatchMatches::new(),
         })
+    }
+
+    /// Number of shards the oracle fans publishes across.
+    pub fn shard_count(&self) -> usize {
+        self.oracle.shard_count()
     }
 
     /// The attribute schema.
@@ -301,20 +270,80 @@ impl<const D: usize> Broker<D> {
         if !self.subscriptions.contains_key(&publisher) {
             return Err(BrokerError::UnknownSubscriber(publisher));
         }
-        self.oracle.ensure_built();
-        let mut report = self.cluster.publish_from(publisher, point);
-        if !self.sets.is_empty() {
-            // Re-account against exact subscription sets: the overlay
-            // classified deliveries by each node's MBR filter, but a
-            // set-subscriber matches only if some member matches.
-            self.reclassify(publisher, &point, &mut report);
+        self.flush_oracle();
+        // The oracle's answer is consumed by set reclassification and
+        // by the debug audit; with neither active (release build, no
+        // subscription sets) the probe would be computed and thrown
+        // away, so skip it.
+        let needs_oracle = !self.sets.is_empty() || cfg!(debug_assertions);
+        let mut match_buf = std::mem::take(&mut self.match_buf);
+        if needs_oracle {
+            // One sharded-oracle probe instead of a scan over every
+            // subscriber (reused buffer; sorted and deduplicated, so
+            // set-subscribers appear once however many members match).
+            self.oracle.match_point_into(&point, &mut match_buf);
         }
-        debug_assert!(
-            self.audit(publisher, &report, &point),
-            "oracle disagrees with report"
-        );
+        let mut report = self.cluster.publish_from(publisher, point);
+        if needs_oracle {
+            self.classify(publisher, &point, &match_buf, &mut report);
+        }
         self.stats.absorb(&report);
+        self.match_buf = match_buf;
         Ok(report)
+    }
+
+    /// Publishes a batch of pre-compiled points from one publisher,
+    /// amortizing a single oracle pass — shard fan-out, joint packed
+    /// descents, one counting-sort merge — over the whole batch
+    /// instead of paying a full probe per event. Reports are returned
+    /// in input order and each is also folded into
+    /// [`Broker::stats`], exactly as if published one at a time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BrokerError::UnknownSubscriber`] for dead publishers.
+    pub fn publish_batch(
+        &mut self,
+        publisher: ProcessId,
+        points: &[Point<D>],
+    ) -> Result<Vec<PublishReport>, BrokerError> {
+        if !self.subscriptions.contains_key(&publisher) {
+            return Err(BrokerError::UnknownSubscriber(publisher));
+        }
+        self.flush_oracle();
+        // Same guard as `publish_point`: the batched oracle pass only
+        // runs when something consumes its answer.
+        let needs_oracle = !self.sets.is_empty() || cfg!(debug_assertions);
+        let mut batch_buf = std::mem::take(&mut self.batch_buf);
+        if needs_oracle {
+            self.oracle.match_batch_into(points, &mut batch_buf);
+        }
+        let mut reports = Vec::with_capacity(points.len());
+        for (i, point) in points.iter().enumerate() {
+            let mut report = self.cluster.publish_from(publisher, *point);
+            if needs_oracle {
+                self.classify(publisher, point, batch_buf.matches(i), &mut report);
+            }
+            self.stats.absorb(&report);
+            reports.push(report);
+        }
+        self.batch_buf = batch_buf;
+        Ok(reports)
+    }
+
+    /// Rebuilds any dirty oracle shards **now**, charging the cost to
+    /// the rebuild columns of [`Broker::stats`] instead of the next
+    /// publish. Publishing pays this lazily anyway; benches call it
+    /// eagerly so publish timings measure matching, not rebuilds.
+    /// Returns the wall-clock time spent (zero when nothing was
+    /// dirty).
+    pub fn flush_oracle(&mut self) -> Duration {
+        let flush = self.oracle.flush();
+        if flush.rebuilt_shards > 0 {
+            self.stats
+                .absorb_oracle_rebuild(flush.rebuilt_shards as u64, flush.elapsed);
+        }
+        flush.elapsed
     }
 
     /// `true` iff subscriber `id` exactly matches `point` (any member of
@@ -329,48 +358,56 @@ impl<const D: usize> Broker<D> {
         }
     }
 
-    fn reclassify(&self, publisher: ProcessId, point: &Point<D>, report: &mut PublishReport) {
-        // One packed-index probe instead of a scan over every
-        // subscriber; set-subscribers appear once per matching member,
-        // hence the dedup.
-        let mut matching: Vec<ProcessId> = Vec::new();
-        self.oracle.packed().for_each_containing(point, |&id, _| {
-            if id != publisher {
-                matching.push(id);
-            }
-        });
-        matching.sort_unstable();
-        matching.dedup();
-        report.matching = matching;
-        report.false_positives = report
-            .receivers
-            .iter()
-            .copied()
-            .filter(|&id| !self.matches_exactly(id, point))
-            .collect();
-        report.false_negatives = report
-            .matching
-            .iter()
-            .copied()
-            .filter(|id| !report.receivers.contains(id))
-            .collect();
-    }
-
-    /// Cross-checks a report's matching set against the centralized
-    /// R-tree oracle: the overlay's notion of "who should get this
-    /// event" must equal the oracle's exact answer (publisher excluded).
-    fn audit(&self, publisher: ProcessId, report: &PublishReport, point: &Point<D>) -> bool {
-        let mut expected: Vec<ProcessId> = Vec::new();
-        self.oracle.packed().for_each_containing(point, |&id, _| {
-            if id != publisher {
-                expected.push(id);
-            }
-        });
-        expected.sort_unstable();
-        expected.dedup(); // set-subscribers appear once per matching member
-        let mut matching = report.matching.clone();
-        matching.sort_unstable();
-        expected == matching
+    /// Reconciles one report with the oracle's exact matching set
+    /// (`oracle_matching`: sorted, deduplicated, publisher possibly
+    /// included). With subscription sets live, the overlay classified
+    /// deliveries by each node's MBR filter, so matching and false
+    /// positives/negatives are re-accounted against the exact sets;
+    /// otherwise the overlay's own answer is only audited.
+    fn classify(
+        &self,
+        publisher: ProcessId,
+        point: &Point<D>,
+        oracle_matching: &[ProcessId],
+        report: &mut PublishReport,
+    ) {
+        if !self.sets.is_empty() {
+            report.matching.clear();
+            report.matching.extend(
+                oracle_matching
+                    .iter()
+                    .copied()
+                    .filter(|&id| id != publisher),
+            );
+            report.false_positives = report
+                .receivers
+                .iter()
+                .copied()
+                .filter(|&id| !self.matches_exactly(id, point))
+                .collect();
+            report.false_negatives = report
+                .matching
+                .iter()
+                .copied()
+                .filter(|id| !report.receivers.contains(id))
+                .collect();
+        }
+        debug_assert!(
+            {
+                // The overlay's notion of "who should get this event"
+                // must equal the oracle's exact answer (publisher
+                // excluded).
+                let mut got = report.matching.clone();
+                got.sort_unstable();
+                let want: Vec<ProcessId> = oracle_matching
+                    .iter()
+                    .copied()
+                    .filter(|&id| id != publisher)
+                    .collect();
+                got == want
+            },
+            "oracle disagrees with report"
+        );
     }
 
     /// Accumulated routing statistics over all publishes.

@@ -3,9 +3,18 @@
 //! This crate is the application layer of the reproduced paper: it puts
 //! the attribute-based filter language of §2.1 ([`drtree_spatial::filter`])
 //! on top of the DR-tree overlay (`drtree-core`), adds an exact-matching
-//! oracle (a centralized R-tree) to audit deliveries, and aggregates the
-//! routing-accuracy statistics that the paper reports ("the false
-//! positive rate is in the order of 2–3% with most workloads", §4).
+//! oracle to audit deliveries, and aggregates the routing-accuracy
+//! statistics that the paper reports ("the false positive rate is in
+//! the order of 2–3% with most workloads", §4).
+//!
+//! The oracle is a [`ShardedOracle`]: the live subscription set
+//! partitioned across `K` packed R-tree shards by the Hilbert key of
+//! each filter's center, rebuilt lazily per dirty shard, and probed by
+//! fanning queries across shards. It serves double duty as the
+//! matching engine of the batched publish pipeline
+//! ([`Broker::publish_batch`]), which amortizes one shard pass —
+//! scoped-thread fan-out, joint packed descents, one counting-sort
+//! merge — over a whole batch of events.
 //!
 //! # Example
 //!
@@ -32,7 +41,9 @@
 #![warn(missing_docs)]
 
 mod broker;
+mod shard;
 mod stats;
 
 pub use broker::{Broker, BrokerError};
+pub use shard::{BatchMatches, OracleFlush, ShardedOracle};
 pub use stats::RoutingStats;

@@ -1,0 +1,1007 @@
+//! The sharded, parallel-publish subscription oracle.
+//!
+//! [`ShardedOracle`] partitions the live subscription set across `K`
+//! independent [`PackedRTree`] shards, assigned by the Hilbert key of
+//! each filter rectangle's center ([`drtree_spatial::hilbert::ShardMap`],
+//! contiguous curve ranges split at count quantiles). Mutations mark
+//! only the owning shard dirty; [`ShardedOracle::flush`] rebuilds
+//! exactly the dirty shards (each a packed tree plus its stab grid).
+//! Publishes fan the probe across shards — through the scoped-thread
+//! pool of [`drtree_rtree::parallel`] for batches — and merge visitor
+//! hits into reused buffers, so the steady-state matching path
+//! performs no allocation.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use drtree_core::ProcessId;
+use drtree_rtree::{parallel, PackedRTree};
+use drtree_spatial::hilbert::{GridMapper, ShardMap};
+use drtree_spatial::{Point, Rect};
+
+/// Rebalance when one shard holds more than
+/// `IMBALANCE_FACTOR × ideal + IMBALANCE_SLACK` entries. The slack
+/// keeps small oracles (where ±a few entries swamp any ratio) from
+/// rebalancing on noise.
+const IMBALANCE_FACTOR: usize = 4;
+const IMBALANCE_SLACK: usize = 64;
+
+/// An entry is listed in at most this many stab-grid cells; wider
+/// rectangles (unbounded filters, world-spanning subscriptions) go to
+/// the grid's overflow list, which every probe scans linearly.
+const MAX_CELL_SPAN: usize = 256;
+
+/// Per-shard scratch of one batched matching pass: the hit stream in
+/// sorted-probe order and the per-sorted-probe hit counts that
+/// delimit it.
+#[derive(Debug, Default, Clone)]
+struct ShardBatchBuf {
+    hits: Vec<ProcessId>,
+    counts: Vec<u32>,
+}
+
+/// A uniform stab grid over one shard's entries — the batched
+/// pipeline's refinement structure.
+///
+/// Cells partition the shard's finite world, ~1 live entry per cell;
+/// each cell lists (CSR layout) the *slots* of the packed tree whose
+/// rectangle overlaps it. A point stab is then one cell lookup plus a
+/// handful of exact rectangle tests — an order of magnitude fewer
+/// comparisons than a root-to-leaf tree descent, which is what lets a
+/// batched publish beat per-event descents well past 2×. The grid is
+/// rebuilt with its shard on flush (same laziness, cost accounted to
+/// the same rebuild columns) and answers *exactly* like the tree:
+/// candidate cells over-approximate (clamping is conservative), the
+/// per-candidate containment test is exact.
+///
+/// Probes outside the world clamp to rim cells, which is still exact:
+/// an entry reaching beyond the world rim is clamped into those same
+/// rim cells (or the overflow list), so no candidate is missed and
+/// false candidates fail the exact test.
+#[derive(Debug, Clone)]
+struct StabGrid<const D: usize> {
+    lo: [f64; D],
+    /// Cells per unit length per dimension (0.0 collapses the axis to
+    /// a single cell).
+    inv_cell: [f64; D],
+    /// Cells per dimension (row-major flattening).
+    dims: [u32; D],
+    /// CSR: `refs[offsets[c]..offsets[c+1]]` are the slots overlapping
+    /// cell `c`.
+    offsets: Vec<u32>,
+    refs: Vec<u32>,
+    /// Slots spanning more than [`MAX_CELL_SPAN`] cells.
+    overflow: Vec<u32>,
+}
+
+impl<const D: usize> Default for StabGrid<D> {
+    fn default() -> Self {
+        Self {
+            lo: [0.0; D],
+            inv_cell: [0.0; D],
+            dims: [1; D],
+            offsets: Vec::new(),
+            refs: Vec::new(),
+            overflow: Vec::new(),
+        }
+    }
+}
+
+impl<const D: usize> StabGrid<D> {
+    /// Builds the grid for `packed`'s entries (slot order).
+    fn build(packed: &PackedRTree<ProcessId, D>) -> Self {
+        let n = packed.len();
+        if n == 0 {
+            return Self::default();
+        }
+        let Some(world) = GridMapper::world_of(packed.entries().map(|(_, _, r)| r)) else {
+            // No finite coordinate anywhere: every entry is a
+            // world-spanning filter; scan them all per probe.
+            return Self {
+                overflow: (0..n as u32).collect(),
+                ..Self::default()
+            };
+        };
+        // ~1 entry per cell: n^(1/D) cells per axis, so total cells
+        // track n for any dimensionality.
+        let per_dim = ((n as f64).powf(1.0 / D as f64).ceil() as u32).clamp(1, 4096);
+        let mut lo = [0.0; D];
+        let mut inv_cell = [0.0; D];
+        let mut dims = [1u32; D];
+        for d in 0..D {
+            lo[d] = world.lo(d);
+            let extent = world.hi(d) - world.lo(d);
+            if extent > 0.0 {
+                dims[d] = per_dim;
+                inv_cell[d] = f64::from(per_dim) / extent;
+            }
+        }
+        let cells: usize = dims.iter().map(|&c| c as usize).product();
+        let mut grid = Self {
+            lo,
+            inv_cell,
+            dims,
+            offsets: vec![0u32; cells + 1],
+            refs: Vec::new(),
+            overflow: Vec::new(),
+        };
+        let dims = grid.dims;
+        // Two CSR passes: count cell populations, then fill.
+        let mut spans: Vec<([u32; D], [u32; D])> = Vec::with_capacity(n);
+        for (slot, _, rect) in packed.entries() {
+            let (cell_lo, cell_hi) = grid.cell_range(rect);
+            let span: usize = (0..D)
+                .map(|d| (cell_hi[d] - cell_lo[d] + 1) as usize)
+                .product();
+            if span > MAX_CELL_SPAN {
+                grid.overflow.push(slot as u32);
+                // Degenerate marker (empty range): skipped by both
+                // passes below.
+                spans.push(([1; D], [0; D]));
+                continue;
+            }
+            spans.push((cell_lo, cell_hi));
+            for_each_cell(dims, cell_lo, cell_hi, |c| grid.offsets[c + 1] += 1);
+        }
+        for i in 1..grid.offsets.len() {
+            grid.offsets[i] += grid.offsets[i - 1];
+        }
+        let total = *grid.offsets.last().expect("offsets non-empty") as usize;
+        assert!(total <= u32::MAX as usize, "stab grid ref count overflow");
+        grid.refs.resize(total, 0);
+        // Fill pass: `offsets[c]` serves as the running write cursor
+        // for cell `c`; after the pass it has advanced to exactly the
+        // next cell's start, so shifting by one slot restores start
+        // offsets (standard CSR trick).
+        for (slot, &(cell_lo, cell_hi)) in spans.iter().enumerate() {
+            if (0..D).any(|d| cell_lo[d] > cell_hi[d]) {
+                continue; // overflow marker
+            }
+            let (offsets, refs) = (&mut grid.offsets, &mut grid.refs);
+            for_each_cell(dims, cell_lo, cell_hi, |c| {
+                refs[offsets[c] as usize] = slot as u32;
+                offsets[c] += 1;
+            });
+        }
+        for c in (1..grid.offsets.len()).rev() {
+            grid.offsets[c] = grid.offsets[c - 1];
+        }
+        grid.offsets[0] = 0;
+        grid
+    }
+
+    /// The clamped cell coordinate of `x` along dimension `d`;
+    /// non-finite coordinates land on the rim (`-inf → 0`,
+    /// `+inf/NaN → last`), matching probe-side clamping.
+    fn cell_coord(&self, d: usize, x: f64) -> u32 {
+        let last = self.dims[d] - 1;
+        if x == f64::NEG_INFINITY {
+            return 0;
+        }
+        if !x.is_finite() {
+            return last;
+        }
+        let c = (x - self.lo[d]) * self.inv_cell[d];
+        (c.clamp(0.0, f64::from(last))) as u32
+    }
+
+    /// The inclusive cell range covered by `rect` (clamped).
+    fn cell_range(&self, rect: &Rect<D>) -> ([u32; D], [u32; D]) {
+        let mut cell_lo = [0u32; D];
+        let mut cell_hi = [0u32; D];
+        for d in 0..D {
+            cell_lo[d] = self.cell_coord(d, rect.lo(d));
+            cell_hi[d] = self.cell_coord(d, rect.hi(d)).max(cell_lo[d]);
+        }
+        (cell_lo, cell_hi)
+    }
+
+    /// Emits the id of every entry containing `point`: overflow scan
+    /// plus one exact-tested cell list.
+    #[inline]
+    fn stab(
+        &self,
+        packed: &PackedRTree<ProcessId, D>,
+        point: &Point<D>,
+        mut emit: impl FnMut(ProcessId),
+    ) {
+        let keys = packed.keys();
+        let rects = packed.rects();
+        for &slot in &self.overflow {
+            if rects[slot as usize].contains_point_branchless(point) {
+                emit(keys[slot as usize]);
+            }
+        }
+        if self.offsets.is_empty() {
+            return;
+        }
+        let mut idx = 0usize;
+        for d in 0..D {
+            idx = idx * self.dims[d] as usize + self.cell_coord(d, point.coord(d)) as usize;
+        }
+        let lo = self.offsets[idx] as usize;
+        let hi = self.offsets[idx + 1] as usize;
+        // Chunked bitmask scan (the packed tree's trick): with cell
+        // hit rates around 50%, a per-candidate `if` is a mispredict
+        // machine — building the mask branchlessly and popping set
+        // bits keeps the pipeline full.
+        for chunk in self.refs[lo..hi].chunks(32) {
+            let mut mask = 0u32;
+            for (i, &slot) in chunk.iter().enumerate() {
+                mask |= u32::from(rects[slot as usize].contains_point_branchless(point)) << i;
+            }
+            while mask != 0 {
+                emit(keys[chunk[mask.trailing_zeros() as usize] as usize]);
+                mask &= mask - 1;
+            }
+        }
+    }
+}
+
+/// Visits every row-major cell index in the inclusive `D`-dimensional
+/// range (odometer over the minor-most dimension last), for the CSR
+/// build passes of [`StabGrid`].
+fn for_each_cell<const D: usize>(
+    dims: [u32; D],
+    cell_lo: [u32; D],
+    cell_hi: [u32; D],
+    mut visit: impl FnMut(usize),
+) {
+    let mut cur = cell_lo;
+    loop {
+        let mut idx = 0usize;
+        for d in 0..D {
+            idx = idx * dims[d] as usize + cur[d] as usize;
+        }
+        visit(idx);
+        let mut d = D;
+        let mut done = true;
+        while d > 0 {
+            d -= 1;
+            if cur[d] < cell_hi[d] {
+                cur[d] += 1;
+                done = false;
+                break;
+            }
+            cur[d] = cell_lo[d];
+        }
+        if done {
+            break;
+        }
+    }
+}
+
+/// One shard: its slice of the subscription set, the packed tree
+/// serving it, the stab grid accelerating batched probes, and whether
+/// both are stale.
+#[derive(Debug)]
+struct Shard<const D: usize> {
+    entries: Vec<(ProcessId, Rect<D>)>,
+    packed: PackedRTree<ProcessId, D>,
+    grid: StabGrid<D>,
+    dirty: bool,
+}
+
+impl<const D: usize> Shard<D> {
+    fn new() -> Self {
+        Self {
+            entries: Vec::new(),
+            packed: PackedRTree::bulk_load(Vec::new()),
+            grid: StabGrid::default(),
+            dirty: false,
+        }
+    }
+}
+
+/// What one [`ShardedOracle::flush`] call did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OracleFlush {
+    /// Shards whose packed tree was rebuilt.
+    pub rebuilt_shards: usize,
+    /// Whether entries were redistributed (world growth or imbalance).
+    pub rebalanced: bool,
+    /// Wall-clock time spent rebalancing + rebuilding.
+    pub elapsed: Duration,
+}
+
+/// Per-probe match sets of one batched publish, in one flat arena.
+///
+/// `matches(i)` is the sorted, deduplicated set of subscribers whose
+/// filter contains probe `i`. The arena is reused across calls to
+/// [`ShardedOracle::match_batch_into`]; holding one per pipeline stage
+/// keeps batched matching allocation-free after warm-up.
+#[derive(Debug, Clone, Default)]
+pub struct BatchMatches {
+    /// Probe `i`'s matches live at
+    /// `hits[spans[i].0..spans[i].0 + spans[i].1]`. (The arena is laid
+    /// out in curve order, not probe order, so slices are addressed
+    /// explicitly rather than by prefix offsets; one tuple per probe
+    /// keeps the scattered merge write to a single location.)
+    spans: Vec<(u32, u32)>,
+    hits: Vec<ProcessId>,
+}
+
+impl BatchMatches {
+    /// An empty arena (zero probes).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of probes answered by the last fill.
+    pub fn probes(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// The sorted, deduplicated match set of probe `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.probes()`.
+    pub fn matches(&self, i: usize) -> &[ProcessId] {
+        let (start, len) = self.spans[i];
+        &self.hits[start as usize..(start + len) as usize]
+    }
+
+    /// Total hits across all probes (sum of span lengths — the arena
+    /// itself may hold dead gaps and staging copies).
+    pub fn total_hits(&self) -> usize {
+        self.spans.iter().map(|&(_, len)| len as usize).sum()
+    }
+}
+
+/// A subscription oracle sharded across `K` packed R-trees for
+/// parallel and batched publishes.
+///
+/// # Sharding regime
+///
+/// * **Assignment** — a subscription lives in the shard owning the
+///   Hilbert key of its rectangle's center. Assignment is a pure
+///   function of the rectangle and the current [`ShardMap`], so
+///   removal needs no id→shard bookkeeping.
+/// * **Laziness** — `insert`/`remove` only mark the owning shard
+///   dirty; the next [`flush`](ShardedOracle::flush) (or query, which
+///   flushes implicitly) rebuilds *only* dirty shards.
+/// * **Rebalancing** — when an entry lands outside the mapped world,
+///   or one shard grows past `4× ideal + 64` entries, the next flush
+///   recomputes the world, re-splits the key population at its count
+///   quantiles, and redistributes (rebuilding everything once).
+/// * **Correctness under interleaving** — any assignment whatsoever
+///   yields exact matching (every shard is probed), so the shard map
+///   only affects performance; property tests pin the hit-sets to the
+///   unsharded [`PackedRTree`] under random interleaved
+///   subscribe/unsubscribe/publish sequences.
+///
+/// # Single vs batched probes
+///
+/// [`match_point_into`](ShardedOracle::match_point_into) answers one
+/// probe by descending each shard's packed tree inline: a single
+/// probe cannot amortize a thread spawn (the fan degrades to the
+/// calling thread) and needs no auxiliary structure.
+/// [`match_batch_into`](ShardedOracle::match_batch_into) is the
+/// batched pipeline: probes are sorted along a space-filling curve,
+/// fanned across shards (one scoped worker per shard chunk via
+/// [`drtree_rtree::parallel::fan`] when threads are available, a
+/// fused merge-free pass otherwise), and answered against each
+/// shard's flush-built stab grid (`StabGrid` in the source) — one
+/// cell lookup and a few exact rectangle tests per probe instead of a
+/// root-to-leaf descent.
+/// Batching amortizes the sort, keeps every structure cache-resident
+/// across curve-adjacent probes, and collapses result assembly into
+/// reused arenas — that is what makes it ≥ 2× faster per event than
+/// single-probe matching even on one core, before shard parallelism
+/// multiplies it further.
+///
+/// # Example
+///
+/// ```
+/// use drtree_core::ProcessId;
+/// use drtree_pubsub::ShardedOracle;
+/// use drtree_spatial::{Point, Rect};
+///
+/// let mut oracle: ShardedOracle<2> = ShardedOracle::new(4);
+/// for i in 0..100u64 {
+///     let x = (i % 10) as f64 * 10.0;
+///     let y = (i / 10) as f64 * 10.0;
+///     oracle.insert(ProcessId::from_raw(i), Rect::new([x, y], [x + 9.0, y + 9.0]));
+/// }
+/// let flush = oracle.flush();
+/// assert!(flush.rebuilt_shards > 0);
+///
+/// let mut hits = Vec::new();
+/// oracle.match_point_into(&Point::new([5.0, 5.0]), &mut hits);
+/// assert_eq!(hits, vec![ProcessId::from_raw(0)]);
+///
+/// let mut batch = drtree_pubsub::BatchMatches::new();
+/// oracle.match_batch_into(&[Point::new([5.0, 5.0]), Point::new([95.0, 95.0])], &mut batch);
+/// assert_eq!(batch.matches(0), &[ProcessId::from_raw(0)]);
+/// assert_eq!(batch.matches(1), &[ProcessId::from_raw(99)]);
+/// ```
+#[derive(Debug)]
+pub struct ShardedOracle<const D: usize> {
+    shards: Vec<Shard<D>>,
+    map: Option<ShardMap<D>>,
+    len: usize,
+    threads: usize,
+    /// An insert landed outside the mapped world; rebalance next flush.
+    stale_world: bool,
+    rebuilds: u64,
+    rebalances: u64,
+    // Reused scratch: per-shard hit buffers, the curve-sorted probe
+    // permutation, and the per-shard merge cursors.
+    point_bufs: Vec<Vec<ProcessId>>,
+    batch_bufs: Vec<ShardBatchBuf>,
+    /// Live entry count per id, and how many ids have more than one
+    /// entry (subscription sets). While zero, per-probe deduplication
+    /// is provably a no-op and the batched merge skips it.
+    id_counts: HashMap<u64, u32>,
+    duplicate_ids: usize,
+    sorted_idx: Vec<u32>,
+    key_scratch: Vec<u64>,
+    sorted_points: Vec<Point<D>>,
+    cursors: Vec<u32>,
+    /// Arena offset of each shard's bulk-copied hit stream.
+    stream_bases: Vec<u32>,
+}
+
+impl<const D: usize> ShardedOracle<D> {
+    /// An empty oracle with `shards` shards (clamped to ≥ 1) and a
+    /// worker budget of [`parallel::available_threads`].
+    pub fn new(shards: usize) -> Self {
+        let shards = shards.max(1);
+        Self {
+            shards: (0..shards).map(|_| Shard::new()).collect(),
+            map: None,
+            len: 0,
+            threads: parallel::available_threads(),
+            stale_world: false,
+            rebuilds: 0,
+            rebalances: 0,
+            point_bufs: vec![Vec::new(); shards],
+            batch_bufs: vec![ShardBatchBuf::default(); shards],
+            id_counts: HashMap::new(),
+            duplicate_ids: 0,
+            sorted_idx: Vec::new(),
+            key_scratch: Vec::new(),
+            sorted_points: Vec::new(),
+            cursors: Vec::new(),
+            stream_bases: Vec::new(),
+        }
+    }
+
+    /// Caps the scoped-thread worker budget for batched fans (clamped
+    /// to ≥ 1). Defaults to the hardware parallelism.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of live `(id, rect)` entries across all shards.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no entry is stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Entries currently held by shard `s` (including un-flushed ones).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s >= self.shard_count()`.
+    pub fn shard_len(&self, s: usize) -> usize {
+        self.shards[s].entries.len()
+    }
+
+    /// Packed-tree rebuilds performed over the oracle's lifetime.
+    pub fn rebuild_count(&self) -> u64 {
+        self.rebuilds
+    }
+
+    /// Full redistributions performed over the oracle's lifetime.
+    pub fn rebalance_count(&self) -> u64 {
+        self.rebalances
+    }
+
+    /// The shard `rect` is currently assigned to (`None` before the
+    /// first flush establishes a shard map).
+    pub fn shard_of(&self, rect: &Rect<D>) -> Option<usize> {
+        self.map.as_ref().map(|m| m.shard_of(rect))
+    }
+
+    /// Registers `(id, rect)`. Duplicate ids are allowed (subscription
+    /// *sets* register one entry per member filter). Marks only the
+    /// owning shard dirty.
+    pub fn insert(&mut self, id: ProcessId, rect: Rect<D>) {
+        let s = match &self.map {
+            Some(map) => {
+                if !map.covers(&rect) {
+                    self.stale_world = true;
+                }
+                map.shard_of(&rect)
+            }
+            // No map yet: park in shard 0; the first flush
+            // redistributes.
+            None => 0,
+        };
+        self.shards[s].entries.push((id, rect));
+        self.shards[s].dirty = true;
+        self.len += 1;
+        let count = self.id_counts.entry(id.raw()).or_insert(0);
+        *count += 1;
+        if *count == 2 {
+            self.duplicate_ids += 1;
+        }
+    }
+
+    /// Removes one `(id, rect)` entry; `true` if found. Looks in the
+    /// assigned shard first (assignment is stable, so that lookup
+    /// virtually always succeeds) with a full scan as a safety net.
+    pub fn remove(&mut self, id: ProcessId, rect: &Rect<D>) -> bool {
+        let guess = self.map.as_ref().map_or(0, |m| m.shard_of(rect));
+        let found = self.remove_from(guess, id, rect)
+            || (0..self.shards.len()).any(|s| s != guess && self.remove_from(s, id, rect));
+        if found {
+            if let Some(count) = self.id_counts.get_mut(&id.raw()) {
+                if *count == 2 {
+                    self.duplicate_ids -= 1;
+                }
+                *count -= 1;
+                if *count == 0 {
+                    self.id_counts.remove(&id.raw());
+                }
+            }
+        }
+        found
+    }
+
+    fn remove_from(&mut self, s: usize, id: ProcessId, rect: &Rect<D>) -> bool {
+        let shard = &mut self.shards[s];
+        match shard
+            .entries
+            .iter()
+            .position(|(eid, er)| *eid == id && er == rect)
+        {
+            Some(pos) => {
+                shard.entries.swap_remove(pos);
+                shard.dirty = true;
+                self.len -= 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Rebuilds every dirty shard **now** (redistributing first when
+    /// the shard map went stale), so subsequent publishes pay matching
+    /// cost only. Queries call this implicitly; benches and brokers
+    /// call it eagerly so their publish timings never include a
+    /// rebuild.
+    pub fn flush(&mut self) -> OracleFlush {
+        let rebalance_needed = self.needs_rebalance();
+        if !rebalance_needed && self.shards.iter().all(|s| !s.dirty) {
+            return OracleFlush::default();
+        }
+        let t0 = Instant::now();
+        if rebalance_needed {
+            self.rebalance();
+        }
+        let mut rebuilt = 0usize;
+        for shard in &mut self.shards {
+            if shard.dirty {
+                shard.packed = PackedRTree::bulk_load(shard.entries.clone());
+                shard.grid = StabGrid::build(&shard.packed);
+                shard.dirty = false;
+                rebuilt += 1;
+            }
+        }
+        self.rebuilds += rebuilt as u64;
+        OracleFlush {
+            rebuilt_shards: rebuilt,
+            rebalanced: rebalance_needed,
+            elapsed: t0.elapsed(),
+        }
+    }
+
+    fn needs_rebalance(&self) -> bool {
+        if self.len == 0 {
+            return false;
+        }
+        if self.map.is_none() || self.stale_world {
+            return true;
+        }
+        if self.shards.len() == 1 {
+            return false;
+        }
+        let ideal = self.len / self.shards.len();
+        let cap = IMBALANCE_FACTOR * ideal + IMBALANCE_SLACK;
+        self.shards.iter().any(|s| s.entries.len() > cap)
+    }
+
+    /// Recomputes the world from the live entries, re-splits the key
+    /// population at its count quantiles, and redistributes every
+    /// entry (marking all shards dirty).
+    fn rebalance(&mut self) {
+        let mut all: Vec<(ProcessId, Rect<D>)> = Vec::with_capacity(self.len);
+        for shard in &mut self.shards {
+            all.append(&mut shard.entries);
+            shard.dirty = true;
+        }
+        let world = GridMapper::world_of(all.iter().map(|(_, r)| r))
+            .unwrap_or_else(|| Rect::new([0.0; D], [1.0; D]));
+        let mapper = GridMapper::new(&world);
+        let mut keys: Vec<u128> = all.iter().map(|(_, r)| mapper.key(r)).collect();
+        keys.sort_unstable();
+        let map = ShardMap::from_sorted_keys(self.shards.len(), &world, &keys);
+        for (id, rect) in all {
+            self.shards[map.shard_of(&rect)].entries.push((id, rect));
+        }
+        self.map = Some(map);
+        self.stale_world = false;
+        self.rebalances += 1;
+    }
+
+    /// Fills `out` with the sorted, deduplicated set of subscribers
+    /// whose filter contains `point` — the exact matching set of one
+    /// published event. Flushes implicitly; allocation-free once `out`
+    /// and the per-shard buffers are warm.
+    pub fn match_point_into(&mut self, point: &Point<D>, out: &mut Vec<ProcessId>) {
+        self.flush();
+        out.clear();
+        // One probe cannot amortize a thread spawn, so this fan runs
+        // inline (worker budget 1); the batched path is the parallel
+        // one.
+        parallel::fan(&self.shards, &mut self.point_bufs, 1, |_, shard, buf| {
+            buf.clear();
+            shard
+                .packed
+                .for_each_containing(point, |&id, _| buf.push(id));
+        });
+        for buf in &self.point_bufs {
+            out.extend_from_slice(buf);
+        }
+        out.sort_unstable();
+        out.dedup();
+    }
+
+    /// Answers a whole batch of probes in one shard pass — the
+    /// matching engine of the batched publish pipeline.
+    ///
+    /// The pass amortizes everything a per-event probe pays over the
+    /// whole batch:
+    ///
+    /// 1. **Sort** — probes are ordered along the Hilbert curve of the
+    ///    mapped world, so consecutive probes are spatial neighbors
+    ///    and every structure touched below stays cache-resident
+    ///    between probes.
+    /// 2. **Fan** — scoped workers ([`parallel::fan`]) take shards;
+    ///    each worker answers the whole sorted batch against its
+    ///    shard, skipping probes outside the shard's MBR (shards are
+    ///    contiguous curve ranges, so most probes are owned by one
+    ///    shard).
+    /// 3. **Stab** — per probe, the shard's flush-built stab grid
+    ///    turns matching into one cell lookup plus a few exact
+    ///    rectangle tests, instead of a root-to-leaf descent of the
+    ///    packed tree.
+    /// 4. **Merge** — one sequential pass gathers each probe's hits
+    ///    from the per-shard streams into `out`'s reused arena,
+    ///    sorted and deduplicated.
+    ///
+    /// Single-probe matching ([`ShardedOracle::match_point_into`])
+    /// stays on the packed tree: it needs no flush-built side
+    /// structure and serves arbitrary one-off probes well. The batched
+    /// path is what the ≥ 2×-per-event speedup of the publish
+    /// pipeline comes from, and it parallelizes across shards on many
+    /// cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points.len() > u32::MAX`.
+    pub fn match_batch_into(&mut self, points: &[Point<D>], out: &mut BatchMatches) {
+        self.flush();
+        out.spans.clear();
+        out.hits.clear();
+        if points.is_empty() {
+            return;
+        }
+        assert!(
+            points.len() <= u32::MAX as usize,
+            "batch is limited to 2^32 probes"
+        );
+
+        // Curve-sort the probes (key, original index), then gather the
+        // points into sorted order so the refinement loops stream
+        // memory forward.
+        let mapper = self
+            .map
+            .as_ref()
+            .map(|m| m.mapper().clone())
+            .unwrap_or_else(|| GridMapper::new(&Rect::new([0.0; D], [1.0; D])));
+        self.sorted_idx.clear();
+        if D <= 2 {
+            // Keys fit 32 bits: pack (key, index) into one machine
+            // word so the dominant sort moves u64s, mirroring the
+            // packed tree's own bulk-load sort.
+            self.key_scratch.clear();
+            self.key_scratch.extend(
+                points
+                    .iter()
+                    .enumerate()
+                    .map(|(i, p)| ((mapper.morton_key_of_point(p) as u64) << 32) | i as u64),
+            );
+            self.key_scratch.sort_unstable();
+            self.sorted_idx
+                .extend(self.key_scratch.iter().map(|&t| t as u32));
+        } else {
+            let mut tagged: Vec<(u128, u32)> = points
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (mapper.morton_key_of_point(p), i as u32))
+                .collect();
+            tagged.sort_unstable();
+            self.sorted_idx.extend(tagged.iter().map(|&(_, i)| i));
+        }
+        self.sorted_points.clear();
+        self.sorted_points
+            .extend(self.sorted_idx.iter().map(|&i| points[i as usize]));
+
+        let n = points.len();
+        out.spans.resize(n, (0, 0));
+        let dedup_needed = self.duplicate_ids > 0;
+
+        // One worker (or one shard) cannot win anything from the
+        // fan-and-merge plumbing: stab every shard per probe and
+        // write each span straight into the arena instead — no
+        // per-shard streams, no cursors, no merge pass at all.
+        if self.threads <= 1 || self.shards.len() == 1 {
+            let mbrs: Vec<Option<Rect<D>>> = self.shards.iter().map(|s| s.packed.mbr()).collect();
+            for (&orig, p) in self.sorted_idx.iter().zip(&self.sorted_points) {
+                let start = out.hits.len();
+                let mut prev = ProcessId::from_raw(0);
+                let mut sorted = true;
+                for (shard, mbr) in self.shards.iter().zip(&mbrs) {
+                    match mbr {
+                        Some(mbr) if mbr.contains_point_branchless(p) => {
+                            shard.grid.stab(&shard.packed, p, |id| {
+                                sorted &= prev <= id;
+                                prev = id;
+                                out.hits.push(id);
+                            });
+                        }
+                        _ => {}
+                    }
+                }
+                if !sorted {
+                    out.hits[start..].sort_unstable();
+                }
+                if dedup_needed {
+                    let mut w = start;
+                    for r in start..out.hits.len() {
+                        if w == start || out.hits[r] != out.hits[w - 1] {
+                            out.hits[w] = out.hits[r];
+                            w += 1;
+                        }
+                    }
+                    out.hits.truncate(w);
+                }
+                out.spans[orig as usize] = (start as u32, (out.hits.len() - start) as u32);
+            }
+            return;
+        }
+
+        let threads = self.threads;
+        let sorted_points = &self.sorted_points;
+        parallel::fan(
+            &self.shards,
+            &mut self.batch_bufs,
+            threads,
+            |_, shard, buf| {
+                buf.hits.clear();
+                buf.counts.clear();
+                buf.counts.resize(sorted_points.len(), 0);
+                if shard.entries.is_empty() {
+                    return;
+                }
+                let mbr = shard.packed.mbr().expect("non-empty shard has an MBR");
+                for (s, p) in sorted_points.iter().enumerate() {
+                    if !mbr.contains_point_branchless(p) {
+                        continue; // counts[s] stays 0
+                    }
+                    let before = buf.hits.len();
+                    shard.grid.stab(&shard.packed, p, |id| buf.hits.push(id));
+                    buf.counts[s] = (buf.hits.len() - before) as u32;
+                }
+            },
+        );
+
+        // Merge: bulk-copy every shard's hit stream into the arena
+        // once, then walk the probes in curve order with one cursor
+        // per shard. A probe whose hits all come from one shard — the
+        // overwhelmingly common case, since shards tile the curve —
+        // gets a span pointing straight into that shard's copied
+        // stream (no per-probe copy at all); only probes straddling
+        // shards gather at the arena tail. Every span is then sorted
+        // (and deduplicated when subscription sets exist) in place:
+        // spans are disjoint, so in-place mutation is safe, and a
+        // dedup just shortens the span, leaving a dead gap in the
+        // arena.
+        let total: usize = self.batch_bufs.iter().map(|b| b.hits.len()).sum();
+        out.hits.reserve(2 * total);
+        self.stream_bases.clear();
+        for buf in &self.batch_bufs {
+            self.stream_bases.push(out.hits.len() as u32);
+            out.hits.extend_from_slice(&buf.hits);
+        }
+        self.cursors.clear();
+        self.cursors.resize(self.batch_bufs.len(), 0);
+        for (s, &orig) in self.sorted_idx.iter().enumerate() {
+            let mut owners = 0usize;
+            let mut owner = 0usize;
+            let mut owner_take = 0usize;
+            for (k, buf) in self.batch_bufs.iter().enumerate() {
+                if buf.counts.is_empty() {
+                    continue; // empty shard produced no stream
+                }
+                let take = buf.counts[s] as usize;
+                if take > 0 {
+                    owners += 1;
+                    owner = k;
+                    owner_take = take;
+                }
+            }
+            let (start, mut len) = if owners <= 1 {
+                let start = (self.stream_bases[owner] + self.cursors[owner]) as usize;
+                self.cursors[owner] += owner_take as u32;
+                (start, owner_take)
+            } else {
+                // Straddling probe: gather its slices at the tail.
+                let start = out.hits.len();
+                let mut gathered = 0usize;
+                for (k, buf) in self.batch_bufs.iter().enumerate() {
+                    if buf.counts.is_empty() {
+                        continue;
+                    }
+                    let take = buf.counts[s] as usize;
+                    let cursor = self.cursors[k] as usize;
+                    out.hits.extend_from_slice(&buf.hits[cursor..cursor + take]);
+                    self.cursors[k] = (cursor + take) as u32;
+                    gathered += take;
+                }
+                (start, gathered)
+            };
+            let span = &mut out.hits[start..start + len];
+            if span.windows(2).any(|w| w[0] > w[1]) {
+                span.sort_unstable();
+            }
+            if dedup_needed {
+                let mut w = 1usize.min(len);
+                for r in 1..len {
+                    if out.hits[start + r] != out.hits[start + w - 1] {
+                        out.hits[start + w] = out.hits[start + r];
+                        w += 1;
+                    }
+                }
+                len = w;
+            }
+            out.spans[orig as usize] = (start as u32, len as u32);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pid(i: u64) -> ProcessId {
+        ProcessId::from_raw(i)
+    }
+
+    fn grid_rect(i: u64) -> Rect<2> {
+        let x = (i % 16) as f64 * 10.0;
+        let y = (i / 16) as f64 * 10.0;
+        Rect::new([x, y], [x + 8.0, y + 8.0])
+    }
+
+    #[test]
+    fn lazy_rebuild_touches_only_dirty_shards() {
+        let mut oracle: ShardedOracle<2> = ShardedOracle::new(4);
+        for i in 0..256 {
+            oracle.insert(pid(i), grid_rect(i));
+        }
+        let first = oracle.flush();
+        assert!(first.rebalanced, "first flush establishes the map");
+        assert_eq!(first.rebuilt_shards, 4);
+        let baseline = oracle.rebuild_count();
+
+        // A clean oracle flushes as a no-op.
+        assert_eq!(oracle.flush(), OracleFlush::default());
+        assert_eq!(oracle.rebuild_count(), baseline);
+
+        // One in-world mutation dirties exactly one shard.
+        let rect = grid_rect(37);
+        let owner = oracle.shard_of(&rect).expect("map exists");
+        assert!(oracle.remove(pid(37), &rect));
+        let second = oracle.flush();
+        assert!(!second.rebalanced);
+        assert_eq!(second.rebuilt_shards, 1, "only the owning shard rebuilds");
+        assert_eq!(oracle.rebuild_count(), baseline + 1);
+        assert_eq!(oracle.shard_of(&rect), Some(owner), "assignment is stable");
+    }
+
+    #[test]
+    fn out_of_world_insert_forces_rebalance() {
+        let mut oracle: ShardedOracle<2> = ShardedOracle::new(2);
+        for i in 0..64 {
+            oracle.insert(pid(i), grid_rect(i));
+        }
+        oracle.flush();
+        let before = oracle.rebalance_count();
+        oracle.insert(pid(999), Rect::new([5000.0, 5000.0], [5001.0, 5001.0]));
+        let flush = oracle.flush();
+        assert!(flush.rebalanced);
+        assert_eq!(oracle.rebalance_count(), before + 1);
+        // The outlier is findable afterwards.
+        let mut hits = Vec::new();
+        oracle.match_point_into(&Point::new([5000.5, 5000.5]), &mut hits);
+        assert_eq!(hits, vec![pid(999)]);
+    }
+
+    #[test]
+    fn empty_oracle_answers_empty() {
+        let mut oracle: ShardedOracle<2> = ShardedOracle::new(3);
+        let mut hits = vec![pid(7)];
+        oracle.match_point_into(&Point::new([1.0, 1.0]), &mut hits);
+        assert!(hits.is_empty());
+        let mut batch = BatchMatches::new();
+        oracle.match_batch_into(&[Point::new([1.0, 1.0])], &mut batch);
+        assert_eq!(batch.probes(), 1);
+        assert!(batch.matches(0).is_empty());
+        oracle.match_batch_into(&[], &mut batch);
+        assert_eq!(batch.probes(), 0);
+    }
+
+    #[test]
+    fn many_shards_and_fan_path_stay_correct() {
+        // Shard counts past any internal buffer width, on both the
+        // fused and the fan batch path (regression: a fixed 64-wide
+        // stream-base array once made > 64 shards panic).
+        for threads in [1usize, 3] {
+            let mut oracle: ShardedOracle<2> = ShardedOracle::new(70);
+            oracle.set_threads(threads);
+            for i in 0..512 {
+                oracle.insert(pid(i), grid_rect(i % 256));
+            }
+            let probe = grid_rect(37).center();
+            let mut batch = BatchMatches::new();
+            oracle.match_batch_into(&[probe], &mut batch);
+            let mut single = Vec::new();
+            oracle.match_point_into(&probe, &mut single);
+            assert!(!single.is_empty());
+            assert_eq!(batch.matches(0), single.as_slice(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn duplicate_ids_dedup_in_both_paths() {
+        // A subscription set: one id, three member rects in different
+        // places, two containing the probe.
+        let mut oracle: ShardedOracle<2> = ShardedOracle::new(4);
+        oracle.insert(pid(1), Rect::new([0.0, 0.0], [10.0, 10.0]));
+        oracle.insert(pid(1), Rect::new([5.0, 5.0], [20.0, 20.0]));
+        oracle.insert(pid(1), Rect::new([100.0, 100.0], [110.0, 110.0]));
+        oracle.insert(pid(2), Rect::new([0.0, 0.0], [50.0, 50.0]));
+        let probe = Point::new([7.0, 7.0]);
+        let mut hits = Vec::new();
+        oracle.match_point_into(&probe, &mut hits);
+        assert_eq!(hits, vec![pid(1), pid(2)]);
+        let mut batch = BatchMatches::new();
+        oracle.match_batch_into(&[probe], &mut batch);
+        assert_eq!(batch.matches(0), &[pid(1), pid(2)]);
+        assert_eq!(batch.total_hits(), 2);
+    }
+}

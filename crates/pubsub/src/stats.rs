@@ -1,4 +1,5 @@
 use std::fmt;
+use std::time::Duration;
 
 use drtree_core::PublishReport;
 
@@ -15,6 +16,8 @@ pub struct RoutingStats {
     false_positives: u64,
     false_negatives: u64,
     messages: u64,
+    oracle_rebuilds: u64,
+    oracle_rebuild_ns: u64,
 }
 
 impl RoutingStats {
@@ -63,6 +66,26 @@ impl RoutingStats {
         self.messages
     }
 
+    /// Folds one oracle maintenance pass into the aggregate:
+    /// `shards` packed-tree rebuilds taking `elapsed` wall-clock time.
+    /// Keeping this out of the publish columns is what lets benches
+    /// separate matching cost from (re)build cost.
+    pub fn absorb_oracle_rebuild(&mut self, shards: u64, elapsed: Duration) {
+        self.oracle_rebuilds += shards;
+        self.oracle_rebuild_ns += elapsed.as_nanos() as u64;
+    }
+
+    /// Total oracle shard rebuilds paid (lazily on publish, or eagerly
+    /// via `Broker::flush_oracle`).
+    pub fn oracle_rebuilds(&self) -> u64 {
+        self.oracle_rebuilds
+    }
+
+    /// Total wall-clock nanoseconds spent rebuilding the oracle.
+    pub fn oracle_rebuild_ns(&self) -> u64 {
+        self.oracle_rebuild_ns
+    }
+
     /// Share of deliveries that were false positives.
     pub fn false_positive_rate(&self) -> f64 {
         if self.deliveries == 0 {
@@ -92,7 +115,8 @@ impl fmt::Display for RoutingStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "events={} deliveries={} fp={} ({:.2}%) fn={} ({:.2}%) msgs/event={:.1}",
+            "events={} deliveries={} fp={} ({:.2}%) fn={} ({:.2}%) msgs/event={:.1} \
+             oracle-rebuilds={} ({:.1}ms)",
             self.events,
             self.deliveries,
             self.false_positives,
@@ -100,6 +124,8 @@ impl fmt::Display for RoutingStats {
             self.false_negatives,
             100.0 * self.false_negative_rate(),
             self.messages_per_event(),
+            self.oracle_rebuilds,
+            self.oracle_rebuild_ns as f64 / 1e6,
         )
     }
 }

@@ -210,3 +210,105 @@ fn empty_subscription_set_rejected() {
         Err(BrokerError::Filter(_))
     ));
 }
+
+#[test]
+fn publish_batch_equals_sequential_publishes() {
+    // Two brokers built identically; one publishes a batch, the other
+    // publishes the same points one at a time. Reports and aggregate
+    // stats must agree field by field.
+    let build = || {
+        let mut broker: Broker<2> =
+            Broker::with_shards(schema(), DrTreeConfig::default(), 21, 4).unwrap();
+        let mut rng = StdRng::seed_from_u64(77);
+        for _ in 0..40 {
+            let x = rng.gen_range(0.0..90.0);
+            let y = rng.gen_range(0.0..90.0);
+            broker.subscribe_rect(Rect::new([x, y], [x + 10.0, y + 10.0]));
+        }
+        // A subscription set, so batched reclassification is exercised.
+        broker
+            .subscribe_set(&[
+                box_filter(0.0, 0.0, 8.0, 8.0),
+                box_filter(70.0, 70.0, 9.0, 9.0),
+            ])
+            .unwrap();
+        broker
+    };
+    let mut batched = build();
+    let mut sequential = build();
+    let publisher = *batched.subscriptions().keys().next().unwrap();
+
+    let mut rng = StdRng::seed_from_u64(78);
+    let points: Vec<drtree_spatial::Point<2>> = (0..25)
+        .map(|_| drtree_spatial::Point::new([rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)]))
+        .collect();
+
+    let batch_reports = batched
+        .publish_batch(publisher, points.clone().as_slice())
+        .unwrap();
+    let seq_reports: Vec<_> = points
+        .iter()
+        .map(|p| sequential.publish_point(publisher, *p).unwrap())
+        .collect();
+
+    assert_eq!(batch_reports.len(), seq_reports.len());
+    for (b, s) in batch_reports.iter().zip(&seq_reports) {
+        let sort = |v: &[drtree_core::ProcessId]| {
+            let mut v = v.to_vec();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(sort(&b.matching), sort(&s.matching));
+        assert_eq!(sort(&b.receivers), sort(&s.receivers));
+        assert_eq!(sort(&b.false_positives), sort(&s.false_positives));
+        assert_eq!(sort(&b.false_negatives), sort(&s.false_negatives));
+    }
+    assert_eq!(batched.stats().events(), sequential.stats().events());
+    assert_eq!(
+        batched.stats().deliveries(),
+        sequential.stats().deliveries()
+    );
+    assert_eq!(
+        batched.stats().false_positives(),
+        sequential.stats().false_positives()
+    );
+    assert_eq!(
+        batched.stats().false_negatives(),
+        sequential.stats().false_negatives()
+    );
+}
+
+#[test]
+fn publish_batch_rejects_dead_publishers() {
+    let mut broker: Broker<2> = Broker::new(schema(), DrTreeConfig::default(), 22).unwrap();
+    let a = broker.subscribe(&box_filter(0.0, 0.0, 10.0, 10.0)).unwrap();
+    broker.unsubscribe(a).unwrap();
+    assert!(matches!(
+        broker.publish_batch(a, &[drtree_spatial::Point::new([1.0, 1.0])]),
+        Err(BrokerError::UnknownSubscriber(_))
+    ));
+}
+
+#[test]
+fn flush_oracle_moves_rebuild_cost_off_the_publish_path() {
+    let mut broker: Broker<2> =
+        Broker::with_shards(schema(), DrTreeConfig::default(), 23, 4).unwrap();
+    for i in 0..32 {
+        let o = f64::from(i);
+        broker.subscribe_rect(Rect::new([o, o], [o + 5.0, o + 5.0]));
+    }
+    assert_eq!(broker.stats().oracle_rebuilds(), 0, "rebuilds are lazy");
+    broker.flush_oracle();
+    let after_flush = broker.stats().oracle_rebuilds();
+    assert!(after_flush > 0, "eager flush rebuilds dirty shards");
+
+    // A publish right after an eager flush pays no further rebuilds.
+    let publisher = *broker.subscriptions().keys().next().unwrap();
+    broker
+        .publish(publisher, &Event::new().with("x", 3.0).with("y", 3.0))
+        .unwrap();
+    assert_eq!(broker.stats().oracle_rebuilds(), after_flush);
+
+    // A second flush with nothing dirty is free.
+    assert_eq!(broker.flush_oracle(), std::time::Duration::ZERO);
+}

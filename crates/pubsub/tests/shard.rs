@@ -1,0 +1,188 @@
+//! Property tests pinning the sharded oracle to the unsharded packed
+//! backend: for every shard count, under random *interleaved*
+//! subscribe/unsubscribe/publish sequences (the regime the paper's
+//! dissemination layer lives in — membership mutates while events
+//! flow), `ShardedOracle` must return hit-sets identical to one
+//! `PackedRTree` over the same live entry set, on both the single-probe
+//! and the batched path.
+
+use drtree_core::ProcessId;
+use drtree_pubsub::{BatchMatches, ShardedOracle};
+use drtree_rtree::PackedRTree;
+use drtree_spatial::{Point, Rect};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Subscribe(Rect<2>),
+    /// Remove the n-th (mod live) entry.
+    UnsubscribeNth(usize),
+    Publish(Point<2>),
+}
+
+fn arb_rect() -> impl Strategy<Value = Rect<2>> {
+    // Mixed scales and occasional far-flung rectangles, so world
+    // growth and rebalancing trigger mid-sequence.
+    (0.0f64..400.0, 0.0f64..400.0, 0.1f64..60.0, 0.1f64..60.0)
+        .prop_map(|(x, y, w, h)| Rect::new([x, y], [x + w, y + h]))
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => arb_rect().prop_map(Op::Subscribe),
+        2 => (0usize..256).prop_map(Op::UnsubscribeNth),
+        3 => (0.0f64..460.0, 0.0f64..460.0)
+            .prop_map(|(x, y)| Op::Publish(Point::new([x, y]))),
+    ]
+}
+
+/// The reference answer: a fresh packed tree over the live entries.
+fn reference_matches(model: &[(ProcessId, Rect<2>)], point: &Point<2>) -> Vec<ProcessId> {
+    let tree: PackedRTree<ProcessId, 2> = PackedRTree::bulk_load(model.to_vec());
+    let mut hits: Vec<ProcessId> = tree.search_point(point).into_iter().copied().collect();
+    hits.sort_unstable();
+    hits.dedup();
+    hits
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Single-probe equivalence for K = 1, 2, 4, 7 under interleaved
+    /// mutation and publishing.
+    #[test]
+    fn sharded_hit_sets_match_packed_reference(
+        ops in prop::collection::vec(arb_op(), 1..120),
+    ) {
+        for shards in [1usize, 2, 4, 7] {
+            let mut oracle: ShardedOracle<2> = ShardedOracle::new(shards);
+            let mut model: Vec<(ProcessId, Rect<2>)> = Vec::new();
+            let mut next_id = 0u64;
+            let mut hits = Vec::new();
+
+            for op in &ops {
+                match op {
+                    Op::Subscribe(rect) => {
+                        let id = ProcessId::from_raw(next_id);
+                        next_id += 1;
+                        oracle.insert(id, *rect);
+                        model.push((id, *rect));
+                    }
+                    Op::UnsubscribeNth(n) => {
+                        if !model.is_empty() {
+                            let (id, rect) = model.remove(n % model.len());
+                            prop_assert!(
+                                oracle.remove(id, &rect),
+                                "K={shards}: live entry not found for removal"
+                            );
+                        }
+                    }
+                    Op::Publish(point) => {
+                        oracle.match_point_into(point, &mut hits);
+                        let want = reference_matches(&model, point);
+                        prop_assert_eq!(
+                            &hits, &want,
+                            "K={} at {:?}", shards, point
+                        );
+                    }
+                }
+                prop_assert_eq!(oracle.len(), model.len());
+            }
+        }
+    }
+
+    /// The batched path answers exactly like the single-probe path for
+    /// every shard count, probe by probe.
+    #[test]
+    fn batched_matches_equal_single_probes(
+        rects in prop::collection::vec(arb_rect(), 0..150),
+        probes in prop::collection::vec(
+            (0.0f64..460.0, 0.0f64..460.0).prop_map(|(x, y)| Point::<2>::new([x, y])),
+            1..80,
+        ),
+    ) {
+        for shards in [1usize, 2, 4, 7] {
+            // threads = 1 exercises the fused merge-free pass,
+            // threads = 3 the scoped-worker fan + stream merge.
+            for threads in [1usize, 3] {
+                let mut oracle: ShardedOracle<2> = ShardedOracle::new(shards);
+                oracle.set_threads(threads);
+                for (i, rect) in rects.iter().enumerate() {
+                    // Every third entry duplicates the previous id,
+                    // modelling subscription sets (dedup must hold).
+                    let id = ProcessId::from_raw((i - usize::from(i % 3 == 2)) as u64);
+                    oracle.insert(id, *rect);
+                }
+                let mut batch = BatchMatches::new();
+                oracle.match_batch_into(&probes, &mut batch);
+                prop_assert_eq!(batch.probes(), probes.len());
+                let mut single = Vec::new();
+                for (i, probe) in probes.iter().enumerate() {
+                    oracle.match_point_into(probe, &mut single);
+                    prop_assert_eq!(
+                        batch.matches(i), single.as_slice(),
+                        "K={} threads={} probe {}", shards, threads, i
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Unbounded and world-spanning filters ride the stab grid's overflow
+/// list; probes far outside the mapped world clamp to rim cells. Both
+/// paths must agree with plain geometry.
+#[test]
+fn unbounded_filters_and_outlier_probes_match_exactly() {
+    for threads in [1usize, 3] {
+        let mut oracle: ShardedOracle<2> = ShardedOracle::new(4);
+        oracle.set_threads(threads);
+        let everything = Rect::everything();
+        let half_open = Rect::new([50.0, 0.0], [f64::INFINITY, 40.0]);
+        let boxed = Rect::new([0.0, 0.0], [10.0, 10.0]);
+        oracle.insert(ProcessId::from_raw(0), everything);
+        oracle.insert(ProcessId::from_raw(1), half_open);
+        oracle.insert(ProcessId::from_raw(2), boxed);
+        for i in 0..64u64 {
+            let x = (i % 8) as f64 * 12.0;
+            let y = (i / 8) as f64 * 12.0;
+            oracle.insert(
+                ProcessId::from_raw(10 + i),
+                Rect::new([x, y], [x + 6.0, y + 6.0]),
+            );
+        }
+        let model: Vec<(u64, Rect<2>)> = [(0, everything), (1, half_open), (2, boxed)]
+            .into_iter()
+            .chain((0..64u64).map(|i| {
+                let x = (i % 8) as f64 * 12.0;
+                let y = (i / 8) as f64 * 12.0;
+                (10 + i, Rect::new([x, y], [x + 6.0, y + 6.0]))
+            }))
+            .collect();
+
+        let probes = vec![
+            Point::new([5.0, 5.0]),
+            Point::new([1e9, 20.0]), // far outside the world, half-open match
+            Point::new([-1e9, -1e9]), // far outside, only `everything`
+            Point::new([60.0, 30.0]),
+        ];
+        let mut batch = BatchMatches::new();
+        oracle.match_batch_into(&probes, &mut batch);
+        let mut single = Vec::new();
+        for (i, p) in probes.iter().enumerate() {
+            let mut want: Vec<ProcessId> = model
+                .iter()
+                .filter(|(_, r)| r.contains_point(p))
+                .map(|(id, _)| ProcessId::from_raw(*id))
+                .collect();
+            want.sort_unstable();
+            oracle.match_point_into(p, &mut single);
+            assert_eq!(single, want, "single, threads={threads}, probe {i}");
+            assert_eq!(
+                batch.matches(i),
+                want.as_slice(),
+                "batch, threads={threads}, probe {i}"
+            );
+        }
+    }
+}

@@ -33,6 +33,25 @@ pub trait SpatialIndex<K, const D: usize> {
         F: FnMut(&'a K, &'a Rect<D>),
         K: 'a;
 
+    /// Visits, for each probe `points[i]`, every entry whose rectangle
+    /// contains it, tagging hits with the probe index `i` — the
+    /// batched form of [`SpatialIndex::for_each_containing`].
+    ///
+    /// The default implementation performs one independent visit per
+    /// probe; backends may override it with a joint batch traversal
+    /// (the packed backend descends the tree once per batch, see
+    /// [`crate::PackedRTree::for_each_containing_batch`]). No emission
+    /// order is guaranteed across probes.
+    fn for_each_containing_batch<'a, F>(&'a self, points: &[Point<D>], mut visit: F)
+    where
+        F: FnMut(u32, &'a K, &'a Rect<D>),
+        K: 'a,
+    {
+        for (i, point) in points.iter().enumerate() {
+            self.for_each_containing(point, |k, r| visit(i as u32, k, r));
+        }
+    }
+
     /// Number of entries whose rectangle contains `point`, without
     /// materializing them.
     fn count_containing(&self, point: &Point<D>) -> usize {

@@ -46,7 +46,9 @@ const STACK_CAPACITY: usize = 256;
 /// The key/index pair is packed into one scalar wherever it fits —
 /// `u64` for `D ≤ 2`, `u128` for `D ≤ 6` — so the dominant sort moves
 /// machine words instead of tuples; wider dimensions fall back to
-/// tuple sorting. All variants order by (curve key, insertion index).
+/// tuple sorting. All variants order by (curve key, insertion index),
+/// and the caller applies the permutation once so every per-entry
+/// array lives in slot order.
 fn curve_order<K, const D: usize>(mapper: &GridMapper<D>, entries: &[(K, Rect<D>)]) -> Vec<u32> {
     if D <= 2 {
         let mut tagged: Vec<u64> = entries
@@ -142,12 +144,12 @@ fn mask_intersecting<const D: usize>(rects: &[Rect<D>], window: &Rect<D>) -> u32
 #[derive(Debug, Clone)]
 pub struct PackedRTree<K, const D: usize> {
     node_size: usize,
-    /// Entry keys, in *insertion* order. Keys are only touched for
-    /// hits, so they skip the Hilbert permutation (keeping the build a
-    /// cheap `Copy` gather of rectangles) and sit behind [`Self::order`].
+    /// Entry keys in slot (Hilbert) order, parallel to `rects`: a hit
+    /// at `slot` reads `keys[slot]` directly, and because search
+    /// results come out as runs of nearby slots, those reads stay on
+    /// the same cache lines instead of bouncing through a permutation
+    /// array.
     keys: Vec<K>,
-    /// `order[slot]` = index into `keys` of the entry at `slot`.
-    order: Vec<u32>,
     /// Entry rectangles in slot (Hilbert) order — the contiguous array
     /// the leaf-level mask scans run over.
     rects: Vec<Rect<D>>,
@@ -225,7 +227,6 @@ impl<K, const D: usize> PackedRTree<K, D> {
             return Self {
                 node_size,
                 keys: Vec::new(),
-                order: Vec::new(),
                 rects: Vec::new(),
                 levels: Vec::new(),
             };
@@ -240,7 +241,14 @@ impl<K, const D: usize> PackedRTree<K, D> {
         let mapper = GridMapper::new(&world);
         let order = curve_order(&mapper, &entries);
         let rects: Vec<Rect<D>> = order.iter().map(|&i| entries[i as usize].1).collect();
-        let keys: Vec<K> = entries.into_iter().map(|(k, _)| k).collect();
+        // Apply the permutation to the keys as well (one O(N) move
+        // pass, no `Clone` required), so hits read `keys[slot]` with
+        // no indirection.
+        let mut taken: Vec<Option<K>> = entries.into_iter().map(|(k, _)| Some(k)).collect();
+        let keys: Vec<K> = order
+            .iter()
+            .map(|&i| taken[i as usize].take().expect("order is a permutation"))
+            .collect();
 
         // Pack levels bottom-up until a single root remains.
         let mut levels: Vec<Vec<Rect<D>>> = Vec::new();
@@ -261,7 +269,6 @@ impl<K, const D: usize> PackedRTree<K, D> {
         Self {
             node_size,
             keys,
-            order,
             rects,
             levels,
         }
@@ -299,25 +306,37 @@ impl<K, const D: usize> PackedRTree<K, D> {
     ///
     /// Panics if `slot >= self.len()`.
     pub fn entry(&self, slot: usize) -> (&K, &Rect<D>) {
-        (&self.keys[self.order[slot] as usize], &self.rects[slot])
+        (&self.keys[slot], &self.rects[slot])
+    }
+
+    /// All entry keys in slot order — the raw column behind
+    /// [`PackedRTree::entry`], for consumers that index by slot in
+    /// bulk (e.g. external acceleration structures keyed by slot).
+    pub fn keys(&self) -> &[K] {
+        &self.keys
+    }
+
+    /// All entry rectangles in slot order (parallel to
+    /// [`PackedRTree::keys`]).
+    pub fn rects(&self) -> &[Rect<D>] {
+        &self.rects
     }
 
     /// Iterates over `(slot, key, rect)` in Hilbert order.
     pub fn entries(&self) -> impl Iterator<Item = (usize, &K, &Rect<D>)> {
-        self.order
+        self.keys
             .iter()
             .zip(self.rects.iter())
             .enumerate()
-            .map(|(slot, (&i, r))| (slot, &self.keys[i as usize], r))
+            .map(|(slot, (k, r))| (slot, k, r))
     }
 
-    /// The slot of the first-inserted entry with key `key`, if any.
+    /// The lowest slot holding an entry with key `key`, if any.
     pub fn slot_of(&self, key: &K) -> Option<usize>
     where
         K: PartialEq,
     {
-        let i = self.keys.iter().position(|k| k == key)? as u32;
-        self.order.iter().position(|&o| o == i)
+        self.keys.iter().position(|k| k == key)
     }
 
     /// Replaces the rectangle in `slot` and incrementally refits the
@@ -382,6 +401,18 @@ impl<K, const D: usize> PackedRTree<K, D> {
         self.traverse(|rects| mask_intersecting(rects, window), visit);
     }
 
+    /// Like [`PackedRTree::for_each_intersecting`], but the visitor
+    /// returns `false` to abort the traversal early. This is the
+    /// primitive for budgeted collection — "gather up to `N` entries
+    /// in this window, stop if there are more" — where the plain
+    /// visitor would pay for the full result set just to discard it.
+    pub fn for_each_intersecting_while<'a, F>(&'a self, window: &Rect<D>, visit: F)
+    where
+        F: FnMut(&'a K, &'a Rect<D>) -> bool,
+    {
+        self.traverse_while(|rects| mask_intersecting(rects, window), visit);
+    }
+
     /// Iterative pruned traversal. `mask_of` maps a slice of ≤
     /// `node_size` rectangles to a hit bitmask; nodes with set bits are
     /// descended, entries with set bits are emitted. The explicit stack
@@ -391,6 +422,19 @@ impl<K, const D: usize> PackedRTree<K, D> {
         &'a self,
         mask_of: impl Fn(&[Rect<D>]) -> u32,
         mut emit: impl FnMut(&'a K, &'a Rect<D>),
+    ) {
+        self.traverse_while(mask_of, |k, r| {
+            emit(k, r);
+            true
+        });
+    }
+
+    /// [`PackedRTree::traverse`] with an abortable visitor: emitting
+    /// `false` unwinds the whole traversal immediately.
+    fn traverse_while<'a>(
+        &'a self,
+        mask_of: impl Fn(&[Rect<D>]) -> u32,
+        mut emit: impl FnMut(&'a K, &'a Rect<D>) -> bool,
     ) {
         let Some(root) = self.levels.last() else {
             return;
@@ -410,7 +454,9 @@ impl<K, const D: usize> PackedRTree<K, D> {
                 let mut mask = mask_of(&self.rects[lo..hi]);
                 while mask != 0 {
                     let slot = lo + mask.trailing_zeros() as usize;
-                    emit(&self.keys[self.order[slot] as usize], &self.rects[slot]);
+                    if !emit(&self.keys[slot], &self.rects[slot]) {
+                        return;
+                    }
                     mask &= mask - 1;
                 }
             } else {
@@ -425,6 +471,100 @@ impl<K, const D: usize> PackedRTree<K, D> {
                     mask &= mask - 1;
                 }
             }
+        }
+    }
+
+    /// Visits, for every probe in `points`, each entry whose rectangle
+    /// contains it — in **one joint descent** of the tree instead of
+    /// `points.len()` independent root-to-leaf walks.
+    ///
+    /// The traversal is node-major: each node MBR is loaded once and
+    /// streamed against the batch's surviving probe subset (branchless
+    /// filtering into reused index buffers), instead of every probe
+    /// re-reading the level arrays on its own. The comparison count is
+    /// identical to per-probe descents; the win is pure memory
+    /// behavior, and it grows with batch size and probe locality
+    /// (sorting probes along a space-filling curve first makes the
+    /// surviving subsets coherent).
+    ///
+    /// Hits are delivered as `(probe_index, key, rect)`; probe order
+    /// within a node follows the batch, but no global emission order is
+    /// guaranteed. Probes are independent — duplicates are fine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points.len() > u32::MAX` (probe indexes are `u32`,
+    /// matching the tree's own 2^32-entry limit).
+    pub fn for_each_containing_batch<'a, F>(&'a self, points: &[Point<D>], mut emit: F)
+    where
+        F: FnMut(u32, &'a K, &'a Rect<D>),
+    {
+        assert!(
+            points.len() <= u32::MAX as usize,
+            "batch is limited to 2^32 probes"
+        );
+        let Some(root) = self.levels.last() else {
+            return;
+        };
+        let active: Vec<u32> = (0..points.len() as u32)
+            .filter(|&pi| root[0].contains_point_branchless(&points[pi as usize]))
+            .collect();
+        if active.is_empty() {
+            return;
+        }
+        let mut pool: Vec<Vec<u32>> = Vec::new();
+        self.walk_batch(
+            self.levels.len() - 1,
+            0,
+            &active,
+            points,
+            &mut pool,
+            &mut emit,
+        );
+    }
+
+    /// One frame of the joint batch descent: `active` holds the probe
+    /// indexes already known to lie inside node `(level, node)`'s MBR.
+    fn walk_batch<'a, F>(
+        &'a self,
+        level: usize,
+        node: usize,
+        active: &[u32],
+        points: &[Point<D>],
+        pool: &mut Vec<Vec<u32>>,
+        emit: &mut F,
+    ) where
+        F: FnMut(u32, &'a K, &'a Rect<D>),
+    {
+        let lo = node * self.node_size;
+        if level == 0 {
+            let hi = (lo + self.node_size).min(self.rects.len());
+            let rects = &self.rects[lo..hi];
+            for &pi in active {
+                let mut mask = mask_containing(rects, &points[pi as usize]);
+                while mask != 0 {
+                    let slot = lo + mask.trailing_zeros() as usize;
+                    emit(pi, &self.keys[slot], &self.rects[slot]);
+                    mask &= mask - 1;
+                }
+            }
+        } else {
+            let below = &self.levels[level - 1];
+            let hi = (lo + self.node_size).min(below.len());
+            let mut subset = pool.pop().unwrap_or_default();
+            for (child, mbr) in below.iter().enumerate().take(hi).skip(lo) {
+                subset.clear();
+                for &pi in active {
+                    if mbr.contains_point_branchless(&points[pi as usize]) {
+                        subset.push(pi);
+                    }
+                }
+                if !subset.is_empty() {
+                    self.walk_batch(level - 1, child, &subset, points, pool, emit);
+                }
+            }
+            subset.clear();
+            pool.push(subset);
         }
     }
 
@@ -451,16 +591,8 @@ impl<K, const D: usize> PackedRTree<K, D> {
     ///
     /// Returns the first [`PackedValidationError`] found.
     pub fn validate(&self) -> Result<(), PackedValidationError> {
-        if self.keys.len() != self.rects.len() || self.order.len() != self.rects.len() {
+        if self.keys.len() != self.rects.len() {
             return Err(PackedValidationError::Inconsistent);
-        }
-        // `order` must be a permutation of 0..n.
-        let mut seen = vec![false; self.order.len()];
-        for &i in &self.order {
-            if self.keys.get(i as usize).is_none() || std::mem::replace(&mut seen[i as usize], true)
-            {
-                return Err(PackedValidationError::Inconsistent);
-            }
         }
         if self.keys.is_empty() {
             return if self.levels.is_empty() {
@@ -512,6 +644,14 @@ impl<K, const D: usize> SpatialIndex<K, D> for PackedRTree<K, D> {
         K: 'a,
     {
         PackedRTree::for_each_intersecting(self, window, visit);
+    }
+
+    fn for_each_containing_batch<'a, F>(&'a self, points: &[Point<D>], visit: F)
+    where
+        F: FnMut(u32, &'a K, &'a Rect<D>),
+        K: 'a,
+    {
+        PackedRTree::for_each_containing_batch(self, points, visit);
     }
 }
 
@@ -640,6 +780,47 @@ mod tests {
             tree.validate(),
             Err(PackedValidationError::WrongMbr { level: 0, node: 0 })
         ));
+    }
+
+    #[test]
+    fn batch_visit_equals_per_point_visits() {
+        let tree = PackedRTree::bulk_load_with_node_size(8, grid(400));
+        let probes: Vec<Point<2>> = (0..250)
+            .map(|i| Point::new([(i % 40) as f64 * 2.3, (i / 40) as f64 * 5.1]))
+            .collect();
+        let mut batched: Vec<Vec<usize>> = vec![Vec::new(); probes.len()];
+        tree.for_each_containing_batch(&probes, |pi, &k, _| batched[pi as usize].push(k));
+        for (p, got) in probes.iter().zip(batched.iter_mut()) {
+            got.sort_unstable();
+            let mut want: Vec<usize> = tree.search_point(p).into_iter().copied().collect();
+            want.sort_unstable();
+            assert_eq!(got, &want, "probe {p:?}");
+        }
+        // Empty batch and empty tree are both no-ops.
+        tree.for_each_containing_batch(&[], |_, _, _| unreachable!());
+        let empty: PackedRTree<usize, 2> = PackedRTree::bulk_load(Vec::new());
+        empty.for_each_containing_batch(&probes, |_, _, _| unreachable!());
+    }
+
+    #[test]
+    fn intersecting_while_aborts_early() {
+        let tree = PackedRTree::bulk_load_with_node_size(4, grid(300));
+        let window = Rect::new([0.0, 0.0], [100.0, 100.0]);
+        let full = tree.search_intersecting(&window).len();
+        assert!(full > 10);
+        let mut seen = 0usize;
+        tree.for_each_intersecting_while(&window, |_, _| {
+            seen += 1;
+            seen < 10
+        });
+        assert_eq!(seen, 10, "visitor stops the traversal at the 10th hit");
+        // A never-aborting while-visitor sees everything.
+        let mut all = 0usize;
+        tree.for_each_intersecting_while(&window, |_, _| {
+            all += 1;
+            true
+        });
+        assert_eq!(all, full);
     }
 
     #[test]

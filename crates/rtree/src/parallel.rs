@@ -1,0 +1,108 @@
+//! Scoped-thread fan-out over independent index shards.
+//!
+//! A sharded oracle answers one logical query by running the same
+//! probe (or probe batch) against `K` independent [`SpatialIndex`]
+//! shards and merging the hits. The shards are disjoint data, so the
+//! fan is embarrassingly parallel; what needs care is the plumbing —
+//! each worker must own a distinct result buffer (no locks on the hot
+//! path) and borrowed shards must outlive the workers. [`fan`] wraps
+//! exactly that plumbing around [`std::thread::scope`], degrading to a
+//! plain inline loop when only one worker is available or useful, so
+//! callers write one code path for both the single-core and the
+//! many-core case.
+//!
+//! [`SpatialIndex`]: crate::SpatialIndex
+
+use std::num::NonZeroUsize;
+
+/// Number of hardware threads worth fanning across (≥ 1); the default
+/// worker budget of sharded consumers.
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Runs `work(i, &shards[i], &mut bufs[i])` for every shard, spread
+/// across at most `max_threads` scoped worker threads.
+///
+/// Shards are split into contiguous chunks, one worker per chunk, so
+/// spawn overhead is bounded by the worker count, not the shard count.
+/// With `max_threads <= 1` or a single shard the fan runs inline on
+/// the calling thread — same semantics, zero spawn cost. Buffers are
+/// handed to workers by disjoint `&mut`, so no synchronization exists
+/// beyond the scope join itself.
+///
+/// # Panics
+///
+/// Panics if `shards` and `bufs` differ in length, or if a worker
+/// panics (the panic is propagated by the scope join).
+pub fn fan<S, B, F>(shards: &[S], bufs: &mut [B], max_threads: usize, work: F)
+where
+    S: Sync,
+    B: Send,
+    F: Fn(usize, &S, &mut B) + Sync,
+{
+    assert_eq!(
+        shards.len(),
+        bufs.len(),
+        "one result buffer per shard is required"
+    );
+    let workers = max_threads.min(shards.len()).max(1);
+    if workers <= 1 {
+        for (i, (shard, buf)) in shards.iter().zip(bufs.iter_mut()).enumerate() {
+            work(i, shard, buf);
+        }
+        return;
+    }
+    let per_worker = shards.len().div_ceil(workers);
+    std::thread::scope(|scope| {
+        for (chunk, (shard_chunk, buf_chunk)) in shards
+            .chunks(per_worker)
+            .zip(bufs.chunks_mut(per_worker))
+            .enumerate()
+        {
+            let work = &work;
+            scope.spawn(move || {
+                for (j, (shard, buf)) in shard_chunk.iter().zip(buf_chunk.iter_mut()).enumerate() {
+                    work(chunk * per_worker + j, shard, buf);
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fan_visits_every_shard_exactly_once() {
+        for max_threads in [1usize, 2, 3, 16] {
+            let shards: Vec<usize> = (0..7).collect();
+            let mut bufs: Vec<Vec<usize>> = vec![Vec::new(); shards.len()];
+            fan(&shards, &mut bufs, max_threads, |i, &shard, buf| {
+                assert_eq!(i, shard, "index must match shard position");
+                buf.push(shard * 10);
+            });
+            let got: Vec<Vec<usize>> = bufs;
+            let want: Vec<Vec<usize>> = (0..7).map(|i| vec![i * 10]).collect();
+            assert_eq!(got, want, "max_threads={max_threads}");
+        }
+    }
+
+    #[test]
+    fn fan_handles_empty_and_singleton() {
+        let shards: [u8; 0] = [];
+        let mut bufs: [u8; 0] = [];
+        fan(&shards, &mut bufs, 4, |_, _, _| unreachable!());
+        let mut one = [0u32];
+        fan(&[5u32], &mut one, 4, |_, &s, b| *b = s + 1);
+        assert_eq!(one[0], 6);
+    }
+
+    #[test]
+    fn available_threads_is_positive() {
+        assert!(available_threads() >= 1);
+    }
+}

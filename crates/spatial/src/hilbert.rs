@@ -30,7 +30,7 @@
 //! assert!(key < 1u128 << (2 * HILBERT_ORDER));
 //! ```
 
-use crate::Rect;
+use crate::{Point, Rect};
 
 /// Bits of Hilbert resolution per dimension.
 ///
@@ -130,6 +130,24 @@ fn interleave<const D: usize>(x: &[u32; D], order: u32) -> u128 {
     out
 }
 
+/// The Morton (Z-order) index of a grid cell: plain bit interleaving,
+/// no Hilbert transpose.
+///
+/// Morton ordering has slightly coarser locality than Hilbert (the
+/// "Z" jumps at quadrant seams) but costs a fraction of the
+/// derivation work, which makes it the right curve when keys are
+/// computed *per query* rather than per build — e.g. ordering a batch
+/// of publish probes so consecutive probes stay cache-local. Index
+/// packing (bulk loads, shard assignment) keeps the Hilbert curve.
+pub fn morton_index<const D: usize>(coords: [u32; D]) -> u128 {
+    let order = order_for(D);
+    if D == 0 || order == 0 {
+        return 0;
+    }
+    let x = coords.map(|c| c & ((1u32 << order) - 1));
+    interleave(&x, order)
+}
+
 /// Largest grid coordinate for `D` dimensions (0 when the order
 /// collapses to 0 past 128 dimensions).
 const fn max_cell_for<const D: usize>() -> u32 {
@@ -216,6 +234,29 @@ impl<const D: usize> GridMapper<D> {
         }
     }
 
+    /// The Hilbert key of a point (a zero-extent rectangle's center).
+    pub fn key_of_point(&self, point: &Point<D>) -> u128 {
+        self.key(&Rect::from_point(point))
+    }
+
+    /// The Morton key of a point — the cheap sibling of
+    /// [`GridMapper::key_of_point`] for per-query batch ordering (see
+    /// [`morton_index`]).
+    pub fn morton_key_of_point(&self, point: &Point<D>) -> u128 {
+        let mut coords = [0u32; D];
+        let max_cell = max_cell_for::<D>();
+        for (d, coord) in coords.iter_mut().enumerate() {
+            let c = point.coord(d);
+            let cell = if c.is_nan() {
+                f64::from(max_cell) / 2.0
+            } else {
+                (c - self.lo[d]) * self.scale[d]
+            };
+            *coord = (cell.clamp(0.0, f64::from(max_cell))) as u32;
+        }
+        morton_index(coords)
+    }
+
     /// The Hilbert key of `rect`'s (clamped) center.
     pub fn key(&self, rect: &Rect<D>) -> u128 {
         let mut coords = [0u32; D];
@@ -233,6 +274,132 @@ impl<const D: usize> GridMapper<D> {
             *coord = (cell.clamp(0.0, f64::from(max_cell))) as u32;
         }
         hilbert_index(coords)
+    }
+}
+
+/// Partitions rectangles into `K` shards by the Hilbert key of their
+/// center — the shard-assignment rule of the sharded publish oracle
+/// (`drtree-pubsub`).
+///
+/// The key space is split into `K` **contiguous curve ranges**, so each
+/// shard receives a spatially local slice of the world (the curve is
+/// measure-preserving: uniform centers give uniform keys, hence
+/// balanced shards). Locality matters twice over: a shard's own packed
+/// tree gets well-separated nodes, and a point query can prune whole
+/// shards by their root MBR because shards tile the space instead of
+/// interleaving it.
+///
+/// Range ends live in explicit `boundaries`, so the split need not be
+/// even in key space: [`ShardMap::new`] splits the key space evenly
+/// (right for uniform worlds), while [`ShardMap::from_sorted_keys`]
+/// splits at the *count quantiles* of an observed key population —
+/// the form a rebalancing owner uses so clustered workloads still get
+/// even shard loads.
+///
+/// Assignment is a pure function of the rectangle and the (fixed)
+/// world, so an entry can always be *found again* for removal without
+/// any id→shard bookkeeping. Rebalancing (changing the world, the
+/// boundaries, or `K`) is the owner's job; the map itself never
+/// mutates.
+///
+/// # Example
+///
+/// ```
+/// use drtree_spatial::hilbert::ShardMap;
+/// use drtree_spatial::Rect;
+///
+/// let world: Rect<2> = Rect::new([0.0, 0.0], [100.0, 100.0]);
+/// let map = ShardMap::new(4, &world);
+/// let near_origin = map.shard_of(&Rect::new([1.0, 1.0], [2.0, 2.0]));
+/// let far_corner = map.shard_of(&Rect::new([97.0, 97.0], [99.0, 99.0]));
+/// assert!(near_origin < 4 && far_corner < 4);
+/// // Opposite ends of the curve land in different shards.
+/// assert_ne!(near_origin, far_corner);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ShardMap<const D: usize> {
+    mapper: GridMapper<D>,
+    world: Rect<D>,
+    /// Ascending range ends: shard `i` owns keys `k` with
+    /// `boundaries[i-1] <= k < boundaries[i]` (open-ended at the rim).
+    boundaries: Vec<u128>,
+}
+
+impl<const D: usize> ShardMap<D> {
+    /// A map over `world` with `shards` shards (clamped to ≥ 1),
+    /// splitting the key space into even ranges.
+    pub fn new(shards: usize, world: &Rect<D>) -> Self {
+        let shards = shards.max(1);
+        let bits = D as u32 * order_for(D);
+        let max_key = if bits >= 128 {
+            u128::MAX
+        } else {
+            (1u128 << bits) - 1
+        };
+        let step = max_key / shards as u128 + 1;
+        Self {
+            mapper: GridMapper::new(world),
+            world: *world,
+            boundaries: (1..shards as u128).map(|i| step * i).collect(),
+        }
+    }
+
+    /// A map over `world` whose ranges split `sorted_keys` (the key
+    /// population to balance, ascending) at its count quantiles: every
+    /// shard owns ~`len / shards` of the observed keys, whatever their
+    /// distribution. Keys must come from a [`GridMapper`] over the
+    /// same `world`. With an empty population this falls back to the
+    /// even split of [`ShardMap::new`].
+    pub fn from_sorted_keys(shards: usize, world: &Rect<D>, sorted_keys: &[u128]) -> Self {
+        let shards = shards.max(1);
+        if sorted_keys.is_empty() {
+            return Self::new(shards, world);
+        }
+        debug_assert!(sorted_keys.windows(2).all(|w| w[0] <= w[1]));
+        let n = sorted_keys.len();
+        Self {
+            mapper: GridMapper::new(world),
+            world: *world,
+            boundaries: (1..shards).map(|i| sorted_keys[i * n / shards]).collect(),
+        }
+    }
+
+    /// Number of shards keys are partitioned into.
+    pub fn shards(&self) -> usize {
+        self.boundaries.len() + 1
+    }
+
+    /// The world the underlying grid quantizes against.
+    pub fn world(&self) -> &Rect<D> {
+        &self.world
+    }
+
+    /// The grid mapper behind the assignment (for callers that also
+    /// need raw curve keys, e.g. to order probe points).
+    pub fn mapper(&self) -> &GridMapper<D> {
+        &self.mapper
+    }
+
+    /// `true` when every *finite* bound of `rect` lies inside the
+    /// world. Non-finite bounds clamp identically under any world, so
+    /// they never force a rebalance.
+    pub fn covers(&self, rect: &Rect<D>) -> bool {
+        (0..D).all(|d| {
+            (!rect.lo(d).is_finite() || rect.lo(d) >= self.world.lo(d))
+                && (!rect.hi(d).is_finite() || rect.hi(d) <= self.world.hi(d))
+        })
+    }
+
+    /// The shard owning `rect`: its center's Hilbert key, mapped
+    /// proportionally onto `0..shards` (contiguous curve ranges).
+    pub fn shard_of(&self, rect: &Rect<D>) -> usize {
+        self.shard_of_key(self.mapper.key(rect))
+    }
+
+    /// The shard owning a raw curve key (see [`ShardMap::shard_of`]):
+    /// the index of the first boundary above it.
+    pub fn shard_of_key(&self, key: u128) -> usize {
+        self.boundaries.partition_point(|&b| b <= key)
     }
 }
 
@@ -307,6 +474,36 @@ mod tests {
     }
 
     #[test]
+    fn morton_is_injective_and_local() {
+        use std::collections::BTreeSet;
+        let n = 32u32;
+        let mut seen = BTreeSet::new();
+        for x in 0..n {
+            for y in 0..n {
+                assert!(seen.insert(morton_index([x, y])), "collision at ({x},{y})");
+            }
+        }
+        // Quadrant prefix property: the lowest 16 indexes tile the 4x4
+        // origin block.
+        let lowest: Vec<u128> = seen.iter().copied().take(16).collect();
+        for x in 0..4u32 {
+            for y in 0..4 {
+                assert!(lowest.contains(&morton_index([x, y])));
+            }
+        }
+        // Degenerate dimensionalities behave like the Hilbert path.
+        assert_eq!(morton_index([5u32; 130]), 0);
+
+        // Mapper form agrees with quantize-then-interleave.
+        let world: Rect<2> = Rect::new([0.0, 0.0], [100.0, 100.0]);
+        let mapper = GridMapper::new(&world);
+        let a = mapper.morton_key_of_point(&Point::new([10.0, 10.0]));
+        let b = mapper.morton_key_of_point(&Point::new([10.1, 10.1]));
+        let c = mapper.morton_key_of_point(&Point::new([90.0, 90.0]));
+        assert!(a.abs_diff(b) < a.abs_diff(c));
+    }
+
+    #[test]
     fn three_dimensional_indexes_are_distinct() {
         use std::collections::BTreeSet;
         let n = 16u32;
@@ -347,6 +544,93 @@ mod tests {
         let world = GridMapper::world_of(rects.iter()).unwrap();
         assert_eq!(world, Rect::new([0.0, 0.0], [10.0, 20.0]));
         assert_eq!(GridMapper::<2>::world_of([].iter()), None);
+    }
+
+    #[test]
+    fn shard_map_assignment_is_total_and_balanced() {
+        let world: Rect<2> = Rect::new([0.0, 0.0], [1000.0, 1000.0]);
+        for shards in [1usize, 2, 4, 7, 8] {
+            let map = ShardMap::new(shards, &world);
+            let mut counts = vec![0usize; shards];
+            for i in 0..4096 {
+                // Low-discrepancy-ish scatter across the world.
+                let x = (i % 64) as f64 * 15.0 + 1.0;
+                let y = (i / 64) as f64 * 15.0 + 1.0;
+                let s = map.shard_of(&Rect::new([x, y], [x + 5.0, y + 5.0]));
+                assert!(s < shards);
+                counts[s] += 1;
+            }
+            // Contiguous-range split of a space-filling curve over a
+            // uniform grid: no shard may be empty or hold a majority
+            // (for K > 1).
+            if shards > 1 {
+                for (s, &c) in counts.iter().enumerate() {
+                    assert!(c > 0, "shard {s}/{shards} empty");
+                    assert!(c < 4096 * 3 / 4, "shard {s}/{shards} holds {c}/4096");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quantile_split_balances_clustered_keys() {
+        // All mass in one corner: an even key-space split would dump
+        // every entry into one shard; quantile boundaries spread them.
+        let world: Rect<2> = Rect::new([0.0, 0.0], [1000.0, 1000.0]);
+        let mapper = GridMapper::new(&world);
+        let rects: Vec<Rect<2>> = (0..512)
+            .map(|i| {
+                let x = (i % 32) as f64 * 0.3;
+                let y = (i / 32) as f64 * 0.3;
+                Rect::new([x, y], [x + 0.1, y + 0.1])
+            })
+            .collect();
+        let mut keys: Vec<u128> = rects.iter().map(|r| mapper.key(r)).collect();
+        keys.sort_unstable();
+        let map = ShardMap::from_sorted_keys(4, &world, &keys);
+        let mut counts = [0usize; 4];
+        for r in &rects {
+            counts[map.shard_of(r)] += 1;
+        }
+        for (s, &c) in counts.iter().enumerate() {
+            assert!(
+                (64..=256).contains(&c),
+                "quantile shard {s} holds {c}/512 — not balanced"
+            );
+        }
+        // Degenerate population: falls back to the even split.
+        let empty = ShardMap::from_sorted_keys(4, &world, &[]);
+        assert_eq!(empty.shards(), 4);
+    }
+
+    #[test]
+    fn shard_map_is_stable_and_covers() {
+        let world: Rect<2> = Rect::new([0.0, 0.0], [100.0, 100.0]);
+        let map = ShardMap::new(4, &world);
+        let r = Rect::new([10.0, 20.0], [15.0, 25.0]);
+        assert_eq!(map.shard_of(&r), map.shard_of(&r));
+        assert!(map.covers(&r));
+        assert!(!map.covers(&Rect::new([-5.0, 0.0], [1.0, 1.0])));
+        // Unbounded dimensions clamp stably: they never force growth.
+        assert!(map.covers(&Rect::new([10.0, 10.0], [f64::INFINITY, 20.0])));
+        // High-dimensional keys (bits > 64) still partition totally.
+        let world9: Rect<9> = Rect::new([0.0; 9], [10.0; 9]);
+        let map9 = ShardMap::new(5, &world9);
+        for i in 0..10 {
+            let o = f64::from(i);
+            assert!(map9.shard_of(&Rect::new([o; 9], [o + 0.4; 9])) < 5);
+        }
+    }
+
+    #[test]
+    fn point_keys_match_zero_extent_rects() {
+        let world: Rect<2> = Rect::new([0.0, 0.0], [100.0, 100.0]);
+        let mapper = GridMapper::new(&world);
+        let p = Point::new([33.0, 66.0]);
+        assert_eq!(
+            mapper.key_of_point(&p),
+            mapper.key(&Rect::new([33.0, 66.0], [33.0, 66.0]))
+        );
     }
 
     #[test]

@@ -19,6 +19,31 @@
 //!
 //! All generators are deterministic for a given [`rand::rngs::StdRng`]
 //! seed, like everything else in this reproduction.
+//!
+//! # Example
+//!
+//! ```
+//! use drtree_workloads::{EventWorkload, SubscriptionWorkload};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let subs = SubscriptionWorkload::Uniform { min_extent: 1.0, max_extent: 10.0 }
+//!     .generate::<2>(100, &mut rng);
+//! assert_eq!(subs.len(), 100);
+//!
+//! // An event stream biased toward the subscriptions it should match.
+//! let events = EventWorkload::Following.generate_with(50, &subs, &mut rng);
+//! assert!(events
+//!     .iter()
+//!     .all(|e| subs.iter().any(|s| s.contains_point(e))));
+//!
+//! // Same seed, same workload — determinism is load-bearing here.
+//! let mut rng2 = StdRng::seed_from_u64(7);
+//! let again = SubscriptionWorkload::Uniform { min_extent: 1.0, max_extent: 10.0 }
+//!     .generate::<2>(100, &mut rng2);
+//! assert_eq!(subs, again);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -7,7 +7,7 @@ use rand::Rng;
 
 use crate::strategy::Strategy;
 
-/// Size specification for [`vec`]: a fixed length or a half-open range.
+/// Size specification for [`vec()`]: a fixed length or a half-open range.
 #[derive(Clone, Debug)]
 pub struct SizeRange {
     lo: usize,
@@ -30,7 +30,7 @@ impl From<Range<usize>> for SizeRange {
     }
 }
 
-/// Strategy returned by [`vec`].
+/// Strategy returned by [`vec()`].
 pub struct VecStrategy<S> {
     element: S,
     size: SizeRange,
