@@ -1,0 +1,77 @@
+//! Criterion benches of oracle maintenance under churn: one mixed
+//! mutate/flush/publish round against the sharded oracle, with
+//! incremental delta-layer maintenance vs the rebuild-on-flush
+//! baseline (delta fraction forced to 0). The `scale` binary's `churn`
+//! mode is the tracked, JSON-emitting version of the same comparison
+//! at larger sizes; this bench is the quick local loop.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use drtree_core::ProcessId;
+use drtree_pubsub::{BatchMatches, ShardedOracle};
+use drtree_spatial::{Point, Rect};
+use drtree_workloads::SubscriptionWorkload;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const SUBSCRIPTIONS: usize = 10_000;
+const CHURN_PER_ROUND: usize = 128;
+const PUBLISHES_PER_ROUND: usize = 512;
+
+/// One mixed round per iteration: `CHURN_PER_ROUND` paired
+/// subscribe/unsubscribe operations (so the live size stays constant),
+/// one flush, one publish batch.
+fn bench_churn_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("churn-mutate-publish-10k");
+    group.sample_size(20);
+    for (name, fraction) in [
+        ("incremental", drtree_rtree::DEFAULT_DELTA_FRACTION),
+        ("rebuild-on-flush", 0.0),
+    ] {
+        let mut rng = StdRng::seed_from_u64(4242);
+        let rects: Vec<Rect<2>> = SubscriptionWorkload::Uniform {
+            min_extent: 1.0,
+            max_extent: 10.0,
+        }
+        .generate(SUBSCRIPTIONS, &mut rng);
+        let mut oracle: ShardedOracle<2> = ShardedOracle::new(4);
+        oracle.set_threads(1);
+        oracle.set_delta_fraction(fraction);
+        let mut live: Vec<(u64, Rect<2>)> = Vec::with_capacity(rects.len());
+        for (i, r) in rects.iter().enumerate() {
+            oracle.insert(ProcessId::from_raw(i as u64), *r);
+            live.push((i as u64, *r));
+        }
+        oracle.flush();
+        let probes: Vec<Point<2>> = rects
+            .iter()
+            .take(PUBLISHES_PER_ROUND)
+            .map(Rect::center)
+            .collect();
+        let mut batch = BatchMatches::new();
+        let mut next_id = rects.len() as u64;
+        let mut victim = 0usize;
+        group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, _| {
+            b.iter(|| {
+                for _ in 0..CHURN_PER_ROUND {
+                    // Leave the current victim, join a fresh entry with
+                    // the same rectangle: constant size, full delta
+                    // traffic.
+                    let (id, rect) = live[victim];
+                    assert!(oracle.remove(ProcessId::from_raw(id), &rect));
+                    oracle.insert(ProcessId::from_raw(next_id), rect);
+                    live[victim] = (next_id, rect);
+                    next_id += 1;
+                    victim = (victim + 1) % live.len();
+                }
+                oracle.flush();
+                oracle.match_batch_into(&probes, &mut batch);
+                batch.total_hits()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_churn_round);
+criterion_main!(benches);

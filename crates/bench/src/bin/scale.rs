@@ -21,7 +21,7 @@
 //!   ```
 //!
 //! * **Sharded oracle** (`shard`): measures the publish-matching side
-//!   of [`drtree_pubsub::ShardedOracle`] at 10k/100k/250k
+//!   of [`drtree_pubsub::ShardedOracle`] at 10k/100k/250k/500k
 //!   subscriptions across 1/2/4/8 shards — eager flush cost
 //!   (`flush_ns`), single-probe matching (`single_ns` per event), and
 //!   batched matching (`batch_ns` per event, batches of 16384 through
@@ -34,19 +34,41 @@
 //!   cargo run -p drtree-bench --release --bin scale -- shard [out.json] [--check <t>]
 //!   ```
 //!
+//! * **Churn throughput** (`churn`): the mixed mutate/publish mode.
+//!   Drives a Poisson subscribe/unsubscribe schedule
+//!   ([`drtree_workloads::churn`]) interleaved with batched publishes
+//!   against the sharded oracle at 10k/100k/250k subscriptions —
+//!   ~1024 churn operations plus 1024 publishes per batch, 4 shards,
+//!   one worker — once with incremental delta-layer maintenance (the
+//!   shipped default) and once with the delta fraction forced to `0.0`
+//!   (compact-every-flush: the pre-delta rebuild-on-flush baseline).
+//!   Writes `BENCH_churn.json` with per-size throughput and compaction
+//!   accounting. The batch count per size is chosen so the measured
+//!   window spans at least two full compaction cycles, so incremental
+//!   numbers amortize real merges, not an empty delta honeymoon.
+//!
+//!   ```text
+//!   cargo run -p drtree-bench --release --bin scale -- churn [out.json] [--check <t>]
+//!   ```
+//!
 //! # Emitted JSON
 //!
 //! The JSON files are committed at the repo root and refreshed
 //! whenever the respective subsystem changes, so the perf trajectory
-//! is reviewable across PRs:
+//! is reviewable across PRs (all three emitted through
+//! [`drtree_bench::json`]):
 //!
 //! * `BENCH_rtree.json` — per-backend `{size, build_ns, query_ns}`
-//!   samples plus packed-vs-pointer speedups at 100k.
+//!   samples plus packed-vs-pointer speedups at the largest size.
 //! * `BENCH_shard.json` — per-size, per-shard-count
 //!   `{shards, flush_ns, single_ns, batch_ns}` samples plus the
 //!   headline `batch4_vs_single1_at_100k` ratio: batched throughput on
 //!   4 shards over single-probe throughput on 1 shard at 100k
 //!   subscriptions.
+//! * `BENCH_churn.json` — per-size `{incremental_ns_per_op,
+//!   rebuild_ns_per_op, speedup}` plus maintenance accounting
+//!   (compactions, staged absorbed, tombstones reclaimed, baseline
+//!   rebuilds), and the headline `incremental_vs_rebuild_at_100k`.
 //!
 //! # `--check` (regression gates)
 //!
@@ -58,18 +80,22 @@
 //!   `t`× on *both* build and query at the largest size.
 //! * `shard --check t` — batched publish matching on 4 shards must be
 //!   ≥ `t`× the single-probe single-shard rate at 100k subscriptions.
+//! * `churn --check t` — incremental maintenance must sustain ≥ `t`×
+//!   the mutate+publish throughput of the rebuild-on-flush baseline at
+//!   100k subscriptions.
 //!
-//! CI runs both gates with thresholds *below* the steady state (see
-//! `.github/workflows/ci.yml`) so shared-runner noise cannot flake a
-//! merge while a structural regression still fails the build.
+//! CI runs all three gates with thresholds *below* the steady state
+//! (see `.github/workflows/ci.yml`) so shared-runner noise cannot
+//! flake a merge while a structural regression still fails the build.
 
-use std::fmt::Write as _;
 use std::time::Instant;
 
+use drtree_bench::json::Json;
 use drtree_core::{DrTreeCluster, DrTreeConfig, ProcessId};
 use drtree_pubsub::{BatchMatches, ShardedOracle};
 use drtree_rtree::{PackedRTree, RTree, RTreeConfig, SplitMethod};
 use drtree_spatial::{Point, Rect};
+use drtree_workloads::churn::{ChurnOp, PoissonChurn};
 use drtree_workloads::SubscriptionWorkload;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -104,6 +130,10 @@ fn main() {
         Some("shard") => {
             let (out, check) = parse_out_and_check(&args[1..], "BENCH_shard.json");
             shard_oracle(&out, check);
+        }
+        Some("churn") => {
+            let (out, check) = parse_out_and_check(&args[1..], "BENCH_churn.json");
+            churn_throughput(&out, check);
         }
         other => {
             let max_n = other.and_then(|s| s.parse().ok()).unwrap_or(1024);
@@ -176,7 +206,7 @@ fn scaled_rects(n: usize, seed: u64) -> Vec<Rect<2>> {
 /// the largest size — the regression gate CI runs (with a threshold
 /// below the ~2× steady state to absorb runner noise).
 fn rtree_backends(out_path: &str, check: Option<f64>) {
-    const SIZES: [usize; 3] = [1_000, 10_000, 100_000];
+    const SIZES: [usize; 4] = [1_000, 10_000, 100_000, 500_000];
     const QUERY_PROBES: usize = 20_000;
     let config = RTreeConfig::new(4, 16, SplitMethod::RStar).expect("valid");
 
@@ -255,20 +285,48 @@ fn rtree_backends(out_path: &str, check: Option<f64>) {
         last_packed.size
     );
 
-    let json = render_json(
-        &[
-            ("pointer_incremental", &incremental_samples),
-            ("pointer_str", &pointer_samples),
-            ("packed", &packed_samples),
-        ],
-        &[
-            ("build_vs_incremental", vs_incr_build),
-            ("query_vs_incremental", vs_incr_query),
-            ("build_vs_str", vs_str_build),
-            ("query_vs_str", vs_str_query),
-        ],
-    );
-    std::fs::write(out_path, json).expect("write BENCH_rtree.json");
+    let backends = [
+        ("pointer_incremental", &incremental_samples),
+        ("pointer_str", &pointer_samples),
+        ("packed", &packed_samples),
+    ]
+    .into_iter()
+    .fold(Json::object(), |obj, (name, samples)| {
+        obj.field(
+            name,
+            Json::Array(
+                samples
+                    .iter()
+                    .map(|s| {
+                        Json::object()
+                            .field("size", s.size)
+                            .field("build_ns", s.build_ns)
+                            .field("query_ns", Json::fixed(s.query_ns, 1))
+                    })
+                    .collect(),
+            ),
+        )
+    });
+    let json = Json::object()
+        .field("bench", "rtree-backends")
+        .field(
+            "workload",
+            "uniform 2d, extents 1-10, world scaled to ~10 matches per point query",
+        )
+        .field(
+            "query",
+            "point search at entry centers, mean ns over 20000 probes",
+        )
+        .field("backends", backends)
+        .field(
+            format!("packed_speedup_at_{}k", last_packed.size / 1000).as_str(),
+            Json::object()
+                .field("build_vs_incremental", Json::fixed(vs_incr_build, 2))
+                .field("query_vs_incremental", Json::fixed(vs_incr_query, 2))
+                .field("build_vs_str", Json::fixed(vs_str_build, 2))
+                .field("query_vs_str", Json::fixed(vs_str_query, 2)),
+        );
+    std::fs::write(out_path, json.render()).expect("write BENCH_rtree.json");
     println!("wrote {out_path}");
 
     if let Some(threshold) = check {
@@ -295,7 +353,7 @@ struct ShardSample {
 /// publish matching per shard count, `BENCH_shard.json`, and the
 /// `batch4_vs_single1_at_100k` gate.
 fn shard_oracle(out_path: &str, check: Option<f64>) {
-    const SIZES: [usize; 3] = [10_000, 100_000, 250_000];
+    const SIZES: [usize; 4] = [10_000, 100_000, 250_000, 500_000];
     const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
     const QUERY_PROBES: usize = 32_768;
     const BATCH: usize = 16_384;
@@ -381,8 +439,39 @@ fn shard_oracle(out_path: &str, check: Option<f64>) {
          {speedup:.2}x ({single1:.1} -> {batch4:.1} ns/event)"
     );
 
-    let json = render_shard_json(&per_size, speedup);
-    std::fs::write(out_path, json).expect("write BENCH_shard.json");
+    let sizes = per_size
+        .iter()
+        .fold(Json::object(), |obj, (size, samples)| {
+            obj.field(
+                size.to_string().as_str(),
+                Json::Array(
+                    samples
+                        .iter()
+                        .map(|s| {
+                            Json::object()
+                                .field("shards", s.shards)
+                                .field("flush_ns", s.flush_ns)
+                                .field("single_ns", Json::fixed(s.single_ns, 1))
+                                .field("batch_ns", Json::fixed(s.batch_ns, 1))
+                        })
+                        .collect(),
+                ),
+            )
+        });
+    let json = Json::object()
+        .field("bench", "sharded-oracle")
+        .field(
+            "workload",
+            "uniform 2d, extents 1-10, world scaled to ~10 matches per point query",
+        )
+        .field(
+            "query",
+            "publish matching at entry centers, best-of-5 mean ns per event over 32768 probes; \
+             batches of 16384; flush excluded (paid eagerly)",
+        )
+        .field("sizes", sizes)
+        .field("batch4_vs_single1_at_100k", Json::fixed(speedup, 2));
+    std::fs::write(out_path, json.render()).expect("write BENCH_shard.json");
     println!("wrote {out_path}");
 
     if let Some(threshold) = check {
@@ -397,37 +486,228 @@ fn shard_oracle(out_path: &str, check: Option<f64>) {
     }
 }
 
-/// Hand-rolled JSON for the shard mode (the workspace is offline; no
-/// serde).
-fn render_shard_json(per_size: &[(usize, Vec<ShardSample>)], speedup: f64) -> String {
-    let mut out = String::new();
-    out.push_str("{\n  \"bench\": \"sharded-oracle\",\n");
-    out.push_str(
-        "  \"workload\": \"uniform 2d, extents 1-10, world scaled to ~10 matches per point query\",\n",
+/// One churn-mode measurement at one size, for one maintenance mode.
+#[derive(Debug, Clone, Copy)]
+struct ChurnSample {
+    /// Mean nanoseconds per operation (mutations + publishes) over the
+    /// whole measured window, maintenance included.
+    ns_per_op: f64,
+    /// Delta-layer merges performed during the window.
+    compactions: u64,
+    /// Staged entries absorbed by those merges.
+    staged_absorbed: u64,
+    /// Tombstones reclaimed by those merges.
+    tombstones_reclaimed: u64,
+    /// Packed-tree rebuilds (compactions + rebalances).
+    rebuilds: u64,
+}
+
+/// One pre-generated churn mutation, replayed identically against both
+/// maintenance modes.
+#[derive(Debug, Clone, Copy)]
+enum MutOp {
+    Join(u64, Rect<2>),
+    Leave(u64, Rect<2>),
+}
+
+/// The mixed mutate/publish throughput probe (see the module docs):
+/// a Poisson subscribe/unsubscribe schedule interleaved with batched
+/// publishes, measured once with incremental delta-layer maintenance
+/// and once with compact-every-flush (the rebuild-on-flush baseline),
+/// on a single worker. Writes `BENCH_churn.json` and gates the
+/// `incremental_vs_rebuild_at_100k` ratio.
+fn churn_throughput(out_path: &str, check: Option<f64>) {
+    const SIZES: [usize; 3] = [10_000, 100_000, 250_000];
+    const SHARDS: usize = 4;
+    const PUBLISHES_PER_BATCH: usize = 1024;
+    /// Expected joins (and leaves) per batch: λ of each Poisson
+    /// process, one batch per schedule time unit.
+    const CHURN_RATE: f64 = 512.0;
+    const GATE_SIZE: usize = 100_000;
+
+    let default_fraction = drtree_rtree::DEFAULT_DELTA_FRACTION;
+    let mut per_size: Vec<(usize, ChurnSample, ChurnSample)> = Vec::new();
+    println!(
+        "| N | batches | incremental (ns/op) | rebuild-on-flush (ns/op) | speedup | compactions |"
     );
-    out.push_str(
-        "  \"query\": \"publish matching at entry centers, best-of-5 mean ns per event over 32768 probes; \
-         batches of 16384; flush excluded (paid eagerly)\",\n",
+    println!(
+        "|---|---------|---------------------|--------------------------|---------|-------------|"
     );
-    out.push_str("  \"sizes\": {\n");
-    for (si, (size, samples)) in per_size.iter().enumerate() {
-        let ssep = if si + 1 == per_size.len() { "" } else { "," };
-        let _ = writeln!(out, "    \"{size}\": [");
-        for (i, s) in samples.iter().enumerate() {
-            let sep = if i + 1 == samples.len() { "" } else { "," };
-            let _ = writeln!(
-                out,
-                "      {{\"shards\": {}, \"flush_ns\": {}, \"single_ns\": {:.1}, \"batch_ns\": {:.1}}}{sep}",
-                s.shards, s.flush_ns, s.single_ns, s.batch_ns
-            );
+    for size in SIZES {
+        let rects = scaled_rects(size, 7_700 + size as u64);
+        // Enough batches that the measured window spans ≥ 2 full
+        // compaction cycles of the default fraction — the incremental
+        // numbers must amortize real merges.
+        let churn_per_batch = 2.0 * CHURN_RATE;
+        let batches =
+            ((2.0 * default_fraction * size as f64 / churn_per_batch).ceil() as usize).max(16);
+
+        // Pre-generate the whole mutation schedule (and the publish
+        // probes) outside any timed region, by simulating the live set
+        // the way the driver will mutate it. Both modes replay exactly
+        // this schedule.
+        let mut rng = StdRng::seed_from_u64(9_100 + size as u64);
+        let world = drtree_spatial::hilbert::GridMapper::world_of(rects.iter())
+            .expect("rect pool is non-empty");
+        let schedule = PoissonChurn {
+            lambda_join: CHURN_RATE,
+            lambda_leave: CHURN_RATE,
         }
-        let _ = writeln!(out, "    ]{ssep}");
+        .schedule(batches as f64, &mut rng);
+        let mut sim_live: Vec<(u64, Rect<2>)> =
+            (0..size as u64).zip(rects.iter().copied()).collect();
+        let mut next_id = size as u64;
+        let mut batch_ops: Vec<Vec<MutOp>> = vec![Vec::new(); batches];
+        let mut mutations = 0usize;
+        for event in &schedule {
+            let batch = (event.at as usize).min(batches - 1);
+            match event.op {
+                ChurnOp::Join => {
+                    // A fresh subscription inside the mapped world (so
+                    // churn exercises the delta layer, not constant
+                    // world-growth rebalances).
+                    let w = rng.gen_range(1.0..10.0);
+                    let h = rng.gen_range(1.0..10.0);
+                    let x = rng.gen_range(world.lo(0)..world.hi(0) - w);
+                    let y = rng.gen_range(world.lo(1)..world.hi(1) - h);
+                    let rect = Rect::new([x, y], [x + w, y + h]);
+                    batch_ops[batch].push(MutOp::Join(next_id, rect));
+                    sim_live.push((next_id, rect));
+                    next_id += 1;
+                }
+                ChurnOp::Leave => {
+                    if sim_live.is_empty() {
+                        continue;
+                    }
+                    let i = rng.gen_range(0..sim_live.len());
+                    let (id, rect) = sim_live.swap_remove(i);
+                    batch_ops[batch].push(MutOp::Leave(id, rect));
+                }
+            }
+            mutations += 1;
+        }
+        let probes: Vec<Point<2>> = rects
+            .iter()
+            .cycle()
+            .take(batches * PUBLISHES_PER_BATCH)
+            .map(Rect::center)
+            .collect();
+
+        let run = |fraction: f64| -> ChurnSample {
+            let mut oracle: ShardedOracle<2> = ShardedOracle::new(SHARDS);
+            oracle.set_threads(1); // committed numbers are single-core
+            oracle.set_delta_fraction(fraction);
+            for (i, r) in rects.iter().enumerate() {
+                oracle.insert(ProcessId::from_raw(i as u64), *r);
+            }
+            oracle.flush();
+            let compactions0 = oracle.compaction_count();
+            let staged0 = oracle.staged_absorbed_total();
+            let tombstones0 = oracle.tombstones_reclaimed_total();
+            let rebuilds0 = oracle.rebuild_count();
+
+            let mut batch = BatchMatches::new();
+            let mut sink = 0usize;
+            let t0 = Instant::now();
+            for (ops, chunk) in batch_ops.iter().zip(probes.chunks(PUBLISHES_PER_BATCH)) {
+                for op in ops {
+                    match *op {
+                        MutOp::Join(id, rect) => oracle.insert(ProcessId::from_raw(id), rect),
+                        MutOp::Leave(id, rect) => {
+                            assert!(
+                                oracle.remove(ProcessId::from_raw(id), &rect),
+                                "scheduled leave not found"
+                            );
+                        }
+                    }
+                }
+                // The broker discipline: maintenance is paid eagerly
+                // per batch (here inside the timed window — this mode
+                // measures mutate+publish throughput, maintenance
+                // included).
+                oracle.flush();
+                oracle.match_batch_into(chunk, &mut batch);
+                sink += batch.total_hits();
+            }
+            let elapsed = t0.elapsed().as_nanos() as f64;
+            std::hint::black_box(sink);
+            ChurnSample {
+                ns_per_op: elapsed / (mutations + batches * PUBLISHES_PER_BATCH) as f64,
+                compactions: oracle.compaction_count() - compactions0,
+                staged_absorbed: oracle.staged_absorbed_total() - staged0,
+                tombstones_reclaimed: oracle.tombstones_reclaimed_total() - tombstones0,
+                rebuilds: oracle.rebuild_count() - rebuilds0,
+            }
+        };
+
+        let incremental = run(default_fraction);
+        let rebuild = run(0.0);
+        let speedup = rebuild.ns_per_op / incremental.ns_per_op;
+        println!(
+            "| {size} | {batches} | {:.1} | {:.1} | {speedup:.2}x | {} |",
+            incremental.ns_per_op, rebuild.ns_per_op, incremental.compactions
+        );
+        per_size.push((size, incremental, rebuild));
     }
-    let _ = writeln!(
-        out,
-        "  }},\n  \"batch4_vs_single1_at_100k\": {speedup:.2}\n}}"
+
+    let (_, incr_gate, rebuild_gate) = per_size
+        .iter()
+        .find(|&&(size, _, _)| size == GATE_SIZE)
+        .expect("gate size measured");
+    let speedup = rebuild_gate.ns_per_op / incr_gate.ns_per_op;
+    println!(
+        "incremental maintenance vs rebuild-on-flush at {GATE_SIZE}: {speedup:.2}x \
+         ({:.1} -> {:.1} ns/op)",
+        rebuild_gate.ns_per_op, incr_gate.ns_per_op
     );
-    out
+
+    let sizes = per_size
+        .iter()
+        .fold(Json::object(), |obj, (size, incr, rebuild)| {
+            obj.field(
+                size.to_string().as_str(),
+                Json::object()
+                    .field("incremental_ns_per_op", Json::fixed(incr.ns_per_op, 1))
+                    .field("rebuild_ns_per_op", Json::fixed(rebuild.ns_per_op, 1))
+                    .field(
+                        "speedup",
+                        Json::fixed(rebuild.ns_per_op / incr.ns_per_op, 2),
+                    )
+                    .field("compactions", incr.compactions)
+                    .field("staged_absorbed", incr.staged_absorbed)
+                    .field("tombstones_reclaimed", incr.tombstones_reclaimed)
+                    .field("baseline_rebuilds", rebuild.rebuilds),
+            )
+        });
+    let json = Json::object()
+        .field("bench", "churn-oracle")
+        .field(
+            "workload",
+            "uniform 2d, extents 1-10, world scaled to ~10 matches per point query; \
+             Poisson churn (lambda_join = lambda_leave = 512/batch) interleaved with \
+             1024 batched publishes per batch",
+        )
+        .field(
+            "query",
+            "mean ns per operation (mutations + publishes) over the whole window, \
+             maintenance included; 4 shards, single worker; window spans >= 2 \
+             compaction cycles of the default delta fraction",
+        )
+        .field("sizes", sizes)
+        .field("incremental_vs_rebuild_at_100k", Json::fixed(speedup, 2));
+    std::fs::write(out_path, json.render()).expect("write BENCH_churn.json");
+    println!("wrote {out_path}");
+
+    if let Some(threshold) = check {
+        if speedup < threshold {
+            eprintln!(
+                "REGRESSION: incremental churn speedup fell below {threshold}x \
+                 (measured {speedup:.2}x)"
+            );
+            std::process::exit(1);
+        }
+        println!("check passed: incremental >= {threshold}x vs rebuild-on-flush");
+    }
 }
 
 /// Best-of-`reps` wall-clock build time; returns the last tree built.
@@ -479,35 +759,4 @@ fn time_queries<const D: usize>(
     let elapsed = t0.elapsed().as_nanos() as f64;
     std::hint::black_box(hits);
     elapsed / probes.len() as f64
-}
-
-/// Hand-rolled JSON (the workspace is offline; no serde).
-fn render_json(backends: &[(&str, &Vec<Sample>)], speedups: &[(&str, f64)]) -> String {
-    let mut out = String::new();
-    out.push_str("{\n  \"bench\": \"rtree-backends\",\n");
-    out.push_str(
-        "  \"workload\": \"uniform 2d, extents 1-10, world scaled to ~10 matches per point query\",\n",
-    );
-    out.push_str("  \"query\": \"point search at entry centers, mean ns over 20000 probes\",\n");
-    out.push_str("  \"backends\": {\n");
-    for (bi, (name, samples)) in backends.iter().enumerate() {
-        let bsep = if bi + 1 == backends.len() { "" } else { "," };
-        let _ = writeln!(out, "    \"{name}\": [");
-        for (i, s) in samples.iter().enumerate() {
-            let sep = if i + 1 == samples.len() { "" } else { "," };
-            let _ = writeln!(
-                out,
-                "      {{\"size\": {}, \"build_ns\": {}, \"query_ns\": {:.1}}}{sep}",
-                s.size, s.build_ns, s.query_ns
-            );
-        }
-        let _ = writeln!(out, "    ]{bsep}");
-    }
-    out.push_str("  },\n  \"packed_speedup_at_100k\": {");
-    for (i, (name, value)) in speedups.iter().enumerate() {
-        let sep = if i + 1 == speedups.len() { "" } else { ", " };
-        let _ = write!(out, "\"{name}\": {value:.2}{sep}");
-    }
-    out.push_str("}\n}\n");
-    out
 }

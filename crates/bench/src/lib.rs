@@ -35,6 +35,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod json;
 mod table;
 
 pub use table::Table;

@@ -331,17 +331,24 @@ impl<const D: usize> Broker<D> {
         Ok(reports)
     }
 
-    /// Rebuilds any dirty oracle shards **now**, charging the cost to
-    /// the rebuild columns of [`Broker::stats`] instead of the next
-    /// publish. Publishing pays this lazily anyway; benches call it
-    /// eagerly so publish timings measure matching, not rebuilds.
-    /// Returns the wall-clock time spent (zero when nothing was
-    /// dirty).
+    /// Compacts any oracle shard whose delta layer outgrew its budget
+    /// **now**, charging the cost to the rebuild/compaction columns of
+    /// [`Broker::stats`] instead of the next publish. Publishing pays
+    /// this lazily anyway; benches call it eagerly so publish timings
+    /// measure matching, not maintenance. Returns the wall-clock time
+    /// spent (zero when every delta was within budget).
     pub fn flush_oracle(&mut self) -> Duration {
         let flush = self.oracle.flush();
         if flush.rebuilt_shards > 0 {
             self.stats
                 .absorb_oracle_rebuild(flush.rebuilt_shards as u64, flush.elapsed);
+        }
+        if flush.compacted_shards > 0 {
+            self.stats.absorb_oracle_compaction(
+                flush.compacted_shards as u64,
+                flush.staged_absorbed as u64,
+                flush.tombstones_reclaimed as u64,
+            );
         }
         flush.elapsed
     }

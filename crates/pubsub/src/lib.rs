@@ -9,8 +9,10 @@
 //!
 //! The oracle is a [`ShardedOracle`]: the live subscription set
 //! partitioned across `K` packed R-tree shards by the Hilbert key of
-//! each filter's center, rebuilt lazily per dirty shard, and probed by
-//! fanning queries across shards. It serves double duty as the
+//! each filter's center, maintained incrementally under churn (each
+//! shard absorbs mutations into a staged/tombstone delta layer,
+//! compacted only when it outgrows a configured fraction), and probed
+//! by fanning queries across shards. It serves double duty as the
 //! matching engine of the batched publish pipeline
 //! ([`Broker::publish_batch`]), which amortizes one shard pass —
 //! scoped-thread fan-out, joint packed descents, one counting-sort

@@ -3,19 +3,24 @@
 //! [`ShardedOracle`] partitions the live subscription set across `K`
 //! independent [`PackedRTree`] shards, assigned by the Hilbert key of
 //! each filter rectangle's center ([`drtree_spatial::hilbert::ShardMap`],
-//! contiguous curve ranges split at count quantiles). Mutations mark
-//! only the owning shard dirty; [`ShardedOracle::flush`] rebuilds
-//! exactly the dirty shards (each a packed tree plus its stab grid).
-//! Publishes fan the probe across shards — through the scoped-thread
-//! pool of [`drtree_rtree::parallel`] for batches — and merge visitor
-//! hits into reused buffers, so the steady-state matching path
-//! performs no allocation.
+//! contiguous curve ranges split at count quantiles). Mutations route
+//! into the owning shard's **delta layer** — staged inserts and
+//! tombstones absorbed in place, with the shard's stab grid patched
+//! cell-by-cell so batched probes stay exact between compactions —
+//! and [`ShardedOracle::flush`] compacts only the shards whose delta
+//! has outgrown the configured fraction
+//! ([`ShardedOracle::set_delta_fraction`]; `0.0` reproduces the old
+//! rebuild-per-flush behavior and serves as the churn bench's
+//! baseline). Publishes fan the probe across shards — through the
+//! scoped-thread pool of [`drtree_rtree::parallel`] for batches — and
+//! merge visitor hits into reused buffers, so the steady-state
+//! matching path performs no allocation.
 
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
 use drtree_core::ProcessId;
-use drtree_rtree::{parallel, PackedRTree};
+use drtree_rtree::{parallel, DeltaRemoval, PackedRTree};
 use drtree_spatial::hilbert::{GridMapper, ShardMap};
 use drtree_spatial::{Point, Rect};
 
@@ -58,6 +63,15 @@ struct ShardBatchBuf {
 /// an entry reaching beyond the world rim is clamped into those same
 /// rim cells (or the overflow list), so no candidate is missed and
 /// false candidates fail the exact test.
+///
+/// Between compactions the grid stays exact through **incremental cell
+/// patching**: entries staged into the shard's delta layer are listed
+/// in a sparse per-cell patch map (`staged_cells`, keyed by the same
+/// row-major cell index the CSR arrays use) consulted by every stab
+/// alongside the CSR lists, and tombstoned slots are filtered at
+/// emission time. The patch map is bounded by the delta layer itself
+/// (the compaction fraction), so the CSR arrays are only ever rebuilt
+/// wholesale, together with their shard's packed levels.
 #[derive(Debug, Clone)]
 struct StabGrid<const D: usize> {
     lo: [f64; D],
@@ -72,6 +86,13 @@ struct StabGrid<const D: usize> {
     refs: Vec<u32>,
     /// Slots spanning more than [`MAX_CELL_SPAN`] cells.
     overflow: Vec<u32>,
+    /// Patch layer: staging-buffer indexes per cell, for entries staged
+    /// since the CSR arrays were built. Sparse — the delta layer is
+    /// bounded by the compaction fraction.
+    staged_cells: HashMap<usize, Vec<u32>>,
+    /// Staged indexes spanning more than [`MAX_CELL_SPAN`] cells, or
+    /// staged before any grid geometry existed.
+    staged_overflow: Vec<u32>,
 }
 
 impl<const D: usize> Default for StabGrid<D> {
@@ -83,13 +104,24 @@ impl<const D: usize> Default for StabGrid<D> {
             offsets: Vec::new(),
             refs: Vec::new(),
             overflow: Vec::new(),
+            staged_cells: HashMap::new(),
+            staged_overflow: Vec::new(),
         }
     }
 }
 
 impl<const D: usize> StabGrid<D> {
-    /// Builds the grid for `packed`'s entries (slot order).
+    /// Builds the grid for `packed`'s live entries. Tombstoned slots
+    /// are left out of the CSR lists; entries staged *after* the build
+    /// enter through [`StabGrid::stage`], so callers building over a
+    /// tree that already carries staged entries must patch them in
+    /// themselves (the oracle always compacts first).
     fn build(packed: &PackedRTree<ProcessId, D>) -> Self {
+        debug_assert_eq!(
+            packed.staged_len(),
+            0,
+            "grid build does not index pre-existing staged entries"
+        );
         let n = packed.len();
         if n == 0 {
             return Self::default();
@@ -98,7 +130,7 @@ impl<const D: usize> StabGrid<D> {
             // No finite coordinate anywhere: every entry is a
             // world-spanning filter; scan them all per probe.
             return Self {
-                overflow: (0..n as u32).collect(),
+                overflow: packed.entries().map(|(slot, _, _)| slot as u32).collect(),
                 ..Self::default()
             };
         };
@@ -124,10 +156,14 @@ impl<const D: usize> StabGrid<D> {
             offsets: vec![0u32; cells + 1],
             refs: Vec::new(),
             overflow: Vec::new(),
+            staged_cells: HashMap::new(),
+            staged_overflow: Vec::new(),
         };
         let dims = grid.dims;
-        // Two CSR passes: count cell populations, then fill.
-        let mut spans: Vec<([u32; D], [u32; D])> = Vec::with_capacity(n);
+        // Two CSR passes: count cell populations, then fill. Spans
+        // carry their true slot index — `packed.entries()` skips
+        // tombstoned slots, so live slots are not necessarily dense.
+        let mut spans: Vec<(u32, [u32; D], [u32; D])> = Vec::with_capacity(n);
         for (slot, _, rect) in packed.entries() {
             let (cell_lo, cell_hi) = grid.cell_range(rect);
             let span: usize = (0..D)
@@ -135,12 +171,9 @@ impl<const D: usize> StabGrid<D> {
                 .product();
             if span > MAX_CELL_SPAN {
                 grid.overflow.push(slot as u32);
-                // Degenerate marker (empty range): skipped by both
-                // passes below.
-                spans.push(([1; D], [0; D]));
                 continue;
             }
-            spans.push((cell_lo, cell_hi));
+            spans.push((slot as u32, cell_lo, cell_hi));
             for_each_cell(dims, cell_lo, cell_hi, |c| grid.offsets[c + 1] += 1);
         }
         for i in 1..grid.offsets.len() {
@@ -153,13 +186,10 @@ impl<const D: usize> StabGrid<D> {
         // for cell `c`; after the pass it has advanced to exactly the
         // next cell's start, so shifting by one slot restores start
         // offsets (standard CSR trick).
-        for (slot, &(cell_lo, cell_hi)) in spans.iter().enumerate() {
-            if (0..D).any(|d| cell_lo[d] > cell_hi[d]) {
-                continue; // overflow marker
-            }
+        for &(slot, cell_lo, cell_hi) in &spans {
             let (offsets, refs) = (&mut grid.offsets, &mut grid.refs);
             for_each_cell(dims, cell_lo, cell_hi, |c| {
-                refs[offsets[c] as usize] = slot as u32;
+                refs[offsets[c] as usize] = slot;
                 offsets[c] += 1;
             });
         }
@@ -196,8 +226,66 @@ impl<const D: usize> StabGrid<D> {
         (cell_lo, cell_hi)
     }
 
-    /// Emits the id of every entry containing `point`: overflow scan
-    /// plus one exact-tested cell list.
+    /// Applies `visit` to every patch list `rect` belongs to: the
+    /// staged-overflow list when the grid has no geometry (never built)
+    /// or the rectangle spans too many cells, the per-cell lists of its
+    /// clamped cell range otherwise — the routing rule shared by
+    /// [`StabGrid::stage`], [`StabGrid::unstage`], and
+    /// [`StabGrid::restage_moved`], mirroring the CSR build's own.
+    fn with_patch_lists(&mut self, rect: &Rect<D>, mut visit: impl FnMut(&mut Vec<u32>)) {
+        if self.offsets.is_empty() {
+            visit(&mut self.staged_overflow);
+            return;
+        }
+        let (cell_lo, cell_hi) = self.cell_range(rect);
+        let span: usize = (0..D)
+            .map(|d| (cell_hi[d] - cell_lo[d] + 1) as usize)
+            .product();
+        if span > MAX_CELL_SPAN {
+            visit(&mut self.staged_overflow);
+            return;
+        }
+        let dims = self.dims;
+        let cells = &mut self.staged_cells;
+        for_each_cell(dims, cell_lo, cell_hi, |c| {
+            visit(cells.entry(c).or_default())
+        });
+    }
+
+    /// Patches staging-buffer index `idx` (rectangle `rect`) into the
+    /// grid so stabs see it immediately — the incremental-maintenance
+    /// counterpart of a CSR rebuild.
+    fn stage(&mut self, idx: u32, rect: &Rect<D>) {
+        self.with_patch_lists(rect, |list| list.push(idx));
+    }
+
+    /// Removes staging index `idx` (rectangle `rect`) from the patch
+    /// layer — the inverse of [`StabGrid::stage`].
+    fn unstage(&mut self, idx: u32, rect: &Rect<D>) {
+        self.with_patch_lists(rect, |list| {
+            if let Some(pos) = list.iter().position(|&x| x == idx) {
+                list.swap_remove(pos);
+            }
+        });
+    }
+
+    /// Re-points patch references from staging index `from` to `to`
+    /// after the staging buffer swap-removed `to` (moving the entry
+    /// with rectangle `rect` down from `from`).
+    fn restage_moved(&mut self, from: u32, to: u32, rect: &Rect<D>) {
+        self.with_patch_lists(rect, |list| {
+            for x in list.iter_mut() {
+                if *x == from {
+                    *x = to;
+                }
+            }
+        });
+    }
+
+    /// Emits the id of every live entry containing `point`: overflow
+    /// scan, one exact-tested cell list, and the delta tier (staged
+    /// overflow plus the probe cell's patch list); tombstoned slots are
+    /// filtered at emission time.
     #[inline]
     fn stab(
         &self,
@@ -207,9 +295,19 @@ impl<const D: usize> StabGrid<D> {
     ) {
         let keys = packed.keys();
         let rects = packed.rects();
+        let check_live = packed.tombstone_count() > 0;
         for &slot in &self.overflow {
-            if rects[slot as usize].contains_point_branchless(point) {
+            if rects[slot as usize].contains_point_branchless(point)
+                && (!check_live || packed.is_live(slot as usize))
+            {
                 emit(keys[slot as usize]);
+            }
+        }
+        let staged_keys = packed.staged_keys();
+        let staged_rects = packed.staged_rects();
+        for &i in &self.staged_overflow {
+            if staged_rects[i as usize].contains_point_branchless(point) {
+                emit(staged_keys[i as usize]);
             }
         }
         if self.offsets.is_empty() {
@@ -219,16 +317,35 @@ impl<const D: usize> StabGrid<D> {
         for d in 0..D {
             idx = idx * self.dims[d] as usize + self.cell_coord(d, point.coord(d)) as usize;
         }
+        if !self.staged_cells.is_empty() {
+            if let Some(list) = self.staged_cells.get(&idx) {
+                for &i in list {
+                    if staged_rects[i as usize].contains_point_branchless(point) {
+                        emit(staged_keys[i as usize]);
+                    }
+                }
+            }
+        }
         let lo = self.offsets[idx] as usize;
         let hi = self.offsets[idx + 1] as usize;
         // Chunked bitmask scan (the packed tree's trick): with cell
         // hit rates around 50%, a per-candidate `if` is a mispredict
         // machine — building the mask branchlessly and popping set
-        // bits keeps the pipeline full.
+        // bits keeps the pipeline full. The tombstone filter joins the
+        // mask only when tombstones exist at all, so the common clean
+        // path pays nothing for it.
         for chunk in self.refs[lo..hi].chunks(32) {
             let mut mask = 0u32;
-            for (i, &slot) in chunk.iter().enumerate() {
-                mask |= u32::from(rects[slot as usize].contains_point_branchless(point)) << i;
+            if check_live {
+                for (i, &slot) in chunk.iter().enumerate() {
+                    let hit = rects[slot as usize].contains_point_branchless(point)
+                        & packed.is_live(slot as usize);
+                    mask |= u32::from(hit) << i;
+                }
+            } else {
+                for (i, &slot) in chunk.iter().enumerate() {
+                    mask |= u32::from(rects[slot as usize].contains_point_branchless(point)) << i;
+                }
             }
             while mask != 0 {
                 emit(keys[chunk[mask.trailing_zeros() as usize] as usize]);
@@ -271,24 +388,24 @@ fn for_each_cell<const D: usize>(
     }
 }
 
-/// One shard: its slice of the subscription set, the packed tree
-/// serving it, the stab grid accelerating batched probes, and whether
-/// both are stale.
+/// One shard: the delta-bearing packed tree holding its slice of the
+/// subscription set (live entries = packed slots − tombstones +
+/// staged), and the incrementally patched stab grid accelerating
+/// batched probes. The packed tree *is* the entry store — there is no
+/// separate entry list to clone on rebuild.
 #[derive(Debug)]
 struct Shard<const D: usize> {
-    entries: Vec<(ProcessId, Rect<D>)>,
     packed: PackedRTree<ProcessId, D>,
     grid: StabGrid<D>,
-    dirty: bool,
 }
 
 impl<const D: usize> Shard<D> {
-    fn new() -> Self {
+    fn new(delta_fraction: f64) -> Self {
+        let mut packed = PackedRTree::bulk_load(Vec::new());
+        packed.set_delta_fraction(delta_fraction);
         Self {
-            entries: Vec::new(),
-            packed: PackedRTree::bulk_load(Vec::new()),
+            packed,
             grid: StabGrid::default(),
-            dirty: false,
         }
     }
 }
@@ -296,11 +413,18 @@ impl<const D: usize> Shard<D> {
 /// What one [`ShardedOracle::flush`] call did.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct OracleFlush {
-    /// Shards whose packed tree was rebuilt.
+    /// Shards whose packed tree was rebuilt (compaction merges plus
+    /// rebalance redistributions).
     pub rebuilt_shards: usize,
+    /// Shards whose delta layer was folded into the packed levels.
+    pub compacted_shards: usize,
+    /// Staged entries absorbed into packed levels across all shards.
+    pub staged_absorbed: usize,
+    /// Tombstoned slots reclaimed across all shards.
+    pub tombstones_reclaimed: usize,
     /// Whether entries were redistributed (world growth or imbalance).
     pub rebalanced: bool,
-    /// Wall-clock time spent rebalancing + rebuilding.
+    /// Wall-clock time spent rebalancing + compacting.
     pub elapsed: Duration,
 }
 
@@ -358,9 +482,16 @@ impl BatchMatches {
 ///   Hilbert key of its rectangle's center. Assignment is a pure
 ///   function of the rectangle and the current [`ShardMap`], so
 ///   removal needs no id→shard bookkeeping.
-/// * **Laziness** — `insert`/`remove` only mark the owning shard
-///   dirty; the next [`flush`](ShardedOracle::flush) (or query, which
-///   flushes implicitly) rebuilds *only* dirty shards.
+/// * **Incremental maintenance** — `insert` stages the entry into the
+///   owning shard's delta layer (and patches the shard's stab grid
+///   cell-by-cell); `remove` unstages or tombstones in place. No shard
+///   is marked dirty by small deltas: the next
+///   [`flush`](ShardedOracle::flush) (or query, which flushes
+///   implicitly) compacts *only* shards whose delta exceeds the
+///   configured fraction
+///   ([`set_delta_fraction`](ShardedOracle::set_delta_fraction);
+///   `0.0` restores rebuild-per-flush, the churn bench's baseline
+///   mode).
 /// * **Rebalancing** — when an entry lands outside the mapped world,
 ///   or one shard grows past `4× ideal + 64` entries, the next flush
 ///   recomputes the world, re-splits the key population at its count
@@ -424,8 +555,13 @@ pub struct ShardedOracle<const D: usize> {
     threads: usize,
     /// An insert landed outside the mapped world; rebalance next flush.
     stale_world: bool,
+    /// Compaction trigger forwarded to every shard's packed tree.
+    delta_fraction: f64,
     rebuilds: u64,
     rebalances: u64,
+    compactions: u64,
+    staged_absorbed: u64,
+    tombstones_reclaimed: u64,
     // Reused scratch: per-shard hit buffers, the curve-sorted probe
     // permutation, and the per-shard merge cursors.
     point_bufs: Vec<Vec<ProcessId>>,
@@ -448,14 +584,19 @@ impl<const D: usize> ShardedOracle<D> {
     /// worker budget of [`parallel::available_threads`].
     pub fn new(shards: usize) -> Self {
         let shards = shards.max(1);
+        let delta_fraction = drtree_rtree::DEFAULT_DELTA_FRACTION;
         Self {
-            shards: (0..shards).map(|_| Shard::new()).collect(),
+            shards: (0..shards).map(|_| Shard::new(delta_fraction)).collect(),
             map: None,
             len: 0,
             threads: parallel::available_threads(),
             stale_world: false,
+            delta_fraction,
             rebuilds: 0,
             rebalances: 0,
+            compactions: 0,
+            staged_absorbed: 0,
+            tombstones_reclaimed: 0,
             point_bufs: vec![Vec::new(); shards],
             batch_bufs: vec![ShardBatchBuf::default(); shards],
             id_counts: HashMap::new(),
@@ -474,6 +615,24 @@ impl<const D: usize> ShardedOracle<D> {
         self.threads = threads.max(1);
     }
 
+    /// Sets the compaction trigger of every shard: a shard's delta
+    /// layer is folded back into its packed levels by the next flush
+    /// once it exceeds `fraction ×` the shard's packed slot count.
+    /// `0.0` compacts any delta on every flush — the pre-delta
+    /// rebuild-per-flush behavior, kept as the churn bench's baseline
+    /// mode. Defaults to [`drtree_rtree::DEFAULT_DELTA_FRACTION`].
+    pub fn set_delta_fraction(&mut self, fraction: f64) {
+        self.delta_fraction = fraction.max(0.0);
+        for shard in &mut self.shards {
+            shard.packed.set_delta_fraction(self.delta_fraction);
+        }
+    }
+
+    /// The configured compaction trigger fraction.
+    pub fn delta_fraction(&self) -> f64 {
+        self.delta_fraction
+    }
+
     /// Number of shards.
     pub fn shard_count(&self) -> usize {
         self.shards.len()
@@ -489,13 +648,20 @@ impl<const D: usize> ShardedOracle<D> {
         self.len == 0
     }
 
-    /// Entries currently held by shard `s` (including un-flushed ones).
+    /// Live entries currently held by shard `s` (staged ones included,
+    /// tombstoned ones not).
     ///
     /// # Panics
     ///
     /// Panics if `s >= self.shard_count()`.
     pub fn shard_len(&self, s: usize) -> usize {
-        self.shards[s].entries.len()
+        self.shards[s].packed.len()
+    }
+
+    /// Un-compacted delta entries (staged + tombstones) across all
+    /// shards — what the next over-threshold flush would absorb.
+    pub fn delta_len(&self) -> usize {
+        self.shards.iter().map(|s| s.packed.delta_len()).sum()
     }
 
     /// Packed-tree rebuilds performed over the oracle's lifetime.
@@ -508,6 +674,22 @@ impl<const D: usize> ShardedOracle<D> {
         self.rebalances
     }
 
+    /// Delta-layer merges performed over the oracle's lifetime.
+    pub fn compaction_count(&self) -> u64 {
+        self.compactions
+    }
+
+    /// Staged entries absorbed into packed levels over the oracle's
+    /// lifetime.
+    pub fn staged_absorbed_total(&self) -> u64 {
+        self.staged_absorbed
+    }
+
+    /// Tombstoned slots reclaimed over the oracle's lifetime.
+    pub fn tombstones_reclaimed_total(&self) -> u64 {
+        self.tombstones_reclaimed
+    }
+
     /// The shard `rect` is currently assigned to (`None` before the
     /// first flush establishes a shard map).
     pub fn shard_of(&self, rect: &Rect<D>) -> Option<usize> {
@@ -515,8 +697,10 @@ impl<const D: usize> ShardedOracle<D> {
     }
 
     /// Registers `(id, rect)`. Duplicate ids are allowed (subscription
-    /// *sets* register one entry per member filter). Marks only the
-    /// owning shard dirty.
+    /// *sets* register one entry per member filter). The entry is
+    /// staged into the owning shard's delta layer and patched into its
+    /// stab grid — no shard goes dirty, and the entry is matchable
+    /// immediately.
     pub fn insert(&mut self, id: ProcessId, rect: Rect<D>) {
         let s = match &self.map {
             Some(map) => {
@@ -529,8 +713,10 @@ impl<const D: usize> ShardedOracle<D> {
             // redistributes.
             None => 0,
         };
-        self.shards[s].entries.push((id, rect));
-        self.shards[s].dirty = true;
+        let shard = &mut self.shards[s];
+        let idx = shard.packed.staged_len() as u32;
+        shard.packed.stage_insert(id, rect);
+        shard.grid.stage(idx, &rect);
         self.len += 1;
         let count = self.id_counts.entry(id.raw()).or_insert(0);
         *count += 1;
@@ -542,6 +728,9 @@ impl<const D: usize> ShardedOracle<D> {
     /// Removes one `(id, rect)` entry; `true` if found. Looks in the
     /// assigned shard first (assignment is stable, so that lookup
     /// virtually always succeeds) with a full scan as a safety net.
+    /// Staged entries are unstaged outright; packed entries are
+    /// tombstoned in place. Either way the stab grid is patched to
+    /// match and no rebuild is scheduled.
     pub fn remove(&mut self, id: ProcessId, rect: &Rect<D>) -> bool {
         let guess = self.map.as_ref().map_or(0, |m| m.shard_of(rect));
         let found = self.remove_from(guess, id, rect)
@@ -562,14 +751,22 @@ impl<const D: usize> ShardedOracle<D> {
 
     fn remove_from(&mut self, s: usize, id: ProcessId, rect: &Rect<D>) -> bool {
         let shard = &mut self.shards[s];
-        match shard
-            .entries
-            .iter()
-            .position(|(eid, er)| *eid == id && er == rect)
-        {
-            Some(pos) => {
-                shard.entries.swap_remove(pos);
-                shard.dirty = true;
+        match shard.packed.remove_entry(&id, rect) {
+            Some(DeltaRemoval::Unstaged { index, moved }) => {
+                shard.grid.unstage(index as u32, rect);
+                if let Some(moved_rect) = moved {
+                    // The former last staged entry now lives at
+                    // `index`; its old index equals the post-removal
+                    // staging length.
+                    let from = shard.packed.staged_len() as u32;
+                    shard.grid.restage_moved(from, index as u32, &moved_rect);
+                }
+                self.len -= 1;
+                true
+            }
+            Some(DeltaRemoval::Tombstoned { .. }) => {
+                // Stabs filter dead slots at emission time; nothing to
+                // patch.
                 self.len -= 1;
                 true
             }
@@ -577,35 +774,52 @@ impl<const D: usize> ShardedOracle<D> {
         }
     }
 
-    /// Rebuilds every dirty shard **now** (redistributing first when
-    /// the shard map went stale), so subsequent publishes pay matching
-    /// cost only. Queries call this implicitly; benches and brokers
-    /// call it eagerly so their publish timings never include a
-    /// rebuild.
+    /// Compacts every shard whose delta layer has outgrown the
+    /// configured fraction **now** (redistributing everything first
+    /// when the shard map went stale), so subsequent publishes pay
+    /// matching cost only. Queries call this implicitly; benches and
+    /// brokers call it eagerly so their publish timings never include
+    /// a merge. Under-threshold deltas are left in place — that is the
+    /// point of incremental maintenance.
     pub fn flush(&mut self) -> OracleFlush {
         let rebalance_needed = self.needs_rebalance();
-        if !rebalance_needed && self.shards.iter().all(|s| !s.dirty) {
+        if !rebalance_needed && !self.shards.iter().any(|s| s.packed.needs_compaction()) {
             return OracleFlush::default();
         }
         let t0 = Instant::now();
+        let mut flush = OracleFlush {
+            rebalanced: rebalance_needed,
+            ..OracleFlush::default()
+        };
         if rebalance_needed {
+            for shard in &self.shards {
+                if shard.packed.delta_len() > 0 {
+                    flush.compacted_shards += 1;
+                }
+                flush.staged_absorbed += shard.packed.staged_len();
+                flush.tombstones_reclaimed += shard.packed.tombstone_count();
+            }
             self.rebalance();
-        }
-        let mut rebuilt = 0usize;
-        for shard in &mut self.shards {
-            if shard.dirty {
-                shard.packed = PackedRTree::bulk_load(shard.entries.clone());
+            flush.rebuilt_shards = self.shards.len();
+        } else {
+            for shard in &mut self.shards {
+                if !shard.packed.needs_compaction() {
+                    continue;
+                }
+                let stats = shard.packed.compact();
                 shard.grid = StabGrid::build(&shard.packed);
-                shard.dirty = false;
-                rebuilt += 1;
+                flush.rebuilt_shards += 1;
+                flush.compacted_shards += 1;
+                flush.staged_absorbed += stats.staged_absorbed;
+                flush.tombstones_reclaimed += stats.tombstones_reclaimed;
             }
         }
-        self.rebuilds += rebuilt as u64;
-        OracleFlush {
-            rebuilt_shards: rebuilt,
-            rebalanced: rebalance_needed,
-            elapsed: t0.elapsed(),
-        }
+        self.rebuilds += flush.rebuilt_shards as u64;
+        self.compactions += flush.compacted_shards as u64;
+        self.staged_absorbed += flush.staged_absorbed as u64;
+        self.tombstones_reclaimed += flush.tombstones_reclaimed as u64;
+        flush.elapsed = t0.elapsed();
+        flush
     }
 
     fn needs_rebalance(&self) -> bool {
@@ -620,17 +834,17 @@ impl<const D: usize> ShardedOracle<D> {
         }
         let ideal = self.len / self.shards.len();
         let cap = IMBALANCE_FACTOR * ideal + IMBALANCE_SLACK;
-        self.shards.iter().any(|s| s.entries.len() > cap)
+        self.shards.iter().any(|s| s.packed.len() > cap)
     }
 
     /// Recomputes the world from the live entries, re-splits the key
     /// population at its count quantiles, and redistributes every
-    /// entry (marking all shards dirty).
+    /// entry, bulk-loading every shard fresh (deltas are absorbed in
+    /// the same pass).
     fn rebalance(&mut self) {
         let mut all: Vec<(ProcessId, Rect<D>)> = Vec::with_capacity(self.len);
         for shard in &mut self.shards {
-            all.append(&mut shard.entries);
-            shard.dirty = true;
+            all.append(&mut shard.packed.drain_live());
         }
         let world = GridMapper::world_of(all.iter().map(|(_, r)| r))
             .unwrap_or_else(|| Rect::new([0.0; D], [1.0; D]));
@@ -638,8 +852,14 @@ impl<const D: usize> ShardedOracle<D> {
         let mut keys: Vec<u128> = all.iter().map(|(_, r)| mapper.key(r)).collect();
         keys.sort_unstable();
         let map = ShardMap::from_sorted_keys(self.shards.len(), &world, &keys);
+        let mut parts: Vec<Vec<(ProcessId, Rect<D>)>> = vec![Vec::new(); self.shards.len()];
         for (id, rect) in all {
-            self.shards[map.shard_of(&rect)].entries.push((id, rect));
+            parts[map.shard_of(&rect)].push((id, rect));
+        }
+        for (shard, part) in self.shards.iter_mut().zip(parts) {
+            shard.packed = PackedRTree::bulk_load(part);
+            shard.packed.set_delta_fraction(self.delta_fraction);
+            shard.grid = StabGrid::build(&shard.packed);
         }
         self.map = Some(map);
         self.stale_world = false;
@@ -804,7 +1024,7 @@ impl<const D: usize> ShardedOracle<D> {
                 buf.hits.clear();
                 buf.counts.clear();
                 buf.counts.resize(sorted_points.len(), 0);
-                if shard.entries.is_empty() {
+                if shard.packed.is_empty() {
                     return;
                 }
                 let mbr = shard.packed.mbr().expect("non-empty shard has an MBR");
@@ -908,7 +1128,7 @@ mod tests {
     }
 
     #[test]
-    fn lazy_rebuild_touches_only_dirty_shards() {
+    fn small_deltas_stay_incremental() {
         let mut oracle: ShardedOracle<2> = ShardedOracle::new(4);
         for i in 0..256 {
             oracle.insert(pid(i), grid_rect(i));
@@ -916,21 +1136,111 @@ mod tests {
         let first = oracle.flush();
         assert!(first.rebalanced, "first flush establishes the map");
         assert_eq!(first.rebuilt_shards, 4);
+        assert_eq!(first.staged_absorbed, 256, "initial load was all staged");
         let baseline = oracle.rebuild_count();
 
         // A clean oracle flushes as a no-op.
         assert_eq!(oracle.flush(), OracleFlush::default());
         assert_eq!(oracle.rebuild_count(), baseline);
 
-        // One in-world mutation dirties exactly one shard.
+        // A few in-world mutations stay in the delta layer: no shard
+        // rebuilds, matching is exact anyway.
+        let rect = grid_rect(37);
+        assert!(oracle.remove(pid(37), &rect));
+        oracle.insert(pid(999), grid_rect(40));
+        assert_eq!(oracle.delta_len(), 2, "one tombstone + one staged");
+        assert_eq!(
+            oracle.flush(),
+            OracleFlush::default(),
+            "delta within budget"
+        );
+        assert_eq!(oracle.rebuild_count(), baseline);
+        let mut hits = Vec::new();
+        oracle.match_point_into(&rect.center(), &mut hits);
+        assert!(!hits.contains(&pid(37)), "tombstoned entry not matched");
+        oracle.match_point_into(&grid_rect(40).center(), &mut hits);
+        assert!(hits.contains(&pid(999)), "staged entry matched");
+        assert!(hits.contains(&pid(40)));
+    }
+
+    #[test]
+    fn zero_fraction_compacts_only_the_owning_shard() {
+        let mut oracle: ShardedOracle<2> = ShardedOracle::new(4);
+        oracle.set_delta_fraction(0.0);
+        for i in 0..256 {
+            oracle.insert(pid(i), grid_rect(i));
+        }
+        oracle.flush();
+        let baseline = oracle.rebuild_count();
+
+        // Rebuild-per-flush mode: one mutation compacts exactly the
+        // owning shard (the pre-delta dirty-shard behavior).
         let rect = grid_rect(37);
         let owner = oracle.shard_of(&rect).expect("map exists");
         assert!(oracle.remove(pid(37), &rect));
-        let second = oracle.flush();
-        assert!(!second.rebalanced);
-        assert_eq!(second.rebuilt_shards, 1, "only the owning shard rebuilds");
+        let flush = oracle.flush();
+        assert!(!flush.rebalanced);
+        assert_eq!(flush.rebuilt_shards, 1, "only the owning shard rebuilds");
+        assert_eq!(flush.compacted_shards, 1);
+        assert_eq!(flush.tombstones_reclaimed, 1);
+        assert_eq!(flush.staged_absorbed, 0);
         assert_eq!(oracle.rebuild_count(), baseline + 1);
         assert_eq!(oracle.shard_of(&rect), Some(owner), "assignment is stable");
+    }
+
+    #[test]
+    fn compaction_triggers_once_the_delta_outgrows_the_fraction() {
+        let mut oracle: ShardedOracle<2> = ShardedOracle::new(1);
+        oracle.set_delta_fraction(0.1);
+        for i in 0..200 {
+            oracle.insert(pid(i), grid_rect(i % 256));
+        }
+        oracle.flush();
+        let compactions = oracle.compaction_count();
+        // Stay under 10%: no compaction.
+        for i in 0..20 {
+            oracle.insert(pid(1000 + i), grid_rect(i));
+        }
+        assert_eq!(oracle.flush(), OracleFlush::default());
+        assert_eq!(oracle.compaction_count(), compactions);
+        // Push past the fraction: the shard compacts and the
+        // accounting reports what was absorbed.
+        oracle.insert(pid(2000), grid_rect(3));
+        let flush = oracle.flush();
+        assert_eq!(flush.compacted_shards, 1);
+        assert_eq!(flush.staged_absorbed, 21);
+        assert_eq!(oracle.compaction_count(), compactions + 1);
+        assert!(oracle.staged_absorbed_total() >= 21);
+        assert_eq!(oracle.delta_len(), 0);
+    }
+
+    #[test]
+    fn staged_and_tombstoned_entries_answer_batches_exactly() {
+        // Mutations between flushes must be visible to the batched
+        // (stab-grid) path through the patch layer, including staged
+        // removals that swap-remove into vacated indexes.
+        for threads in [1usize, 3] {
+            let mut oracle: ShardedOracle<2> = ShardedOracle::new(4);
+            oracle.set_threads(threads);
+            for i in 0..128 {
+                oracle.insert(pid(i), grid_rect(i));
+            }
+            oracle.flush();
+            // Stage three entries at the same spot, remove the first
+            // (forcing a swap-remove), tombstone a packed one.
+            oracle.insert(pid(500), grid_rect(10));
+            oracle.insert(pid(501), grid_rect(10));
+            oracle.insert(pid(502), grid_rect(10));
+            assert!(oracle.remove(pid(500), &grid_rect(10)));
+            assert!(oracle.remove(pid(10), &grid_rect(10)));
+            let probe = grid_rect(10).center();
+            let mut batch = BatchMatches::new();
+            oracle.match_batch_into(&[probe], &mut batch);
+            assert_eq!(batch.matches(0), &[pid(501), pid(502)], "threads={threads}");
+            let mut single = Vec::new();
+            oracle.match_point_into(&probe, &mut single);
+            assert_eq!(batch.matches(0), single.as_slice(), "threads={threads}");
+        }
     }
 
     #[test]

@@ -18,6 +18,9 @@ pub struct RoutingStats {
     messages: u64,
     oracle_rebuilds: u64,
     oracle_rebuild_ns: u64,
+    oracle_compactions: u64,
+    oracle_staged_absorbed: u64,
+    oracle_tombstones_reclaimed: u64,
 }
 
 impl RoutingStats {
@@ -86,6 +89,32 @@ impl RoutingStats {
         self.oracle_rebuild_ns
     }
 
+    /// Folds one delta-layer maintenance pass into the aggregate:
+    /// `merges` shard compactions absorbing `staged` staged entries
+    /// and reclaiming `tombstones` dead slots. Kept separate from the
+    /// publish columns for the same reason as the rebuild columns —
+    /// publish timings must isolate matching.
+    pub fn absorb_oracle_compaction(&mut self, merges: u64, staged: u64, tombstones: u64) {
+        self.oracle_compactions += merges;
+        self.oracle_staged_absorbed += staged;
+        self.oracle_tombstones_reclaimed += tombstones;
+    }
+
+    /// Total delta-layer merges (shard compactions) performed.
+    pub fn oracle_compactions(&self) -> u64 {
+        self.oracle_compactions
+    }
+
+    /// Total staged entries absorbed into packed levels by compactions.
+    pub fn oracle_staged_absorbed(&self) -> u64 {
+        self.oracle_staged_absorbed
+    }
+
+    /// Total tombstoned slots reclaimed by compactions.
+    pub fn oracle_tombstones_reclaimed(&self) -> u64 {
+        self.oracle_tombstones_reclaimed
+    }
+
     /// Share of deliveries that were false positives.
     pub fn false_positive_rate(&self) -> f64 {
         if self.deliveries == 0 {
@@ -116,7 +145,7 @@ impl fmt::Display for RoutingStats {
         write!(
             f,
             "events={} deliveries={} fp={} ({:.2}%) fn={} ({:.2}%) msgs/event={:.1} \
-             oracle-rebuilds={} ({:.1}ms)",
+             oracle-rebuilds={} ({:.1}ms) compactions={} (staged={} tombstones={})",
             self.events,
             self.deliveries,
             self.false_positives,
@@ -126,6 +155,9 @@ impl fmt::Display for RoutingStats {
             self.messages_per_event(),
             self.oracle_rebuilds,
             self.oracle_rebuild_ns as f64 / 1e6,
+            self.oracle_compactions,
+            self.oracle_staged_absorbed,
+            self.oracle_tombstones_reclaimed,
         )
     }
 }

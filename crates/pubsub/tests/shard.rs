@@ -1,16 +1,18 @@
-//! Property tests pinning the sharded oracle to the unsharded packed
-//! backend: for every shard count, under random *interleaved*
-//! subscribe/unsubscribe/publish sequences (the regime the paper's
-//! dissemination layer lives in — membership mutates while events
-//! flow), `ShardedOracle` must return hit-sets identical to one
-//! `PackedRTree` over the same live entry set, on both the single-probe
-//! and the batched path.
+//! Property tests pinning the sharded oracle to a rebuild-from-scratch
+//! reference: for every shard count and every delta-layer compaction
+//! threshold (always-compact through never-compact), under random
+//! *interleaved* subscribe/unsubscribe/publish/flush sequences (the
+//! regime the paper's dissemination layer lives in — membership
+//! mutates while events flow), `ShardedOracle` must return hit-sets
+//! identical to one freshly bulk-loaded `PackedRTree` over the same
+//! live entry set, on both the single-probe and the batched path.
 
 use drtree_core::ProcessId;
 use drtree_pubsub::{BatchMatches, ShardedOracle};
 use drtree_rtree::PackedRTree;
 use drtree_spatial::{Point, Rect};
 use proptest::prelude::*;
+use proptest::strategy::Just;
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -18,6 +20,9 @@ enum Op {
     /// Remove the n-th (mod live) entry.
     UnsubscribeNth(usize),
     Publish(Point<2>),
+    /// Force a maintenance pass mid-sequence (compaction at the
+    /// configured threshold, rebalance if due).
+    Flush,
 }
 
 fn arb_rect() -> impl Strategy<Value = Rect<2>> {
@@ -33,7 +38,17 @@ fn arb_op() -> impl Strategy<Value = Op> {
         2 => (0usize..256).prop_map(Op::UnsubscribeNth),
         3 => (0.0f64..460.0, 0.0f64..460.0)
             .prop_map(|(x, y)| Op::Publish(Point::new([x, y]))),
+        1 => Just(Op::Flush),
     ]
+}
+
+/// Compaction thresholds exercised per case: `0.0` compacts on every
+/// flush (the rebuild-on-flush baseline), `0.05` compacts aggressively
+/// mid-sequence, the default rarely at these sizes, `1e9` never — so
+/// the delta layer is pinned at every depth from empty to
+/// all-of-the-data.
+fn arb_delta_fraction() -> impl Strategy<Value = f64> {
+    prop::sample::select(vec![0.0, 0.05, drtree_rtree::DEFAULT_DELTA_FRACTION, 1e9])
 }
 
 /// The reference answer: a fresh packed tree over the live entries.
@@ -49,13 +64,17 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
     /// Single-probe equivalence for K = 1, 2, 4, 7 under interleaved
-    /// mutation and publishing.
+    /// mutation, publishing, and flushing, at the sampled compaction
+    /// threshold — pinning the delta-layer oracle to a
+    /// rebuild-from-scratch reference whatever the delta's depth.
     #[test]
     fn sharded_hit_sets_match_packed_reference(
         ops in prop::collection::vec(arb_op(), 1..120),
+        fraction in arb_delta_fraction(),
     ) {
         for shards in [1usize, 2, 4, 7] {
             let mut oracle: ShardedOracle<2> = ShardedOracle::new(shards);
+            oracle.set_delta_fraction(fraction);
             let mut model: Vec<(ProcessId, Rect<2>)> = Vec::new();
             let mut next_id = 0u64;
             let mut hits = Vec::new();
@@ -82,8 +101,11 @@ proptest! {
                         let want = reference_matches(&model, point);
                         prop_assert_eq!(
                             &hits, &want,
-                            "K={} at {:?}", shards, point
+                            "K={} fraction={} at {:?}", shards, fraction, point
                         );
+                    }
+                    Op::Flush => {
+                        oracle.flush();
                     }
                 }
                 prop_assert_eq!(oracle.len(), model.len());
@@ -92,7 +114,9 @@ proptest! {
     }
 
     /// The batched path answers exactly like the single-probe path for
-    /// every shard count, probe by probe.
+    /// every shard count, probe by probe — with the delta layer at
+    /// every sampled depth (`fraction` controls how much of the data
+    /// is still staged when the probes run).
     #[test]
     fn batched_matches_equal_single_probes(
         rects in prop::collection::vec(arb_rect(), 0..150),
@@ -100,6 +124,8 @@ proptest! {
             (0.0f64..460.0, 0.0f64..460.0).prop_map(|(x, y)| Point::<2>::new([x, y])),
             1..80,
         ),
+        removals in prop::collection::vec(0usize..150, 0..30),
+        fraction in arb_delta_fraction(),
     ) {
         for shards in [1usize, 2, 4, 7] {
             // threads = 1 exercises the fused merge-free pass,
@@ -107,11 +133,26 @@ proptest! {
             for threads in [1usize, 3] {
                 let mut oracle: ShardedOracle<2> = ShardedOracle::new(shards);
                 oracle.set_threads(threads);
+                oracle.set_delta_fraction(fraction);
+                let mut live: Vec<(ProcessId, Rect<2>)> = Vec::new();
                 for (i, rect) in rects.iter().enumerate() {
                     // Every third entry duplicates the previous id,
                     // modelling subscription sets (dedup must hold).
                     let id = ProcessId::from_raw((i - usize::from(i % 3 == 2)) as u64);
                     oracle.insert(id, *rect);
+                    live.push((id, *rect));
+                    // Flush mid-load a few times so part of the data is
+                    // packed and part staged when the probes run.
+                    if i % 50 == 49 {
+                        oracle.flush();
+                    }
+                }
+                for n in &removals {
+                    if live.is_empty() {
+                        break;
+                    }
+                    let (id, rect) = live.remove(n % live.len());
+                    prop_assert!(oracle.remove(id, &rect));
                 }
                 let mut batch = BatchMatches::new();
                 oracle.match_batch_into(&probes, &mut batch);
@@ -121,7 +162,7 @@ proptest! {
                     oracle.match_point_into(probe, &mut single);
                     prop_assert_eq!(
                         batch.matches(i), single.as_slice(),
-                        "K={} threads={} probe {}", shards, threads, i
+                        "K={} threads={} fraction={} probe {}", shards, threads, fraction, i
                     );
                 }
             }

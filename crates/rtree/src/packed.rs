@@ -16,11 +16,33 @@
 //!
 //! The tree is static in *shape* but serves live workloads through
 //! [`PackedRTree::update`], which rewrites one entry's rectangle and
-//! incrementally refits the `O(log N)` ancestor MBRs above it. Growing
-//! or shrinking the entry set requires a rebuild
-//! ([`PackedRTree::bulk_load`] again) — rebuilds are cheap enough that
-//! consumers with mutation (e.g. the pub/sub broker's subscription
-//! index) rebuild lazily on the next query.
+//! incrementally refits the `O(log N)` ancestor MBRs above it.
+//!
+//! # The two-tier search: packed levels + delta layer
+//!
+//! Growing or shrinking the entry set does **not** require an
+//! immediate rebuild. The tree carries a bounded *delta layer*:
+//!
+//! * **staging buffer** — [`PackedRTree::stage_insert`] appends new
+//!   entries to a small unsorted side array. Every visitor
+//!   ([`PackedRTree::for_each_containing`], the batched descent, the
+//!   abortable window walk) searches the packed levels *and* then
+//!   scans the staging buffer with the same branchless ≤32-wide
+//!   bitmask chunks the leaf level uses, so staged entries are visible
+//!   immediately and the scan stays cheap while the buffer is small.
+//! * **tombstones** — [`PackedRTree::tombstone`] marks a packed slot
+//!   dead in a bitmap ([`PackedRTree::is_live`]); traversals skip dead
+//!   slots at emission time. Node MBRs are left untouched (they only
+//!   over-approximate, which costs pruning quality, never
+//!   correctness).
+//!
+//! [`PackedRTree::compact`] folds both back into a fresh Hilbert
+//! bulk-load; [`PackedRTree::needs_compaction`] says when the delta
+//! has outgrown the configured fraction of the packed slots
+//! ([`PackedRTree::set_delta_fraction`]), so a churning consumer (the
+//! pub/sub broker's subscription oracle) pays one `O(N log N)` merge
+//! per *delta-fraction* worth of mutations instead of one full rebuild
+//! per mutation batch.
 
 use drtree_spatial::hilbert::GridMapper;
 use drtree_spatial::{Point, Rect};
@@ -40,6 +62,12 @@ const MAX_NODE_SIZE: usize = 32;
 /// at 2^32 entries, so `31 · 6 + 1 = 187` frames bound every legal
 /// tree; 256 leaves margin.
 const STACK_CAPACITY: usize = 256;
+
+/// Default delta-layer budget: compact when staged entries plus
+/// tombstones exceed this fraction of the packed slots. A quarter
+/// keeps the staging scan a small constant of the packed search while
+/// amortizing one `O(N log N)` merge over `N/4` mutations.
+pub const DEFAULT_DELTA_FRACTION: f64 = 0.25;
 
 /// The Hilbert-sorted permutation of `entries` (indexes into it).
 ///
@@ -155,8 +183,65 @@ pub struct PackedRTree<K, const D: usize> {
     rects: Vec<Rect<D>>,
     /// `levels[0]` holds the leaf-node MBRs, each covering `node_size`
     /// consecutive entries; each further level packs the one below; the
-    /// last level is the root (length 1). Empty iff the tree is empty.
+    /// last level is the root (length 1). Empty iff the packed tier is
+    /// empty (staged entries may still exist).
     levels: Vec<Vec<Rect<D>>>,
+    /// Delta-layer staging buffer: keys of entries inserted since the
+    /// last bulk load / compaction, parallel to `staged_rects`.
+    staged_keys: Vec<K>,
+    /// Staged rectangles — the contiguous array the staging-scan
+    /// bitmask chunks run over.
+    staged_rects: Vec<Rect<D>>,
+    /// Tombstone bitmap over packed slots (one bit per slot, empty
+    /// until the first tombstone); set bits are dead entries skipped at
+    /// emission time.
+    tombstones: Vec<u64>,
+    /// Number of set bits in `tombstones`.
+    tombstone_count: usize,
+    /// Union of every rectangle ever staged since the last compaction
+    /// (an over-approximation after staged removals); folded into
+    /// [`PackedRTree::mbr`] so delta entries are never pruned away.
+    staged_mbr: Option<Rect<D>>,
+    /// Compaction trigger: see [`PackedRTree::needs_compaction`].
+    delta_fraction: f64,
+}
+
+/// How [`PackedRTree::remove_entry`] realized a removal — callers
+/// maintaining external slot- or stage-indexed structures (e.g. the
+/// pub/sub stab grid) patch themselves from this.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DeltaRemoval<const D: usize> {
+    /// A staged entry was removed by swap-remove: `index` is the
+    /// vacated staging index, and `moved` is the rectangle of the
+    /// former last staged entry now living at `index` (`None` when the
+    /// removed entry *was* the last).
+    Unstaged {
+        /// The staging index that was vacated.
+        index: usize,
+        /// Rectangle of the entry swapped into `index`, if any.
+        moved: Option<Rect<D>>,
+    },
+    /// A packed entry was tombstoned in place.
+    Tombstoned {
+        /// The now-dead packed slot.
+        slot: usize,
+    },
+}
+
+/// What one [`PackedRTree::compact`] call absorbed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeltaCompaction {
+    /// Staged entries merged into the packed levels.
+    pub staged_absorbed: usize,
+    /// Tombstoned slots reclaimed.
+    pub tombstones_reclaimed: usize,
+}
+
+impl DeltaCompaction {
+    /// `true` when the compaction had nothing to do.
+    pub fn is_noop(&self) -> bool {
+        self.staged_absorbed == 0 && self.tombstones_reclaimed == 0
+    }
 }
 
 /// A violated packed-level invariant, reported by
@@ -182,6 +267,11 @@ pub enum PackedValidationError {
     /// The key and rectangle arrays disagree in length, or a non-empty
     /// tree has no levels.
     Inconsistent,
+    /// The delta layer violates an invariant: staged arrays of unequal
+    /// length, a tombstone count disagreeing with the bitmap, a bitmap
+    /// of the wrong width, or a staged rectangle outside the tracked
+    /// staged MBR.
+    DeltaInconsistent,
 }
 
 impl std::fmt::Display for PackedValidationError {
@@ -200,6 +290,9 @@ impl std::fmt::Display for PackedValidationError {
             }
             PackedValidationError::Inconsistent => {
                 f.write_str("entry arrays inconsistent with level arrays")
+            }
+            PackedValidationError::DeltaInconsistent => {
+                f.write_str("delta layer inconsistent with its bookkeeping")
             }
         }
     }
@@ -229,6 +322,12 @@ impl<K, const D: usize> PackedRTree<K, D> {
                 keys: Vec::new(),
                 rects: Vec::new(),
                 levels: Vec::new(),
+                staged_keys: Vec::new(),
+                staged_rects: Vec::new(),
+                tombstones: Vec::new(),
+                tombstone_count: 0,
+                staged_mbr: None,
+                delta_fraction: DEFAULT_DELTA_FRACTION,
             };
         }
 
@@ -271,17 +370,31 @@ impl<K, const D: usize> PackedRTree<K, D> {
             keys,
             rects,
             levels,
+            staged_keys: Vec::new(),
+            staged_rects: Vec::new(),
+            tombstones: Vec::new(),
+            tombstone_count: 0,
+            staged_mbr: None,
+            delta_fraction: DEFAULT_DELTA_FRACTION,
         }
     }
 
-    /// Number of stored entries.
+    /// Number of *live* entries: packed slots minus tombstones plus
+    /// staged entries.
     pub fn len(&self) -> usize {
-        self.keys.len()
+        self.keys.len() - self.tombstone_count + self.staged_keys.len()
     }
 
-    /// `true` if the tree stores no entries.
+    /// `true` if the tree stores no live entries.
     pub fn is_empty(&self) -> bool {
-        self.keys.is_empty()
+        self.len() == 0
+    }
+
+    /// Number of packed slots, tombstoned ones included — the range
+    /// valid for [`PackedRTree::entry`], [`PackedRTree::update`], and
+    /// [`PackedRTree::tombstone`].
+    pub fn packed_len(&self) -> usize {
+        self.keys.len()
     }
 
     /// Node capacity the tree was packed with.
@@ -295,48 +408,78 @@ impl<K, const D: usize> PackedRTree<K, D> {
         self.levels.len().max(1)
     }
 
-    /// The MBR of the whole tree (`None` when empty).
+    /// The MBR of the whole tree — packed root unioned with the staged
+    /// layer's MBR (`None` when no entry was ever stored since the last
+    /// compaction). Tombstones never shrink it, so it may
+    /// over-approximate; pruning against it stays conservative.
     pub fn mbr(&self) -> Option<Rect<D>> {
-        self.levels.last().map(|root| root[0])
+        let root = self.levels.last().map(|root| root[0]);
+        match (root, self.staged_mbr) {
+            (Some(a), Some(b)) => Some(a.union(&b)),
+            (a, b) => a.or(b),
+        }
     }
 
-    /// The entry stored in `slot` (Hilbert order).
+    /// The entry stored in packed `slot` (Hilbert order), tombstoned or
+    /// not — check [`PackedRTree::is_live`] when it matters.
     ///
     /// # Panics
     ///
-    /// Panics if `slot >= self.len()`.
+    /// Panics if `slot >= self.packed_len()`.
     pub fn entry(&self, slot: usize) -> (&K, &Rect<D>) {
         (&self.keys[slot], &self.rects[slot])
     }
 
-    /// All entry keys in slot order — the raw column behind
+    /// All packed entry keys in slot order — the raw column behind
     /// [`PackedRTree::entry`], for consumers that index by slot in
     /// bulk (e.g. external acceleration structures keyed by slot).
+    /// Includes tombstoned slots; excludes the staging buffer
+    /// ([`PackedRTree::staged_keys`]).
     pub fn keys(&self) -> &[K] {
         &self.keys
     }
 
-    /// All entry rectangles in slot order (parallel to
+    /// All packed entry rectangles in slot order (parallel to
     /// [`PackedRTree::keys`]).
     pub fn rects(&self) -> &[Rect<D>] {
         &self.rects
     }
 
-    /// Iterates over `(slot, key, rect)` in Hilbert order.
+    /// All staged entry keys (delta layer, arbitrary order), parallel
+    /// to [`PackedRTree::staged_rects`].
+    pub fn staged_keys(&self) -> &[K] {
+        &self.staged_keys
+    }
+
+    /// All staged entry rectangles (parallel to
+    /// [`PackedRTree::staged_keys`]).
+    pub fn staged_rects(&self) -> &[Rect<D>] {
+        &self.staged_rects
+    }
+
+    /// Iterates over the *live* packed entries as `(slot, key, rect)`
+    /// in Hilbert order, skipping tombstoned slots. Staged entries are
+    /// not included ([`PackedRTree::staged_keys`] exposes them).
     pub fn entries(&self) -> impl Iterator<Item = (usize, &K, &Rect<D>)> {
         self.keys
             .iter()
             .zip(self.rects.iter())
             .enumerate()
+            .filter(|&(slot, _)| self.is_live(slot))
             .map(|(slot, (k, r))| (slot, k, r))
     }
 
-    /// The lowest slot holding an entry with key `key`, if any.
+    /// The lowest live packed slot holding an entry with key `key`, if
+    /// any.
     pub fn slot_of(&self, key: &K) -> Option<usize>
     where
         K: PartialEq,
     {
-        self.keys.iter().position(|k| k == key)
+        self.keys
+            .iter()
+            .enumerate()
+            .find(|&(slot, k)| k == key && self.is_live(slot))
+            .map(|(slot, _)| slot)
     }
 
     /// Replaces the rectangle in `slot` and incrementally refits the
@@ -351,9 +494,10 @@ impl<K, const D: usize> PackedRTree<K, D> {
     ///
     /// # Panics
     ///
-    /// Panics if `slot >= self.len()`.
+    /// Panics if `slot >= self.packed_len()`.
     pub fn update(&mut self, slot: usize, rect: Rect<D>) {
         assert!(slot < self.keys.len(), "slot {slot} out of bounds");
+        debug_assert!(self.is_live(slot), "updating a tombstoned slot");
         self.rects[slot] = rect;
         let mut node = slot / self.node_size;
         for level in 0..self.levels.len() {
@@ -378,6 +522,194 @@ impl<K, const D: usize> PackedRTree<K, D> {
         };
         let hi = ((node + 1) * self.node_size).min(below.len());
         Rect::union_all(below[lo..hi].iter())
+    }
+
+    // ---- delta layer -------------------------------------------------
+
+    /// Appends `(key, rect)` to the staging buffer. The entry is
+    /// visible to every visitor immediately; it joins the packed levels
+    /// at the next [`PackedRTree::compact`].
+    pub fn stage_insert(&mut self, key: K, rect: Rect<D>) {
+        self.staged_mbr = Some(match self.staged_mbr {
+            Some(m) => m.union(&rect),
+            None => rect,
+        });
+        self.staged_keys.push(key);
+        self.staged_rects.push(rect);
+    }
+
+    /// Number of entries in the staging buffer.
+    pub fn staged_len(&self) -> usize {
+        self.staged_keys.len()
+    }
+
+    /// Number of tombstoned packed slots.
+    pub fn tombstone_count(&self) -> usize {
+        self.tombstone_count
+    }
+
+    /// Size of the delta layer: staged entries plus tombstones — the
+    /// quantity [`PackedRTree::needs_compaction`] compares against the
+    /// packed slot count.
+    pub fn delta_len(&self) -> usize {
+        self.staged_keys.len() + self.tombstone_count
+    }
+
+    /// `true` when packed slot `slot` has **not** been tombstoned.
+    /// (Out-of-range slots read as live; the bitmap is only allocated
+    /// once a tombstone exists.)
+    #[inline]
+    pub fn is_live(&self, slot: usize) -> bool {
+        match self.tombstones.get(slot >> 6) {
+            Some(word) => word & (1u64 << (slot & 63)) == 0,
+            None => true,
+        }
+    }
+
+    /// Tombstones packed slot `slot`: the entry stays in the arrays but
+    /// no visitor will emit it again. Returns `false` when the slot was
+    /// already dead. Node MBRs are *not* refitted (they only
+    /// over-approximate); [`PackedRTree::compact`] reclaims the slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= self.packed_len()`.
+    pub fn tombstone(&mut self, slot: usize) -> bool {
+        assert!(slot < self.keys.len(), "slot {slot} out of bounds");
+        if self.tombstones.is_empty() {
+            self.tombstones = vec![0u64; self.keys.len().div_ceil(64)];
+        }
+        let (word, bit) = (slot >> 6, 1u64 << (slot & 63));
+        if self.tombstones[word] & bit != 0 {
+            return false;
+        }
+        self.tombstones[word] |= bit;
+        self.tombstone_count += 1;
+        true
+    }
+
+    /// Removes one live `(key, rect)` entry through the delta layer:
+    /// staged entries are swap-removed, packed entries are tombstoned
+    /// in place (located by a pruned traversal on the exact rectangle,
+    /// not a linear scan). Returns what happened so callers maintaining
+    /// stage- or slot-indexed side structures can patch themselves, or
+    /// `None` when no live entry matches.
+    pub fn remove_entry(&mut self, key: &K, rect: &Rect<D>) -> Option<DeltaRemoval<D>>
+    where
+        K: PartialEq,
+    {
+        // Staging buffer first: recently added entries are the
+        // likeliest to churn right back out, and unstaging is cheaper
+        // than a tombstone (the slot is reclaimed immediately).
+        if let Some(index) = self
+            .staged_keys
+            .iter()
+            .zip(&self.staged_rects)
+            .position(|(k, r)| k == key && r == rect)
+        {
+            self.staged_keys.swap_remove(index);
+            self.staged_rects.swap_remove(index);
+            let moved = (index < self.staged_rects.len()).then(|| self.staged_rects[index]);
+            if self.staged_keys.is_empty() {
+                self.staged_mbr = None;
+            }
+            return Some(DeltaRemoval::Unstaged { index, moved });
+        }
+        let slot = self.find_packed_slot(key, rect)?;
+        self.tombstone(slot);
+        Some(DeltaRemoval::Tombstoned { slot })
+    }
+
+    /// The first live packed slot holding exactly `(key, rect)`, found
+    /// by descending only nodes whose MBR intersects `rect`.
+    fn find_packed_slot(&self, key: &K, rect: &Rect<D>) -> Option<usize>
+    where
+        K: PartialEq,
+    {
+        let mut found = None;
+        self.traverse_packed_while(&|rects| mask_intersecting(rects, rect), &mut |slot| {
+            if self.rects[slot] == *rect && self.keys[slot] == *key {
+                found = Some(slot);
+                false
+            } else {
+                true
+            }
+        });
+        found
+    }
+
+    /// Sets the compaction trigger: the delta layer is considered
+    /// oversized once it exceeds `fraction × packed_len()` entries.
+    /// `0.0` compacts on any delta (rebuild-per-flush, the pre-delta
+    /// behavior); large values defer compaction indefinitely. Defaults
+    /// to [`DEFAULT_DELTA_FRACTION`].
+    pub fn set_delta_fraction(&mut self, fraction: f64) {
+        self.delta_fraction = fraction.max(0.0);
+    }
+
+    /// The configured compaction trigger fraction.
+    pub fn delta_fraction(&self) -> f64 {
+        self.delta_fraction
+    }
+
+    /// `true` once the delta layer exceeds the configured fraction of
+    /// the packed slots — the cue to [`PackedRTree::compact`].
+    pub fn needs_compaction(&self) -> bool {
+        let delta = self.delta_len();
+        delta > 0 && delta as f64 > self.delta_fraction * self.keys.len() as f64
+    }
+
+    /// Merges the staging buffer and reclaims tombstoned slots with one
+    /// fresh Hilbert bulk-load of the live entries. A no-op (reported
+    /// as such) when the delta layer is empty.
+    pub fn compact(&mut self) -> DeltaCompaction {
+        let stats = DeltaCompaction {
+            staged_absorbed: self.staged_keys.len(),
+            tombstones_reclaimed: self.tombstone_count,
+        };
+        if stats.is_noop() {
+            return stats;
+        }
+        let node_size = self.node_size;
+        let fraction = self.delta_fraction;
+        let entries = self.drain_live();
+        *self = Self::bulk_load_with_node_size(node_size, entries);
+        self.delta_fraction = fraction;
+        stats
+    }
+
+    /// [`PackedRTree::compact`] gated by
+    /// [`PackedRTree::needs_compaction`]; returns `None` when the delta
+    /// was within budget.
+    pub fn maybe_compact(&mut self) -> Option<DeltaCompaction> {
+        self.needs_compaction().then(|| self.compact())
+    }
+
+    /// Moves every live entry (packed minus tombstones, plus staged)
+    /// out of the tree, leaving it empty. No `Clone` is required — keys
+    /// are moved. This is the redistribution primitive of sharded
+    /// consumers (rebalance = drain every shard, re-split, bulk-load).
+    pub fn drain_live(&mut self) -> Vec<(K, Rect<D>)> {
+        let keys = std::mem::take(&mut self.keys);
+        let rects = std::mem::take(&mut self.rects);
+        let staged_keys = std::mem::take(&mut self.staged_keys);
+        let staged_rects = std::mem::take(&mut self.staged_rects);
+        let tombstones = std::mem::take(&mut self.tombstones);
+        self.levels.clear();
+        self.tombstone_count = 0;
+        self.staged_mbr = None;
+        let mut out: Vec<(K, Rect<D>)> = Vec::with_capacity(keys.len() + staged_keys.len());
+        for (slot, (k, r)) in keys.into_iter().zip(rects).enumerate() {
+            let live = match tombstones.get(slot >> 6) {
+                Some(word) => word & (1u64 << (slot & 63)) == 0,
+                None => true,
+            };
+            if live {
+                out.push((k, r));
+            }
+        }
+        out.extend(staged_keys.into_iter().zip(staged_rects));
+        out
     }
 
     /// Visits every entry whose rectangle contains `point` — the hot
@@ -413,11 +745,10 @@ impl<K, const D: usize> PackedRTree<K, D> {
         self.traverse_while(|rects| mask_intersecting(rects, window), visit);
     }
 
-    /// Iterative pruned traversal. `mask_of` maps a slice of ≤
-    /// `node_size` rectangles to a hit bitmask; nodes with set bits are
-    /// descended, entries with set bits are emitted. The explicit stack
-    /// is a fixed array ([`STACK_CAPACITY`] frames bounds every legal
-    /// tree), so a query performs no heap allocation at all.
+    /// Iterative pruned traversal over **both tiers**. `mask_of` maps a
+    /// slice of ≤ 32 rectangles to a hit bitmask; nodes with set bits
+    /// are descended, live entries with set bits are emitted, and the
+    /// staging buffer is then scanned with the same bitmask chunks.
     fn traverse<'a>(
         &'a self,
         mask_of: impl Fn(&[Rect<D>]) -> u32,
@@ -430,17 +761,35 @@ impl<K, const D: usize> PackedRTree<K, D> {
     }
 
     /// [`PackedRTree::traverse`] with an abortable visitor: emitting
-    /// `false` unwinds the whole traversal immediately.
+    /// `false` unwinds the whole traversal immediately (the staging
+    /// scan included).
     fn traverse_while<'a>(
         &'a self,
         mask_of: impl Fn(&[Rect<D>]) -> u32,
         mut emit: impl FnMut(&'a K, &'a Rect<D>) -> bool,
     ) {
+        if self.traverse_packed_while(&mask_of, &mut |slot| {
+            emit(&self.keys[slot], &self.rects[slot])
+        }) {
+            self.scan_staged_while(&mask_of, &mut emit);
+        }
+    }
+
+    /// The packed tier of [`PackedRTree::traverse_while`], emitting
+    /// live slot indexes. The explicit stack is a fixed array
+    /// ([`STACK_CAPACITY`] frames bounds every legal tree), so a query
+    /// performs no heap allocation at all. Returns `false` when the
+    /// visitor aborted.
+    fn traverse_packed_while(
+        &self,
+        mask_of: &impl Fn(&[Rect<D>]) -> u32,
+        emit: &mut impl FnMut(usize) -> bool,
+    ) -> bool {
         let Some(root) = self.levels.last() else {
-            return;
+            return true;
         };
         if mask_of(&root[0..1]) == 0 {
-            return;
+            return true;
         }
         let mut stack = [(0u32, 0u32); STACK_CAPACITY];
         let mut top = 1usize;
@@ -454,8 +803,8 @@ impl<K, const D: usize> PackedRTree<K, D> {
                 let mut mask = mask_of(&self.rects[lo..hi]);
                 while mask != 0 {
                     let slot = lo + mask.trailing_zeros() as usize;
-                    if !emit(&self.keys[slot], &self.rects[slot]) {
-                        return;
+                    if self.is_live(slot) && !emit(slot) {
+                        return false;
                     }
                     mask &= mask - 1;
                 }
@@ -472,6 +821,29 @@ impl<K, const D: usize> PackedRTree<K, D> {
                 }
             }
         }
+        true
+    }
+
+    /// The delta tier of [`PackedRTree::traverse_while`]: the staging
+    /// buffer scanned in ≤ 32-wide chunks with the same branchless
+    /// bitmask the leaf level uses. Returns `false` when the visitor
+    /// aborted.
+    fn scan_staged_while<'a>(
+        &'a self,
+        mask_of: &impl Fn(&[Rect<D>]) -> u32,
+        emit: &mut impl FnMut(&'a K, &'a Rect<D>) -> bool,
+    ) -> bool {
+        for (chunk_idx, chunk) in self.staged_rects.chunks(MAX_NODE_SIZE).enumerate() {
+            let mut mask = mask_of(chunk);
+            while mask != 0 {
+                let i = chunk_idx * MAX_NODE_SIZE + mask.trailing_zeros() as usize;
+                if !emit(&self.staged_keys[i], &self.staged_rects[i]) {
+                    return false;
+                }
+                mask &= mask - 1;
+            }
+        }
+        true
     }
 
     /// Visits, for every probe in `points`, each entry whose rectangle
@@ -503,24 +875,38 @@ impl<K, const D: usize> PackedRTree<K, D> {
             points.len() <= u32::MAX as usize,
             "batch is limited to 2^32 probes"
         );
-        let Some(root) = self.levels.last() else {
-            return;
-        };
-        let active: Vec<u32> = (0..points.len() as u32)
-            .filter(|&pi| root[0].contains_point_branchless(&points[pi as usize]))
-            .collect();
-        if active.is_empty() {
+        if let Some(root) = self.levels.last() {
+            let active: Vec<u32> = (0..points.len() as u32)
+                .filter(|&pi| root[0].contains_point_branchless(&points[pi as usize]))
+                .collect();
+            if !active.is_empty() {
+                let mut pool: Vec<Vec<u32>> = Vec::new();
+                self.walk_batch(
+                    self.levels.len() - 1,
+                    0,
+                    &active,
+                    points,
+                    &mut pool,
+                    &mut emit,
+                );
+            }
+        }
+        // Delta tier: every probe against the staging buffer (the root
+        // MBR filter above does not apply — staged entries may lie
+        // outside it).
+        if self.staged_rects.is_empty() {
             return;
         }
-        let mut pool: Vec<Vec<u32>> = Vec::new();
-        self.walk_batch(
-            self.levels.len() - 1,
-            0,
-            &active,
-            points,
-            &mut pool,
-            &mut emit,
-        );
+        for (pi, point) in points.iter().enumerate() {
+            for (chunk_idx, chunk) in self.staged_rects.chunks(MAX_NODE_SIZE).enumerate() {
+                let mut mask = mask_containing(chunk, point);
+                while mask != 0 {
+                    let i = chunk_idx * MAX_NODE_SIZE + mask.trailing_zeros() as usize;
+                    emit(pi as u32, &self.staged_keys[i], &self.staged_rects[i]);
+                    mask &= mask - 1;
+                }
+            }
+        }
     }
 
     /// One frame of the joint batch descent: `active` holds the probe
@@ -544,7 +930,9 @@ impl<K, const D: usize> PackedRTree<K, D> {
                 let mut mask = mask_containing(rects, &points[pi as usize]);
                 while mask != 0 {
                     let slot = lo + mask.trailing_zeros() as usize;
-                    emit(pi, &self.keys[slot], &self.rects[slot]);
+                    if self.is_live(slot) {
+                        emit(pi, &self.keys[slot], &self.rects[slot]);
+                    }
                     mask &= mask - 1;
                 }
             }
@@ -584,8 +972,10 @@ impl<K, const D: usize> PackedRTree<K, D> {
         out
     }
 
-    /// Checks the packed-level invariants: implicit-topology level
-    /// lengths, exact node MBRs at every level, and array consistency.
+    /// Checks the packed-level invariants — implicit-topology level
+    /// lengths, exact node MBRs at every level, array consistency —
+    /// plus the delta layer's: staged arrays in step, tombstone count
+    /// matching the bitmap, staged MBR covering every staged entry.
     ///
     /// # Errors
     ///
@@ -593,6 +983,29 @@ impl<K, const D: usize> PackedRTree<K, D> {
     pub fn validate(&self) -> Result<(), PackedValidationError> {
         if self.keys.len() != self.rects.len() {
             return Err(PackedValidationError::Inconsistent);
+        }
+        if self.staged_keys.len() != self.staged_rects.len() {
+            return Err(PackedValidationError::DeltaInconsistent);
+        }
+        let popcount: usize = self
+            .tombstones
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum();
+        if popcount != self.tombstone_count {
+            return Err(PackedValidationError::DeltaInconsistent);
+        }
+        if !self.tombstones.is_empty() && self.tombstones.len() != self.keys.len().div_ceil(64) {
+            return Err(PackedValidationError::DeltaInconsistent);
+        }
+        match &self.staged_mbr {
+            None if !self.staged_rects.is_empty() => {
+                return Err(PackedValidationError::DeltaInconsistent);
+            }
+            Some(mbr) if !self.staged_rects.iter().all(|r| mbr.contains_rect(r)) => {
+                return Err(PackedValidationError::DeltaInconsistent);
+            }
+            _ => {}
         }
         if self.keys.is_empty() {
             return if self.levels.is_empty() {
@@ -627,7 +1040,7 @@ impl<K, const D: usize> PackedRTree<K, D> {
 
 impl<K, const D: usize> SpatialIndex<K, D> for PackedRTree<K, D> {
     fn len(&self) -> usize {
-        self.keys.len()
+        PackedRTree::len(self)
     }
 
     fn for_each_containing<'a, F>(&'a self, point: &Point<D>, visit: F)
@@ -821,6 +1234,195 @@ mod tests {
             true
         });
         assert_eq!(all, full);
+    }
+
+    /// Live entries of a delta-bearing tree, straight from the model's
+    /// definition.
+    fn live_model(tree: &PackedRTree<usize, 2>) -> Vec<(usize, Rect<2>)> {
+        let mut out: Vec<(usize, Rect<2>)> = tree.entries().map(|(_, &k, &r)| (k, r)).collect();
+        out.extend(
+            tree.staged_keys()
+                .iter()
+                .zip(tree.staged_rects())
+                .map(|(&k, &r)| (k, r)),
+        );
+        out
+    }
+
+    #[test]
+    fn staged_inserts_are_searchable_before_compaction() {
+        let mut tree = PackedRTree::bulk_load_with_node_size(4, grid(100));
+        // Stage entries both inside and far outside the packed world.
+        tree.stage_insert(500, Rect::new([10.0, 10.0], [11.0, 11.0]));
+        tree.stage_insert(501, Rect::new([5000.0, 5000.0], [5001.0, 5001.0]));
+        tree.validate().unwrap();
+        assert_eq!(tree.len(), 102);
+        assert_eq!(tree.staged_len(), 2);
+        assert!(tree.search_point(&Point::new([10.5, 10.5])).contains(&&500));
+        // The out-of-world staged entry is visible to every visitor.
+        assert_eq!(tree.search_point(&Point::new([5000.5, 5000.5])), vec![&501]);
+        assert_eq!(
+            tree.search_intersecting(&Rect::new([4999.0, 4999.0], [5002.0, 5002.0])),
+            vec![&501]
+        );
+        let probes = [Point::new([5000.5, 5000.5])];
+        let mut hits = Vec::new();
+        tree.for_each_containing_batch(&probes, |pi, &k, _| hits.push((pi, k)));
+        assert_eq!(hits, vec![(0, 501)]);
+        assert!(tree.mbr().expect("non-empty").contains_point(&probes[0]));
+    }
+
+    #[test]
+    fn tombstones_hide_entries_from_every_visitor() {
+        let mut tree = PackedRTree::bulk_load_with_node_size(4, grid(100));
+        let slot = tree.slot_of(&42).expect("entry exists");
+        let center = grid(100)[42].1.center();
+        assert!(tree.tombstone(slot));
+        assert!(!tree.tombstone(slot), "double tombstone reports false");
+        assert!(!tree.is_live(slot));
+        tree.validate().unwrap();
+        assert_eq!(tree.len(), 99);
+        assert!(!tree.search_point(&center).contains(&&42));
+        let mut batch_hits = Vec::new();
+        tree.for_each_containing_batch(&[center], |_, &k, _| batch_hits.push(k));
+        assert!(!batch_hits.contains(&42));
+        let window = grid(100)[42].1;
+        assert!(!tree.search_intersecting(&window).contains(&&42));
+        assert_eq!(tree.slot_of(&42), None, "tombstoned entries are not found");
+    }
+
+    #[test]
+    fn remove_entry_unstages_and_tombstones() {
+        let mut tree = PackedRTree::bulk_load_with_node_size(4, grid(50));
+        let extra = Rect::new([200.0, 200.0], [201.0, 201.0]);
+        tree.stage_insert(900, extra);
+        tree.stage_insert(901, Rect::new([210.0, 210.0], [211.0, 211.0]));
+        // Unstage: the first staged entry goes, the second moves into
+        // its index.
+        match tree.remove_entry(&900, &extra) {
+            Some(DeltaRemoval::Unstaged { index: 0, moved }) => {
+                assert_eq!(moved, Some(Rect::new([210.0, 210.0], [211.0, 211.0])));
+            }
+            other => panic!("unexpected removal outcome {other:?}"),
+        }
+        // Tombstone: a packed entry.
+        let (key, rect) = grid(50)[7];
+        match tree.remove_entry(&key, &rect) {
+            Some(DeltaRemoval::Tombstoned { slot }) => assert!(!tree.is_live(slot)),
+            other => panic!("unexpected removal outcome {other:?}"),
+        }
+        // Gone entries are not found again.
+        assert_eq!(tree.remove_entry(&900, &extra), None);
+        assert_eq!(tree.remove_entry(&key, &rect), None);
+        tree.validate().unwrap();
+        assert_eq!(tree.len(), 50);
+    }
+
+    #[test]
+    fn compact_folds_the_delta_layer_in() {
+        let mut tree = PackedRTree::bulk_load_with_node_size(4, grid(60));
+        for i in 0..10usize {
+            let o = 300.0 + i as f64 * 5.0;
+            tree.stage_insert(700 + i, Rect::new([o, o], [o + 2.0, o + 2.0]));
+        }
+        for (key, rect) in grid(60).iter().take(5) {
+            assert!(tree.remove_entry(key, rect).is_some());
+        }
+        let before = live_model(&tree);
+        let stats = tree.compact();
+        assert_eq!(stats.staged_absorbed, 10);
+        assert_eq!(stats.tombstones_reclaimed, 5);
+        assert_eq!(tree.delta_len(), 0);
+        assert_eq!(tree.len(), 65);
+        tree.validate().unwrap();
+        // Identical result sets after the merge.
+        let mut after = live_model(&tree);
+        let mut want = before;
+        after.sort_unstable_by_key(|&(k, _)| k);
+        want.sort_unstable_by_key(|&(k, _)| k);
+        assert_eq!(after, want);
+        // Compacting a clean tree is a no-op.
+        assert!(tree.compact().is_noop());
+    }
+
+    #[test]
+    fn compaction_threshold_follows_the_fraction() {
+        let mut tree = PackedRTree::bulk_load(grid(100));
+        tree.set_delta_fraction(0.1);
+        // 10 staged over 100 packed is exactly the fraction — not yet
+        // over it.
+        for i in 0..10usize {
+            tree.stage_insert(800 + i, Rect::new([0.0, 0.0], [1.0, 1.0]));
+        }
+        assert!(!tree.needs_compaction());
+        tree.stage_insert(899, Rect::new([0.0, 0.0], [1.0, 1.0]));
+        assert!(tree.needs_compaction());
+        assert!(tree.maybe_compact().is_some());
+        assert!(tree.maybe_compact().is_none());
+        // Fraction 0: any delta triggers (the rebuild-per-flush mode).
+        tree.set_delta_fraction(0.0);
+        assert!(tree.tombstone(0));
+        assert!(tree.needs_compaction());
+    }
+
+    #[test]
+    fn empty_packed_tier_with_staged_entries_works() {
+        let mut tree: PackedRTree<usize, 2> = PackedRTree::bulk_load(Vec::new());
+        tree.stage_insert(1, Rect::new([0.0, 0.0], [10.0, 10.0]));
+        tree.validate().unwrap();
+        assert_eq!(tree.len(), 1);
+        assert!(!tree.is_empty());
+        assert_eq!(tree.search_point(&Point::new([5.0, 5.0])), vec![&1]);
+        let mut batch_hits = Vec::new();
+        tree.for_each_containing_batch(&[Point::new([5.0, 5.0])], |pi, &k, _| {
+            batch_hits.push((pi, k));
+        });
+        assert_eq!(batch_hits, vec![(0, 1)]);
+        assert_eq!(tree.mbr(), Some(Rect::new([0.0, 0.0], [10.0, 10.0])));
+        tree.compact();
+        assert_eq!(tree.packed_len(), 1);
+        tree.validate().unwrap();
+    }
+
+    #[test]
+    fn drain_live_moves_everything_out() {
+        let mut tree = PackedRTree::bulk_load(grid(30));
+        tree.stage_insert(500, Rect::new([1.0, 1.0], [2.0, 2.0]));
+        let (key, rect) = grid(30)[3];
+        assert!(tree.remove_entry(&key, &rect).is_some());
+        let drained = tree.drain_live();
+        assert_eq!(drained.len(), 30);
+        assert!(drained.iter().any(|&(k, _)| k == 500));
+        assert!(!drained.iter().any(|&(k, _)| k == 3));
+        assert!(tree.is_empty());
+        assert_eq!(tree.delta_len(), 0);
+        tree.validate().unwrap();
+    }
+
+    #[test]
+    fn abortable_walk_covers_the_staged_tier() {
+        let mut tree = PackedRTree::bulk_load_with_node_size(4, grid(40));
+        tree.stage_insert(600, Rect::new([0.0, 0.0], [1.0, 1.0]));
+        let window = Rect::new([0.0, 0.0], [200.0, 200.0]);
+        let mut seen_staged = false;
+        let mut count = 0usize;
+        tree.for_each_intersecting_while(&window, |&k, _| {
+            seen_staged |= k == 600;
+            count += 1;
+            true
+        });
+        assert!(seen_staged, "staged entry visited by the abortable walk");
+        assert_eq!(count, 41);
+        // Aborting inside the staged scan stops immediately.
+        let mut after_staged = 0usize;
+        tree.for_each_intersecting_while(&window, |&k, _| {
+            if k == 600 {
+                return false;
+            }
+            after_staged += 1;
+            true
+        });
+        assert!(after_staged <= 40);
     }
 
     #[test]

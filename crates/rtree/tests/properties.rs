@@ -1,8 +1,10 @@
 //! Property-based tests: the R-tree stays valid and complete under random
-//! operation sequences, for every split method; and the packed backend
+//! operation sequences, for every split method; the packed backend
 //! returns *identical* result sets to the pointer tree (it is a drop-in
 //! oracle, not an approximation), including on the generated
-//! subscription workloads of `drtree-workloads`.
+//! subscription workloads of `drtree-workloads`; and the packed
+//! backend's delta layer (staged inserts + tombstones) is invisible to
+//! every visitor, before and after compaction.
 
 use drtree_rtree::{PackedRTree, RTree, RTreeConfig, SplitMethod};
 use drtree_spatial::{Point, Rect};
@@ -199,6 +201,97 @@ proptest! {
             let p = r.center();
             let (a, b) = point_results(&pointer, &packed, &p);
             prop_assert_eq!(a, b, "center probe at {:?}", p);
+        }
+    }
+
+    /// Every [`drtree_rtree::SpatialIndex`] visitor returns identical
+    /// result sets with and without a populated delta layer: a tree
+    /// carrying staged inserts and tombstones must answer exactly like
+    /// a fresh bulk-load of its live entry set — before *and* after
+    /// compaction.
+    #[test]
+    fn delta_layer_is_invisible_to_every_visitor(
+        base in prop::collection::vec(arb_rect(), 0..100),
+        staged in prop::collection::vec(arb_rect(), 0..40),
+        removals in prop::collection::vec(0usize..140, 0..60),
+        probes in prop::collection::vec(
+            (0.0f64..140.0, 0.0f64..140.0).prop_map(|(x, y)| Point::<2>::new([x, y])),
+            1..16),
+        windows in prop::collection::vec(arb_rect(), 0..4),
+        node_size in 2usize..33,
+    ) {
+        let mut model: Vec<(usize, Rect<2>)> =
+            base.iter().copied().enumerate().collect();
+        let mut tree =
+            PackedRTree::bulk_load_with_node_size(node_size, model.clone());
+        for (i, r) in staged.iter().enumerate() {
+            tree.stage_insert(base.len() + i, *r);
+            model.push((base.len() + i, *r));
+        }
+        for n in removals {
+            if model.is_empty() {
+                break;
+            }
+            let (k, r) = model.remove(n % model.len());
+            prop_assert!(
+                tree.remove_entry(&k, &r).is_some(),
+                "live entry ({k}, {r}) not found for removal"
+            );
+        }
+        tree.validate().map_err(|e| TestCaseError::fail(e.to_string()))?;
+        prop_assert_eq!(tree.len(), model.len());
+
+        let reference = PackedRTree::bulk_load(model.clone());
+        let mut delta_tree = tree;
+        for pass in ["delta", "compacted"] {
+            if pass == "compacted" {
+                delta_tree.compact();
+                prop_assert_eq!(delta_tree.delta_len(), 0);
+                delta_tree
+                    .validate()
+                    .map_err(|e| TestCaseError::fail(e.to_string()))?;
+            }
+            for p in &probes {
+                let mut a: Vec<usize> =
+                    reference.search_point(p).into_iter().copied().collect();
+                let mut b: Vec<usize> =
+                    delta_tree.search_point(p).into_iter().copied().collect();
+                a.sort_unstable();
+                b.sort_unstable();
+                prop_assert_eq!(a, b, "{} point query at {:?}", pass, p);
+            }
+            for w in &windows {
+                let mut a: Vec<usize> =
+                    reference.search_intersecting(w).into_iter().copied().collect();
+                let mut b: Vec<usize> =
+                    delta_tree.search_intersecting(w).into_iter().copied().collect();
+                a.sort_unstable();
+                b.sort_unstable();
+                prop_assert_eq!(a, b, "{} window query at {}", pass, w);
+                // The abortable walk sees the same full set when never
+                // aborted.
+                let mut c = Vec::new();
+                delta_tree.for_each_intersecting_while(w, |&k, _| {
+                    c.push(k);
+                    true
+                });
+                c.sort_unstable();
+                let mut d: Vec<usize> =
+                    delta_tree.search_intersecting(w).into_iter().copied().collect();
+                d.sort_unstable();
+                prop_assert_eq!(c, d, "{} abortable walk at {}", pass, w);
+            }
+            // Batched visits equal per-probe visits.
+            let mut batched: Vec<Vec<usize>> = vec![Vec::new(); probes.len()];
+            delta_tree
+                .for_each_containing_batch(&probes, |pi, &k, _| batched[pi as usize].push(k));
+            for (i, p) in probes.iter().enumerate() {
+                batched[i].sort_unstable();
+                let mut want: Vec<usize> =
+                    delta_tree.search_point(p).into_iter().copied().collect();
+                want.sort_unstable();
+                prop_assert_eq!(&batched[i], &want, "{} batch probe {:?}", pass, p);
+            }
         }
     }
 
