@@ -1,0 +1,210 @@
+//! Bulk construction of a legal overlay (the harness's fast path).
+//!
+//! Joining subscribers one at a time through the protocol (Fig. 8) is
+//! faithful but quadratic in simulation work: every join runs rounds
+//! over the whole network, so a 16k-subscriber overlay takes the
+//! better part of an hour to assemble. Benchmarks and large
+//! experiments need overlays of that size, so this module materializes
+//! the per-process [`NodeState`]s of a legitimate configuration
+//! (Definitions 3.1/3.2) directly:
+//!
+//! 1. sort the filters by the Hilbert key of their centers (the same
+//!    curve the packed R-tree bulk-loads with),
+//! 2. group each level into evenly sized runs of at most `M` children
+//!    — and at least `m`, because even distribution over `⌈n/M⌉`
+//!    groups keeps every group at `⌊n/groups⌋ ≥ ⌈M/2⌉` children,
+//!    which the `2m ≤ M` config invariant puts at or above `m`,
+//! 3. pick as owner of each internal instance the child with the
+//!    largest MBR — the fixpoint of CHECK_COVER (Fig. 13), so the
+//!    stabilization modules find nothing to repair.
+//!
+//! The result is validated by [`crate::DrTreeCluster::build_bulk`]
+//! against [`crate::legal::check_legal`]; the construction is *state
+//! injection*, not protocol execution, and lives in the harness layer
+//! for exactly that reason.
+
+use std::collections::BTreeMap;
+
+use drtree_sim::ProcessId;
+use drtree_spatial::hilbert::GridMapper;
+use drtree_spatial::Rect;
+
+use crate::config::DrTreeConfig;
+use crate::state::{ChildInfo, Level, LevelState, NodeState};
+
+/// One tree node of the under-construction overlay.
+struct BuildNode<const D: usize> {
+    /// The process owning this instance (a descendant leaf's id).
+    owner: ProcessId,
+    /// Exact MBR of the subtree.
+    mbr: Rect<D>,
+    /// Children count of this instance (0 for leaves).
+    count: usize,
+    /// Whether the instance is underloaded (`degree < m`; leaves never
+    /// are — the flag is meaningless at level 0).
+    underloaded: bool,
+    /// The owner's constant filter (cached for [`ChildInfo`]).
+    filter: Rect<D>,
+}
+
+/// Materializes the states of a legitimate overlay over `filters`,
+/// keyed by the process ids `ids[i]` ↔ `filters[i]`.
+///
+/// # Panics
+///
+/// Panics if `ids` and `filters` differ in length or a filter has no
+/// finite center.
+pub(crate) fn bulk_states<const D: usize>(
+    config: &DrTreeConfig,
+    ids: &[ProcessId],
+    filters: &[Rect<D>],
+) -> BTreeMap<ProcessId, NodeState<D>> {
+    assert_eq!(ids.len(), filters.len(), "one filter per process");
+    let mut states: BTreeMap<ProcessId, NodeState<D>> = ids
+        .iter()
+        .zip(filters)
+        .map(|(&id, &f)| (id, NodeState::new_leaf(id, f)))
+        .collect();
+    if ids.len() <= 1 {
+        return states;
+    }
+
+    // Leaves in Hilbert order of their filter centers.
+    let world = GridMapper::world_of(filters.iter()).expect("finite filters");
+    let mapper = GridMapper::new(&world);
+    let mut level: Vec<BuildNode<D>> = ids
+        .iter()
+        .zip(filters)
+        .map(|(&id, &f)| BuildNode {
+            owner: id,
+            mbr: f,
+            count: 0,
+            underloaded: false,
+            filter: f,
+        })
+        .collect();
+    level.sort_by_key(|n| mapper.key(&n.mbr));
+
+    let max = config.max_degree();
+    let m = config.min_degree();
+    let mut l: Level = 1;
+    while level.len() > 1 {
+        let n = level.len();
+        // Evenly sized runs: `ceil(n / M)` groups of at most `M`. With
+        // two or more groups, `n > (groups - 1) · M` bounds the
+        // smallest at `floor(n / groups) ≥ ceil(M / 2) ≥ m` (config
+        // invariant `2m ≤ M`); the single-group case is the root,
+        // which may go below `m` down to 2 (Definition 3.1).
+        let groups = n.div_ceil(max);
+        let base = n / groups;
+        let extra = n % groups;
+        let mut parents: Vec<BuildNode<D>> = Vec::with_capacity(groups);
+        let mut rest = level.as_slice();
+        for g in 0..groups {
+            let take = base + usize::from(g < extra);
+            let (chunk, tail) = rest.split_at(take);
+            rest = tail;
+            parents.push(link_group(&mut states, chunk, l, m));
+        }
+        debug_assert!(rest.is_empty());
+        level = parents;
+        l += 1;
+    }
+    states
+}
+
+/// Creates the internal instance over `chunk` (at level `level`),
+/// owned by the child with the largest MBR, and wires both directions
+/// of every parent/child reference. Returns the new node for the next
+/// level up; its owner's instance is provisionally parented to itself
+/// (the root case) until a higher group overwrites it.
+fn link_group<const D: usize>(
+    states: &mut BTreeMap<ProcessId, NodeState<D>>,
+    chunk: &[BuildNode<D>],
+    level: Level,
+    m: usize,
+) -> BuildNode<D> {
+    let owner = chunk
+        .iter()
+        .max_by(|a, b| {
+            a.mbr
+                .area()
+                .partial_cmp(&b.mbr.area())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .expect("chunk is non-empty")
+        .owner;
+    let mbr = Rect::union_all(chunk.iter().map(|c| &c.mbr)).expect("chunk is non-empty");
+
+    let mut children = BTreeMap::new();
+    for c in chunk {
+        children.insert(
+            c.owner,
+            ChildInfo {
+                mbr: c.mbr,
+                filter: c.filter,
+                count: c.count,
+                underloaded: c.underloaded,
+                last_seen: 0,
+            },
+        );
+        // The child's topmost instance hangs off the group owner. For
+        // the owner itself that instance is no longer topmost and the
+        // assignment keeps it correctly parented to self.
+        let cst = states.get_mut(&c.owner).expect("child state exists");
+        cst.level_mut(level - 1).expect("child instance").parent = owner;
+    }
+
+    let owner_filter = states[&owner].filter;
+    let underloaded = chunk.len() < m;
+    let ost = states.get_mut(&owner).expect("owner state exists");
+    ost.levels.insert(
+        level,
+        LevelState {
+            parent: owner, // provisional root; a higher group overwrites
+            children,
+            mbr,
+            underloaded,
+            last_parent_ack: 0,
+        },
+    );
+    BuildNode {
+        owner,
+        mbr,
+        count: chunk.len(),
+        underloaded,
+        filter: owner_filter,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::legal;
+
+    fn grid_filters(n: usize) -> Vec<Rect<2>> {
+        (0..n)
+            .map(|i| {
+                let x = (i % 32) as f64 * 3.0;
+                let y = (i / 32) as f64 * 3.0;
+                Rect::new([x, y], [x + 4.0 + (i % 5) as f64, y + 4.0 + (i % 3) as f64])
+            })
+            .collect()
+    }
+
+    #[test]
+    fn bulk_states_are_legal_across_sizes_and_configs() {
+        for &n in &[1usize, 2, 3, 5, 17, 64, 257, 1000] {
+            for config in [
+                DrTreeConfig::default(),
+                DrTreeConfig::with_degree(3, 9, crate::SplitMethod::Linear).expect("valid"),
+            ] {
+                let filters = grid_filters(n);
+                let ids: Vec<ProcessId> = (0..n as u64).map(ProcessId::from_raw).collect();
+                let snapshot = bulk_states(&config, &ids, &filters);
+                let v = legal::check_legal(&snapshot, &config);
+                assert!(v.is_empty(), "n={n}: {v:?}");
+            }
+        }
+    }
+}

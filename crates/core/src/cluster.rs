@@ -1,12 +1,23 @@
 //! High-level harness: a whole DR-tree overlay in one value.
 //!
 //! [`DrTreeCluster`] wraps the synchronous round engine with everything
-//! an experiment needs: subscribing/leaving/crashing processes,
-//! publishing events with delivery accounting, the contact oracle, the
-//! Definition-3.1 legality check, and structural statistics (height,
-//! degrees, memory). Rounds are the paper's "steps": every process runs
-//! its periodic checks once per round and messages take one round per
-//! hop.
+//! an experiment needs: subscribing (the join protocol, Fig. 8),
+//! controlled departures (Fig. 9) and crashes, publishing events with
+//! delivery accounting (§2.3 dissemination), the contact oracle
+//! (§3.2), the Definition-3.1/3.2 legality check driven by the
+//! CHECK_\* stabilization modules (Figs. 10–14), and structural
+//! statistics (height, degrees, memory — Lemma 3.1). Rounds are the
+//! paper's "steps": every process runs its periodic checks once per
+//! round and messages take one round per hop.
+//!
+//! Publishing comes in two shapes:
+//!
+//! * [`DrTreeCluster::publish_from`] — the paper's measurement unit:
+//!   one event, drained to quiescence before the next may enter.
+//! * [`DrTreeCluster::publish_pipeline`] — the scaling path: a sliding
+//!   window of events disseminates concurrently, sharing rounds, while
+//!   tagged message accounting keeps every per-event figure exact (see
+//!   [`drtree_sim::MsgTag`]).
 
 use std::collections::BTreeMap;
 
@@ -37,9 +48,13 @@ pub struct PublishReport {
     /// Matching subscribers that did not receive the event (§2.3 false
     /// negatives — zero in legitimate configurations).
     pub false_negatives: Vec<ProcessId>,
-    /// `PubDown`/`PubUp` messages spent on this event.
+    /// `PubDown`/`PubUp` messages spent on this event. Tag-scoped:
+    /// exact for this event even when dissemination of several events
+    /// overlaps in the network ([`DrTreeCluster::publish_pipeline`]).
     pub messages: u64,
-    /// Rounds the dissemination was given to complete.
+    /// Rounds the dissemination took: the fixed drain budget for
+    /// [`DrTreeCluster::publish_from`], the measured injection-to-
+    /// quiescence span for [`DrTreeCluster::publish_pipeline`].
     pub rounds: u64,
 }
 
@@ -56,6 +71,50 @@ impl PublishReport {
 /// A complete simulated DR-tree overlay (round-based engine).
 ///
 /// See the [crate documentation](crate) for a quick-start example.
+///
+/// # Example: sequential vs pipelined publish
+///
+/// ```
+/// use drtree_core::{DrTreeCluster, DrTreeConfig};
+/// use drtree_spatial::{Point, Rect};
+///
+/// let filters: Vec<Rect<2>> = (0..12)
+///     .map(|i| {
+///         let x = f64::from(i % 4) * 10.0;
+///         let y = f64::from(i / 4) * 10.0;
+///         Rect::new([x, y], [x + 12.0, y + 12.0])
+///     })
+///     .collect();
+/// // `build_bulk` materializes a legal overlay without protocol joins.
+/// let mut sequential: DrTreeCluster<2> =
+///     DrTreeCluster::build_bulk(DrTreeConfig::default(), 7, &filters);
+/// let mut pipelined = sequential.clone();
+/// let ids = sequential.ids();
+/// let events: Vec<_> = (0..6)
+///     .map(|i| (ids[i], Point::new([3.0 * i as f64 + 1.0, 11.0])))
+///     .collect();
+///
+/// // The paper's measurement mode: one event at a time, each drained
+/// // to quiescence before the next enters the network.
+/// let before = sequential.round();
+/// let seq: Vec<_> = events
+///     .iter()
+///     .map(|&(publisher, point)| sequential.publish_from(publisher, point))
+///     .collect();
+/// let seq_rounds = sequential.round() - before;
+///
+/// // The scaling mode: a window of events shares dissemination rounds.
+/// let before = pipelined.round();
+/// let pipe = pipelined.publish_pipeline_from(&events, 4);
+/// let pipe_rounds = pipelined.round() - before;
+///
+/// // Same deliveries and per-event message bills, fewer total rounds.
+/// for (a, b) in seq.iter().zip(&pipe) {
+///     assert_eq!(a.receivers, b.receivers);
+///     assert_eq!(a.messages, b.messages);
+/// }
+/// assert!(pipe_rounds < seq_rounds);
+/// ```
 #[derive(Clone)]
 pub struct DrTreeCluster<const D: usize> {
     net: RoundNetwork<DrtNode<D>>,
@@ -66,6 +125,15 @@ pub struct DrTreeCluster<const D: usize> {
 }
 
 impl<const D: usize> DrTreeCluster<D> {
+    /// Upper bound on the [`DrTreeCluster::publish_pipeline`] window.
+    ///
+    /// Delivery accounting reads each node's recently-seen event ring
+    /// at quiescence time; a busy interior node (the root sees every
+    /// event) observes up to roughly three windows of newer events
+    /// before the oldest in-flight event is accounted, so the window
+    /// must stay well below the ring capacity (1024 entries).
+    pub const MAX_PUBLISH_WINDOW: usize = 256;
+
     /// Creates an empty overlay with deterministic seed.
     pub fn new(config: DrTreeConfig, seed: u64) -> Self {
         Self {
@@ -163,6 +231,47 @@ impl<const D: usize> DrTreeCluster<D> {
         cluster
             .stabilize(10_000 + 50 * filters.len() as u64)
             .expect("freshly built overlay stabilizes");
+        cluster
+    }
+
+    /// Builds an overlay over `filters` by materializing a legitimate
+    /// configuration directly (Hilbert-ordered grouping, largest-MBR
+    /// owners — see [`crate::bulk`]) instead of running one join
+    /// protocol instance per subscriber.
+    ///
+    /// Protocol-equivalent from the outside: the result passes
+    /// [`DrTreeCluster::check_legal`] (asserted), so every subsequent
+    /// operation — publishes, churn, corruption, stabilization — runs
+    /// the unmodified protocol on it. [`DrTreeCluster::build`] costs
+    /// `O(N²)` simulation work and dominates large experiments; this
+    /// path is `O(N log N)` and makes 10k+-subscriber benches
+    /// practical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the materialized configuration is not legal (a bug,
+    /// not an input condition: any finite filter set has one).
+    pub fn build_bulk(config: DrTreeConfig, seed: u64, filters: &[Rect<D>]) -> Self {
+        let mut cluster = Self::new(config, seed);
+        let ids: Vec<ProcessId> = filters
+            .iter()
+            .map(|&f| {
+                let id = cluster.net.add_process(DrtNode::new(config, f));
+                cluster.all_ids.push(id);
+                id
+            })
+            .collect();
+        for (id, state) in crate::bulk::bulk_states(&config, &ids, filters) {
+            if let Some(node) = cluster.net.process_mut(id) {
+                *node.state_mut() = state;
+            }
+        }
+        // Two rounds warm the heartbeat caches; on a legal state the
+        // CHECK_* modules are no-ops.
+        cluster.run_rounds(2);
+        if let Err(v) = cluster.check_legal() {
+            panic!("bulk-built overlay is not legal: {v:?}");
+        }
         cluster
     }
 
@@ -311,8 +420,105 @@ impl<const D: usize> DrTreeCluster<D> {
     /// Publishes `point` from `publisher` and accounts the outcome.
     ///
     /// Runs enough rounds for the event to traverse the tree twice over
-    /// (up and down) in a steady state.
+    /// (up and down) in a steady state. The message bill is tag-scoped
+    /// (exactly this event's `PubUp`/`PubDown` sends), so it stays
+    /// correct even if traffic of an earlier event is still in flight.
     pub fn publish_from(&mut self, publisher: ProcessId, point: Point<D>) -> PublishReport {
+        let event_id = self.inject(publisher, point);
+        let rounds = 2 * (u64::from(self.height()) + 2) + 2;
+        self.run_rounds(rounds);
+        let report = self.finalize(publisher, point, event_id, rounds);
+        // If the drain budget did not suffice (corrupted overlays),
+        // retire the id so late traffic cannot re-create counters.
+        self.net.retire_tags_below(self.next_event_id);
+        report
+    }
+
+    /// Publishes a stream of events through a sliding window of
+    /// `window` concurrently disseminating events — the pipelined
+    /// counterpart of calling [`DrTreeCluster::publish_from`] in a
+    /// loop. All events are published by `publisher`; see
+    /// [`DrTreeCluster::publish_pipeline_from`] for per-event
+    /// publishers.
+    pub fn publish_pipeline(
+        &mut self,
+        publisher: ProcessId,
+        points: &[Point<D>],
+        window: usize,
+    ) -> Vec<PublishReport> {
+        let events: Vec<(ProcessId, Point<D>)> = points.iter().map(|&p| (publisher, p)).collect();
+        self.publish_pipeline_from(&events, window)
+    }
+
+    /// Publishes `events` (publisher, point pairs) through a sliding
+    /// window: up to `window` events disseminate concurrently, sharing
+    /// rounds, their `PubUp`/`PubDown` traffic interleaved in the same
+    /// inboxes. Per-event accounting stays exact: every message is
+    /// tagged with its event id ([`drtree_sim::MsgTag`]), each event
+    /// completes when its own tag has no messages in flight (per-tag
+    /// quiescence instead of a whole-network drain), and its report
+    /// charges only its own messages and its own injection-to-
+    /// quiescence rounds.
+    ///
+    /// Reports are returned in input order. In a legitimate
+    /// configuration the delivery sets equal a sequential
+    /// [`DrTreeCluster::publish_from`] reference for every window size
+    /// (property-tested); total rounds shrink by up to `min(window,
+    /// rounds-per-event)` since the per-round simulation work is shared
+    /// by every in-flight event.
+    ///
+    /// `window` is clamped to `1..=`[`DrTreeCluster::MAX_PUBLISH_WINDOW`].
+    pub fn publish_pipeline_from(
+        &mut self,
+        events: &[(ProcessId, Point<D>)],
+        window: usize,
+    ) -> Vec<PublishReport> {
+        let window = window.clamp(1, Self::MAX_PUBLISH_WINDOW);
+        let mut reports: Vec<Option<PublishReport>> = Vec::new();
+        reports.resize_with(events.len(), || None);
+        // (input index, event id, injection round) per in-flight event.
+        let mut live: Vec<(usize, u64, u64)> = Vec::with_capacity(window);
+        let mut next = 0usize;
+        // Dissemination is self-limiting (per-node dedup), so every tag
+        // drains; the deadline only guards adversarially corrupted
+        // configurations, force-finalizing whatever is still in flight.
+        let per_event = 2 * (u64::from(self.height()) + 2) + 2;
+        let deadline = self.round() + (events.len() as u64 + 1) * (per_event + 4) + 64;
+        while next < events.len() || !live.is_empty() {
+            while live.len() < window && next < events.len() {
+                let (publisher, point) = events[next];
+                let event_id = self.inject(publisher, point);
+                live.push((next, event_id, self.round()));
+                next += 1;
+            }
+            self.run_round();
+            let expired = self.round() >= deadline;
+            let mut i = 0;
+            while i < live.len() {
+                let (idx, event_id, injected) = live[i];
+                if !expired && self.net.metrics().tag_inflight(event_id) > 0 {
+                    i += 1;
+                    continue;
+                }
+                let (publisher, point) = events[idx];
+                let rounds = self.round() - injected;
+                reports[idx] = Some(self.finalize(publisher, point, event_id, rounds));
+                live.swap_remove(i);
+            }
+        }
+        // Every tag this call allocated is finalized; retiring the id
+        // range keeps traffic of force-finalized events that still
+        // circulates in a corrupted overlay from re-creating per-tag
+        // counter entries nobody would ever clear.
+        self.net.retire_tags_below(self.next_event_id);
+        reports
+            .into_iter()
+            .map(|r| r.expect("every event finalized"))
+            .collect()
+    }
+
+    /// Allocates an event id and injects the publish request.
+    fn inject(&mut self, publisher: ProcessId, point: Point<D>) -> u64 {
         let event_id = self.next_event_id;
         self.next_event_id += 1;
         let event = PubEvent {
@@ -320,13 +526,20 @@ impl<const D: usize> DrTreeCluster<D> {
             point,
             publisher,
         };
-        let down_before = self.metrics().label_count("pub-down");
-        let up_before = self.metrics().label_count("pub-up");
         self.net
             .send_external(publisher, DrtMessage::PublishRequest { event });
-        let rounds = 2 * (u64::from(self.height()) + 2) + 2;
-        self.run_rounds(rounds);
+        event_id
+    }
 
+    /// Accounts one completed event: who received it, who should have,
+    /// and its tag-scoped message bill (the tag is then forgotten).
+    fn finalize(
+        &mut self,
+        publisher: ProcessId,
+        point: Point<D>,
+        event_id: u64,
+        rounds: u64,
+    ) -> PublishReport {
         let mut receivers = Vec::new();
         let mut matching = Vec::new();
         let mut false_positives = Vec::new();
@@ -350,9 +563,8 @@ impl<const D: usize> DrTreeCluster<D> {
                 false_negatives.push(id);
             }
         }
-        let messages = self.metrics().label_count("pub-down") - down_before
-            + self.metrics().label_count("pub-up")
-            - up_before;
+        let messages = self.net.metrics().tag_count(event_id);
+        self.net.clear_tag(event_id);
         PublishReport {
             event_id,
             receivers,

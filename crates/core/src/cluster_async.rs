@@ -2,14 +2,20 @@
 //! engine.
 //!
 //! [`DrTreeCluster`](crate::DrTreeCluster) counts synchronous rounds —
-//! the right ruler for the stabilization lemmas. [`AsyncDrTreeCluster`]
-//! runs the *identical* protocol code on
+//! the right ruler for the stabilization lemmas (Figs. 10–14 repair in
+//! "steps"). [`AsyncDrTreeCluster`] runs the *identical* protocol code
+//! — join (Fig. 8), leave (Fig. 9), dissemination (§2.3) — on
 //! [`drtree_sim::EventNetwork`]: message latencies are drawn from a
 //! latency model, messages can be lost, and every node paces its own
 //! stabilization tick ([`DrTreeConfig::tick_interval`]) — the paper's
 //! actual asynchronous system model (§2.1). The asynchronous
 //! integration tests show that legality, recovery and zero false
 //! negatives survive latency jitter and message loss.
+//!
+//! Publishing mirrors the round harness: one drained event at a time
+//! ([`AsyncDrTreeCluster::publish_from`]) or a sliding window of
+//! concurrently disseminating events with tag-scoped per-event
+//! accounting ([`AsyncDrTreeCluster::publish_pipeline`]).
 
 use rand::rngs::StdRng;
 
@@ -240,8 +246,93 @@ impl<const D: usize> AsyncDrTreeCluster<D> {
 
     /// Publishes `point` from `publisher` and accounts the delivery
     /// after letting the event propagate for `2·(height+2)` tick
-    /// intervals.
+    /// intervals. The message bill is tag-scoped (exactly this event's
+    /// `PubUp`/`PubDown` sends), like the round harness's.
     pub fn publish_from(&mut self, publisher: ProcessId, point: Point<D>) -> PublishReport {
+        let event_id = self.inject(publisher, point);
+        let duration = 2 * (u64::from(self.height()) + 2) * self.config.tick_interval;
+        self.run_for(duration);
+        let report = self.finalize(publisher, point, event_id, duration);
+        // If the drain budget did not suffice (loss, corruption),
+        // retire the id so late traffic cannot re-create counters.
+        self.net.retire_tags_below(self.next_event_id);
+        report
+    }
+
+    /// Publishes a stream of events from one publisher through a
+    /// sliding window of concurrently disseminating events — the
+    /// asynchronous counterpart of
+    /// [`crate::DrTreeCluster::publish_pipeline`].
+    pub fn publish_pipeline(
+        &mut self,
+        publisher: ProcessId,
+        points: &[Point<D>],
+        window: usize,
+    ) -> Vec<PublishReport> {
+        let events: Vec<(ProcessId, Point<D>)> = points.iter().map(|&p| (publisher, p)).collect();
+        self.publish_pipeline_from(&events, window)
+    }
+
+    /// Publishes `events` (publisher, point pairs) through a sliding
+    /// window of up to `window` concurrently disseminating events.
+    ///
+    /// Each event completes when its tag has no messages in flight
+    /// (the injected `PublishRequest` is tracked too, so an event is
+    /// never finalized before its injection was even delivered); the
+    /// report's `rounds` field carries the simulated time from
+    /// injection to observed quiescence, quantized to the tick
+    /// interval the network advances by. Reports are in input order.
+    /// `window` is clamped to
+    /// `1..=`[`crate::DrTreeCluster::MAX_PUBLISH_WINDOW`].
+    pub fn publish_pipeline_from(
+        &mut self,
+        events: &[(ProcessId, Point<D>)],
+        window: usize,
+    ) -> Vec<PublishReport> {
+        let window = window.clamp(1, crate::DrTreeCluster::<D>::MAX_PUBLISH_WINDOW);
+        let mut reports: Vec<Option<PublishReport>> = Vec::new();
+        reports.resize_with(events.len(), || None);
+        let mut live: Vec<(usize, u64, u64)> = Vec::with_capacity(window);
+        let mut next = 0usize;
+        let step = self.config.tick_interval.max(1);
+        // Guards adversarial states only; dissemination is self-
+        // limiting, so tags drain (lost messages settle at drop time).
+        let per_event = 2 * (u64::from(self.height()) + 2) * step;
+        let deadline = self.now() + (events.len() as u64 + 1) * (per_event + 4 * step);
+        while next < events.len() || !live.is_empty() {
+            while live.len() < window && next < events.len() {
+                let (publisher, point) = events[next];
+                let event_id = self.inject(publisher, point);
+                live.push((next, event_id, self.now()));
+                next += 1;
+            }
+            self.run_for(step);
+            let expired = self.now() >= deadline;
+            let mut i = 0;
+            while i < live.len() {
+                let (idx, event_id, injected) = live[i];
+                if !expired && self.metrics().tag_inflight(event_id) > 0 {
+                    i += 1;
+                    continue;
+                }
+                let (publisher, point) = events[idx];
+                let elapsed = self.now() - injected;
+                reports[idx] = Some(self.finalize(publisher, point, event_id, elapsed));
+                live.swap_remove(i);
+            }
+        }
+        // Every tag this call allocated is finalized; retiring the id
+        // range keeps traffic of force-finalized events that still
+        // circulates from re-creating per-tag counter entries.
+        self.net.retire_tags_below(self.next_event_id);
+        reports
+            .into_iter()
+            .map(|r| r.expect("every event finalized"))
+            .collect()
+    }
+
+    /// Allocates an event id and injects the publish request.
+    fn inject(&mut self, publisher: ProcessId, point: Point<D>) -> u64 {
         let event_id = self.next_event_id;
         self.next_event_id += 1;
         let event = PubEvent {
@@ -249,13 +340,19 @@ impl<const D: usize> AsyncDrTreeCluster<D> {
             point,
             publisher,
         };
-        let down_before = self.metrics().label_count("pub-down");
-        let up_before = self.metrics().label_count("pub-up");
         self.net
             .send_external(publisher, DrtMessage::PublishRequest { event });
-        let duration = 2 * (u64::from(self.height()) + 2) * self.config.tick_interval;
-        self.run_for(duration);
+        event_id
+    }
 
+    /// Accounts one completed event and forgets its tag.
+    fn finalize(
+        &mut self,
+        publisher: ProcessId,
+        point: Point<D>,
+        event_id: u64,
+        rounds: u64,
+    ) -> PublishReport {
         let mut receivers = Vec::new();
         let mut matching = Vec::new();
         let mut false_positives = Vec::new();
@@ -282,9 +379,8 @@ impl<const D: usize> AsyncDrTreeCluster<D> {
                 false_negatives.push(id);
             }
         }
-        let messages = self.metrics().label_count("pub-down") - down_before
-            + self.metrics().label_count("pub-up")
-            - up_before;
+        let messages = self.metrics().tag_count(event_id);
+        self.net.clear_tag(event_id);
         PublishReport {
             event_id,
             receivers,
@@ -292,7 +388,7 @@ impl<const D: usize> AsyncDrTreeCluster<D> {
             false_positives,
             false_negatives,
             messages,
-            rounds: duration,
+            rounds,
         }
     }
 

@@ -61,6 +61,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bulk;
 pub mod churn;
 mod cluster;
 mod cluster_async;

@@ -7,7 +7,7 @@
 //! carries the same information in [`ChildSummary`] payloads refreshed by
 //! periodic heartbeats.
 
-use drtree_sim::{MessageLabel, ProcessId};
+use drtree_sim::{MessageLabel, MsgTag, ProcessId};
 use drtree_spatial::{Point, Rect};
 
 use crate::state::Level;
@@ -254,6 +254,23 @@ impl<const D: usize> MessageLabel for DrtMessage<D> {
             DrtMessage::PublishRequest { .. } => "pub-request",
             DrtMessage::PubDown { .. } => "pub-down",
             DrtMessage::PubUp { .. } => "pub-up",
+        }
+    }
+
+    /// Publication traffic is tagged with its event id, so the engines
+    /// keep per-event in-flight counts (the pipelined publish path's
+    /// quiescence signal) and an exact per-event message bill even when
+    /// `PubUp`/`PubDown` messages of different events interleave in the
+    /// same inboxes. The harness-injected `PublishRequest` is tracked
+    /// for quiescence but unbilled: the paper's message counts (§3)
+    /// cover dissemination hops only.
+    fn tag(&self) -> Option<MsgTag> {
+        match self {
+            DrtMessage::PubDown { event, .. } | DrtMessage::PubUp { event, .. } => {
+                Some(MsgTag::billed(event.id))
+            }
+            DrtMessage::PublishRequest { event } => Some(MsgTag::unbilled(event.id)),
+            _ => None,
         }
     }
 }

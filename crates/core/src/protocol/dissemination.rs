@@ -11,6 +11,13 @@
 //! did not subscribe to; false positives arise only at interior
 //! instances (and on the upward path), which is what keeps the paper's
 //! false-positive rate in the low percent range.
+//!
+//! Dissemination is stateless per event and deduplicated per node
+//! (`receive_event`), so `PubUp`/`PubDown` traffic of *different*
+//! events can interleave freely in the same inboxes — the property the
+//! pipelined publish path ([`crate::DrTreeCluster::publish_pipeline`])
+//! exploits, with per-event message tags ([`drtree_sim::MsgTag`])
+//! keeping the accounting exact.
 
 use drtree_sim::ProcessId;
 

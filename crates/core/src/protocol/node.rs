@@ -1,7 +1,7 @@
 //! The DR-tree subscriber process: state, dispatch, and the periodic
 //! tick pipeline.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, HashSet, VecDeque};
 
 use drtree_sim::{Context, Process, ProcessId};
 use drtree_spatial::{Point, Rect};
@@ -14,14 +14,22 @@ use crate::state::{ChildInfo, Level, LevelState, NodeState};
 pub(crate) type Ctx<'a, const D: usize> = Context<'a, DrtMessage<D>, DrtTimer>;
 
 /// Capacity of the recently-seen event ring (routing-loop guard while
-/// the overlay is corrupted).
-const RECENT_EVENTS: usize = 128;
+/// the overlay is corrupted, and the delivery-accounting horizon of the
+/// pipelined publish path). Must stay comfortably above the maximum
+/// pipeline window ([`crate::DrTreeCluster::MAX_PUBLISH_WINDOW`]): a
+/// busy interior node sees every in-flight event, and an event's
+/// receipt must still be in the ring when the harness accounts its
+/// deliveries at quiescence (at most ~3 windows of newer events later).
+const RECENT_EVENTS: usize = 1024;
 
 /// Publish/subscribe bookkeeping of one subscriber.
 #[derive(Debug, Clone, Default)]
 pub struct PubSubState {
-    /// Recently received event ids (delivery dedup + loop guard).
+    /// Recently received event ids, in receipt order (eviction queue).
     recent: VecDeque<u64>,
+    /// Same ids, for O(1) membership — `has_seen` sits on the hot
+    /// dissemination path, once per `PubUp`/`PubDown` received.
+    recent_set: HashSet<u64>,
     /// Events received (any instance), excluding self-published ones.
     pub received_total: u64,
     /// Received events not matching the local filter (§2.3 "false
@@ -40,12 +48,17 @@ pub struct PubSubState {
 impl PubSubState {
     /// `true` if this subscriber has received event `id` recently.
     pub fn has_seen(&self, id: u64) -> bool {
-        self.recent.contains(&id)
+        self.recent_set.contains(&id)
     }
 
     pub(crate) fn mark_seen(&mut self, id: u64) {
+        if !self.recent_set.insert(id) {
+            return;
+        }
         if self.recent.len() == RECENT_EVENTS {
-            self.recent.pop_front();
+            if let Some(evicted) = self.recent.pop_front() {
+                self.recent_set.remove(&evicted);
+            }
         }
         self.recent.push_back(id);
     }

@@ -1,0 +1,222 @@
+//! Property tests pinning the pipelined publish path
+//! ([`DrTreeCluster::publish_pipeline_from`] and the asynchronous
+//! equivalent) to the sequential [`DrTreeCluster::publish_from`]
+//! reference: identical overlays replaying an identical event stream
+//! must produce identical per-event deliveries, matches, and message
+//! bills at every window size — overlap may only change *when* events
+//! disseminate, never *what* they deliver or charge.
+
+use drtree_core::{AsyncDrTreeCluster, DrTreeCluster, DrTreeConfig, ProcessId, PublishReport};
+use drtree_sim::{LatencyModel, NetConfig};
+use drtree_spatial::{Point, Rect};
+use drtree_workloads::EventWorkload;
+use proptest::prelude::*;
+use proptest::strategy::Just;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const WINDOWS: [usize; 3] = [1, 7, 32];
+
+fn arb_filter() -> impl Strategy<Value = Rect<2>> {
+    (0.0f64..90.0, 0.0f64..90.0, 2.0f64..25.0, 2.0f64..25.0)
+        .prop_map(|(x, y, w, h)| Rect::new([x, y], [x + w, y + h]))
+}
+
+/// Uniform and hotspot event streams (the hotspot concentrates events
+/// so interior nodes carry overlapping traffic of most in-flight
+/// events — the hard case for per-tag accounting).
+fn arb_stream() -> impl Strategy<Value = EventWorkload> {
+    prop_oneof![
+        Just(EventWorkload::Uniform),
+        (10.0f64..80.0, 5.0f64..20.0).prop_map(|(center, radius)| EventWorkload::Hotspot {
+            center,
+            radius,
+            bias: 0.8,
+        }),
+    ]
+}
+
+/// The per-event figures that must not depend on the window size.
+fn fingerprint(r: &PublishReport) -> (Vec<ProcessId>, Vec<ProcessId>, u64) {
+    (r.receivers.clone(), r.matching.clone(), r.messages)
+}
+
+fn events_for<const D: usize>(
+    workload: EventWorkload,
+    n: usize,
+    ids: &[ProcessId],
+    seed: u64,
+) -> Vec<(ProcessId, Point<D>)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    workload
+        .generate(n, &mut rng)
+        .into_iter()
+        .enumerate()
+        .map(|(i, p)| (ids[(i * 7 + 3) % ids.len()], p))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Round engine: every window size reproduces the sequential
+    /// per-event deliveries, matches, and message bills.
+    #[test]
+    fn pipeline_matches_sequential_on_round_engine(
+        filters in prop::collection::vec(arb_filter(), 8..28),
+        stream in arb_stream(),
+        n_events in 4usize..40,
+        seed in 0u64..1_000,
+    ) {
+        let base = DrTreeCluster::build_bulk(DrTreeConfig::default(), seed, &filters);
+        let events = events_for(stream, n_events, &base.ids(), seed ^ 0x9e37);
+
+        let mut sequential = base.clone();
+        let reference: Vec<_> = events
+            .iter()
+            .map(|&(publisher, point)| {
+                fingerprint(&sequential.publish_from(publisher, point))
+            })
+            .collect();
+
+        for window in WINDOWS {
+            let mut pipelined = base.clone();
+            let reports = pipelined.publish_pipeline_from(&events, window);
+            prop_assert_eq!(reports.len(), events.len());
+            for (i, report) in reports.iter().enumerate() {
+                prop_assert!(report.false_negatives.is_empty(),
+                    "window {} event {} missed {:?}", window, i, report.false_negatives);
+                prop_assert_eq!(&fingerprint(report), &reference[i],
+                    "window {} event {} diverged", window, i);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// Event engine: identically built asynchronous overlays (same
+    /// seed, fixed latency, no loss) agree between the sequential loop
+    /// and every pipeline window.
+    #[test]
+    fn pipeline_matches_sequential_on_event_engine(
+        filters in prop::collection::vec(arb_filter(), 6..16),
+        stream in arb_stream(),
+        n_events in 3usize..12,
+        seed in 0u64..500,
+    ) {
+        let net = NetConfig {
+            latency: LatencyModel::Fixed(1),
+            drop_probability: 0.0,
+        };
+        let config = DrTreeConfig {
+            tick_interval: 4,
+            failure_timeout: 8,
+            ..DrTreeConfig::default()
+        };
+        let build = || {
+            let mut cluster: AsyncDrTreeCluster<2> =
+                AsyncDrTreeCluster::new(config, net, seed);
+            for &f in &filters {
+                cluster.add_subscriber(f);
+                cluster.run_for(8 * config.tick_interval);
+            }
+            cluster.stabilize(400_000).expect("legal under asynchrony");
+            cluster
+        };
+
+        let mut sequential = build();
+        let events = events_for(stream, n_events, &sequential.ids(), seed ^ 0x51ed);
+        let reference: Vec<_> = events
+            .iter()
+            .map(|&(publisher, point)| {
+                fingerprint(&sequential.publish_from(publisher, point))
+            })
+            .collect();
+
+        for window in WINDOWS {
+            let mut pipelined = build();
+            let reports = pipelined.publish_pipeline_from(&events, window);
+            prop_assert_eq!(reports.len(), events.len());
+            for (i, report) in reports.iter().enumerate() {
+                prop_assert_eq!(&fingerprint(report), &reference[i],
+                    "window {} event {} diverged", window, i);
+            }
+        }
+    }
+}
+
+/// The satellite fix pinned directly: with several events in flight,
+/// per-event message bills must not cross-charge — each pipelined
+/// event is billed exactly its sequential message count, and the bills
+/// sum to the network's total publication traffic.
+#[test]
+fn overlapping_events_do_not_cross_charge_messages() {
+    let filters: Vec<Rect<2>> = (0..24)
+        .map(|i| {
+            let x = f64::from(i % 6) * 12.0;
+            let y = f64::from(i / 6) * 12.0;
+            Rect::new([x, y], [x + 15.0, y + 15.0])
+        })
+        .collect();
+    let base = DrTreeCluster::build_bulk(DrTreeConfig::default(), 11, &filters);
+    let ids = base.ids();
+    let events: Vec<(ProcessId, Point<2>)> = (0..12)
+        .map(|i| {
+            (
+                ids[(5 * i + 1) % ids.len()],
+                Point::new([6.0 * i as f64 + 2.0, 40.0]),
+            )
+        })
+        .collect();
+
+    let mut sequential = base.clone();
+    let expected: Vec<u64> = events
+        .iter()
+        .map(|&(publisher, point)| sequential.publish_from(publisher, point).messages)
+        .collect();
+    assert!(expected.iter().any(|&m| m > 0), "schedule produces traffic");
+
+    let mut pipelined = base.clone();
+    let down0 = pipelined.metrics().label_count("pub-down");
+    let up0 = pipelined.metrics().label_count("pub-up");
+    let reports = pipelined.publish_pipeline_from(&events, 7);
+    let billed: Vec<u64> = reports.iter().map(|r| r.messages).collect();
+    assert_eq!(billed, expected, "per-event bills must match sequential");
+    let total = pipelined.metrics().label_count("pub-down") - down0
+        + pipelined.metrics().label_count("pub-up")
+        - up0;
+    assert_eq!(
+        billed.iter().sum::<u64>(),
+        total,
+        "bills must partition the network's publication traffic"
+    );
+}
+
+/// A window of 1 is exactly the sequential semantics with per-tag
+/// quiescence instead of a fixed drain budget; reports must still be
+/// in input order with monotone event ids.
+#[test]
+fn window_one_preserves_order_and_ids() {
+    let filters: Vec<Rect<2>> = (0..10)
+        .map(|i| {
+            let x = f64::from(i) * 9.0;
+            Rect::new([x, 0.0], [x + 11.0, 30.0])
+        })
+        .collect();
+    let mut cluster = DrTreeCluster::build_bulk(DrTreeConfig::default(), 3, &filters);
+    let ids = cluster.ids();
+    let points: Vec<Point<2>> = (0..5)
+        .map(|i| Point::new([9.0 * i as f64 + 1.0, 4.0]))
+        .collect();
+    let reports = cluster.publish_pipeline(ids[0], &points, 1);
+    assert_eq!(reports.len(), points.len());
+    for pair in reports.windows(2) {
+        assert!(pair[0].event_id < pair[1].event_id);
+    }
+    for r in &reports {
+        assert!(r.false_negatives.is_empty());
+        assert!(r.rounds >= 1, "quiescence takes at least one round");
+    }
+}

@@ -66,6 +66,9 @@ pub struct Broker<const D: usize> {
     /// and are not listed here.
     sets: BTreeMap<ProcessId, Vec<Rect<D>>>,
     stats: RoutingStats,
+    /// Overlay dissemination window of [`Broker::publish_batch`]: how
+    /// many events of a batch disseminate concurrently.
+    publish_window: usize,
     /// Reused single-publish matching buffer (sorted, deduplicated,
     /// publisher still included).
     match_buf: Vec<ProcessId>,
@@ -118,9 +121,27 @@ impl<const D: usize> Broker<D> {
             subscriptions: BTreeMap::new(),
             sets: BTreeMap::new(),
             stats: RoutingStats::default(),
+            publish_window: Self::DEFAULT_PUBLISH_WINDOW,
             match_buf: Vec::new(),
             batch_buf: BatchMatches::new(),
         })
+    }
+
+    /// Default overlay dissemination window of
+    /// [`Broker::publish_batch`].
+    pub const DEFAULT_PUBLISH_WINDOW: usize = 32;
+
+    /// Sets how many events of a batch disseminate through the overlay
+    /// concurrently (clamped to
+    /// `1..=`[`DrTreeCluster::MAX_PUBLISH_WINDOW`]). `1` restores the
+    /// sequential drain-per-event behavior.
+    pub fn set_publish_window(&mut self, window: usize) {
+        self.publish_window = window.clamp(1, DrTreeCluster::<D>::MAX_PUBLISH_WINDOW);
+    }
+
+    /// The current overlay dissemination window.
+    pub fn publish_window(&self) -> usize {
+        self.publish_window
     }
 
     /// Number of shards the oracle fans publishes across.
@@ -293,10 +314,14 @@ impl<const D: usize> Broker<D> {
     }
 
     /// Publishes a batch of pre-compiled points from one publisher,
-    /// amortizing a single oracle pass — shard fan-out, joint packed
-    /// descents, one counting-sort merge — over the whole batch
-    /// instead of paying a full probe per event. Reports are returned
-    /// in input order and each is also folded into
+    /// batched end-to-end: the *oracle* side amortizes a single
+    /// matching pass — shard fan-out, joint packed descents, one
+    /// counting-sort merge — over the whole batch, and the *overlay*
+    /// side disseminates the batch through a sliding window of
+    /// [`Broker::publish_window`] concurrent events
+    /// ([`DrTreeCluster::publish_pipeline`]) instead of draining the
+    /// network once per event. Reports are returned in input order,
+    /// each reconciled against the oracle and folded into
     /// [`Broker::stats`], exactly as if published one at a time.
     ///
     /// # Errors
@@ -318,14 +343,14 @@ impl<const D: usize> Broker<D> {
         if needs_oracle {
             self.oracle.match_batch_into(points, &mut batch_buf);
         }
-        let mut reports = Vec::with_capacity(points.len());
-        for (i, point) in points.iter().enumerate() {
-            let mut report = self.cluster.publish_from(publisher, *point);
+        let mut reports = self
+            .cluster
+            .publish_pipeline(publisher, points, self.publish_window);
+        for (i, (point, report)) in points.iter().zip(&mut reports).enumerate() {
             if needs_oracle {
-                self.classify(publisher, point, batch_buf.matches(i), &mut report);
+                self.classify(publisher, point, batch_buf.matches(i), report);
             }
-            self.stats.absorb(&report);
-            reports.push(report);
+            self.stats.absorb(report);
         }
         self.batch_buf = batch_buf;
         Ok(reports)

@@ -217,11 +217,25 @@ impl<P: Process> EventNetwork<P> {
     /// as an external stimulus).
     pub fn send_external(&mut self, to: ProcessId, msg: P::Msg) {
         self.metrics.record_sent(msg.label());
+        if let Some(tag) = msg.tag() {
+            self.metrics.record_tag_sent(tag);
+        }
         let latency = self.config.latency.sample(&mut self.rng);
         self.push(
             self.time + latency,
             EventKind::Deliver { from: to, to, msg },
         );
+    }
+
+    /// Forgets a tag's message counters (see [`Metrics::clear_tag`]).
+    pub fn clear_tag(&mut self, tag: u64) {
+        self.metrics.clear_tag(tag);
+    }
+
+    /// Retires every tag below `floor` (see
+    /// [`Metrics::retire_tags_below`]).
+    pub fn retire_tags_below(&mut self, floor: u64) {
+        self.metrics.retire_tags_below(floor);
     }
 
     /// Arms a timer on `id` from outside (e.g. kicking off periodic
@@ -238,6 +252,9 @@ impl<P: Process> EventNetwork<P> {
         self.time = self.time.max(event.at);
         match event.kind {
             EventKind::Deliver { from, to, msg } => {
+                if let Some(tag) = msg.tag() {
+                    self.metrics.record_tag_settled(tag);
+                }
                 if !self.procs.contains_key(&to) {
                     self.metrics.record_to_dead();
                     return true;
@@ -293,11 +310,17 @@ impl<P: Process> EventNetwork<P> {
     ) {
         for (to, msg) in outbox {
             self.metrics.record_sent(msg.label());
+            if let Some(tag) = msg.tag() {
+                self.metrics.record_tag_sent(tag);
+            }
             if self.blocked.contains(&(from, to))
                 || (self.config.drop_probability > 0.0
                     && self.rng.gen_bool(self.config.drop_probability))
             {
                 self.metrics.record_dropped();
+                if let Some(tag) = msg.tag() {
+                    self.metrics.record_tag_settled(tag);
+                }
                 continue;
             }
             let latency = self.config.latency.sample(&mut self.rng);
@@ -450,6 +473,63 @@ mod tests {
         };
         assert_eq!(run(42), run(42));
         assert_ne!(run(42), run(43)); // different seed, different trace
+    }
+
+    #[derive(Clone, Debug)]
+    struct Tagged(u64);
+
+    impl MessageLabel for Tagged {
+        fn label(&self) -> &'static str {
+            "tagged"
+        }
+        fn tag(&self) -> Option<crate::MsgTag> {
+            Some(crate::MsgTag::billed(self.0))
+        }
+    }
+
+    /// Echoes every message back to its sender once.
+    struct Echo;
+
+    impl Process for Echo {
+        type Msg = Tagged;
+        type Timer = ();
+
+        fn on_message(&mut self, from: ProcessId, msg: Tagged, ctx: &mut Context<'_, Tagged, ()>) {
+            ctx.send(from, msg);
+        }
+
+        fn on_timer(&mut self, _t: (), _ctx: &mut Context<'_, Tagged, ()>) {}
+    }
+
+    #[test]
+    fn lost_tagged_messages_settle_at_drop_time() {
+        let mut net: EventNetwork<Echo> = EventNetwork::new(
+            NetConfig {
+                latency: LatencyModel::Fixed(1),
+                drop_probability: 1.0, // every *process* send is lost
+            },
+            9,
+        );
+        let a = net.add_process(Echo);
+        net.send_external(a, Tagged(4)); // external sends are never dropped
+        assert_eq!(net.metrics().tag_inflight(4), 1);
+        net.run_to_quiescence(100);
+        // Delivered to `a`, whose echo was dropped — and settled.
+        assert_eq!(net.metrics().tag_inflight(4), 0);
+        assert_eq!(net.metrics().tag_count(4), 2, "the lost echo is billed");
+        assert_eq!(net.metrics().dropped(), 1);
+    }
+
+    #[test]
+    fn tagged_messages_to_dead_processes_settle() {
+        let mut net: EventNetwork<Echo> = EventNetwork::new(NetConfig::default(), 9);
+        let a = net.add_process(Echo);
+        net.crash(a);
+        net.send_external(a, Tagged(8));
+        assert_eq!(net.metrics().tag_inflight(8), 1);
+        net.run_to_quiescence(100);
+        assert_eq!(net.metrics().tag_inflight(8), 0);
+        assert_eq!(net.metrics().to_dead(), 1);
     }
 
     #[test]

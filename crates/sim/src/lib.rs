@@ -66,5 +66,5 @@ mod rounds;
 pub use context::Context;
 pub use event::{EventNetwork, LatencyModel, NetConfig};
 pub use metrics::Metrics;
-pub use process::{MessageLabel, Process, ProcessId};
+pub use process::{MessageLabel, MsgTag, Process, ProcessId};
 pub use rounds::RoundNetwork;

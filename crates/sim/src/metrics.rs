@@ -1,11 +1,19 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
+use crate::process::MsgTag;
+
 /// Message-level counters collected by both engines.
 ///
 /// Used by the experiments to report the paper's message-cost figures
 /// (e.g. "necessitating only 2 messages" for the §3 dissemination
 /// example) and to compare overlays.
+///
+/// Besides the label aggregates, tagged messages (see
+/// [`MsgTag`](crate::MsgTag)) are accounted per tag: `tag_count` is the
+/// tag's billed message total and `tag_inflight` the number of its
+/// messages currently in the network — the quiescence signal the
+/// pipelined publish harness polls instead of draining everything.
 #[derive(Debug, Clone, Default)]
 pub struct Metrics {
     sent: u64,
@@ -13,6 +21,13 @@ pub struct Metrics {
     dropped: u64,
     to_dead: u64,
     per_label: BTreeMap<&'static str, u64>,
+    /// Billed sends per tag (the per-operation message bill).
+    tag_sent: BTreeMap<u64, u64>,
+    /// Tagged messages currently in the network, per tag.
+    tag_inflight: BTreeMap<u64, u64>,
+    /// Tags below this are retired (see [`Metrics::retire_tags_below`]):
+    /// their counters are purged and late traffic is not re-tracked.
+    tag_floor: u64,
 }
 
 impl Metrics {
@@ -51,8 +66,42 @@ impl Metrics {
         self.per_label.get(label).copied().unwrap_or(0)
     }
 
+    /// Billed messages charged to `tag` so far (0 for unknown tags).
+    pub fn tag_count(&self, tag: u64) -> u64 {
+        self.tag_sent.get(&tag).copied().unwrap_or(0)
+    }
+
+    /// Messages of `tag` currently in flight (0 = the tagged operation
+    /// is quiescent).
+    pub fn tag_inflight(&self, tag: u64) -> u64 {
+        self.tag_inflight.get(&tag).copied().unwrap_or(0)
+    }
+
+    /// Forgets a tag's counters once its report is finalized, so maps
+    /// do not grow with the event history.
+    pub fn clear_tag(&mut self, tag: u64) {
+        self.tag_sent.remove(&tag);
+        self.tag_inflight.remove(&tag);
+    }
+
+    /// Retires every tag below `floor` (tags are allocated
+    /// monotonically): their counters are purged *and* their late
+    /// traffic is ignored by future tagged sends. Without the floor,
+    /// an operation finalized while its messages still circulate (a
+    /// corrupted overlay outliving the pipeline's deadline guard)
+    /// would keep re-creating counter entries that nobody clears.
+    pub fn retire_tags_below(&mut self, floor: u64) {
+        if floor <= self.tag_floor {
+            return;
+        }
+        self.tag_floor = floor;
+        self.tag_sent = self.tag_sent.split_off(&floor);
+        self.tag_inflight = self.tag_inflight.split_off(&floor);
+    }
+
     /// Resets all counters; used between experiment phases to isolate
-    /// the cost of one operation.
+    /// the cost of one operation. Also forgets tag counters — callers
+    /// must not reset while tagged operations are still in flight.
     pub fn reset(&mut self) {
         *self = Self::default();
     }
@@ -60,6 +109,28 @@ impl Metrics {
     pub(crate) fn record_sent(&mut self, label: &'static str) {
         self.sent += 1;
         *self.per_label.entry(label).or_insert(0) += 1;
+    }
+
+    pub(crate) fn record_tag_sent(&mut self, tag: MsgTag) {
+        if tag.id < self.tag_floor {
+            return;
+        }
+        if tag.billed {
+            *self.tag_sent.entry(tag.id).or_insert(0) += 1;
+        }
+        *self.tag_inflight.entry(tag.id).or_insert(0) += 1;
+    }
+
+    /// One tagged message left the network (delivered, dropped, lost,
+    /// or discarded with a dead process). Saturates so a tag cleared
+    /// mid-flight cannot underflow.
+    pub(crate) fn record_tag_settled(&mut self, tag: MsgTag) {
+        if let Some(n) = self.tag_inflight.get_mut(&tag.id) {
+            *n -= 1;
+            if *n == 0 {
+                self.tag_inflight.remove(&tag.id);
+            }
+        }
     }
 
     pub(crate) fn record_delivered(&mut self) {
@@ -113,5 +184,46 @@ mod tests {
         assert!(shown.contains("join=2"));
         m.reset();
         assert_eq!(m.sent(), 0);
+    }
+
+    #[test]
+    fn tag_counters_bill_and_settle_independently() {
+        let mut m = Metrics::new();
+        m.record_tag_sent(MsgTag::billed(7));
+        m.record_tag_sent(MsgTag::billed(7));
+        m.record_tag_sent(MsgTag::unbilled(7));
+        m.record_tag_sent(MsgTag::billed(9));
+        assert_eq!(m.tag_count(7), 2, "unbilled sends are not charged");
+        assert_eq!(m.tag_inflight(7), 3, "unbilled sends are tracked");
+        assert_eq!(m.tag_count(9), 1);
+        for _ in 0..3 {
+            m.record_tag_settled(MsgTag::billed(7));
+        }
+        assert_eq!(m.tag_inflight(7), 0);
+        assert_eq!(m.tag_inflight(9), 1, "other tags unaffected");
+        assert_eq!(m.tag_count(7), 2, "the bill survives settlement");
+        m.clear_tag(7);
+        assert_eq!(m.tag_count(7), 0);
+        // Settling a cleared/unknown tag must not underflow or panic.
+        m.record_tag_settled(MsgTag::billed(7));
+        assert_eq!(m.tag_inflight(7), 0);
+    }
+
+    #[test]
+    fn retired_tags_are_purged_and_ignore_late_traffic() {
+        let mut m = Metrics::new();
+        m.record_tag_sent(MsgTag::billed(3));
+        m.record_tag_sent(MsgTag::billed(10));
+        m.retire_tags_below(10);
+        assert_eq!(m.tag_count(3), 0, "retired counters purged");
+        assert_eq!(m.tag_inflight(3), 0);
+        assert_eq!(m.tag_count(10), 1, "tags at the floor survive");
+        // Late traffic of a retired tag re-creates nothing.
+        m.record_tag_sent(MsgTag::billed(3));
+        assert_eq!(m.tag_count(3), 0);
+        assert_eq!(m.tag_inflight(3), 0);
+        // The floor never moves backwards.
+        m.retire_tags_below(5);
+        assert_eq!(m.tag_count(10), 1);
     }
 }

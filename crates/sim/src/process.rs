@@ -30,6 +30,42 @@ impl fmt::Display for ProcessId {
     }
 }
 
+/// A per-operation tag carried by a message, for exact per-operation
+/// accounting while traffic of several operations interleaves in the
+/// same inboxes (e.g. the pipelined publish path, where PubUp/PubDown
+/// messages of consecutive events share dissemination rounds).
+///
+/// The engines use tags for two things:
+///
+/// * **In-flight tracking** — every tagged send increments the tag's
+///   in-flight count; every settlement (delivery, drop, loss, crash
+///   cleanup) decrements it. [`crate::Metrics::tag_inflight`] reaching
+///   zero means the tagged operation has gone quiescent, *without*
+///   draining the whole network.
+/// * **Billing** — tagged sends with `billed == true` accumulate in
+///   [`crate::Metrics::tag_count`], the per-operation message bill.
+///   Harness plumbing (e.g. the external publish injection) sets
+///   `billed: false`: it is tracked for quiescence but not charged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MsgTag {
+    /// The operation this message belongs to (e.g. an event id).
+    pub id: u64,
+    /// Whether this message counts toward the operation's message bill.
+    pub billed: bool,
+}
+
+impl MsgTag {
+    /// A billed tag (counts toward the operation's message bill).
+    pub fn billed(id: u64) -> Self {
+        Self { id, billed: true }
+    }
+
+    /// An unbilled tag (tracked for quiescence only).
+    pub fn unbilled(id: u64) -> Self {
+        Self { id, billed: false }
+    }
+}
+
 /// Classifies messages for per-kind metrics.
 ///
 /// Implementations return a small static set of labels (one per protocol
@@ -37,6 +73,12 @@ impl fmt::Display for ProcessId {
 pub trait MessageLabel {
     /// A short static name for this message's kind.
     fn label(&self) -> &'static str;
+
+    /// The per-operation tag of this message, if it belongs to a tagged
+    /// operation (see [`MsgTag`]). Default: untagged.
+    fn tag(&self) -> Option<MsgTag> {
+        None
+    }
 }
 
 impl MessageLabel for () {
@@ -78,6 +120,10 @@ pub trait Process {
 impl<M: Clone + MessageLabel> MessageLabel for Box<M> {
     fn label(&self) -> &'static str {
         (**self).label()
+    }
+
+    fn tag(&self) -> Option<MsgTag> {
+        (**self).tag()
     }
 }
 

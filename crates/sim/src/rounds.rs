@@ -184,7 +184,9 @@ impl<P: Process> RoundNetwork<P> {
         let departed = slot.take();
         if departed.is_some() {
             self.live -= 1;
-            self.inboxes[id.raw() as usize].clear();
+            for (_, msg) in self.inboxes[id.raw() as usize].drain(..) {
+                Self::settle_tag(&mut self.metrics, &msg);
+            }
         }
         departed
     }
@@ -207,7 +209,21 @@ impl<P: Process> RoundNetwork<P> {
     /// Queues a message for delivery at the start of the next round.
     pub fn send_external(&mut self, to: ProcessId, msg: P::Msg) {
         self.metrics.record_sent(msg.label());
+        if let Some(tag) = msg.tag() {
+            self.metrics.record_tag_sent(tag);
+        }
         self.enqueue(to, to, msg);
+    }
+
+    /// Forgets a tag's message counters (see [`Metrics::clear_tag`]).
+    pub fn clear_tag(&mut self, tag: u64) {
+        self.metrics.clear_tag(tag);
+    }
+
+    /// Retires every tag below `floor` (see
+    /// [`Metrics::retire_tags_below`]).
+    pub fn retire_tags_below(&mut self, floor: u64) {
+        self.metrics.retire_tags_below(floor);
     }
 
     /// Executes one synchronous round.
@@ -219,7 +235,11 @@ impl<P: Process> RoundNetwork<P> {
         std::mem::swap(&mut self.inboxes, &mut self.scratch);
         // Forged-destination messages never find a process: drop them
         // with this round, as the map-backed engine did.
-        self.overflow.clear();
+        for msgs in std::mem::take(&mut self.overflow).into_values() {
+            for (_, msg) in msgs {
+                Self::settle_tag(&mut self.metrics, &msg);
+            }
+        }
         let due_timers = self.timers.remove(&self.round).unwrap_or_default();
         let ids: Vec<ProcessId> = self.ids();
         for id in ids {
@@ -230,6 +250,7 @@ impl<P: Process> RoundNetwork<P> {
             if !self.scratch[slot].is_empty() {
                 let mut deliveries = std::mem::take(&mut self.scratch[slot]);
                 for (from, msg) in deliveries.drain(..) {
+                    Self::settle_tag(&mut self.metrics, &msg);
                     if !self.is_alive(id) {
                         self.metrics.record_to_dead();
                         continue;
@@ -265,7 +286,9 @@ impl<P: Process> RoundNetwork<P> {
         // Anything still sitting in the delivery buffers was addressed
         // to a dead process; drop it but keep the buffer capacity.
         for buf in &mut self.scratch {
-            buf.clear();
+            for (_, msg) in buf.drain(..) {
+                Self::settle_tag(&mut self.metrics, &msg);
+            }
         }
     }
 
@@ -300,6 +323,13 @@ impl<P: Process> RoundNetwork<P> {
         self.procs.get(id.raw() as usize).and_then(Option::as_ref)
     }
 
+    /// A tagged message left the network (delivered or discarded).
+    fn settle_tag(metrics: &mut Metrics, msg: &P::Msg) {
+        if let Some(tag) = msg.tag() {
+            metrics.record_tag_settled(tag);
+        }
+    }
+
     fn enqueue(&mut self, from: ProcessId, to: ProcessId, msg: P::Msg) {
         match self.inboxes.get_mut(to.raw() as usize) {
             Some(inbox) => inbox.push((from, msg)),
@@ -315,6 +345,9 @@ impl<P: Process> RoundNetwork<P> {
     ) {
         for (to, msg) in outbox {
             self.metrics.record_sent(msg.label());
+            if let Some(tag) = msg.tag() {
+                self.metrics.record_tag_sent(tag);
+            }
             self.enqueue(from, to, msg);
         }
         for (delay, timer) in timer_requests {
@@ -492,6 +525,100 @@ mod tests {
         net.run_rounds(1);
         assert_eq!(net.process(b).unwrap().best, 42);
         let _ = a;
+    }
+
+    #[derive(Clone, Debug)]
+    struct Hop {
+        tag: u64,
+        hops: u32,
+    }
+
+    impl MessageLabel for Hop {
+        fn label(&self) -> &'static str {
+            "hop"
+        }
+        fn tag(&self) -> Option<crate::MsgTag> {
+            Some(crate::MsgTag::billed(self.tag))
+        }
+    }
+
+    /// Forwards a message `hops` more times along a ring.
+    struct Relay {
+        next: Option<ProcessId>,
+    }
+
+    impl Process for Relay {
+        type Msg = Hop;
+        type Timer = ();
+
+        fn on_message(&mut self, _from: ProcessId, msg: Hop, ctx: &mut Context<'_, Hop, ()>) {
+            if msg.hops > 0 {
+                if let Some(next) = self.next {
+                    ctx.send(
+                        next,
+                        Hop {
+                            tag: msg.tag,
+                            hops: msg.hops - 1,
+                        },
+                    );
+                }
+            }
+        }
+
+        fn on_timer(&mut self, _t: (), _ctx: &mut Context<'_, Hop, ()>) {}
+    }
+
+    fn relay_pair() -> (RoundNetwork<Relay>, ProcessId, ProcessId) {
+        let mut net: RoundNetwork<Relay> = RoundNetwork::new(3);
+        let a = net.add_process(Relay { next: None });
+        let b = net.add_process(Relay { next: None });
+        net.process_mut(a).unwrap().next = Some(b);
+        net.process_mut(b).unwrap().next = Some(a);
+        (net, a, b)
+    }
+
+    #[test]
+    fn tags_are_billed_and_reach_quiescence_independently() {
+        let (mut net, a, _b) = relay_pair();
+        net.send_external(a, Hop { tag: 1, hops: 3 });
+        net.send_external(a, Hop { tag: 2, hops: 1 });
+        // Both tags in flight from the moment of injection.
+        assert_eq!(net.metrics().tag_inflight(1), 1);
+        assert_eq!(net.metrics().tag_inflight(2), 1);
+        net.run_rounds(2);
+        // Tag 2 finished (injection + one relay); tag 1 still hopping.
+        assert_eq!(net.metrics().tag_inflight(2), 0);
+        assert_eq!(net.metrics().tag_count(2), 2);
+        assert_eq!(net.metrics().tag_inflight(1), 1);
+        net.run_rounds(2);
+        assert_eq!(net.metrics().tag_inflight(1), 0);
+        assert_eq!(net.metrics().tag_count(1), 4, "injection + 3 relays");
+        net.clear_tag(1);
+        assert_eq!(net.metrics().tag_count(1), 0);
+    }
+
+    #[test]
+    fn crash_settles_queued_tagged_messages() {
+        let (mut net, a, b) = relay_pair();
+        net.send_external(b, Hop { tag: 5, hops: 9 });
+        assert_eq!(net.metrics().tag_inflight(5), 1);
+        net.crash(b); // inbox discarded before delivery
+        assert_eq!(net.metrics().tag_inflight(5), 0);
+        // Messages addressed to the dead process later also settle.
+        net.send_external(b, Hop { tag: 6, hops: 9 });
+        net.run_rounds(1);
+        assert_eq!(net.metrics().tag_inflight(6), 0);
+        let _ = a;
+    }
+
+    #[test]
+    fn forged_destination_settles_after_one_round() {
+        let (mut net, _a, _b) = relay_pair();
+        net.send_external(ProcessId::from_raw(77_000), Hop { tag: 9, hops: 2 });
+        assert_eq!(net.metrics().tag_inflight(9), 1);
+        net.run_rounds(1);
+        assert_eq!(net.metrics().tag_inflight(9), 0);
+        assert_eq!(net.metrics().tag_count(9), 1, "the send is still billed");
     }
 
     #[test]

@@ -38,6 +38,13 @@ pub enum EventWorkload {
 }
 
 impl EventWorkload {
+    /// Generates `n` events with no subscription set — the common call
+    /// for [`EventWorkload::Uniform`] and [`EventWorkload::Hotspot`]
+    /// ([`EventWorkload::Following`] falls back to uniform).
+    pub fn generate<const D: usize>(&self, n: usize, rng: &mut StdRng) -> Vec<Point<D>> {
+        self.generate_with(n, &[], rng)
+    }
+
     /// Generates `n` events. `subscriptions` is consulted only by
     /// [`EventWorkload::Following`]; pass `&[]` otherwise.
     pub fn generate_with<const D: usize>(
