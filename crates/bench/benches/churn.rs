@@ -1,14 +1,15 @@
 //! Criterion benches of oracle maintenance under churn: one mixed
 //! mutate/flush/publish round against the sharded oracle, with
-//! incremental delta-layer maintenance vs the rebuild-on-flush
-//! baseline (delta fraction forced to 0). The `scale` binary's `churn`
-//! mode is the tracked, JSON-emitting version of the same comparison
-//! at larger sizes; this bench is the quick local loop.
+//! incremental delta-layer maintenance (synchronous and concurrent
+//! compaction) vs the rebuild-on-flush baseline (delta fraction
+//! forced to 0). The `scale` binary's `churn` mode is the tracked,
+//! JSON-emitting version of the same comparison at larger sizes; this
+//! bench is the quick local loop.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use drtree_core::ProcessId;
-use drtree_pubsub::{BatchMatches, ShardedOracle};
+use drtree_pubsub::{BatchMatches, CompactionMode, ShardedOracle};
 use drtree_spatial::{Point, Rect};
 use drtree_workloads::SubscriptionWorkload;
 use rand::rngs::StdRng;
@@ -24,9 +25,18 @@ const PUBLISHES_PER_ROUND: usize = 512;
 fn bench_churn_round(c: &mut Criterion) {
     let mut group = c.benchmark_group("churn-mutate-publish-10k");
     group.sample_size(20);
-    for (name, fraction) in [
-        ("incremental", drtree_rtree::DEFAULT_DELTA_FRACTION),
-        ("rebuild-on-flush", 0.0),
+    for (name, fraction, mode) in [
+        (
+            "incremental",
+            drtree_rtree::DEFAULT_DELTA_FRACTION,
+            CompactionMode::Synchronous,
+        ),
+        ("rebuild-on-flush", 0.0, CompactionMode::Synchronous),
+        (
+            "concurrent",
+            drtree_rtree::DEFAULT_DELTA_FRACTION,
+            CompactionMode::Concurrent,
+        ),
     ] {
         let mut rng = StdRng::seed_from_u64(4242);
         let rects: Vec<Rect<2>> = SubscriptionWorkload::Uniform {
@@ -37,6 +47,7 @@ fn bench_churn_round(c: &mut Criterion) {
         let mut oracle: ShardedOracle<2> = ShardedOracle::new(4);
         oracle.set_threads(1);
         oracle.set_delta_fraction(fraction);
+        oracle.set_compaction_mode(mode);
         let mut live: Vec<(u64, Rect<2>)> = Vec::with_capacity(rects.len());
         for (i, r) in rects.iter().enumerate() {
             oracle.insert(ProcessId::from_raw(i as u64), *r);

@@ -7,7 +7,7 @@ use drtree_rtree::parallel;
 use drtree_spatial::filter::FilterError;
 use drtree_spatial::{Event, FilterExpr, Point, Rect, Schema};
 
-use crate::shard::{BatchMatches, ShardedOracle};
+use crate::shard::{BatchMatches, CompactionMode, ShardedOracle};
 use crate::stats::RoutingStats;
 
 /// Errors surfaced by the [`Broker`].
@@ -69,6 +69,13 @@ pub struct Broker<const D: usize> {
     /// Overlay dissemination window of [`Broker::publish_batch`]: how
     /// many events of a batch disseminate concurrently.
     publish_window: usize,
+    /// When set, [`Broker::publish_batch`] re-derives `publish_window`
+    /// from `rounds_ema` after every batch instead of holding the
+    /// configured constant.
+    adaptive_window: bool,
+    /// Exponential moving average of observed per-event
+    /// injection-to-quiescence rounds (0.0 until the first publish).
+    rounds_ema: f64,
     /// Reused single-publish matching buffer (sorted, deduplicated,
     /// publisher still included).
     match_buf: Vec<ProcessId>,
@@ -122,6 +129,8 @@ impl<const D: usize> Broker<D> {
             sets: BTreeMap::new(),
             stats: RoutingStats::default(),
             publish_window: Self::DEFAULT_PUBLISH_WINDOW,
+            adaptive_window: false,
+            rounds_ema: 0.0,
             match_buf: Vec::new(),
             batch_buf: BatchMatches::new(),
         })
@@ -131,17 +140,74 @@ impl<const D: usize> Broker<D> {
     /// [`Broker::publish_batch`].
     pub const DEFAULT_PUBLISH_WINDOW: usize = 32;
 
+    /// EMA smoothing of the observed rounds-per-event signal driving
+    /// the adaptive window: new observations carry a quarter of the
+    /// weight, so one anomalous batch cannot whipsaw the window while
+    /// a genuine workload shift converges within a handful of batches.
+    const WINDOW_EMA_ALPHA: f64 = 0.25;
+
+    /// Adaptive window sizing: events overlapping in flight should
+    /// cover a few dissemination depths, so each round is shared by
+    /// many events without flooding the network far past the point of
+    /// diminishing returns.
+    const WINDOW_ROUNDS_FACTOR: f64 = 4.0;
+
     /// Sets how many events of a batch disseminate through the overlay
     /// concurrently (clamped to
     /// `1..=`[`DrTreeCluster::MAX_PUBLISH_WINDOW`]). `1` restores the
-    /// sequential drain-per-event behavior.
+    /// sequential drain-per-event behavior. Also turns adaptive
+    /// sizing off — an explicit window is a pin.
     pub fn set_publish_window(&mut self, window: usize) {
         self.publish_window = window.clamp(1, DrTreeCluster::<D>::MAX_PUBLISH_WINDOW);
+        self.adaptive_window = false;
     }
 
     /// The current overlay dissemination window.
     pub fn publish_window(&self) -> usize {
         self.publish_window
+    }
+
+    /// Turns adaptive window sizing on or off. When on, every
+    /// [`Broker::publish_batch`] re-derives the dissemination window
+    /// from an exponential moving average of the observed per-event
+    /// rounds ([`Broker::rounds_ema`]) — roughly
+    /// `4 × rounds-per-event`, clamped like
+    /// [`Broker::set_publish_window`] — instead of holding the fixed
+    /// default. Deep overlays (more rounds per event) thus get wider
+    /// windows to amortize their rounds across, shallow ones stay
+    /// narrow, with no per-deployment tuning.
+    pub fn set_adaptive_window(&mut self, adaptive: bool) {
+        self.adaptive_window = adaptive;
+    }
+
+    /// `true` when the publish window is sized adaptively.
+    pub fn adaptive_window(&self) -> bool {
+        self.adaptive_window
+    }
+
+    /// The exponential moving average of observed per-event
+    /// dissemination rounds (0.0 before the first publish) — the
+    /// signal behind [`Broker::set_adaptive_window`].
+    pub fn rounds_ema(&self) -> f64 {
+        self.rounds_ema
+    }
+
+    /// Folds one publish's observed per-event rounds into the EMA and,
+    /// when adaptive, re-derives the window.
+    fn observe_rounds(&mut self, reports: &[PublishReport]) {
+        if reports.is_empty() {
+            return;
+        }
+        let mean = reports.iter().map(|r| r.rounds).sum::<u64>() as f64 / reports.len() as f64;
+        self.rounds_ema = if self.rounds_ema == 0.0 {
+            mean
+        } else {
+            Self::WINDOW_EMA_ALPHA * mean + (1.0 - Self::WINDOW_EMA_ALPHA) * self.rounds_ema
+        };
+        if self.adaptive_window {
+            let window = (Self::WINDOW_ROUNDS_FACTOR * self.rounds_ema).round() as usize;
+            self.publish_window = window.clamp(1, DrTreeCluster::<D>::MAX_PUBLISH_WINDOW);
+        }
     }
 
     /// Number of shards the oracle fans publishes across.
@@ -309,6 +375,7 @@ impl<const D: usize> Broker<D> {
             self.classify(publisher, &point, &match_buf, &mut report);
         }
         self.stats.absorb(&report);
+        self.observe_rounds(std::slice::from_ref(&report));
         self.match_buf = match_buf;
         Ok(report)
     }
@@ -352,6 +419,7 @@ impl<const D: usize> Broker<D> {
             }
             self.stats.absorb(report);
         }
+        self.observe_rounds(&reports);
         self.batch_buf = batch_buf;
         Ok(reports)
     }
@@ -375,7 +443,21 @@ impl<const D: usize> Broker<D> {
                 flush.tombstones_reclaimed as u64,
             );
         }
+        if flush.rebuilt_shards > 0 || flush.begun_compactions > 0 {
+            self.stats
+                .absorb_oracle_pause(flush.swap_ns, flush.compact_ns);
+        }
         flush.elapsed
+    }
+
+    /// Chooses how the oracle realizes over-threshold shard
+    /// compactions: inline inside the flush
+    /// ([`CompactionMode::Synchronous`], deterministic, the measured
+    /// baseline) or frozen-snapshot merges on background workers
+    /// swapped in pause-free ([`CompactionMode::Concurrent`]). See
+    /// [`ShardedOracle::set_compaction_mode`].
+    pub fn set_compaction_mode(&mut self, mode: CompactionMode) {
+        self.oracle.set_compaction_mode(mode);
     }
 
     /// `true` iff subscriber `id` exactly matches `point` (any member of

@@ -47,5 +47,5 @@ mod shard;
 mod stats;
 
 pub use broker::{Broker, BrokerError};
-pub use shard::{BatchMatches, OracleFlush, ShardedOracle};
+pub use shard::{BatchMatches, CompactionMode, OracleFlush, ShardedOracle};
 pub use stats::RoutingStats;

@@ -15,6 +15,23 @@
 //! scoped-thread pool of [`drtree_rtree::parallel`] for batches — and
 //! merge visitor hits into reused buffers, so the steady-state
 //! matching path performs no allocation.
+//!
+//! Compaction itself comes in two flavors ([`CompactionMode`]): the
+//! **synchronous** path merges an over-threshold shard inline inside
+//! `flush` (deterministic, single-core friendly, the measured
+//! baseline), while the **concurrent** path freezes the shard's
+//! `Arc`-shared packed core ([`drtree_rtree::FrozenShard`]) and hands
+//! the merge plus stab-grid rebuild to a background
+//! [`drtree_rtree::parallel::Job`]; `flush` becomes a two-phase
+//! begin/finish protocol that kicks off merges, keeps serving exact
+//! reads from the frozen state overlaid with a second-generation
+//! delta, and swaps finished trees in for an
+//! `O(mutations-during-merge)` fix-up instead of an `O(shard)` pause.
+//! While shards are mid-compaction, imbalance is repaired by
+//! *delta-aware* rebalancing: one Hilbert boundary shift between the
+//! overloaded shard and its curve neighbor
+//! ([`drtree_spatial::hilbert::ShardMap::with_boundary`]) instead of
+//! a full redistribute that would void every in-flight merge.
 
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
@@ -388,15 +405,28 @@ fn for_each_cell<const D: usize>(
     }
 }
 
+/// What a concurrent-compaction worker hands back: the merged packed
+/// tree, the stab grid rebuilt over it, and how long the merge took
+/// (off the publish path — reported for the pause accounting).
+#[derive(Debug)]
+struct MergedShard<const D: usize> {
+    tree: PackedRTree<ProcessId, D>,
+    grid: StabGrid<D>,
+    merge_ns: u64,
+}
+
 /// One shard: the delta-bearing packed tree holding its slice of the
 /// subscription set (live entries = packed slots − tombstones +
-/// staged), and the incrementally patched stab grid accelerating
-/// batched probes. The packed tree *is* the entry store — there is no
-/// separate entry list to clone on rebuild.
+/// staged), the incrementally patched stab grid accelerating batched
+/// probes, and — while a concurrent compaction is in flight — the
+/// background job merging the shard's frozen snapshot. The packed
+/// tree *is* the entry store — there is no separate entry list to
+/// clone on rebuild.
 #[derive(Debug)]
 struct Shard<const D: usize> {
     packed: PackedRTree<ProcessId, D>,
     grid: StabGrid<D>,
+    job: Option<parallel::Job<MergedShard<D>>>,
 }
 
 impl<const D: usize> Shard<D> {
@@ -406,25 +436,96 @@ impl<const D: usize> Shard<D> {
         Self {
             packed,
             grid: StabGrid::default(),
+            job: None,
         }
     }
+
+    /// Completes this shard's two-phase compaction: swaps the merged
+    /// tree and worker-built grid in, then re-stages the surviving
+    /// second-generation delta entries (re-indexed from zero by the
+    /// install) into the fresh grid's patch layer. Everything here is
+    /// `O(mutations since the freeze)` — the publish-path cost of a
+    /// concurrent compaction.
+    fn install(&mut self, merged: MergedShard<D>) -> drtree_rtree::DeltaCompaction {
+        let stats = self.packed.install(merged.tree);
+        self.grid = merged.grid;
+        for (i, rect) in self.packed.staged_rects().iter().enumerate() {
+            self.grid.stage(i as u32, rect);
+        }
+        stats
+    }
+
+    /// Freezes this shard and hands the merge plus grid rebuild to a
+    /// background job.
+    fn begin_compaction(&mut self) {
+        debug_assert!(self.job.is_none(), "compaction already in flight");
+        let frozen = self.packed.freeze();
+        self.job = Some(parallel::Job::spawn(move || {
+            let t0 = Instant::now();
+            let tree = frozen.merge();
+            let grid = StabGrid::build(&tree);
+            MergedShard {
+                tree,
+                grid,
+                merge_ns: t0.elapsed().as_nanos() as u64,
+            }
+        }));
+    }
+}
+
+/// How [`ShardedOracle::flush`] realizes over-threshold compactions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum CompactionMode {
+    /// Merge inline inside `flush` — the deterministic single-core
+    /// path, and the measured baseline of the churn bench. Every
+    /// over-threshold shard stalls the flush for a full Hilbert
+    /// re-sort.
+    #[default]
+    Synchronous,
+    /// Two-phase: `flush` freezes over-threshold shards and hands the
+    /// merges to background [`drtree_rtree::parallel::Job`]s, then
+    /// swaps finished trees in on a later flush (or
+    /// [`ShardedOracle::finish_compactions`]). The publish path pays
+    /// only the freeze and the `O(mutations-during-merge)` install
+    /// fix-up — never the merge itself.
+    Concurrent,
 }
 
 /// What one [`ShardedOracle::flush`] call did.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct OracleFlush {
-    /// Shards whose packed tree was rebuilt (compaction merges plus
-    /// rebalance redistributions).
+    /// Shards whose packed tree was swapped for a fresh bulk-load
+    /// (inline compactions, installed concurrent merges, rebalance
+    /// redistributions).
     pub rebuilt_shards: usize,
-    /// Shards whose delta layer was folded into the packed levels.
+    /// Shards whose delta layer was folded into the packed levels
+    /// (inline, or installed from a finished background merge).
     pub compacted_shards: usize,
+    /// Concurrent compactions kicked off by this flush (frozen
+    /// snapshots handed to background workers).
+    pub begun_compactions: usize,
     /// Staged entries absorbed into packed levels across all shards.
     pub staged_absorbed: usize,
     /// Tombstoned slots reclaimed across all shards.
     pub tombstones_reclaimed: usize,
-    /// Whether entries were redistributed (world growth or imbalance).
+    /// Whether entries were fully redistributed (world growth, or
+    /// imbalance with no compaction in flight).
     pub rebalanced: bool,
-    /// Wall-clock time spent rebalancing + compacting.
+    /// Whether imbalance was repaired by a single Hilbert boundary
+    /// shift between the overloaded shard and its curve neighbor
+    /// (delta-aware rebalancing: two shards rebuilt, every other
+    /// shard's in-flight compaction left undisturbed).
+    pub split_rebalanced: bool,
+    /// Publish-path stall: nanoseconds this flush spent freezing,
+    /// swapping and fixing up — everything *except* inline merge work.
+    pub swap_ns: u64,
+    /// Nanoseconds spent merging delta layers into fresh bulk-loads,
+    /// wherever the merge ran (inline here in
+    /// [`CompactionMode::Synchronous`]; on background workers, summed
+    /// at install, in [`CompactionMode::Concurrent`]).
+    pub compact_ns: u64,
+    /// Wall-clock time of the flush call itself — the whole
+    /// publish-path pause, inline merges included.
     pub elapsed: Duration,
 }
 
@@ -493,9 +594,14 @@ impl BatchMatches {
 ///   `0.0` restores rebuild-per-flush, the churn bench's baseline
 ///   mode).
 /// * **Rebalancing** — when an entry lands outside the mapped world,
-///   or one shard grows past `4× ideal + 64` entries, the next flush
-///   recomputes the world, re-splits the key population at its count
-///   quantiles, and redistributes (rebuilding everything once).
+///   the next flush recomputes the world, re-splits the key population
+///   at its count quantiles, and redistributes (rebuilding everything
+///   once). When only *imbalance* needs repair (one shard past
+///   `4× ideal + 64` entries), the flush is delta-aware instead: it
+///   shifts the single Hilbert boundary between the overloaded shard
+///   and its lighter curve neighbor to their combined count median, so
+///   two shards rebuild and every other shard — compacting or not —
+///   is untouched.
 /// * **Correctness under interleaving** — any assignment whatsoever
 ///   yields exact matching (every shard is probed), so the shard map
 ///   only affects performance; property tests pin the hit-sets to the
@@ -557,8 +663,11 @@ pub struct ShardedOracle<const D: usize> {
     stale_world: bool,
     /// Compaction trigger forwarded to every shard's packed tree.
     delta_fraction: f64,
+    /// Whether over-threshold compactions run inline or on workers.
+    mode: CompactionMode,
     rebuilds: u64,
     rebalances: u64,
+    split_rebalances: u64,
     compactions: u64,
     staged_absorbed: u64,
     tombstones_reclaimed: u64,
@@ -592,8 +701,10 @@ impl<const D: usize> ShardedOracle<D> {
             threads: parallel::available_threads(),
             stale_world: false,
             delta_fraction,
+            mode: CompactionMode::default(),
             rebuilds: 0,
             rebalances: 0,
+            split_rebalances: 0,
             compactions: 0,
             staged_absorbed: 0,
             tombstones_reclaimed: 0,
@@ -609,8 +720,10 @@ impl<const D: usize> ShardedOracle<D> {
         }
     }
 
-    /// Caps the scoped-thread worker budget for batched fans (clamped
-    /// to ≥ 1). Defaults to the hardware parallelism.
+    /// Caps the worker budget (clamped to ≥ 1): how many scoped
+    /// threads a batched fan may use, and how many background merges
+    /// [`CompactionMode::Concurrent`] keeps in flight at once.
+    /// Defaults to the hardware parallelism.
     pub fn set_threads(&mut self, threads: usize) {
         self.threads = threads.max(1);
     }
@@ -631,6 +744,27 @@ impl<const D: usize> ShardedOracle<D> {
     /// The configured compaction trigger fraction.
     pub fn delta_fraction(&self) -> f64 {
         self.delta_fraction
+    }
+
+    /// Chooses whether over-threshold compactions run inline inside
+    /// [`ShardedOracle::flush`] ([`CompactionMode::Synchronous`], the
+    /// default — deterministic, the measured baseline) or on
+    /// background workers with a pause-free two-phase swap
+    /// ([`CompactionMode::Concurrent`]). Switching modes mid-run is
+    /// safe: the next synchronous flush first installs whatever the
+    /// workers finished.
+    pub fn set_compaction_mode(&mut self, mode: CompactionMode) {
+        self.mode = mode;
+    }
+
+    /// The configured compaction mode.
+    pub fn compaction_mode(&self) -> CompactionMode {
+        self.mode
+    }
+
+    /// Shards with a background merge currently in flight.
+    pub fn compacting_shards(&self) -> usize {
+        self.shards.iter().filter(|s| s.job.is_some()).count()
     }
 
     /// Number of shards.
@@ -672,6 +806,13 @@ impl<const D: usize> ShardedOracle<D> {
     /// Full redistributions performed over the oracle's lifetime.
     pub fn rebalance_count(&self) -> u64 {
         self.rebalances
+    }
+
+    /// Delta-aware split rebalances (single boundary shifts between an
+    /// overloaded shard and its curve neighbor) performed over the
+    /// oracle's lifetime.
+    pub fn split_rebalance_count(&self) -> u64 {
+        self.split_rebalances
     }
 
     /// Delta-layer merges performed over the oracle's lifetime.
@@ -770,56 +911,276 @@ impl<const D: usize> ShardedOracle<D> {
                 self.len -= 1;
                 true
             }
+            Some(DeltaRemoval::Retired { index }) => {
+                // A frozen staged entry died mid-compaction: the
+                // buffer keeps its (index-stable) slot, so only the
+                // grid's patch lists need to forget it — the install
+                // will re-remove it from the merged core.
+                shard.grid.unstage(index as u32, rect);
+                self.len -= 1;
+                true
+            }
             None => false,
         }
     }
 
-    /// Compacts every shard whose delta layer has outgrown the
-    /// configured fraction **now** (redistributing everything first
-    /// when the shard map went stale), so subsequent publishes pay
-    /// matching cost only. Queries call this implicitly; benches and
-    /// brokers call it eagerly so their publish timings never include
-    /// a merge. Under-threshold deltas are left in place — that is the
-    /// point of incremental maintenance.
+    /// Brings maintenance up to date **now**, so subsequent publishes
+    /// pay matching cost only: installs any finished background
+    /// merges, redistributes when the shard map went stale (or shifts
+    /// one Hilbert boundary when only imbalance needs repair — the
+    /// delta-aware path), and realizes over-threshold compactions — inline in
+    /// [`CompactionMode::Synchronous`], or by freezing the shard and
+    /// handing the merge to a worker in [`CompactionMode::Concurrent`]
+    /// (a later flush swaps the result in). Queries call this
+    /// implicitly; benches and brokers call it eagerly so their
+    /// publish timings never include a merge. Under-threshold deltas
+    /// are left in place — that is the point of incremental
+    /// maintenance.
     pub fn flush(&mut self) -> OracleFlush {
-        let rebalance_needed = self.needs_rebalance();
-        if !rebalance_needed && !self.shards.iter().any(|s| s.packed.needs_compaction()) {
+        let any_jobs = self.shards.iter().any(|s| s.job.is_some());
+        let needs_work = any_jobs
+            || self.needs_rebalance()
+            || self
+                .shards
+                .iter()
+                .any(|s| !s.packed.is_compacting() && s.packed.needs_compaction());
+        if !needs_work {
             return OracleFlush::default();
         }
         let t0 = Instant::now();
-        let mut flush = OracleFlush {
-            rebalanced: rebalance_needed,
-            ..OracleFlush::default()
-        };
-        if rebalance_needed {
-            for shard in &self.shards {
-                if shard.packed.delta_len() > 0 {
-                    flush.compacted_shards += 1;
+        let mut flush = OracleFlush::default();
+        let mut inline_merge_ns = 0u64;
+
+        // Phase 1 — finish: swap in whatever the workers completed.
+        // (In synchronous mode jobs only exist after a mode switch;
+        // block so the switch leaves no merge behind.)
+        self.install_finished(self.mode == CompactionMode::Synchronous, &mut flush);
+
+        // Phase 2 — rebalance, if due. A stale world (or a missing
+        // map) voids every assignment, so in-flight merges are
+        // abandoned and everything redistributes. Pure imbalance is
+        // repaired delta-aware instead: one boundary shift between the
+        // overloaded shard and its curve neighbor, which never
+        // disturbs another shard's in-flight compaction.
+        if self.needs_rebalance() {
+            let full = self.map.is_none() || self.stale_world || self.shards.len() < 2;
+            if full {
+                for shard in &mut self.shards {
+                    if let Some(job) = shard.job.take() {
+                        // The redistribute rebuilds everything anyway;
+                        // the merge result is worthless. Dropping the
+                        // job detaches the worker; aborting the epoch
+                        // eagerly keeps the accounting below exact.
+                        drop(job);
+                    }
+                    shard.packed.abort_compaction();
                 }
-                flush.staged_absorbed += shard.packed.staged_len();
-                flush.tombstones_reclaimed += shard.packed.tombstone_count();
-            }
-            self.rebalance();
-            flush.rebuilt_shards = self.shards.len();
-        } else {
-            for shard in &mut self.shards {
-                if !shard.packed.needs_compaction() {
-                    continue;
+                for shard in &self.shards {
+                    if shard.packed.delta_len() > 0 {
+                        flush.compacted_shards += 1;
+                    }
+                    flush.staged_absorbed += shard.packed.staged_len();
+                    flush.tombstones_reclaimed += shard.packed.tombstone_count();
                 }
-                let stats = shard.packed.compact();
-                shard.grid = StabGrid::build(&shard.packed);
-                flush.rebuilt_shards += 1;
-                flush.compacted_shards += 1;
-                flush.staged_absorbed += stats.staged_absorbed;
-                flush.tombstones_reclaimed += stats.tombstones_reclaimed;
+                self.rebalance();
+                flush.rebalanced = true;
+                flush.rebuilt_shards += self.shards.len();
+            } else {
+                self.split_rebalance(&mut flush);
             }
         }
+
+        // Phase 3 — begin: realize over-threshold compactions.
+        if !flush.rebalanced {
+            match self.mode {
+                CompactionMode::Synchronous => {
+                    for shard in &mut self.shards {
+                        if !shard.packed.needs_compaction() {
+                            continue;
+                        }
+                        let t_merge = Instant::now();
+                        let stats = shard.packed.compact();
+                        shard.grid = StabGrid::build(&shard.packed);
+                        inline_merge_ns += t_merge.elapsed().as_nanos() as u64;
+                        flush.rebuilt_shards += 1;
+                        flush.compacted_shards += 1;
+                        flush.staged_absorbed += stats.staged_absorbed;
+                        flush.tombstones_reclaimed += stats.tombstones_reclaimed;
+                    }
+                }
+                CompactionMode::Concurrent => {
+                    // Stagger merges: at most `threads` in flight, so
+                    // a burst of over-threshold shards (uniform churn
+                    // pushes every shard past the fraction in the same
+                    // window) spreads across flushes instead of
+                    // spawning one worker per shard to fight over the
+                    // same cores. Shards left over wait one flush.
+                    let mut in_flight = self.shards.iter().filter(|s| s.job.is_some()).count();
+                    for shard in &mut self.shards {
+                        if in_flight >= self.threads {
+                            break;
+                        }
+                        if shard.job.is_some()
+                            || shard.packed.is_compacting()
+                            || !shard.packed.needs_compaction()
+                        {
+                            continue;
+                        }
+                        shard.begin_compaction();
+                        flush.begun_compactions += 1;
+                        in_flight += 1;
+                    }
+                }
+            }
+        }
+
+        flush.compact_ns += inline_merge_ns;
+        self.absorb_flush_counters(&flush);
+        flush.elapsed = t0.elapsed();
+        flush.swap_ns = (flush.elapsed.as_nanos() as u64).saturating_sub(inline_merge_ns);
+        flush
+    }
+
+    /// Blocks until every in-flight background merge is installed —
+    /// the drain counterpart of the two-phase flush, for shutdown,
+    /// mode switches, and benches that must not leave work dangling
+    /// outside the timed window. A no-op without in-flight merges.
+    pub fn finish_compactions(&mut self) -> OracleFlush {
+        if self.shards.iter().all(|s| s.job.is_none()) {
+            return OracleFlush::default();
+        }
+        let t0 = Instant::now();
+        let mut flush = OracleFlush::default();
+        self.install_finished(true, &mut flush);
+        self.absorb_flush_counters(&flush);
+        flush.elapsed = t0.elapsed();
+        flush.swap_ns = flush.elapsed.as_nanos() as u64;
+        flush
+    }
+
+    /// Installs every background merge that is finished (or all of
+    /// them, blocking, with `block`), folding the results into
+    /// `flush`.
+    fn install_finished(&mut self, block: bool, flush: &mut OracleFlush) {
+        for shard in &mut self.shards {
+            let ready = shard
+                .job
+                .as_ref()
+                .is_some_and(|job| block || job.is_finished());
+            if !ready {
+                continue;
+            }
+            let merged = shard.job.take().expect("job presence checked").join();
+            flush.compact_ns += merged.merge_ns;
+            let stats = shard.install(merged);
+            flush.rebuilt_shards += 1;
+            flush.compacted_shards += 1;
+            flush.staged_absorbed += stats.staged_absorbed;
+            flush.tombstones_reclaimed += stats.tombstones_reclaimed;
+        }
+    }
+
+    /// Folds one flush's work into the lifetime counters.
+    fn absorb_flush_counters(&mut self, flush: &OracleFlush) {
         self.rebuilds += flush.rebuilt_shards as u64;
         self.compactions += flush.compacted_shards as u64;
         self.staged_absorbed += flush.staged_absorbed as u64;
         self.tombstones_reclaimed += flush.tombstones_reclaimed as u64;
-        flush.elapsed = t0.elapsed();
-        flush
+        if flush.split_rebalanced {
+            self.split_rebalances += 1;
+        }
+    }
+
+    /// Delta-aware rebalancing: repairs imbalance by shifting the one
+    /// Hilbert boundary between the overloaded shard and its lighter
+    /// curve neighbor to the count median of their combined key
+    /// population. Only those two shards rebuild; every other shard —
+    /// including any mid-compaction — is untouched. Falls back to a
+    /// full redistribute when the shift cannot move anything (a
+    /// degenerate key distribution).
+    fn split_rebalance(&mut self, flush: &mut OracleFlush) {
+        let heavy = self
+            .shards
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, s)| s.packed.len())
+            .map(|(i, _)| i)
+            .expect("oracle has at least one shard");
+        let neighbor = if heavy == 0 {
+            1
+        } else if heavy == self.shards.len() - 1
+            || self.shards[heavy - 1].packed.len() <= self.shards[heavy + 1].packed.len()
+        {
+            heavy - 1
+        } else {
+            heavy + 1
+        };
+        // The two shards being re-split must not have merges in
+        // flight: harvest a finished one, abandon an unfinished one
+        // (their entries are about to be redistributed regardless).
+        for i in [heavy, neighbor] {
+            let shard = &mut self.shards[i];
+            if let Some(job) = shard.job.take() {
+                if job.is_finished() {
+                    let merged = job.join();
+                    flush.compact_ns += merged.merge_ns;
+                    let stats = shard.install(merged);
+                    flush.rebuilt_shards += 1;
+                    flush.compacted_shards += 1;
+                    flush.staged_absorbed += stats.staged_absorbed;
+                    flush.tombstones_reclaimed += stats.tombstones_reclaimed;
+                }
+                // else: dropped above — drain_live aborts the epoch.
+            }
+        }
+        let map = self.map.as_ref().expect("split requires a shard map");
+        let mapper = map.mapper().clone();
+        let boundary = heavy.min(neighbor);
+        let mut entries = self.shards[heavy].packed.drain_live();
+        entries.append(&mut self.shards[neighbor].packed.drain_live());
+        let mut keys: Vec<u128> = entries.iter().map(|(_, r)| mapper.key(r)).collect();
+        // Only the count median matters — O(n) selection, not a sort;
+        // this runs on the publish path, whose whole point is a small
+        // stall.
+        let mid = keys.len() / 2;
+        let (_, &mut new_key, _) = keys.select_nth_unstable(mid);
+        if new_key == map.boundaries()[boundary] {
+            // The median *is* the current boundary: the shift would
+            // move nothing. Put the entries back through a full
+            // redistribute instead.
+            for shard in &mut self.shards {
+                drop(shard.job.take());
+            }
+            for shard in &mut self.shards {
+                entries.append(&mut shard.packed.drain_live());
+            }
+            self.rebalance_entries(entries);
+            flush.rebalanced = true;
+            flush.rebuilt_shards += self.shards.len();
+            return;
+        }
+        let new_map = map.with_boundary(boundary, new_key);
+        let mut lo_part: Vec<(ProcessId, Rect<D>)> = Vec::new();
+        let mut hi_part: Vec<(ProcessId, Rect<D>)> = Vec::new();
+        for (id, rect) in entries {
+            // Assignment is a pure function of the map, so combined
+            // entries re-split onto exactly these two shards.
+            if new_map.shard_of(&rect) == boundary {
+                lo_part.push((id, rect));
+            } else {
+                hi_part.push((id, rect));
+            }
+        }
+        let fraction = self.delta_fraction;
+        for (i, part) in [(boundary, lo_part), (boundary + 1, hi_part)] {
+            let shard = &mut self.shards[i];
+            shard.packed = PackedRTree::bulk_load(part);
+            shard.packed.set_delta_fraction(fraction);
+            shard.grid = StabGrid::build(&shard.packed);
+        }
+        self.map = Some(new_map);
+        flush.split_rebalanced = true;
+        flush.rebuilt_shards += 2;
     }
 
     fn needs_rebalance(&self) -> bool {
@@ -846,6 +1207,12 @@ impl<const D: usize> ShardedOracle<D> {
         for shard in &mut self.shards {
             all.append(&mut shard.packed.drain_live());
         }
+        self.rebalance_entries(all);
+    }
+
+    /// The redistribution tail of [`ShardedOracle::rebalance`], over
+    /// an already-drained entry set.
+    fn rebalance_entries(&mut self, all: Vec<(ProcessId, Rect<D>)>) {
         let world = GridMapper::world_of(all.iter().map(|(_, r)| r))
             .unwrap_or_else(|| Rect::new([0.0; D], [1.0; D]));
         let mapper = GridMapper::new(&world);
@@ -1240,6 +1607,102 @@ mod tests {
             let mut single = Vec::new();
             oracle.match_point_into(&probe, &mut single);
             assert_eq!(batch.matches(0), single.as_slice(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn concurrent_flush_is_two_phase_and_stays_exact() {
+        let mut oracle: ShardedOracle<2> = ShardedOracle::new(4);
+        oracle.set_compaction_mode(CompactionMode::Concurrent);
+        oracle.set_delta_fraction(0.05);
+        for i in 0..512 {
+            oracle.insert(pid(i), grid_rect(i % 256));
+        }
+        oracle.flush();
+        assert_eq!(oracle.compacting_shards(), 0);
+
+        // Push one shard's delta over the fraction: the flush *begins*
+        // a background merge instead of stalling on it.
+        for i in 0..64 {
+            oracle.insert(pid(5000 + i), grid_rect(7));
+        }
+        let begin = oracle.flush();
+        assert!(begin.begun_compactions >= 1, "{begin:?}");
+        assert_eq!(begin.compact_ns, 0, "no inline merge on the begin phase");
+        assert!(oracle.compacting_shards() >= 1, "merge in flight");
+        let compactions_before = oracle.compaction_count();
+
+        // Mid-compaction the oracle keeps answering exactly, absorbing
+        // further mutations into the second-generation delta.
+        oracle.insert(pid(9000), grid_rect(7));
+        assert!(oracle.remove(pid(5000), &grid_rect(7)));
+        let probe = grid_rect(7).center();
+        let mut batch = BatchMatches::new();
+        oracle.match_batch_into(&[probe], &mut batch);
+        let mut single = Vec::new();
+        oracle.match_point_into(&probe, &mut single);
+        assert_eq!(batch.matches(0), single.as_slice());
+        assert!(single.contains(&pid(9000)), "gen-2 insert visible");
+        assert!(
+            !single.contains(&pid(5000)),
+            "mid-compaction removal visible"
+        );
+        assert!(single.contains(&pid(5042)), "frozen staged entry visible");
+
+        // Finish: the merged tree swaps in (here, or already on one of
+        // the implicit query flushes above) and the delta folds away.
+        oracle.finish_compactions();
+        assert_eq!(oracle.compacting_shards(), 0);
+        oracle.match_point_into(&probe, &mut single);
+        assert_eq!(
+            batch.matches(0),
+            single.as_slice(),
+            "answers unchanged by install"
+        );
+        // The lifetime counters saw the concurrent merge.
+        assert!(oracle.compaction_count() > compactions_before);
+        assert!(oracle.staged_absorbed_total() >= 64);
+    }
+
+    #[test]
+    fn imbalance_is_repaired_by_a_boundary_shift() {
+        for mode in [CompactionMode::Synchronous, CompactionMode::Concurrent] {
+            let mut oracle: ShardedOracle<2> = ShardedOracle::new(8);
+            // A huge fraction so compaction never kicks in and the
+            // rebalance path is isolated.
+            oracle.set_delta_fraction(1e9);
+            for i in 0..2048 {
+                oracle.insert(pid(i), grid_rect(i % 256));
+            }
+            oracle.flush();
+            assert_eq!(oracle.rebalance_count(), 1, "initial full rebalance");
+
+            // Pile ~2000 in-world entries onto one spot: the owning
+            // shard blows past 4x ideal + 64.
+            let hot = grid_rect(3);
+            let hot_shard = oracle.shard_of(&hot).expect("map exists");
+            for i in 0..2000 {
+                oracle.insert(pid(10_000 + i), hot);
+            }
+            let before = oracle.shard_len(hot_shard);
+            let flush = oracle.flush();
+            assert!(flush.split_rebalanced, "mode {mode:?}: {flush:?}");
+            assert!(!flush.rebalanced, "no full redistribute, mode {mode:?}");
+            assert_eq!(flush.rebuilt_shards, 2, "only the split pair rebuilds");
+            assert_eq!(oracle.rebalance_count(), 1, "full count unchanged");
+            assert_eq!(oracle.split_rebalance_count(), 1);
+            // The overloaded shard shed entries to its neighbor.
+            let after = oracle.shard_len(hot_shard);
+            assert!(after < before, "hot shard {before} -> {after}");
+            // Matching stays exact across the shifted boundary.
+            let mut hits = Vec::new();
+            oracle.match_point_into(&hot.center(), &mut hits);
+            // 2000 piled plus the 2048/256 = 8 original copies of slot 3.
+            assert_eq!(
+                hits.len(),
+                2008,
+                "matching exact across the shifted boundary"
+            );
         }
     }
 

@@ -21,6 +21,10 @@ pub struct RoutingStats {
     oracle_compactions: u64,
     oracle_staged_absorbed: u64,
     oracle_tombstones_reclaimed: u64,
+    oracle_swap_ns_total: u64,
+    oracle_swap_ns_max: u64,
+    oracle_compact_ns_total: u64,
+    oracle_compact_ns_max: u64,
 }
 
 impl RoutingStats {
@@ -115,6 +119,43 @@ impl RoutingStats {
         self.oracle_tombstones_reclaimed
     }
 
+    /// Folds one flush's pause profile into the aggregate: `swap_ns`
+    /// is the publish-path stall (freezing, swapping, fixing up — for
+    /// a concurrent flush, everything; for a synchronous flush,
+    /// everything but the inline merge) and `compact_ns` the merge
+    /// work wherever it ran. Tracking max alongside total is what
+    /// exposes stop-the-world behavior: a synchronous compaction shows
+    /// up as one giant `swap`-side pause, a concurrent one as many
+    /// tiny swaps plus off-path compact time.
+    pub fn absorb_oracle_pause(&mut self, swap_ns: u64, compact_ns: u64) {
+        self.oracle_swap_ns_total += swap_ns;
+        self.oracle_swap_ns_max = self.oracle_swap_ns_max.max(swap_ns);
+        self.oracle_compact_ns_total += compact_ns;
+        self.oracle_compact_ns_max = self.oracle_compact_ns_max.max(compact_ns);
+    }
+
+    /// Total publish-path nanoseconds spent swapping (non-merge flush
+    /// work) across all flushes.
+    pub fn oracle_swap_ns_total(&self) -> u64 {
+        self.oracle_swap_ns_total
+    }
+
+    /// Largest single-flush publish-path swap pause, in nanoseconds.
+    pub fn oracle_swap_ns_max(&self) -> u64 {
+        self.oracle_swap_ns_max
+    }
+
+    /// Total nanoseconds spent merging delta layers (inline or on
+    /// background workers) across all flushes.
+    pub fn oracle_compact_ns_total(&self) -> u64 {
+        self.oracle_compact_ns_total
+    }
+
+    /// Largest single-flush merge time, in nanoseconds.
+    pub fn oracle_compact_ns_max(&self) -> u64 {
+        self.oracle_compact_ns_max
+    }
+
     /// Share of deliveries that were false positives.
     pub fn false_positive_rate(&self) -> f64 {
         if self.deliveries == 0 {
@@ -145,7 +186,8 @@ impl fmt::Display for RoutingStats {
         write!(
             f,
             "events={} deliveries={} fp={} ({:.2}%) fn={} ({:.2}%) msgs/event={:.1} \
-             oracle-rebuilds={} ({:.1}ms) compactions={} (staged={} tombstones={})",
+             oracle-rebuilds={} ({:.1}ms) compactions={} (staged={} tombstones={}) \
+             pause: swap={:.2}ms (max {:.2}ms) compact={:.2}ms (max {:.2}ms)",
             self.events,
             self.deliveries,
             self.false_positives,
@@ -158,6 +200,10 @@ impl fmt::Display for RoutingStats {
             self.oracle_compactions,
             self.oracle_staged_absorbed,
             self.oracle_tombstones_reclaimed,
+            self.oracle_swap_ns_total as f64 / 1e6,
+            self.oracle_swap_ns_max as f64 / 1e6,
+            self.oracle_compact_ns_total as f64 / 1e6,
+            self.oracle_compact_ns_max as f64 / 1e6,
         )
     }
 }
@@ -203,5 +249,18 @@ mod tests {
         assert_eq!(s.false_positive_rate(), 0.0);
         assert_eq!(s.false_negative_rate(), 0.0);
         assert_eq!(s.messages_per_event(), 0.0);
+    }
+
+    #[test]
+    fn pause_accounting_tracks_totals_and_maxima() {
+        let mut s = RoutingStats::new();
+        s.absorb_oracle_pause(100, 5_000);
+        s.absorb_oracle_pause(40, 9_000);
+        s.absorb_oracle_pause(250, 0);
+        assert_eq!(s.oracle_swap_ns_total(), 390);
+        assert_eq!(s.oracle_swap_ns_max(), 250);
+        assert_eq!(s.oracle_compact_ns_total(), 14_000);
+        assert_eq!(s.oracle_compact_ns_max(), 9_000);
+        assert!(s.to_string().contains("pause:"));
     }
 }

@@ -312,3 +312,76 @@ fn flush_oracle_moves_rebuild_cost_off_the_publish_path() {
     // A second flush with nothing dirty is free.
     assert_eq!(broker.flush_oracle(), std::time::Duration::ZERO);
 }
+
+/// Drives `batches` publish batches of `events_per_batch` events drawn
+/// by `event_at` through an adaptive-window broker and returns the
+/// window after each batch.
+fn window_trajectory(
+    seed: u64,
+    batches: usize,
+    event_at: impl Fn(&mut StdRng) -> [f64; 2],
+) -> Vec<usize> {
+    let mut broker: Broker<2> = Broker::new(schema(), DrTreeConfig::default(), seed).unwrap();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ids = Vec::new();
+    for _ in 0..150 {
+        let x = rng.gen_range(0.0..90.0);
+        let y = rng.gen_range(0.0..90.0);
+        ids.push(broker.subscribe_rect(Rect::new([x, y], [x + 8.0, y + 8.0])));
+    }
+    broker.set_adaptive_window(true);
+    let mut trajectory = Vec::new();
+    for b in 0..batches {
+        let publisher = ids[b % ids.len()];
+        let points: Vec<drtree_spatial::Point<2>> = (0..24)
+            .map(|_| drtree_spatial::Point::new(event_at(&mut rng)))
+            .collect();
+        broker.publish_batch(publisher, &points).unwrap();
+        trajectory.push(broker.publish_window());
+    }
+    trajectory
+}
+
+#[test]
+fn adaptive_window_converges_on_uniform_and_hotspot_streams() {
+    // Uniform stream: events scattered across the world.
+    let uniform = window_trajectory(31, 12, |rng| {
+        [rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)]
+    });
+    // Hotspot stream: every event at one spot (worst-case fan-in).
+    let hotspot = window_trajectory(32, 12, |_| [42.0, 42.0]);
+
+    for (name, trajectory) in [("uniform", &uniform), ("hotspot", &hotspot)] {
+        // The window must leave the fixed default and then settle: the
+        // EMA damps batch-to-batch jitter, so the tail of the
+        // trajectory varies by at most a couple of slots.
+        let tail = &trajectory[trajectory.len() - 4..];
+        let (lo, hi) = (
+            *tail.iter().min().unwrap() as f64,
+            *tail.iter().max().unwrap() as f64,
+        );
+        assert!(
+            hi - lo <= (0.1 * hi).max(2.0),
+            "{name} window did not converge: {trajectory:?}"
+        );
+        assert!(
+            tail.iter().all(|&w| (1..=256).contains(&w)),
+            "{name} window outside the legal clamp: {trajectory:?}"
+        );
+        // The adaptive signal is live, not stuck at the default.
+        assert!(
+            trajectory
+                .iter()
+                .any(|&w| w != Broker::<2>::DEFAULT_PUBLISH_WINDOW),
+            "{name} window never adapted: {trajectory:?}"
+        );
+    }
+
+    // An explicit window pins: adaptation turns off.
+    let mut broker: Broker<2> = Broker::new(schema(), DrTreeConfig::default(), 33).unwrap();
+    broker.set_adaptive_window(true);
+    assert!(broker.adaptive_window());
+    broker.set_publish_window(16);
+    assert!(!broker.adaptive_window(), "explicit window pins the size");
+    assert_eq!(broker.publish_window(), 16);
+}

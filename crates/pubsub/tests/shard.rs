@@ -8,7 +8,7 @@
 //! live entry set, on both the single-probe and the batched path.
 
 use drtree_core::ProcessId;
-use drtree_pubsub::{BatchMatches, ShardedOracle};
+use drtree_pubsub::{BatchMatches, CompactionMode, ShardedOracle};
 use drtree_rtree::PackedRTree;
 use drtree_spatial::{Point, Rect};
 use proptest::prelude::*;
@@ -165,6 +165,85 @@ proptest! {
                         "K={} threads={} fraction={} probe {}", shards, threads, fraction, i
                     );
                 }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The concurrent-compaction oracle pinned, op for op, to the
+    /// synchronous-compaction oracle and the rebuild-from-scratch
+    /// reference, under interleaved subscribe/unsubscribe/publish with
+    /// flushes landing mid-compaction (an aggressive 2% fraction keeps
+    /// background merges almost always in flight, and every flush both
+    /// installs finished merges and freezes fresh ones). K = 1, 2, 4, 7.
+    #[test]
+    fn concurrent_compaction_matches_synchronous_and_rebuild_references(
+        ops in prop::collection::vec(arb_op(), 1..120),
+    ) {
+        for shards in [1usize, 2, 4, 7] {
+            let mut concurrent: ShardedOracle<2> = ShardedOracle::new(shards);
+            concurrent.set_compaction_mode(CompactionMode::Concurrent);
+            concurrent.set_delta_fraction(0.02);
+            let mut synchronous: ShardedOracle<2> = ShardedOracle::new(shards);
+            synchronous.set_delta_fraction(0.02);
+            let mut model: Vec<(ProcessId, Rect<2>)> = Vec::new();
+            let mut next_id = 0u64;
+            let mut conc_hits = Vec::new();
+            let mut sync_hits = Vec::new();
+            let mut batch = BatchMatches::new();
+
+            for (step, op) in ops.iter().enumerate() {
+                match op {
+                    Op::Subscribe(rect) => {
+                        let id = ProcessId::from_raw(next_id);
+                        next_id += 1;
+                        concurrent.insert(id, *rect);
+                        synchronous.insert(id, *rect);
+                        model.push((id, *rect));
+                    }
+                    Op::UnsubscribeNth(n) => {
+                        if !model.is_empty() {
+                            let (id, rect) = model.remove(n % model.len());
+                            prop_assert!(concurrent.remove(id, &rect), "concurrent K={shards}");
+                            prop_assert!(synchronous.remove(id, &rect), "synchronous K={shards}");
+                        }
+                    }
+                    Op::Publish(point) => {
+                        concurrent.match_point_into(point, &mut conc_hits);
+                        synchronous.match_point_into(point, &mut sync_hits);
+                        let want = reference_matches(&model, point);
+                        prop_assert_eq!(
+                            &conc_hits, &want,
+                            "concurrent vs rebuild reference, K={} step {}", shards, step
+                        );
+                        prop_assert_eq!(
+                            &conc_hits, &sync_hits,
+                            "concurrent vs synchronous, K={} step {}", shards, step
+                        );
+                        // The batched path agrees mid-compaction too.
+                        concurrent.match_batch_into(std::slice::from_ref(point), &mut batch);
+                        prop_assert_eq!(
+                            batch.matches(0), want.as_slice(),
+                            "concurrent batched, K={} step {}", shards, step
+                        );
+                    }
+                    Op::Flush => {
+                        concurrent.flush();
+                        synchronous.flush();
+                    }
+                }
+                prop_assert_eq!(concurrent.len(), model.len());
+                prop_assert_eq!(synchronous.len(), model.len());
+            }
+            // Draining every in-flight merge must change no answer.
+            concurrent.finish_compactions();
+            for (_, rect) in model.iter().take(8) {
+                let p = rect.center();
+                concurrent.match_point_into(&p, &mut conc_hits);
+                prop_assert_eq!(&conc_hits, &reference_matches(&model, &p));
             }
         }
     }

@@ -43,6 +43,23 @@
 //! pub/sub broker's subscription oracle) pays one `O(N log N)` merge
 //! per *delta-fraction* worth of mutations instead of one full rebuild
 //! per mutation batch.
+//!
+//! # Concurrent compaction: frozen snapshots
+//!
+//! The merge itself need not stall the serving path either. The packed
+//! tier lives behind an [`Arc`]-shared immutable core, so
+//! [`PackedRTree::freeze`] can hand a worker a [`FrozenShard`] — the
+//! shared core plus a copy of the delta — in `O(delta)` time, while
+//! the live tree keeps answering exact queries and absorbing new
+//! mutations into a *second-generation* delta overlaid on the frozen
+//! state. [`FrozenShard::merge`] performs the bulk-load off-path
+//! (e.g. on a [`crate::parallel::Job`]), and
+//! [`PackedRTree::install`] swaps the merged core in, re-applies the
+//! removals that landed mid-compaction, and carries the
+//! second-generation delta forward — the only on-path work is that
+//! `O(mutations-during-merge)` fix-up.
+
+use std::sync::Arc;
 
 use drtree_spatial::hilbert::GridMapper;
 use drtree_spatial::{Point, Rect};
@@ -69,7 +86,10 @@ const STACK_CAPACITY: usize = 256;
 /// amortizing one `O(N log N)` merge over `N/4` mutations.
 pub const DEFAULT_DELTA_FRACTION: f64 = 0.25;
 
-/// The Hilbert-sorted permutation of `entries` (indexes into it).
+/// The Hilbert-sorted permutation of `entries` (indexes into it),
+/// plus — for `D ≤ 2`, where a curve key fits 32 bits — the keys in
+/// slot order (empty otherwise), which the core retains to serve
+/// sorted-splice merges.
 ///
 /// The key/index pair is packed into one scalar wherever it fits —
 /// `u64` for `D ≤ 2`, `u128` for `D ≤ 6` — so the dominant sort moves
@@ -77,7 +97,10 @@ pub const DEFAULT_DELTA_FRACTION: f64 = 0.25;
 /// tuple sorting. All variants order by (curve key, insertion index),
 /// and the caller applies the permutation once so every per-entry
 /// array lives in slot order.
-fn curve_order<K, const D: usize>(mapper: &GridMapper<D>, entries: &[(K, Rect<D>)]) -> Vec<u32> {
+fn curve_order<K, const D: usize>(
+    mapper: &GridMapper<D>,
+    entries: &[(K, Rect<D>)],
+) -> (Vec<u32>, Vec<u32>) {
     if D <= 2 {
         let mut tagged: Vec<u64> = entries
             .iter()
@@ -85,7 +108,8 @@ fn curve_order<K, const D: usize>(mapper: &GridMapper<D>, entries: &[(K, Rect<D>
             .map(|(i, (_, r))| ((mapper.key(r) as u64) << 32) | i as u64)
             .collect();
         tagged.sort_unstable();
-        tagged.into_iter().map(|t| t as u32).collect()
+        let keys = tagged.iter().map(|&t| (t >> 32) as u32).collect();
+        (tagged.into_iter().map(|t| t as u32).collect(), keys)
     } else if D <= 6 {
         let mut tagged: Vec<u128> = entries
             .iter()
@@ -93,7 +117,7 @@ fn curve_order<K, const D: usize>(mapper: &GridMapper<D>, entries: &[(K, Rect<D>
             .map(|(i, (_, r))| (mapper.key(r) << 32) | i as u128)
             .collect();
         tagged.sort_unstable();
-        tagged.into_iter().map(|t| t as u32).collect()
+        (tagged.into_iter().map(|t| t as u32).collect(), Vec::new())
     } else {
         let mut tagged: Vec<(u128, u32)> = entries
             .iter()
@@ -101,8 +125,18 @@ fn curve_order<K, const D: usize>(mapper: &GridMapper<D>, entries: &[(K, Rect<D>
             .map(|(i, (_, r))| (mapper.key(r), i as u32))
             .collect();
         tagged.sort_unstable();
-        tagged.into_iter().map(|(_, i)| i).collect()
+        (tagged.into_iter().map(|(_, i)| i).collect(), Vec::new())
     }
+}
+
+/// `true` when bit `i` is set in the bitmap `words`. Out-of-range bits
+/// read as unset — the delta-layer bitmaps (tombstones, staged-dead)
+/// are lazily allocated and start empty, so "no word" means "no bit".
+#[inline]
+fn bit_set(words: &[u64], i: usize) -> bool {
+    words
+        .get(i >> 6)
+        .is_some_and(|word| word & (1u64 << (i & 63)) != 0)
 }
 
 /// Bitmask of rectangles in `rects` (≤ 32 of them) containing `point`.
@@ -171,21 +205,13 @@ fn mask_intersecting<const D: usize>(rects: &[Rect<D>], window: &Rect<D>) -> u32
 /// ```
 #[derive(Debug, Clone)]
 pub struct PackedRTree<K, const D: usize> {
-    node_size: usize,
-    /// Entry keys in slot (Hilbert) order, parallel to `rects`: a hit
-    /// at `slot` reads `keys[slot]` directly, and because search
-    /// results come out as runs of nearby slots, those reads stay on
-    /// the same cache lines instead of bouncing through a permutation
-    /// array.
-    keys: Vec<K>,
-    /// Entry rectangles in slot (Hilbert) order — the contiguous array
-    /// the leaf-level mask scans run over.
-    rects: Vec<Rect<D>>,
-    /// `levels[0]` holds the leaf-node MBRs, each covering `node_size`
-    /// consecutive entries; each further level packs the one below; the
-    /// last level is the root (length 1). Empty iff the packed tier is
-    /// empty (staged entries may still exist).
-    levels: Vec<Vec<Rect<D>>>,
+    /// The immutable packed tier, shared by `Arc` with any outstanding
+    /// [`FrozenShard`] compaction snapshot. Cloning the tree (or
+    /// freezing it) is `O(1)` on this tier; the rare mutating paths
+    /// ([`PackedRTree::update`], [`PackedRTree::drain_live`]) go
+    /// through [`Arc::make_mut`] and stay in-place whenever no
+    /// snapshot is outstanding.
+    core: Arc<PackedCore<K, D>>,
     /// Delta-layer staging buffer: keys of entries inserted since the
     /// last bulk load / compaction, parallel to `staged_rects`.
     staged_keys: Vec<K>,
@@ -204,6 +230,253 @@ pub struct PackedRTree<K, const D: usize> {
     staged_mbr: Option<Rect<D>>,
     /// Compaction trigger: see [`PackedRTree::needs_compaction`].
     delta_fraction: f64,
+    /// `Some` while a [`PackedRTree::freeze`] snapshot is outstanding:
+    /// the bookkeeping [`PackedRTree::install`] needs to reconcile the
+    /// merged core with mutations that landed mid-compaction.
+    epoch: Option<CompactionEpoch>,
+}
+
+/// The immutable packed tier: slot-ordered entry arrays plus the
+/// implicit-topology level MBRs. Shared by [`Arc`] between a live
+/// [`PackedRTree`] and its frozen compaction snapshots, so freezing is
+/// a reference-count bump, not a copy.
+#[derive(Debug, Clone)]
+struct PackedCore<K, const D: usize> {
+    node_size: usize,
+    /// Entry keys in slot (Hilbert) order, parallel to `rects`: a hit
+    /// at `slot` reads `keys[slot]` directly, and because search
+    /// results come out as runs of nearby slots, those reads stay on
+    /// the same cache lines instead of bouncing through a permutation
+    /// array.
+    keys: Vec<K>,
+    /// Entry rectangles in slot (Hilbert) order — the contiguous array
+    /// the leaf-level mask scans run over.
+    rects: Vec<Rect<D>>,
+    /// `levels[0]` holds the leaf-node MBRs, each covering `node_size`
+    /// consecutive entries; each further level packs the one below; the
+    /// last level is the root (length 1). Empty iff the packed tier is
+    /// empty (staged entries may still exist).
+    levels: Vec<Vec<Rect<D>>>,
+    /// The world rectangle the build's [`GridMapper`] quantized
+    /// against — what [`FrozenShard::merge`] compares to decide
+    /// whether the sorted-splice fast path applies.
+    world: Option<Rect<D>>,
+    /// Per-slot Hilbert curve keys, parallel to `rects`, kept for
+    /// `D ≤ 2` (where a key fits 32 bits; empty otherwise). They make
+    /// a compaction merge an `O(N + S log S)` sorted splice instead of
+    /// an `O(N log N)` re-sort: the packed tier is already in key
+    /// order, so only the staged delta needs sorting. Key *quality*
+    /// (not correctness — searches never depend on entry order)
+    /// degrades with [`PackedRTree::update`] drift, exactly like the
+    /// node MBRs do.
+    curve_keys: Vec<u32>,
+}
+
+/// Packs `rects` bottom-up into implicit-topology level MBR arrays
+/// until a single root remains — the construction tail shared by the
+/// full Hilbert bulk-load and the sorted-splice merge.
+fn pack_levels<const D: usize>(rects: &[Rect<D>], node_size: usize) -> Vec<Vec<Rect<D>>> {
+    let mut levels: Vec<Vec<Rect<D>>> = Vec::new();
+    let mut below: &[Rect<D>] = rects;
+    loop {
+        let level: Vec<Rect<D>> = below
+            .chunks(node_size)
+            .map(|chunk| Rect::union_all(chunk.iter()).expect("chunks are non-empty"))
+            .collect();
+        let done = level.len() == 1;
+        levels.push(level);
+        if done {
+            return levels;
+        }
+        below = levels.last().expect("just pushed");
+    }
+}
+
+impl<K, const D: usize> PackedCore<K, D> {
+    /// The exact union of everything node `(level, node)` covers.
+    fn covered_union(&self, level: usize, node: usize) -> Option<Rect<D>> {
+        let lo = node * self.node_size;
+        let below: &[Rect<D>] = if level == 0 {
+            &self.rects
+        } else {
+            &self.levels[level - 1]
+        };
+        let hi = ((node + 1) * self.node_size).min(below.len());
+        Rect::union_all(below[lo..hi].iter())
+    }
+}
+
+/// Mid-compaction bookkeeping: what changed since the freeze, so
+/// [`PackedRTree::install`] can reconcile the worker's merged core
+/// with the live tree.
+#[derive(Debug, Clone)]
+struct CompactionEpoch {
+    /// Staged entries `[0..frozen_staged_len)` were shipped to the
+    /// worker; later stagings are the second-generation delta that
+    /// survives the install.
+    frozen_staged_len: usize,
+    /// Tombstone bitmap as of the freeze — bits set *since* are
+    /// removals the merged core never saw, re-applied on install.
+    frozen_tombstones: Vec<u64>,
+    /// Set bits in `frozen_tombstones` (what the merge reclaims).
+    frozen_tombstone_count: usize,
+    /// Dead bits over the frozen staged prefix: frozen staged entries
+    /// removed mid-compaction. They stay in the buffer (the prefix is
+    /// index-stable while frozen) but no visitor emits them, and the
+    /// install re-removes them from the merged core.
+    staged_dead: Vec<u64>,
+    /// Set bits in `staged_dead`.
+    staged_dead_count: usize,
+}
+
+impl CompactionEpoch {
+    fn is_staged_dead(&self, index: usize) -> bool {
+        bit_set(&self.staged_dead, index)
+    }
+}
+
+/// An immutable compaction snapshot of one [`PackedRTree`], produced
+/// by [`PackedRTree::freeze`]: the `Arc`-shared packed core plus a
+/// copy of the delta layer as of the freeze.
+///
+/// The snapshot owns everything it needs, so it can be moved to a
+/// worker thread (e.g. via [`crate::parallel::Job`]) and merged there
+/// with [`FrozenShard::merge`] while the originating tree keeps
+/// serving reads and absorbing new mutations. Hand the merged tree
+/// back to [`PackedRTree::install`] to complete the compaction.
+#[derive(Debug, Clone)]
+pub struct FrozenShard<K, const D: usize> {
+    core: Arc<PackedCore<K, D>>,
+    staged_keys: Vec<K>,
+    staged_rects: Vec<Rect<D>>,
+    tombstones: Vec<u64>,
+    tombstone_count: usize,
+    delta_fraction: f64,
+}
+
+impl<K, const D: usize> FrozenShard<K, D> {
+    /// Live entries in the snapshot (packed slots minus tombstones
+    /// plus frozen staged entries) — the size of the merge's input.
+    pub fn len(&self) -> usize {
+        self.core.keys.len() - self.tombstone_count + self.staged_keys.len()
+    }
+
+    /// `true` when the snapshot holds no live entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Folds the snapshot's staging buffer and tombstones into a fresh
+    /// packed tree of its live entries — the merge work, run wherever
+    /// the caller likes (typically a background
+    /// [`crate::parallel::Job`]). The returned tree has an empty delta
+    /// layer and inherits the frozen tree's node size and delta
+    /// fraction.
+    ///
+    /// The snapshot's structure makes the common case cheap: the
+    /// packed tier is already in Hilbert order, so when the merged
+    /// entry set's world is unchanged (and the core retains its curve
+    /// keys — `D ≤ 2`), the merge sorts only the staged delta and
+    /// **splices** the two sorted streams in `O(N + S log S)` — no
+    /// per-entry key derivation, no `O(N log N)` re-sort of the base.
+    /// A grown world (or missing keys) falls back to the full Hilbert
+    /// bulk-load.
+    pub fn merge(&self) -> PackedRTree<K, D>
+    where
+        K: Clone,
+    {
+        let core = &*self.core;
+        let is_live = |slot: usize| !bit_set(&self.tombstones, slot);
+        let total = self.len();
+        let live_rects = core
+            .rects
+            .iter()
+            .enumerate()
+            .filter(|&(slot, _)| is_live(slot))
+            .map(|(_, r)| r);
+        let world = GridMapper::world_of(live_rects.chain(self.staged_rects.iter()))
+            .unwrap_or_else(|| Rect::new([0.0; D], [1.0; D]));
+
+        if total > 0 && core.curve_keys.len() == core.keys.len() && core.world == Some(world) {
+            // Sorted splice. Stage tags pack (key, index) into one u64
+            // exactly like the bulk-load sort; ties land *after* the
+            // equal-keyed base slots, matching the bulk-load's
+            // insertion-order tiebreak (base entries precede staged).
+            let mapper = GridMapper::new(&world);
+            let mut staged: Vec<u64> = self
+                .staged_rects
+                .iter()
+                .enumerate()
+                .map(|(i, r)| ((mapper.key(r) as u64) << 32) | i as u64)
+                .collect();
+            staged.sort_unstable();
+            let mut keys: Vec<K> = Vec::with_capacity(total);
+            let mut rects: Vec<Rect<D>> = Vec::with_capacity(total);
+            let mut curve_keys: Vec<u32> = Vec::with_capacity(total);
+            let push_staged = |tag: u64,
+                               keys: &mut Vec<K>,
+                               rects: &mut Vec<Rect<D>>,
+                               curve_keys: &mut Vec<u32>| {
+                let i = tag as u32 as usize;
+                keys.push(self.staged_keys[i].clone());
+                rects.push(self.staged_rects[i]);
+                curve_keys.push((tag >> 32) as u32);
+            };
+            let mut si = 0usize;
+            for slot in 0..core.keys.len() {
+                if !is_live(slot) {
+                    continue;
+                }
+                let base_key = core.curve_keys[slot];
+                while si < staged.len() && ((staged[si] >> 32) as u32) < base_key {
+                    push_staged(staged[si], &mut keys, &mut rects, &mut curve_keys);
+                    si += 1;
+                }
+                keys.push(core.keys[slot].clone());
+                rects.push(core.rects[slot]);
+                curve_keys.push(base_key);
+            }
+            while si < staged.len() {
+                push_staged(staged[si], &mut keys, &mut rects, &mut curve_keys);
+                si += 1;
+            }
+            debug_assert_eq!(keys.len(), total);
+            let levels = pack_levels(&rects, core.node_size);
+            return PackedRTree {
+                core: Arc::new(PackedCore {
+                    node_size: core.node_size,
+                    keys,
+                    rects,
+                    levels,
+                    world: Some(world),
+                    curve_keys,
+                }),
+                staged_keys: Vec::new(),
+                staged_rects: Vec::new(),
+                tombstones: Vec::new(),
+                tombstone_count: 0,
+                staged_mbr: None,
+                delta_fraction: self.delta_fraction,
+                epoch: None,
+            };
+        }
+
+        let mut entries: Vec<(K, Rect<D>)> = Vec::with_capacity(total);
+        for (slot, (k, r)) in core.keys.iter().zip(&core.rects).enumerate() {
+            if is_live(slot) {
+                entries.push((k.clone(), *r));
+            }
+        }
+        entries.extend(
+            self.staged_keys
+                .iter()
+                .cloned()
+                .zip(self.staged_rects.iter().copied()),
+        );
+        let mut merged = PackedRTree::bulk_load_with_node_size(core.node_size, entries);
+        merged.delta_fraction = self.delta_fraction;
+        merged
+    }
 }
 
 /// How [`PackedRTree::remove_entry`] realized a removal — callers
@@ -225,6 +498,15 @@ pub enum DeltaRemoval<const D: usize> {
     Tombstoned {
         /// The now-dead packed slot.
         slot: usize,
+    },
+    /// A *frozen* staged entry was retired in place mid-compaction:
+    /// the staging buffer keeps its slot (the frozen prefix is
+    /// index-stable while a snapshot is outstanding) but the entry is
+    /// dead to every visitor, and [`PackedRTree::install`] will
+    /// re-remove it from the merged core.
+    Retired {
+        /// The now-dead staging index.
+        index: usize,
     },
 }
 
@@ -318,16 +600,21 @@ impl<K, const D: usize> PackedRTree<K, D> {
         );
         if n == 0 {
             return Self {
-                node_size,
-                keys: Vec::new(),
-                rects: Vec::new(),
-                levels: Vec::new(),
+                core: Arc::new(PackedCore {
+                    node_size,
+                    keys: Vec::new(),
+                    rects: Vec::new(),
+                    levels: Vec::new(),
+                    world: None,
+                    curve_keys: Vec::new(),
+                }),
                 staged_keys: Vec::new(),
                 staged_rects: Vec::new(),
                 tombstones: Vec::new(),
                 tombstone_count: 0,
                 staged_mbr: None,
                 delta_fraction: DEFAULT_DELTA_FRACTION,
+                epoch: None,
             };
         }
 
@@ -338,7 +625,7 @@ impl<K, const D: usize> PackedRTree<K, D> {
         let world = GridMapper::world_of(entries.iter().map(|(_, r)| r))
             .unwrap_or_else(|| Rect::new([0.0; D], [1.0; D]));
         let mapper = GridMapper::new(&world);
-        let order = curve_order(&mapper, &entries);
+        let (order, curve_keys) = curve_order(&mapper, &entries);
         let rects: Vec<Rect<D>> = order.iter().map(|&i| entries[i as usize].1).collect();
         // Apply the permutation to the keys as well (one O(N) move
         // pass, no `Clone` required), so hits read `keys[slot]` with
@@ -350,39 +637,32 @@ impl<K, const D: usize> PackedRTree<K, D> {
             .collect();
 
         // Pack levels bottom-up until a single root remains.
-        let mut levels: Vec<Vec<Rect<D>>> = Vec::new();
-        let mut below: &[Rect<D>] = &rects;
-        loop {
-            let level: Vec<Rect<D>> = below
-                .chunks(node_size)
-                .map(|chunk| Rect::union_all(chunk.iter()).expect("chunks are non-empty"))
-                .collect();
-            let done = level.len() == 1;
-            levels.push(level);
-            if done {
-                break;
-            }
-            below = levels.last().expect("just pushed");
-        }
+        let levels = pack_levels(&rects, node_size);
 
         Self {
-            node_size,
-            keys,
-            rects,
-            levels,
+            core: Arc::new(PackedCore {
+                node_size,
+                keys,
+                rects,
+                levels,
+                world: Some(world),
+                curve_keys,
+            }),
             staged_keys: Vec::new(),
             staged_rects: Vec::new(),
             tombstones: Vec::new(),
             tombstone_count: 0,
             staged_mbr: None,
             delta_fraction: DEFAULT_DELTA_FRACTION,
+            epoch: None,
         }
     }
 
     /// Number of *live* entries: packed slots minus tombstones plus
-    /// staged entries.
+    /// live staged entries.
     pub fn len(&self) -> usize {
-        self.keys.len() - self.tombstone_count + self.staged_keys.len()
+        let staged_dead = self.epoch.as_ref().map_or(0, |e| e.staged_dead_count);
+        self.core.keys.len() - self.tombstone_count + self.staged_keys.len() - staged_dead
     }
 
     /// `true` if the tree stores no live entries.
@@ -394,18 +674,18 @@ impl<K, const D: usize> PackedRTree<K, D> {
     /// valid for [`PackedRTree::entry`], [`PackedRTree::update`], and
     /// [`PackedRTree::tombstone`].
     pub fn packed_len(&self) -> usize {
-        self.keys.len()
+        self.core.keys.len()
     }
 
     /// Node capacity the tree was packed with.
     pub fn node_size(&self) -> usize {
-        self.node_size
+        self.core.node_size
     }
 
     /// Number of node levels, counting the leaf-node level as 1. An
     /// empty tree has height 1, mirroring [`crate::RTree::height`].
     pub fn height(&self) -> usize {
-        self.levels.len().max(1)
+        self.core.levels.len().max(1)
     }
 
     /// The MBR of the whole tree — packed root unioned with the staged
@@ -413,7 +693,7 @@ impl<K, const D: usize> PackedRTree<K, D> {
     /// compaction). Tombstones never shrink it, so it may
     /// over-approximate; pruning against it stays conservative.
     pub fn mbr(&self) -> Option<Rect<D>> {
-        let root = self.levels.last().map(|root| root[0]);
+        let root = self.core.levels.last().map(|root| root[0]);
         match (root, self.staged_mbr) {
             (Some(a), Some(b)) => Some(a.union(&b)),
             (a, b) => a.or(b),
@@ -427,7 +707,7 @@ impl<K, const D: usize> PackedRTree<K, D> {
     ///
     /// Panics if `slot >= self.packed_len()`.
     pub fn entry(&self, slot: usize) -> (&K, &Rect<D>) {
-        (&self.keys[slot], &self.rects[slot])
+        (&self.core.keys[slot], &self.core.rects[slot])
     }
 
     /// All packed entry keys in slot order — the raw column behind
@@ -436,17 +716,19 @@ impl<K, const D: usize> PackedRTree<K, D> {
     /// Includes tombstoned slots; excludes the staging buffer
     /// ([`PackedRTree::staged_keys`]).
     pub fn keys(&self) -> &[K] {
-        &self.keys
+        &self.core.keys
     }
 
     /// All packed entry rectangles in slot order (parallel to
     /// [`PackedRTree::keys`]).
     pub fn rects(&self) -> &[Rect<D>] {
-        &self.rects
+        &self.core.rects
     }
 
     /// All staged entry keys (delta layer, arbitrary order), parallel
-    /// to [`PackedRTree::staged_rects`].
+    /// to [`PackedRTree::staged_rects`]. Mid-compaction the buffer may
+    /// contain retired (dead) frozen entries — check
+    /// [`PackedRTree::is_staged_live`] when it matters.
     pub fn staged_keys(&self) -> &[K] {
         &self.staged_keys
     }
@@ -461,9 +743,10 @@ impl<K, const D: usize> PackedRTree<K, D> {
     /// in Hilbert order, skipping tombstoned slots. Staged entries are
     /// not included ([`PackedRTree::staged_keys`] exposes them).
     pub fn entries(&self) -> impl Iterator<Item = (usize, &K, &Rect<D>)> {
-        self.keys
+        self.core
+            .keys
             .iter()
-            .zip(self.rects.iter())
+            .zip(self.core.rects.iter())
             .enumerate()
             .filter(|&(slot, _)| self.is_live(slot))
             .map(|(slot, (k, r))| (slot, k, r))
@@ -475,7 +758,8 @@ impl<K, const D: usize> PackedRTree<K, D> {
     where
         K: PartialEq,
     {
-        self.keys
+        self.core
+            .keys
             .iter()
             .enumerate()
             .find(|&(slot, k)| k == key && self.is_live(slot))
@@ -494,34 +778,44 @@ impl<K, const D: usize> PackedRTree<K, D> {
     ///
     /// # Panics
     ///
-    /// Panics if `slot >= self.packed_len()`.
-    pub fn update(&mut self, slot: usize, rect: Rect<D>) {
-        assert!(slot < self.keys.len(), "slot {slot} out of bounds");
-        debug_assert!(self.is_live(slot), "updating a tombstoned slot");
-        self.rects[slot] = rect;
-        let mut node = slot / self.node_size;
-        for level in 0..self.levels.len() {
-            let exact = self
+    /// Panics if `slot >= self.packed_len()`, or while a
+    /// [`PackedRTree::freeze`] snapshot is outstanding (the merged
+    /// core could not see the moved rectangle; finish or abort the
+    /// compaction first).
+    pub fn update(&mut self, slot: usize, rect: Rect<D>)
+    where
+        K: Clone,
+    {
+        assert!(
+            self.epoch.is_none(),
+            "update during an outstanding compaction snapshot"
+        );
+        let core = Arc::make_mut(&mut self.core);
+        assert!(slot < core.keys.len(), "slot {slot} out of bounds");
+        debug_assert!(
+            !bit_set(&self.tombstones, slot),
+            "updating a tombstoned slot"
+        );
+        core.rects[slot] = rect;
+        // Keep the stored curve key in step so a later sorted-splice
+        // merge orders the moved entry by where it *is*, not where it
+        // was packed (quality only — order never affects correctness).
+        if !core.curve_keys.is_empty() {
+            if let Some(world) = &core.world {
+                core.curve_keys[slot] = GridMapper::new(world).key(&rect) as u32;
+            }
+        }
+        let mut node = slot / core.node_size;
+        for level in 0..core.levels.len() {
+            let exact = core
                 .covered_union(level, node)
                 .expect("covered range is non-empty");
-            if self.levels[level][node] == exact {
+            if core.levels[level][node] == exact {
                 break; // ancestors above are unions of unchanged MBRs
             }
-            self.levels[level][node] = exact;
-            node /= self.node_size;
+            core.levels[level][node] = exact;
+            node /= core.node_size;
         }
-    }
-
-    /// The exact union of everything node `(level, node)` covers.
-    fn covered_union(&self, level: usize, node: usize) -> Option<Rect<D>> {
-        let lo = node * self.node_size;
-        let below: &[Rect<D>] = if level == 0 {
-            &self.rects
-        } else {
-            &self.levels[level - 1]
-        };
-        let hi = ((node + 1) * self.node_size).min(below.len());
-        Rect::union_all(below[lo..hi].iter())
     }
 
     // ---- delta layer -------------------------------------------------
@@ -560,10 +854,7 @@ impl<K, const D: usize> PackedRTree<K, D> {
     /// once a tombstone exists.)
     #[inline]
     pub fn is_live(&self, slot: usize) -> bool {
-        match self.tombstones.get(slot >> 6) {
-            Some(word) => word & (1u64 << (slot & 63)) == 0,
-            None => true,
-        }
+        !bit_set(&self.tombstones, slot)
     }
 
     /// Tombstones packed slot `slot`: the entry stays in the arrays but
@@ -575,9 +866,9 @@ impl<K, const D: usize> PackedRTree<K, D> {
     ///
     /// Panics if `slot >= self.packed_len()`.
     pub fn tombstone(&mut self, slot: usize) -> bool {
-        assert!(slot < self.keys.len(), "slot {slot} out of bounds");
+        assert!(slot < self.core.keys.len(), "slot {slot} out of bounds");
         if self.tombstones.is_empty() {
-            self.tombstones = vec![0u64; self.keys.len().div_ceil(64)];
+            self.tombstones = vec![0u64; self.core.keys.len().div_ceil(64)];
         }
         let (word, bit) = (slot >> 6, 1u64 << (slot & 63));
         if self.tombstones[word] & bit != 0 {
@@ -588,25 +879,56 @@ impl<K, const D: usize> PackedRTree<K, D> {
         true
     }
 
+    /// `true` when staging index `index` has **not** been retired by a
+    /// mid-compaction removal. Without an outstanding snapshot every
+    /// staged entry is live.
+    #[inline]
+    pub fn is_staged_live(&self, index: usize) -> bool {
+        match &self.epoch {
+            None => true,
+            Some(epoch) => !epoch.is_staged_dead(index),
+        }
+    }
+
     /// Removes one live `(key, rect)` entry through the delta layer:
-    /// staged entries are swap-removed, packed entries are tombstoned
-    /// in place (located by a pruned traversal on the exact rectangle,
-    /// not a linear scan). Returns what happened so callers maintaining
-    /// stage- or slot-indexed side structures can patch themselves, or
-    /// `None` when no live entry matches.
+    /// staged entries are swap-removed (or, for the index-stable
+    /// frozen prefix of an outstanding compaction snapshot, retired in
+    /// place), packed entries are tombstoned in place (located by a
+    /// pruned traversal on the exact rectangle, not a linear scan).
+    /// Returns what happened so callers maintaining stage- or
+    /// slot-indexed side structures can patch themselves, or `None`
+    /// when no live entry matches.
     pub fn remove_entry(&mut self, key: &K, rect: &Rect<D>) -> Option<DeltaRemoval<D>>
     where
         K: PartialEq,
     {
-        // Staging buffer first: recently added entries are the
-        // likeliest to churn right back out, and unstaging is cheaper
-        // than a tombstone (the slot is reclaimed immediately).
+        // Packed tier first: the pruned traversal is `O(log N)`
+        // whatever the delta's depth, while the staging scan is linear
+        // in it — and under steady churn most removals target
+        // long-lived (packed) entries, so paying the full staged scan
+        // before even looking at the packed tier dominated removal
+        // cost exactly when the delta was deep (mid-compaction).
+        if let Some(slot) = self.find_packed_slot(key, rect) {
+            self.tombstone(slot);
+            return Some(DeltaRemoval::Tombstoned { slot });
+        }
         if let Some(index) = self
             .staged_keys
             .iter()
             .zip(&self.staged_rects)
-            .position(|(k, r)| k == key && r == rect)
+            .enumerate()
+            .position(|(i, (k, r))| k == key && r == rect && self.is_staged_live(i))
         {
+            if let Some(epoch) = &mut self.epoch {
+                if index < epoch.frozen_staged_len {
+                    // The frozen prefix is index-stable while the
+                    // snapshot is outstanding: retire in place and let
+                    // the install re-remove it from the merged core.
+                    epoch.staged_dead[index >> 6] |= 1u64 << (index & 63);
+                    epoch.staged_dead_count += 1;
+                    return Some(DeltaRemoval::Retired { index });
+                }
+            }
             self.staged_keys.swap_remove(index);
             self.staged_rects.swap_remove(index);
             let moved = (index < self.staged_rects.len()).then(|| self.staged_rects[index]);
@@ -615,9 +937,7 @@ impl<K, const D: usize> PackedRTree<K, D> {
             }
             return Some(DeltaRemoval::Unstaged { index, moved });
         }
-        let slot = self.find_packed_slot(key, rect)?;
-        self.tombstone(slot);
-        Some(DeltaRemoval::Tombstoned { slot })
+        None
     }
 
     /// The first live packed slot holding exactly `(key, rect)`, found
@@ -628,7 +948,7 @@ impl<K, const D: usize> PackedRTree<K, D> {
     {
         let mut found = None;
         self.traverse_packed_while(&|rects| mask_intersecting(rects, rect), &mut |slot| {
-            if self.rects[slot] == *rect && self.keys[slot] == *key {
+            if self.core.rects[slot] == *rect && self.core.keys[slot] == *key {
                 found = Some(slot);
                 false
             } else {
@@ -656,13 +976,26 @@ impl<K, const D: usize> PackedRTree<K, D> {
     /// the packed slots — the cue to [`PackedRTree::compact`].
     pub fn needs_compaction(&self) -> bool {
         let delta = self.delta_len();
-        delta > 0 && delta as f64 > self.delta_fraction * self.keys.len() as f64
+        delta > 0 && delta as f64 > self.delta_fraction * self.core.keys.len() as f64
     }
 
     /// Merges the staging buffer and reclaims tombstoned slots with one
-    /// fresh Hilbert bulk-load of the live entries. A no-op (reported
-    /// as such) when the delta layer is empty.
-    pub fn compact(&mut self) -> DeltaCompaction {
+    /// fresh Hilbert bulk-load of the live entries, **inline** — the
+    /// synchronous path (the [`PackedRTree::freeze`] /
+    /// [`PackedRTree::install`] pair is the pause-free one). A no-op
+    /// (reported as such) when the delta layer is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics while a freeze snapshot is outstanding.
+    pub fn compact(&mut self) -> DeltaCompaction
+    where
+        K: Clone,
+    {
+        assert!(
+            self.epoch.is_none(),
+            "synchronous compact during an outstanding compaction snapshot"
+        );
         let stats = DeltaCompaction {
             staged_absorbed: self.staged_keys.len(),
             tombstones_reclaimed: self.tombstone_count,
@@ -670,7 +1003,7 @@ impl<K, const D: usize> PackedRTree<K, D> {
         if stats.is_noop() {
             return stats;
         }
-        let node_size = self.node_size;
+        let node_size = self.core.node_size;
         let fraction = self.delta_fraction;
         let entries = self.drain_live();
         *self = Self::bulk_load_with_node_size(node_size, entries);
@@ -679,32 +1012,194 @@ impl<K, const D: usize> PackedRTree<K, D> {
     }
 
     /// [`PackedRTree::compact`] gated by
-    /// [`PackedRTree::needs_compaction`]; returns `None` when the delta
-    /// was within budget.
-    pub fn maybe_compact(&mut self) -> Option<DeltaCompaction> {
-        self.needs_compaction().then(|| self.compact())
+    /// [`PackedRTree::needs_compaction`]; returns `None` when the
+    /// delta was within budget — or when a freeze snapshot is
+    /// outstanding (the compaction is already underway; installing it
+    /// is the snapshot holder's job).
+    pub fn maybe_compact(&mut self) -> Option<DeltaCompaction>
+    where
+        K: Clone,
+    {
+        (!self.is_compacting() && self.needs_compaction()).then(|| self.compact())
     }
 
-    /// Moves every live entry (packed minus tombstones, plus staged)
-    /// out of the tree, leaving it empty. No `Clone` is required — keys
-    /// are moved. This is the redistribution primitive of sharded
-    /// consumers (rebalance = drain every shard, re-split, bulk-load).
-    pub fn drain_live(&mut self) -> Vec<(K, Rect<D>)> {
-        let keys = std::mem::take(&mut self.keys);
-        let rects = std::mem::take(&mut self.rects);
+    // ---- concurrent compaction: freeze / install ---------------------
+
+    /// `true` while a [`PackedRTree::freeze`] snapshot is outstanding.
+    pub fn is_compacting(&self) -> bool {
+        self.epoch.is_some()
+    }
+
+    /// Freezes the current state into a [`FrozenShard`] compaction
+    /// snapshot: the `Arc`-shared packed core (a reference-count bump)
+    /// plus a copy of the delta layer (bounded by the compaction
+    /// fraction), in `O(delta)` time — the pause-free begin of a
+    /// two-phase compaction.
+    ///
+    /// Until [`PackedRTree::install`] (or
+    /// [`PackedRTree::abort_compaction`]), the tree keeps serving
+    /// exact reads and absorbing mutations: new entries stage past the
+    /// frozen prefix, packed removals tombstone as usual, and removals
+    /// of frozen staged entries retire them in place
+    /// ([`DeltaRemoval::Retired`]) — every post-freeze removal is
+    /// re-applied to the merged core at install.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a snapshot is already outstanding.
+    pub fn freeze(&mut self) -> FrozenShard<K, D>
+    where
+        K: Clone,
+    {
+        assert!(
+            self.epoch.is_none(),
+            "freeze while a compaction snapshot is already outstanding"
+        );
+        self.epoch = Some(CompactionEpoch {
+            frozen_staged_len: self.staged_keys.len(),
+            frozen_tombstones: self.tombstones.clone(),
+            frozen_tombstone_count: self.tombstone_count,
+            staged_dead: vec![0u64; self.staged_keys.len().div_ceil(64)],
+            staged_dead_count: 0,
+        });
+        FrozenShard {
+            core: Arc::clone(&self.core),
+            staged_keys: self.staged_keys.clone(),
+            staged_rects: self.staged_rects.clone(),
+            tombstones: self.tombstones.clone(),
+            tombstone_count: self.tombstone_count,
+            delta_fraction: self.delta_fraction,
+        }
+    }
+
+    /// Completes a two-phase compaction: swaps in `merged` (the
+    /// [`FrozenShard::merge`] result of this tree's own freeze),
+    /// re-applies every removal that landed mid-compaction to the
+    /// merged core, and carries the second-generation staged entries
+    /// forward as the new delta layer. The on-path cost is
+    /// `O(mutations since the freeze)`, not `O(N)`.
+    ///
+    /// Reports what the *merge* absorbed (the frozen delta), mirroring
+    /// [`PackedRTree::compact`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if no freeze snapshot is outstanding. Installing a tree
+    /// that is not the merge of this tree's own latest freeze loses
+    /// entries silently — don't.
+    pub fn install(&mut self, merged: PackedRTree<K, D>) -> DeltaCompaction
+    where
+        K: Clone + PartialEq,
+    {
+        let epoch = self
+            .epoch
+            .take()
+            .expect("install without an outstanding freeze");
+        let stats = DeltaCompaction {
+            staged_absorbed: epoch.frozen_staged_len,
+            tombstones_reclaimed: epoch.frozen_tombstone_count,
+        };
+        // Collect the removals the merge never saw, from the old tiers
+        // *before* swapping them out: packed slots tombstoned since
+        // the freeze, and frozen staged entries retired since.
+        let mut fixups: Vec<(K, Rect<D>)> = Vec::with_capacity(
+            self.tombstone_count - epoch.frozen_tombstone_count + epoch.staged_dead_count,
+        );
+        for (w, &word) in self.tombstones.iter().enumerate() {
+            let frozen = epoch.frozen_tombstones.get(w).copied().unwrap_or(0);
+            let mut fresh = word & !frozen;
+            while fresh != 0 {
+                let slot = w * 64 + fresh.trailing_zeros() as usize;
+                fixups.push((self.core.keys[slot].clone(), self.core.rects[slot]));
+                fresh &= fresh - 1;
+            }
+        }
+        for (w, &word) in epoch.staged_dead.iter().enumerate() {
+            let mut dead = word;
+            while dead != 0 {
+                let i = w * 64 + dead.trailing_zeros() as usize;
+                fixups.push((self.staged_keys[i].clone(), self.staged_rects[i]));
+                dead &= dead - 1;
+            }
+        }
+        // The second-generation delta survives the swap (re-indexed
+        // from zero; stage-index-tracking callers re-stage from here).
+        let gen2_keys = self.staged_keys.split_off(epoch.frozen_staged_len);
+        let gen2_rects = self.staged_rects.split_off(epoch.frozen_staged_len);
+        let fraction = self.delta_fraction;
+        *self = merged;
+        self.delta_fraction = fraction;
+        self.staged_mbr = Rect::union_all(gen2_rects.iter());
+        self.staged_keys = gen2_keys;
+        self.staged_rects = gen2_rects;
+        for (key, rect) in &fixups {
+            // Straight to the packed tier: every fix-up is a
+            // frozen-region entry, and the merge folded each of those
+            // into the new core exactly once.
+            match self.find_packed_slot(key, rect) {
+                Some(slot) => {
+                    self.tombstone(slot);
+                }
+                None => debug_assert!(false, "mid-compaction removal lost by the merge"),
+            }
+        }
+        stats
+    }
+
+    /// Abandons an outstanding freeze: the merge result (if any) is
+    /// simply never installed, and the live tree — which remained
+    /// complete throughout — drops the epoch bookkeeping. Frozen
+    /// staged entries retired mid-compaction are physically removed
+    /// here, which **renumbers staging indexes**; callers tracking
+    /// them must rebuild their side structures (the sharded oracle
+    /// only aborts right before a full redistribute).
+    pub fn abort_compaction(&mut self) {
+        let Some(epoch) = self.epoch.take() else {
+            return;
+        };
+        if epoch.staged_dead_count == 0 {
+            return;
+        }
+        let mut write = 0usize;
+        for read in 0..self.staged_keys.len() {
+            if !epoch.is_staged_dead(read) {
+                self.staged_keys.swap(read, write);
+                self.staged_rects.swap(read, write);
+                write += 1;
+            }
+        }
+        self.staged_keys.truncate(write);
+        self.staged_rects.truncate(write);
+        self.staged_mbr = Rect::union_all(self.staged_rects.iter());
+    }
+
+    /// Moves every live entry (packed minus tombstones, plus live
+    /// staged) out of the tree, leaving it empty. An outstanding
+    /// freeze snapshot is aborted first (the snapshot itself, owning
+    /// the shared core, stays readable by its holder). This is the
+    /// redistribution primitive of sharded consumers (rebalance =
+    /// drain every shard, re-split, bulk-load). `Clone` is only
+    /// exercised when a snapshot still shares the core; the common
+    /// unique-`Arc` case moves keys.
+    pub fn drain_live(&mut self) -> Vec<(K, Rect<D>)>
+    where
+        K: Clone,
+    {
+        self.abort_compaction();
+        let core = Arc::make_mut(&mut self.core);
+        let keys = std::mem::take(&mut core.keys);
+        let rects = std::mem::take(&mut core.rects);
         let staged_keys = std::mem::take(&mut self.staged_keys);
         let staged_rects = std::mem::take(&mut self.staged_rects);
         let tombstones = std::mem::take(&mut self.tombstones);
-        self.levels.clear();
+        core.levels.clear();
+        core.curve_keys.clear();
+        core.world = None;
         self.tombstone_count = 0;
         self.staged_mbr = None;
         let mut out: Vec<(K, Rect<D>)> = Vec::with_capacity(keys.len() + staged_keys.len());
         for (slot, (k, r)) in keys.into_iter().zip(rects).enumerate() {
-            let live = match tombstones.get(slot >> 6) {
-                Some(word) => word & (1u64 << (slot & 63)) == 0,
-                None => true,
-            };
-            if live {
+            if !bit_set(&tombstones, slot) {
                 out.push((k, r));
             }
         }
@@ -769,7 +1264,7 @@ impl<K, const D: usize> PackedRTree<K, D> {
         mut emit: impl FnMut(&'a K, &'a Rect<D>) -> bool,
     ) {
         if self.traverse_packed_while(&mask_of, &mut |slot| {
-            emit(&self.keys[slot], &self.rects[slot])
+            emit(&self.core.keys[slot], &self.core.rects[slot])
         }) {
             self.scan_staged_while(&mask_of, &mut emit);
         }
@@ -785,7 +1280,8 @@ impl<K, const D: usize> PackedRTree<K, D> {
         mask_of: &impl Fn(&[Rect<D>]) -> u32,
         emit: &mut impl FnMut(usize) -> bool,
     ) -> bool {
-        let Some(root) = self.levels.last() else {
+        let core = &*self.core;
+        let Some(root) = core.levels.last() else {
             return true;
         };
         if mask_of(&root[0..1]) == 0 {
@@ -793,14 +1289,14 @@ impl<K, const D: usize> PackedRTree<K, D> {
         }
         let mut stack = [(0u32, 0u32); STACK_CAPACITY];
         let mut top = 1usize;
-        stack[0] = (self.levels.len() as u32 - 1, 0);
+        stack[0] = (core.levels.len() as u32 - 1, 0);
         while top > 0 {
             top -= 1;
             let (level, node) = stack[top];
-            let lo = node as usize * self.node_size;
+            let lo = node as usize * core.node_size;
             if level == 0 {
-                let hi = (lo + self.node_size).min(self.rects.len());
-                let mut mask = mask_of(&self.rects[lo..hi]);
+                let hi = (lo + core.node_size).min(core.rects.len());
+                let mut mask = mask_of(&core.rects[lo..hi]);
                 while mask != 0 {
                     let slot = lo + mask.trailing_zeros() as usize;
                     if self.is_live(slot) && !emit(slot) {
@@ -809,8 +1305,8 @@ impl<K, const D: usize> PackedRTree<K, D> {
                     mask &= mask - 1;
                 }
             } else {
-                let below = &self.levels[level as usize - 1];
-                let hi = (lo + self.node_size).min(below.len());
+                let below = &core.levels[level as usize - 1];
+                let hi = (lo + core.node_size).min(below.len());
                 let mut mask = mask_of(&below[lo..hi]);
                 while mask != 0 {
                     let child = lo as u32 + mask.trailing_zeros();
@@ -826,8 +1322,9 @@ impl<K, const D: usize> PackedRTree<K, D> {
 
     /// The delta tier of [`PackedRTree::traverse_while`]: the staging
     /// buffer scanned in ≤ 32-wide chunks with the same branchless
-    /// bitmask the leaf level uses. Returns `false` when the visitor
-    /// aborted.
+    /// bitmask the leaf level uses (retired frozen entries filtered at
+    /// emission, like tombstones on the packed tier). Returns `false`
+    /// when the visitor aborted.
     fn scan_staged_while<'a>(
         &'a self,
         mask_of: &impl Fn(&[Rect<D>]) -> u32,
@@ -837,7 +1334,7 @@ impl<K, const D: usize> PackedRTree<K, D> {
             let mut mask = mask_of(chunk);
             while mask != 0 {
                 let i = chunk_idx * MAX_NODE_SIZE + mask.trailing_zeros() as usize;
-                if !emit(&self.staged_keys[i], &self.staged_rects[i]) {
+                if self.is_staged_live(i) && !emit(&self.staged_keys[i], &self.staged_rects[i]) {
                     return false;
                 }
                 mask &= mask - 1;
@@ -875,14 +1372,14 @@ impl<K, const D: usize> PackedRTree<K, D> {
             points.len() <= u32::MAX as usize,
             "batch is limited to 2^32 probes"
         );
-        if let Some(root) = self.levels.last() {
+        if let Some(root) = self.core.levels.last() {
             let active: Vec<u32> = (0..points.len() as u32)
                 .filter(|&pi| root[0].contains_point_branchless(&points[pi as usize]))
                 .collect();
             if !active.is_empty() {
                 let mut pool: Vec<Vec<u32>> = Vec::new();
                 self.walk_batch(
-                    self.levels.len() - 1,
+                    self.core.levels.len() - 1,
                     0,
                     &active,
                     points,
@@ -902,7 +1399,9 @@ impl<K, const D: usize> PackedRTree<K, D> {
                 let mut mask = mask_containing(chunk, point);
                 while mask != 0 {
                     let i = chunk_idx * MAX_NODE_SIZE + mask.trailing_zeros() as usize;
-                    emit(pi as u32, &self.staged_keys[i], &self.staged_rects[i]);
+                    if self.is_staged_live(i) {
+                        emit(pi as u32, &self.staged_keys[i], &self.staged_rects[i]);
+                    }
                     mask &= mask - 1;
                 }
             }
@@ -922,23 +1421,24 @@ impl<K, const D: usize> PackedRTree<K, D> {
     ) where
         F: FnMut(u32, &'a K, &'a Rect<D>),
     {
-        let lo = node * self.node_size;
+        let core = &*self.core;
+        let lo = node * core.node_size;
         if level == 0 {
-            let hi = (lo + self.node_size).min(self.rects.len());
-            let rects = &self.rects[lo..hi];
+            let hi = (lo + core.node_size).min(core.rects.len());
+            let rects = &core.rects[lo..hi];
             for &pi in active {
                 let mut mask = mask_containing(rects, &points[pi as usize]);
                 while mask != 0 {
                     let slot = lo + mask.trailing_zeros() as usize;
                     if self.is_live(slot) {
-                        emit(pi, &self.keys[slot], &self.rects[slot]);
+                        emit(pi, &core.keys[slot], &core.rects[slot]);
                     }
                     mask &= mask - 1;
                 }
             }
         } else {
-            let below = &self.levels[level - 1];
-            let hi = (lo + self.node_size).min(below.len());
+            let below = &core.levels[level - 1];
+            let hi = (lo + core.node_size).min(below.len());
             let mut subset = pool.pop().unwrap_or_default();
             for (child, mbr) in below.iter().enumerate().take(hi).skip(lo) {
                 subset.clear();
@@ -981,7 +1481,11 @@ impl<K, const D: usize> PackedRTree<K, D> {
     ///
     /// Returns the first [`PackedValidationError`] found.
     pub fn validate(&self) -> Result<(), PackedValidationError> {
-        if self.keys.len() != self.rects.len() {
+        let core = &*self.core;
+        if core.keys.len() != core.rects.len() {
+            return Err(PackedValidationError::Inconsistent);
+        }
+        if !core.curve_keys.is_empty() && core.curve_keys.len() != core.keys.len() {
             return Err(PackedValidationError::Inconsistent);
         }
         if self.staged_keys.len() != self.staged_rects.len() {
@@ -995,7 +1499,7 @@ impl<K, const D: usize> PackedRTree<K, D> {
         if popcount != self.tombstone_count {
             return Err(PackedValidationError::DeltaInconsistent);
         }
-        if !self.tombstones.is_empty() && self.tombstones.len() != self.keys.len().div_ceil(64) {
+        if !self.tombstones.is_empty() && self.tombstones.len() != core.keys.len().div_ceil(64) {
             return Err(PackedValidationError::DeltaInconsistent);
         }
         match &self.staged_mbr {
@@ -1007,19 +1511,50 @@ impl<K, const D: usize> PackedRTree<K, D> {
             }
             _ => {}
         }
-        if self.keys.is_empty() {
-            return if self.levels.is_empty() {
+        if let Some(epoch) = &self.epoch {
+            // Mid-compaction bookkeeping: the frozen prefix exists, the
+            // dead bitmap covers exactly it, its count matches, and
+            // every tombstone frozen at the freeze is still set (bits
+            // are never cleared mid-epoch).
+            let dead_pop: usize = epoch
+                .staged_dead
+                .iter()
+                .map(|w| w.count_ones() as usize)
+                .sum();
+            if epoch.frozen_staged_len > self.staged_keys.len()
+                || epoch.staged_dead.len() != epoch.frozen_staged_len.div_ceil(64)
+                || dead_pop != epoch.staged_dead_count
+                || epoch.staged_dead_count > epoch.frozen_staged_len
+            {
+                return Err(PackedValidationError::DeltaInconsistent);
+            }
+            if (0..self.staged_keys.len())
+                .any(|i| i >= epoch.frozen_staged_len && epoch.is_staged_dead(i))
+            {
+                return Err(PackedValidationError::DeltaInconsistent);
+            }
+            let frozen_ok = epoch
+                .frozen_tombstones
+                .iter()
+                .enumerate()
+                .all(|(w, &bits)| bits & !self.tombstones.get(w).copied().unwrap_or(0) == 0);
+            if !frozen_ok || epoch.frozen_tombstone_count > self.tombstone_count {
+                return Err(PackedValidationError::DeltaInconsistent);
+            }
+        }
+        if core.keys.is_empty() {
+            return if core.levels.is_empty() {
                 Ok(())
             } else {
                 Err(PackedValidationError::Inconsistent)
             };
         }
-        if self.levels.is_empty() || self.levels.last().map(Vec::len) != Some(1) {
+        if core.levels.is_empty() || core.levels.last().map(Vec::len) != Some(1) {
             return Err(PackedValidationError::Inconsistent);
         }
-        let mut below_len = self.rects.len();
-        for (level, nodes) in self.levels.iter().enumerate() {
-            let expected = below_len.div_ceil(self.node_size);
+        let mut below_len = core.rects.len();
+        for (level, nodes) in core.levels.iter().enumerate() {
+            let expected = below_len.div_ceil(core.node_size);
             if nodes.len() != expected {
                 return Err(PackedValidationError::WrongLevelLength {
                     level,
@@ -1028,7 +1563,7 @@ impl<K, const D: usize> PackedRTree<K, D> {
                 });
             }
             for (node, mbr) in nodes.iter().enumerate() {
-                if self.covered_union(level, node).as_ref() != Some(mbr) {
+                if core.covered_union(level, node).as_ref() != Some(mbr) {
                     return Err(PackedValidationError::WrongMbr { level, node });
                 }
             }
@@ -1188,7 +1723,7 @@ mod tests {
     fn validate_catches_stale_mbr() {
         let mut tree = PackedRTree::bulk_load_with_node_size(4, grid(100));
         // Corrupt a leaf-node MBR behind validate's back.
-        tree.levels[0][0] = Rect::new([0.0, 0.0], [0.1, 0.1]);
+        Arc::make_mut(&mut tree.core).levels[0][0] = Rect::new([0.0, 0.0], [0.1, 0.1]);
         assert!(matches!(
             tree.validate(),
             Err(PackedValidationError::WrongMbr { level: 0, node: 0 })
@@ -1423,6 +1958,247 @@ mod tests {
             true
         });
         assert!(after_staged <= 40);
+    }
+
+    /// The model answer for a point probe over `(key, rect)` pairs.
+    fn model_hits(model: &[(usize, Rect<2>)], p: &Point<2>) -> Vec<usize> {
+        let mut hits: Vec<usize> = model
+            .iter()
+            .filter(|(_, r)| r.contains_point(p))
+            .map(|(k, _)| *k)
+            .collect();
+        hits.sort_unstable();
+        hits
+    }
+
+    fn sorted_hits(tree: &PackedRTree<usize, 2>, p: &Point<2>) -> Vec<usize> {
+        let mut hits: Vec<usize> = tree.search_point(p).into_iter().copied().collect();
+        hits.sort_unstable();
+        hits
+    }
+
+    #[test]
+    fn freeze_serves_exact_reads_while_merging() {
+        let mut tree = PackedRTree::bulk_load_with_node_size(4, grid(80));
+        let mut model = grid(80);
+        // Pre-freeze delta: two staged entries, one tombstone.
+        tree.stage_insert(500, Rect::new([7.0, 7.0], [8.0, 8.0]));
+        tree.stage_insert(501, Rect::new([400.0, 400.0], [401.0, 401.0]));
+        model.push((500, Rect::new([7.0, 7.0], [8.0, 8.0])));
+        model.push((501, Rect::new([400.0, 400.0], [401.0, 401.0])));
+        let (k, r) = grid(80)[11];
+        assert!(tree.remove_entry(&k, &r).is_some());
+        model.retain(|&(key, _)| key != 11);
+
+        let frozen = tree.freeze();
+        assert!(tree.is_compacting());
+        assert_eq!(frozen.len(), model.len());
+
+        // Mid-compaction mutations of every flavor.
+        tree.stage_insert(600, Rect::new([1.0, 1.0], [2.0, 2.0])); // gen-2 insert
+        model.push((600, Rect::new([1.0, 1.0], [2.0, 2.0])));
+        let (k2, r2) = grid(80)[33]; // packed removal -> tombstone
+        assert!(matches!(
+            tree.remove_entry(&k2, &r2),
+            Some(DeltaRemoval::Tombstoned { .. })
+        ));
+        model.retain(|&(key, _)| key != 33);
+        // Frozen staged removal -> retired in place.
+        assert!(matches!(
+            tree.remove_entry(&500, &Rect::new([7.0, 7.0], [8.0, 8.0])),
+            Some(DeltaRemoval::Retired { .. })
+        ));
+        model.retain(|&(key, _)| key != 500);
+        // Gen-2 removal -> plain swap-remove.
+        assert!(matches!(
+            tree.remove_entry(&600, &Rect::new([1.0, 1.0], [2.0, 2.0])),
+            Some(DeltaRemoval::Unstaged { .. })
+        ));
+        model.retain(|&(key, _)| key != 600);
+        tree.stage_insert(601, Rect::new([2.5, 2.5], [3.5, 3.5]));
+        model.push((601, Rect::new([2.5, 2.5], [3.5, 3.5])));
+
+        tree.validate().unwrap();
+        assert_eq!(tree.len(), model.len());
+        // Exact reads mid-compaction, everywhere it matters.
+        for p in [
+            Point::new([7.5, 7.5]),
+            Point::new([400.5, 400.5]),
+            Point::new([1.5, 1.5]),
+            Point::new([3.0, 3.0]),
+            grid(80)[33].1.center(),
+            grid(80)[12].1.center(),
+        ] {
+            assert_eq!(sorted_hits(&tree, &p), model_hits(&model, &p), "at {p:?}");
+        }
+
+        // The merge sees exactly the frozen state.
+        let merged = frozen.merge();
+        merged.validate().unwrap();
+        assert_eq!(merged.len(), 81, "80 - 1 tombstone + 2 staged");
+        assert_eq!(merged.delta_len(), 0);
+
+        // Install: fix-ups re-apply the mid-compaction removals, the
+        // gen-2 delta survives.
+        let stats = tree.install(merged);
+        assert!(!tree.is_compacting());
+        assert_eq!(stats.staged_absorbed, 2);
+        assert_eq!(stats.tombstones_reclaimed, 1);
+        tree.validate().unwrap();
+        assert_eq!(tree.len(), model.len());
+        assert_eq!(tree.staged_len(), 1, "gen-2 entry 601 carried forward");
+        assert_eq!(tree.tombstone_count(), 2, "fix-ups: keys 33 and 500");
+        for p in [
+            Point::new([7.5, 7.5]),
+            Point::new([400.5, 400.5]),
+            Point::new([3.0, 3.0]),
+            grid(80)[33].1.center(),
+            grid(80)[12].1.center(),
+        ] {
+            assert_eq!(sorted_hits(&tree, &p), model_hits(&model, &p), "at {p:?}");
+        }
+        // A follow-up synchronous compact folds the fix-ups away.
+        tree.compact();
+        tree.validate().unwrap();
+        assert_eq!(tree.len(), model.len());
+    }
+
+    #[test]
+    fn install_handles_duplicates_across_generations() {
+        let r = Rect::new([5.0, 5.0], [6.0, 6.0]);
+        let mut tree = PackedRTree::bulk_load_with_node_size(4, grid(40));
+        tree.stage_insert(900, r); // frozen copy
+        let _frozen = tree.freeze();
+        tree.stage_insert(900, r); // gen-2 duplicate (same key and rect)
+                                   // Remove one copy mid-compaction: the frozen one is found
+                                   // first and retired.
+        assert!(matches!(
+            tree.remove_entry(&900, &r),
+            Some(DeltaRemoval::Retired { .. })
+        ));
+        assert_eq!(tree.len(), 41);
+        let merged = _frozen.merge();
+        tree.install(merged);
+        tree.validate().unwrap();
+        // Exactly one copy of 900 must survive, whichever tier it
+        // lives in (duplicates are indistinguishable).
+        assert_eq!(tree.len(), 41);
+        let hits: Vec<usize> = tree
+            .search_point(&Point::new([5.5, 5.5]))
+            .into_iter()
+            .copied()
+            .filter(|&k| k == 900)
+            .collect();
+        assert_eq!(hits, vec![900]);
+    }
+
+    #[test]
+    fn freeze_snapshot_is_isolated_from_live_mutations() {
+        let mut tree = PackedRTree::bulk_load_with_node_size(4, grid(50));
+        let frozen = tree.freeze();
+        // Heavy live mutation after the freeze.
+        for (k, r) in grid(50).iter().take(20) {
+            assert!(tree.remove_entry(k, r).is_some());
+        }
+        for i in 0..10usize {
+            tree.stage_insert(700 + i, Rect::new([0.0, 0.0], [1.0, 1.0]));
+        }
+        // The snapshot still merges to exactly the frozen state.
+        let merged = frozen.merge();
+        assert_eq!(merged.len(), 50);
+        merged.validate().unwrap();
+        tree.install(merged);
+        tree.validate().unwrap();
+        assert_eq!(tree.len(), 40);
+    }
+
+    #[test]
+    fn abort_compaction_restores_a_plain_delta_tree() {
+        let mut tree = PackedRTree::bulk_load_with_node_size(4, grid(30));
+        tree.stage_insert(800, Rect::new([3.0, 3.0], [4.0, 4.0]));
+        tree.stage_insert(801, Rect::new([90.0, 3.0], [91.0, 4.0]));
+        let _frozen = tree.freeze();
+        assert!(matches!(
+            tree.remove_entry(&800, &Rect::new([3.0, 3.0], [4.0, 4.0])),
+            Some(DeltaRemoval::Retired { .. })
+        ));
+        tree.stage_insert(802, Rect::new([50.0, 50.0], [51.0, 51.0]));
+        tree.abort_compaction();
+        assert!(!tree.is_compacting());
+        tree.validate().unwrap();
+        assert_eq!(tree.len(), 32, "30 packed + live staged 801, 802");
+        assert_eq!(tree.staged_len(), 2, "retired entry physically dropped");
+        assert!(tree
+            .search_point(&Point::new([3.5, 3.5]))
+            .iter()
+            .all(|&&k| k != 800));
+        // Aborting again (or with no epoch) is a no-op.
+        tree.abort_compaction();
+        // Drain after an abort sees only live entries.
+        let drained = tree.drain_live();
+        assert_eq!(drained.len(), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "update during an outstanding compaction snapshot")]
+    fn update_mid_compaction_panics() {
+        let mut tree = PackedRTree::bulk_load_with_node_size(4, grid(20));
+        let _frozen = tree.freeze();
+        tree.update(0, Rect::new([0.0, 0.0], [1.0, 1.0]));
+    }
+
+    #[test]
+    fn maybe_compact_defers_while_a_snapshot_is_outstanding() {
+        let mut tree = PackedRTree::bulk_load_with_node_size(4, grid(20));
+        tree.set_delta_fraction(0.05);
+        for i in 0..10usize {
+            tree.stage_insert(100 + i, Rect::new([0.0, 0.0], [1.0, 1.0]));
+        }
+        assert!(tree.needs_compaction());
+        let frozen = tree.freeze();
+        // The compaction is already underway: no panic, no merge.
+        assert_eq!(tree.maybe_compact(), None);
+        tree.install(frozen.merge());
+        assert_eq!(tree.delta_len(), 0);
+        tree.validate().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "freeze while a compaction snapshot is already outstanding")]
+    fn double_freeze_panics() {
+        let mut tree = PackedRTree::bulk_load_with_node_size(4, grid(20));
+        let _a = tree.freeze();
+        let _b = tree.freeze();
+    }
+
+    #[test]
+    fn clone_shares_the_core_copy_on_write() {
+        let mut tree = PackedRTree::bulk_load_with_node_size(4, grid(60));
+        let copy = tree.clone();
+        assert!(Arc::ptr_eq(&tree.core, &copy.core), "clone is O(delta)");
+        let slot = tree.slot_of(&7).unwrap();
+        tree.update(slot, Rect::new([500.0, 500.0], [501.0, 501.0]));
+        // The clone still sees the original rectangle.
+        let (_, old) = grid(60)[7];
+        assert!(copy.search_point(&old.center()).contains(&&7));
+        assert!(!tree.search_point(&old.center()).contains(&&7));
+        copy.validate().unwrap();
+        tree.validate().unwrap();
+    }
+
+    #[test]
+    fn freeze_with_empty_packed_tier_works() {
+        let mut tree: PackedRTree<usize, 2> = PackedRTree::bulk_load(Vec::new());
+        tree.stage_insert(1, Rect::new([0.0, 0.0], [1.0, 1.0]));
+        let frozen = tree.freeze();
+        tree.stage_insert(2, Rect::new([2.0, 2.0], [3.0, 3.0]));
+        let merged = frozen.merge();
+        assert_eq!(merged.packed_len(), 1);
+        tree.install(merged);
+        tree.validate().unwrap();
+        assert_eq!(tree.len(), 2);
+        assert_eq!(tree.search_point(&Point::new([2.5, 2.5])), vec![&2]);
+        assert_eq!(tree.search_point(&Point::new([0.5, 0.5])), vec![&1]);
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! Scoped-thread fan-out over independent index shards.
+//! Scoped-thread fan-out over independent index shards, and detached
+//! background jobs for off-path maintenance.
 //!
 //! A sharded oracle answers one logical query by running the same
 //! probe (or probe batch) against `K` independent [`SpatialIndex`]
@@ -11,9 +12,19 @@
 //! callers write one code path for both the single-core and the
 //! many-core case.
 //!
+//! [`Job`] is the second primitive: a one-shot background task owning
+//! its input (e.g. a frozen [`PackedRTree`] snapshot being merged),
+//! polled with [`Job::is_finished`] and harvested with [`Job::join`].
+//! It is what keeps shard compaction off the publish path — the
+//! caller freezes a snapshot, hands it to a job, and keeps serving
+//! reads until the merged result is ready to swap in.
+//!
 //! [`SpatialIndex`]: crate::SpatialIndex
+//! [`PackedRTree`]: crate::PackedRTree
 
+use std::fmt;
 use std::num::NonZeroUsize;
+use std::thread::JoinHandle;
 
 /// Number of hardware threads worth fanning across (≥ 1); the default
 /// worker budget of sharded consumers.
@@ -72,6 +83,79 @@ where
     });
 }
 
+/// A one-shot background task producing a `T`.
+///
+/// Two flavors share the interface: [`Job::spawn`] runs the closure on
+/// a dedicated OS thread (the concurrent-compaction path), while
+/// [`Job::ready`] wraps an already-computed value (the synchronous
+/// fallback, so callers keep one code path whether the work ran inline
+/// or off-thread).
+///
+/// Dropping an unjoined spawned job detaches the thread: the work
+/// finishes on its own and the result is discarded — the semantics an
+/// owner wants when a rebalance supersedes an in-flight merge.
+pub struct Job<T> {
+    inner: JobInner<T>,
+}
+
+enum JobInner<T> {
+    Spawned(JoinHandle<T>),
+    Ready(T),
+}
+
+impl<T: Send + 'static> Job<T> {
+    /// Runs `work` on a new background thread.
+    pub fn spawn<F>(work: F) -> Self
+    where
+        F: FnOnce() -> T + Send + 'static,
+    {
+        Self {
+            inner: JobInner::Spawned(std::thread::spawn(work)),
+        }
+    }
+
+    /// A job that completed at construction — the inline fallback.
+    pub fn ready(value: T) -> Self {
+        Self {
+            inner: JobInner::Ready(value),
+        }
+    }
+
+    /// `true` once [`Job::join`] would return without blocking.
+    pub fn is_finished(&self) -> bool {
+        match &self.inner {
+            JobInner::Spawned(handle) => handle.is_finished(),
+            JobInner::Ready(_) => true,
+        }
+    }
+
+    /// Blocks until the work completes and returns its result.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from the worker thread.
+    pub fn join(self) -> T {
+        match self.inner {
+            JobInner::Spawned(handle) => handle
+                .join()
+                .unwrap_or_else(|payload| std::panic::resume_unwind(payload)),
+            JobInner::Ready(value) => value,
+        }
+    }
+}
+
+impl<T> fmt::Debug for Job<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.inner {
+            JobInner::Spawned(handle) => f
+                .debug_struct("Job")
+                .field("finished", &handle.is_finished())
+                .finish(),
+            JobInner::Ready(_) => f.debug_struct("Job").field("finished", &true).finish(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -104,5 +188,27 @@ mod tests {
     #[test]
     fn available_threads_is_positive() {
         assert!(available_threads() >= 1);
+    }
+
+    #[test]
+    fn jobs_run_and_join() {
+        let spawned = Job::spawn(|| (0..100u64).sum::<u64>());
+        let ready = Job::ready(4950u64);
+        assert!(ready.is_finished());
+        assert_eq!(spawned.join(), 4950);
+        assert_eq!(ready.join(), 4950);
+    }
+
+    #[test]
+    fn dropping_a_job_detaches_it() {
+        let job = Job::spawn(|| 7u32);
+        drop(job); // must not block or panic; the thread finishes alone
+    }
+
+    #[test]
+    #[should_panic(expected = "worker exploded")]
+    fn join_propagates_worker_panics() {
+        let job: Job<()> = Job::spawn(|| panic!("worker exploded"));
+        job.join();
     }
 }

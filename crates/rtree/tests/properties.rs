@@ -4,7 +4,9 @@
 //! oracle, not an approximation), including on the generated
 //! subscription workloads of `drtree-workloads`; and the packed
 //! backend's delta layer (staged inserts + tombstones) is invisible to
-//! every visitor, before and after compaction.
+//! every visitor — before and after compaction, and throughout a
+//! two-phase freeze/merge/install cycle with mutations landing
+//! mid-compaction.
 
 use drtree_rtree::{PackedRTree, RTree, RTreeConfig, SplitMethod};
 use drtree_spatial::{Point, Rect};
@@ -325,5 +327,107 @@ proptest! {
             want.sort_unstable();
             prop_assert_eq!(got, want, "after moving entry {}", i);
         }
+    }
+
+    /// The two-phase freeze/merge/install cycle is invisible to every
+    /// visitor: with arbitrary staging, removals *between* freeze and
+    /// install (hitting packed slots, the frozen staged prefix, and
+    /// the second-generation delta alike), and fresh inserts overlaid
+    /// on the frozen core, the tree answers exactly like a fresh
+    /// bulk-load of the live set at every point of the cycle.
+    #[test]
+    fn frozen_epoch_is_invisible_to_every_visitor(
+        base in prop::collection::vec(arb_rect(), 0..80),
+        staged in prop::collection::vec(arb_rect(), 0..24),
+        mid_inserts in prop::collection::vec(arb_rect(), 0..24),
+        pre_removals in prop::collection::vec(0usize..104, 0..20),
+        mid_removals in prop::collection::vec(0usize..128, 0..40),
+        probes in prop::collection::vec(
+            (0.0f64..140.0, 0.0f64..140.0).prop_map(|(x, y)| Point::<2>::new([x, y])),
+            1..12),
+        node_size in 2usize..33,
+    ) {
+        let mut model: Vec<(usize, Rect<2>)> =
+            base.iter().copied().enumerate().collect();
+        let mut tree = PackedRTree::bulk_load_with_node_size(node_size, model.clone());
+        let mut next_key = base.len();
+        for r in &staged {
+            tree.stage_insert(next_key, *r);
+            model.push((next_key, *r));
+            next_key += 1;
+        }
+        for n in &pre_removals {
+            if model.is_empty() { break; }
+            let (k, r) = model.remove(n % model.len());
+            prop_assert!(tree.remove_entry(&k, &r).is_some());
+        }
+
+        let frozen = tree.freeze();
+        // Mid-compaction churn: inserts and removals interleaved.
+        let mut pending_inserts = mid_inserts.iter();
+        for (i, n) in mid_removals.iter().enumerate() {
+            if i % 2 == 0 {
+                if let Some(r) = pending_inserts.next() {
+                    tree.stage_insert(next_key, *r);
+                    model.push((next_key, *r));
+                    next_key += 1;
+                }
+            }
+            if !model.is_empty() {
+                let (k, r) = model.remove(n % model.len());
+                prop_assert!(
+                    tree.remove_entry(&k, &r).is_some(),
+                    "mid-compaction removal of ({k}, {r}) not found"
+                );
+            }
+        }
+        for r in pending_inserts {
+            tree.stage_insert(next_key, *r);
+            model.push((next_key, *r));
+            next_key += 1;
+        }
+        tree.validate().map_err(|e| TestCaseError::fail(e.to_string()))?;
+        prop_assert_eq!(tree.len(), model.len());
+
+        let check = |tree: &PackedRTree<usize, 2>, model: &[(usize, Rect<2>)], phase: &str|
+            -> Result<(), TestCaseError> {
+            for p in &probes {
+                let mut got: Vec<usize> =
+                    tree.search_point(p).into_iter().copied().collect();
+                got.sort_unstable();
+                let mut want: Vec<usize> = model
+                    .iter()
+                    .filter(|(_, r)| r.contains_point(p))
+                    .map(|(k, _)| *k)
+                    .collect();
+                want.sort_unstable();
+                prop_assert_eq!(got, want, "{} point query at {:?}", phase, p);
+                // Batched form agrees.
+                let mut batched = Vec::new();
+                tree.for_each_containing_batch(
+                    std::slice::from_ref(p),
+                    |_, &k, _| batched.push(k),
+                );
+                batched.sort_unstable();
+                let mut single: Vec<usize> =
+                    tree.search_point(p).into_iter().copied().collect();
+                single.sort_unstable();
+                prop_assert_eq!(batched, single, "{} batch probe {:?}", phase, p);
+            }
+            Ok(())
+        };
+        check(&tree, &model, "mid-compaction")?;
+
+        let merged = frozen.merge();
+        merged.validate().map_err(|e| TestCaseError::fail(e.to_string()))?;
+        tree.install(merged);
+        tree.validate().map_err(|e| TestCaseError::fail(e.to_string()))?;
+        prop_assert_eq!(tree.len(), model.len());
+        check(&tree, &model, "installed")?;
+
+        // A trailing synchronous compact still agrees.
+        tree.compact();
+        tree.validate().map_err(|e| TestCaseError::fail(e.to_string()))?;
+        check(&tree, &model, "recompacted")?;
     }
 }
