@@ -74,6 +74,23 @@
 //!   cargo run -p drtree-bench --release --bin scale -- pipeline [out.json] [--check <t>]
 //!   ```
 //!
+//! * **Fault schedules** (`faults`): the robustness mode. Drives the
+//!   five canonical adversarial [`FaultSchedule`]s (partition-then-
+//!   heal, correlated regional crash, lossy burst, duplication +
+//!   reordering window, corruption volleys) against bulk-built
+//!   overlays at 64/256/1024 subscribers with pipelined background
+//!   publishes flowing *during* the faults, then measures
+//!   rounds-to-legal recovery against a per-scale budget, exact
+//!   post-recovery delivery (pipelined vs sequential, zero false
+//!   negatives), and the in-fault injection-to-quiescence latency
+//!   tail (p50/p99/p999). One additional probe runs the asynchronous
+//!   engine under a duplication + reordering window. Writes
+//!   `BENCH_faults.json` (or the given path).
+//!
+//!   ```text
+//!   cargo run -p drtree-bench --release --bin scale -- faults [out.json] [--check <t>]
+//!   ```
+//!
 //! # Emitted JSON
 //!
 //! The JSON files are committed at the repo root and refreshed
@@ -99,6 +116,11 @@
 //!   `{ns_per_event, rounds_per_event}` plus per-window
 //!   `{window, ns_per_event, rounds_per_event, speedup}` samples, and
 //!   the headline `pipeline_vs_sequential_at_16k_w32`.
+//! * `BENCH_faults.json` — per-size, per-schedule `{recovery_rounds,
+//!   budget, survivors, post_exact, fault/post p50/p99/p999, fault
+//!   counter deltas}` samples, the asynchronous-engine probe, and the
+//!   headlines `min_budget_headroom` (budget ÷ recovery rounds, worst
+//!   schedule) and `all_exact`.
 //!
 //! # `--check` (regression gates)
 //!
@@ -119,17 +141,26 @@
 //! * `pipeline --check t` — the windowed pipeline (window 32) must
 //!   publish ≥ `t`× faster per event than the sequential loop at 16k
 //!   subscribers.
+//! * `faults --check t` — every schedule must re-reach a legal
+//!   configuration with ≥ `t`× budget headroom, and post-recovery
+//!   delivery (both engines) must stay exact. `t = 1.0` means "within
+//!   budget"; CI uses a higher floor since steady-state recoveries
+//!   finish in tens of rounds.
 //!
-//! CI runs all four gates with thresholds *below* the steady state
+//! CI runs all five gates with thresholds *below* the steady state
 //! (see `.github/workflows/ci.yml`) so shared-runner noise cannot
 //! flake a merge while a structural regression still fails the build.
 
 use std::time::Instant;
 
 use drtree_bench::json::Json;
-use drtree_core::{DrTreeCluster, DrTreeConfig, ProcessId};
+use drtree_core::{
+    run_convergence, AsyncDrTreeCluster, ConvergenceConfig, ConvergenceReport, DrTreeCluster,
+    DrTreeConfig, FaultProfile, FaultSchedule, LatencyDistribution, ProcessId,
+};
 use drtree_pubsub::{BatchMatches, CompactionMode, ShardedOracle};
 use drtree_rtree::{PackedRTree, RTree, RTreeConfig, SplitMethod};
+use drtree_sim::{LatencyModel, NetConfig};
 use drtree_spatial::{Point, Rect};
 use drtree_workloads::churn::{ChurnOp, PoissonChurn};
 use drtree_workloads::SubscriptionWorkload;
@@ -174,6 +205,10 @@ fn main() {
         Some("pipeline") => {
             let (out, check) = parse_out_and_check(&args[1..], "BENCH_pipeline.json");
             pipeline_dissemination(&out, check);
+        }
+        Some("faults") => {
+            let (out, check) = parse_out_and_check(&args[1..], "BENCH_faults.json");
+            fault_schedules(&out, check);
         }
         other => {
             let max_n = other.and_then(|s| s.parse().ok()).unwrap_or(1024);
@@ -1073,6 +1108,216 @@ fn pipeline_dissemination(out_path: &str, check: Option<f64>) {
             std::process::exit(1);
         }
         println!("check passed: pipeline >= {threshold}x vs sequential publish");
+    }
+}
+
+/// The adversarial robustness probe (see the module docs): drives the
+/// five canonical [`FaultSchedule`]s against bulk-built overlays at
+/// 64/256/1024 subscribers, measuring rounds-to-legal recovery,
+/// post-recovery delivery exactness (pipelined vs sequential), and the
+/// in-fault injection-to-quiescence latency tail; plus one
+/// asynchronous-engine SLO probe under a duplication + reordering
+/// window. Writes `BENCH_faults.json` and gates
+/// `min_budget_headroom` (budget ÷ recovery rounds, worst case).
+fn fault_schedules(out_path: &str, check: Option<f64>) {
+    const SIZES: [usize; 3] = [64, 256, 1024];
+    const ASYNC_SIZE: usize = 256;
+    const ASYNC_EVENTS: usize = 64;
+
+    let cfg = ConvergenceConfig::default();
+    let mut per_size: Vec<(usize, Vec<(FaultSchedule<2>, ConvergenceReport)>)> = Vec::new();
+    let mut min_headroom = f64::INFINITY;
+    let mut all_converged = true;
+    let mut all_exact = true;
+    println!(
+        "| N | schedule | recovery (rounds) | budget | survivors | exact | fault p99/p999 | post p999 |"
+    );
+    println!(
+        "|---|----------|-------------------|--------|-----------|-------|----------------|-----------|"
+    );
+    for size in SIZES {
+        let rects = scaled_rects(size, 7_700 + size as u64);
+        let world = Rect::union_all(rects.iter()).expect("rect pool is non-empty");
+        let mut runs = Vec::new();
+        for mut schedule in FaultSchedule::canonical(&world, size) {
+            // Recovery after a merge/crash repairs level by level, so
+            // the budget grows with the scale (generously — steady
+            // state is tens of rounds, see BENCH_faults.json).
+            schedule.budget = 1_500 + 6 * size as u64;
+            let mut cluster =
+                DrTreeCluster::build_bulk(DrTreeConfig::default(), 9_800 + size as u64, &rects);
+            let report = run_convergence(&mut cluster, &schedule, &cfg);
+            let exact = report.post_pipeline_matches_sequential && report.post_false_negatives == 0;
+            all_exact &= exact;
+            match report.recovery_rounds {
+                Some(r) => {
+                    min_headroom = min_headroom.min(report.budget as f64 / r.max(1) as f64);
+                }
+                None => all_converged = false,
+            }
+            println!(
+                "| {size} | {} | {} | {} | {} | {} | {}/{} | {} |",
+                schedule.name,
+                report
+                    .recovery_rounds
+                    .map_or("DNF".into(), |r| r.to_string()),
+                report.budget,
+                report.survivors,
+                if exact { "yes" } else { "NO" },
+                report.fault_latency.p99,
+                report.fault_latency.p999,
+                report.post_latency.p999,
+            );
+            runs.push((schedule, report));
+        }
+        per_size.push((size, runs));
+    }
+
+    // Asynchronous-engine SLO probe: pipelined publishes under a
+    // duplication + reordering window (loss-free, so delivery stays
+    // exact); the latency distribution is in simulated time units.
+    let rects = scaled_rects(ASYNC_SIZE, 7_700 + ASYNC_SIZE as u64);
+    let net = NetConfig {
+        latency: LatencyModel::Uniform { min: 1, max: 4 },
+        ..NetConfig::default()
+    };
+    let async_config = DrTreeConfig {
+        tick_interval: 8,
+        failure_timeout: 40,
+        join_retry: 32,
+        ..DrTreeConfig::default()
+    };
+    let mut async_cluster: AsyncDrTreeCluster<2> =
+        AsyncDrTreeCluster::build_bulk(async_config, net, 9_900, &rects);
+    async_cluster.set_faults(FaultProfile {
+        duplicate_probability: 0.2,
+        reorder_probability: 0.2,
+        reorder_extra: 3,
+        ..FaultProfile::default()
+    });
+    let ids = async_cluster.ids();
+    let mut rng = StdRng::seed_from_u64(9_901);
+    let events: Vec<(ProcessId, Point<2>)> = (0..ASYNC_EVENTS)
+        .map(|_| {
+            let publisher = ids[rng.gen_range(0..ids.len())];
+            let point = rects[rng.gen_range(0..rects.len())].center();
+            (publisher, point)
+        })
+        .collect();
+    let reports = async_cluster.publish_pipeline_from(&events, 32);
+    let async_fn: u64 = reports.iter().map(|r| r.false_negatives.len() as u64).sum();
+    all_exact &= async_fn == 0;
+    let mut spans: Vec<u64> = reports.iter().map(|r| r.rounds).collect();
+    let async_latency = LatencyDistribution::from_samples(&mut spans);
+    println!(
+        "async engine (n={ASYNC_SIZE}, dup 0.2 / reorder 0.2x3): p50={} p99={} p999={} \
+         time units, false negatives {async_fn}",
+        async_latency.p50, async_latency.p99, async_latency.p999
+    );
+    println!(
+        "worst budget headroom across schedules: {}",
+        if all_converged {
+            format!("{min_headroom:.1}x")
+        } else {
+            "DNF".into()
+        }
+    );
+
+    let run_json = |schedule: &FaultSchedule<2>, r: &ConvergenceReport| {
+        Json::object()
+            .field("schedule", schedule.name.as_str())
+            .field("script", r.schedule.as_str())
+            .field("recovery_rounds", r.recovery_rounds.unwrap_or(u64::MAX))
+            .field("converged", u64::from(r.recovery_rounds.is_some()))
+            .field("budget", r.budget)
+            .field("survivors", r.survivors)
+            .field("crashed", r.crashed)
+            .field(
+                "post_exact",
+                u64::from(r.post_pipeline_matches_sequential && r.post_false_negatives == 0),
+            )
+            .field("fault_p50", r.fault_latency.p50)
+            .field("fault_p99", r.fault_latency.p99)
+            .field("fault_p999", r.fault_latency.p999)
+            .field("post_p50", r.post_latency.p50)
+            .field("post_p99", r.post_latency.p99)
+            .field("post_p999", r.post_latency.p999)
+            .field("duplicated", r.duplicated)
+            .field("reordered", r.reordered)
+            .field("partitioned_drops", r.partitioned_drops)
+            .field("dropped", r.dropped)
+    };
+    let sizes = per_size.iter().fold(Json::object(), |obj, (size, runs)| {
+        obj.field(
+            size.to_string().as_str(),
+            Json::Array(runs.iter().map(|(s, r)| run_json(s, r)).collect()),
+        )
+    });
+    let json = Json::object()
+        .field("bench", "fault-schedules")
+        .field(
+            "workload",
+            "uniform 2d, extents 1-10, world scaled to ~10 matches per point query; \
+             bulk-built overlays; five canonical fault schedules (partition-heal, \
+             regional-crash, lossy-burst, dup-reorder, corruption-volley) with \
+             pipelined background publishes during the faulty phase",
+        )
+        .field(
+            "query",
+            "recovery_rounds = rounds from forced heal to check_legal == Ok \
+             (stride-quantized); fault/post percentiles are per-event \
+             injection-to-quiescence spans in rounds; post_exact = pipelined \
+             post-recovery delivery equals the sequential reference with zero \
+             false negatives; async probe runs the event engine under a \
+             duplication + reordering window (spans in time units)",
+        )
+        .field("sizes", sizes)
+        .field(
+            "async_probe",
+            Json::object()
+                .field("size", ASYNC_SIZE)
+                .field("profile", "dup 0.2, reorder 0.2 extra 3, latency U(1,4)")
+                .field("events", ASYNC_EVENTS)
+                .field("p50", async_latency.p50)
+                .field("p99", async_latency.p99)
+                .field("p999", async_latency.p999)
+                .field("false_negatives", async_fn),
+        )
+        .field(
+            "min_budget_headroom",
+            if all_converged {
+                Json::fixed(min_headroom, 2)
+            } else {
+                Json::fixed(0.0, 2)
+            },
+        )
+        .field("all_exact", u64::from(all_exact));
+    std::fs::write(out_path, json.render()).expect("write BENCH_faults.json");
+    println!("wrote {out_path}");
+
+    if let Some(threshold) = check {
+        let mut failed = false;
+        if !all_converged {
+            eprintln!("REGRESSION: a fault schedule did not re-reach a legal configuration");
+            failed = true;
+        } else if min_headroom < threshold {
+            eprintln!(
+                "REGRESSION: budget headroom fell below {threshold}x \
+                 (worst measured {min_headroom:.2}x)"
+            );
+            failed = true;
+        }
+        if !all_exact {
+            eprintln!("REGRESSION: post-recovery delivery is no longer exact");
+            failed = true;
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!(
+            "check passed: every schedule converged with >= {threshold}x budget headroom \
+             and exact post-recovery delivery"
+        );
     }
 }
 

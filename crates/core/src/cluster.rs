@@ -117,9 +117,9 @@ impl PublishReport {
 /// ```
 #[derive(Clone)]
 pub struct DrTreeCluster<const D: usize> {
-    net: RoundNetwork<DrtNode<D>>,
+    pub(crate) net: RoundNetwork<DrtNode<D>>,
     config: DrTreeConfig,
-    next_event_id: u64,
+    pub(crate) next_event_id: u64,
     /// Every id ever allocated (for adversarial corruption universes).
     all_ids: Vec<ProcessId>,
 }
@@ -408,6 +408,44 @@ impl<const D: usize> DrTreeCluster<D> {
             .corrupt(id, |node, rng| kind.apply(node.state_mut(), &universe, rng))
     }
 
+    /// Replaces the network fault profile (message loss, duplication,
+    /// reordering) at runtime — see [`drtree_sim::FaultProfile`]. The
+    /// scripted fault windows of [`crate::adversary`] open and close
+    /// through this.
+    pub fn set_faults(&mut self, faults: drtree_sim::FaultProfile) {
+        self.net.set_faults(faults);
+    }
+
+    /// Installs a network partition between the given groups (both
+    /// directions of every cross-group link are cut; successive calls
+    /// compose). See [`RoundNetwork::partition`].
+    pub fn partition(&mut self, groups: &[Vec<ProcessId>]) {
+        self.net.partition(groups);
+    }
+
+    /// Heals every partition cut. Manual [`DrTreeCluster::block_link`]
+    /// blocks survive.
+    pub fn heal(&mut self) {
+        self.net.heal();
+    }
+
+    /// Blocks the directed link `from → to`.
+    pub fn block_link(&mut self, from: ProcessId, to: ProcessId) {
+        self.net.block_link(from, to);
+    }
+
+    /// Unblocks the directed link `from → to` (inverse of a single
+    /// [`DrTreeCluster::block_link`]; also removes a partition cut on
+    /// that link).
+    pub fn unblock_link(&mut self, from: ProcessId, to: ProcessId) {
+        self.net.unblock_link(from, to);
+    }
+
+    /// Removes all link blocks, manual and partition-installed.
+    pub fn unblock_all(&mut self) {
+        self.net.unblock_all();
+    }
+
     /// Direct mutable access to a subscriber's state for custom faults.
     pub fn corrupt_with(
         &mut self,
@@ -517,8 +555,10 @@ impl<const D: usize> DrTreeCluster<D> {
             .collect()
     }
 
-    /// Allocates an event id and injects the publish request.
-    fn inject(&mut self, publisher: ProcessId, point: Point<D>) -> u64 {
+    /// Allocates an event id and injects the publish request. Crate-
+    /// visible so the adversary harness ([`crate::adversary`]) can
+    /// drive its own pipeline loop interleaved with fault injection.
+    pub(crate) fn inject(&mut self, publisher: ProcessId, point: Point<D>) -> u64 {
         let event_id = self.next_event_id;
         self.next_event_id += 1;
         let event = PubEvent {

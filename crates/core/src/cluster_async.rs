@@ -40,7 +40,7 @@ use crate::protocol::node::DrtNode;
 ///
 /// let net = NetConfig {
 ///     latency: LatencyModel::Uniform { min: 1, max: 4 },
-///     drop_probability: 0.0,
+///     ..NetConfig::default()
 /// };
 /// let mut config = DrTreeConfig::default();
 /// config.tick_interval = 8; // nodes pace their own stabilization
@@ -78,6 +78,45 @@ impl<const D: usize> AsyncDrTreeCluster<D> {
             next_event_id: 0,
             all_ids: Vec::new(),
         }
+    }
+
+    /// Builds an overlay over `filters` by materializing a legitimate
+    /// configuration directly (see [`crate::bulk`]) instead of joining
+    /// one subscriber at a time — the asynchronous counterpart of
+    /// [`crate::DrTreeCluster::build_bulk`], making larger asynchronous
+    /// fault experiments practical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.tick_interval == 0` or if the materialized
+    /// configuration is not legal (a bug, not an input condition).
+    pub fn build_bulk(
+        config: DrTreeConfig,
+        net_config: NetConfig,
+        seed: u64,
+        filters: &[Rect<D>],
+    ) -> Self {
+        let mut cluster = Self::new(config, net_config, seed);
+        let ids: Vec<ProcessId> = filters
+            .iter()
+            .map(|&f| {
+                let id = cluster.net.add_process(DrtNode::new(config, f));
+                cluster.all_ids.push(id);
+                id
+            })
+            .collect();
+        for (id, state) in crate::bulk::bulk_states(&config, &ids, filters) {
+            if let Some(node) = cluster.net.process_mut(id) {
+                *node.state_mut() = state;
+            }
+        }
+        // Two tick intervals warm the heartbeat caches; on a legal
+        // state the CHECK_* modules are no-ops.
+        cluster.run_for(2 * config.tick_interval.max(1));
+        if let Err(v) = cluster.check_legal() {
+            panic!("bulk-built async overlay is not legal: {v:?}");
+        }
+        cluster
     }
 
     /// The overlay configuration.
@@ -235,6 +274,23 @@ impl<const D: usize> AsyncDrTreeCluster<D> {
         self.net.send_external(id, DrtMessage::DepartRequest);
         self.run_for(2 * self.config.tick_interval);
         self.net.crash(id);
+    }
+
+    /// Replaces the network fault profile (loss, duplication,
+    /// reordering) at runtime — see [`drtree_sim::FaultProfile`].
+    pub fn set_faults(&mut self, faults: drtree_sim::FaultProfile) {
+        self.net.set_faults(faults);
+    }
+
+    /// Installs a network partition between the given groups; see
+    /// [`drtree_sim::EventNetwork::partition`].
+    pub fn partition(&mut self, groups: &[Vec<ProcessId>]) {
+        self.net.partition(groups);
+    }
+
+    /// Heals every partition cut.
+    pub fn heal(&mut self) {
+        self.net.heal();
     }
 
     /// Adversarial memory corruption (Lemma 3.6).

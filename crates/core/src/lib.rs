@@ -24,6 +24,7 @@
 //! | legal state, Def. 3.1/3.2 | [`legal`] |
 //! | churn resistance, Lemma 3.7 | [`churn`] |
 //! | adversarial corruption for Lemma 3.6 | [`corruption`] |
+//! | scripted fault schedules + convergence/SLO harness | [`adversary`] |
 //!
 //! # Level numbering
 //!
@@ -61,6 +62,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adversary;
 pub mod bulk;
 pub mod churn;
 mod cluster;
@@ -73,6 +75,10 @@ pub mod protocol;
 pub mod snapshot;
 mod state;
 
+pub use adversary::{
+    run_convergence, ConvergenceConfig, ConvergenceReport, FaultEvent, FaultSchedule,
+    LatencyDistribution, TimedFault,
+};
 pub use cluster::{DrTreeCluster, PublishReport};
 pub use cluster_async::AsyncDrTreeCluster;
 pub use config::{DrTreeConfig, FpReorgConfig};
@@ -84,5 +90,8 @@ pub use state::{Level, LevelState, NodeState};
 /// Re-export: degree bounds / split-method configuration shared with the
 /// centralized R-tree.
 pub use drtree_rtree::{RTreeConfig, SplitMethod};
+/// Re-export: the message fault knobs (loss / duplication / reordering)
+/// of the simulation substrate, used by [`adversary`] schedules.
+pub use drtree_sim::FaultProfile;
 /// Re-export: process identifiers of the simulation substrate.
 pub use drtree_sim::ProcessId;

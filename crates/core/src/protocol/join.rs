@@ -87,7 +87,31 @@ impl<const D: usize> DrtNode<D> {
                 // the joining subtree.
                 if level == top_level {
                     self.merge_equal_height_trees(joiner, ctx);
+                } else if self.believes_root() && level == self.top() {
+                    // This whole tree is *shorter* than the joining
+                    // subtree. Dissolving the taller tree (JoinTooTall)
+                    // livelocks when the contact oracle keeps electing a
+                    // larger-but-shorter tree as the merge target: the
+                    // tall tree dissolves, its pieces re-merge to the
+                    // same height, and the cycle repeats. Reverse the
+                    // merge instead — the shorter tree joins the taller
+                    // one, which always makes height progress.
+                    let own = self.own_summary(level);
+                    ctx.send(
+                        joiner.id,
+                        DrtMessage::Join {
+                            joiner: self.id,
+                            top_level: level,
+                            mbr: own.mbr,
+                            filter: own.filter,
+                            count: own.count,
+                            descend: None,
+                        },
+                    );
+                    self.join_sent_at = Some(self.now);
                 } else {
+                    // Stale descent inside a reorganizing tree: fall
+                    // back to the dissolve-and-rejoin cascade.
                     ctx.send(joiner.id, DrtMessage::JoinTooTall { level: top_level });
                 }
                 return;

@@ -21,10 +21,7 @@ fn async_config() -> DrTreeConfig {
 }
 
 fn jittery(drop: f64) -> NetConfig {
-    NetConfig {
-        latency: LatencyModel::Uniform { min: 1, max: 4 },
-        drop_probability: drop,
-    }
+    NetConfig::lossy(LatencyModel::Uniform { min: 1, max: 4 }, drop)
 }
 
 fn filters(n: usize, seed: u64) -> Vec<Rect<2>> {

@@ -108,7 +108,7 @@ proptest! {
     ) {
         let net = NetConfig {
             latency: LatencyModel::Fixed(1),
-            drop_probability: 0.0,
+            ..NetConfig::default()
         };
         let config = DrTreeConfig {
             tick_interval: 4,

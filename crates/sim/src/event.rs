@@ -30,20 +30,99 @@ impl LatencyModel {
     }
 }
 
+/// Per-message fault knobs shared by both engines.
+///
+/// Every probability is an independent Bernoulli draw per *process*
+/// send (external harness injections are never faulted). All knobs
+/// default to zero — a default profile is a perfect network. The
+/// profile can be swapped at runtime ([`EventNetwork::set_faults`],
+/// [`crate::RoundNetwork::set_faults`]), which is how scripted fault
+/// *windows* open and close.
+///
+/// Tag accounting stays exact on every fault path:
+///
+/// * a **dropped** message settles its tag at drop time;
+/// * a **duplicated** message's extra copy is tracked in flight as an
+///   *unbilled* tagged send, so both copies settle individually without
+///   double-billing the operation;
+/// * a **reordered** message merely arrives later — it stays in flight
+///   until its deferred delivery, never leaking the count.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FaultProfile {
+    /// Probability that a message is silently lost.
+    pub drop_probability: f64,
+    /// Probability that a message is delivered twice (the copy takes an
+    /// independently sampled latency / extra round).
+    pub duplicate_probability: f64,
+    /// Probability that a message is delayed by extra latency, letting
+    /// later traffic overtake it.
+    pub reorder_probability: f64,
+    /// Maximum extra delay of a reordered message, in time units
+    /// (event engine) or rounds (round engine); the actual delay is
+    /// uniform in `1..=reorder_extra` (minimum 1).
+    pub reorder_extra: u64,
+}
+
+impl FaultProfile {
+    /// A profile that only loses messages with probability `p`.
+    pub fn lossy(p: f64) -> Self {
+        Self {
+            drop_probability: p,
+            ..Self::default()
+        }
+    }
+
+    /// A profile that only duplicates messages with probability `p`.
+    pub fn duplicating(p: f64) -> Self {
+        Self {
+            duplicate_probability: p,
+            ..Self::default()
+        }
+    }
+
+    /// A profile that only reorders messages: with probability `p` a
+    /// message is delayed by up to `extra` units.
+    pub fn reordering(p: f64, extra: u64) -> Self {
+        Self {
+            reorder_probability: p,
+            reorder_extra: extra,
+            ..Self::default()
+        }
+    }
+
+    /// `true` when no knob is active (the default perfect network).
+    pub fn is_quiet(&self) -> bool {
+        self.drop_probability <= 0.0
+            && self.duplicate_probability <= 0.0
+            && self.reorder_probability <= 0.0
+    }
+}
+
 /// Configuration of the asynchronous network.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NetConfig {
     /// Link latency model (default: `Fixed(1)`).
     pub latency: LatencyModel,
-    /// Probability that any message is silently lost (default 0).
-    pub drop_probability: f64,
+    /// Message fault knobs (default: none — see [`FaultProfile`]).
+    pub faults: FaultProfile,
 }
 
 impl Default for NetConfig {
     fn default() -> Self {
         Self {
             latency: LatencyModel::Fixed(1),
-            drop_probability: 0.0,
+            faults: FaultProfile::default(),
+        }
+    }
+}
+
+impl NetConfig {
+    /// A config with the given latency model and loss probability — the
+    /// common shape of the asynchronous robustness tests.
+    pub fn lossy(latency: LatencyModel, drop_probability: f64) -> Self {
+        Self {
+            latency,
+            faults: FaultProfile::lossy(drop_probability),
         }
     }
 }
@@ -93,6 +172,10 @@ pub struct EventNetwork<P: Process> {
     procs: BTreeMap<ProcessId, P>,
     queue: BinaryHeap<Reverse<Scheduled<P::Msg, P::Timer>>>,
     blocked: BTreeSet<(ProcessId, ProcessId)>,
+    /// Links cut by [`EventNetwork::partition`], kept apart from the
+    /// manual `blocked` set so [`EventNetwork::heal`] removes exactly
+    /// the partition's cuts and composes with manual blocks.
+    partition_links: BTreeSet<(ProcessId, ProcessId)>,
     time: u64,
     seq: u64,
     next_id: u64,
@@ -108,6 +191,7 @@ impl<P: Process> EventNetwork<P> {
             procs: BTreeMap::new(),
             queue: BinaryHeap::new(),
             blocked: BTreeSet::new(),
+            partition_links: BTreeSet::new(),
             time: 0,
             seq: 0,
             next_id: 0,
@@ -207,9 +291,59 @@ impl<P: Process> EventNetwork<P> {
         self.blocked.insert((from, to));
     }
 
-    /// Removes all link blocks.
+    /// Unblocks the directed link `from → to` — the inverse of a single
+    /// [`EventNetwork::block_link`]. Also removes any partition cut on
+    /// that link, so a manual repair overrides an installed partition.
+    pub fn unblock_link(&mut self, from: ProcessId, to: ProcessId) {
+        self.blocked.remove(&(from, to));
+        self.partition_links.remove(&(from, to));
+    }
+
+    /// Removes all link blocks, manual and partition-installed.
     pub fn unblock_all(&mut self) {
         self.blocked.clear();
+        self.partition_links.clear();
+    }
+
+    /// Installs a network partition: every link between processes of
+    /// different `groups` is cut (both directions). Messages crossing a
+    /// cut are dropped, counted as [`Metrics::partitioned_drops`], and
+    /// settle their tags at drop time. Successive calls accumulate, so
+    /// overlapping partitions compose; [`EventNetwork::heal`] removes
+    /// every partition cut while manual [`EventNetwork::block_link`]
+    /// blocks survive.
+    pub fn partition(&mut self, groups: &[Vec<ProcessId>]) {
+        for (i, a) in groups.iter().enumerate() {
+            for b in groups.iter().skip(i + 1) {
+                for &x in a {
+                    for &y in b {
+                        self.partition_links.insert((x, y));
+                        self.partition_links.insert((y, x));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Heals every partition cut (the inverse of all
+    /// [`EventNetwork::partition`] calls so far). Manual link blocks
+    /// are untouched — even on links that were *also* partition-cut —
+    /// so partitions compose with [`EventNetwork::block_link`] /
+    /// [`EventNetwork::unblock_link`] experiments.
+    pub fn heal(&mut self) {
+        self.partition_links.clear();
+    }
+
+    /// Replaces the message fault profile at runtime — how scripted
+    /// fault windows (loss bursts, duplication/reorder windows) open
+    /// and close mid-run.
+    pub fn set_faults(&mut self, faults: FaultProfile) {
+        self.config.faults = faults;
+    }
+
+    /// The active message fault profile.
+    pub fn faults(&self) -> &FaultProfile {
+        &self.config.faults
     }
 
     /// Injects a message from outside the system (delivered with normal
@@ -313,22 +447,56 @@ impl<P: Process> EventNetwork<P> {
             if let Some(tag) = msg.tag() {
                 self.metrics.record_tag_sent(tag);
             }
-            if self.blocked.contains(&(from, to))
-                || (self.config.drop_probability > 0.0
-                    && self.rng.gen_bool(self.config.drop_probability))
-            {
+            let blocked = self.blocked.contains(&(from, to));
+            let cut = self.partition_links.contains(&(from, to));
+            if blocked || cut || self.roll(self.config.faults.drop_probability) {
+                if cut && !blocked {
+                    self.metrics.record_partition_drop();
+                }
                 self.metrics.record_dropped();
                 if let Some(tag) = msg.tag() {
                     self.metrics.record_tag_settled(tag);
                 }
                 continue;
             }
-            let latency = self.config.latency.sample(&mut self.rng);
+            // The duplicate is an extra in-flight copy of the same
+            // message: tracked (unbilled) so both copies settle on
+            // their own deliveries without double-billing the tag.
+            if self.roll(self.config.faults.duplicate_probability) {
+                self.metrics.record_duplicated();
+                if let Some(tag) = msg.tag() {
+                    self.metrics
+                        .record_tag_sent(crate::MsgTag::unbilled(tag.id));
+                }
+                let latency = self.config.latency.sample(&mut self.rng);
+                self.push(
+                    self.time + latency,
+                    EventKind::Deliver {
+                        from,
+                        to,
+                        msg: msg.clone(),
+                    },
+                );
+            }
+            let mut latency = self.config.latency.sample(&mut self.rng);
+            if self.roll(self.config.faults.reorder_probability) {
+                self.metrics.record_reordered();
+                latency += self
+                    .rng
+                    .gen_range(1..=self.config.faults.reorder_extra.max(1));
+            }
             self.push(self.time + latency, EventKind::Deliver { from, to, msg });
         }
         for (delay, timer) in timer_requests {
             self.push(self.time + delay, EventKind::Fire { at: from, timer });
         }
+    }
+
+    /// One fault-knob Bernoulli draw; never touches the RNG for an
+    /// inactive knob, so enabling a knob is the only thing that changes
+    /// a seeded trace.
+    fn roll(&mut self, p: f64) -> bool {
+        p > 0.0 && self.rng.gen_bool(p.min(1.0))
     }
 
     fn push(&mut self, at: u64, kind: EventKind<P::Msg, P::Timer>) {
@@ -454,10 +622,7 @@ mod tests {
     fn deterministic_given_seed() {
         let run = |seed| {
             let mut net: EventNetwork<Node> = EventNetwork::new(
-                NetConfig {
-                    latency: LatencyModel::Uniform { min: 1, max: 9 },
-                    drop_probability: 0.2,
-                },
+                NetConfig::lossy(LatencyModel::Uniform { min: 1, max: 9 }, 0.2),
                 seed,
             );
             let a = net.add_process(Node::default());
@@ -503,13 +668,9 @@ mod tests {
 
     #[test]
     fn lost_tagged_messages_settle_at_drop_time() {
-        let mut net: EventNetwork<Echo> = EventNetwork::new(
-            NetConfig {
-                latency: LatencyModel::Fixed(1),
-                drop_probability: 1.0, // every *process* send is lost
-            },
-            9,
-        );
+        // Every *process* send is lost.
+        let mut net: EventNetwork<Echo> =
+            EventNetwork::new(NetConfig::lossy(LatencyModel::Fixed(1), 1.0), 9);
         let a = net.add_process(Echo);
         net.send_external(a, Tagged(4)); // external sends are never dropped
         assert_eq!(net.metrics().tag_inflight(4), 1);
@@ -530,6 +691,99 @@ mod tests {
         net.run_to_quiescence(100);
         assert_eq!(net.metrics().tag_inflight(8), 0);
         assert_eq!(net.metrics().to_dead(), 1);
+    }
+
+    /// Forwards one incoming message to a fixed target, once.
+    struct Forwarder {
+        target: Option<ProcessId>,
+    }
+
+    impl Process for Forwarder {
+        type Msg = Tagged;
+        type Timer = ();
+
+        fn on_message(&mut self, _from: ProcessId, msg: Tagged, ctx: &mut Context<'_, Tagged, ()>) {
+            if let Some(target) = self.target.take() {
+                ctx.send(target, msg);
+            }
+        }
+
+        fn on_timer(&mut self, _t: (), _ctx: &mut Context<'_, Tagged, ()>) {}
+    }
+
+    #[test]
+    fn duplicated_tagged_messages_track_but_never_double_bill() {
+        let mut net: EventNetwork<Forwarder> = EventNetwork::new(NetConfig::default(), 5);
+        net.set_faults(FaultProfile::duplicating(1.0));
+        let b = ProcessId::from_raw(1);
+        let a = net.add_process(Forwarder { target: Some(b) });
+        let _b = net.add_process(Forwarder { target: None });
+        net.send_external(a, Tagged(4)); // external sends are never faulted
+        net.run_to_quiescence(100);
+        // Injection + a's forward are billed; the duplicate copy is not.
+        assert_eq!(net.metrics().tag_count(4), 2, "duplicate is unbilled");
+        assert_eq!(net.metrics().tag_inflight(4), 0, "all copies settled");
+        assert_eq!(net.metrics().duplicated(), 1);
+        assert_eq!(net.metrics().delivered(), 3, "b received both copies");
+    }
+
+    #[test]
+    fn reordered_tagged_messages_stay_in_flight_until_late_delivery() {
+        let mut net: EventNetwork<Forwarder> = EventNetwork::new(NetConfig::default(), 5);
+        net.set_faults(FaultProfile::reordering(1.0, 5));
+        let b = ProcessId::from_raw(1);
+        let a = net.add_process(Forwarder { target: Some(b) });
+        let _b = net.add_process(Forwarder { target: None });
+        net.send_external(a, Tagged(6));
+        net.run_to_quiescence(100);
+        assert_eq!(net.metrics().reordered(), 1, "a's forward was delayed");
+        assert_eq!(net.metrics().tag_inflight(6), 0, "settled at late delivery");
+        assert_eq!(net.metrics().delivered(), 2);
+        assert!(net.now() >= 3, "extra delay beyond the two fixed hops");
+    }
+
+    #[test]
+    fn partition_drops_settle_and_heal_restores_links() {
+        let mut net: EventNetwork<Forwarder> = EventNetwork::new(NetConfig::default(), 5);
+        let b = ProcessId::from_raw(1);
+        let a = net.add_process(Forwarder { target: Some(b) });
+        let _b = net.add_process(Forwarder { target: None });
+        net.partition(&[vec![a], vec![b]]);
+        net.send_external(a, Tagged(1));
+        net.run_to_quiescence(100);
+        assert_eq!(net.metrics().partitioned_drops(), 1);
+        assert_eq!(net.metrics().dropped(), 1, "partition drops count as drops");
+        assert_eq!(net.metrics().tag_inflight(1), 0, "cut message settled");
+        net.heal();
+        net.process_mut(a).unwrap().target = Some(b);
+        net.send_external(a, Tagged(2));
+        net.run_to_quiescence(100);
+        assert_eq!(net.metrics().partitioned_drops(), 1, "no drop after heal");
+        assert_eq!(net.metrics().delivered(), 3, "both externals + the forward");
+    }
+
+    #[test]
+    fn heal_preserves_manual_blocks_and_unblock_link_repairs() {
+        let mut net: EventNetwork<Forwarder> = EventNetwork::new(NetConfig::default(), 5);
+        let b = ProcessId::from_raw(1);
+        let a = net.add_process(Forwarder { target: Some(b) });
+        let _b = net.add_process(Forwarder { target: None });
+        // Overlapping faults: a manual block plus a partition cut on
+        // the same link. Healing removes only the partition.
+        net.block_link(a, b);
+        net.partition(&[vec![a], vec![b]]);
+        net.heal();
+        net.send_external(a, Tagged(1));
+        net.run_to_quiescence(100);
+        assert_eq!(net.metrics().dropped(), 1, "manual block survives heal");
+        assert_eq!(net.metrics().partitioned_drops(), 0);
+        // unblock_link is the single-link inverse of block_link.
+        net.unblock_link(a, b);
+        net.process_mut(a).unwrap().target = Some(b);
+        net.send_external(a, Tagged(2));
+        net.run_to_quiescence(100);
+        assert_eq!(net.metrics().dropped(), 1, "link repaired");
+        assert_eq!(net.metrics().delivered(), 3, "both externals + the forward");
     }
 
     #[test]

@@ -16,7 +16,11 @@
 //!   periodic tick each round. Self-stabilization experiments count
 //!   rounds with it (the paper's "steps").
 //! * Fault injection on both engines: [`EventNetwork::crash`],
-//!   [`EventNetwork::corrupt`], link blocking, and message drops.
+//!   [`EventNetwork::corrupt`], link blocking, first-class partitions
+//!   ([`EventNetwork::partition`] / [`EventNetwork::heal`]), and a
+//!   runtime-swappable [`FaultProfile`] of message loss, duplication
+//!   and reordering knobs — all with exact per-tag settlement
+//!   ([`MsgTag`]) on every fault path.
 //!
 //! # Example
 //!
@@ -64,7 +68,7 @@ mod process;
 mod rounds;
 
 pub use context::Context;
-pub use event::{EventNetwork, LatencyModel, NetConfig};
+pub use event::{EventNetwork, FaultProfile, LatencyModel, NetConfig};
 pub use metrics::Metrics;
 pub use process::{MessageLabel, MsgTag, Process, ProcessId};
 pub use rounds::RoundNetwork;

@@ -20,6 +20,9 @@ pub struct Metrics {
     delivered: u64,
     dropped: u64,
     to_dead: u64,
+    duplicated: u64,
+    reordered: u64,
+    partitioned_drops: u64,
     per_label: BTreeMap<&'static str, u64>,
     /// Billed sends per tag (the per-operation message bill).
     tag_sent: BTreeMap<u64, u64>,
@@ -54,6 +57,26 @@ impl Metrics {
     /// Messages addressed to a crashed/departed process.
     pub fn to_dead(&self) -> u64 {
         self.to_dead
+    }
+
+    /// Extra copies injected by the duplication fault knob. Each copy is
+    /// tracked in flight (and settles) individually, but is never billed
+    /// to its tag.
+    pub fn duplicated(&self) -> u64 {
+        self.duplicated
+    }
+
+    /// Messages delayed by the reordering fault knob. A reordered
+    /// message stays in flight until its deferred delivery, so per-tag
+    /// quiescence still waits for it.
+    pub fn reordered(&self) -> u64 {
+        self.reordered
+    }
+
+    /// Messages lost to a partition cut specifically (a subset of
+    /// [`Metrics::dropped`]).
+    pub fn partitioned_drops(&self) -> u64 {
+        self.partitioned_drops
     }
 
     /// Sent-message counts per message label.
@@ -144,14 +167,34 @@ impl Metrics {
     pub(crate) fn record_to_dead(&mut self) {
         self.to_dead += 1;
     }
+
+    pub(crate) fn record_duplicated(&mut self) {
+        self.duplicated += 1;
+    }
+
+    pub(crate) fn record_reordered(&mut self) {
+        self.reordered += 1;
+    }
+
+    /// A partition cut lost this message. Callers also record the drop
+    /// itself: `partitioned_drops` is a sub-count of `dropped`.
+    pub(crate) fn record_partition_drop(&mut self) {
+        self.partitioned_drops += 1;
+    }
 }
 
 impl fmt::Display for Metrics {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "sent={} delivered={} dropped={} to_dead={}",
-            self.sent, self.delivered, self.dropped, self.to_dead
+            "sent={} delivered={} dropped={} to_dead={} duplicated={} reordered={} partitioned_drops={}",
+            self.sent,
+            self.delivered,
+            self.dropped,
+            self.to_dead,
+            self.duplicated,
+            self.reordered,
+            self.partitioned_drops
         )?;
         for (label, count) in &self.per_label {
             write!(f, " {label}={count}")?;
@@ -184,6 +227,28 @@ mod tests {
         assert!(shown.contains("join=2"));
         m.reset();
         assert_eq!(m.sent(), 0);
+    }
+
+    #[test]
+    fn fault_counters_accumulate_and_display() {
+        let mut m = Metrics::new();
+        m.record_duplicated();
+        m.record_duplicated();
+        m.record_reordered();
+        m.record_dropped();
+        m.record_partition_drop();
+        assert_eq!(m.duplicated(), 2);
+        assert_eq!(m.reordered(), 1);
+        assert_eq!(m.partitioned_drops(), 1);
+        assert_eq!(m.dropped(), 1, "partition drops are also plain drops");
+        let shown = m.to_string();
+        assert!(shown.contains("duplicated=2"));
+        assert!(shown.contains("reordered=1"));
+        assert!(shown.contains("partitioned_drops=1"));
+        m.reset();
+        assert_eq!(m.duplicated(), 0);
+        assert_eq!(m.reordered(), 0);
+        assert_eq!(m.partitioned_drops(), 0);
     }
 
     #[test]

@@ -1,10 +1,10 @@
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 use crate::process::MessageLabel;
-use crate::{Context, Metrics, Process, ProcessId};
+use crate::{Context, FaultProfile, Metrics, MsgTag, Process, ProcessId};
 
 /// Synchronous round-based engine.
 ///
@@ -61,6 +61,16 @@ pub struct RoundNetwork<P: Process> {
     round: u64,
     rng: StdRng,
     metrics: Metrics,
+    /// Manually blocked directed links ([`RoundNetwork::block_link`]).
+    blocked: BTreeSet<(ProcessId, ProcessId)>,
+    /// Links cut by [`RoundNetwork::partition`]; kept apart from
+    /// `blocked` so [`RoundNetwork::heal`] removes exactly the
+    /// partition's cuts.
+    partition_links: BTreeSet<(ProcessId, ProcessId)>,
+    /// Active message fault knobs ([`RoundNetwork::set_faults`]).
+    faults: FaultProfile,
+    /// Reordered messages parked until their (later) delivery round.
+    delayed: BTreeMap<u64, Vec<(ProcessId, ProcessId, P::Msg)>>,
 }
 
 impl<P: Process> RoundNetwork<P> {
@@ -77,6 +87,10 @@ impl<P: Process> RoundNetwork<P> {
             round: 0,
             rng: StdRng::seed_from_u64(seed),
             metrics: Metrics::new(),
+            blocked: BTreeSet::new(),
+            partition_links: BTreeSet::new(),
+            faults: FaultProfile::default(),
+            delayed: BTreeMap::new(),
         }
     }
 
@@ -191,6 +205,64 @@ impl<P: Process> RoundNetwork<P> {
         departed
     }
 
+    /// Blocks the directed link `from → to`: messages crossing it are
+    /// dropped (settling their tags) until
+    /// [`RoundNetwork::unblock_link`] or [`RoundNetwork::unblock_all`].
+    pub fn block_link(&mut self, from: ProcessId, to: ProcessId) {
+        self.blocked.insert((from, to));
+    }
+
+    /// Unblocks the directed link `from → to` — the single-link inverse
+    /// of [`RoundNetwork::block_link`]. Also removes any partition cut
+    /// on that link.
+    pub fn unblock_link(&mut self, from: ProcessId, to: ProcessId) {
+        self.blocked.remove(&(from, to));
+        self.partition_links.remove(&(from, to));
+    }
+
+    /// Removes all link blocks, manual and partition-installed.
+    pub fn unblock_all(&mut self) {
+        self.blocked.clear();
+        self.partition_links.clear();
+    }
+
+    /// Installs a network partition: every link between processes of
+    /// different `groups` is cut in both directions. Messages crossing
+    /// a cut are dropped (counted as [`Metrics::partitioned_drops`])
+    /// and settle their tags at drop time. Successive calls accumulate;
+    /// [`RoundNetwork::heal`] removes every partition cut while manual
+    /// [`RoundNetwork::block_link`] blocks survive.
+    pub fn partition(&mut self, groups: &[Vec<ProcessId>]) {
+        for (i, a) in groups.iter().enumerate() {
+            for b in groups.iter().skip(i + 1) {
+                for &x in a {
+                    for &y in b {
+                        self.partition_links.insert((x, y));
+                        self.partition_links.insert((y, x));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Heals every partition cut. Manual link blocks survive, even on
+    /// links that were also partition-cut.
+    pub fn heal(&mut self) {
+        self.partition_links.clear();
+    }
+
+    /// Replaces the message fault profile ([`FaultProfile`]) at
+    /// runtime — how scripted fault windows open and close between
+    /// rounds.
+    pub fn set_faults(&mut self, faults: FaultProfile) {
+        self.faults = faults;
+    }
+
+    /// The active message fault profile.
+    pub fn faults(&self) -> &FaultProfile {
+        &self.faults
+    }
+
     /// Applies an adversarial mutation to a live process's memory.
     pub fn corrupt(&mut self, id: ProcessId, mutate: impl FnOnce(&mut P, &mut StdRng)) -> bool {
         match self
@@ -238,6 +310,17 @@ impl<P: Process> RoundNetwork<P> {
         for msgs in std::mem::take(&mut self.overflow).into_values() {
             for (_, msg) in msgs {
                 Self::settle_tag(&mut self.metrics, &msg);
+            }
+        }
+        // Reordered messages due this round join the delivery buffers;
+        // later traffic already overtook them in earlier rounds. Ones
+        // addressed outside the allocated range settle like overflow.
+        if let Some(due) = self.delayed.remove(&self.round) {
+            for (from, to, msg) in due {
+                match self.scratch.get_mut(to.raw() as usize) {
+                    Some(buf) => buf.push((from, msg)),
+                    None => Self::settle_tag(&mut self.metrics, &msg),
+                }
             }
         }
         let due_timers = self.timers.remove(&self.round).unwrap_or_default();
@@ -337,6 +420,29 @@ impl<P: Process> RoundNetwork<P> {
         }
     }
 
+    /// Routes a surviving message: normally into next round's inbox,
+    /// or — under the reorder knob — parked for a later round while the
+    /// tag stays in flight.
+    fn route(&mut self, from: ProcessId, to: ProcessId, msg: P::Msg) {
+        if self.roll(self.faults.reorder_probability) {
+            self.metrics.record_reordered();
+            let extra = self.rng.gen_range(1..=self.faults.reorder_extra.max(1));
+            self.delayed
+                .entry(self.round + 1 + extra)
+                .or_default()
+                .push((from, to, msg));
+        } else {
+            self.enqueue(from, to, msg);
+        }
+    }
+
+    /// One fault-knob Bernoulli draw; never touches the RNG for an
+    /// inactive knob, so enabling a knob is the only thing that changes
+    /// a seeded trace.
+    fn roll(&mut self, p: f64) -> bool {
+        p > 0.0 && self.rng.gen_bool(p.min(1.0))
+    }
+
     fn apply_effects(
         &mut self,
         from: ProcessId,
@@ -348,7 +454,28 @@ impl<P: Process> RoundNetwork<P> {
             if let Some(tag) = msg.tag() {
                 self.metrics.record_tag_sent(tag);
             }
-            self.enqueue(from, to, msg);
+            let blocked = self.blocked.contains(&(from, to));
+            let cut = self.partition_links.contains(&(from, to));
+            if blocked || cut || self.roll(self.faults.drop_probability) {
+                if cut && !blocked {
+                    self.metrics.record_partition_drop();
+                }
+                self.metrics.record_dropped();
+                Self::settle_tag(&mut self.metrics, &msg);
+                continue;
+            }
+            // The duplicate is an extra in-flight copy: tracked as an
+            // unbilled tagged send so both copies settle individually
+            // without double-billing the operation.
+            if self.roll(self.faults.duplicate_probability) {
+                self.metrics.record_duplicated();
+                if let Some(tag) = msg.tag() {
+                    self.metrics.record_tag_sent(MsgTag::unbilled(tag.id));
+                }
+                let copy = msg.clone();
+                self.route(from, to, copy);
+            }
+            self.route(from, to, msg);
         }
         for (delay, timer) in timer_requests {
             self.timers
@@ -372,6 +499,10 @@ impl<P: Process + Clone> Clone for RoundNetwork<P> {
             round: self.round,
             rng: self.rng.clone(),
             metrics: self.metrics.clone(),
+            blocked: self.blocked.clone(),
+            partition_links: self.partition_links.clone(),
+            faults: self.faults,
+            delayed: self.delayed.clone(),
         }
     }
 }
@@ -619,6 +750,96 @@ mod tests {
         net.run_rounds(1);
         assert_eq!(net.metrics().tag_inflight(9), 0);
         assert_eq!(net.metrics().tag_count(9), 1, "the send is still billed");
+    }
+
+    #[test]
+    fn duplicated_hops_track_unbilled_and_settle() {
+        let (mut net, a, _b) = relay_pair();
+        net.set_faults(FaultProfile::duplicating(1.0));
+        net.send_external(a, Hop { tag: 4, hops: 1 });
+        net.run_rounds(4);
+        assert_eq!(net.metrics().duplicated(), 1, "a's relay was duplicated");
+        assert_eq!(
+            net.metrics().tag_count(4),
+            2,
+            "injection + relay; copy unbilled"
+        );
+        assert_eq!(net.metrics().tag_inflight(4), 0, "both copies settled");
+        assert_eq!(net.metrics().delivered(), 3, "b received the relay twice");
+    }
+
+    #[test]
+    fn reordered_hops_defer_delivery_without_leaking_inflight() {
+        let (mut net, a, _b) = relay_pair();
+        net.set_faults(FaultProfile::reordering(1.0, 3));
+        net.send_external(a, Hop { tag: 7, hops: 1 });
+        // The external injection is never faulted: a handles it in
+        // round 1 and relays; the relay is parked for 1..=3 extra
+        // rounds and stays in flight the whole time.
+        net.run_rounds(2);
+        assert_eq!(net.metrics().reordered(), 1);
+        assert_eq!(
+            net.metrics().tag_inflight(7),
+            1,
+            "parked relay still in flight"
+        );
+        net.run_rounds(4);
+        assert_eq!(net.metrics().tag_inflight(7), 0, "settled at late delivery");
+        assert_eq!(net.metrics().delivered(), 2);
+        assert_eq!(net.metrics().tag_count(7), 2);
+    }
+
+    #[test]
+    fn reordered_message_to_crashed_process_still_settles() {
+        let (mut net, a, b) = relay_pair();
+        net.set_faults(FaultProfile::reordering(1.0, 2));
+        net.send_external(a, Hop { tag: 5, hops: 1 });
+        net.run_rounds(1); // relay to b now parked
+        net.crash(b);
+        net.run_rounds(5); // due delivery finds b dead; must settle
+        assert_eq!(net.metrics().tag_inflight(5), 0);
+    }
+
+    #[test]
+    fn partition_and_heal_compose_with_manual_blocks() {
+        let (mut net, a, b) = relay_pair();
+        net.partition(&[vec![a], vec![b]]);
+        net.send_external(a, Hop { tag: 1, hops: 1 });
+        net.run_rounds(3);
+        assert_eq!(net.metrics().partitioned_drops(), 1);
+        assert_eq!(net.metrics().dropped(), 1);
+        assert_eq!(net.metrics().tag_inflight(1), 0, "cut relay settled");
+        // A manual block on the same link survives healing.
+        net.block_link(a, b);
+        net.heal();
+        net.send_external(a, Hop { tag: 2, hops: 1 });
+        net.run_rounds(3);
+        assert_eq!(net.metrics().dropped(), 2, "manual block still active");
+        assert_eq!(
+            net.metrics().partitioned_drops(),
+            1,
+            "but not a partition drop"
+        );
+        net.unblock_link(a, b);
+        net.send_external(a, Hop { tag: 3, hops: 1 });
+        net.run_rounds(3);
+        assert_eq!(net.metrics().dropped(), 2, "link repaired");
+        assert_eq!(net.metrics().tag_count(3), 2, "relay went through");
+    }
+
+    #[test]
+    fn lossy_profile_drops_and_settles_round_traffic() {
+        let (mut net, a, _b) = relay_pair();
+        net.set_faults(FaultProfile::lossy(1.0));
+        net.send_external(a, Hop { tag: 9, hops: 5 });
+        net.run_rounds(3);
+        assert_eq!(net.metrics().dropped(), 1, "first relay lost");
+        assert_eq!(net.metrics().tag_inflight(9), 0);
+        assert_eq!(
+            net.metrics().tag_count(9),
+            2,
+            "the lost relay is still billed"
+        );
     }
 
     #[test]

@@ -3,7 +3,8 @@
 //! what makes every experiment in this reproduction replayable.
 
 use drtree_sim::{
-    Context, EventNetwork, LatencyModel, MessageLabel, NetConfig, Process, ProcessId, RoundNetwork,
+    Context, EventNetwork, FaultProfile, LatencyModel, MessageLabel, NetConfig, Process, ProcessId,
+    RoundNetwork,
 };
 use proptest::prelude::*;
 use rand::Rng;
@@ -38,14 +39,14 @@ impl Process for Forwarder {
     fn on_timer(&mut self, _t: (), _ctx: &mut Context<'_, Gossip, ()>) {}
 }
 
-fn event_trace(seed: u64, drop: f64, jitter: bool) -> (u64, u64, u64, Vec<u64>) {
+fn event_trace(seed: u64, faults: FaultProfile, jitter: bool) -> (u64, u64, u64, Vec<u64>) {
     let net_config = NetConfig {
         latency: if jitter {
             LatencyModel::Uniform { min: 1, max: 7 }
         } else {
             LatencyModel::Fixed(1)
         },
-        drop_probability: drop,
+        faults,
     };
     let mut net: EventNetwork<Forwarder> = EventNetwork::new(net_config, seed);
     let ids: Vec<ProcessId> = (0..8)
@@ -80,8 +81,28 @@ proptest! {
 
     #[test]
     fn event_engine_is_deterministic(seed in any::<u64>(), drop in 0.0f64..0.3) {
-        let a = event_trace(seed, drop, true);
-        let b = event_trace(seed, drop, true);
+        let a = event_trace(seed, FaultProfile::lossy(drop), true);
+        let b = event_trace(seed, FaultProfile::lossy(drop), true);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn event_engine_is_deterministic_under_full_fault_profile(
+        seed in any::<u64>(),
+        drop in 0.0f64..0.2,
+        dup in 0.0f64..0.3,
+        reorder in 0.0f64..0.3,
+    ) {
+        // Duplication and reordering draw extra randomness; the trace
+        // must still replay exactly from the seed.
+        let faults = FaultProfile {
+            drop_probability: drop,
+            duplicate_probability: dup,
+            reorder_probability: reorder,
+            reorder_extra: 4,
+        };
+        let a = event_trace(seed, faults, true);
+        let b = event_trace(seed, faults, true);
         prop_assert_eq!(a, b);
     }
 
@@ -90,8 +111,8 @@ proptest! {
         // With jitter and drops, two different seeds virtually always
         // produce different traces; equality would indicate the RNG is
         // not actually wired through.
-        let a = event_trace(seed, 0.2, true);
-        let b = event_trace(seed.wrapping_add(1), 0.2, true);
+        let a = event_trace(seed, FaultProfile::lossy(0.2), true);
+        let b = event_trace(seed.wrapping_add(1), FaultProfile::lossy(0.2), true);
         prop_assert_ne!(a, b);
     }
 }
@@ -118,6 +139,48 @@ fn round_engine_is_deterministic() {
             .map(|&id| net.process(id).unwrap().received)
             .collect();
         (net.metrics().sent(), counts)
+    };
+    assert_eq!(run(7), run(7));
+    assert_ne!(run(7), run(8));
+}
+
+#[test]
+fn round_engine_is_deterministic_under_faults() {
+    let run = |seed: u64| {
+        let mut net: RoundNetwork<Forwarder> = RoundNetwork::new(seed);
+        net.set_faults(FaultProfile {
+            drop_probability: 0.1,
+            duplicate_probability: 0.2,
+            reorder_probability: 0.2,
+            reorder_extra: 3,
+        });
+        let ids: Vec<ProcessId> = (0..6)
+            .map(|_| {
+                net.add_process(Forwarder {
+                    peers: Vec::new(),
+                    received: 0,
+                })
+            })
+            .collect();
+        for &id in &ids {
+            net.process_mut(id).unwrap().peers = ids.clone();
+        }
+        net.partition(&[vec![ids[0], ids[1]], vec![ids[4], ids[5]]]);
+        net.send_external(ids[0], Gossip(64));
+        net.run_rounds(50);
+        net.heal();
+        net.run_rounds(50);
+        let counts: Vec<u64> = ids
+            .iter()
+            .map(|&id| net.process(id).unwrap().received)
+            .collect();
+        (
+            net.metrics().sent(),
+            net.metrics().duplicated(),
+            net.metrics().reordered(),
+            net.metrics().partitioned_drops(),
+            counts,
+        )
     };
     assert_eq!(run(7), run(7));
     assert_ne!(run(7), run(8));

@@ -33,7 +33,7 @@ fn main() {
     };
     let net = NetConfig {
         latency: LatencyModel::Uniform { min: 1, max: 4 },
-        drop_probability: 0.0,
+        ..NetConfig::default()
     };
     let mut cluster: AsyncDrTreeCluster<2> = AsyncDrTreeCluster::new(config, net, 99);
 
