@@ -91,6 +91,26 @@
 //!   cargo run -p drtree-bench --release --bin scale -- faults [out.json] [--check <t>]
 //!   ```
 //!
+//! * **Multi-publisher ingress** (`multipub`): the concurrent
+//!   front-end mode. Drives [`drtree_pubsub::MultiBroker`] over a
+//!   bulk-built 2048-subscriber broker with 1/4/16 publisher threads,
+//!   each feeding a bounded ingress queue drained round-robin by the
+//!   batching commit loop. Two phases per publisher count: a
+//!   **closed-loop** saturation run (publishers block on
+//!   backpressure; throughput = committed events / wall clock, with
+//!   latency still billed from the moment each publish was issued)
+//!   and an **open-loop** run at a fixed offered rate
+//!   ([`drtree_workloads::ArrivalSchedule`]; latency billed from each
+//!   event's *scheduled* arrival, so queue wait is measured instead
+//!   of coordinated away). More publishers mean deeper committed
+//!   batches — that pipeline-depth amortization, not thread
+//!   parallelism, is the scaling mechanism (single-core friendly).
+//!   Writes `BENCH_multipub.json` (or the given path).
+//!
+//!   ```text
+//!   cargo run -p drtree-bench --release --bin scale -- multipub [out.json] [--check <t>]
+//!   ```
+//!
 //! # Emitted JSON
 //!
 //! The JSON files are committed at the repo root and refreshed
@@ -121,6 +141,10 @@
 //!   counter deltas}` samples, the asynchronous-engine probe, and the
 //!   headlines `min_budget_headroom` (budget ÷ recovery rounds, worst
 //!   schedule) and `all_exact`.
+//! * `BENCH_multipub.json` — per-publisher-count closed-loop
+//!   `{throughput_eps, mean_batch, p50/p99/p999/max ns}` and
+//!   open-loop `{offered_eps, p50/p99/p999/max ns}` samples, and the
+//!   headline `throughput_16pub_vs_1pub`.
 //!
 //! # `--check` (regression gates)
 //!
@@ -146,8 +170,11 @@
 //!   delivery (both engines) must stay exact. `t = 1.0` means "within
 //!   budget"; CI uses a higher floor since steady-state recoveries
 //!   finish in tens of rounds.
+//! * `multipub --check t` — 16 concurrent publishers must sustain ≥
+//!   `t`× the closed-loop commit throughput of a single publisher
+//!   (the batching amortization claim).
 //!
-//! CI runs all five gates with thresholds *below* the steady state
+//! CI runs all six gates with thresholds *below* the steady state
 //! (see `.github/workflows/ci.yml`) so shared-runner noise cannot
 //! flake a merge while a structural regression still fails the build.
 
@@ -158,12 +185,14 @@ use drtree_core::{
     run_convergence, AsyncDrTreeCluster, ConvergenceConfig, ConvergenceReport, DrTreeCluster,
     DrTreeConfig, FaultProfile, FaultSchedule, LatencyDistribution, ProcessId,
 };
-use drtree_pubsub::{BatchMatches, CompactionMode, ShardedOracle};
+use drtree_pubsub::{
+    BatchMatches, Broker, CompactionMode, IngressConfig, LatencySummary, MultiBroker, ShardedOracle,
+};
 use drtree_rtree::{PackedRTree, RTree, RTreeConfig, SplitMethod};
 use drtree_sim::{LatencyModel, NetConfig};
-use drtree_spatial::{Point, Rect};
+use drtree_spatial::{Point, Rect, Schema};
 use drtree_workloads::churn::{ChurnOp, PoissonChurn};
-use drtree_workloads::SubscriptionWorkload;
+use drtree_workloads::{ArrivalSchedule, SubscriptionWorkload};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -209,6 +238,10 @@ fn main() {
         Some("faults") => {
             let (out, check) = parse_out_and_check(&args[1..], "BENCH_faults.json");
             fault_schedules(&out, check);
+        }
+        Some("multipub") => {
+            let (out, check) = parse_out_and_check(&args[1..], "BENCH_multipub.json");
+            multipub_ingress(&out, check);
         }
         other => {
             let max_n = other.and_then(|s| s.parse().ok()).unwrap_or(1024);
@@ -1108,6 +1141,221 @@ fn pipeline_dissemination(out_path: &str, check: Option<f64>) {
             std::process::exit(1);
         }
         println!("check passed: pipeline >= {threshold}x vs sequential publish");
+    }
+}
+
+/// One multipub measurement: a fresh bulk-built broker wrapped in a
+/// [`MultiBroker`], `publishers` threads running `body`, then drain +
+/// teardown. Returns (wall-clock seconds, committed events, latency
+/// summary, batches committed).
+fn multipub_run(
+    rects: &[Rect<2>],
+    publishers: usize,
+    seed: u64,
+    body: impl Fn(usize, &drtree_pubsub::PublisherHandle<2>) + Sync,
+) -> (f64, u64, LatencySummary, f64) {
+    const QUEUE_CAPACITY: usize = 32;
+    const MAX_BATCH: usize = 512;
+    let schema = Schema::new(["x", "y"]);
+    let (mut broker, _ids) =
+        Broker::build_bulk(schema, DrTreeConfig::default(), seed, rects).expect("2d schema");
+    // Pin the overlay window at its maximum: the committed batch depth
+    // (queue backlog aggregated across publishers) is then the only
+    // thing that varies with the publisher count.
+    broker.set_publish_window(256);
+    let multi = MultiBroker::new(
+        broker,
+        IngressConfig {
+            queue_capacity: QUEUE_CAPACITY,
+            fair_budget: QUEUE_CAPACITY,
+            max_batch: MAX_BATCH,
+            audit_log: false,
+            refresh_snapshots: false,
+            auto_drain: true,
+        },
+    );
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xff);
+    let handles: Vec<_> = (0..publishers)
+        .map(|_| {
+            let r = rects[rng.gen_range(0..rects.len())];
+            multi.add_publisher(r)
+        })
+        .collect();
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for (i, handle) in handles.iter().enumerate() {
+            let body = &body;
+            s.spawn(move || body(i, handle));
+        }
+    });
+    multi.drain();
+    let elapsed = t0.elapsed().as_secs_f64();
+    let rate = multi.rate();
+    assert_eq!(rate.committed, rate.submitted, "ingress lost publications");
+    let latency = multi.latency();
+    let stats = multi.stats();
+    assert_eq!(stats.ingress_committed(), rate.committed);
+    let batches = multi.batches().max(1);
+    multi.finish();
+    (
+        elapsed,
+        rate.committed,
+        latency,
+        rate.committed as f64 / batches as f64,
+    )
+}
+
+/// The concurrent ingress probe (see the module docs): closed-loop
+/// saturation throughput plus open-loop latency quantiles at 1/4/16
+/// publishers over one 2048-subscriber broker configuration. Writes
+/// `BENCH_multipub.json` and gates `throughput_16pub_vs_1pub`.
+fn multipub_ingress(out_path: &str, check: Option<f64>) {
+    const SUBS: usize = 2_048;
+    const PUBLISHERS: [usize; 3] = [1, 4, 16];
+    const TOTAL_EVENTS: usize = 512;
+    const OPEN_EVENTS: usize = 256;
+
+    let rects = scaled_rects(SUBS, 8_800);
+    // Pre-generated per-publisher event scripts: points at
+    // subscription centers (traffic that interests somebody).
+    let script = |publisher: usize, n: usize, seed: u64| -> Vec<Point<2>> {
+        let mut rng = StdRng::seed_from_u64(seed + publisher as u64);
+        (0..n)
+            .map(|_| rects[rng.gen_range(0..rects.len())].center())
+            .collect()
+    };
+
+    println!("| publishers | mode | events/s | mean batch | p50 | p99 | p999 |");
+    println!("|------------|------|----------|------------|-----|-----|------|");
+    let mut closed_tput: Vec<(usize, f64)> = Vec::new();
+    let mut samples: Vec<(usize, f64, f64, LatencySummary, f64, LatencySummary)> = Vec::new();
+    for &publishers in &PUBLISHERS {
+        // Closed loop: every publisher saturates its bounded queue;
+        // backpressure is the pacing. Latency is billed from the
+        // moment each publish was issued (blocking wait included).
+        let per_pub = TOTAL_EVENTS / publishers;
+        let (elapsed, committed, closed_lat, mean_batch) =
+            multipub_run(&rects, publishers, 8_900, |i, handle| {
+                for point in script(i, per_pub, 8_950) {
+                    handle.publish(point).expect("ingress open");
+                }
+            });
+        assert_eq!(committed as usize, per_pub * publishers);
+        let tput = committed as f64 / elapsed;
+        println!(
+            "| {publishers} | closed | {tput:.0} | {mean_batch:.0} | {:.2}ms | {:.2}ms | {:.2}ms |",
+            closed_lat.p50_ns as f64 / 1e6,
+            closed_lat.p99_ns as f64 / 1e6,
+            closed_lat.p999_ns as f64 / 1e6,
+        );
+        closed_tput.push((publishers, tput));
+
+        // Open loop: a fixed offered rate well under single-publisher
+        // capacity, identical for every publisher count, latency
+        // billed from each event's scheduled arrival time. The
+        // schedule is split round-robin across publishers.
+        let base_tput = closed_tput[0].1;
+        let offered = base_tput * 0.5;
+        let mean_gap_ns = (1e9 / offered) as u64;
+        let arrivals = ArrivalSchedule::Poisson { mean_gap_ns }.generate(OPEN_EVENTS, 8_970);
+        let (_, committed, open_lat, _) = multipub_run(&rects, publishers, 9_000, |i, handle| {
+            let points = script(i, OPEN_EVENTS, 9_050);
+            // Round-robin split of the shared schedule: publisher i
+            // serves events i, i+P, i+2P, …
+            for (&at, point) in arrivals.iter().zip(points).skip(i).step_by(publishers) {
+                // Pace to the schedule, then bill from it.
+                loop {
+                    let now = handle.now_ns();
+                    if now >= at {
+                        break;
+                    }
+                    let gap = at - now;
+                    if gap > 1_000_000 {
+                        std::thread::sleep(std::time::Duration::from_nanos(gap - 500_000));
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+                handle.publish_at(point, at).expect("ingress open");
+            }
+        });
+        assert_eq!(committed as usize, OPEN_EVENTS);
+        println!(
+            "| {publishers} | open @{offered:.0}/s | - | - | {:.2}ms | {:.2}ms | {:.2}ms |",
+            open_lat.p50_ns as f64 / 1e6,
+            open_lat.p99_ns as f64 / 1e6,
+            open_lat.p999_ns as f64 / 1e6,
+        );
+        samples.push((publishers, tput, mean_batch, closed_lat, offered, open_lat));
+    }
+
+    let one = closed_tput[0].1;
+    let sixteen = closed_tput.last().unwrap().1;
+    let scaling = sixteen / one;
+    println!(
+        "16-publisher vs single-publisher closed-loop throughput: {scaling:.2}x \
+         ({one:.0} -> {sixteen:.0} events/s)"
+    );
+
+    let lat_json = |l: &LatencySummary| {
+        Json::object()
+            .field("p50_ns", l.p50_ns)
+            .field("p99_ns", l.p99_ns)
+            .field("p999_ns", l.p999_ns)
+            .field("max_ns", l.max_ns)
+    };
+    let json = Json::object()
+        .field("bench", "multipub-ingress")
+        .field(
+            "workload",
+            "uniform 2d, extents 1-10, world scaled to ~10 matches per point query; \
+             bulk-built 2048-subscriber broker, overlay window pinned at 256; events at \
+             subscription centers; bounded ingress queues (capacity 32, fair budget 32, \
+             max batch 512) drained round-robin by the commit loop",
+        )
+        .field(
+            "query",
+            "closed = publishers saturate their queues, throughput over the whole \
+             commit span, latency billed from publish issue time; open = Poisson \
+             arrivals at half the single-publisher closed-loop rate, latency billed \
+             from scheduled arrival (no coordinated omission)",
+        )
+        .field("subscribers", SUBS)
+        .field(
+            "samples",
+            Json::Array(
+                samples
+                    .iter()
+                    .map(|(publishers, tput, mean_batch, closed, offered, open)| {
+                        Json::object()
+                            .field("publishers", *publishers)
+                            .field(
+                                "closed",
+                                lat_json(closed)
+                                    .field("throughput_eps", Json::fixed(*tput, 0))
+                                    .field("mean_batch", Json::fixed(*mean_batch, 1)),
+                            )
+                            .field(
+                                "open",
+                                lat_json(open).field("offered_eps", Json::fixed(*offered, 0)),
+                            )
+                    })
+                    .collect(),
+            ),
+        )
+        .field("throughput_16pub_vs_1pub", Json::fixed(scaling, 2));
+    std::fs::write(out_path, json.render()).expect("write BENCH_multipub.json");
+    println!("wrote {out_path}");
+
+    if let Some(threshold) = check {
+        if scaling < threshold {
+            eprintln!(
+                "REGRESSION: 16-publisher ingress scaling fell below {threshold}x \
+                 (measured {scaling:.2}x)"
+            );
+            std::process::exit(1);
+        }
+        println!("check passed: 16-publisher ingress >= {threshold}x single-publisher");
     }
 }
 

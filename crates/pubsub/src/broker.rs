@@ -1,5 +1,6 @@
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 use drtree_core::{DrTreeCluster, DrTreeConfig, ProcessId, PublishReport};
@@ -7,8 +8,36 @@ use drtree_rtree::parallel;
 use drtree_spatial::filter::FilterError;
 use drtree_spatial::{Event, FilterExpr, Point, Rect, Schema};
 
-use crate::shard::{BatchMatches, CompactionMode, ShardedOracle};
+use crate::shard::{BatchMatches, CompactionMode, OracleSnapshot, ShardedOracle};
 use crate::stats::RoutingStats;
+
+/// A lock-free `f64` cell for the adaptive-window EMA.
+///
+/// The EMA used to be a plain `f64` field, which was fine while
+/// exactly one caller owned the broker — but the concurrent ingress
+/// path wants the signal readable from *outside* the commit loop
+/// (monitoring, the shared stats mirror) while the loop keeps folding
+/// new observations in. The cell makes that split explicit:
+/// **one** writer (whoever holds `&mut Broker` — the commit loop under
+/// [`crate::MultiBroker`]) folds observations, any number of readers
+/// load a consistent bit pattern. Loads can never tear or observe a
+/// half-written value: the full `f64` is stored as one atomic `u64`.
+#[derive(Debug)]
+pub(crate) struct EmaCell(AtomicU64);
+
+impl EmaCell {
+    pub(crate) fn new(value: f64) -> Self {
+        Self(AtomicU64::new(value.to_bits()))
+    }
+
+    pub(crate) fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Acquire))
+    }
+
+    pub(crate) fn set(&self, value: f64) {
+        self.0.store(value.to_bits(), Ordering::Release);
+    }
+}
 
 /// Errors surfaced by the [`Broker`].
 #[derive(Debug, Clone, PartialEq)]
@@ -75,12 +104,17 @@ pub struct Broker<const D: usize> {
     adaptive_window: bool,
     /// Exponential moving average of observed per-event
     /// injection-to-quiescence rounds (0.0 until the first publish).
-    rounds_ema: f64,
+    /// Atomic so concurrent-ingress readers can poll the signal
+    /// tear-free while the commit loop owns the updates ([`EmaCell`]).
+    rounds_ema: EmaCell,
     /// Reused single-publish matching buffer (sorted, deduplicated,
     /// publisher still included).
     match_buf: Vec<ProcessId>,
     /// Reused batched-publish matching arena.
     batch_buf: BatchMatches,
+    /// Reused point scratch of [`Broker::publish_batch_multi`] (the
+    /// oracle's batched pass takes a plain point slice).
+    multi_points: Vec<Point<D>>,
 }
 
 impl<const D: usize> Broker<D> {
@@ -130,10 +164,44 @@ impl<const D: usize> Broker<D> {
             stats: RoutingStats::default(),
             publish_window: Self::DEFAULT_PUBLISH_WINDOW,
             adaptive_window: false,
-            rounds_ema: 0.0,
+            rounds_ema: EmaCell::new(0.0),
             match_buf: Vec::new(),
             batch_buf: BatchMatches::new(),
+            multi_points: Vec::new(),
         })
+    }
+
+    /// Builds a broker over an already-populated overlay in one shot:
+    /// the subscribers in `rects` are materialized through
+    /// [`DrTreeCluster::build_bulk`] (state injection validated
+    /// against the legality checker — seconds instead of the better
+    /// part of an hour at benchmark sizes) and mirrored into the
+    /// oracle. Returns the broker plus the assigned subscriber ids, in
+    /// `rects` order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BrokerError::SchemaDimensionMismatch`] when
+    /// `schema.dims() != D`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bulk-built overlay fails the legality check
+    /// (a bug, not an input condition).
+    pub fn build_bulk(
+        schema: Schema,
+        config: DrTreeConfig,
+        seed: u64,
+        rects: &[Rect<D>],
+    ) -> Result<(Self, Vec<ProcessId>), BrokerError> {
+        let mut broker = Self::new(schema, config, seed)?;
+        broker.cluster = DrTreeCluster::build_bulk(config, seed, rects);
+        let ids = broker.cluster.ids();
+        for (&id, &rect) in ids.iter().zip(rects) {
+            broker.subscriptions.insert(id, rect);
+            broker.oracle.insert(id, rect);
+        }
+        Ok((broker, ids))
     }
 
     /// Default overlay dissemination window of
@@ -189,23 +257,29 @@ impl<const D: usize> Broker<D> {
     /// dissemination rounds (0.0 before the first publish) — the
     /// signal behind [`Broker::set_adaptive_window`].
     pub fn rounds_ema(&self) -> f64 {
-        self.rounds_ema
+        self.rounds_ema.get()
     }
 
     /// Folds one publish's observed per-event rounds into the EMA and,
-    /// when adaptive, re-derives the window.
+    /// when adaptive, re-derives the window. The fold is a
+    /// read-modify-write on the [`EmaCell`], race-free because updates
+    /// only ever happen under `&mut self` — under concurrent ingress
+    /// that is the commit loop, the cell's single writer — while
+    /// readers go through the atomic [`Broker::rounds_ema`].
     fn observe_rounds(&mut self, reports: &[PublishReport]) {
         if reports.is_empty() {
             return;
         }
         let mean = reports.iter().map(|r| r.rounds).sum::<u64>() as f64 / reports.len() as f64;
-        self.rounds_ema = if self.rounds_ema == 0.0 {
+        let prev = self.rounds_ema.get();
+        let next = if prev == 0.0 {
             mean
         } else {
-            Self::WINDOW_EMA_ALPHA * mean + (1.0 - Self::WINDOW_EMA_ALPHA) * self.rounds_ema
+            Self::WINDOW_EMA_ALPHA * mean + (1.0 - Self::WINDOW_EMA_ALPHA) * prev
         };
+        self.rounds_ema.set(next);
         if self.adaptive_window {
-            let window = (Self::WINDOW_ROUNDS_FACTOR * self.rounds_ema).round() as usize;
+            let window = (Self::WINDOW_ROUNDS_FACTOR * next).round() as usize;
             self.publish_window = window.clamp(1, DrTreeCluster::<D>::MAX_PUBLISH_WINDOW);
         }
     }
@@ -424,6 +498,65 @@ impl<const D: usize> Broker<D> {
         Ok(reports)
     }
 
+    /// Publishes a batch of pre-compiled points with **per-event
+    /// publishers** — the commit primitive of the concurrent
+    /// multi-publisher ingress path ([`crate::MultiBroker`]), where one
+    /// drained batch interleaves events from many publishers.
+    ///
+    /// Semantically identical to grouping `events` by publisher and
+    /// calling [`Broker::publish_point`] per event in input order:
+    /// same delivery sets, same oracle audit, same statistics. The
+    /// batching exists for cost, not meaning — one oracle pass and one
+    /// windowed overlay dissemination
+    /// ([`DrTreeCluster::publish_pipeline_from`]) amortize over the
+    /// whole batch, and a deeper aggregated batch means a deeper
+    /// effective window, which is where multi-publisher throughput
+    /// scaling comes from.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BrokerError::UnknownSubscriber`] if **any** event
+    /// names a dead publisher; the batch is then rejected whole, with
+    /// nothing published (validation happens before the first
+    /// injection).
+    pub fn publish_batch_multi(
+        &mut self,
+        events: &[(ProcessId, Point<D>)],
+    ) -> Result<Vec<PublishReport>, BrokerError> {
+        for &(publisher, _) in events {
+            if !self.subscriptions.contains_key(&publisher) {
+                return Err(BrokerError::UnknownSubscriber(publisher));
+            }
+        }
+        if events.is_empty() {
+            return Ok(Vec::new());
+        }
+        self.flush_oracle();
+        // Same guard as `publish_point`: the batched oracle pass only
+        // runs when something consumes its answer.
+        let needs_oracle = !self.sets.is_empty() || cfg!(debug_assertions);
+        let mut batch_buf = std::mem::take(&mut self.batch_buf);
+        let mut points = std::mem::take(&mut self.multi_points);
+        if needs_oracle {
+            points.clear();
+            points.extend(events.iter().map(|&(_, point)| point));
+            self.oracle.match_batch_into(&points, &mut batch_buf);
+        }
+        let mut reports = self
+            .cluster
+            .publish_pipeline_from(events, self.publish_window);
+        for (i, (&(publisher, point), report)) in events.iter().zip(&mut reports).enumerate() {
+            if needs_oracle {
+                self.classify(publisher, &point, batch_buf.matches(i), report);
+            }
+            self.stats.absorb(report);
+        }
+        self.observe_rounds(&reports);
+        self.batch_buf = batch_buf;
+        self.multi_points = points;
+        Ok(reports)
+    }
+
     /// Compacts any oracle shard whose delta layer outgrew its budget
     /// **now**, charging the cost to the rebuild/compaction columns of
     /// [`Broker::stats`] instead of the next publish. Publishing pays
@@ -448,6 +581,15 @@ impl<const D: usize> Broker<D> {
                 .absorb_oracle_pause(flush.swap_ns, flush.compact_ns);
         }
         flush.elapsed
+    }
+
+    /// A point-in-time [`OracleSnapshot`] of the live subscription
+    /// set — the lock-free read side of concurrent ingress. Readers
+    /// holding an `Arc` of it answer exact containment queries as of
+    /// snapshot time and never block on (or are blocked by) publishes;
+    /// see [`ShardedOracle::snapshot`].
+    pub fn oracle_snapshot(&self) -> OracleSnapshot<D> {
+        self.oracle.snapshot()
     }
 
     /// Chooses how the oracle realizes over-threshold shard
@@ -561,5 +703,72 @@ impl<const D: usize> fmt::Debug for Broker<D> {
             .field("subscriptions", &self.subscriptions.len())
             .field("stats", &self.stats)
             .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ema_cell_loads_never_tear_under_a_concurrent_writer() {
+        // The regression the cell exists for: a reader polling the EMA
+        // while the commit loop folds observations must only ever see
+        // values that were actually stored — never an interleaving of
+        // two writes' bit halves.
+        let cell = std::sync::Arc::new(EmaCell::new(0.0));
+        // Values chosen so any torn lo/hi word mix is outside the set.
+        let stored: Vec<f64> = (0..1000).map(|i| 1.0 + i as f64 * 1e-3).collect();
+        let writer = {
+            let cell = std::sync::Arc::clone(&cell);
+            let stored = stored.clone();
+            std::thread::spawn(move || {
+                for &v in &stored {
+                    cell.set(v);
+                }
+            })
+        };
+        let mut seen = Vec::new();
+        loop {
+            let v = cell.get();
+            seen.push(v);
+            if writer.is_finished() {
+                break;
+            }
+        }
+        writer.join().unwrap();
+        for v in seen {
+            assert!(
+                v == 0.0
+                    || stored
+                        .binary_search_by(|s| s.partial_cmp(&v).unwrap())
+                        .is_ok(),
+                "observed a value never stored: {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn ema_fold_is_deterministic_through_the_cell() {
+        // The cell must not change the EMA arithmetic: replaying the
+        // same per-batch means through a plain f64 gives bit-identical
+        // results.
+        let cell = EmaCell::new(0.0);
+        let mut plain = 0.0f64;
+        for mean in [3.0, 5.0, 4.0, 4.0, 7.5, 2.25] {
+            let prev = cell.get();
+            let next = if prev == 0.0 {
+                mean
+            } else {
+                0.25 * mean + 0.75 * prev
+            };
+            cell.set(next);
+            plain = if plain == 0.0 {
+                mean
+            } else {
+                0.25 * mean + 0.75 * plain
+            };
+            assert_eq!(cell.get().to_bits(), plain.to_bits());
+        }
     }
 }

@@ -43,9 +43,14 @@
 #![warn(missing_docs)]
 
 mod broker;
+mod ingress;
 mod shard;
 mod stats;
 
 pub use broker::{Broker, BrokerError};
-pub use shard::{BatchMatches, CompactionMode, OracleFlush, ShardedOracle};
+pub use ingress::{
+    AuditRecord, IngressConfig, IngressError, LatencyHistogram, LatencySummary, MultiBroker,
+    PublisherHandle, RateMeter, RateSnapshot,
+};
+pub use shard::{BatchMatches, CompactionMode, OracleFlush, OracleSnapshot, ShardedOracle};
 pub use stats::RoutingStats;

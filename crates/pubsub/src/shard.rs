@@ -37,7 +37,7 @@ use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
 use drtree_core::ProcessId;
-use drtree_rtree::{parallel, DeltaRemoval, PackedRTree};
+use drtree_rtree::{parallel, DeltaRemoval, FrozenShard, PackedRTree};
 use drtree_spatial::hilbert::{GridMapper, ShardMap};
 use drtree_spatial::{Point, Rect};
 
@@ -798,6 +798,23 @@ impl<const D: usize> ShardedOracle<D> {
         self.shards.iter().map(|s| s.packed.delta_len()).sum()
     }
 
+    /// A point-in-time [`OracleSnapshot`] of the live subscription
+    /// set, built from every shard's epoch-free
+    /// [`PackedRTree::snapshot`] — `Arc`-shared packed cores plus
+    /// copied delta layers, `O(total delta)`, no flush, no pause.
+    ///
+    /// The snapshot is `Send + Sync` and immutable: hand it to reader
+    /// threads behind an `Arc` and they answer exact containment
+    /// queries (as of snapshot time) while this oracle keeps absorbing
+    /// mutations — the lock-free read side of the concurrent ingress
+    /// path.
+    pub fn snapshot(&self) -> OracleSnapshot<D> {
+        OracleSnapshot {
+            shards: self.shards.iter().map(|s| s.packed.snapshot()).collect(),
+            len: self.len,
+        }
+    }
+
     /// Packed-tree rebuilds performed over the oracle's lifetime.
     pub fn rebuild_count(&self) -> u64 {
         self.rebuilds
@@ -1480,6 +1497,54 @@ impl<const D: usize> ShardedOracle<D> {
     }
 }
 
+/// An immutable point-in-time view of a [`ShardedOracle`]'s live
+/// subscription set, produced by [`ShardedOracle::snapshot`].
+///
+/// Internally one epoch-free [`FrozenShard`] per oracle shard: the
+/// packed tiers are `Arc`-shared with the live oracle (snapshotting is
+/// a reference-count bump plus a delta-layer copy), and queries run
+/// the same pruned packed descent the live oracle uses. Because the
+/// view is `&self`-only and owns everything it needs, an
+/// `Arc<OracleSnapshot>` serves any number of concurrent readers
+/// without ever blocking — or being blocked by — the writer that keeps
+/// mutating the source oracle.
+#[derive(Debug, Clone)]
+pub struct OracleSnapshot<const D: usize> {
+    shards: Vec<FrozenShard<ProcessId, D>>,
+    len: usize,
+}
+
+impl<const D: usize> OracleSnapshot<D> {
+    /// Live `(id, rect)` entries captured by the snapshot.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the snapshot holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Fills `out` with the sorted, deduplicated set of subscribers
+    /// whose filter contained `point` at snapshot time — the immutable
+    /// counterpart of [`ShardedOracle::match_point_into`].
+    pub fn match_point_into(&self, point: &Point<D>, out: &mut Vec<ProcessId>) {
+        out.clear();
+        for shard in &self.shards {
+            shard.for_each_containing(point, |&id, _| out.push(id));
+        }
+        out.sort_unstable();
+        out.dedup();
+    }
+
+    /// [`OracleSnapshot::match_point_into`] into a fresh vector.
+    pub fn match_point(&self, point: &Point<D>) -> Vec<ProcessId> {
+        let mut out = Vec::new();
+        self.match_point_into(point, &mut out);
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1528,6 +1593,88 @@ mod tests {
         oracle.match_point_into(&grid_rect(40).center(), &mut hits);
         assert!(hits.contains(&pid(999)), "staged entry matched");
         assert!(hits.contains(&pid(40)));
+    }
+
+    #[test]
+    fn snapshot_answers_exactly_and_ignores_later_mutations() {
+        let mut oracle: ShardedOracle<2> = ShardedOracle::new(4);
+        for i in 0..256 {
+            oracle.insert(pid(i), grid_rect(i));
+        }
+        oracle.flush();
+        // Leave some un-flushed delta so the snapshot covers both
+        // tiers: a staged insert and a tombstoned removal.
+        assert!(oracle.remove(pid(7), &grid_rect(7)));
+        oracle.insert(pid(500), grid_rect(7));
+        let snap = oracle.snapshot();
+        assert_eq!(snap.len(), oracle.len());
+
+        // Reference answers before mutating further.
+        let mut want = Vec::new();
+        let probes: Vec<Point<2>> = (0..256)
+            .step_by(17)
+            .map(|i| grid_rect(i).center())
+            .collect();
+        let expected: Vec<Vec<ProcessId>> = probes
+            .iter()
+            .map(|p| {
+                oracle.match_point_into(p, &mut want);
+                want.clone()
+            })
+            .collect();
+
+        // Mutate the live oracle heavily; the snapshot must not move.
+        for i in 0..128 {
+            oracle.remove(pid(i), &grid_rect(i));
+        }
+        oracle.flush();
+        for (p, want) in probes.iter().zip(&expected) {
+            assert_eq!(&snap.match_point(p), want, "at {p:?}");
+        }
+        // And it really reflects the pre-snapshot delta.
+        let seven = grid_rect(7).center();
+        let at_seven = snap.match_point(&seven);
+        assert!(!at_seven.contains(&pid(7)), "tombstone visible");
+        assert!(at_seven.contains(&pid(500)), "staged insert visible");
+    }
+
+    #[test]
+    fn snapshot_serves_concurrent_readers_lock_free() {
+        let mut oracle: ShardedOracle<2> = ShardedOracle::new(4);
+        for i in 0..128 {
+            oracle.insert(pid(i), grid_rect(i));
+        }
+        oracle.flush();
+        let probes: Vec<Point<2>> = (0..128).map(|i| grid_rect(i).center()).collect();
+        let mut buf = Vec::new();
+        let expected: Vec<Vec<ProcessId>> = probes
+            .iter()
+            .map(|p| {
+                oracle.match_point_into(p, &mut buf);
+                buf.clone()
+            })
+            .collect();
+        let snap = std::sync::Arc::new(oracle.snapshot());
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                let snap = std::sync::Arc::clone(&snap);
+                let probes = &probes;
+                let expected = &expected;
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    for (p, want) in probes.iter().zip(expected) {
+                        snap.match_point_into(p, &mut out);
+                        assert_eq!(&out, want);
+                    }
+                });
+            }
+            // Writer keeps churning while readers run.
+            for i in 0..64 {
+                oracle.remove(pid(i), &grid_rect(i));
+                oracle.insert(pid(1000 + i), grid_rect(i));
+            }
+            oracle.flush();
+        });
     }
 
     #[test]

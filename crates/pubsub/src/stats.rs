@@ -25,6 +25,13 @@ pub struct RoutingStats {
     oracle_swap_ns_max: u64,
     oracle_compact_ns_total: u64,
     oracle_compact_ns_max: u64,
+    ingress_submitted: u64,
+    ingress_committed: u64,
+    ingress_rejected: u64,
+    ingress_p50_ns: u64,
+    ingress_p99_ns: u64,
+    ingress_p999_ns: u64,
+    ingress_max_ns: u64,
 }
 
 impl RoutingStats {
@@ -156,6 +163,70 @@ impl RoutingStats {
         self.oracle_compact_ns_max
     }
 
+    /// Folds the concurrent-ingress counters into the aggregate:
+    /// `submitted`/`committed`/`rejected` publication counts from the
+    /// ingress rate meter, and the open-loop ingress latency quantiles
+    /// (nanoseconds, billed from *scheduled arrival* so queue wait is
+    /// never hidden — no coordinated omission). Quantiles are
+    /// point-in-time values, so re-absorbing replaces rather than
+    /// sums them (maxima still fold with `max`).
+    #[allow(clippy::too_many_arguments)]
+    pub fn absorb_ingress(
+        &mut self,
+        submitted: u64,
+        committed: u64,
+        rejected: u64,
+        p50_ns: u64,
+        p99_ns: u64,
+        p999_ns: u64,
+        max_ns: u64,
+    ) {
+        self.ingress_submitted += submitted;
+        self.ingress_committed += committed;
+        self.ingress_rejected += rejected;
+        self.ingress_p50_ns = p50_ns;
+        self.ingress_p99_ns = p99_ns;
+        self.ingress_p999_ns = p999_ns;
+        self.ingress_max_ns = self.ingress_max_ns.max(max_ns);
+    }
+
+    /// Publications accepted into an ingress queue.
+    pub fn ingress_submitted(&self) -> u64 {
+        self.ingress_submitted
+    }
+
+    /// Publications committed through the overlay by the ingress loop.
+    pub fn ingress_committed(&self) -> u64 {
+        self.ingress_committed
+    }
+
+    /// Publications rejected by admission control (queue full on a
+    /// non-blocking submit, or a closed queue).
+    pub fn ingress_rejected(&self) -> u64 {
+        self.ingress_rejected
+    }
+
+    /// Median ingress latency in nanoseconds (scheduled arrival →
+    /// commit).
+    pub fn ingress_p50_ns(&self) -> u64 {
+        self.ingress_p50_ns
+    }
+
+    /// 99th-percentile ingress latency in nanoseconds.
+    pub fn ingress_p99_ns(&self) -> u64 {
+        self.ingress_p99_ns
+    }
+
+    /// 99.9th-percentile ingress latency in nanoseconds.
+    pub fn ingress_p999_ns(&self) -> u64 {
+        self.ingress_p999_ns
+    }
+
+    /// Worst observed ingress latency in nanoseconds.
+    pub fn ingress_max_ns(&self) -> u64 {
+        self.ingress_max_ns
+    }
+
     /// Share of deliveries that were false positives.
     pub fn false_positive_rate(&self) -> f64 {
         if self.deliveries == 0 {
@@ -204,7 +275,22 @@ impl fmt::Display for RoutingStats {
             self.oracle_swap_ns_max as f64 / 1e6,
             self.oracle_compact_ns_total as f64 / 1e6,
             self.oracle_compact_ns_max as f64 / 1e6,
-        )
+        )?;
+        if self.ingress_submitted > 0 {
+            write!(
+                f,
+                " ingress: submitted={} committed={} rejected={} \
+                 lat p50={:.3}ms p99={:.3}ms p999={:.3}ms max={:.3}ms",
+                self.ingress_submitted,
+                self.ingress_committed,
+                self.ingress_rejected,
+                self.ingress_p50_ns as f64 / 1e6,
+                self.ingress_p99_ns as f64 / 1e6,
+                self.ingress_p999_ns as f64 / 1e6,
+                self.ingress_max_ns as f64 / 1e6,
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -249,6 +335,22 @@ mod tests {
         assert_eq!(s.false_positive_rate(), 0.0);
         assert_eq!(s.false_negative_rate(), 0.0);
         assert_eq!(s.messages_per_event(), 0.0);
+    }
+
+    #[test]
+    fn ingress_accounting_sums_counts_and_replaces_quantiles() {
+        let mut s = RoutingStats::new();
+        assert!(!s.to_string().contains("ingress:"), "hidden until used");
+        s.absorb_ingress(100, 90, 10, 1_000, 5_000, 9_000, 12_000);
+        s.absorb_ingress(50, 50, 0, 2_000, 4_000, 8_000, 9_000);
+        assert_eq!(s.ingress_submitted(), 150);
+        assert_eq!(s.ingress_committed(), 140);
+        assert_eq!(s.ingress_rejected(), 10);
+        assert_eq!(s.ingress_p50_ns(), 2_000, "quantiles are point-in-time");
+        assert_eq!(s.ingress_p99_ns(), 4_000);
+        assert_eq!(s.ingress_p999_ns(), 8_000);
+        assert_eq!(s.ingress_max_ns(), 12_000, "max folds with max");
+        assert!(s.to_string().contains("ingress: submitted=150"));
     }
 
     #[test]

@@ -1,0 +1,342 @@
+//! Multi-publisher exactness stress suite.
+//!
+//! The concurrent ingress claims it changes *when* publications
+//! commit, never *what* they deliver. These tests pin that claim
+//! op-for-op: every run records its audit log (the total commit
+//! order), replays it on a plain sequential [`Broker`] built from the
+//! same seed, and asserts per-event delivery-set equality plus zero
+//! false negatives — under 1, 4, and 16 publishers, with interleaved
+//! subscribe/unsubscribe churn and mid-stream publisher join/leave.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::thread;
+
+use drtree_core::{DrTreeConfig, ProcessId};
+use drtree_pubsub::{AuditRecord, Broker, IngressConfig, MultiBroker};
+use drtree_spatial::{Point, Rect, Schema};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn schema() -> Schema {
+    Schema::new(["x", "y"])
+}
+
+fn seeded_rect(rng: &mut StdRng) -> Rect<2> {
+    let x = rng.gen_range(0.0..90.0);
+    let y = rng.gen_range(0.0..90.0);
+    let w = rng.gen_range(2.0..10.0);
+    let h = rng.gen_range(2.0..10.0);
+    Rect::new([x, y], [x + w, y + h])
+}
+
+fn seeded_point(rng: &mut StdRng) -> Point<2> {
+    Point::new([rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)])
+}
+
+/// Replays `audit` on a fresh sequential broker with the same seed and
+/// asserts op-for-op equality: same assigned ids, same per-event
+/// delivery sets, zero false negatives. Returns the commit count.
+fn replay_and_check(audit: &[AuditRecord<2>], seed: u64) -> u64 {
+    let mut reference: Broker<2> = Broker::new(schema(), DrTreeConfig::default(), seed).unwrap();
+    let mut commits = 0u64;
+    for record in audit {
+        match record {
+            AuditRecord::Subscribe { id, rect } => {
+                assert_eq!(
+                    reference.subscribe_rect(*rect),
+                    *id,
+                    "replay assigns the same subscriber id"
+                );
+            }
+            AuditRecord::Unsubscribe { id } => {
+                reference
+                    .unsubscribe(*id)
+                    .expect("replayed unsubscribe targets a live id");
+            }
+            AuditRecord::Stabilize { max_rounds } => {
+                reference
+                    .stabilize(*max_rounds)
+                    .expect("reference overlay stabilizes within the audited budget");
+            }
+            AuditRecord::Commit {
+                publisher,
+                point,
+                receivers,
+                ..
+            } => {
+                let report = reference
+                    .publish_point(*publisher, *point)
+                    .expect("replayed publisher is live");
+                let mut got = report.receivers.clone();
+                got.sort_unstable();
+                assert_eq!(
+                    &got, receivers,
+                    "concurrent and sequential delivery sets diverge at commit {commits}"
+                );
+                assert!(
+                    report.false_negatives.is_empty(),
+                    "false negatives at commit {commits}: {:?}",
+                    report.false_negatives
+                );
+                commits += 1;
+            }
+        }
+    }
+    commits
+}
+
+/// Asserts the audit log preserves every publisher's queue order: the
+/// committed `seq` values per publisher are 0, 1, 2, … in commit
+/// order (no loss, no duplication, no reordering).
+fn check_per_publisher_fifo(audit: &[AuditRecord<2>]) {
+    let mut next: BTreeMap<ProcessId, u64> = BTreeMap::new();
+    for record in audit {
+        if let AuditRecord::Commit { publisher, seq, .. } = record {
+            let expected = next.entry(*publisher).or_insert(0);
+            assert_eq!(
+                *seq, *expected,
+                "publisher {publisher:?} committed out of queue order"
+            );
+            *expected += 1;
+        }
+    }
+}
+
+/// The full concurrent scenario at a given publisher count: phased
+/// publishing with racing mid-phase subscriber joins, a mid-stream
+/// publisher join + leave, and subscriber churn at phase boundaries.
+fn run_concurrent_scenario(publishers: usize, seed: u64, auto_drain: bool) {
+    const PHASES: usize = 3;
+    const PER_PHASE: usize = 10;
+
+    let broker: Broker<2> = Broker::new(schema(), DrTreeConfig::default(), seed).unwrap();
+    let multi = MultiBroker::new(
+        broker,
+        IngressConfig {
+            // Without auto-drain nothing commits until the explicit
+            // phase drain, so the queues must hold a whole phase or
+            // blocking publishers would wait on a drain that never
+            // comes.
+            queue_capacity: if auto_drain { 8 } else { PER_PHASE },
+            fair_budget: 4,
+            max_batch: 64,
+            audit_log: true,
+            refresh_snapshots: false,
+            auto_drain,
+        },
+    );
+
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
+    let mut pool: Vec<ProcessId> = (0..12)
+        .map(|_| multi.subscribe_rect(seeded_rect(&mut rng)))
+        .collect();
+    let handles: Vec<_> = (0..publishers)
+        .map(|_| multi.add_publisher(seeded_rect(&mut rng)))
+        .collect();
+
+    // Scripts are pre-generated so worker threads share no RNG.
+    let scripts: Vec<Vec<Vec<Point<2>>>> = (0..publishers)
+        .map(|_| {
+            (0..PHASES)
+                .map(|_| (0..PER_PHASE).map(|_| seeded_point(&mut rng)).collect())
+                .collect()
+        })
+        .collect();
+    let guest_points: Vec<Point<2>> = (0..PER_PHASE).map(|_| seeded_point(&mut rng)).collect();
+    let guest_rect = seeded_rect(&mut rng);
+    let racing_join_rects: Vec<Rect<2>> = (0..PHASES).map(|_| seeded_rect(&mut rng)).collect();
+
+    let published = AtomicU64::new(0);
+    for phase in 0..PHASES {
+        thread::scope(|s| {
+            for (p, handle) in handles.iter().enumerate() {
+                let points = &scripts[p][phase];
+                let published = &published;
+                s.spawn(move || {
+                    for point in points {
+                        handle.publish(*point).expect("ingress open");
+                        published.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+            // A subscriber join racing the publish stream (stable
+            // joins leave the overlay legitimate, so this is safe to
+            // interleave with commits at any point).
+            let rect = racing_join_rects[phase];
+            let multi_ref = &multi;
+            s.spawn(move || {
+                multi_ref.subscribe_rect(rect);
+            });
+            // Mid-stream publisher join + leave, racing everyone.
+            if phase == 1 {
+                let points = &guest_points;
+                let published = &published;
+                s.spawn(move || {
+                    let guest = multi_ref.add_publisher(guest_rect);
+                    for point in points {
+                        guest.publish(*point).expect("guest ingress open");
+                        published.fetch_add(1, Ordering::Relaxed);
+                    }
+                    guest.leave();
+                });
+            }
+        });
+        multi.drain();
+        // Subscriber churn at the (quiesced) phase boundary.
+        let dead = pool.swap_remove(phase % pool.len());
+        multi.unsubscribe(dead).expect("pool id is live");
+    }
+
+    // Accounting: everything accepted was committed, nothing rejected.
+    let rate = multi.rate();
+    assert_eq!(rate.submitted, published.load(Ordering::Relaxed));
+    assert_eq!(
+        rate.committed, rate.submitted,
+        "accepted publications must all commit"
+    );
+    assert_eq!(rate.rejected, 0, "blocking publishes are never rejected");
+
+    let latency = multi.latency();
+    assert_eq!(latency.count, rate.committed, "every commit is billed");
+    assert!(latency.p50_ns <= latency.p99_ns && latency.p99_ns <= latency.p999_ns);
+
+    let audit = multi.take_audit();
+    check_per_publisher_fifo(&audit);
+    let commits = replay_and_check(&audit, seed);
+    assert_eq!(commits, rate.committed, "audit records every commit");
+
+    // The handed-back broker is intact and agrees on the totals.
+    let broker = multi.finish();
+    assert_eq!(broker.stats().events(), commits);
+}
+
+#[test]
+fn single_publisher_matches_sequential_reference() {
+    run_concurrent_scenario(1, 11, true);
+}
+
+#[test]
+fn four_publishers_match_sequential_reference() {
+    run_concurrent_scenario(4, 22, true);
+}
+
+#[test]
+fn sixteen_publishers_match_sequential_reference() {
+    run_concurrent_scenario(16, 33, true);
+}
+
+#[test]
+fn sixteen_publishers_match_in_explicit_drain_mode() {
+    // auto_drain off: publications only commit at the explicit phase
+    // drains, making the commit order itself deterministic.
+    run_concurrent_scenario(16, 44, false);
+}
+
+#[test]
+fn explicit_drain_mode_commit_order_is_reproducible() {
+    // Same seed, two runs, auto_drain off, single-threaded enqueue:
+    // byte-identical audit logs — the deterministic debugging mode.
+    let run = |seed: u64| -> Vec<AuditRecord<2>> {
+        let broker: Broker<2> = Broker::new(schema(), DrTreeConfig::default(), seed).unwrap();
+        let multi = MultiBroker::new(
+            broker,
+            IngressConfig {
+                audit_log: true,
+                refresh_snapshots: false,
+                auto_drain: false,
+                ..IngressConfig::default()
+            },
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..8 {
+            multi.subscribe_rect(seeded_rect(&mut rng));
+        }
+        let a = multi.add_publisher(seeded_rect(&mut rng));
+        let b = multi.add_publisher(seeded_rect(&mut rng));
+        for _ in 0..6 {
+            a.publish(seeded_point(&mut rng)).unwrap();
+            b.publish(seeded_point(&mut rng)).unwrap();
+        }
+        multi.drain();
+        let audit = multi.take_audit();
+        multi.finish();
+        audit
+    };
+    assert_eq!(run(77), run(77));
+}
+
+#[test]
+fn ema_survives_concurrent_ingress_and_replays_deterministically() {
+    // Regression for the adaptive-window EMA data race: the cell is
+    // written only by the commit loop, and an audit replay folding the
+    // same per-batch round means reproduces the same adaptive state.
+    let seed = 55;
+    let broker: Broker<2> = Broker::new(schema(), DrTreeConfig::default(), seed).unwrap();
+    let multi = MultiBroker::new(
+        broker,
+        IngressConfig {
+            audit_log: true,
+            refresh_snapshots: false,
+            ..IngressConfig::default()
+        },
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    for _ in 0..10 {
+        multi.subscribe_rect(seeded_rect(&mut rng));
+    }
+    let handles: Vec<_> = (0..4)
+        .map(|_| multi.add_publisher(seeded_rect(&mut rng)))
+        .collect();
+    let scripts: Vec<Vec<Point<2>>> = (0..4)
+        .map(|_| (0..25).map(|_| seeded_point(&mut rng)).collect())
+        .collect();
+    thread::scope(|s| {
+        for (handle, points) in handles.iter().zip(&scripts) {
+            s.spawn(move || {
+                for point in points {
+                    handle.publish(*point).expect("ingress open");
+                }
+            });
+        }
+    });
+    multi.drain();
+    // The mirrored EMA converged to something positive and finite, and
+    // matches the broker's own cell exactly after quiescence.
+    let mirrored = multi.rounds_ema();
+    assert!(mirrored.is_finite() && mirrored > 0.0);
+    let audit = multi.take_audit();
+    let broker = multi.finish();
+    assert_eq!(broker.rounds_ema(), mirrored, "mirror tracks the cell");
+
+    // Replaying the audited batches through publish_batch_multi on a
+    // fresh broker reproduces the EMA bit-for-bit: the adaptive state
+    // is a pure fold over the committed batch structure.
+    let mut reference: Broker<2> = Broker::new(schema(), DrTreeConfig::default(), seed).unwrap();
+    let mut batch_events: BTreeMap<u64, Vec<(ProcessId, Point<2>)>> = BTreeMap::new();
+    for record in &audit {
+        match record {
+            AuditRecord::Subscribe { rect, .. } => {
+                reference.subscribe_rect(*rect);
+            }
+            AuditRecord::Commit {
+                batch,
+                publisher,
+                point,
+                ..
+            } => batch_events
+                .entry(*batch)
+                .or_default()
+                .push((*publisher, *point)),
+            _ => {}
+        }
+    }
+    for events in batch_events.values() {
+        reference.publish_batch_multi(events).unwrap();
+    }
+    assert_eq!(
+        reference.rounds_ema(),
+        mirrored,
+        "EMA fold diverged from the concurrent run"
+    );
+}

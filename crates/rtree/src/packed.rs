@@ -159,6 +159,58 @@ fn mask_containing<const D: usize>(rects: &[Rect<D>], point: &Point<D>) -> u32 {
     mask
 }
 
+/// Iterative pruned descent over a packed core, emitting live slot
+/// indexes — the traversal kernel shared by the owning
+/// [`PackedRTree`] and read-only [`FrozenShard`] snapshots (which hold
+/// the same `Arc`-shared core plus their own tombstone copy). The
+/// explicit stack is a fixed array ([`STACK_CAPACITY`] frames bounds
+/// every legal tree), so a query performs no heap allocation at all.
+/// Returns `false` when the visitor aborted.
+fn traverse_core_while<K, const D: usize>(
+    core: &PackedCore<K, D>,
+    tombstones: &[u64],
+    mask_of: &impl Fn(&[Rect<D>]) -> u32,
+    emit: &mut impl FnMut(usize) -> bool,
+) -> bool {
+    let Some(root) = core.levels.last() else {
+        return true;
+    };
+    if mask_of(&root[0..1]) == 0 {
+        return true;
+    }
+    let mut stack = [(0u32, 0u32); STACK_CAPACITY];
+    let mut top = 1usize;
+    stack[0] = (core.levels.len() as u32 - 1, 0);
+    while top > 0 {
+        top -= 1;
+        let (level, node) = stack[top];
+        let lo = node as usize * core.node_size;
+        if level == 0 {
+            let hi = (lo + core.node_size).min(core.rects.len());
+            let mut mask = mask_of(&core.rects[lo..hi]);
+            while mask != 0 {
+                let slot = lo + mask.trailing_zeros() as usize;
+                if !bit_set(tombstones, slot) && !emit(slot) {
+                    return false;
+                }
+                mask &= mask - 1;
+            }
+        } else {
+            let below = &core.levels[level as usize - 1];
+            let hi = (lo + core.node_size).min(below.len());
+            let mut mask = mask_of(&below[lo..hi]);
+            while mask != 0 {
+                let child = lo as u32 + mask.trailing_zeros();
+                debug_assert!(top < STACK_CAPACITY);
+                stack[top] = (level - 1, child);
+                top += 1;
+                mask &= mask - 1;
+            }
+        }
+    }
+    true
+}
+
 /// Bitmask of rectangles in `rects` (≤ 32 of them) intersecting
 /// `window`; branchless like [`mask_containing`].
 #[inline]
@@ -364,6 +416,39 @@ impl<K, const D: usize> FrozenShard<K, D> {
     /// `true` when the snapshot holds no live entries.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Visits every entry whose rectangle contains `point`, exactly as
+    /// the source tree would have at snapshot time — the read path that
+    /// makes a [`FrozenShard`] a *query* snapshot, not just merge
+    /// input. Same allocation-free pruned descent as
+    /// [`PackedRTree::for_each_containing`] (the kernel is shared), and
+    /// `&self` only: an `Arc<FrozenShard>` can serve concurrent readers
+    /// while the live tree keeps mutating.
+    ///
+    /// Tombstones frozen with the snapshot are skipped; every staged
+    /// entry in the snapshot is live by construction
+    /// ([`PackedRTree::snapshot`] filters retired ones out).
+    pub fn for_each_containing<'a, F>(&'a self, point: &Point<D>, mut visit: F)
+    where
+        F: FnMut(&'a K, &'a Rect<D>),
+    {
+        let mask_of = |rects: &[Rect<D>]| mask_containing(rects, point);
+        let aborted = !traverse_core_while(&self.core, &self.tombstones, &mask_of, &mut |slot| {
+            visit(&self.core.keys[slot], &self.core.rects[slot]);
+            true
+        });
+        if aborted {
+            return;
+        }
+        for (chunk_idx, chunk) in self.staged_rects.chunks(MAX_NODE_SIZE).enumerate() {
+            let mut mask = mask_of(chunk);
+            while mask != 0 {
+                let i = chunk_idx * MAX_NODE_SIZE + mask.trailing_zeros() as usize;
+                visit(&self.staged_keys[i], &self.staged_rects[i]);
+                mask &= mask - 1;
+            }
+        }
     }
 
     /// Folds the snapshot's staging buffer and tombstones into a fresh
@@ -1072,6 +1157,48 @@ impl<K, const D: usize> PackedRTree<K, D> {
         }
     }
 
+    /// A point-in-time read snapshot as a [`FrozenShard`], **without**
+    /// starting a compaction epoch: `&self`, no outstanding-freeze
+    /// assertion, composable with an in-flight [`PackedRTree::freeze`]
+    /// (retired staged entries are filtered out so the snapshot holds
+    /// exactly the live entry set). Cost is an `Arc` bump on the packed
+    /// core plus a copy of the delta layer — `O(delta)`, like `freeze`.
+    ///
+    /// This is the publication primitive for lock-free readers: an
+    /// owner produces a snapshot after each batch of mutations, shares
+    /// it behind an `Arc`, and readers query it with
+    /// [`FrozenShard::for_each_containing`] while the owner keeps
+    /// writing. The snapshot is also valid [`FrozenShard::merge`]
+    /// input, but unlike `freeze` it leaves no epoch behind, so it must
+    /// not be fed to [`PackedRTree::install`].
+    pub fn snapshot(&self) -> FrozenShard<K, D>
+    where
+        K: Clone,
+    {
+        let (staged_keys, staged_rects) = match &self.epoch {
+            Some(epoch) if epoch.staged_dead_count > 0 => {
+                let mut keys = Vec::with_capacity(self.staged_keys.len());
+                let mut rects = Vec::with_capacity(self.staged_rects.len());
+                for (i, (k, r)) in self.staged_keys.iter().zip(&self.staged_rects).enumerate() {
+                    if !epoch.is_staged_dead(i) {
+                        keys.push(k.clone());
+                        rects.push(*r);
+                    }
+                }
+                (keys, rects)
+            }
+            _ => (self.staged_keys.clone(), self.staged_rects.clone()),
+        };
+        FrozenShard {
+            core: Arc::clone(&self.core),
+            staged_keys,
+            staged_rects,
+            tombstones: self.tombstones.clone(),
+            tombstone_count: self.tombstone_count,
+            delta_fraction: self.delta_fraction,
+        }
+    }
+
     /// Completes a two-phase compaction: swaps in `merged` (the
     /// [`FrozenShard::merge`] result of this tree's own freeze),
     /// re-applies every removal that landed mid-compaction to the
@@ -1271,53 +1398,15 @@ impl<K, const D: usize> PackedRTree<K, D> {
     }
 
     /// The packed tier of [`PackedRTree::traverse_while`], emitting
-    /// live slot indexes. The explicit stack is a fixed array
-    /// ([`STACK_CAPACITY`] frames bounds every legal tree), so a query
-    /// performs no heap allocation at all. Returns `false` when the
-    /// visitor aborted.
+    /// live slot indexes. Shared with the frozen-snapshot read path via
+    /// [`traverse_core_while`]. Returns `false` when the visitor
+    /// aborted.
     fn traverse_packed_while(
         &self,
         mask_of: &impl Fn(&[Rect<D>]) -> u32,
         emit: &mut impl FnMut(usize) -> bool,
     ) -> bool {
-        let core = &*self.core;
-        let Some(root) = core.levels.last() else {
-            return true;
-        };
-        if mask_of(&root[0..1]) == 0 {
-            return true;
-        }
-        let mut stack = [(0u32, 0u32); STACK_CAPACITY];
-        let mut top = 1usize;
-        stack[0] = (core.levels.len() as u32 - 1, 0);
-        while top > 0 {
-            top -= 1;
-            let (level, node) = stack[top];
-            let lo = node as usize * core.node_size;
-            if level == 0 {
-                let hi = (lo + core.node_size).min(core.rects.len());
-                let mut mask = mask_of(&core.rects[lo..hi]);
-                while mask != 0 {
-                    let slot = lo + mask.trailing_zeros() as usize;
-                    if self.is_live(slot) && !emit(slot) {
-                        return false;
-                    }
-                    mask &= mask - 1;
-                }
-            } else {
-                let below = &core.levels[level as usize - 1];
-                let hi = (lo + core.node_size).min(below.len());
-                let mut mask = mask_of(&below[lo..hi]);
-                while mask != 0 {
-                    let child = lo as u32 + mask.trailing_zeros();
-                    debug_assert!(top < STACK_CAPACITY);
-                    stack[top] = (level - 1, child);
-                    top += 1;
-                    mask &= mask - 1;
-                }
-            }
-        }
-        true
+        traverse_core_while(&self.core, &self.tombstones, mask_of, emit)
     }
 
     /// The delta tier of [`PackedRTree::traverse_while`]: the staging
@@ -2110,6 +2199,108 @@ mod tests {
         tree.install(merged);
         tree.validate().unwrap();
         assert_eq!(tree.len(), 40);
+    }
+
+    fn snapshot_hits(snap: &FrozenShard<usize, 2>, p: &Point<2>) -> Vec<usize> {
+        let mut hits = Vec::new();
+        snap.for_each_containing(p, |&k, _| hits.push(k));
+        hits.sort_unstable();
+        hits
+    }
+
+    #[test]
+    fn snapshot_reads_match_the_tree_at_snapshot_time() {
+        let mut tree = PackedRTree::bulk_load_with_node_size(4, grid(60));
+        let mut model = grid(60);
+        // Mixed delta state before the snapshot: stagings + removals.
+        for i in 0..8usize {
+            let r = Rect::new([1.0 + i as f64, 1.0], [1.5 + i as f64, 1.5]);
+            tree.stage_insert(900 + i, r);
+            model.push((900 + i, r));
+        }
+        for (k, r) in grid(60).iter().take(10) {
+            assert!(tree.remove_entry(k, r).is_some());
+        }
+        model.retain(|&(k, _)| k >= 10);
+        let snap = tree.snapshot();
+        assert!(!tree.is_compacting(), "snapshot must not open an epoch");
+        assert_eq!(snap.len(), model.len());
+
+        // Mutate the live tree heavily; the snapshot must not move.
+        for (k, r) in grid(60).iter().skip(10).take(20) {
+            assert!(tree.remove_entry(k, r).is_some());
+        }
+        tree.stage_insert(999, Rect::new([0.0, 0.0], [100.0, 100.0]));
+        for p in [
+            Point::new([1.2, 1.2]),
+            Point::new([5.0, 5.0]),
+            Point::new([31.0, 4.0]),
+            grid(60)[3].1.center(),
+            grid(60)[45].1.center(),
+            Point::new([-5.0, -5.0]),
+        ] {
+            assert_eq!(snapshot_hits(&snap, &p), model_hits(&model, &p), "at {p:?}");
+        }
+    }
+
+    #[test]
+    fn snapshot_composes_with_an_outstanding_freeze() {
+        let mut tree = PackedRTree::bulk_load_with_node_size(4, grid(40));
+        let r = Rect::new([5.0, 5.0], [6.0, 6.0]);
+        tree.stage_insert(700, r);
+        let frozen = tree.freeze();
+        // Retire the frozen staged entry mid-compaction, tombstone a
+        // packed one, stage a gen-2 entry.
+        assert!(matches!(
+            tree.remove_entry(&700, &r),
+            Some(DeltaRemoval::Retired { .. })
+        ));
+        let (k1, r1) = grid(40)[7];
+        assert!(tree.remove_entry(&k1, &r1).is_some());
+        let r2 = Rect::new([50.0, 50.0], [51.0, 51.0]);
+        tree.stage_insert(701, r2);
+
+        // The read snapshot sees the *current* live set: no 700 (it
+        // was retired, and must be filtered out, not emitted), no k1,
+        // but 701.
+        let snap = tree.snapshot();
+        assert_eq!(snap.len(), tree.len());
+        assert_eq!(snapshot_hits(&snap, &Point::new([5.5, 5.5])), vec![]);
+        assert_eq!(snapshot_hits(&snap, &r1.center()), vec![]);
+        assert_eq!(snapshot_hits(&snap, &Point::new([50.5, 50.5])), vec![701]);
+
+        // And the compaction completes undisturbed.
+        let merged = frozen.merge();
+        tree.install(merged);
+        tree.validate().unwrap();
+    }
+
+    #[test]
+    fn snapshot_serves_concurrent_readers_while_owner_mutates() {
+        let mut tree = PackedRTree::bulk_load_with_node_size(4, grid(80));
+        let snap = std::sync::Arc::new(tree.snapshot());
+        let expected: Vec<Vec<usize>> = (0..80)
+            .map(|i| model_hits(&grid(80), &grid(80)[i].1.center()))
+            .collect();
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                let snap = std::sync::Arc::clone(&snap);
+                let expected = &expected;
+                scope.spawn(move || {
+                    for (i, want) in expected.iter().enumerate() {
+                        let got = snapshot_hits(&snap, &grid(80)[i].1.center());
+                        assert_eq!(&got, want);
+                    }
+                });
+            }
+            // The owner mutates concurrently — readers never block on
+            // it and never see the mutations.
+            for (k, r) in grid(80).iter().take(40) {
+                assert!(tree.remove_entry(k, r).is_some());
+            }
+            tree.compact();
+        });
+        assert_eq!(snap.len(), 80);
     }
 
     #[test]

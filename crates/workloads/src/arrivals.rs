@@ -1,0 +1,115 @@
+//! Open-loop arrival schedules for ingress latency experiments.
+//!
+//! A closed-loop load generator waits for each publication to complete
+//! before issuing the next, so whenever the system stalls the
+//! generator politely stops offering load — and the stall never shows
+//! up in the measured latencies (*coordinated omission*). An
+//! **open-loop** generator instead fixes the arrival times up front:
+//! event `i` is *scheduled* at `t_i` regardless of how the system is
+//! doing, and its latency is billed from `t_i` even when it spent most
+//! of that time queued behind a backlog.
+//!
+//! [`ArrivalSchedule`] generates those `t_i` as nanosecond offsets
+//! from an epoch (the `MultiBroker` ingress clock in `drtree-pubsub`):
+//! deterministic for a given seed, nondecreasing, one timestamp per
+//! event. Feed them to `PublisherHandle::publish_at`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A generator of per-event scheduled arrival times (ns offsets).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalSchedule {
+    /// Constant-rate arrivals: event `i` at `i * period_ns` exactly —
+    /// the classic open-loop fixed-throughput clock.
+    Uniform {
+        /// Gap between consecutive arrivals, in nanoseconds.
+        period_ns: u64,
+    },
+    /// Poisson arrivals: exponential inter-arrival gaps with the given
+    /// mean, the memoryless model matching the paper's churn schedule
+    /// (footnote 4) applied to publications.
+    Poisson {
+        /// Mean inter-arrival gap, in nanoseconds.
+        mean_gap_ns: u64,
+    },
+    /// Bursty arrivals: bursts of `burst` back-to-back events (0 ns
+    /// apart), bursts separated by `gap_ns` — the worst case for a
+    /// bounded ingress queue's admission control.
+    Bursty {
+        /// Events per burst (at least 1).
+        burst: usize,
+        /// Gap between bursts, in nanoseconds.
+        gap_ns: u64,
+    },
+}
+
+impl ArrivalSchedule {
+    /// Generates `n` scheduled arrival times starting at offset 0,
+    /// nondecreasing, deterministic for a given `seed`.
+    pub fn generate(&self, n: usize, seed: u64) -> Vec<u64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut at: u64 = 0;
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            out.push(at);
+            at = at.saturating_add(self.gap_after(i, &mut rng));
+        }
+        out
+    }
+
+    fn gap_after(&self, i: usize, rng: &mut StdRng) -> u64 {
+        match *self {
+            ArrivalSchedule::Uniform { period_ns } => period_ns,
+            ArrivalSchedule::Poisson { mean_gap_ns } => {
+                // Inverse-CDF exponential sample; clamp the uniform
+                // draw away from 0 so ln stays finite.
+                let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                let gap = -u.ln() * mean_gap_ns as f64;
+                gap.min(u64::MAX as f64) as u64
+            }
+            ArrivalSchedule::Bursty { burst, gap_ns } => {
+                if (i + 1).is_multiple_of(burst.max(1)) {
+                    gap_ns
+                } else {
+                    0
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_schedule_is_an_exact_grid() {
+        let at = ArrivalSchedule::Uniform { period_ns: 250 }.generate(5, 1);
+        assert_eq!(at, vec![0, 250, 500, 750, 1000]);
+    }
+
+    #[test]
+    fn poisson_schedule_is_seeded_nondecreasing_and_near_rate() {
+        let sched = ArrivalSchedule::Poisson { mean_gap_ns: 1_000 };
+        let a = sched.generate(10_000, 42);
+        let b = sched.generate(10_000, 42);
+        assert_eq!(a, b, "same seed, same schedule");
+        assert!(a.windows(2).all(|w| w[0] <= w[1]), "nondecreasing");
+        // Mean gap within 10% of nominal over 10k samples.
+        let mean = *a.last().unwrap() as f64 / (a.len() - 1) as f64;
+        assert!((900.0..1_100.0).contains(&mean), "mean gap {mean}");
+        // A different seed gives a different draw.
+        assert_ne!(a, sched.generate(10_000, 43));
+    }
+
+    #[test]
+    fn bursty_schedule_groups_back_to_back() {
+        let at = ArrivalSchedule::Bursty {
+            burst: 3,
+            gap_ns: 100,
+        }
+        .generate(7, 9);
+        assert_eq!(at, vec![0, 0, 0, 100, 100, 100, 200]);
+    }
+}

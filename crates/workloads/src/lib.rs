@@ -13,6 +13,10 @@
 //!   and subscription-following;
 //! * [`churn`] — Poisson join/leave schedules (the paper's footnote 4
 //!   model for Lemma 3.7);
+//! * [`arrivals`] — open-loop arrival schedules (uniform, Poisson,
+//!   bursty) for the multi-publisher ingress latency experiments —
+//!   scheduled timestamps, so queue wait is measured instead of
+//!   coordinated away;
 //! * [`dist`] — the small samplers needed above (Zipf by inverse CDF,
 //!   Gaussian by Box–Muller), implemented locally to keep the
 //!   dependency closure minimal.
@@ -48,11 +52,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arrivals;
 pub mod churn;
 pub mod dist;
 pub mod events;
 pub mod subscriptions;
 
+pub use arrivals::ArrivalSchedule;
 pub use churn::{ChurnEvent, ChurnOp, PoissonChurn};
 pub use events::EventWorkload;
 pub use subscriptions::SubscriptionWorkload;

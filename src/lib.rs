@@ -66,7 +66,7 @@ pub use drtree_core::{
     churn, corruption, legal, DrTreeCluster, DrTreeConfig, DrtNode, FpReorgConfig, ProcessId,
     PublishReport, SplitMethod,
 };
-pub use drtree_pubsub::{Broker, RoutingStats};
+pub use drtree_pubsub::{Broker, IngressConfig, MultiBroker, RoutingStats};
 pub use drtree_rtree::{PackedRTree, RTree, RTreeConfig, SpatialIndex};
 pub use drtree_spatial::{ContainmentGraph, Event, FilterExpr, Op, Point, Rect, Schema};
 pub use drtree_workloads::{EventWorkload, PoissonChurn, SubscriptionWorkload};
