@@ -321,6 +321,9 @@ fn rtree_backends(out_path: &str, check: Option<f64>) {
     let mut incremental_samples = Vec::new();
     let mut pointer_samples = Vec::new();
     let mut packed_samples = Vec::new();
+    // `(size, save_ns, load_ns, first_query_ns, restore_vs_build)` at
+    // the 100k/500k points.
+    let mut snapshot_samples: Vec<(usize, u64, u64, u64, f64)> = Vec::new();
     println!("| N | backend | build (ns) | point query (ns) |");
     println!("|---|---------|------------|------------------|");
     for size in SIZES {
@@ -378,6 +381,35 @@ fn rtree_backends(out_path: &str, check: Option<f64>) {
             build_ns: packed_build_ns,
             query_ns: packed_query_ns,
         });
+
+        // Flat-buffer snapshot columns: serialize, zero-copy restore,
+        // and the first query on the restored tree (which pays the
+        // lazy key materialization the load deferred). Restore skips
+        // the bulk checksum — that is `verify_snapshot`, off the
+        // cold-start path — so the gate below compares it against the
+        // full Hilbert bulk build.
+        if size >= 100_000 {
+            let (snapshot, save_ns) = time_build(3, || packed.save());
+            let snapshot_len = snapshot.len();
+            let (restored, load_ns) = time_build_with(
+                5,
+                || snapshot.clone(),
+                |b| PackedRTree::<usize, 2>::load(b).expect("snapshot loads"),
+            );
+            assert_eq!(restored.len(), packed.len(), "restore is lossless");
+            let t0 = Instant::now();
+            let mut count = 0usize;
+            restored.for_each_containing(&probes[0], |_, _| count += 1);
+            let first_query_ns = t0.elapsed().as_nanos() as u64;
+            assert!(count > 0, "probe center hits its own entry");
+            let restore_vs_build = packed_build_ns as f64 / load_ns.max(1) as f64;
+            println!(
+                "| {size} | packed-snapshot | save {save_ns} ns ({snapshot_len} B) | \
+                 load {load_ns} ns, first query {first_query_ns} ns, \
+                 restore {restore_vs_build:.0}x faster than build |"
+            );
+            snapshot_samples.push((size, save_ns, load_ns, first_query_ns, restore_vs_build));
+        }
     }
 
     let last_incr = incremental_samples.last().expect("sizes non-empty");
@@ -427,6 +459,22 @@ fn rtree_backends(out_path: &str, check: Option<f64>) {
         )
         .field("backends", backends)
         .field(
+            "snapshot",
+            Json::Array(
+                snapshot_samples
+                    .iter()
+                    .map(|&(size, save_ns, load_ns, first_query_ns, ratio)| {
+                        Json::object()
+                            .field("size", size)
+                            .field("save_ns", save_ns)
+                            .field("load_ns", load_ns)
+                            .field("first_query_ns", first_query_ns)
+                            .field("restore_vs_build", Json::fixed(ratio, 1))
+                    })
+                    .collect(),
+            ),
+        )
+        .field(
             format!("packed_speedup_at_{}k", last_packed.size / 1000).as_str(),
             Json::object()
                 .field("build_vs_incremental", Json::fixed(vs_incr_build, 2))
@@ -446,6 +494,21 @@ fn rtree_backends(out_path: &str, check: Option<f64>) {
             std::process::exit(1);
         }
         println!("check passed: packed >= {threshold}x vs STR on build and query");
+        // Zero-copy restore must stay in a different complexity class
+        // than the bulk build it replaces — the cold-start promise of
+        // the flat-buffer snapshot format.
+        const RESTORE_GATE: f64 = 50.0;
+        let &(size, _, _, _, ratio) = snapshot_samples
+            .last()
+            .expect("snapshot measured at the largest size");
+        if ratio < RESTORE_GATE {
+            eprintln!(
+                "REGRESSION: snapshot restore at {size} is only {ratio:.1}x \
+                 faster than bulk build (gate {RESTORE_GATE}x)"
+            );
+            std::process::exit(1);
+        }
+        println!("check passed: restore >= {RESTORE_GATE}x faster than bulk build at {size}");
     }
 }
 

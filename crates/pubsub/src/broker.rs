@@ -592,6 +592,18 @@ impl<const D: usize> Broker<D> {
         self.oracle.snapshot()
     }
 
+    /// Serializes the live subscription oracle into one flat,
+    /// versioned, checksummed buffer — the durable counterpart of
+    /// [`Broker::oracle_snapshot`]. A serving replica restores it with
+    /// [`ShardedOracle::restore_bytes`] (zero-copy, millisecond
+    /// cold-start) and answers exact matching queries as of snapshot
+    /// time without carrying any of the broker's overlay state. Safe
+    /// mid-churn: staged entries and tombstones travel with their
+    /// shards.
+    pub fn oracle_snapshot_bytes(&self) -> Vec<u8> {
+        self.oracle.snapshot_bytes()
+    }
+
     /// Chooses how the oracle realizes over-threshold shard
     /// compactions: inline inside the flush
     /// ([`CompactionMode::Synchronous`], deterministic, the measured

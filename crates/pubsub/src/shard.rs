@@ -34,12 +34,32 @@
 //! a full redistribute that would void every in-flight merge.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use drtree_core::ProcessId;
-use drtree_rtree::{parallel, DeltaRemoval, FrozenShard, PackedRTree};
+use drtree_rtree::bytes::{self, AlignedBytes};
+use drtree_rtree::{
+    parallel, DeltaRemoval, FrozenShard, PackedRTree, SnapshotError, SnapshotOptions,
+};
 use drtree_spatial::hilbert::{GridMapper, ShardMap};
 use drtree_spatial::{Point, Rect};
+
+/// Magic number of a serialized [`ShardedOracle`] (`"DRTO"`, little
+/// endian), leading the 64-byte oracle header.
+const ORACLE_MAGIC: u32 = u32::from_le_bytes(*b"DRTO");
+
+/// Version of the oracle snapshot wire format. Readers reject any
+/// other value outright — the format is versioned, not negotiated.
+const ORACLE_VERSION: u16 = 1;
+
+/// Header flag: the snapshot carries a [`ShardMap`] (world rectangle
+/// plus `K − 1` boundary keys). Absent only when the oracle was
+/// snapshotted before its first flush established a map.
+const ORACLE_FLAG_HAS_MAP: u16 = 1;
+
+/// Byte length of the oracle snapshot header.
+const ORACLE_HEADER_LEN: usize = 64;
 
 /// Rebalance when one shard holds more than
 /// `IMBALANCE_FACTOR × ideal + IMBALANCE_SLACK` entries. The slack
@@ -139,6 +159,26 @@ impl<const D: usize> StabGrid<D> {
             0,
             "grid build does not index pre-existing staged entries"
         );
+        Self::build_csr(packed)
+    }
+
+    /// [`StabGrid::build`] over a tree that already carries a delta
+    /// layer: the CSR arrays cover the packed slots, then every live
+    /// staged entry is patched into the cell lists — the restore
+    /// path's builder, where a mid-churn snapshot legitimately wakes
+    /// up with staged entries.
+    fn build_with_staged(packed: &PackedRTree<ProcessId, D>) -> Self {
+        let mut grid = Self::build_csr(packed);
+        for (i, rect) in packed.staged_rects().iter().enumerate() {
+            if packed.is_staged_live(i) {
+                grid.stage(i as u32, rect);
+            }
+        }
+        grid
+    }
+
+    /// The CSR build itself, covering packed slots only.
+    fn build_csr(packed: &PackedRTree<ProcessId, D>) -> Self {
         let n = packed.len();
         if n == 0 {
             return Self::default();
@@ -513,9 +553,15 @@ pub struct OracleFlush {
     pub rebalanced: bool,
     /// Whether imbalance was repaired by a single Hilbert boundary
     /// shift between the overloaded shard and its curve neighbor
-    /// (delta-aware rebalancing: two shards rebuilt, every other
-    /// shard's in-flight compaction left undisturbed).
+    /// (delta-aware rebalancing: only the entries crossing the shifted
+    /// boundary migrate between the pair's delta layers — no shard
+    /// rebuilds, and every in-flight compaction is left undisturbed).
     pub split_rebalanced: bool,
+    /// Entries handed across the shifted boundary by a split
+    /// rebalance: tombstoned or unstaged out of their old shard and
+    /// staged into the delta layer of the new one, with both packed
+    /// cores left in place.
+    pub migrated_entries: usize,
     /// Publish-path stall: nanoseconds this flush spent freezing,
     /// swapping and fixing up — everything *except* inline merge work.
     pub swap_ns: u64,
@@ -599,9 +645,10 @@ impl BatchMatches {
 ///   once). When only *imbalance* needs repair (one shard past
 ///   `4× ideal + 64` entries), the flush is delta-aware instead: it
 ///   shifts the single Hilbert boundary between the overloaded shard
-///   and its lighter curve neighbor to their combined count median, so
-///   two shards rebuild and every other shard — compacting or not —
-///   is untouched.
+///   and its lighter curve neighbor to their combined count median and
+///   migrates only the crossing entries by delta handoff (tombstone
+///   out, stage in) — no shard rebuilds, and every other shard —
+///   compacting or not — is untouched.
 /// * **Correctness under interleaving** — any assignment whatsoever
 ///   yields exact matching (every shard is probed), so the shard map
 ///   only affects performance; property tests pin the hit-sets to the
@@ -661,6 +708,12 @@ pub struct ShardedOracle<const D: usize> {
     threads: usize,
     /// An insert landed outside the mapped world; rebalance next flush.
     stale_world: bool,
+    /// The derived read-side structures (per-shard stab grids, the
+    /// id-count dedup table) have not been built yet — the state a
+    /// freshly restored oracle wakes up in. The first flush rebuilds
+    /// them; until then single-point matching works off the packed
+    /// trees alone, so restore itself stays `O(header)` per shard.
+    derived_stale: bool,
     /// Compaction trigger forwarded to every shard's packed tree.
     delta_fraction: f64,
     /// Whether over-threshold compactions run inline or on workers.
@@ -700,6 +753,7 @@ impl<const D: usize> ShardedOracle<D> {
             len: 0,
             threads: parallel::available_threads(),
             stale_world: false,
+            derived_stale: false,
             delta_fraction,
             mode: CompactionMode::default(),
             rebuilds: 0,
@@ -813,6 +867,275 @@ impl<const D: usize> ShardedOracle<D> {
             shards: self.shards.iter().map(|s| s.packed.snapshot()).collect(),
             len: self.len,
         }
+    }
+
+    /// Serializes the whole oracle — every shard's packed core, delta
+    /// layer and tombstones, plus the [`ShardMap`] boundaries — into
+    /// one flat, versioned, checksummed buffer in the default (exact
+    /// `f64`) layout. See [`ShardedOracle::restore_bytes`] for the
+    /// wire format and the restore path.
+    pub fn snapshot_bytes(&self) -> Vec<u8> {
+        self.snapshot_bytes_with(SnapshotOptions::default())
+    }
+
+    /// [`ShardedOracle::snapshot_bytes`] with an explicit hot-layout
+    /// choice for the per-shard tree buffers (`f32`-quantized interior
+    /// MBRs, cache-line-aligned fanout — see
+    /// [`drtree_rtree::SnapshotOptions`]).
+    ///
+    /// Safe at any point in the mutation stream: mid-churn deltas and
+    /// tombstones serialize with their shards, and mid-compaction
+    /// shards serialize their *live logical view* (the frozen core
+    /// plus surviving staged entries).
+    pub fn snapshot_bytes_with(&self, options: SnapshotOptions) -> Vec<u8> {
+        let k = self.shards.len();
+        let shard_bufs: Vec<Vec<u8>> = self
+            .shards
+            .iter()
+            .map(|s| s.packed.save_with(options, |id| id.raw()))
+            .collect();
+        let mut out = vec![0u8; ORACLE_HEADER_LEN];
+        // Meta section: world + boundaries (when a map exists), then
+        // the per-shard buffer lengths.
+        if let Some(map) = &self.map {
+            let world = map.world();
+            for d in 0..D {
+                out.extend_from_slice(&world.lo(d).to_bits().to_le_bytes());
+            }
+            for d in 0..D {
+                out.extend_from_slice(&world.hi(d).to_bits().to_le_bytes());
+            }
+            for &b in map.boundaries() {
+                out.extend_from_slice(&(b as u64).to_le_bytes());
+                out.extend_from_slice(&((b >> 64) as u64).to_le_bytes());
+            }
+        }
+        for buf in &shard_bufs {
+            out.extend_from_slice(&(buf.len() as u64).to_le_bytes());
+        }
+        let meta_checksum = bytes::checksum(&out[ORACLE_HEADER_LEN..]);
+        bytes::pad_to_section(&mut out);
+        // Shard buffers back to back; each is already a 64-byte
+        // multiple, so every one starts section-aligned — the
+        // precondition of the zero-copy shared-buffer load.
+        for buf in &shard_bufs {
+            out.extend_from_slice(buf);
+            bytes::pad_to_section(&mut out);
+        }
+        let flags = if self.map.is_some() {
+            ORACLE_FLAG_HAS_MAP
+        } else {
+            0
+        };
+        out[0..4].copy_from_slice(&ORACLE_MAGIC.to_le_bytes());
+        out[4..6].copy_from_slice(&ORACLE_VERSION.to_le_bytes());
+        out[6..8].copy_from_slice(&flags.to_le_bytes());
+        out[8..12].copy_from_slice(&(D as u32).to_le_bytes());
+        out[12..16].copy_from_slice(&(k as u32).to_le_bytes());
+        out[16..24].copy_from_slice(&(self.len as u64).to_le_bytes());
+        out[24..32].copy_from_slice(&self.delta_fraction.to_bits().to_le_bytes());
+        out[32..40].copy_from_slice(&meta_checksum.to_le_bytes());
+        let total = out.len() as u64;
+        out[40..48].copy_from_slice(&total.to_le_bytes());
+        out
+    }
+
+    /// Restores an oracle from a [`ShardedOracle::snapshot_bytes`]
+    /// buffer — the cold-start path.
+    ///
+    /// The buffer is adopted zero-copy (one allocation check, no
+    /// memcpy) and every shard's packed core serves queries directly
+    /// off the shared buffer; per-shard work is header validation plus
+    /// an `O(meta)` checksum, so a multi-hundred-thousand-entry oracle
+    /// restores in ~a millisecond. Wire format, all little-endian:
+    ///
+    /// * 64-byte header: magic `"DRTO"`, version, flags, dims, shard
+    ///   count `K`, live length, delta fraction, meta checksum, total
+    ///   length;
+    /// * meta section: world rectangle (`2·D` f64) and `K − 1`
+    ///   boundary keys (two `u64` words each) when a map exists, then
+    ///   `K` per-shard buffer lengths (`u64`);
+    /// * `K` [`drtree_rtree::PackedRTree::save_with`] tree buffers at
+    ///   consecutive 64-byte-aligned offsets, all backed by the one
+    ///   adopted allocation.
+    ///
+    /// The stab grids and the id-count dedup table are *not*
+    /// serialized: the first [`ShardedOracle::flush`] (explicit, or
+    /// implicit in the first query) rebuilds both from the restored
+    /// shards, keeping restore itself off the `O(entries)` path.
+    /// Single-point matching works before that rebuild — it descends
+    /// the packed trees directly.
+    ///
+    /// # Errors
+    ///
+    /// Corrupted, truncated, wrong-version, wrong-dimension or
+    /// checksum-failing buffers are rejected with the matching
+    /// [`SnapshotError`]; no input panics.
+    pub fn restore_bytes(raw: Vec<u8>) -> Result<Self, SnapshotError> {
+        let buf = AlignedBytes::adopt(raw);
+        let data = buf.as_slice();
+        if data.len() < ORACLE_HEADER_LEN {
+            return Err(SnapshotError::Truncated {
+                needed: ORACLE_HEADER_LEN,
+                have: data.len(),
+            });
+        }
+        let magic = bytes::read_u32(data, 0).expect("header bounds checked");
+        if magic != ORACLE_MAGIC {
+            return Err(SnapshotError::BadMagic { found: magic });
+        }
+        let version = bytes::read_u16(data, 4).expect("header bounds checked");
+        if version != ORACLE_VERSION {
+            return Err(SnapshotError::WrongVersion {
+                found: version,
+                supported: ORACLE_VERSION,
+            });
+        }
+        let flags = bytes::read_u16(data, 6).expect("header bounds checked");
+        if flags & !ORACLE_FLAG_HAS_MAP != 0 {
+            return Err(SnapshotError::Corrupt("unknown oracle flags"));
+        }
+        let has_map = flags & ORACLE_FLAG_HAS_MAP != 0;
+        let dims = bytes::read_u32(data, 8).expect("header bounds checked");
+        if dims as usize != D {
+            return Err(SnapshotError::WrongDims {
+                found: dims,
+                expected: D as u32,
+            });
+        }
+        let k = bytes::read_u32(data, 12).expect("header bounds checked") as usize;
+        if k == 0 {
+            return Err(SnapshotError::Corrupt("oracle has zero shards"));
+        }
+        // The meta section alone needs 8 bytes per shard, so this
+        // bound rejects absurd counts before any multiplication or
+        // allocation scales with them.
+        if k > data.len() / 8 {
+            return Err(SnapshotError::Corrupt("shard count exceeds buffer"));
+        }
+        let len = usize::try_from(bytes::read_u64(data, 16).expect("header bounds checked"))
+            .map_err(|_| SnapshotError::Corrupt("oracle length exceeds address space"))?;
+        let delta_fraction =
+            f64::from_bits(bytes::read_u64(data, 24).expect("header bounds checked"));
+        if delta_fraction.is_nan() || delta_fraction < 0.0 {
+            return Err(SnapshotError::Corrupt("invalid delta fraction"));
+        }
+        let meta_checksum = bytes::read_u64(data, 32).expect("header bounds checked");
+        let payload_len =
+            usize::try_from(bytes::read_u64(data, 40).expect("header bounds checked"))
+                .map_err(|_| SnapshotError::Corrupt("payload length exceeds address space"))?;
+        if payload_len > data.len() {
+            return Err(SnapshotError::Truncated {
+                needed: payload_len,
+                have: data.len(),
+            });
+        }
+        if payload_len != data.len() {
+            return Err(SnapshotError::Corrupt("trailing bytes after the snapshot"));
+        }
+        let map_meta = if has_map { 16 * D + (k - 1) * 16 } else { 0 };
+        let meta_end = ORACLE_HEADER_LEN + map_meta + k * 8;
+        if meta_end > data.len() {
+            return Err(SnapshotError::Truncated {
+                needed: meta_end,
+                have: data.len(),
+            });
+        }
+        if bytes::checksum(&data[ORACLE_HEADER_LEN..meta_end]) != meta_checksum {
+            return Err(SnapshotError::ChecksumMismatch);
+        }
+        let map = if has_map {
+            let mut lo = [0.0; D];
+            let mut hi = [0.0; D];
+            for d in 0..D {
+                lo[d] =
+                    bytes::read_f64(data, ORACLE_HEADER_LEN + 8 * d).expect("meta bounds checked");
+                hi[d] = bytes::read_f64(data, ORACLE_HEADER_LEN + 8 * (D + d))
+                    .expect("meta bounds checked");
+            }
+            let world = Rect::try_new(lo, hi)
+                .map_err(|_| SnapshotError::Corrupt("invalid world rectangle"))?;
+            let mut boundaries = Vec::with_capacity(k - 1);
+            for i in 0..k - 1 {
+                let at = ORACLE_HEADER_LEN + 16 * D + 16 * i;
+                let lo_word = bytes::read_u64(data, at).expect("meta bounds checked");
+                let hi_word = bytes::read_u64(data, at + 8).expect("meta bounds checked");
+                boundaries.push((u128::from(hi_word) << 64) | u128::from(lo_word));
+            }
+            if !boundaries.windows(2).all(|w| w[0] <= w[1]) {
+                return Err(SnapshotError::Corrupt("shard boundaries not ascending"));
+            }
+            Some(ShardMap::from_boundaries(&world, boundaries))
+        } else {
+            None
+        };
+        let lens_at = ORACLE_HEADER_LEN + map_meta;
+        let from_raw: Arc<dyn Fn(u64) -> ProcessId + Send + Sync> = Arc::new(ProcessId::from_raw);
+        let mut shards = Vec::with_capacity(k);
+        let mut off = bytes::align_up(meta_end);
+        for i in 0..k {
+            let shard_len =
+                usize::try_from(bytes::read_u64(data, lens_at + 8 * i).expect("meta bounds"))
+                    .map_err(|_| SnapshotError::Corrupt("shard length exceeds address space"))?;
+            let mut packed = PackedRTree::load_shared(&buf, off, shard_len, Arc::clone(&from_raw))?;
+            packed.set_delta_fraction(delta_fraction);
+            shards.push(Shard {
+                packed,
+                grid: StabGrid::default(),
+                job: None,
+            });
+            off = bytes::align_up(
+                off.checked_add(shard_len)
+                    .ok_or(SnapshotError::Corrupt("shard range overflows"))?,
+            );
+        }
+        if off != data.len() {
+            return Err(SnapshotError::Corrupt(
+                "trailing bytes after the last shard",
+            ));
+        }
+        let computed: usize = shards.iter().map(|s| s.packed.len()).sum();
+        if computed != len {
+            return Err(SnapshotError::Corrupt(
+                "oracle length disagrees with shards",
+            ));
+        }
+        Ok(Self {
+            shards,
+            map,
+            len,
+            threads: parallel::available_threads(),
+            stale_world: false,
+            derived_stale: true,
+            delta_fraction,
+            mode: CompactionMode::default(),
+            rebuilds: 0,
+            rebalances: 0,
+            split_rebalances: 0,
+            compactions: 0,
+            staged_absorbed: 0,
+            tombstones_reclaimed: 0,
+            point_bufs: vec![Vec::new(); k],
+            batch_bufs: vec![ShardBatchBuf::default(); k],
+            id_counts: HashMap::new(),
+            duplicate_ids: 0,
+            sorted_idx: Vec::new(),
+            key_scratch: Vec::new(),
+            sorted_points: Vec::new(),
+            cursors: Vec::new(),
+            stream_bases: Vec::new(),
+        })
+    }
+
+    /// Verifies the deferred bulk checksum of every restored shard —
+    /// the full-integrity pass [`ShardedOracle::restore_bytes`] skips
+    /// to keep cold-start in the millisecond range. `Ok(())` for
+    /// shards that were never restored from a buffer.
+    pub fn verify_snapshot(&self) -> Result<(), SnapshotError> {
+        for shard in &self.shards {
+            shard.packed.verify_snapshot()?;
+        }
+        Ok(())
     }
 
     /// Packed-tree rebuilds performed over the oracle's lifetime.
@@ -954,6 +1277,9 @@ impl<const D: usize> ShardedOracle<D> {
     /// are left in place — that is the point of incremental
     /// maintenance.
     pub fn flush(&mut self) -> OracleFlush {
+        if self.derived_stale {
+            self.rebuild_derived();
+        }
         let any_jobs = self.shards.iter().any(|s| s.job.is_some());
         let needs_work = any_jobs
             || self.needs_rebalance()
@@ -1097,6 +1423,39 @@ impl<const D: usize> ShardedOracle<D> {
         }
     }
 
+    /// Builds the read-side structures a restore deliberately defers:
+    /// every shard's stab grid (CSR over its packed slots plus patch
+    /// lists for whatever delta the snapshot carried) and the id-count
+    /// table that lets the batched merge skip deduplication while no
+    /// id holds more than one entry. `O(total entries)` — the cost the
+    /// zero-copy restore moved off the cold-start path and onto the
+    /// first flush.
+    fn rebuild_derived(&mut self) {
+        self.derived_stale = false;
+        self.id_counts.clear();
+        self.duplicate_ids = 0;
+        let (shards, id_counts) = (&mut self.shards, &mut self.id_counts);
+        let mut duplicate_ids = 0usize;
+        for shard in shards.iter_mut() {
+            shard.grid = StabGrid::build_with_staged(&shard.packed);
+            let packed = &shard.packed;
+            let staged = packed
+                .staged_keys()
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| packed.is_staged_live(i))
+                .map(|(_, id)| id);
+            for id in packed.entries().map(|(_, id, _)| id).chain(staged) {
+                let count = id_counts.entry(id.raw()).or_insert(0);
+                *count += 1;
+                if *count == 2 {
+                    duplicate_ids += 1;
+                }
+            }
+        }
+        self.duplicate_ids = duplicate_ids;
+    }
+
     /// Folds one flush's work into the lifetime counters.
     fn absorb_flush_counters(&mut self, flush: &OracleFlush) {
         self.rebuilds += flush.rebuilt_shards as u64;
@@ -1111,10 +1470,15 @@ impl<const D: usize> ShardedOracle<D> {
     /// Delta-aware rebalancing: repairs imbalance by shifting the one
     /// Hilbert boundary between the overloaded shard and its lighter
     /// curve neighbor to the count median of their combined key
-    /// population. Only those two shards rebuild; every other shard —
-    /// including any mid-compaction — is untouched. Falls back to a
-    /// full redistribute when the shift cannot move anything (a
-    /// degenerate key distribution).
+    /// population, then **handing off** only the entries that cross
+    /// the shifted boundary — tombstoned or unstaged out of their old
+    /// shard, staged into the delta layer of the new one. Neither
+    /// shard rebuilds (their packed cores stay in place, flat buffers
+    /// and all), no other shard is touched, and in-flight background
+    /// merges — the pair's included — stay valid: mid-compaction
+    /// removals go through the epoch machinery and are reconciled at
+    /// install time. Falls back to a full redistribute when the shift
+    /// cannot move anything (a degenerate key distribution).
     fn split_rebalance(&mut self, flush: &mut OracleFlush) {
         let heavy = self
             .shards
@@ -1132,30 +1496,25 @@ impl<const D: usize> ShardedOracle<D> {
         } else {
             heavy + 1
         };
-        // The two shards being re-split must not have merges in
-        // flight: harvest a finished one, abandon an unfinished one
-        // (their entries are about to be redistributed regardless).
-        for i in [heavy, neighbor] {
-            let shard = &mut self.shards[i];
-            if let Some(job) = shard.job.take() {
-                if job.is_finished() {
-                    let merged = job.join();
-                    flush.compact_ns += merged.merge_ns;
-                    let stats = shard.install(merged);
-                    flush.rebuilt_shards += 1;
-                    flush.compacted_shards += 1;
-                    flush.staged_absorbed += stats.staged_absorbed;
-                    flush.tombstones_reclaimed += stats.tombstones_reclaimed;
-                }
-                // else: dropped above — drain_live aborts the epoch.
-            }
-        }
         let map = self.map.as_ref().expect("split requires a shard map");
         let mapper = map.mapper().clone();
         let boundary = heavy.min(neighbor);
-        let mut entries = self.shards[heavy].packed.drain_live();
-        entries.append(&mut self.shards[neighbor].packed.drain_live());
-        let mut keys: Vec<u128> = entries.iter().map(|(_, r)| mapper.key(r)).collect();
+        let pair = [boundary, boundary + 1];
+        // The pair's live key population, delta layers included —
+        // read-only: nothing is drained, both packed cores stay put.
+        let mut keys: Vec<u128> = Vec::new();
+        for s in pair {
+            let packed = &self.shards[s].packed;
+            keys.extend(packed.entries().map(|(_, _, r)| mapper.key(r)));
+            keys.extend(
+                packed
+                    .staged_rects()
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, _)| packed.is_staged_live(i))
+                    .map(|(_, r)| mapper.key(r)),
+            );
+        }
         // Only the count median matters — O(n) selection, not a sort;
         // this runs on the publish path, whose whole point is a small
         // stall.
@@ -1163,11 +1522,12 @@ impl<const D: usize> ShardedOracle<D> {
         let (_, &mut new_key, _) = keys.select_nth_unstable(mid);
         if new_key == map.boundaries()[boundary] {
             // The median *is* the current boundary: the shift would
-            // move nothing. Put the entries back through a full
-            // redistribute instead.
+            // move nothing. Full redistribute instead — which voids
+            // every assignment, so in-flight merges are abandoned.
             for shard in &mut self.shards {
                 drop(shard.job.take());
             }
+            let mut entries: Vec<(ProcessId, Rect<D>)> = Vec::new();
             for shard in &mut self.shards {
                 entries.append(&mut shard.packed.drain_live());
             }
@@ -1177,27 +1537,39 @@ impl<const D: usize> ShardedOracle<D> {
             return;
         }
         let new_map = map.with_boundary(boundary, new_key);
-        let mut lo_part: Vec<(ProcessId, Rect<D>)> = Vec::new();
-        let mut hi_part: Vec<(ProcessId, Rect<D>)> = Vec::new();
-        for (id, rect) in entries {
-            // Assignment is a pure function of the map, so combined
-            // entries re-split onto exactly these two shards.
-            if new_map.shard_of(&rect) == boundary {
-                lo_part.push((id, rect));
-            } else {
-                hi_part.push((id, rect));
+        // Handoff: collect each pair member's crossing entries, then
+        // migrate them one by one. Assignment is a pure function of
+        // the map, so a crossing entry of one pair member always lands
+        // on the other.
+        for s in pair {
+            let packed = &self.shards[s].packed;
+            let staged = packed
+                .staged_keys()
+                .iter()
+                .zip(packed.staged_rects())
+                .enumerate()
+                .filter(|&(i, _)| packed.is_staged_live(i))
+                .map(|(_, (id, r))| (*id, *r));
+            let crossing: Vec<(ProcessId, Rect<D>)> = packed
+                .entries()
+                .map(|(_, id, r)| (*id, *r))
+                .chain(staged)
+                .filter(|(_, r)| new_map.shard_of(r) != s)
+                .collect();
+            for (id, rect) in crossing {
+                let to = new_map.shard_of(&rect);
+                let removed = self.remove_from(s, id, &rect);
+                debug_assert!(removed, "crossing entry was live");
+                let gainer = &mut self.shards[to];
+                let idx = gainer.packed.staged_len() as u32;
+                gainer.packed.stage_insert(id, rect);
+                gainer.grid.stage(idx, &rect);
+                self.len += 1;
+                flush.migrated_entries += 1;
             }
-        }
-        let fraction = self.delta_fraction;
-        for (i, part) in [(boundary, lo_part), (boundary + 1, hi_part)] {
-            let shard = &mut self.shards[i];
-            shard.packed = PackedRTree::bulk_load(part);
-            shard.packed.set_delta_fraction(fraction);
-            shard.grid = StabGrid::build(&shard.packed);
         }
         self.map = Some(new_map);
         flush.split_rebalanced = true;
-        flush.rebuilt_shards += 2;
     }
 
     fn needs_rebalance(&self) -> bool {
@@ -1835,7 +2207,14 @@ mod tests {
             let flush = oracle.flush();
             assert!(flush.split_rebalanced, "mode {mode:?}: {flush:?}");
             assert!(!flush.rebalanced, "no full redistribute, mode {mode:?}");
-            assert_eq!(flush.rebuilt_shards, 2, "only the split pair rebuilds");
+            assert_eq!(
+                flush.rebuilt_shards, 0,
+                "handoff migration rebuilds nothing"
+            );
+            assert!(
+                flush.migrated_entries > 0,
+                "crossing entries migrated: {flush:?}"
+            );
             assert_eq!(oracle.rebalance_count(), 1, "full count unchanged");
             assert_eq!(oracle.split_rebalance_count(), 1);
             // The overloaded shard shed entries to its neighbor.
@@ -1903,6 +2282,144 @@ mod tests {
             oracle.match_point_into(&probe, &mut single);
             assert!(!single.is_empty());
             assert_eq!(batch.matches(0), single.as_slice(), "threads={threads}");
+        }
+    }
+
+    /// Single-point and batched answers over a probe sweep, for
+    /// comparing a restored oracle against its source.
+    fn answers(oracle: &mut ShardedOracle<2>, probes: &[Point<2>]) -> Vec<Vec<ProcessId>> {
+        let mut buf = Vec::new();
+        let mut batch = BatchMatches::new();
+        oracle.match_batch_into(probes, &mut batch);
+        probes
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                oracle.match_point_into(p, &mut buf);
+                assert_eq!(batch.matches(i), buf.as_slice(), "paths agree at {p:?}");
+                buf.clone()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn oracle_snapshot_bytes_round_trips_mid_churn() {
+        let mut oracle: ShardedOracle<2> = ShardedOracle::new(4);
+        for i in 0..256 {
+            oracle.insert(pid(i), grid_rect(i));
+        }
+        oracle.flush();
+        // Leave a live delta: staged inserts (one a duplicate id, so
+        // the restored id-count rebuild is exercised), a staged
+        // removal, and a tombstone.
+        oracle.insert(pid(500), grid_rect(7));
+        oracle.insert(pid(40), grid_rect(7));
+        oracle.insert(pid(501), grid_rect(9));
+        assert!(oracle.remove(pid(501), &grid_rect(9)));
+        assert!(oracle.remove(pid(3), &grid_rect(3)));
+
+        let probes: Vec<Point<2>> = (0..256).map(|i| grid_rect(i).center()).collect();
+        let want = answers(&mut oracle, &probes);
+        for options in [
+            SnapshotOptions::default(),
+            SnapshotOptions {
+                quantize_interior: true,
+                aligned_fanout: true,
+            },
+        ] {
+            let bytes = oracle.snapshot_bytes_with(options);
+            let mut restored = ShardedOracle::restore_bytes(bytes).expect("restores");
+            assert_eq!(restored.len(), oracle.len());
+            assert_eq!(restored.shard_count(), oracle.shard_count());
+            restored.verify_snapshot().expect("bulk checksums hold");
+            assert_eq!(answers(&mut restored, &probes), want, "{options:?}");
+            // The restored oracle keeps mutating like the original.
+            restored.insert(pid(900), grid_rect(11));
+            assert!(restored.remove(pid(40), &grid_rect(40)));
+            let mut hits = Vec::new();
+            restored.match_point_into(&grid_rect(11).center(), &mut hits);
+            assert!(hits.contains(&pid(900)), "{options:?}");
+        }
+    }
+
+    #[test]
+    fn oracle_snapshot_before_first_flush_round_trips() {
+        // No map yet: everything parked in shard 0, HAS_MAP clear.
+        let mut oracle: ShardedOracle<2> = ShardedOracle::new(3);
+        for i in 0..32 {
+            oracle.insert(pid(i), grid_rect(i));
+        }
+        let bytes = oracle.snapshot_bytes();
+        let mut restored = ShardedOracle::restore_bytes(bytes).expect("restores");
+        assert_eq!(restored.len(), 32);
+        assert!(restored.shard_of(&grid_rect(5)).is_none(), "no map yet");
+        let flush = restored.flush();
+        assert!(flush.rebalanced, "first flush establishes the map");
+        let mut hits = Vec::new();
+        restored.match_point_into(&grid_rect(5).center(), &mut hits);
+        assert_eq!(hits, vec![pid(5)]);
+    }
+
+    #[test]
+    fn oracle_restore_rejects_corruption_without_panicking() {
+        let mut oracle: ShardedOracle<2> = ShardedOracle::new(4);
+        for i in 0..256 {
+            oracle.insert(pid(i), grid_rect(i));
+        }
+        oracle.flush();
+        oracle.insert(pid(500), grid_rect(7));
+        let good = oracle.snapshot_bytes();
+
+        let mut bad = good.clone();
+        bad[0] ^= 0xff;
+        assert!(matches!(
+            ShardedOracle::<2>::restore_bytes(bad),
+            Err(SnapshotError::BadMagic { .. })
+        ));
+
+        let mut bad = good.clone();
+        bad[4] = 99;
+        assert!(matches!(
+            ShardedOracle::<2>::restore_bytes(bad),
+            Err(SnapshotError::WrongVersion { found: 99, .. })
+        ));
+
+        assert!(matches!(
+            ShardedOracle::<3>::restore_bytes(good.clone()),
+            Err(SnapshotError::WrongDims {
+                found: 2,
+                expected: 3
+            })
+        ));
+
+        // A flipped meta byte (first boundary word) fails the eager
+        // meta checksum.
+        let mut bad = good.clone();
+        bad[ORACLE_HEADER_LEN + 1] ^= 0x01;
+        assert!(matches!(
+            ShardedOracle::<2>::restore_bytes(bad),
+            Err(SnapshotError::ChecksumMismatch)
+        ));
+
+        // Truncations at every structural boundary return errors.
+        for cut in [0, 5, 63, 64, 200, good.len() / 2, good.len() - 1] {
+            let err = ShardedOracle::<2>::restore_bytes(good[..cut].to_vec())
+                .err()
+                .unwrap_or_else(|| panic!("truncation to {cut} accepted"));
+            let _ = err.to_string();
+        }
+
+        // Deterministic fuzz over the header and meta region: no flip
+        // may panic, and any accepted buffer must answer queries.
+        for pos in 0..good.len().min(320) {
+            for flip in [0x01u8, 0x80, 0xff] {
+                let mut fuzzed = good.clone();
+                fuzzed[pos] ^= flip;
+                if let Ok(mut restored) = ShardedOracle::<2>::restore_bytes(fuzzed) {
+                    let mut hits = Vec::new();
+                    restored.match_point_into(&grid_rect(7).center(), &mut hits);
+                }
+            }
         }
     }
 

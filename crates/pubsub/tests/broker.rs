@@ -385,3 +385,33 @@ fn adaptive_window_converges_on_uniform_and_hotspot_streams() {
     assert!(!broker.adaptive_window(), "explicit window pins the size");
     assert_eq!(broker.publish_window(), 16);
 }
+
+#[test]
+fn oracle_bytes_round_trip_serves_exact_matching() {
+    // The durable oracle snapshot: a broker exports its subscription
+    // oracle as one flat buffer; a serving replica restores it
+    // zero-copy and answers the same matching sets, with no broker
+    // overlay state at all.
+    let mut broker: Broker<2> = Broker::new(schema(), DrTreeConfig::default(), 4).unwrap();
+    let mut ids = Vec::new();
+    for i in 0..64 {
+        let x = (i % 8) as f64 * 10.0;
+        let y = (i / 8) as f64 * 10.0;
+        ids.push(broker.subscribe(&box_filter(x, y, 9.0, 9.0)).unwrap());
+    }
+    broker.flush_oracle();
+    // Leave a live delta so the snapshot is mid-churn.
+    broker.unsubscribe(ids[3]).unwrap();
+    let late = broker.subscribe(&box_filter(0.0, 0.0, 25.0, 25.0)).unwrap();
+
+    let bytes = broker.oracle_snapshot_bytes();
+    let mut replica =
+        drtree_pubsub::ShardedOracle::<2>::restore_bytes(bytes).expect("replica restores");
+    assert_eq!(replica.len(), broker.len());
+
+    let mut hits = Vec::new();
+    replica.match_point_into(&drtree_spatial::Point::new([5.0, 5.0]), &mut hits);
+    assert!(hits.contains(&ids[0]));
+    assert!(hits.contains(&late), "staged subscription travelled");
+    assert!(!hits.contains(&ids[3]), "tombstone travelled");
+}

@@ -59,12 +59,14 @@
 //! second-generation delta forward — the only on-path work is that
 //! `O(mutations-during-merge)` fix-up.
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use drtree_spatial::hilbert::GridMapper;
 use drtree_spatial::{Point, Rect};
 
-use crate::index::SpatialIndex;
+use crate::bytes::{self, AlignedBytes, QRect};
+use crate::index::{SnapshotKey, SpatialIndex};
+use crate::validate::SnapshotError;
 
 /// Default node capacity; 16 balances depth against per-node scan cost
 /// (the flatbush default).
@@ -159,56 +161,18 @@ fn mask_containing<const D: usize>(rects: &[Rect<D>], point: &Point<D>) -> u32 {
     mask
 }
 
-/// Iterative pruned descent over a packed core, emitting live slot
-/// indexes — the traversal kernel shared by the owning
-/// [`PackedRTree`] and read-only [`FrozenShard`] snapshots (which hold
-/// the same `Arc`-shared core plus their own tombstone copy). The
-/// explicit stack is a fixed array ([`STACK_CAPACITY`] frames bounds
-/// every legal tree), so a query performs no heap allocation at all.
-/// Returns `false` when the visitor aborted.
-fn traverse_core_while<K, const D: usize>(
-    core: &PackedCore<K, D>,
-    tombstones: &[u64],
-    mask_of: &impl Fn(&[Rect<D>]) -> u32,
-    emit: &mut impl FnMut(usize) -> bool,
-) -> bool {
-    let Some(root) = core.levels.last() else {
-        return true;
-    };
-    if mask_of(&root[0..1]) == 0 {
-        return true;
+/// [`mask_containing`] over quantized node MBRs. The f32 bounds widen
+/// exactly to f64, so the comparisons run in f64 like the exact path;
+/// quantization only ever rounds outward, keeping the mask
+/// conservative.
+#[inline]
+fn mask_containing_q<const D: usize>(rects: &[QRect<D>], point: &Point<D>) -> u32 {
+    debug_assert!(rects.len() <= MAX_NODE_SIZE);
+    let mut mask = 0u32;
+    for (i, r) in rects.iter().enumerate() {
+        mask |= u32::from(r.contains_point_branchless(point)) << i;
     }
-    let mut stack = [(0u32, 0u32); STACK_CAPACITY];
-    let mut top = 1usize;
-    stack[0] = (core.levels.len() as u32 - 1, 0);
-    while top > 0 {
-        top -= 1;
-        let (level, node) = stack[top];
-        let lo = node as usize * core.node_size;
-        if level == 0 {
-            let hi = (lo + core.node_size).min(core.rects.len());
-            let mut mask = mask_of(&core.rects[lo..hi]);
-            while mask != 0 {
-                let slot = lo + mask.trailing_zeros() as usize;
-                if !bit_set(tombstones, slot) && !emit(slot) {
-                    return false;
-                }
-                mask &= mask - 1;
-            }
-        } else {
-            let below = &core.levels[level as usize - 1];
-            let hi = (lo + core.node_size).min(below.len());
-            let mut mask = mask_of(&below[lo..hi]);
-            while mask != 0 {
-                let child = lo as u32 + mask.trailing_zeros();
-                debug_assert!(top < STACK_CAPACITY);
-                stack[top] = (level - 1, child);
-                top += 1;
-                mask &= mask - 1;
-            }
-        }
-    }
-    true
+    mask
 }
 
 /// Bitmask of rectangles in `rects` (≤ 32 of them) intersecting
@@ -225,6 +189,117 @@ fn mask_intersecting<const D: usize>(rects: &[Rect<D>], window: &Rect<D>) -> u32
         mask |= u32::from(hit) << i;
     }
     mask
+}
+
+/// [`mask_intersecting`] over quantized node MBRs.
+#[inline]
+fn mask_intersecting_q<const D: usize>(rects: &[QRect<D>], window: &Rect<D>) -> u32 {
+    debug_assert!(rects.len() <= MAX_NODE_SIZE);
+    let mut mask = 0u32;
+    for (i, r) in rects.iter().enumerate() {
+        let mut hit = true;
+        for d in 0..D {
+            hit &= (r.lo(d) <= window.hi(d)) & (window.lo(d) <= r.hi(d));
+        }
+        mask |= u32::from(hit) << i;
+    }
+    mask
+}
+
+/// A node-mask predicate: maps a block of ≤ 32 stored node MBRs —
+/// exact *or* quantized — to a hit bitmask. One static trait instead
+/// of a closure, so the single traversal kernel serves both stored
+/// layouts with no dynamic dispatch and no duplicated walkers.
+trait MaskOf<const D: usize> {
+    fn mask(&self, rects: &[Rect<D>]) -> u32;
+    fn mask_q(&self, rects: &[QRect<D>]) -> u32;
+}
+
+/// The point-containment predicate of [`PackedRTree::for_each_containing`].
+struct ContainsPoint<'a, const D: usize>(&'a Point<D>);
+
+impl<const D: usize> MaskOf<D> for ContainsPoint<'_, D> {
+    #[inline]
+    fn mask(&self, rects: &[Rect<D>]) -> u32 {
+        mask_containing(rects, self.0)
+    }
+    #[inline]
+    fn mask_q(&self, rects: &[QRect<D>]) -> u32 {
+        mask_containing_q(rects, self.0)
+    }
+}
+
+/// The window predicate of [`PackedRTree::for_each_intersecting`].
+struct IntersectsRect<'a, const D: usize>(&'a Rect<D>);
+
+impl<const D: usize> MaskOf<D> for IntersectsRect<'_, D> {
+    #[inline]
+    fn mask(&self, rects: &[Rect<D>]) -> u32 {
+        mask_intersecting(rects, self.0)
+    }
+    #[inline]
+    fn mask_q(&self, rects: &[QRect<D>]) -> u32 {
+        mask_intersecting_q(rects, self.0)
+    }
+}
+
+/// Iterative pruned descent over a packed core, emitting live slot
+/// indexes — the traversal kernel shared by the owning
+/// [`PackedRTree`] and read-only [`FrozenShard`] snapshots (which hold
+/// the same `Arc`-shared core plus their own tombstone copy). The
+/// explicit stack is a fixed array ([`STACK_CAPACITY`] frames bounds
+/// every legal tree), so a query performs no heap allocation at all.
+/// Serves owned and flat-buffer cores alike: interior masks run over
+/// whichever representation is stored ([`LevelSlice`]), while leaf
+/// emission always tests the exact f64 entry rectangles — quantized
+/// interior MBRs cost pruning quality at worst, never exactness.
+/// Returns `false` when the visitor aborted.
+fn traverse_core_while<K, const D: usize>(
+    core: &PackedCore<K, D>,
+    tombstones: &[u64],
+    mask_of: &impl MaskOf<D>,
+    emit: &mut impl FnMut(usize) -> bool,
+) -> bool {
+    let num_levels = core.num_levels();
+    if num_levels == 0 {
+        return true;
+    }
+    if core.level_group(num_levels - 1, 0).mask(mask_of) == 0 {
+        return true;
+    }
+    let node_size = core.node_size;
+    let entry_rects = core.rects();
+    let mut stack = [(0u32, 0u32); STACK_CAPACITY];
+    let mut top = 1usize;
+    stack[0] = (num_levels as u32 - 1, 0);
+    while top > 0 {
+        top -= 1;
+        let (level, node) = stack[top];
+        let lo = node as usize * node_size;
+        if level == 0 {
+            let hi = (lo + node_size).min(entry_rects.len());
+            let mut mask = mask_of.mask(&entry_rects[lo..hi]);
+            while mask != 0 {
+                let slot = lo + mask.trailing_zeros() as usize;
+                if !bit_set(tombstones, slot) && !emit(slot) {
+                    return false;
+                }
+                mask &= mask - 1;
+            }
+        } else {
+            let mut mask = core
+                .level_group(level as usize - 1, node as usize)
+                .mask(mask_of);
+            while mask != 0 {
+                let child = lo as u32 + mask.trailing_zeros();
+                debug_assert!(top < STACK_CAPACITY);
+                stack[top] = (level - 1, child);
+                top += 1;
+                mask &= mask - 1;
+            }
+        }
+    }
+    true
 }
 
 /// A packed R-tree: all MBRs in flat per-level arrays, Hilbert
@@ -292,36 +367,258 @@ pub struct PackedRTree<K, const D: usize> {
 /// implicit-topology level MBRs. Shared by [`Arc`] between a live
 /// [`PackedRTree`] and its frozen compaction snapshots, so freezing is
 /// a reference-count bump, not a copy.
+///
+/// The columns live in one of two representations ([`Cols`]): native
+/// `Vec`s (what bulk loads build), or typed views into one flat,
+/// versioned, 64-byte-aligned snapshot buffer ([`FlatCols`]) — the
+/// zero-copy restore path, serving queries directly off the loaded
+/// bytes with no per-node deserialization.
 #[derive(Debug, Clone)]
 struct PackedCore<K, const D: usize> {
     node_size: usize,
-    /// Entry keys in slot (Hilbert) order, parallel to `rects`: a hit
-    /// at `slot` reads `keys[slot]` directly, and because search
-    /// results come out as runs of nearby slots, those reads stay on
-    /// the same cache lines instead of bouncing through a permutation
-    /// array.
-    keys: Vec<K>,
-    /// Entry rectangles in slot (Hilbert) order — the contiguous array
-    /// the leaf-level mask scans run over.
-    rects: Vec<Rect<D>>,
-    /// `levels[0]` holds the leaf-node MBRs, each covering `node_size`
-    /// consecutive entries; each further level packs the one below; the
-    /// last level is the root (length 1). Empty iff the packed tier is
-    /// empty (staged entries may still exist).
-    levels: Vec<Vec<Rect<D>>>,
     /// The world rectangle the build's [`GridMapper`] quantized
     /// against — what [`FrozenShard::merge`] compares to decide
     /// whether the sorted-splice fast path applies.
     world: Option<Rect<D>>,
-    /// Per-slot Hilbert curve keys, parallel to `rects`, kept for
-    /// `D ≤ 2` (where a key fits 32 bits; empty otherwise). They make
-    /// a compaction merge an `O(N + S log S)` sorted splice instead of
-    /// an `O(N log N)` re-sort: the packed tier is already in key
-    /// order, so only the staged delta needs sorting. Key *quality*
-    /// (not correctness — searches never depend on entry order)
-    /// degrades with [`PackedRTree::update`] drift, exactly like the
-    /// node MBRs do.
-    curve_keys: Vec<u32>,
+    /// The column storage, owned or flat-buffer-backed.
+    cols: Cols<K, D>,
+}
+
+/// The two storage modes of a [`PackedCore`]'s columns.
+#[derive(Debug, Clone)]
+enum Cols<K, const D: usize> {
+    /// Native `Vec`-backed columns — what bulk loads construct and
+    /// what every mutating path operates on ([`PackedCore::make_owned`]
+    /// converts on demand).
+    Owned {
+        /// Entry keys in slot (Hilbert) order, parallel to `rects`: a
+        /// hit at `slot` reads `keys[slot]` directly, and because
+        /// search results come out as runs of nearby slots, those
+        /// reads stay on the same cache lines instead of bouncing
+        /// through a permutation array.
+        keys: Vec<K>,
+        /// Entry rectangles in slot (Hilbert) order — the contiguous
+        /// array the leaf-level mask scans run over.
+        rects: Vec<Rect<D>>,
+        /// Per-slot Hilbert curve keys, parallel to `rects`, kept for
+        /// `D ≤ 2` (where a key fits 32 bits; empty otherwise). They
+        /// make a compaction merge an `O(N + S log S)` sorted splice
+        /// instead of an `O(N log N)` re-sort. Key *quality* (not
+        /// correctness — searches never depend on entry order)
+        /// degrades with [`PackedRTree::update`] drift, exactly like
+        /// the node MBRs do.
+        curve_keys: Vec<u32>,
+        /// `levels[0]` holds the leaf-node MBRs, each covering
+        /// `node_size` consecutive entries; each further level packs
+        /// the one below; the last level is the root (length 1).
+        /// Empty iff the packed tier is empty.
+        levels: Vec<Vec<Rect<D>>>,
+    },
+    /// Columns served directly out of a loaded snapshot buffer.
+    Flat(FlatCols<K, D>),
+}
+
+impl<K, const D: usize> Cols<K, D> {
+    fn empty_owned() -> Self {
+        Cols::Owned {
+            keys: Vec::new(),
+            rects: Vec::new(),
+            curve_keys: Vec::new(),
+            levels: Vec::new(),
+        }
+    }
+}
+
+/// Byte-range bookkeeping of one level inside a flat snapshot buffer.
+#[derive(Debug, Clone, Copy)]
+struct FlatLevel {
+    /// Absolute byte offset of the level's MBR array (64-byte-aligned).
+    off: usize,
+    /// Logical node count (what the implicit topology addresses).
+    nodes: usize,
+    /// Physical MBR slots stored — `nodes` plus aligned-fanout padding
+    /// sentinels, when the `ALIGNED_FANOUT` layout flag is set.
+    phys: usize,
+    /// Physical slots per parent's child block: `node_size` normally,
+    /// rounded up so each block spans whole cache lines under
+    /// aligned fanout. Logical node `c` lives in physical slot
+    /// `(c / node_size) · group + c % node_size`.
+    group: usize,
+}
+
+/// Columns backed by one shared, immutable, checksummed snapshot
+/// buffer — the zero-copy restore representation. All spans are
+/// absolute `(offset, byte_len)` ranges into `buf`, validated (bounds,
+/// alignment, structural consistency) once at load, so accessors can
+/// cast without re-checking.
+struct FlatCols<K, const D: usize> {
+    /// The snapshot buffer; one oracle-level buffer can back many
+    /// shard cores, so restores share a single allocation.
+    buf: Arc<AlignedBytes>,
+    num_entries: usize,
+    rects: (usize, usize),
+    raw_keys: (usize, usize),
+    curve_keys: (usize, usize),
+    levels: Vec<FlatLevel>,
+    /// Interior node MBRs are stored as outward-rounded [`QRect`]s.
+    quantized: bool,
+    /// Stored checksum over the bulk sections (entry rects, raw keys,
+    /// curve keys), verified on demand by
+    /// [`PackedRTree::verify_snapshot`] — loading verifies the header
+    /// and the small structural sections eagerly and defers this
+    /// multi-megabyte scan, which is what makes restore a
+    /// memory-bandwidth-free constant instead of a full-buffer pass.
+    bulk_checksum: u64,
+    /// Typed keys, materialized from `raw_keys` on first access — the
+    /// one column queries need that cannot be served as a byte view
+    /// for arbitrary `K`. (`K = u64` still skips any copy until a
+    /// query actually emits.)
+    keys: OnceLock<Vec<K>>,
+    /// The wire-to-key converter the buffer was loaded with.
+    from_raw: Arc<dyn Fn(u64) -> K + Send + Sync>,
+}
+
+impl<K, const D: usize> Clone for FlatCols<K, D>
+where
+    K: Clone,
+{
+    fn clone(&self) -> Self {
+        Self {
+            buf: Arc::clone(&self.buf),
+            num_entries: self.num_entries,
+            rects: self.rects,
+            raw_keys: self.raw_keys,
+            curve_keys: self.curve_keys,
+            levels: self.levels.clone(),
+            quantized: self.quantized,
+            bulk_checksum: self.bulk_checksum,
+            keys: self.keys.clone(),
+            from_raw: Arc::clone(&self.from_raw),
+        }
+    }
+}
+
+impl<K, const D: usize> std::fmt::Debug for FlatCols<K, D> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlatCols")
+            .field("num_entries", &self.num_entries)
+            .field("rects", &self.rects)
+            .field("raw_keys", &self.raw_keys)
+            .field("curve_keys", &self.curve_keys)
+            .field("levels", &self.levels)
+            .field("quantized", &self.quantized)
+            .field("bulk_checksum", &self.bulk_checksum)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<K, const D: usize> FlatCols<K, D> {
+    fn span(&self, (off, len): (usize, usize)) -> &[u8] {
+        &self.buf.as_slice()[off..off + len]
+    }
+
+    fn rects(&self) -> &[Rect<D>] {
+        bytes::cast_slice(self.span(self.rects)).expect("rect section verified at load")
+    }
+
+    fn raw_keys(&self) -> &[u64] {
+        bytes::cast_slice(self.span(self.raw_keys)).expect("key section verified at load")
+    }
+
+    fn raw_key_bytes(&self) -> &[u8] {
+        self.span(self.raw_keys)
+    }
+
+    fn curve_keys(&self) -> &[u32] {
+        bytes::cast_slice(self.span(self.curve_keys)).expect("curve section verified at load")
+    }
+
+    fn keys(&self) -> &[K] {
+        self.keys.get_or_init(|| {
+            self.raw_keys()
+                .iter()
+                .map(|&raw| (self.from_raw)(raw))
+                .collect()
+        })
+    }
+
+    fn rect_bytes(&self) -> usize {
+        if self.quantized {
+            std::mem::size_of::<QRect<D>>()
+        } else {
+            std::mem::size_of::<Rect<D>>()
+        }
+    }
+
+    /// `count` stored MBRs of `level` starting at physical slot
+    /// `phys_lo` (the caller guarantees the range stays inside one
+    /// parent's block, so it is physically contiguous).
+    fn level_slice(&self, level: usize, phys_lo: usize, count: usize) -> LevelSlice<'_, D> {
+        let fl = &self.levels[level];
+        debug_assert!(phys_lo + count <= fl.phys);
+        let rb = self.rect_bytes();
+        let raw = &self.buf.as_slice()[fl.off + phys_lo * rb..fl.off + (phys_lo + count) * rb];
+        if self.quantized {
+            LevelSlice::Quant(bytes::cast_slice(raw).expect("level section verified at load"))
+        } else {
+            LevelSlice::Exact(bytes::cast_slice(raw).expect("level section verified at load"))
+        }
+    }
+
+    /// Recomputes the bulk-section checksum and compares it to the
+    /// stored one — the deferred half of load-time verification.
+    fn verify_bulk(&self) -> Result<(), SnapshotError> {
+        let found = combine_checksums(
+            [self.rects, self.raw_keys, self.curve_keys]
+                .into_iter()
+                .map(|span| bytes::checksum(self.span(span))),
+        );
+        if found == self.bulk_checksum {
+            Ok(())
+        } else {
+            Err(SnapshotError::ChecksumMismatch)
+        }
+    }
+}
+
+/// A block of stored node MBRs, in whichever representation the core
+/// holds — what [`PackedCore::level_group`] hands the traversal.
+enum LevelSlice<'a, const D: usize> {
+    Exact(&'a [Rect<D>]),
+    Quant(&'a [QRect<D>]),
+}
+
+impl<const D: usize> LevelSlice<'_, D> {
+    fn len(&self) -> usize {
+        match self {
+            LevelSlice::Exact(rects) => rects.len(),
+            LevelSlice::Quant(rects) => rects.len(),
+        }
+    }
+
+    fn mask(&self, mask_of: &impl MaskOf<D>) -> u32 {
+        match self {
+            LevelSlice::Exact(rects) => mask_of.mask(rects),
+            LevelSlice::Quant(rects) => mask_of.mask_q(rects),
+        }
+    }
+
+    fn contains_point(&self, i: usize, point: &Point<D>) -> bool {
+        match self {
+            LevelSlice::Exact(rects) => rects[i].contains_point_branchless(point),
+            LevelSlice::Quant(rects) => rects[i].contains_point_branchless(point),
+        }
+    }
+
+    /// The union of the block in f64 — exact for exact storage; for
+    /// quantized storage the widened union (widening is exact, so this
+    /// equals the f32-domain union).
+    fn union_widened(&self) -> Option<Rect<D>> {
+        match self {
+            LevelSlice::Exact(rects) => Rect::union_all(rects.iter()),
+            LevelSlice::Quant(rects) => rects.iter().map(QRect::widen).reduce(|a, b| a.union(&b)),
+        }
+    }
 }
 
 /// Packs `rects` bottom-up into implicit-topology level MBR arrays
@@ -345,16 +642,690 @@ fn pack_levels<const D: usize>(rects: &[Rect<D>], node_size: usize) -> Vec<Vec<R
 }
 
 impl<K, const D: usize> PackedCore<K, D> {
+    /// Number of packed entries (tombstoned or not).
+    fn len(&self) -> usize {
+        match &self.cols {
+            Cols::Owned { rects, .. } => rects.len(),
+            Cols::Flat(flat) => flat.num_entries,
+        }
+    }
+
+    /// Entry keys in slot order. Flat cores materialize the typed keys
+    /// from the raw `u64` column on first call (then cache them), so
+    /// the cost lands on the first query after a restore, not on the
+    /// restore itself.
+    fn keys(&self) -> &[K] {
+        match &self.cols {
+            Cols::Owned { keys, .. } => keys,
+            Cols::Flat(flat) => flat.keys(),
+        }
+    }
+
+    /// Entry rectangles in slot order — always exact f64, whatever the
+    /// interior-MBR representation.
+    fn rects(&self) -> &[Rect<D>] {
+        match &self.cols {
+            Cols::Owned { rects, .. } => rects,
+            Cols::Flat(flat) => flat.rects(),
+        }
+    }
+
+    /// Per-slot Hilbert curve keys (empty when not retained).
+    fn curve_keys(&self) -> &[u32] {
+        match &self.cols {
+            Cols::Owned { curve_keys, .. } => curve_keys,
+            Cols::Flat(flat) => flat.curve_keys(),
+        }
+    }
+
+    fn num_levels(&self) -> usize {
+        match &self.cols {
+            Cols::Owned { levels, .. } => levels.len(),
+            Cols::Flat(flat) => flat.levels.len(),
+        }
+    }
+
+    fn level_nodes(&self, level: usize) -> usize {
+        match &self.cols {
+            Cols::Owned { levels, .. } => levels[level].len(),
+            Cols::Flat(flat) => flat.levels[level].nodes,
+        }
+    }
+
+    /// The children block of `parent` at `level` (logical nodes
+    /// `parent·B .. min((parent+1)·B, len(level))`), in stored form.
+    /// Padding sentinels of an aligned-fanout layout are never part of
+    /// the returned block — the count clamps to logical nodes.
+    fn level_group(&self, level: usize, parent: usize) -> LevelSlice<'_, D> {
+        let lo = parent * self.node_size;
+        match &self.cols {
+            Cols::Owned { levels, .. } => {
+                let nodes = &levels[level];
+                let hi = (lo + self.node_size).min(nodes.len());
+                LevelSlice::Exact(&nodes[lo..hi])
+            }
+            Cols::Flat(flat) => {
+                let fl = &flat.levels[level];
+                let count = (lo + self.node_size).min(fl.nodes) - lo;
+                flat.level_slice(level, parent * fl.group, count)
+            }
+        }
+    }
+
+    /// One node's stored MBR in f64 (quantized storage widens — the
+    /// result only ever over-covers).
+    fn node_mbr(&self, level: usize, node: usize) -> Rect<D> {
+        match &self.cols {
+            Cols::Owned { levels, .. } => levels[level][node],
+            Cols::Flat(flat) => {
+                let fl = &flat.levels[level];
+                let phys = (node / self.node_size) * fl.group + node % self.node_size;
+                match flat.level_slice(level, phys, 1) {
+                    LevelSlice::Exact(rects) => rects[0],
+                    LevelSlice::Quant(rects) => rects[0].widen(),
+                }
+            }
+        }
+    }
+
+    /// The root MBR, if the packed tier is non-empty.
+    fn root_mbr(&self) -> Option<Rect<D>> {
+        let top = self.num_levels().checked_sub(1)?;
+        Some(self.node_mbr(top, 0))
+    }
+
+    /// `true` when the interior MBRs are stored f32-quantized.
+    fn is_quantized(&self) -> bool {
+        matches!(&self.cols, Cols::Flat(flat) if flat.quantized)
+    }
+
+    /// Converts flat-buffer columns back into owned `Vec`s in place —
+    /// the escape hatch of every mutating path. Quantized interior
+    /// MBRs are re-derived *exactly* from the (always-f64) entry
+    /// rectangles, so a restored-then-mutated tree is
+    /// indistinguishable from a built one. No-op for owned cores.
+    fn make_owned(&mut self) {
+        let node_size = self.node_size;
+        let Cols::Flat(flat) = &mut self.cols else {
+            return;
+        };
+        let keys: Vec<K> = match flat.keys.take() {
+            Some(keys) => keys,
+            None => flat
+                .raw_keys()
+                .iter()
+                .map(|&raw| (flat.from_raw)(raw))
+                .collect(),
+        };
+        let rects: Vec<Rect<D>> = flat.rects().to_vec();
+        let curve_keys: Vec<u32> = flat.curve_keys().to_vec();
+        let levels: Vec<Vec<Rect<D>>> = if rects.is_empty() {
+            Vec::new()
+        } else if flat.quantized {
+            pack_levels(&rects, node_size)
+        } else {
+            (0..flat.levels.len())
+                .map(|level| {
+                    let fl = flat.levels[level];
+                    (0..fl.nodes)
+                        .map(|node| {
+                            let phys = (node / node_size) * fl.group + node % node_size;
+                            match flat.level_slice(level, phys, 1) {
+                                LevelSlice::Exact(rects) => rects[0],
+                                LevelSlice::Quant(_) => unreachable!("exact layout"),
+                            }
+                        })
+                        .collect()
+                })
+                .collect()
+        };
+        self.cols = Cols::Owned {
+            keys,
+            rects,
+            curve_keys,
+            levels,
+        };
+    }
+
     /// The exact union of everything node `(level, node)` covers.
+    /// Owned columns only (mutating paths call
+    /// [`PackedCore::make_owned`] first).
     fn covered_union(&self, level: usize, node: usize) -> Option<Rect<D>> {
+        let (rects, levels) = match &self.cols {
+            Cols::Owned { rects, levels, .. } => (rects, levels),
+            Cols::Flat(_) => unreachable!("covered_union runs on owned columns"),
+        };
         let lo = node * self.node_size;
         let below: &[Rect<D>] = if level == 0 {
-            &self.rects
+            rects
         } else {
-            &self.levels[level - 1]
+            &levels[level - 1]
         };
         let hi = ((node + 1) * self.node_size).min(below.len());
         Rect::union_all(below[lo..hi].iter())
+    }
+}
+
+// ---- flat snapshot format -----------------------------------------
+
+/// Magic tag of a serialized [`PackedCore`] ("DRTC").
+const CORE_MAGIC: u32 = u32::from_le_bytes(*b"DRTC");
+
+/// Magic tag of a serialized [`PackedRTree`] ("DRTT"): a tree header
+/// wrapping a core buffer plus the staged delta and tombstone bitmap.
+const TREE_MAGIC: u32 = u32::from_le_bytes(*b"DRTT");
+
+/// The one format version this build writes and reads.
+const SNAPSHOT_VERSION: u16 = 1;
+
+/// Core header flag: interior MBRs stored as f32 [`QRect`]s.
+const FLAG_QUANTIZED: u16 = 1;
+
+/// Core header flag: per-parent child blocks padded to whole cache
+/// lines ([`fanout_group`]).
+const FLAG_ALIGNED_FANOUT: u16 = 1 << 1;
+
+/// Fixed header size of both the core and the tree format, one cache
+/// line each.
+const HEADER_LEN: usize = 64;
+
+/// Layout knobs of the snapshot hot path, recorded in the buffer
+/// header — a reader never guesses the layout.
+///
+/// Both default to off, which reproduces the in-memory layout
+/// byte-for-byte. They are *experiments* the bench suite compares; the
+/// format carries them so the winning layout needs no format bump.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SnapshotOptions {
+    /// Store interior (non-leaf) node MBRs as outward-rounded `f32`
+    /// pairs: half the bytes per node, twice the MBRs per cache line
+    /// in the mask descent. Conservative by construction — the f32 box
+    /// always contains the f64 box — and **exactness-preserving**:
+    /// entry (leaf) rectangles stay f64 and every emission tests the
+    /// exact rectangle, so result sets are identical; only pruning
+    /// sharpness can differ.
+    pub quantize_interior: bool,
+    /// Pad each parent's child block to a whole number of cache lines,
+    /// so no node's mask scan straddles a line it wouldn't at offset
+    /// zero. Padding slots hold unhittable sentinels and are never
+    /// exposed to traversal.
+    pub aligned_fanout: bool,
+}
+
+/// Byte layout of one serialized core: section spans (relative to the
+/// buffer start) derived from the counts in the header — the single
+/// source of truth shared by the writer and the parser, so they cannot
+/// drift apart.
+struct CoreLayout {
+    level_table: (usize, usize),
+    world: (usize, usize),
+    rects: (usize, usize),
+    keys: (usize, usize),
+    curve_keys: (usize, usize),
+    levels: Vec<FlatLevel>,
+    /// Total buffer length (64-byte multiple, so tree/oracle wrappers
+    /// can embed cores back-to-back at aligned offsets).
+    total: usize,
+}
+
+/// Smallest child-block stride `≥ node_size` whose byte size is a
+/// whole number of cache lines.
+fn fanout_group(node_size: usize, rect_bytes: usize) -> usize {
+    if rect_bytes == 0 {
+        return node_size;
+    }
+    let mut group = node_size;
+    while !(group * rect_bytes).is_multiple_of(bytes::SECTION_ALIGN) {
+        group += 1;
+    }
+    group
+}
+
+/// Computes every section span of a core with the given shape.
+/// `level_nodes` is the logical node count per level, bottom-up.
+fn core_layout<const D: usize>(
+    n: usize,
+    node_size: usize,
+    level_nodes: &[usize],
+    has_world: bool,
+    has_curve: bool,
+    quantized: bool,
+    aligned_fanout: bool,
+) -> CoreLayout {
+    let rect_bytes = if quantized {
+        std::mem::size_of::<QRect<D>>()
+    } else {
+        std::mem::size_of::<Rect<D>>()
+    };
+    let group = if aligned_fanout {
+        fanout_group(node_size, rect_bytes)
+    } else {
+        node_size
+    };
+    let mut off = HEADER_LEN;
+    let mut section = |len: usize| {
+        let start = off;
+        off = bytes::align_up(start + len);
+        (start, len)
+    };
+    let level_table = section(level_nodes.len() * 8);
+    let world = section(if has_world {
+        std::mem::size_of::<Rect<D>>()
+    } else {
+        0
+    });
+    let rects = section(n * std::mem::size_of::<Rect<D>>());
+    let keys = section(n * 8);
+    let curve_keys = section(if has_curve { n * 4 } else { 0 });
+    let mut levels = Vec::with_capacity(level_nodes.len());
+    for &nodes in level_nodes {
+        let parents = nodes.div_ceil(node_size);
+        let last = nodes - (parents - 1) * node_size;
+        let phys = (parents - 1) * group + last;
+        let (level_off, _) = section(phys * rect_bytes);
+        levels.push(FlatLevel {
+            off: level_off,
+            nodes,
+            phys,
+            group,
+        });
+    }
+    CoreLayout {
+        level_table,
+        world,
+        rects,
+        keys,
+        curve_keys,
+        levels,
+        total: off,
+    }
+}
+
+/// Folds per-section checksums (in section order) into one header
+/// word, order-sensitively.
+fn combine_checksums(parts: impl IntoIterator<Item = u64>) -> u64 {
+    let mut acc = 0xcbf2_9ce4_8422_2325u64;
+    for part in parts {
+        acc = (acc ^ part).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    acc
+}
+
+fn write_u16(out: &mut [u8], off: usize, v: u16) {
+    out[off..off + 2].copy_from_slice(&v.to_le_bytes());
+}
+
+fn write_u32(out: &mut [u8], off: usize, v: u32) {
+    out[off..off + 4].copy_from_slice(&v.to_le_bytes());
+}
+
+fn write_u64(out: &mut [u8], off: usize, v: u64) {
+    out[off..off + 8].copy_from_slice(&v.to_le_bytes());
+}
+
+impl<K, const D: usize> PackedCore<K, D> {
+    /// Serializes the core into one flat, versioned, little-endian,
+    /// 64-byte-aligned buffer in the layout `options` selects.
+    ///
+    /// Header (one cache line):
+    ///
+    /// | off | field | | off | field |
+    /// |----:|-------|-|----:|-------|
+    /// | 0 | magic `"DRTC"` (u32) | | 24 | num_levels (u32) |
+    /// | 4 | version (u16) | | 28 | has_world (u16) |
+    /// | 6 | layout flags (u16) | | 30 | has_curve_keys (u16) |
+    /// | 8 | dims (u32) | | 32 | payload_len (u64) |
+    /// | 12 | node_size (u32) | | 40 | meta checksum (u64) |
+    /// | 16 | num_entries (u64) | | 48 | bulk checksum (u64) |
+    /// | | | | 56 | reserved (u64) |
+    ///
+    /// followed by the sections of [`core_layout`], each at a 64-byte
+    /// boundary: level table, world, entry rects, raw keys, curve
+    /// keys, then the level MBR arrays bottom-up.
+    fn to_bytes_with(&self, options: SnapshotOptions, to_raw: &dyn Fn(&K) -> u64) -> Vec<u8> {
+        let n = self.len();
+        let level_nodes: Vec<usize> = (0..self.num_levels())
+            .map(|l| self.level_nodes(l))
+            .collect();
+        let has_world = self.world.is_some();
+        let has_curve = !self.curve_keys().is_empty();
+        let layout = core_layout::<D>(
+            n,
+            self.node_size,
+            &level_nodes,
+            has_world,
+            has_curve,
+            options.quantize_interior,
+            options.aligned_fanout,
+        );
+        let mut out = Vec::with_capacity(layout.total);
+        out.resize(HEADER_LEN, 0);
+        for &nodes in &level_nodes {
+            out.extend_from_slice(&(nodes as u64).to_le_bytes());
+        }
+        bytes::pad_to_section(&mut out);
+        if let Some(world) = &self.world {
+            debug_assert_eq!(out.len(), layout.world.0);
+            out.extend_from_slice(bytes::as_bytes(std::slice::from_ref(world)));
+            bytes::pad_to_section(&mut out);
+        }
+        debug_assert_eq!(out.len(), layout.rects.0);
+        out.extend_from_slice(bytes::as_bytes(self.rects()));
+        bytes::pad_to_section(&mut out);
+        match &self.cols {
+            // A flat source ships its raw key column verbatim — no
+            // key materialization on a load→save round trip.
+            Cols::Flat(flat) => out.extend_from_slice(flat.raw_key_bytes()),
+            Cols::Owned { keys, .. } => {
+                for key in keys {
+                    out.extend_from_slice(&to_raw(key).to_le_bytes());
+                }
+            }
+        }
+        bytes::pad_to_section(&mut out);
+        if has_curve {
+            out.extend_from_slice(bytes::as_bytes(self.curve_keys()));
+            bytes::pad_to_section(&mut out);
+        }
+        // Exact MBRs cannot be recovered from a quantized source;
+        // re-derive them from the (always-exact) entry rectangles.
+        let recomputed: Option<Vec<Vec<Rect<D>>>> =
+            (n > 0 && !options.quantize_interior && self.is_quantized())
+                .then(|| pack_levels(self.rects(), self.node_size));
+        for (level, fl) in layout.levels.iter().enumerate() {
+            debug_assert_eq!(out.len(), fl.off);
+            if options.quantize_interior {
+                // quantize(widen(q)) == q, so a quantized source round
+                // trips exactly through the widened node_mbr.
+                let mut tmp = vec![QRect::<D>::sentinel(); fl.phys];
+                for node in 0..fl.nodes {
+                    let phys = (node / self.node_size) * fl.group + node % self.node_size;
+                    tmp[phys] = QRect::quantize(&self.node_mbr(level, node));
+                }
+                out.extend_from_slice(bytes::as_bytes(&tmp));
+            } else {
+                let pad = Rect::new([f64::INFINITY; D], [f64::INFINITY; D]);
+                let mut tmp = vec![pad; fl.phys];
+                for node in 0..fl.nodes {
+                    let phys = (node / self.node_size) * fl.group + node % self.node_size;
+                    tmp[phys] = match &recomputed {
+                        Some(levels) => levels[level][node],
+                        None => self.node_mbr(level, node),
+                    };
+                }
+                out.extend_from_slice(bytes::as_bytes(&tmp));
+            }
+            bytes::pad_to_section(&mut out);
+        }
+        debug_assert_eq!(out.len(), layout.total);
+        let rect_bytes = if options.quantize_interior {
+            std::mem::size_of::<QRect<D>>()
+        } else {
+            std::mem::size_of::<Rect<D>>()
+        };
+        let meta = combine_checksums(
+            [layout.level_table, layout.world]
+                .into_iter()
+                .map(|(off, len)| bytes::checksum(&out[off..off + len]))
+                .chain(
+                    layout
+                        .levels
+                        .iter()
+                        .map(|fl| bytes::checksum(&out[fl.off..fl.off + fl.phys * rect_bytes])),
+                )
+                .collect::<Vec<u64>>(),
+        );
+        let bulk = combine_checksums(
+            [layout.rects, layout.keys, layout.curve_keys]
+                .into_iter()
+                .map(|(off, len)| bytes::checksum(&out[off..off + len]))
+                .collect::<Vec<u64>>(),
+        );
+        let mut flags = 0u16;
+        if options.quantize_interior {
+            flags |= FLAG_QUANTIZED;
+        }
+        if options.aligned_fanout {
+            flags |= FLAG_ALIGNED_FANOUT;
+        }
+        let header = &mut out[..HEADER_LEN];
+        write_u32(header, 0, CORE_MAGIC);
+        write_u16(header, 4, SNAPSHOT_VERSION);
+        write_u16(header, 6, flags);
+        write_u32(header, 8, D as u32);
+        write_u32(header, 12, self.node_size as u32);
+        write_u64(header, 16, n as u64);
+        write_u32(header, 24, level_nodes.len() as u32);
+        write_u16(header, 28, u16::from(has_world));
+        write_u16(header, 30, u16::from(has_curve));
+        write_u64(header, 32, (layout.total - HEADER_LEN) as u64);
+        write_u64(header, 40, meta);
+        write_u64(header, 48, bulk);
+        write_u64(header, 56, 0);
+        out
+    }
+
+    /// Parses `length` bytes at `start` of `buf` into a flat-backed
+    /// core, zero-copy: every section becomes a typed view into `buf`.
+    ///
+    /// Validation is structural and eager for everything cheap —
+    /// magic, version, dims, node size, entry/level counts, every
+    /// section bound, the meta checksum over the small sections (level
+    /// table, world, level MBR arrays) — and deferred for the bulk
+    /// checksum over the multi-megabyte entry sections
+    /// ([`FlatCols::verify_bulk`]). A corrupt or truncated buffer is
+    /// always a clean [`SnapshotError`], never a panic or an
+    /// out-of-bounds view: offsets are re-derived from validated
+    /// counts via [`core_layout`] and checked against the real length
+    /// before any cast.
+    fn from_flat(
+        buf: &Arc<AlignedBytes>,
+        start: usize,
+        length: usize,
+        from_raw: &Arc<dyn Fn(u64) -> K + Send + Sync>,
+    ) -> Result<Self, SnapshotError> {
+        let whole = buf.as_slice();
+        let end = start
+            .checked_add(length)
+            .ok_or(SnapshotError::Corrupt("core range overflows"))?;
+        if end > whole.len() {
+            return Err(SnapshotError::Truncated {
+                needed: end,
+                have: whole.len(),
+            });
+        }
+        if !start.is_multiple_of(bytes::SECTION_ALIGN) {
+            return Err(SnapshotError::Corrupt("core offset not 64-byte aligned"));
+        }
+        let data = &whole[start..end];
+        if data.len() < HEADER_LEN {
+            return Err(SnapshotError::Truncated {
+                needed: HEADER_LEN,
+                have: data.len(),
+            });
+        }
+        let magic = bytes::read_u32(data, 0).expect("header bounds checked");
+        if magic != CORE_MAGIC {
+            return Err(SnapshotError::BadMagic { found: magic });
+        }
+        let version = bytes::read_u16(data, 4).expect("header bounds checked");
+        if version != SNAPSHOT_VERSION {
+            return Err(SnapshotError::WrongVersion {
+                found: version,
+                supported: SNAPSHOT_VERSION,
+            });
+        }
+        let flags = bytes::read_u16(data, 6).expect("header bounds checked");
+        if flags & !(FLAG_QUANTIZED | FLAG_ALIGNED_FANOUT) != 0 {
+            return Err(SnapshotError::Corrupt("unknown layout flags"));
+        }
+        let quantized = flags & FLAG_QUANTIZED != 0;
+        let aligned_fanout = flags & FLAG_ALIGNED_FANOUT != 0;
+        let dims = bytes::read_u32(data, 8).expect("header bounds checked");
+        if dims as usize != D {
+            return Err(SnapshotError::WrongDims {
+                found: dims,
+                expected: D as u32,
+            });
+        }
+        let node_size = bytes::read_u32(data, 12).expect("header bounds checked") as usize;
+        if !(2..=MAX_NODE_SIZE).contains(&node_size) {
+            return Err(SnapshotError::Corrupt("node size out of range"));
+        }
+        let n = usize::try_from(bytes::read_u64(data, 16).expect("header bounds checked"))
+            .map_err(|_| SnapshotError::Corrupt("entry count overflows"))?;
+        if n > u32::MAX as usize {
+            return Err(SnapshotError::Corrupt("entry count exceeds 2^32"));
+        }
+        let num_levels = bytes::read_u32(data, 24).expect("header bounds checked") as usize;
+        let has_world = match bytes::read_u16(data, 28).expect("header bounds checked") {
+            0 => false,
+            1 => true,
+            _ => return Err(SnapshotError::Corrupt("has_world is not a boolean")),
+        };
+        let has_curve = match bytes::read_u16(data, 30).expect("header bounds checked") {
+            0 => false,
+            1 => true,
+            _ => return Err(SnapshotError::Corrupt("has_curve_keys is not a boolean")),
+        };
+        let payload_len = bytes::read_u64(data, 32).expect("header bounds checked");
+        let meta_checksum = bytes::read_u64(data, 40).expect("header bounds checked");
+        let bulk_checksum = bytes::read_u64(data, 48).expect("header bounds checked");
+        // The level structure is fully determined by (n, node_size);
+        // the stored table must agree.
+        let mut expect: Vec<usize> = Vec::new();
+        if n > 0 {
+            let mut below = n;
+            loop {
+                let nodes = below.div_ceil(node_size);
+                expect.push(nodes);
+                if nodes == 1 {
+                    break;
+                }
+                below = nodes;
+            }
+        }
+        if expect.len() != num_levels {
+            return Err(SnapshotError::Corrupt(
+                "level count disagrees with entry count",
+            ));
+        }
+        let layout = core_layout::<D>(
+            n,
+            node_size,
+            &expect,
+            has_world,
+            has_curve,
+            quantized,
+            aligned_fanout,
+        );
+        if layout.total != data.len() {
+            return Err(SnapshotError::Truncated {
+                needed: layout.total,
+                have: data.len(),
+            });
+        }
+        if payload_len != (layout.total - HEADER_LEN) as u64 {
+            return Err(SnapshotError::Corrupt(
+                "payload length disagrees with layout",
+            ));
+        }
+        let rect_bytes = if quantized {
+            std::mem::size_of::<QRect<D>>()
+        } else {
+            std::mem::size_of::<Rect<D>>()
+        };
+        let meta = combine_checksums(
+            [layout.level_table, layout.world]
+                .into_iter()
+                .map(|(off, len)| bytes::checksum(&data[off..off + len]))
+                .chain(
+                    layout
+                        .levels
+                        .iter()
+                        .map(|fl| bytes::checksum(&data[fl.off..fl.off + fl.phys * rect_bytes])),
+                )
+                .collect::<Vec<u64>>(),
+        );
+        if meta != meta_checksum {
+            return Err(SnapshotError::ChecksumMismatch);
+        }
+        for (level, &nodes) in expect.iter().enumerate() {
+            let stored = bytes::read_u64(data, layout.level_table.0 + level * 8)
+                .expect("level table inside verified layout");
+            if stored != nodes as u64 {
+                return Err(SnapshotError::Corrupt("level table mismatch"));
+            }
+        }
+        let world = if has_world {
+            let mut lo = [0.0f64; D];
+            let mut hi = [0.0f64; D];
+            for d in 0..D {
+                lo[d] = bytes::read_f64(data, layout.world.0 + 8 * d)
+                    .expect("world inside verified layout");
+                hi[d] = bytes::read_f64(data, layout.world.0 + 8 * (D + d))
+                    .expect("world inside verified layout");
+            }
+            Some(
+                Rect::try_new(lo, hi)
+                    .map_err(|_| SnapshotError::Corrupt("invalid world rectangle"))?,
+            )
+        } else {
+            None
+        };
+        if n == 0 {
+            return Ok(PackedCore {
+                node_size,
+                world,
+                cols: Cols::empty_owned(),
+            });
+        }
+        // Absolute spans, then one cast per section now so accessors
+        // never re-check (construction makes misalignment impossible;
+        // this is the load-time proof of that).
+        let abs = |(off, len): (usize, usize)| (start + off, len);
+        let rects_span = abs(layout.rects);
+        let keys_span = abs(layout.keys);
+        let curve_span = abs(layout.curve_keys);
+        let levels: Vec<FlatLevel> = layout
+            .levels
+            .iter()
+            .map(|fl| FlatLevel {
+                off: start + fl.off,
+                ..*fl
+            })
+            .collect();
+        let misaligned = |_| SnapshotError::Corrupt("misaligned section");
+        bytes::cast_slice::<Rect<D>>(&whole[rects_span.0..rects_span.0 + rects_span.1])
+            .map_err(misaligned)?;
+        bytes::cast_slice::<u64>(&whole[keys_span.0..keys_span.0 + keys_span.1])
+            .map_err(misaligned)?;
+        bytes::cast_slice::<u32>(&whole[curve_span.0..curve_span.0 + curve_span.1])
+            .map_err(misaligned)?;
+        for fl in &levels {
+            let raw = &whole[fl.off..fl.off + fl.phys * rect_bytes];
+            if quantized {
+                bytes::cast_slice::<QRect<D>>(raw).map_err(misaligned)?;
+            } else {
+                bytes::cast_slice::<Rect<D>>(raw).map_err(misaligned)?;
+            }
+        }
+        Ok(PackedCore {
+            node_size,
+            world,
+            cols: Cols::Flat(FlatCols {
+                buf: Arc::clone(buf),
+                num_entries: n,
+                rects: rects_span,
+                raw_keys: keys_span,
+                curve_keys: curve_span,
+                levels,
+                quantized,
+                bulk_checksum,
+                keys: OnceLock::new(),
+                from_raw: Arc::clone(from_raw),
+            }),
+        })
     }
 }
 
@@ -410,12 +1381,22 @@ impl<K, const D: usize> FrozenShard<K, D> {
     /// Live entries in the snapshot (packed slots minus tombstones
     /// plus frozen staged entries) — the size of the merge's input.
     pub fn len(&self) -> usize {
-        self.core.keys.len() - self.tombstone_count + self.staged_keys.len()
+        self.core.len() - self.tombstone_count + self.staged_keys.len()
     }
 
     /// `true` when the snapshot holds no live entries.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Heap bytes held by the snapshot's delta copies (staged entries
+    /// and the tombstone bitmap). Zero when the snapshot was taken
+    /// with an empty delta — [`PackedRTree::snapshot`] then shares the
+    /// core and allocates nothing.
+    pub fn delta_heap_bytes(&self) -> usize {
+        self.staged_keys.capacity() * std::mem::size_of::<K>()
+            + self.staged_rects.capacity() * std::mem::size_of::<Rect<D>>()
+            + self.tombstones.capacity() * std::mem::size_of::<u64>()
     }
 
     /// Visits every entry whose rectangle contains `point`, exactly as
@@ -433,16 +1414,18 @@ impl<K, const D: usize> FrozenShard<K, D> {
     where
         F: FnMut(&'a K, &'a Rect<D>),
     {
-        let mask_of = |rects: &[Rect<D>]| mask_containing(rects, point);
+        let mask_of = ContainsPoint(point);
+        let keys = self.core.keys();
+        let rects = self.core.rects();
         let aborted = !traverse_core_while(&self.core, &self.tombstones, &mask_of, &mut |slot| {
-            visit(&self.core.keys[slot], &self.core.rects[slot]);
+            visit(&keys[slot], &rects[slot]);
             true
         });
         if aborted {
             return;
         }
         for (chunk_idx, chunk) in self.staged_rects.chunks(MAX_NODE_SIZE).enumerate() {
-            let mut mask = mask_of(chunk);
+            let mut mask = mask_of.mask(chunk);
             while mask != 0 {
                 let i = chunk_idx * MAX_NODE_SIZE + mask.trailing_zeros() as usize;
                 visit(&self.staged_keys[i], &self.staged_rects[i]);
@@ -471,10 +1454,12 @@ impl<K, const D: usize> FrozenShard<K, D> {
         K: Clone,
     {
         let core = &*self.core;
+        let core_keys = core.keys();
+        let core_rects = core.rects();
+        let core_curve = core.curve_keys();
         let is_live = |slot: usize| !bit_set(&self.tombstones, slot);
         let total = self.len();
-        let live_rects = core
-            .rects
+        let live_rects = core_rects
             .iter()
             .enumerate()
             .filter(|&(slot, _)| is_live(slot))
@@ -482,7 +1467,7 @@ impl<K, const D: usize> FrozenShard<K, D> {
         let world = GridMapper::world_of(live_rects.chain(self.staged_rects.iter()))
             .unwrap_or_else(|| Rect::new([0.0; D], [1.0; D]));
 
-        if total > 0 && core.curve_keys.len() == core.keys.len() && core.world == Some(world) {
+        if total > 0 && core_curve.len() == core.len() && core.world == Some(world) {
             // Sorted splice. Stage tags pack (key, index) into one u64
             // exactly like the bulk-load sort; ties land *after* the
             // equal-keyed base slots, matching the bulk-load's
@@ -508,17 +1493,17 @@ impl<K, const D: usize> FrozenShard<K, D> {
                 curve_keys.push((tag >> 32) as u32);
             };
             let mut si = 0usize;
-            for slot in 0..core.keys.len() {
+            for slot in 0..core.len() {
                 if !is_live(slot) {
                     continue;
                 }
-                let base_key = core.curve_keys[slot];
+                let base_key = core_curve[slot];
                 while si < staged.len() && ((staged[si] >> 32) as u32) < base_key {
                     push_staged(staged[si], &mut keys, &mut rects, &mut curve_keys);
                     si += 1;
                 }
-                keys.push(core.keys[slot].clone());
-                rects.push(core.rects[slot]);
+                keys.push(core_keys[slot].clone());
+                rects.push(core_rects[slot]);
                 curve_keys.push(base_key);
             }
             while si < staged.len() {
@@ -530,11 +1515,13 @@ impl<K, const D: usize> FrozenShard<K, D> {
             return PackedRTree {
                 core: Arc::new(PackedCore {
                     node_size: core.node_size,
-                    keys,
-                    rects,
-                    levels,
                     world: Some(world),
-                    curve_keys,
+                    cols: Cols::Owned {
+                        keys,
+                        rects,
+                        curve_keys,
+                        levels,
+                    },
                 }),
                 staged_keys: Vec::new(),
                 staged_rects: Vec::new(),
@@ -547,7 +1534,7 @@ impl<K, const D: usize> FrozenShard<K, D> {
         }
 
         let mut entries: Vec<(K, Rect<D>)> = Vec::with_capacity(total);
-        for (slot, (k, r)) in core.keys.iter().zip(&core.rects).enumerate() {
+        for (slot, (k, r)) in core_keys.iter().zip(core_rects).enumerate() {
             if is_live(slot) {
                 entries.push((k.clone(), *r));
             }
@@ -639,6 +1626,9 @@ pub enum PackedValidationError {
     /// of the wrong width, or a staged rectangle outside the tracked
     /// staged MBR.
     DeltaInconsistent,
+    /// A flat-buffer core failed its deferred payload checksum — the
+    /// snapshot bytes were corrupted after load.
+    CorruptBuffer,
 }
 
 impl std::fmt::Display for PackedValidationError {
@@ -660,6 +1650,9 @@ impl std::fmt::Display for PackedValidationError {
             }
             PackedValidationError::DeltaInconsistent => {
                 f.write_str("delta layer inconsistent with its bookkeeping")
+            }
+            PackedValidationError::CorruptBuffer => {
+                f.write_str("flat-buffer core failed its payload checksum")
             }
         }
     }
@@ -687,11 +1680,8 @@ impl<K, const D: usize> PackedRTree<K, D> {
             return Self {
                 core: Arc::new(PackedCore {
                     node_size,
-                    keys: Vec::new(),
-                    rects: Vec::new(),
-                    levels: Vec::new(),
                     world: None,
-                    curve_keys: Vec::new(),
+                    cols: Cols::empty_owned(),
                 }),
                 staged_keys: Vec::new(),
                 staged_rects: Vec::new(),
@@ -727,11 +1717,13 @@ impl<K, const D: usize> PackedRTree<K, D> {
         Self {
             core: Arc::new(PackedCore {
                 node_size,
-                keys,
-                rects,
-                levels,
                 world: Some(world),
-                curve_keys,
+                cols: Cols::Owned {
+                    keys,
+                    rects,
+                    curve_keys,
+                    levels,
+                },
             }),
             staged_keys: Vec::new(),
             staged_rects: Vec::new(),
@@ -747,7 +1739,7 @@ impl<K, const D: usize> PackedRTree<K, D> {
     /// live staged entries.
     pub fn len(&self) -> usize {
         let staged_dead = self.epoch.as_ref().map_or(0, |e| e.staged_dead_count);
-        self.core.keys.len() - self.tombstone_count + self.staged_keys.len() - staged_dead
+        self.core.len() - self.tombstone_count + self.staged_keys.len() - staged_dead
     }
 
     /// `true` if the tree stores no live entries.
@@ -759,7 +1751,7 @@ impl<K, const D: usize> PackedRTree<K, D> {
     /// valid for [`PackedRTree::entry`], [`PackedRTree::update`], and
     /// [`PackedRTree::tombstone`].
     pub fn packed_len(&self) -> usize {
-        self.core.keys.len()
+        self.core.len()
     }
 
     /// Node capacity the tree was packed with.
@@ -770,7 +1762,7 @@ impl<K, const D: usize> PackedRTree<K, D> {
     /// Number of node levels, counting the leaf-node level as 1. An
     /// empty tree has height 1, mirroring [`crate::RTree::height`].
     pub fn height(&self) -> usize {
-        self.core.levels.len().max(1)
+        self.core.num_levels().max(1)
     }
 
     /// The MBR of the whole tree — packed root unioned with the staged
@@ -778,7 +1770,7 @@ impl<K, const D: usize> PackedRTree<K, D> {
     /// compaction). Tombstones never shrink it, so it may
     /// over-approximate; pruning against it stays conservative.
     pub fn mbr(&self) -> Option<Rect<D>> {
-        let root = self.core.levels.last().map(|root| root[0]);
+        let root = self.core.root_mbr();
         match (root, self.staged_mbr) {
             (Some(a), Some(b)) => Some(a.union(&b)),
             (a, b) => a.or(b),
@@ -792,22 +1784,24 @@ impl<K, const D: usize> PackedRTree<K, D> {
     ///
     /// Panics if `slot >= self.packed_len()`.
     pub fn entry(&self, slot: usize) -> (&K, &Rect<D>) {
-        (&self.core.keys[slot], &self.core.rects[slot])
+        (&self.core.keys()[slot], &self.core.rects()[slot])
     }
 
     /// All packed entry keys in slot order — the raw column behind
     /// [`PackedRTree::entry`], for consumers that index by slot in
     /// bulk (e.g. external acceleration structures keyed by slot).
     /// Includes tombstoned slots; excludes the staging buffer
-    /// ([`PackedRTree::staged_keys`]).
+    /// ([`PackedRTree::staged_keys`]). On a tree restored from a flat
+    /// snapshot, the first call materializes (and caches) the typed
+    /// key column from the buffer's raw `u64`s.
     pub fn keys(&self) -> &[K] {
-        &self.core.keys
+        self.core.keys()
     }
 
     /// All packed entry rectangles in slot order (parallel to
     /// [`PackedRTree::keys`]).
     pub fn rects(&self) -> &[Rect<D>] {
-        &self.core.rects
+        self.core.rects()
     }
 
     /// All staged entry keys (delta layer, arbitrary order), parallel
@@ -829,9 +1823,9 @@ impl<K, const D: usize> PackedRTree<K, D> {
     /// not included ([`PackedRTree::staged_keys`] exposes them).
     pub fn entries(&self) -> impl Iterator<Item = (usize, &K, &Rect<D>)> {
         self.core
-            .keys
+            .keys()
             .iter()
-            .zip(self.core.rects.iter())
+            .zip(self.core.rects().iter())
             .enumerate()
             .filter(|&(slot, _)| self.is_live(slot))
             .map(|(slot, (k, r))| (slot, k, r))
@@ -844,7 +1838,7 @@ impl<K, const D: usize> PackedRTree<K, D> {
         K: PartialEq,
     {
         self.core
-            .keys
+            .keys()
             .iter()
             .enumerate()
             .find(|&(slot, k)| k == key && self.is_live(slot))
@@ -876,30 +1870,45 @@ impl<K, const D: usize> PackedRTree<K, D> {
             "update during an outstanding compaction snapshot"
         );
         let core = Arc::make_mut(&mut self.core);
-        assert!(slot < core.keys.len(), "slot {slot} out of bounds");
+        core.make_owned();
+        assert!(slot < core.len(), "slot {slot} out of bounds");
         debug_assert!(
             !bit_set(&self.tombstones, slot),
             "updating a tombstoned slot"
         );
-        core.rects[slot] = rect;
-        // Keep the stored curve key in step so a later sorted-splice
-        // merge orders the moved entry by where it *is*, not where it
-        // was packed (quality only — order never affects correctness).
-        if !core.curve_keys.is_empty() {
-            if let Some(world) = &core.world {
-                core.curve_keys[slot] = GridMapper::new(world).key(&rect) as u32;
+        let world = core.world;
+        let node_size = core.node_size;
+        {
+            let Cols::Owned {
+                rects, curve_keys, ..
+            } = &mut core.cols
+            else {
+                unreachable!("make_owned above")
+            };
+            rects[slot] = rect;
+            // Keep the stored curve key in step so a later
+            // sorted-splice merge orders the moved entry by where it
+            // *is*, not where it was packed (quality only — order
+            // never affects correctness).
+            if !curve_keys.is_empty() {
+                if let Some(world) = &world {
+                    curve_keys[slot] = GridMapper::new(world).key(&rect) as u32;
+                }
             }
         }
-        let mut node = slot / core.node_size;
-        for level in 0..core.levels.len() {
+        let mut node = slot / node_size;
+        for level in 0..core.num_levels() {
             let exact = core
                 .covered_union(level, node)
                 .expect("covered range is non-empty");
-            if core.levels[level][node] == exact {
+            if core.node_mbr(level, node) == exact {
                 break; // ancestors above are unions of unchanged MBRs
             }
-            core.levels[level][node] = exact;
-            node /= core.node_size;
+            let Cols::Owned { levels, .. } = &mut core.cols else {
+                unreachable!("make_owned above")
+            };
+            levels[level][node] = exact;
+            node /= node_size;
         }
     }
 
@@ -951,9 +1960,9 @@ impl<K, const D: usize> PackedRTree<K, D> {
     ///
     /// Panics if `slot >= self.packed_len()`.
     pub fn tombstone(&mut self, slot: usize) -> bool {
-        assert!(slot < self.core.keys.len(), "slot {slot} out of bounds");
+        assert!(slot < self.core.len(), "slot {slot} out of bounds");
         if self.tombstones.is_empty() {
-            self.tombstones = vec![0u64; self.core.keys.len().div_ceil(64)];
+            self.tombstones = vec![0u64; self.core.len().div_ceil(64)];
         }
         let (word, bit) = (slot >> 6, 1u64 << (slot & 63));
         if self.tombstones[word] & bit != 0 {
@@ -1032,8 +2041,10 @@ impl<K, const D: usize> PackedRTree<K, D> {
         K: PartialEq,
     {
         let mut found = None;
-        self.traverse_packed_while(&|rects| mask_intersecting(rects, rect), &mut |slot| {
-            if self.core.rects[slot] == *rect && self.core.keys[slot] == *key {
+        let keys = self.core.keys();
+        let rects = self.core.rects();
+        self.traverse_packed_while(&IntersectsRect(rect), &mut |slot| {
+            if rects[slot] == *rect && keys[slot] == *key {
                 found = Some(slot);
                 false
             } else {
@@ -1061,7 +2072,7 @@ impl<K, const D: usize> PackedRTree<K, D> {
     /// the packed slots — the cue to [`PackedRTree::compact`].
     pub fn needs_compaction(&self) -> bool {
         let delta = self.delta_len();
-        delta > 0 && delta as f64 > self.delta_fraction * self.core.keys.len() as f64
+        delta > 0 && delta as f64 > self.delta_fraction * self.core.len() as f64
     }
 
     /// Merges the staging buffer and reclaims tombstoned slots with one
@@ -1175,6 +2186,18 @@ impl<K, const D: usize> PackedRTree<K, D> {
     where
         K: Clone,
     {
+        // Empty delta — the steady state between churn bursts — is an
+        // `Arc` bump and nothing else: no Vec clones, no allocation.
+        if self.staged_keys.is_empty() && self.tombstone_count == 0 {
+            return FrozenShard {
+                core: Arc::clone(&self.core),
+                staged_keys: Vec::new(),
+                staged_rects: Vec::new(),
+                tombstones: Vec::new(),
+                tombstone_count: 0,
+                delta_fraction: self.delta_fraction,
+            };
+        }
         let (staged_keys, staged_rects) = match &self.epoch {
             Some(epoch) if epoch.staged_dead_count > 0 => {
                 let mut keys = Vec::with_capacity(self.staged_keys.len());
@@ -1232,12 +2255,14 @@ impl<K, const D: usize> PackedRTree<K, D> {
         let mut fixups: Vec<(K, Rect<D>)> = Vec::with_capacity(
             self.tombstone_count - epoch.frozen_tombstone_count + epoch.staged_dead_count,
         );
+        let core_keys = self.core.keys();
+        let core_rects = self.core.rects();
         for (w, &word) in self.tombstones.iter().enumerate() {
             let frozen = epoch.frozen_tombstones.get(w).copied().unwrap_or(0);
             let mut fresh = word & !frozen;
             while fresh != 0 {
                 let slot = w * 64 + fresh.trailing_zeros() as usize;
-                fixups.push((self.core.keys[slot].clone(), self.core.rects[slot]));
+                fixups.push((core_keys[slot].clone(), core_rects[slot]));
                 fresh &= fresh - 1;
             }
         }
@@ -1314,14 +2339,25 @@ impl<K, const D: usize> PackedRTree<K, D> {
     {
         self.abort_compaction();
         let core = Arc::make_mut(&mut self.core);
-        let keys = std::mem::take(&mut core.keys);
-        let rects = std::mem::take(&mut core.rects);
+        core.make_owned();
+        let (keys, rects) = {
+            let Cols::Owned {
+                keys,
+                rects,
+                curve_keys,
+                levels,
+            } = &mut core.cols
+            else {
+                unreachable!("make_owned above")
+            };
+            levels.clear();
+            curve_keys.clear();
+            (std::mem::take(keys), std::mem::take(rects))
+        };
+        core.world = None;
         let staged_keys = std::mem::take(&mut self.staged_keys);
         let staged_rects = std::mem::take(&mut self.staged_rects);
         let tombstones = std::mem::take(&mut self.tombstones);
-        core.levels.clear();
-        core.curve_keys.clear();
-        core.world = None;
         self.tombstone_count = 0;
         self.staged_mbr = None;
         let mut out: Vec<(K, Rect<D>)> = Vec::with_capacity(keys.len() + staged_keys.len());
@@ -1342,7 +2378,7 @@ impl<K, const D: usize> PackedRTree<K, D> {
     where
         F: FnMut(&'a K, &'a Rect<D>),
     {
-        self.traverse(|rects| mask_containing(rects, point), visit);
+        self.traverse(&ContainsPoint(point), visit);
     }
 
     /// Visits every entry whose rectangle intersects `window`; same
@@ -1352,7 +2388,7 @@ impl<K, const D: usize> PackedRTree<K, D> {
     where
         F: FnMut(&'a K, &'a Rect<D>),
     {
-        self.traverse(|rects| mask_intersecting(rects, window), visit);
+        self.traverse(&IntersectsRect(window), visit);
     }
 
     /// Like [`PackedRTree::for_each_intersecting`], but the visitor
@@ -1364,18 +2400,14 @@ impl<K, const D: usize> PackedRTree<K, D> {
     where
         F: FnMut(&'a K, &'a Rect<D>) -> bool,
     {
-        self.traverse_while(|rects| mask_intersecting(rects, window), visit);
+        self.traverse_while(&IntersectsRect(window), visit);
     }
 
     /// Iterative pruned traversal over **both tiers**. `mask_of` maps a
     /// slice of ≤ 32 rectangles to a hit bitmask; nodes with set bits
     /// are descended, live entries with set bits are emitted, and the
     /// staging buffer is then scanned with the same bitmask chunks.
-    fn traverse<'a>(
-        &'a self,
-        mask_of: impl Fn(&[Rect<D>]) -> u32,
-        mut emit: impl FnMut(&'a K, &'a Rect<D>),
-    ) {
+    fn traverse<'a>(&'a self, mask_of: &impl MaskOf<D>, mut emit: impl FnMut(&'a K, &'a Rect<D>)) {
         self.traverse_while(mask_of, |k, r| {
             emit(k, r);
             true
@@ -1387,13 +2419,13 @@ impl<K, const D: usize> PackedRTree<K, D> {
     /// scan included).
     fn traverse_while<'a>(
         &'a self,
-        mask_of: impl Fn(&[Rect<D>]) -> u32,
+        mask_of: &impl MaskOf<D>,
         mut emit: impl FnMut(&'a K, &'a Rect<D>) -> bool,
     ) {
-        if self.traverse_packed_while(&mask_of, &mut |slot| {
-            emit(&self.core.keys[slot], &self.core.rects[slot])
-        }) {
-            self.scan_staged_while(&mask_of, &mut emit);
+        let keys = self.core.keys();
+        let rects = self.core.rects();
+        if self.traverse_packed_while(mask_of, &mut |slot| emit(&keys[slot], &rects[slot])) {
+            self.scan_staged_while(mask_of, &mut emit);
         }
     }
 
@@ -1403,7 +2435,7 @@ impl<K, const D: usize> PackedRTree<K, D> {
     /// aborted.
     fn traverse_packed_while(
         &self,
-        mask_of: &impl Fn(&[Rect<D>]) -> u32,
+        mask_of: &impl MaskOf<D>,
         emit: &mut impl FnMut(usize) -> bool,
     ) -> bool {
         traverse_core_while(&self.core, &self.tombstones, mask_of, emit)
@@ -1416,11 +2448,11 @@ impl<K, const D: usize> PackedRTree<K, D> {
     /// when the visitor aborted.
     fn scan_staged_while<'a>(
         &'a self,
-        mask_of: &impl Fn(&[Rect<D>]) -> u32,
+        mask_of: &impl MaskOf<D>,
         emit: &mut impl FnMut(&'a K, &'a Rect<D>) -> bool,
     ) -> bool {
         for (chunk_idx, chunk) in self.staged_rects.chunks(MAX_NODE_SIZE).enumerate() {
-            let mut mask = mask_of(chunk);
+            let mut mask = mask_of.mask(chunk);
             while mask != 0 {
                 let i = chunk_idx * MAX_NODE_SIZE + mask.trailing_zeros() as usize;
                 if self.is_staged_live(i) && !emit(&self.staged_keys[i], &self.staged_rects[i]) {
@@ -1461,17 +2493,21 @@ impl<K, const D: usize> PackedRTree<K, D> {
             points.len() <= u32::MAX as usize,
             "batch is limited to 2^32 probes"
         );
-        if let Some(root) = self.core.levels.last() {
+        if let Some(root) = self.core.root_mbr() {
             let active: Vec<u32> = (0..points.len() as u32)
-                .filter(|&pi| root[0].contains_point_branchless(&points[pi as usize]))
+                .filter(|&pi| root.contains_point_branchless(&points[pi as usize]))
                 .collect();
             if !active.is_empty() {
+                let keys = self.core.keys();
+                let rects = self.core.rects();
                 let mut pool: Vec<Vec<u32>> = Vec::new();
                 self.walk_batch(
-                    self.core.levels.len() - 1,
+                    self.core.num_levels() - 1,
                     0,
                     &active,
                     points,
+                    keys,
+                    rects,
                     &mut pool,
                     &mut emit,
                 );
@@ -1499,45 +2535,49 @@ impl<K, const D: usize> PackedRTree<K, D> {
 
     /// One frame of the joint batch descent: `active` holds the probe
     /// indexes already known to lie inside node `(level, node)`'s MBR.
+    /// `keys`/`rects` are the hoisted entry columns (one accessor
+    /// resolution per batch, not per frame).
+    #[allow(clippy::too_many_arguments)]
     fn walk_batch<'a, F>(
         &'a self,
         level: usize,
         node: usize,
         active: &[u32],
         points: &[Point<D>],
+        keys: &'a [K],
+        rects: &'a [Rect<D>],
         pool: &mut Vec<Vec<u32>>,
         emit: &mut F,
     ) where
         F: FnMut(u32, &'a K, &'a Rect<D>),
     {
-        let core = &*self.core;
-        let lo = node * core.node_size;
+        let node_size = self.core.node_size;
+        let lo = node * node_size;
         if level == 0 {
-            let hi = (lo + core.node_size).min(core.rects.len());
-            let rects = &core.rects[lo..hi];
+            let hi = (lo + node_size).min(rects.len());
+            let node_rects = &rects[lo..hi];
             for &pi in active {
-                let mut mask = mask_containing(rects, &points[pi as usize]);
+                let mut mask = mask_containing(node_rects, &points[pi as usize]);
                 while mask != 0 {
                     let slot = lo + mask.trailing_zeros() as usize;
                     if self.is_live(slot) {
-                        emit(pi, &core.keys[slot], &core.rects[slot]);
+                        emit(pi, &keys[slot], &rects[slot]);
                     }
                     mask &= mask - 1;
                 }
             }
         } else {
-            let below = &core.levels[level - 1];
-            let hi = (lo + core.node_size).min(below.len());
+            let children = self.core.level_group(level - 1, node);
             let mut subset = pool.pop().unwrap_or_default();
-            for (child, mbr) in below.iter().enumerate().take(hi).skip(lo) {
+            for ci in 0..children.len() {
                 subset.clear();
                 for &pi in active {
-                    if mbr.contains_point_branchless(&points[pi as usize]) {
+                    if children.contains_point(ci, &points[pi as usize]) {
                         subset.push(pi);
                     }
                 }
                 if !subset.is_empty() {
-                    self.walk_batch(level - 1, child, &subset, points, pool, emit);
+                    self.walk_batch(level - 1, lo + ci, &subset, points, keys, rects, pool, emit);
                 }
             }
             subset.clear();
@@ -1571,11 +2611,16 @@ impl<K, const D: usize> PackedRTree<K, D> {
     /// Returns the first [`PackedValidationError`] found.
     pub fn validate(&self) -> Result<(), PackedValidationError> {
         let core = &*self.core;
-        if core.keys.len() != core.rects.len() {
+        if core.keys().len() != core.rects().len() {
             return Err(PackedValidationError::Inconsistent);
         }
-        if !core.curve_keys.is_empty() && core.curve_keys.len() != core.keys.len() {
+        if !core.curve_keys().is_empty() && core.curve_keys().len() != core.len() {
             return Err(PackedValidationError::Inconsistent);
+        }
+        if let Cols::Flat(flat) = &core.cols {
+            if flat.verify_bulk().is_err() {
+                return Err(PackedValidationError::CorruptBuffer);
+            }
         }
         if self.staged_keys.len() != self.staged_rects.len() {
             return Err(PackedValidationError::DeltaInconsistent);
@@ -1588,7 +2633,7 @@ impl<K, const D: usize> PackedRTree<K, D> {
         if popcount != self.tombstone_count {
             return Err(PackedValidationError::DeltaInconsistent);
         }
-        if !self.tombstones.is_empty() && self.tombstones.len() != core.keys.len().div_ceil(64) {
+        if !self.tombstones.is_empty() && self.tombstones.len() != core.len().div_ceil(64) {
             return Err(PackedValidationError::DeltaInconsistent);
         }
         match &self.staged_mbr {
@@ -1631,34 +2676,358 @@ impl<K, const D: usize> PackedRTree<K, D> {
                 return Err(PackedValidationError::DeltaInconsistent);
             }
         }
-        if core.keys.is_empty() {
-            return if core.levels.is_empty() {
+        if core.len() == 0 {
+            return if core.num_levels() == 0 {
                 Ok(())
             } else {
                 Err(PackedValidationError::Inconsistent)
             };
         }
-        if core.levels.is_empty() || core.levels.last().map(Vec::len) != Some(1) {
+        if core.num_levels() == 0 || core.level_nodes(core.num_levels() - 1) != 1 {
             return Err(PackedValidationError::Inconsistent);
         }
-        let mut below_len = core.rects.len();
-        for (level, nodes) in core.levels.iter().enumerate() {
-            let expected = below_len.div_ceil(core.node_size);
-            if nodes.len() != expected {
+        // Per-node MBR exactness, checked in the *stored* domain: for
+        // an exact layout every node must equal the exact union of
+        // what it covers; for a quantized layout it must equal the
+        // outward-rounded f32 image of that union (quantization is
+        // monotone, so the f32 union of stored children matches the
+        // quantized exact union — no information is lost to check
+        // against).
+        let node_size = core.node_size;
+        let entry_rects = core.rects();
+        let mut below_len = core.len();
+        for level in 0..core.num_levels() {
+            let expected_nodes = below_len.div_ceil(node_size);
+            let found = core.level_nodes(level);
+            if found != expected_nodes {
                 return Err(PackedValidationError::WrongLevelLength {
                     level,
-                    found: nodes.len(),
-                    expected,
+                    found,
+                    expected: expected_nodes,
                 });
             }
-            for (node, mbr) in nodes.iter().enumerate() {
-                if core.covered_union(level, node).as_ref() != Some(mbr) {
+            for node in 0..found {
+                let expected = if level == 0 {
+                    let lo = node * node_size;
+                    let hi = (lo + node_size).min(entry_rects.len());
+                    let exact = Rect::union_all(entry_rects[lo..hi].iter())
+                        .expect("covered range is non-empty");
+                    if core.is_quantized() {
+                        QRect::quantize(&exact).widen()
+                    } else {
+                        exact
+                    }
+                } else {
+                    core.level_group(level - 1, node)
+                        .union_widened()
+                        .expect("covered range is non-empty")
+                };
+                if core.node_mbr(level, node) != expected {
                     return Err(PackedValidationError::WrongMbr { level, node });
                 }
             }
-            below_len = nodes.len();
+            below_len = found;
         }
         Ok(())
+    }
+}
+
+impl<K: SnapshotKey, const D: usize> PackedRTree<K, D> {
+    /// Serializes the whole tree — packed core, live staged delta, and
+    /// tombstone bitmap — into one flat, versioned, checksummed buffer
+    /// ([`SnapshotOptions::default`] layout: exact f64 MBRs, natural
+    /// fanout). A mid-churn tree restores exactly: [`PackedRTree::load`]
+    /// reproduces the live entry set, staged tier included.
+    pub fn save(&self) -> Vec<u8> {
+        self.save_with_options(SnapshotOptions::default())
+    }
+
+    /// [`PackedRTree::save`] with an explicit hot-layout choice.
+    pub fn save_with_options(&self, options: SnapshotOptions) -> Vec<u8> {
+        self.save_with(options, |k| (*k).to_raw())
+    }
+
+    /// Restores a tree from [`PackedRTree::save`] bytes, zero-copy:
+    /// the packed columns stay in the (adopted) buffer and queries run
+    /// directly off it; only the staged delta and tombstones are
+    /// copied out. Cheap structural validation plus a checksum over
+    /// the small metadata sections runs eagerly; the bulk payload
+    /// checksum is deferred to [`PackedRTree::verify_snapshot`] (or
+    /// [`PackedRTree::load_verified`]) so the restore itself stays in
+    /// the millisecond range at hundreds of thousands of entries.
+    ///
+    /// # Errors
+    ///
+    /// Any malformed input — wrong magic, unsupported version or
+    /// layout flags, mismatched dimensionality, truncation anywhere,
+    /// a failed checksum, or structurally impossible counts — returns
+    /// a [`SnapshotError`]; no input panics.
+    pub fn load(bytes: Vec<u8>) -> Result<Self, SnapshotError>
+    where
+        K: Send + Sync + 'static,
+    {
+        Self::load_with(bytes, K::from_raw)
+    }
+
+    /// [`PackedRTree::load`] plus the deferred bulk-payload checksum —
+    /// full integrity at load time, for untrusted or long-at-rest
+    /// buffers.
+    pub fn load_verified(bytes: Vec<u8>) -> Result<Self, SnapshotError>
+    where
+        K: Send + Sync + 'static,
+    {
+        let tree = Self::load(bytes)?;
+        tree.verify_snapshot()?;
+        Ok(tree)
+    }
+}
+
+impl<K, const D: usize> PackedRTree<K, D> {
+    /// [`PackedRTree::save`] for key types outside the
+    /// [`SnapshotKey`] impl list: `to_raw` maps each key to its 64-bit
+    /// wire form.
+    ///
+    /// Tree buffer layout (all little-endian, sections at 64-byte
+    /// boundaries): a `"DRTT"` header — magic u32, version u16, flags
+    /// u16, dims u32, reserved u32, core length u64, staged count u64,
+    /// tombstone words u64, tombstone count u64, delta checksum u64,
+    /// delta fraction f64-bits — then the serialized core
+    /// (`PackedCore::to_bytes_with`), the live staged rectangles,
+    /// the staged raw keys, and the tombstone bitmap.
+    pub fn save_with(&self, options: SnapshotOptions, to_raw: impl Fn(&K) -> u64) -> Vec<u8> {
+        let core_bytes = self.core.to_bytes_with(options, &|k| to_raw(k));
+        debug_assert_eq!(core_bytes.len() % bytes::SECTION_ALIGN, 0);
+        // Serialize the *live* logical view: retired frozen staged
+        // entries are dropped, so the restored tree equals the live
+        // entry set with no epoch to carry.
+        let live: Vec<usize> = (0..self.staged_keys.len())
+            .filter(|&i| self.is_staged_live(i))
+            .collect();
+        let mut out = Vec::with_capacity(
+            HEADER_LEN
+                + core_bytes.len()
+                + live.len() * (std::mem::size_of::<Rect<D>>() + 8)
+                + self.tombstones.len() * 8
+                + 3 * bytes::SECTION_ALIGN,
+        );
+        out.resize(HEADER_LEN, 0);
+        out.extend_from_slice(&core_bytes);
+        let delta_start = out.len();
+        for &i in &live {
+            out.extend_from_slice(bytes::as_bytes(std::slice::from_ref(&self.staged_rects[i])));
+        }
+        bytes::pad_to_section(&mut out);
+        for &i in &live {
+            out.extend_from_slice(&to_raw(&self.staged_keys[i]).to_le_bytes());
+        }
+        bytes::pad_to_section(&mut out);
+        out.extend_from_slice(bytes::as_bytes(&self.tombstones));
+        bytes::pad_to_section(&mut out);
+        let delta_checksum = bytes::checksum(&out[delta_start..]);
+        let header = &mut out[..HEADER_LEN];
+        write_u32(header, 0, TREE_MAGIC);
+        write_u16(header, 4, SNAPSHOT_VERSION);
+        write_u16(header, 6, 0);
+        write_u32(header, 8, D as u32);
+        write_u32(header, 12, 0);
+        write_u64(header, 16, core_bytes.len() as u64);
+        write_u64(header, 24, live.len() as u64);
+        write_u64(header, 32, self.tombstones.len() as u64);
+        write_u64(header, 40, self.tombstone_count as u64);
+        write_u64(header, 48, delta_checksum);
+        write_u64(header, 56, self.delta_fraction.to_bits());
+        out
+    }
+
+    /// [`PackedRTree::load`] for key types outside the
+    /// [`SnapshotKey`] impl list: `from_raw` rebuilds a key from its
+    /// 64-bit wire form.
+    pub fn load_with<F>(bytes: Vec<u8>, from_raw: F) -> Result<Self, SnapshotError>
+    where
+        F: Fn(u64) -> K + Send + Sync + 'static,
+    {
+        let buf = AlignedBytes::adopt(bytes);
+        let length = buf.len();
+        Self::load_shared(&buf, 0, length, Arc::new(from_raw))
+    }
+
+    /// Restores a tree from `length` bytes at `offset` of a shared
+    /// buffer — the multi-tree form behind the sharded oracle's
+    /// restore, where one `Arc<AlignedBytes>` backs every shard's core
+    /// with no per-shard copy. `offset` must be 64-byte aligned.
+    pub fn load_shared(
+        buf: &Arc<AlignedBytes>,
+        offset: usize,
+        length: usize,
+        from_raw: Arc<dyn Fn(u64) -> K + Send + Sync>,
+    ) -> Result<Self, SnapshotError> {
+        let whole = buf.as_slice();
+        let end = offset
+            .checked_add(length)
+            .ok_or(SnapshotError::Corrupt("tree range overflows"))?;
+        if end > whole.len() {
+            return Err(SnapshotError::Truncated {
+                needed: end,
+                have: whole.len(),
+            });
+        }
+        if !offset.is_multiple_of(bytes::SECTION_ALIGN) {
+            return Err(SnapshotError::Corrupt("tree offset not 64-byte aligned"));
+        }
+        let data = &whole[offset..end];
+        if data.len() < HEADER_LEN {
+            return Err(SnapshotError::Truncated {
+                needed: HEADER_LEN,
+                have: data.len(),
+            });
+        }
+        let magic = bytes::read_u32(data, 0).expect("header bounds checked");
+        if magic != TREE_MAGIC {
+            return Err(SnapshotError::BadMagic { found: magic });
+        }
+        let version = bytes::read_u16(data, 4).expect("header bounds checked");
+        if version != SNAPSHOT_VERSION {
+            return Err(SnapshotError::WrongVersion {
+                found: version,
+                supported: SNAPSHOT_VERSION,
+            });
+        }
+        if bytes::read_u16(data, 6).expect("header bounds checked") != 0 {
+            return Err(SnapshotError::Corrupt("unknown tree flags"));
+        }
+        let dims = bytes::read_u32(data, 8).expect("header bounds checked");
+        if dims as usize != D {
+            return Err(SnapshotError::WrongDims {
+                found: dims,
+                expected: D as u32,
+            });
+        }
+        let overflow = |_| SnapshotError::Corrupt("header count overflows");
+        let core_len = usize::try_from(bytes::read_u64(data, 16).expect("header bounds checked"))
+            .map_err(overflow)?;
+        if !core_len.is_multiple_of(bytes::SECTION_ALIGN) {
+            return Err(SnapshotError::Corrupt("core length not 64-byte aligned"));
+        }
+        let staged_len = usize::try_from(bytes::read_u64(data, 24).expect("header bounds checked"))
+            .map_err(overflow)?;
+        let tombstone_words =
+            usize::try_from(bytes::read_u64(data, 32).expect("header bounds checked"))
+                .map_err(overflow)?;
+        let tombstone_count =
+            usize::try_from(bytes::read_u64(data, 40).expect("header bounds checked"))
+                .map_err(overflow)?;
+        // Bound the counts by what the buffer could physically hold
+        // *before* any multiplication, so attacker-controlled headers
+        // cannot overflow the offset arithmetic.
+        if staged_len > length / 16 {
+            return Err(SnapshotError::Corrupt("staged count exceeds buffer"));
+        }
+        if tombstone_words > length / 8 {
+            return Err(SnapshotError::Corrupt("tombstone bitmap exceeds buffer"));
+        }
+        let delta_checksum = bytes::read_u64(data, 48).expect("header bounds checked");
+        let delta_fraction =
+            f64::from_bits(bytes::read_u64(data, 56).expect("header bounds checked"));
+        if delta_fraction.is_nan() || delta_fraction < 0.0 {
+            return Err(SnapshotError::Corrupt("invalid delta fraction"));
+        }
+        let rects_off = HEADER_LEN
+            .checked_add(core_len)
+            .ok_or(SnapshotError::Corrupt("core length overflows"))?;
+        let rects_len = staged_len * std::mem::size_of::<Rect<D>>();
+        let keys_off = bytes::align_up(
+            rects_off
+                .checked_add(rects_len)
+                .ok_or(SnapshotError::Corrupt("staged bytes overflow"))?,
+        );
+        let keys_len = staged_len * 8;
+        let tomb_off = bytes::align_up(keys_off + keys_len);
+        let tomb_len = tombstone_words * 8;
+        let total = bytes::align_up(tomb_off + tomb_len);
+        if total != length {
+            return Err(SnapshotError::Truncated {
+                needed: total,
+                have: length,
+            });
+        }
+        if bytes::checksum(&data[rects_off..]) != delta_checksum {
+            return Err(SnapshotError::ChecksumMismatch);
+        }
+        let core = PackedCore::from_flat(buf, offset + HEADER_LEN, core_len, &from_raw)?;
+        let misaligned = |_| SnapshotError::Corrupt("misaligned section");
+        let staged_rects: Vec<Rect<D>> = bytes::cast_slice::<Rect<D>>(
+            &whole[offset + rects_off..offset + rects_off + rects_len],
+        )
+        .map_err(misaligned)?
+        .to_vec();
+        let staged_keys: Vec<K> =
+            bytes::cast_slice::<u64>(&whole[offset + keys_off..offset + keys_off + keys_len])
+                .map_err(misaligned)?
+                .iter()
+                .map(|&raw| (from_raw)(raw))
+                .collect();
+        let tombstones: Vec<u64> =
+            bytes::cast_slice::<u64>(&whole[offset + tomb_off..offset + tomb_off + tomb_len])
+                .map_err(misaligned)?
+                .to_vec();
+        let popcount: usize = tombstones.iter().map(|w| w.count_ones() as usize).sum();
+        if popcount != tombstone_count {
+            return Err(SnapshotError::Corrupt(
+                "tombstone count disagrees with bitmap",
+            ));
+        }
+        if !tombstones.is_empty() {
+            if tombstones.len() != core.len().div_ceil(64) {
+                return Err(SnapshotError::Corrupt("tombstone bitmap width mismatch"));
+            }
+            let used = core.len() - (tombstones.len() - 1) * 64;
+            if used < 64 && (*tombstones.last().expect("non-empty") >> used) != 0 {
+                return Err(SnapshotError::Corrupt(
+                    "tombstone bit past the packed range",
+                ));
+            }
+        }
+        let staged_mbr = Rect::union_all(staged_rects.iter());
+        Ok(Self {
+            core: Arc::new(core),
+            staged_keys,
+            staged_rects,
+            tombstones,
+            tombstone_count,
+            staged_mbr,
+            delta_fraction,
+            epoch: None,
+        })
+    }
+
+    /// Runs the deferred bulk-payload checksum of a flat-buffer core —
+    /// the integrity check [`PackedRTree::load`] postpones to keep
+    /// cold-start in budget. A no-op `Ok` on trees with owned columns.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::ChecksumMismatch`] when the entry columns were
+    /// corrupted after the save.
+    pub fn verify_snapshot(&self) -> Result<(), SnapshotError> {
+        match &self.core.cols {
+            Cols::Flat(flat) => flat.verify_bulk(),
+            Cols::Owned { .. } => Ok(()),
+        }
+    }
+
+    /// Overwrites one stored node MBR, bypassing every invariant —
+    /// lets tests prove `validate` catches stale MBRs.
+    #[cfg(test)]
+    fn corrupt_level_mbr(&mut self, level: usize, node: usize, rect: Rect<D>)
+    where
+        K: Clone,
+    {
+        let core = Arc::make_mut(&mut self.core);
+        core.make_owned();
+        let Cols::Owned { levels, .. } = &mut core.cols else {
+            unreachable!("make_owned above")
+        };
+        levels[level][node] = rect;
     }
 }
 
@@ -1812,7 +3181,7 @@ mod tests {
     fn validate_catches_stale_mbr() {
         let mut tree = PackedRTree::bulk_load_with_node_size(4, grid(100));
         // Corrupt a leaf-node MBR behind validate's back.
-        Arc::make_mut(&mut tree.core).levels[0][0] = Rect::new([0.0, 0.0], [0.1, 0.1]);
+        tree.corrupt_level_mbr(0, 0, Rect::new([0.0, 0.0], [0.1, 0.1]));
         assert!(matches!(
             tree.validate(),
             Err(PackedValidationError::WrongMbr { level: 0, node: 0 })
@@ -2398,5 +3767,289 @@ mod tests {
         let mut count = 0usize;
         tree.for_each_containing(&Point::new([1.0, 1.0]), |_, _| count += 1);
         assert_eq!(count, tree.search_point(&Point::new([1.0, 1.0])).len());
+    }
+
+    // ---- flat snapshots ------------------------------------------------
+
+    /// Asserts `restored` answers every probe and window of the `grid`
+    /// world identically to `tree`, across all three read paths.
+    fn assert_reads_equal(tree: &PackedRTree<usize, 2>, restored: &PackedRTree<usize, 2>) {
+        assert_eq!(tree.len(), restored.len());
+        let probes: Vec<Point<2>> = (0..40)
+            .map(|i| Point::new([(i % 20) as f64 * 5.3, (i / 4) as f64 * 3.7]))
+            .collect();
+        for p in &probes {
+            assert_eq!(
+                sorted_hits(tree, p),
+                sorted_hits(restored, p),
+                "probe {p:?}"
+            );
+        }
+        for i in 0..10 {
+            let lo = [i as f64 * 7.0, i as f64 * 3.0];
+            let window = Rect::new(lo, [lo[0] + 11.0, lo[1] + 9.0]);
+            let mut a: Vec<usize> = tree
+                .search_intersecting(&window)
+                .into_iter()
+                .copied()
+                .collect();
+            let mut b: Vec<usize> = restored
+                .search_intersecting(&window)
+                .into_iter()
+                .copied()
+                .collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "window {window:?}");
+        }
+        let mut a: Vec<(u32, usize)> = Vec::new();
+        let mut b: Vec<(u32, usize)> = Vec::new();
+        tree.for_each_containing_batch(&probes, |pi, k, _| a.push((pi, *k)));
+        restored.for_each_containing_batch(&probes, |pi, k, _| b.push((pi, *k)));
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn save_load_round_trips_exactly() {
+        let tree = PackedRTree::bulk_load(grid(500));
+        let bytes = tree.save();
+        let restored = PackedRTree::<usize, 2>::load(bytes).unwrap();
+        restored.validate().unwrap();
+        restored.verify_snapshot().unwrap();
+        assert_reads_equal(&tree, &restored);
+    }
+
+    #[test]
+    fn save_load_round_trips_in_every_layout() {
+        let tree = PackedRTree::bulk_load_with_node_size(8, grid(457));
+        for (quantize, fanout) in [(false, true), (true, false), (true, true)] {
+            let bytes = tree.save_with_options(SnapshotOptions {
+                quantize_interior: quantize,
+                aligned_fanout: fanout,
+            });
+            let restored = PackedRTree::<usize, 2>::load(bytes).unwrap();
+            assert_eq!(restored.core.is_quantized(), quantize);
+            restored.validate().unwrap();
+            restored.verify_snapshot().unwrap();
+            assert_reads_equal(&tree, &restored);
+        }
+    }
+
+    #[test]
+    fn quantized_snapshot_resaves_to_both_layouts() {
+        // quant → quant and quant → exact: the exact re-save must
+        // recompute interior MBRs from the entry rects, not widen.
+        let tree = PackedRTree::bulk_load(grid(300));
+        let quant = PackedRTree::<usize, 2>::load(tree.save_with_options(SnapshotOptions {
+            quantize_interior: true,
+            aligned_fanout: false,
+        }))
+        .unwrap();
+        let requant = PackedRTree::<usize, 2>::load(quant.save_with_options(SnapshotOptions {
+            quantize_interior: true,
+            aligned_fanout: true,
+        }))
+        .unwrap();
+        let exact = PackedRTree::<usize, 2>::load(quant.save()).unwrap();
+        requant.validate().unwrap();
+        exact.validate().unwrap();
+        assert!(!exact.core.is_quantized());
+        assert_reads_equal(&tree, &requant);
+        assert_reads_equal(&tree, &exact);
+    }
+
+    #[test]
+    fn empty_tree_round_trips() {
+        let tree: PackedRTree<usize, 2> = PackedRTree::bulk_load(Vec::new());
+        let restored = PackedRTree::<usize, 2>::load_verified(tree.save()).unwrap();
+        assert_eq!(restored.len(), 0);
+        restored.validate().unwrap();
+        assert!(restored.search_point(&Point::new([0.0, 0.0])).is_empty());
+    }
+
+    #[test]
+    fn mid_churn_snapshot_restores_delta_and_tombstones() {
+        let mut tree = PackedRTree::bulk_load_with_node_size(4, grid(200));
+        for i in 0..37 {
+            let x = 200.0 + i as f64;
+            tree.stage_insert(10_000 + i, Rect::new([x, x], [x + 1.5, x + 1.5]));
+        }
+        for i in (0..200).step_by(7) {
+            let (k, r) = grid(200)[i];
+            tree.remove_entry(&k, &r).unwrap();
+        }
+        let restored = PackedRTree::<usize, 2>::load_verified(tree.save()).unwrap();
+        restored.validate().unwrap();
+        assert_eq!(restored.staged_len(), tree.staged_len());
+        assert_eq!(restored.tombstone_count(), tree.tombstone_count());
+        assert_eq!(live_model(&tree), live_model(&restored));
+        assert_reads_equal(&tree, &restored);
+        let p = Point::new([200.5, 200.5]);
+        assert_eq!(sorted_hits(&tree, &p), sorted_hits(&restored, &p));
+    }
+
+    #[test]
+    fn mid_freeze_snapshot_serializes_the_live_view() {
+        let mut tree = PackedRTree::bulk_load_with_node_size(4, grid(100));
+        tree.stage_insert(900, Rect::new([400.0, 400.0], [401.0, 401.0]));
+        let _frozen = tree.freeze();
+        // Retire a frozen staged entry and tombstone a packed slot
+        // mid-compaction; the snapshot must carry neither as live.
+        tree.remove_entry(&900, &Rect::new([400.0, 400.0], [401.0, 401.0]))
+            .unwrap();
+        let (k, r) = grid(100)[3];
+        tree.remove_entry(&k, &r).unwrap();
+        let restored = PackedRTree::<usize, 2>::load_verified(tree.save()).unwrap();
+        restored.validate().unwrap();
+        assert!(!restored.is_compacting());
+        // Retired frozen entries are dead in the live view; live_model
+        // doesn't know about epochs, so filter them out here.
+        let mut expect: Vec<(usize, Rect<2>)> = tree.entries().map(|(_, &k, &r)| (k, r)).collect();
+        expect.extend(
+            tree.staged_keys()
+                .iter()
+                .zip(tree.staged_rects())
+                .enumerate()
+                .filter(|&(i, _)| tree.is_staged_live(i))
+                .map(|(_, (&k, &r))| (k, r)),
+        );
+        assert_eq!(expect, live_model(&restored));
+        assert_reads_equal(&tree, &restored);
+    }
+
+    #[test]
+    fn restored_tree_mutates_like_a_built_one() {
+        let tree = PackedRTree::bulk_load(grid(120));
+        for options in [
+            SnapshotOptions::default(),
+            SnapshotOptions {
+                quantize_interior: true,
+                aligned_fanout: true,
+            },
+        ] {
+            let mut restored =
+                PackedRTree::<usize, 2>::load(tree.save_with_options(options)).unwrap();
+            let slot = restored.slot_of(&11).unwrap();
+            restored.update(slot, Rect::new([777.0, 777.0], [778.0, 778.0]));
+            restored.stage_insert(5000, Rect::new([900.0, 900.0], [901.0, 901.0]));
+            restored.compact();
+            restored.validate().unwrap();
+            assert_eq!(restored.len(), 121);
+            assert_eq!(
+                restored.search_point(&Point::new([777.5, 777.5])),
+                vec![&11]
+            );
+            assert_eq!(
+                restored.search_point(&Point::new([900.5, 900.5])),
+                vec![&5000]
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_headers_are_rejected_not_panics() {
+        let tree = PackedRTree::bulk_load(grid(150));
+        let good = tree.save();
+
+        let mut bad = good.clone();
+        bad[0] ^= 0xff;
+        assert!(matches!(
+            PackedRTree::<usize, 2>::load(bad),
+            Err(SnapshotError::BadMagic { .. })
+        ));
+
+        let mut bad = good.clone();
+        bad[4] = 99;
+        assert!(matches!(
+            PackedRTree::<usize, 2>::load(bad),
+            Err(SnapshotError::WrongVersion { found: 99, .. })
+        ));
+
+        assert!(matches!(
+            PackedRTree::<usize, 3>::load(good.clone()),
+            Err(SnapshotError::WrongDims {
+                found: 2,
+                expected: 3
+            })
+        ));
+
+        for cut in [0, 5, 63, 64, 200, good.len() - 1] {
+            assert!(
+                PackedRTree::<usize, 2>::load(good[..cut].to_vec()).is_err(),
+                "truncation at {cut} must be rejected"
+            );
+        }
+
+        // Flip one metadata byte (level table region) — eager checksum.
+        let mut bad = good.clone();
+        bad[HEADER_LEN + HEADER_LEN + 3] ^= 0x40;
+        assert!(PackedRTree::<usize, 2>::load(bad).is_err());
+
+        // Flip one byte deep in the bulk payload: the plain load
+        // defers that checksum, load_verified catches it.
+        let mut bad = good.clone();
+        let mid = HEADER_LEN + good.len() / 2;
+        bad[mid] ^= 0x01;
+        assert!(matches!(
+            PackedRTree::<usize, 2>::load_verified(bad),
+            Err(SnapshotError::ChecksumMismatch)
+        ));
+    }
+
+    #[test]
+    fn fuzzed_header_bytes_never_panic() {
+        let tree = PackedRTree::bulk_load(grid(80));
+        let good = tree.save();
+        // Deterministic single-byte corruptions across both headers
+        // and section edges: every one must be Err or a valid tree.
+        for pos in 0..good.len().min(256) {
+            for flip in [0x01u8, 0x80, 0xff] {
+                let mut bad = good.clone();
+                bad[pos] ^= flip;
+                if let Ok(t) = PackedRTree::<usize, 2>::load(bad) {
+                    // A surviving load may only differ in deferred-
+                    // checksummed payload; probing must not panic.
+                    let _ = t.search_point(&Point::new([1.0, 1.0]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_with_empty_delta_allocates_nothing() {
+        let mut tree = PackedRTree::bulk_load(grid(100));
+        let snap = tree.snapshot();
+        assert_eq!(
+            snap.delta_heap_bytes(),
+            0,
+            "empty-delta snapshot must not copy"
+        );
+        assert!(Arc::ptr_eq(&snap.core, &tree.core));
+        // With a delta the snapshot pays O(delta) — and only that.
+        tree.stage_insert(999, Rect::new([5.0, 5.0], [6.0, 6.0]));
+        assert!(tree.snapshot().delta_heap_bytes() > 0);
+    }
+
+    #[test]
+    fn save_with_custom_key_codec_round_trips() {
+        // A foreign newtype outside the SnapshotKey impl list.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+        struct Id(u32);
+        let entries: Vec<(Id, Rect<2>)> = grid(90)
+            .into_iter()
+            .map(|(k, r)| (Id(k as u32), r))
+            .collect();
+        let tree = PackedRTree::bulk_load(entries);
+        let bytes = tree.save_with(SnapshotOptions::default(), |id| u64::from(id.0));
+        let restored = PackedRTree::<Id, 2>::load_with(bytes, |raw| Id(raw as u32)).unwrap();
+        assert_eq!(restored.len(), 90);
+        let p = Point::new([3.5, 3.5]);
+        let mut a: Vec<Id> = tree.search_point(&p).into_iter().copied().collect();
+        let mut b: Vec<Id> = restored.search_point(&p).into_iter().copied().collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
     }
 }

@@ -8,10 +8,11 @@
 //! two-phase freeze/merge/install cycle with mutations landing
 //! mid-compaction.
 
-use drtree_rtree::{PackedRTree, RTree, RTreeConfig, SplitMethod};
+use drtree_rtree::{PackedRTree, RTree, RTreeConfig, SnapshotOptions, SplitMethod};
 use drtree_spatial::{Point, Rect};
 use drtree_workloads::SubscriptionWorkload;
 use proptest::prelude::*;
+use proptest::strategy::Just;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -429,5 +430,187 @@ proptest! {
         tree.compact();
         tree.validate().map_err(|e| TestCaseError::fail(e.to_string()))?;
         check(&tree, &model, "recompacted")?;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot round-trips: save -> load must be invisible to every query,
+// no matter where in a churn sequence the snapshot is taken, on both
+// the exact-f64 layout and the quantized-f32 / aligned-fanout layout.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum ChurnOp {
+    /// Stage a fresh entry into the delta layer.
+    Stage(Rect<2>),
+    /// Remove the n-th live entry (mod the live count).
+    RemoveNth(usize),
+    /// Merge the delta layer into a rebuilt core.
+    Compact,
+    /// Snapshot mid-sequence and compare against the live tree.
+    Checkpoint,
+}
+
+fn arb_churn_op() -> impl Strategy<Value = ChurnOp> {
+    prop_oneof![
+        5 => arb_rect().prop_map(ChurnOp::Stage),
+        2 => (0usize..1_000_000).prop_map(ChurnOp::RemoveNth),
+        1 => Just(ChurnOp::Compact),
+        1 => Just(ChurnOp::Checkpoint),
+    ]
+}
+
+/// Serialize `tree`, reload it on both the deferred-checksum and the
+/// eager-checksum paths, and require identical answers to every probe.
+fn round_trip_matches(
+    tree: &PackedRTree<usize, 2>,
+    options: SnapshotOptions,
+    probes: &[Point<2>],
+    windows: &[Rect<2>],
+) -> Result<(), TestCaseError> {
+    let bytes = tree.save_with_options(options);
+    let restored = PackedRTree::<usize, 2>::load(bytes.clone())
+        .map_err(|e| TestCaseError::fail(format!("load: {e}")))?;
+    restored
+        .verify_snapshot()
+        .map_err(|e| TestCaseError::fail(format!("verify_snapshot: {e}")))?;
+    restored
+        .validate()
+        .map_err(|e| TestCaseError::fail(format!("restored validate: {e}")))?;
+    let verified = PackedRTree::<usize, 2>::load_verified(bytes)
+        .map_err(|e| TestCaseError::fail(format!("load_verified: {e}")))?;
+    prop_assert_eq!(restored.len(), tree.len());
+    prop_assert_eq!(verified.len(), tree.len());
+
+    for point in probes {
+        let mut want: Vec<usize> = tree.search_point(point).into_iter().copied().collect();
+        want.sort_unstable();
+        let mut lazy: Vec<usize> = restored.search_point(point).into_iter().copied().collect();
+        lazy.sort_unstable();
+        prop_assert_eq!(&lazy, &want, "restored point query diverged at {:?}", point);
+        let mut eager: Vec<usize> = verified.search_point(point).into_iter().copied().collect();
+        eager.sort_unstable();
+        prop_assert_eq!(
+            &eager,
+            &want,
+            "verified point query diverged at {:?}",
+            point
+        );
+    }
+    for window in windows {
+        let mut want: Vec<usize> = tree
+            .search_intersecting(window)
+            .into_iter()
+            .copied()
+            .collect();
+        want.sort_unstable();
+        let mut got: Vec<usize> = restored
+            .search_intersecting(window)
+            .into_iter()
+            .copied()
+            .collect();
+        got.sort_unstable();
+        prop_assert_eq!(got, want, "restored window query diverged at {}", window);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn snapshot_round_trips_exactly_under_interleaved_churn(
+        base in prop::collection::vec(arb_rect(), 0..100),
+        ops in prop::collection::vec(arb_churn_op(), 0..50),
+        quantize in any::<bool>(),
+        probes in prop::collection::vec(
+            (0.0f64..130.0, 0.0f64..130.0).prop_map(|(x, y)| Point::<2>::new([x, y])),
+            1..10),
+        windows in prop::collection::vec(arb_rect(), 1..4),
+    ) {
+        // The two hot-layout experiments ride the same header; exercise
+        // the exact layout and the fully experimental one alternately.
+        let options = SnapshotOptions { quantize_interior: quantize, aligned_fanout: quantize };
+
+        let mut model: Vec<(usize, Rect<2>)> = base.iter().copied().enumerate().collect();
+        let mut tree = PackedRTree::bulk_load(model.clone());
+        let mut next_key = model.len();
+        let mut checkpoints = 0usize;
+
+        for op in &ops {
+            match op {
+                ChurnOp::Stage(rect) => {
+                    tree.stage_insert(next_key, *rect);
+                    model.push((next_key, *rect));
+                    next_key += 1;
+                }
+                ChurnOp::RemoveNth(n) => {
+                    if !model.is_empty() {
+                        let (key, rect) = model.remove(n % model.len());
+                        prop_assert!(tree.remove_entry(&key, &rect).is_some());
+                    }
+                }
+                ChurnOp::Compact => {
+                    tree.compact();
+                    // Empty-delta fast path: a post-compaction snapshot
+                    // shares the core and heap-allocates nothing.
+                    prop_assert_eq!(tree.snapshot().delta_heap_bytes(), 0);
+                }
+                // Cap mid-sequence round-trips: each one serializes the
+                // whole tree, and three interior placements (early,
+                // mid-delta, post-compaction) cover the layout space.
+                ChurnOp::Checkpoint if checkpoints < 3 => {
+                    checkpoints += 1;
+                    round_trip_matches(&tree, options, &probes, &windows)?;
+                }
+                ChurnOp::Checkpoint => {}
+            }
+        }
+
+        prop_assert_eq!(tree.len(), model.len());
+        round_trip_matches(&tree, options, &probes, &windows)?;
+    }
+
+    #[test]
+    fn corrupted_snapshots_error_and_never_panic(
+        base in prop::collection::vec(arb_rect(), 0..80),
+        staged in prop::collection::vec(arb_rect(), 0..20),
+        quantize in any::<bool>(),
+        cut_at in 0usize..1_000_000,
+        flips in prop::collection::vec((0usize..1_000_000, 1u8..255), 1..6),
+        probe in (0.0f64..130.0, 0.0f64..130.0).prop_map(|(x, y)| Point::<2>::new([x, y])),
+    ) {
+        let entries: Vec<(usize, Rect<2>)> = base.iter().copied().enumerate().collect();
+        let mut tree = PackedRTree::bulk_load(entries);
+        for (i, rect) in staged.iter().enumerate() {
+            tree.stage_insert(base.len() + i, *rect);
+        }
+        if !base.is_empty() {
+            tree.remove_entry(&0, &base[0]);
+        }
+        let options = SnapshotOptions { quantize_interior: quantize, aligned_fanout: quantize };
+        let bytes = tree.save_with_options(options);
+
+        // Every strict prefix must be rejected: the header carries the
+        // total payload length, so truncation is always detectable.
+        let cut = cut_at % bytes.len();
+        prop_assert!(PackedRTree::<usize, 2>::load(bytes[..cut].to_vec()).is_err());
+
+        // Arbitrary bit flips: the deferred-checksum path may accept a
+        // flip in bulk data (by design — load defers the bulk sum), but
+        // must never panic, and an accepted tree must answer queries.
+        // The eager path additionally re-sums the bulk sections.
+        let mut fuzzed = bytes.clone();
+        for &(at, mask) in &flips {
+            let at = at % fuzzed.len();
+            fuzzed[at] ^= mask;
+        }
+        if let Ok(loaded) = PackedRTree::<usize, 2>::load(fuzzed.clone()) {
+            let _ = loaded.search_point(&probe);
+            let _ = loaded.verify_snapshot();
+        }
+        if let Ok(loaded) = PackedRTree::<usize, 2>::load_verified(fuzzed) {
+            let _ = loaded.search_point(&probe);
+        }
     }
 }

@@ -1,0 +1,89 @@
+//! Release-only scale test: a 500k-entry snapshot must round-trip
+//! byte-exactly and serve queries immediately after `load`, on both
+//! the exact layout and the quantized/aligned hot layout. CI runs this
+//! via `cargo test --release -p drtree-rtree`; under a debug build the
+//! bulk load alone would dominate the suite, so it is ignored there.
+
+use drtree_rtree::{PackedRTree, SnapshotOptions};
+use drtree_spatial::{Point, Rect};
+
+const N: usize = 500_000;
+
+/// Deterministic workload: a jittered grid of small boxes, the same
+/// shape the `scale` bench uses, so coverage matches what we gate on.
+fn entries() -> Vec<(usize, Rect<2>)> {
+    let side = (N as f64).sqrt().ceil() as usize;
+    (0..N)
+        .map(|i| {
+            let x = (i % side) as f64;
+            let y = (i / side) as f64;
+            // Cheap LCG jitter keeps rectangles off the exact lattice.
+            let j = ((i as u64)
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407)
+                >> 33) as f64
+                / (1u64 << 31) as f64;
+            let w = 0.3 + 0.4 * j;
+            (i, Rect::new([x, y], [x + w, y + w]))
+        })
+        .collect()
+}
+
+fn probe_points() -> Vec<Point<2>> {
+    let side = (N as f64).sqrt().ceil();
+    (0..64)
+        .map(|i| {
+            let t = i as f64 / 64.0;
+            Point::new([t * side, (1.0 - t) * side])
+        })
+        .collect()
+}
+
+fn round_trip(options: SnapshotOptions) {
+    let mut tree = PackedRTree::bulk_load(entries());
+    // Leave the delta layer non-empty: stage a band of fresh entries
+    // and tombstone a band of packed ones, so the snapshot carries all
+    // three sections (core, staged, tombstones).
+    let all = entries();
+    for (i, (_, rect)) in all.iter().take(1_000).enumerate() {
+        tree.stage_insert(N + i, *rect);
+    }
+    for (key, rect) in all.iter().skip(1_000).take(1_000) {
+        assert!(tree.remove_entry(key, rect).is_some(), "tombstone {key}");
+    }
+    let live = tree.len();
+
+    let bytes = tree.save_with_options(options);
+    let restored = PackedRTree::<usize, 2>::load(bytes.clone()).expect("snapshot loads");
+    assert_eq!(restored.len(), live);
+    restored.verify_snapshot().expect("bulk checksum verifies");
+    restored.validate().expect("restored tree validates");
+
+    // The eager path must agree with the deferred path.
+    let eager = PackedRTree::<usize, 2>::load_verified(bytes).expect("eager load verifies");
+    assert_eq!(eager.len(), live);
+
+    let mut hits = 0usize;
+    for point in probe_points() {
+        let mut want: Vec<usize> = tree.search_point(&point).into_iter().copied().collect();
+        want.sort_unstable();
+        let mut got: Vec<usize> = restored.search_point(&point).into_iter().copied().collect();
+        got.sort_unstable();
+        assert_eq!(got, want, "restored diverged at {point:?}");
+        hits += want.len();
+    }
+    assert!(hits > 0, "probe set never hit an entry");
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "500k bulk load is release-only; run with `cargo test --release`"
+)]
+fn five_hundred_k_snapshot_round_trips_on_both_layouts() {
+    round_trip(SnapshotOptions::default());
+    round_trip(SnapshotOptions {
+        quantize_interior: true,
+        aligned_fanout: true,
+    });
+}

@@ -364,6 +364,26 @@ impl<const D: usize> ShardMap<D> {
         }
     }
 
+    /// A map over `world` with exactly the given ascending range ends
+    /// — the restore path of serialized sharded indexes, rebuilding
+    /// the assignment that produced a snapshot. `boundaries.len() + 1`
+    /// shards result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `boundaries` is not ascending.
+    pub fn from_boundaries(world: &Rect<D>, boundaries: Vec<u128>) -> Self {
+        assert!(
+            boundaries.windows(2).all(|w| w[0] <= w[1]),
+            "shard boundaries must ascend"
+        );
+        Self {
+            mapper: GridMapper::new(world),
+            world: *world,
+            boundaries,
+        }
+    }
+
     /// Number of shards keys are partitioned into.
     pub fn shards(&self) -> usize {
         self.boundaries.len() + 1

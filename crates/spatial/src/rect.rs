@@ -25,7 +25,12 @@ use crate::Point;
 /// assert_eq!(a.area(), 16.0);
 /// assert_eq!(a.union(&b), a);
 /// ```
+// `repr(C)` pins the layout to `2·D` consecutive `f64`s (no padding:
+// the field arrays share the `f64` alignment), which is what lets the
+// packed tree's flat-buffer snapshots view rectangle arrays in place
+// instead of deserializing them.
 #[derive(Clone, Copy, PartialEq)]
+#[repr(C)]
 pub struct Rect<const D: usize> {
     lo: [f64; D],
     hi: [f64; D],
