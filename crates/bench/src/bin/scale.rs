@@ -111,6 +111,26 @@
 //!   cargo run -p drtree-bench --release --bin scale -- multipub [out.json] [--check <t>]
 //!   ```
 //!
+//! * **Moving subscriptions** (`mobility`): the continuous-query
+//!   mobility mode. Drives a seeded random-waypoint
+//!   [`drtree_workloads::MotionField`] over 100k/500k movers and
+//!   applies every per-tick delta to a 4-shard
+//!   [`drtree_pubsub::ShardedOracle`] two ways on identical
+//!   trajectories: through the [`ShardedOracle::move_entry`] fast path
+//!   (in-place `PackedRTree::update_entry` when the new rect stays in
+//!   its leaf subtree, tombstone + restage otherwise, Hilbert re-key
+//!   only on shard-boundary crossings) and through the naive
+//!   remove + reinsert baseline. Both pay their flushes — and any
+//!   compactions those trigger — inside the timed window. An untimed
+//!   prelude pins two full ticks per size against a fresh-built
+//!   reference oracle, and the move-path counters must account for
+//!   every delta (`moved_in_place + rekeyed == moves`). Writes
+//!   `BENCH_mobility.json` (or the given path).
+//!
+//!   ```text
+//!   cargo run -p drtree-bench --release --bin scale -- mobility [out.json] [--check <t>]
+//!   ```
+//!
 //! # Emitted JSON
 //!
 //! The JSON files are committed at the repo root and refreshed
@@ -145,6 +165,11 @@
 //!   `{throughput_eps, mean_batch, p50/p99/p999/max ns}` and
 //!   open-loop `{offered_eps, p50/p99/p999/max ns}` samples, and the
 //!   headline `throughput_16pub_vs_1pub`.
+//! * `BENCH_mobility.json` — per-mover-count `{ticks,
+//!   update_ns_per_move, reinsert_ns_per_move, speedup,
+//!   moved_in_place, rekeyed, update_compactions,
+//!   reinsert_compactions}` samples and the headline
+//!   `update_vs_reinsert_at_100k`.
 //!
 //! # `--check` (regression gates)
 //!
@@ -173,8 +198,12 @@
 //! * `multipub --check t` — 16 concurrent publishers must sustain ≥
 //!   `t`× the closed-loop commit throughput of a single publisher
 //!   (the batching amortization claim).
+//! * `mobility --check t` — the `move_entry` update path must apply
+//!   motion ticks ≥ `t`× faster per move than remove + reinsert at
+//!   100k movers (the in-place fast-path claim), with the exactness
+//!   prelude and counter accounting asserted unconditionally.
 //!
-//! CI runs all six gates with thresholds *below* the steady state
+//! CI runs all seven gates with thresholds *below* the steady state
 //! (see `.github/workflows/ci.yml`) so shared-runner noise cannot
 //! flake a merge while a structural regression still fails the build.
 
@@ -192,7 +221,7 @@ use drtree_rtree::{PackedRTree, RTree, RTreeConfig, SplitMethod};
 use drtree_sim::{LatencyModel, NetConfig};
 use drtree_spatial::{Point, Rect, Schema};
 use drtree_workloads::churn::{ChurnOp, PoissonChurn};
-use drtree_workloads::{ArrivalSchedule, SubscriptionWorkload};
+use drtree_workloads::{ArrivalSchedule, MotionField, MotionModel, SubscriptionWorkload};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -242,6 +271,10 @@ fn main() {
         Some("multipub") => {
             let (out, check) = parse_out_and_check(&args[1..], "BENCH_multipub.json");
             multipub_ingress(&out, check);
+        }
+        Some("mobility") => {
+            let (out, check) = parse_out_and_check(&args[1..], "BENCH_mobility.json");
+            mobility_moves(&out, check);
         }
         other => {
             let max_n = other.and_then(|s| s.parse().ok()).unwrap_or(1024);
@@ -1681,4 +1714,260 @@ fn time_queries<const D: usize>(
     let elapsed = t0.elapsed().as_nanos() as f64;
     std::hint::black_box(hits);
     elapsed / probes.len() as f64
+}
+
+/// One mobility measurement at one mover count.
+struct MobilitySample {
+    movers: usize,
+    ticks: usize,
+    update_ns_per_move: f64,
+    reinsert_ns_per_move: f64,
+    speedup: f64,
+    moved_in_place: u64,
+    rekeyed: u64,
+    update_compactions: u64,
+    reinsert_compactions: u64,
+}
+
+/// The moving-subscriptions probe (see the module docs): identical
+/// seeded random-waypoint trajectories applied through
+/// [`ShardedOracle::move_entry`] and through remove + reinsert, both
+/// flushing (and compacting) inside the timed window, with an untimed
+/// per-tick exactness prelude against a fresh-built reference oracle.
+/// Writes `BENCH_mobility.json` and gates `update_vs_reinsert_at_100k`.
+fn mobility_moves(out_path: &str, check: Option<f64>) {
+    // (movers, timed ticks): fewer ticks at 500k keep the wall clock
+    // bounded while still spanning several flush cycles.
+    const SIZES: [(usize, usize); 2] = [(100_000, 6), (500_000, 3)];
+    const SHARDS: usize = 4;
+    const EXACT_TICKS: usize = 2;
+    const PROBE_GRID: usize = 6;
+    const GATE_SIZE: usize = 100_000;
+
+    let mut samples: Vec<MobilitySample> = Vec::new();
+    let mut headline = None;
+    println!(
+        "| movers | ticks | update (ns/move) | reinsert (ns/move) | speedup | in-place | rekeyed |"
+    );
+    println!(
+        "|--------|-------|------------------|--------------------|---------|----------|---------|"
+    );
+    for (movers, ticks) in SIZES {
+        let seed = 31_000 + movers as u64;
+        let rects = scaled_rects(movers, seed);
+        // Same world construction as `scaled_rects`: side scaled so a
+        // point query matches ~10 movers at every size.
+        let side = (movers as f64 * 5.5 * 5.5 / 10.0).sqrt();
+        let world = Rect::new([0.0, 0.0], [side, side]);
+        // Small per-tick deltas — the fast path's contract: movers
+        // drift at most half a unit per tick under extents of 1-10, so
+        // most moves stay inside their leaf subtree and the delta
+        // layer grows only from genuine escapes and boundary
+        // crossings. The baseline replays the *same* small deltas, it
+        // just pays remove+reinsert (and the per-tick compactions that
+        // forces) for them.
+        let model = MotionModel::RandomWaypoint {
+            min_speed: 0.05,
+            max_speed: 0.5,
+        };
+        let ids: Vec<ProcessId> = (0..movers).map(|i| ProcessId::from_raw(i as u64)).collect();
+
+        // Pre-generate the whole trajectory once so both paths replay
+        // byte-identical deltas and neither pays motion-model cost
+        // inside its timed window.
+        let mut field = MotionField::new(model, world, rects.clone(), seed ^ 0x0b11e);
+        let trajectory: Vec<Vec<(u32, Rect<2>)>> =
+            (0..ticks + EXACT_TICKS).map(|_| field.step()).collect();
+
+        // Untimed exactness prelude, on the same oracle the timed
+        // window then measures: the first EXACT_TICKS ticks are
+        // applied through `move_entry` and pinned per tick against an
+        // oracle rebuilt from scratch over the same rect set. This
+        // doubles as steady-state warm-up — the timed window measures
+        // a mobility engine already tracking its movers, not the
+        // one-off cost of meeting 100k ids for the first time.
+        let mut update_oracle: ShardedOracle<2> = ShardedOracle::new(SHARDS);
+        for (id, r) in ids.iter().zip(&rects) {
+            update_oracle.insert(*id, *r);
+        }
+        update_oracle.flush();
+        let mut current = rects.clone();
+        for tick in &trajectory[..EXACT_TICKS] {
+            for &(i, new) in tick {
+                let i = i as usize;
+                assert!(
+                    update_oracle.move_entry(ids[i], &current[i], new),
+                    "move_entry lost mover {i}"
+                );
+                current[i] = new;
+            }
+            update_oracle.flush();
+            let mut reference: ShardedOracle<2> = ShardedOracle::new(SHARDS);
+            for (id, r) in ids.iter().zip(&current) {
+                reference.insert(*id, *r);
+            }
+            reference.flush();
+            let mut got = Vec::new();
+            let mut want = Vec::new();
+            for gx in 0..PROBE_GRID {
+                for gy in 0..PROBE_GRID {
+                    let p = Point::new([
+                        side * (gx as f64 + 0.5) / PROBE_GRID as f64,
+                        side * (gy as f64 + 0.5) / PROBE_GRID as f64,
+                    ]);
+                    update_oracle.match_point_into(&p, &mut got);
+                    reference.match_point_into(&p, &mut want);
+                    got.sort_unstable();
+                    want.sort_unstable();
+                    assert_eq!(got, want, "post-tick delivery set diverged from rebuild");
+                }
+            }
+        }
+        let moved_rects = current;
+
+        // Timed update pass: move_entry per delta, flush per tick.
+        let mut current = moved_rects.clone();
+        let t0 = Instant::now();
+        for tick in &trajectory[EXACT_TICKS..] {
+            for &(i, new) in tick {
+                let i = i as usize;
+                update_oracle.move_entry(ids[i], &current[i], new);
+                current[i] = new;
+            }
+            update_oracle.flush();
+        }
+        let update_ns = t0.elapsed().as_nanos() as f64;
+        let moves = (ticks * movers) as u64;
+        let all_moves = ((ticks + EXACT_TICKS) * movers) as u64;
+        update_oracle.flush();
+        assert_eq!(
+            update_oracle.moved_in_place_total() + update_oracle.rekeyed_total(),
+            all_moves,
+            "move counters must account for every delta"
+        );
+
+        // Baseline pass: remove + reinsert per delta over the
+        // identical trajectory, flush per tick (its compactions are
+        // part of the price being measured). Same warm-up discipline:
+        // the prelude ticks run untimed on the same oracle first.
+        let mut reinsert_oracle: ShardedOracle<2> = ShardedOracle::new(SHARDS);
+        for (id, r) in ids.iter().zip(&rects) {
+            reinsert_oracle.insert(*id, *r);
+        }
+        reinsert_oracle.flush();
+        let mut current = rects.clone();
+        for tick in &trajectory[..EXACT_TICKS] {
+            for &(i, new) in tick {
+                let i = i as usize;
+                assert!(reinsert_oracle.remove(ids[i], &current[i]));
+                reinsert_oracle.insert(ids[i], new);
+                current[i] = new;
+            }
+            reinsert_oracle.flush();
+        }
+        let t0 = Instant::now();
+        for tick in &trajectory[EXACT_TICKS..] {
+            for &(i, new) in tick {
+                let i = i as usize;
+                assert!(reinsert_oracle.remove(ids[i], &current[i]));
+                reinsert_oracle.insert(ids[i], new);
+                current[i] = new;
+            }
+            reinsert_oracle.flush();
+        }
+        let reinsert_ns = t0.elapsed().as_nanos() as f64;
+
+        // Both paths must land on the same final index: probe the grid
+        // once more against each other.
+        let mut got = Vec::new();
+        let mut want = Vec::new();
+        for gx in 0..PROBE_GRID {
+            for gy in 0..PROBE_GRID {
+                let p = Point::new([
+                    side * (gx as f64 + 0.5) / PROBE_GRID as f64,
+                    side * (gy as f64 + 0.5) / PROBE_GRID as f64,
+                ]);
+                update_oracle.match_point_into(&p, &mut got);
+                reinsert_oracle.match_point_into(&p, &mut want);
+                got.sort_unstable();
+                want.sort_unstable();
+                assert_eq!(got, want, "update and reinsert paths diverged");
+            }
+        }
+
+        let update_ns_per_move = update_ns / moves as f64;
+        let reinsert_ns_per_move = reinsert_ns / moves as f64;
+        let speedup = reinsert_ns_per_move / update_ns_per_move;
+        println!(
+            "| {movers} | {ticks} | {update_ns_per_move:.1} | {reinsert_ns_per_move:.1} | \
+             {speedup:.2}x | {} | {} |",
+            update_oracle.moved_in_place_total(),
+            update_oracle.rekeyed_total(),
+        );
+        if movers == GATE_SIZE {
+            headline = Some(speedup);
+        }
+        samples.push(MobilitySample {
+            movers,
+            ticks,
+            update_ns_per_move,
+            reinsert_ns_per_move,
+            speedup,
+            moved_in_place: update_oracle.moved_in_place_total(),
+            rekeyed: update_oracle.rekeyed_total(),
+            update_compactions: update_oracle.compaction_count(),
+            reinsert_compactions: reinsert_oracle.compaction_count(),
+        });
+    }
+
+    let speedup = headline.expect("gate size measured");
+    println!(
+        "move_entry vs remove+reinsert at {GATE_SIZE} movers: {speedup:.2}x \
+         ({:.1} -> {:.1} ns/move)",
+        samples[0].reinsert_ns_per_move, samples[0].update_ns_per_move,
+    );
+
+    let sizes = samples.iter().fold(Json::object(), |obj, s| {
+        obj.field(
+            s.movers.to_string().as_str(),
+            Json::object()
+                .field("ticks", s.ticks)
+                .field("update_ns_per_move", Json::fixed(s.update_ns_per_move, 1))
+                .field(
+                    "reinsert_ns_per_move",
+                    Json::fixed(s.reinsert_ns_per_move, 1),
+                )
+                .field("speedup", Json::fixed(s.speedup, 2))
+                .field("moved_in_place", s.moved_in_place)
+                .field("rekeyed", s.rekeyed)
+                .field("update_compactions", s.update_compactions)
+                .field("reinsert_compactions", s.reinsert_compactions),
+        )
+    });
+    let json = Json::object()
+        .field("bench", "mobility-moves")
+        .field(
+            "workload",
+            "uniform 2d movers, extents 1-10, world scaled to ~10 matches per point query",
+        )
+        .field(
+            "motion",
+            "seeded random waypoint, speed 0.05-0.5 per tick, 4 shards, flush per tick; \
+             identical trajectories for both paths; exactness prelude of 2 pinned ticks",
+        )
+        .field("sizes", sizes)
+        .field("update_vs_reinsert_at_100k", Json::fixed(speedup, 2));
+    std::fs::write(out_path, json.render()).expect("write BENCH_mobility.json");
+    println!("wrote {out_path}");
+
+    if let Some(threshold) = check {
+        if speedup < threshold {
+            eprintln!(
+                "REGRESSION: move_entry speedup over remove+reinsert fell below {threshold}x \
+                 (measured {speedup:.2}x)"
+            );
+            std::process::exit(1);
+        }
+        println!("check passed: move_entry >= {threshold}x vs remove+reinsert at 100k movers");
+    }
 }

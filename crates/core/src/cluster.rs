@@ -455,6 +455,27 @@ impl<const D: usize> DrTreeCluster<D> {
         self.net.corrupt(id, |node, rng| f(node.state_mut(), rng))
     }
 
+    /// Replaces a live subscriber's filter in place — the mobility
+    /// command of the moving-subscription experiments. The filter is
+    /// "constant non-corruptible data" in the paper's model (§3.2), so
+    /// a move is modeled as atomically swapping that constant: the
+    /// leaf instance's MBR is re-pinned to the new filter, and the
+    /// stale ancestor MBR/filter caches repair through the regular
+    /// heartbeat + `Compute_MBR` stabilization — exactly the machinery
+    /// that absorbs a transient corruption (Lemma 3.6), which is why
+    /// no new protocol is needed. Run [`DrTreeCluster::stabilize`]
+    /// afterwards to let the repair converge before the next publish.
+    /// Returns `false` if the subscriber is dead.
+    pub fn move_subscriber(&mut self, id: ProcessId, filter: Rect<D>) -> bool {
+        self.net.corrupt(id, |node, _| {
+            let state = node.state_mut();
+            state.filter = filter;
+            if let Some(leaf) = state.level_mut(0) {
+                leaf.mbr = filter;
+            }
+        })
+    }
+
     /// Publishes `point` from `publisher` and accounts the outcome.
     ///
     /// Runs enough rounds for the event to traverse the tree twice over

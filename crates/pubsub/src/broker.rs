@@ -53,6 +53,10 @@ pub enum BrokerError {
         /// Dimensions declared by the schema.
         schema: usize,
     },
+    /// The subscriber holds a subscription *set*; a set has no single
+    /// rectangle to move, so mobility applies to singleton
+    /// subscriptions only (resubscribe the set instead).
+    SetSubscriberImmobile(ProcessId),
 }
 
 impl fmt::Display for BrokerError {
@@ -63,6 +67,10 @@ impl fmt::Display for BrokerError {
             BrokerError::SchemaDimensionMismatch { expected, schema } => write!(
                 f,
                 "schema declares {schema} attributes but the broker is {expected}-dimensional"
+            ),
+            BrokerError::SetSubscriberImmobile(id) => write!(
+                f,
+                "subscriber {id} holds a subscription set, which cannot be moved as one rectangle"
             ),
         }
     }
@@ -402,6 +410,67 @@ impl<const D: usize> Broker<D> {
         Ok(self.subscribe_rect(rect))
     }
 
+    /// Moves an existing subscription to the rectangle a new filter
+    /// expression compiles to, **keeping the subscriber's identity** —
+    /// the continuous-query counterpart of [`Broker::resubscribe`]
+    /// (which models the paper's constant-filter semantics as
+    /// leave + rejoin under a fresh id).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BrokerError::Filter`] for filters that do not
+    /// compile, plus everything
+    /// [`Broker::move_subscription_rect`] returns.
+    pub fn move_subscription(
+        &mut self,
+        id: ProcessId,
+        filter: &FilterExpr,
+    ) -> Result<(), BrokerError> {
+        let rect: Rect<D> = filter.compile(&self.schema)?;
+        self.move_subscription_rect(id, rect)
+    }
+
+    /// Moves an existing subscription to `rect` in place: same
+    /// subscriber id, no departure, no rejoin. The oracle absorbs the
+    /// move as a delta patch (or a shard re-key when the Hilbert key
+    /// crosses a boundary), the overlay swaps the leaf filter and
+    /// repairs its ancestor caches through stabilization — so the move
+    /// serializes with publishes exactly like any other command in the
+    /// commit loop.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BrokerError::UnknownSubscriber`] for dead subscribers
+    /// and [`BrokerError::SetSubscriberImmobile`] for subscription
+    /// sets (a set has no single rectangle to move).
+    pub fn move_subscription_rect(
+        &mut self,
+        id: ProcessId,
+        rect: Rect<D>,
+    ) -> Result<(), BrokerError> {
+        if self.sets.contains_key(&id) {
+            return Err(BrokerError::SetSubscriberImmobile(id));
+        }
+        let Some(&old) = self.subscriptions.get(&id) else {
+            return Err(BrokerError::UnknownSubscriber(id));
+        };
+        if old == rect {
+            return Ok(());
+        }
+        let moved = self.oracle.move_entry(id, &old, rect);
+        debug_assert!(moved, "subscription map and oracle disagree on {id}");
+        self.subscriptions.insert(id, rect);
+        let alive = self.cluster.move_subscriber(id, rect);
+        debug_assert!(alive, "subscription map lists a dead subscriber {id}");
+        // The move invalidates ancestor MBR/filter caches up the leaf's
+        // root path; converge the repair before the next publish so
+        // delivery stays exact (the per-publish oracle audit enforces
+        // this in debug builds).
+        let rounds = 8 * (u64::from(self.cluster.height()) + 2);
+        self.cluster.stabilize(rounds);
+        Ok(())
+    }
+
     /// Publishes `event` from subscriber `publisher`, auditing the
     /// delivery against the oracle.
     ///
@@ -579,6 +648,13 @@ impl<const D: usize> Broker<D> {
         if flush.rebuilt_shards > 0 || flush.begun_compactions > 0 {
             self.stats
                 .absorb_oracle_pause(flush.swap_ns, flush.compact_ns);
+        }
+        if flush.moved_in_place + flush.rekeyed + flush.leases_expired > 0 {
+            self.stats.absorb_oracle_moves(
+                flush.moved_in_place as u64,
+                flush.rekeyed as u64,
+                flush.leases_expired as u64,
+            );
         }
         flush.elapsed
     }

@@ -332,6 +332,14 @@ pub enum AuditRecord<const D: usize> {
         /// The departed subscriber.
         id: ProcessId,
     },
+    /// A subscription moved to a new rectangle in place (same id) —
+    /// [`MultiBroker::move_subscription`].
+    Move {
+        /// The moved subscriber.
+        id: ProcessId,
+        /// The new subscription rectangle.
+        rect: Rect<D>,
+    },
     /// The overlay was driven to a legitimate configuration
     /// ([`MultiBroker::stabilize`]) — replayed with the same budget so
     /// a replaying broker walks through the same stable states.
@@ -915,6 +923,30 @@ impl<const D: usize> MultiBroker<D> {
             state.retire_publisher(id);
             state.broker.unsubscribe(id)?;
             state.depart_repair(id);
+            Ok(())
+        })
+    }
+
+    /// Moves a live subscription to `rect` in place (same id),
+    /// serialized with every other control operation and commit —
+    /// motion and publishes interleave in one FIFO order, so each
+    /// committed event's delivery set reflects every subscription's
+    /// position as of its commit, exactly.
+    ///
+    /// # Errors
+    ///
+    /// [`BrokerError::UnknownSubscriber`] when `id` is not live and
+    /// [`BrokerError::SetSubscriberImmobile`] for subscription sets.
+    pub fn move_subscription(&self, id: ProcessId, rect: Rect<D>) -> Result<(), BrokerError> {
+        self.call(move |state| {
+            state.broker.move_subscription_rect(id, rect)?;
+            if state.config.audit_log {
+                state.audit.push(AuditRecord::Move { id, rect });
+            }
+            if state.config.refresh_snapshots {
+                let snap = Arc::new(state.broker.oracle_snapshot());
+                *state.shared.snapshot.lock().expect("snapshot lock") = snap;
+            }
             Ok(())
         })
     }

@@ -34,13 +34,14 @@
 //! a full redistribute that would void every in-flight merge.
 
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use drtree_core::ProcessId;
 use drtree_rtree::bytes::{self, AlignedBytes};
 use drtree_rtree::{
-    parallel, DeltaRemoval, FrozenShard, PackedRTree, SnapshotError, SnapshotOptions,
+    parallel, DeltaRemoval, EntryUpdate, FrozenShard, PackedRTree, SnapshotError, SnapshotOptions,
 };
 use drtree_spatial::hilbert::{GridMapper, ShardMap};
 use drtree_spatial::{Point, Rect};
@@ -72,6 +73,56 @@ const IMBALANCE_SLACK: usize = 64;
 /// rectangles (unbounded filters, world-spanning subscriptions) go to
 /// the grid's overflow list, which every probe scans linearly.
 const MAX_CELL_SPAN: usize = 256;
+
+/// Tag bit of a per-shard mobility hint: set when the memoized
+/// position is a staged-buffer index rather than a packed slot. Slots
+/// and staged indexes both stay far below 2^31 (the tree itself caps
+/// at 2^32 entries and shards split well before that), so the top bit
+/// is free to carry the tier.
+const STAGED_HINT: u32 = 1 << 31;
+
+/// Fibonacci-multiply hasher for the oracle's hot interior maps (grid
+/// patch lists keyed by cell index, per-shard slot hints keyed by
+/// [`ProcessId`]). These maps sit on the per-move mobility path where
+/// SipHash was a measurable share of the cost, hold no
+/// attacker-controlled keys, and never outlive their shard — the
+/// classic case for a trivially mixed hash.
+#[derive(Debug, Default, Clone, Copy)]
+struct FastHasher(u64);
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u64(u64::from(b));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.0 = (self.0 ^ v).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        self.0 ^= self.0 >> 29;
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.write_u64(u64::from(v));
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+}
+
+/// The [`std::hash::BuildHasher`] plugging [`FastHasher`] into
+/// `HashMap`.
+type FastState = BuildHasherDefault<FastHasher>;
 
 /// Per-shard scratch of one batched matching pass: the hit stream in
 /// sorted-probe order and the per-sorted-probe hit counts that
@@ -126,10 +177,28 @@ struct StabGrid<const D: usize> {
     /// Patch layer: staging-buffer indexes per cell, for entries staged
     /// since the CSR arrays were built. Sparse — the delta layer is
     /// bounded by the compaction fraction.
-    staged_cells: HashMap<usize, Vec<u32>>,
+    staged_cells: HashMap<usize, Vec<u32>, FastState>,
     /// Staged indexes spanning more than [`MAX_CELL_SPAN`] cells, or
     /// staged before any grid geometry existed.
     staged_overflow: Vec<u32>,
+    /// Moved-slot patch layer: a bitmap over packed slots whose
+    /// rectangle moved in place since the CSR arrays were built
+    /// (lazily allocated at the first move). A flagged slot is skipped
+    /// by the CSR and overflow scans — its stale cell refs stay in
+    /// place but never emit — and is found through `moved_cells` /
+    /// `moved_overflow` instead. Each flagged slot lives in exactly
+    /// one tier, so no probe can emit it twice (the batched merge
+    /// skips deduplication whenever no id holds two entries, so
+    /// double emission would be an exactness bug, not a slowdown).
+    moved: Vec<u64>,
+    /// Number of flagged slots — the fast "clean grid" test.
+    moved_count: usize,
+    /// Current cell lists of the flagged slots (same routing rule as
+    /// `staged_cells`).
+    moved_cells: HashMap<usize, Vec<u32>, FastState>,
+    /// Flagged slots whose current rectangle spans too many cells, or
+    /// that moved before any grid geometry existed.
+    moved_overflow: Vec<u32>,
 }
 
 impl<const D: usize> Default for StabGrid<D> {
@@ -141,8 +210,12 @@ impl<const D: usize> Default for StabGrid<D> {
             offsets: Vec::new(),
             refs: Vec::new(),
             overflow: Vec::new(),
-            staged_cells: HashMap::new(),
+            staged_cells: HashMap::default(),
             staged_overflow: Vec::new(),
+            moved: Vec::new(),
+            moved_count: 0,
+            moved_cells: HashMap::default(),
+            moved_overflow: Vec::new(),
         }
     }
 }
@@ -211,10 +284,7 @@ impl<const D: usize> StabGrid<D> {
             inv_cell,
             dims,
             offsets: vec![0u32; cells + 1],
-            refs: Vec::new(),
-            overflow: Vec::new(),
-            staged_cells: HashMap::new(),
-            staged_overflow: Vec::new(),
+            ..Self::default()
         };
         let dims = grid.dims;
         // Two CSR passes: count cell populations, then fill. Spans
@@ -339,10 +409,111 @@ impl<const D: usize> StabGrid<D> {
         });
     }
 
+    /// `true` when packed slot `slot` carries the moved flag — its
+    /// rectangle is indexed by the moved-slot lists, not the CSR
+    /// arrays.
+    #[inline]
+    fn is_moved(&self, slot: usize) -> bool {
+        !self.moved.is_empty() && self.moved[slot >> 6] & (1u64 << (slot & 63)) != 0
+    }
+
+    /// [`StabGrid::with_patch_lists`] over the moved-slot lists.
+    fn with_moved_lists(&mut self, rect: &Rect<D>, mut visit: impl FnMut(&mut Vec<u32>)) {
+        if self.offsets.is_empty() {
+            visit(&mut self.moved_overflow);
+            return;
+        }
+        let (cell_lo, cell_hi) = self.cell_range(rect);
+        let span: usize = (0..D)
+            .map(|d| (cell_hi[d] - cell_lo[d] + 1) as usize)
+            .product();
+        if span > MAX_CELL_SPAN {
+            visit(&mut self.moved_overflow);
+            return;
+        }
+        let dims = self.dims;
+        let cells = &mut self.moved_cells;
+        for_each_cell(dims, cell_lo, cell_hi, |c| {
+            visit(cells.entry(c).or_default())
+        });
+    }
+
+    /// Re-points packed slot `slot` from rectangle `old` to `new`
+    /// after an in-place move. The first move flags the slot — its
+    /// stale CSR refs stay physically in place but the flag suppresses
+    /// them — and lists it under its new rectangle; repeat moves
+    /// rewrite the moved lists only. `packed_len` sizes the lazy
+    /// bitmap (stable between rebuilds: compaction rebuilds the grid
+    /// wholesale, clearing all moved state).
+    fn move_slot(&mut self, slot: u32, old: &Rect<D>, new: &Rect<D>, packed_len: usize) {
+        if self.offsets.is_empty() {
+            // No grid geometry: the slot sits in a linearly scanned
+            // tier either way (CSR overflow unflagged, moved overflow
+            // flagged) and both apply the exact rectangle test against
+            // the packed tree's current rect — nothing to patch.
+            return;
+        }
+        // Small moves usually keep the rectangle inside the exact same
+        // cell range, in which case the slot's existing refs — CSR refs
+        // for a never-moved slot (whose `old` *is* its build-time
+        // rectangle), moved lists otherwise — already route every probe
+        // correctly and the exact test reads the updated rect. Skipping
+        // the rewrite makes the steady jitter of a mobile subscription
+        // nearly free.
+        let (old_lo, old_hi) = self.cell_range(old);
+        let (new_lo, new_hi) = self.cell_range(new);
+        let old_span: usize = (0..D)
+            .map(|d| (old_hi[d] - old_lo[d] + 1) as usize)
+            .product();
+        let new_span: usize = (0..D)
+            .map(|d| (new_hi[d] - new_lo[d] + 1) as usize)
+            .product();
+        let old_over = old_span > MAX_CELL_SPAN;
+        let new_over = new_span > MAX_CELL_SPAN;
+        if old_over == new_over && (old_over || (old_lo == new_lo && old_hi == new_hi)) {
+            return;
+        }
+        if self.is_moved(slot as usize) {
+            if !old_over && !new_over {
+                // Repeat move staying on the cell grid: the moved
+                // lists hold the slot exactly over its old range, so
+                // only the symmetric difference needs touching — a
+                // thin strip when the shift is a fraction of a cell.
+                let dims = self.dims;
+                let cells = &mut self.moved_cells;
+                for_each_cell_excluding(dims, old_lo, old_hi, new_lo, new_hi, |c| {
+                    if let Some(list) = cells.get_mut(&c) {
+                        if let Some(pos) = list.iter().position(|&x| x == slot) {
+                            list.swap_remove(pos);
+                        }
+                    }
+                });
+                for_each_cell_excluding(dims, new_lo, new_hi, old_lo, old_hi, |c| {
+                    cells.entry(c).or_default().push(slot)
+                });
+                return;
+            }
+            // Overflow transition: wholesale re-listing across tiers.
+            self.with_moved_lists(old, |list| {
+                if let Some(pos) = list.iter().position(|&x| x == slot) {
+                    list.swap_remove(pos);
+                }
+            });
+        } else {
+            if self.moved.is_empty() {
+                self.moved = vec![0u64; packed_len.div_ceil(64)];
+            }
+            self.moved[slot as usize >> 6] |= 1u64 << (slot as usize & 63);
+            self.moved_count += 1;
+        }
+        self.with_moved_lists(new, |list| list.push(slot));
+    }
+
     /// Emits the id of every live entry containing `point`: overflow
-    /// scan, one exact-tested cell list, and the delta tier (staged
-    /// overflow plus the probe cell's patch list); tombstoned slots are
-    /// filtered at emission time.
+    /// scan, one exact-tested cell list, the delta tier (staged
+    /// overflow plus the probe cell's patch list), and the moved-slot
+    /// tier (slots updated in place since the CSR build); tombstoned
+    /// slots are filtered at emission time.
     #[inline]
     fn stab(
         &self,
@@ -353,11 +524,27 @@ impl<const D: usize> StabGrid<D> {
         let keys = packed.keys();
         let rects = packed.rects();
         let check_live = packed.tombstone_count() > 0;
+        let check_moved = self.moved_count > 0;
         for &slot in &self.overflow {
-            if rects[slot as usize].contains_point_branchless(point)
-                && (!check_live || packed.is_live(slot as usize))
+            if (check_moved && self.is_moved(slot as usize))
+                || (check_live && !packed.is_live(slot as usize))
             {
+                continue;
+            }
+            if rects[slot as usize].contains_point_branchless(point) {
                 emit(keys[slot as usize]);
+            }
+        }
+        if check_moved {
+            // Moved-slot overflow tier: flagged slots whose current
+            // rectangle spans too many cells (or moved before the grid
+            // had geometry). Exact test plus liveness, like overflow.
+            for &slot in &self.moved_overflow {
+                if rects[slot as usize].contains_point_branchless(point)
+                    && (!check_live || packed.is_live(slot as usize))
+                {
+                    emit(keys[slot as usize]);
+                }
             }
         }
         let staged_keys = packed.staged_keys();
@@ -383,17 +570,35 @@ impl<const D: usize> StabGrid<D> {
                 }
             }
         }
+        if !self.moved_cells.is_empty() {
+            if let Some(list) = self.moved_cells.get(&idx) {
+                for &slot in list {
+                    if rects[slot as usize].contains_point_branchless(point)
+                        && (!check_live || packed.is_live(slot as usize))
+                    {
+                        emit(keys[slot as usize]);
+                    }
+                }
+            }
+        }
         let lo = self.offsets[idx] as usize;
         let hi = self.offsets[idx + 1] as usize;
         // Chunked bitmask scan (the packed tree's trick): with cell
         // hit rates around 50%, a per-candidate `if` is a mispredict
         // machine — building the mask branchlessly and popping set
-        // bits keeps the pipeline full. The tombstone filter joins the
-        // mask only when tombstones exist at all, so the common clean
-        // path pays nothing for it.
+        // bits keeps the pipeline full. The tombstone and moved-slot
+        // filters join the mask only when tombstones / moves exist at
+        // all, so the common clean path pays nothing for them.
         for chunk in self.refs[lo..hi].chunks(32) {
             let mut mask = 0u32;
-            if check_live {
+            if check_moved {
+                for (i, &slot) in chunk.iter().enumerate() {
+                    let hit = rects[slot as usize].contains_point_branchless(point)
+                        & !self.is_moved(slot as usize)
+                        & (!check_live || packed.is_live(slot as usize));
+                    mask |= u32::from(hit) << i;
+                }
+            } else if check_live {
                 for (i, &slot) in chunk.iter().enumerate() {
                     let hit = rects[slot as usize].contains_point_branchless(point)
                         & packed.is_live(slot as usize);
@@ -415,6 +620,43 @@ impl<const D: usize> StabGrid<D> {
 /// Visits every row-major cell index in the inclusive `D`-dimensional
 /// range (odometer over the minor-most dimension last), for the CSR
 /// build passes of [`StabGrid`].
+/// [`for_each_cell`] restricted to cells of `[cell_lo, cell_hi]` that
+/// fall *outside* `[skip_lo, skip_hi]` — the two one-sided halves of a
+/// symmetric-difference traversal for incremental moved-slot rewrites.
+fn for_each_cell_excluding<const D: usize>(
+    dims: [u32; D],
+    cell_lo: [u32; D],
+    cell_hi: [u32; D],
+    skip_lo: [u32; D],
+    skip_hi: [u32; D],
+    mut visit: impl FnMut(usize),
+) {
+    let mut cur = cell_lo;
+    loop {
+        if (0..D).any(|d| cur[d] < skip_lo[d] || cur[d] > skip_hi[d]) {
+            let mut idx = 0usize;
+            for d in 0..D {
+                idx = idx * dims[d] as usize + cur[d] as usize;
+            }
+            visit(idx);
+        }
+        let mut d = D;
+        let mut done = true;
+        while d > 0 {
+            d -= 1;
+            if cur[d] < cell_hi[d] {
+                cur[d] += 1;
+                done = false;
+                break;
+            }
+            cur[d] = cell_lo[d];
+        }
+        if done {
+            break;
+        }
+    }
+}
+
 fn for_each_cell<const D: usize>(
     dims: [u32; D],
     cell_lo: [u32; D],
@@ -467,6 +709,16 @@ struct Shard<const D: usize> {
     packed: PackedRTree<ProcessId, D>,
     grid: StabGrid<D>,
     job: Option<parallel::Job<MergedShard<D>>>,
+    /// Last known position per mover id — the mobility fast path's
+    /// memo: a packed slot, or a staged-buffer index tagged with
+    /// [`STAGED_HINT`]. A hint is only ever *suggested*:
+    /// [`PackedRTree::update_slot`] / [`PackedRTree::update_staged`]
+    /// re-verify `(id, rect)` at the position before acting, so a
+    /// stale hint (slots reshuffled by a compaction or redistribute,
+    /// staged buffer swap-removed) degrades to a regular lookup, never
+    /// a wrong move. Cleared whenever the shard is rebuilt wholesale,
+    /// purely to skip doomed probes.
+    hints: HashMap<ProcessId, u32, FastState>,
 }
 
 impl<const D: usize> Shard<D> {
@@ -477,6 +729,7 @@ impl<const D: usize> Shard<D> {
             packed,
             grid: StabGrid::default(),
             job: None,
+            hints: HashMap::default(),
         }
     }
 
@@ -489,6 +742,7 @@ impl<const D: usize> Shard<D> {
     fn install(&mut self, merged: MergedShard<D>) -> drtree_rtree::DeltaCompaction {
         let stats = self.packed.install(merged.tree);
         self.grid = merged.grid;
+        self.hints.clear();
         for (i, rect) in self.packed.staged_rects().iter().enumerate() {
             self.grid.stage(i as u32, rect);
         }
@@ -562,6 +816,17 @@ pub struct OracleFlush {
     /// staged into the delta layer of the new one, with both packed
     /// cores left in place.
     pub migrated_entries: usize,
+    /// Moves absorbed by their owning shard as delta patches since the
+    /// previous flush — in-place packed-slot updates and staged
+    /// rewrites, no shard crossing ([`ShardedOracle::move_entry`]).
+    pub moved_in_place: usize,
+    /// Moves whose new rectangle crossed a Hilbert shard boundary
+    /// since the previous flush: the entry was removed from its old
+    /// shard and re-staged (re-keyed) into the gainer's delta layer.
+    pub rekeyed: usize,
+    /// Leased entries evicted by [`ShardedOracle::expire_leases`]
+    /// since the previous flush.
+    pub leases_expired: usize,
     /// Publish-path stall: nanoseconds this flush spent freezing,
     /// swapping and fixing up — everything *except* inline merge work.
     pub swap_ns: u64,
@@ -724,6 +989,15 @@ pub struct ShardedOracle<const D: usize> {
     compactions: u64,
     staged_absorbed: u64,
     tombstones_reclaimed: u64,
+    moves_in_place: u64,
+    rekeys: u64,
+    leases_expired: u64,
+    /// Move / lease work since the last flush, drained into the next
+    /// [`OracleFlush`] (early-return path included) so every flush
+    /// reports the motion it absorbed.
+    pending_moved_in_place: usize,
+    pending_rekeyed: usize,
+    pending_leases_expired: usize,
     // Reused scratch: per-shard hit buffers, the curve-sorted probe
     // permutation, and the per-shard merge cursors.
     point_bufs: Vec<Vec<ProcessId>>,
@@ -762,6 +1036,12 @@ impl<const D: usize> ShardedOracle<D> {
             compactions: 0,
             staged_absorbed: 0,
             tombstones_reclaimed: 0,
+            moves_in_place: 0,
+            rekeys: 0,
+            leases_expired: 0,
+            pending_moved_in_place: 0,
+            pending_rekeyed: 0,
+            pending_leases_expired: 0,
             point_bufs: vec![Vec::new(); shards],
             batch_bufs: vec![ShardBatchBuf::default(); shards],
             id_counts: HashMap::new(),
@@ -1083,6 +1363,7 @@ impl<const D: usize> ShardedOracle<D> {
                 packed,
                 grid: StabGrid::default(),
                 job: None,
+                hints: HashMap::default(),
             });
             off = bytes::align_up(
                 off.checked_add(shard_len)
@@ -1115,6 +1396,12 @@ impl<const D: usize> ShardedOracle<D> {
             compactions: 0,
             staged_absorbed: 0,
             tombstones_reclaimed: 0,
+            moves_in_place: 0,
+            rekeys: 0,
+            leases_expired: 0,
+            pending_moved_in_place: 0,
+            pending_rekeyed: 0,
+            pending_leases_expired: 0,
             point_bufs: vec![Vec::new(); k],
             batch_bufs: vec![ShardBatchBuf::default(); k],
             id_counts: HashMap::new(),
@@ -1169,6 +1456,30 @@ impl<const D: usize> ShardedOracle<D> {
     /// Tombstoned slots reclaimed over the oracle's lifetime.
     pub fn tombstones_reclaimed_total(&self) -> u64 {
         self.tombstones_reclaimed
+    }
+
+    /// Moves absorbed as same-shard delta patches over the oracle's
+    /// lifetime ([`ShardedOracle::move_entry`], flushed or not).
+    pub fn moved_in_place_total(&self) -> u64 {
+        self.moves_in_place + self.pending_moved_in_place as u64
+    }
+
+    /// Moves re-keyed across a Hilbert shard boundary over the
+    /// oracle's lifetime (flushed or not).
+    pub fn rekeyed_total(&self) -> u64 {
+        self.rekeys + self.pending_rekeyed as u64
+    }
+
+    /// Leased entries evicted over the oracle's lifetime (flushed or
+    /// not).
+    pub fn leases_expired_total(&self) -> u64 {
+        self.leases_expired + self.pending_leases_expired as u64
+    }
+
+    /// Armed lease records across all shards (dangling records
+    /// awaiting a compaction sweep included).
+    pub fn lease_count(&self) -> usize {
+        self.shards.iter().map(|s| s.packed.lease_count()).sum()
     }
 
     /// The shard `rect` is currently assigned to (`None` before the
@@ -1264,6 +1575,222 @@ impl<const D: usize> ShardedOracle<D> {
         }
     }
 
+    /// Moves one live `(id, old)` entry to rectangle `new` — the
+    /// mobility command. While the new rectangle's curve key stays on
+    /// the old shard, the move is absorbed **as a delta patch**: an
+    /// in-place packed-slot update (with the stab grid re-pointed
+    /// through its moved-slot patch layer) or a staged rewrite, no
+    /// remove/reinsert, no flush, no compaction pressure beyond what
+    /// the fallback tombstone+stage path adds. Only when the key
+    /// actually crosses a shard boundary is the entry re-keyed —
+    /// removed from its old shard and staged into the gainer's delta
+    /// layer, the split-rebalance handoff machinery in miniature. An
+    /// armed lease follows the entry either way. Returns `false` when
+    /// no live entry matches.
+    pub fn move_entry(&mut self, id: ProcessId, old: &Rect<D>, new: Rect<D>) -> bool {
+        if let Some(map) = &self.map {
+            if !map.covers(&new) {
+                self.stale_world = true;
+            }
+        }
+        let target = self.map.as_ref().map_or(0, |m| m.shard_of(&new));
+        // Hinted fast path: a steady mover's entry lives in the shard
+        // its rect routes to, so try the verified memo there before
+        // paying for the old rect's routing key. A hit proves the
+        // entry already sits in the target shard — no boundary was
+        // crossed; a miss falls through to the full two-key route.
+        if self.move_hinted(target, id, old, new) {
+            self.pending_moved_in_place += 1;
+            return true;
+        }
+        let guess = self.map.as_ref().map_or(0, |m| m.shard_of(old));
+        if guess == target {
+            // Same-shard move. The assigned shard virtually always
+            // holds the entry; scan the rest as the safety net
+            // `remove` uses (entries park in shard 0 pre-map, or sit
+            // misassigned after world growth).
+            if self.move_in_shard(guess, id, old, new)
+                || (0..self.shards.len()).any(|s| s != guess && self.move_in_shard(s, id, old, new))
+            {
+                self.pending_moved_in_place += 1;
+                return true;
+            }
+            return false;
+        }
+        // Boundary handoff: locate the holder, take the lease out,
+        // remove through the delta layer, re-stage into the target.
+        let holder = if self.shards[guess].packed.contains_entry(&id, old) {
+            Some(guess)
+        } else {
+            (0..self.shards.len())
+                .find(|&s| s != guess && self.shards[s].packed.contains_entry(&id, old))
+        };
+        let Some(s) = holder else {
+            return false;
+        };
+        let deadline = self.shards[s].packed.take_lease(&id, old);
+        let removed = self.remove_from(s, id, old);
+        debug_assert!(removed, "contains_entry found a live entry");
+        let gainer = &mut self.shards[target];
+        let idx = gainer.packed.staged_len() as u32;
+        gainer.packed.stage_insert(id, new);
+        gainer.grid.stage(idx, &new);
+        gainer.hints.insert(id, idx | STAGED_HINT);
+        if let Some(deadline) = deadline {
+            gainer.packed.set_lease(id, new, deadline);
+        }
+        // `remove_from` decremented for the departure; the arrival
+        // restores it. Identity is preserved, so the id-count dedup
+        // table is untouched.
+        self.len += 1;
+        self.pending_rekeyed += 1;
+        true
+    }
+
+    /// One shard's slice of [`ShardedOracle::move_entry`]: runs the
+    /// packed tree's update and patches the stab grid to match.
+    /// `false` when the shard holds no live `(id, old)` entry.
+    fn move_in_shard(&mut self, s: usize, id: ProcessId, old: &Rect<D>, new: Rect<D>) -> bool {
+        let shard = &mut self.shards[s];
+        // Hinted fast path first: a mover that relocates every tick
+        // keeps hitting its own packed slot (or staged index — the
+        // tag bit), turning the per-move tree traversal or staged
+        // linear scan into one verified array read. Both verify
+        // `(id, old)` at the memoized position, so a stale hint is
+        // just a miss that falls through to the full lookup.
+        let prior = shard.hints.get(&id).copied();
+        let hinted = prior.and_then(|h| {
+            if h & STAGED_HINT != 0 {
+                shard
+                    .packed
+                    .update_staged((h & !STAGED_HINT) as usize, &id, old, new)
+            } else {
+                shard.packed.update_slot(h as usize, &id, old, new)
+            }
+        });
+        let update = match hinted.or_else(|| shard.packed.update_entry(&id, old, new)) {
+            Some(update) => update,
+            None => {
+                if prior.is_some() {
+                    shard.hints.remove(&id);
+                }
+                return false;
+            }
+        };
+        Self::apply_update(shard, id, prior, update, old, &new);
+        true
+    }
+
+    /// Hint-only slice of [`ShardedOracle::move_in_shard`]: succeeds
+    /// only when shard `s` holds a hint for `id` that verifies against
+    /// `(id, old)`. Never falls back to a tree lookup — a stale hint is
+    /// left for the full path to repair.
+    fn move_hinted(&mut self, s: usize, id: ProcessId, old: &Rect<D>, new: Rect<D>) -> bool {
+        let shard = &mut self.shards[s];
+        let Some(h) = shard.hints.get(&id).copied() else {
+            return false;
+        };
+        let hinted = if h & STAGED_HINT != 0 {
+            shard
+                .packed
+                .update_staged((h & !STAGED_HINT) as usize, &id, old, new)
+        } else {
+            shard.packed.update_slot(h as usize, &id, old, new)
+        };
+        let Some(update) = hinted else {
+            return false;
+        };
+        Self::apply_update(shard, id, Some(h), update, old, &new);
+        true
+    }
+
+    /// Applies a completed packed-tree move to one shard's stab grid
+    /// and hint memo.
+    fn apply_update(
+        shard: &mut Shard<D>,
+        id: ProcessId,
+        prior: Option<u32>,
+        update: EntryUpdate<D>,
+        old: &Rect<D>,
+        new: &Rect<D>,
+    ) {
+        match update {
+            EntryUpdate::InPlace { slot } => {
+                if prior != Some(slot as u32) {
+                    shard.hints.insert(id, slot as u32);
+                }
+                shard
+                    .grid
+                    .move_slot(slot as u32, old, new, shard.packed.packed_len());
+            }
+            EntryUpdate::Staged { index } => {
+                if prior != Some(index as u32 | STAGED_HINT) {
+                    shard.hints.insert(id, index as u32 | STAGED_HINT);
+                }
+                shard.grid.unstage(index as u32, old);
+                shard.grid.stage(index as u32, new);
+            }
+            EntryUpdate::Restaged { removal, index } => {
+                // The entry left its old position for a fresh staged
+                // index; re-point the memo there.
+                shard.hints.insert(id, index as u32 | STAGED_HINT);
+                match removal {
+                    // Tombstoned slots are filtered at emission time.
+                    DeltaRemoval::Tombstoned { .. } => {}
+                    DeltaRemoval::Retired { index: retired } => {
+                        shard.grid.unstage(retired as u32, old);
+                    }
+                    DeltaRemoval::Unstaged { .. } => {
+                        unreachable!("update_entry rewrites staged entries in place")
+                    }
+                }
+                shard.grid.stage(index as u32, new);
+            }
+        }
+    }
+
+    /// Arms a TTL lease on the live entry `(id, rect)`:
+    /// [`ShardedOracle::expire_leases`] evicts the entry once the
+    /// caller's logical clock reaches `deadline`. Re-arming replaces
+    /// the deadline; the lease follows the entry through
+    /// [`ShardedOracle::move_entry`] moves and shard migrations.
+    /// Returns `false` when no live entry matches.
+    pub fn set_lease(&mut self, id: ProcessId, rect: &Rect<D>, deadline: u64) -> bool {
+        let guess = self.map.as_ref().map_or(0, |m| m.shard_of(rect));
+        let s = if self.shards[guess].packed.contains_entry(&id, rect) {
+            guess
+        } else {
+            match (0..self.shards.len())
+                .find(|&s| s != guess && self.shards[s].packed.contains_entry(&id, rect))
+            {
+                Some(s) => s,
+                None => return false,
+            }
+        };
+        self.shards[s].packed.set_lease(id, *rect, deadline);
+        true
+    }
+
+    /// Evicts every leased entry whose deadline is `<= now`, through
+    /// the regular removal path (stab grids patched, id counts
+    /// maintained), returning how many entries went away. Safe on a
+    /// freshly restored oracle before its first flush: removal on a
+    /// derived-stale shard patches an empty grid harmlessly, and the
+    /// deferred rebuild sees the entry already gone. Dangling lease
+    /// records (entry removed out-of-band) are dropped silently.
+    pub fn expire_leases(&mut self, now: u64) -> usize {
+        let mut expired = 0usize;
+        for s in 0..self.shards.len() {
+            while let Some((id, rect)) = self.shards[s].packed.pop_expired_lease(now) {
+                if self.remove(id, &rect) {
+                    expired += 1;
+                }
+            }
+        }
+        self.pending_leases_expired += expired;
+        expired
+    }
+
     /// Brings maintenance up to date **now**, so subsequent publishes
     /// pay matching cost only: installs any finished background
     /// merges, redistributes when the shard map went stale (or shifts
@@ -1288,10 +1815,14 @@ impl<const D: usize> ShardedOracle<D> {
                 .iter()
                 .any(|s| !s.packed.is_compacting() && s.packed.needs_compaction());
         if !needs_work {
-            return OracleFlush::default();
+            // Even a no-op flush reports (and banks) the mobility
+            // work absorbed since the last one.
+            let flush = self.drain_pending_moves();
+            self.absorb_flush_counters(&flush);
+            return flush;
         }
         let t0 = Instant::now();
-        let mut flush = OracleFlush::default();
+        let mut flush = self.drain_pending_moves();
         let mut inline_merge_ns = 0u64;
 
         // Phase 1 — finish: swap in whatever the workers completed.
@@ -1344,6 +1875,7 @@ impl<const D: usize> ShardedOracle<D> {
                         let t_merge = Instant::now();
                         let stats = shard.packed.compact();
                         shard.grid = StabGrid::build(&shard.packed);
+                        shard.hints.clear();
                         inline_merge_ns += t_merge.elapsed().as_nanos() as u64;
                         flush.rebuilt_shards += 1;
                         flush.compacted_shards += 1;
@@ -1438,6 +1970,7 @@ impl<const D: usize> ShardedOracle<D> {
         let mut duplicate_ids = 0usize;
         for shard in shards.iter_mut() {
             shard.grid = StabGrid::build_with_staged(&shard.packed);
+            shard.hints.clear();
             let packed = &shard.packed;
             let staged = packed
                 .staged_keys()
@@ -1456,12 +1989,29 @@ impl<const D: usize> ShardedOracle<D> {
         self.duplicate_ids = duplicate_ids;
     }
 
+    /// Seeds a fresh [`OracleFlush`] with the mobility counters
+    /// accumulated since the previous flush, zeroing the pending
+    /// buckets. Every flush path (including the no-work early return)
+    /// goes through here so move/lease activity is reported exactly
+    /// once.
+    fn drain_pending_moves(&mut self) -> OracleFlush {
+        OracleFlush {
+            moved_in_place: std::mem::take(&mut self.pending_moved_in_place),
+            rekeyed: std::mem::take(&mut self.pending_rekeyed),
+            leases_expired: std::mem::take(&mut self.pending_leases_expired),
+            ..OracleFlush::default()
+        }
+    }
+
     /// Folds one flush's work into the lifetime counters.
     fn absorb_flush_counters(&mut self, flush: &OracleFlush) {
         self.rebuilds += flush.rebuilt_shards as u64;
         self.compactions += flush.compacted_shards as u64;
         self.staged_absorbed += flush.staged_absorbed as u64;
         self.tombstones_reclaimed += flush.tombstones_reclaimed as u64;
+        self.moves_in_place += flush.moved_in_place as u64;
+        self.rekeys += flush.rekeyed as u64;
+        self.leases_expired += flush.leases_expired as u64;
         if flush.split_rebalanced {
             self.split_rebalances += 1;
         }
@@ -1527,11 +2077,13 @@ impl<const D: usize> ShardedOracle<D> {
             for shard in &mut self.shards {
                 drop(shard.job.take());
             }
+            let leases = self.collect_leases();
             let mut entries: Vec<(ProcessId, Rect<D>)> = Vec::new();
             for shard in &mut self.shards {
                 entries.append(&mut shard.packed.drain_live());
             }
             self.rebalance_entries(entries);
+            self.rearm_leases(leases);
             flush.rebalanced = true;
             flush.rebuilt_shards += self.shards.len();
             return;
@@ -1558,12 +2110,16 @@ impl<const D: usize> ShardedOracle<D> {
                 .collect();
             for (id, rect) in crossing {
                 let to = new_map.shard_of(&rect);
+                let deadline = self.shards[s].packed.take_lease(&id, &rect);
                 let removed = self.remove_from(s, id, &rect);
                 debug_assert!(removed, "crossing entry was live");
                 let gainer = &mut self.shards[to];
                 let idx = gainer.packed.staged_len() as u32;
                 gainer.packed.stage_insert(id, rect);
                 gainer.grid.stage(idx, &rect);
+                if let Some(deadline) = deadline {
+                    gainer.packed.set_lease(id, rect, deadline);
+                }
                 self.len += 1;
                 flush.migrated_entries += 1;
             }
@@ -1592,11 +2148,39 @@ impl<const D: usize> ShardedOracle<D> {
     /// entry, bulk-loading every shard fresh (deltas are absorbed in
     /// the same pass).
     fn rebalance(&mut self) {
+        let leases = self.collect_leases();
         let mut all: Vec<(ProcessId, Rect<D>)> = Vec::with_capacity(self.len);
         for shard in &mut self.shards {
             all.append(&mut shard.packed.drain_live());
         }
         self.rebalance_entries(all);
+        self.rearm_leases(leases);
+    }
+
+    /// Pulls every armed lease out of every shard, ahead of a full
+    /// redistribution ([`PackedRTree::drain_live`] drops lease records
+    /// with the rest of the delta state). Dangling records are dropped
+    /// here: re-arming checks liveness.
+    fn collect_leases(&mut self) -> Vec<(ProcessId, Rect<D>, u64)> {
+        let mut leases = Vec::new();
+        for shard in &mut self.shards {
+            leases.extend(shard.packed.take_leases());
+        }
+        leases
+    }
+
+    /// Re-arms collected leases on whichever shard the redistribution
+    /// assigned each entry to. Entries that vanished in between (a
+    /// dangling record swept along) are skipped —
+    /// [`PackedRTree::set_lease`] on a missing entry arms a record the
+    /// next compaction sweeps, so filter on liveness here.
+    fn rearm_leases(&mut self, leases: Vec<(ProcessId, Rect<D>, u64)>) {
+        for (id, rect, deadline) in leases {
+            let s = self.map.as_ref().map_or(0, |m| m.shard_of(&rect));
+            if self.shards[s].packed.contains_entry(&id, &rect) {
+                self.shards[s].packed.set_lease(id, rect, deadline);
+            }
+        }
     }
 
     /// The redistribution tail of [`ShardedOracle::rebalance`], over
@@ -1616,6 +2200,7 @@ impl<const D: usize> ShardedOracle<D> {
             shard.packed = PackedRTree::bulk_load(part);
             shard.packed.set_delta_fraction(self.delta_fraction);
             shard.grid = StabGrid::build(&shard.packed);
+            shard.hints.clear();
         }
         self.map = Some(map);
         self.stale_world = false;

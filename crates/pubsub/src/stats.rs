@@ -25,6 +25,9 @@ pub struct RoutingStats {
     oracle_swap_ns_max: u64,
     oracle_compact_ns_total: u64,
     oracle_compact_ns_max: u64,
+    oracle_moved_in_place: u64,
+    oracle_rekeyed: u64,
+    oracle_leases_expired: u64,
     ingress_submitted: u64,
     ingress_committed: u64,
     ingress_rejected: u64,
@@ -163,6 +166,33 @@ impl RoutingStats {
         self.oracle_compact_ns_max
     }
 
+    /// Folds one flush's mobility counters into the aggregate:
+    /// subscription moves absorbed as same-shard delta patches, moves
+    /// re-keyed across a Hilbert shard boundary, and entries evicted
+    /// by TTL lease expiry.
+    pub fn absorb_oracle_moves(&mut self, moved_in_place: u64, rekeyed: u64, leases_expired: u64) {
+        self.oracle_moved_in_place += moved_in_place;
+        self.oracle_rekeyed += rekeyed;
+        self.oracle_leases_expired += leases_expired;
+    }
+
+    /// Subscription moves absorbed without leaving their shard (an
+    /// in-place packed-slot refit or a staged rewrite).
+    pub fn oracle_moved_in_place(&self) -> u64 {
+        self.oracle_moved_in_place
+    }
+
+    /// Subscription moves whose curve key crossed a shard boundary,
+    /// forcing a remove/re-stage handoff.
+    pub fn oracle_rekeyed(&self) -> u64 {
+        self.oracle_rekeyed
+    }
+
+    /// Subscriptions evicted because their TTL lease expired.
+    pub fn oracle_leases_expired(&self) -> u64 {
+        self.oracle_leases_expired
+    }
+
     /// Folds the concurrent-ingress counters into the aggregate:
     /// `submitted`/`committed`/`rejected` publication counts from the
     /// ingress rate meter, and the open-loop ingress latency quantiles
@@ -276,6 +306,13 @@ impl fmt::Display for RoutingStats {
             self.oracle_compact_ns_total as f64 / 1e6,
             self.oracle_compact_ns_max as f64 / 1e6,
         )?;
+        if self.oracle_moved_in_place + self.oracle_rekeyed + self.oracle_leases_expired > 0 {
+            write!(
+                f,
+                " mobility: moved-in-place={} rekeyed={} leases-expired={}",
+                self.oracle_moved_in_place, self.oracle_rekeyed, self.oracle_leases_expired,
+            )?;
+        }
         if self.ingress_submitted > 0 {
             write!(
                 f,

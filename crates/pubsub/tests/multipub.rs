@@ -59,6 +59,11 @@ fn replay_and_check(audit: &[AuditRecord<2>], seed: u64) -> u64 {
                     .stabilize(*max_rounds)
                     .expect("reference overlay stabilizes within the audited budget");
             }
+            AuditRecord::Move { id, rect } => {
+                reference
+                    .move_subscription_rect(*id, *rect)
+                    .expect("replayed move targets a live singleton subscriber");
+            }
             AuditRecord::Commit {
                 publisher,
                 point,

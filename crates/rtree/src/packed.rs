@@ -361,6 +361,21 @@ pub struct PackedRTree<K, const D: usize> {
     /// the bookkeeping [`PackedRTree::install`] needs to reconcile the
     /// merged core with mutations that landed mid-compaction.
     epoch: Option<CompactionEpoch>,
+    /// TTL lease records, identity-keyed by `(key, rect)`. Owners
+    /// drive expiry via [`PackedRTree::pop_expired_lease`]; records
+    /// whose entry was removed out-of-band are swept at the next
+    /// compaction. In-memory only — snapshots do not serialize leases.
+    leases: Vec<LeaseRecord<K, D>>,
+}
+
+/// One TTL lease over an entry, identity-keyed by `(key, rect)` so a
+/// lease follows the entry through [`PackedRTree::update_entry`]
+/// moves but dies with the entry it covers.
+#[derive(Debug, Clone)]
+struct LeaseRecord<K, const D: usize> {
+    key: K,
+    rect: Rect<D>,
+    deadline: u64,
 }
 
 /// The immutable packed tier: slot-ordered entry arrays plus the
@@ -1530,6 +1545,7 @@ impl<K, const D: usize> FrozenShard<K, D> {
                 staged_mbr: None,
                 delta_fraction: self.delta_fraction,
                 epoch: None,
+                leases: Vec::new(),
             };
         }
 
@@ -1582,6 +1598,34 @@ pub enum DeltaRemoval<const D: usize> {
     },
 }
 
+/// How [`PackedRTree::update_entry`] realized a move — callers
+/// maintaining slot- or stage-indexed side structures (e.g. the
+/// pub/sub stab grid) patch themselves from this, mirroring
+/// [`DeltaRemoval`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EntryUpdate<const D: usize> {
+    /// The packed entry moved in place: the slot kept its identity and
+    /// the `O(log N)` ancestor MBRs above it were refitted exactly.
+    InPlace {
+        /// The packed slot now holding the new rectangle.
+        slot: usize,
+    },
+    /// A staged entry's rectangle was rewritten in place.
+    Staged {
+        /// The staging index that was rewritten.
+        index: usize,
+    },
+    /// The move fell back to remove+reinsert through the delta layer —
+    /// the new rectangle escaped its leaf subtree, or a compaction
+    /// snapshot froze the entry's tier.
+    Restaged {
+        /// How the old entry went away.
+        removal: DeltaRemoval<D>,
+        /// Staging index where the new rectangle was inserted.
+        index: usize,
+    },
+}
+
 /// What one [`PackedRTree::compact`] call absorbed.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DeltaCompaction {
@@ -1629,6 +1673,13 @@ pub enum PackedValidationError {
     /// A flat-buffer core failed its deferred payload checksum — the
     /// snapshot bytes were corrupted after load.
     CorruptBuffer,
+    /// A retained curve key disagrees with the key its slot's current
+    /// rectangle maps to — an in-place move skipped its re-key, so a
+    /// sorted-splice merge would order the entry by where it *was*.
+    StaleCurveKey {
+        /// The packed slot holding the stale key.
+        slot: usize,
+    },
 }
 
 impl std::fmt::Display for PackedValidationError {
@@ -1653,6 +1704,9 @@ impl std::fmt::Display for PackedValidationError {
             }
             PackedValidationError::CorruptBuffer => {
                 f.write_str("flat-buffer core failed its payload checksum")
+            }
+            PackedValidationError::StaleCurveKey { slot } => {
+                write!(f, "slot {slot} holds a curve key stale for its rectangle")
             }
         }
     }
@@ -1690,6 +1744,7 @@ impl<K, const D: usize> PackedRTree<K, D> {
                 staged_mbr: None,
                 delta_fraction: DEFAULT_DELTA_FRACTION,
                 epoch: None,
+                leases: Vec::new(),
             };
         }
 
@@ -1732,6 +1787,7 @@ impl<K, const D: usize> PackedRTree<K, D> {
             staged_mbr: None,
             delta_fraction: DEFAULT_DELTA_FRACTION,
             epoch: None,
+            leases: Vec::new(),
         }
     }
 
@@ -1878,6 +1934,21 @@ impl<K, const D: usize> PackedRTree<K, D> {
         );
         let world = core.world;
         let node_size = core.node_size;
+        // If the outgoing rect defines no bound of its leaf MBR
+        // (strictly interior on every axis, so every leaf bound is
+        // achieved by some *other* covered rect) and the incoming rect
+        // stays inside that MBR, the leaf union — and therefore every
+        // ancestor union — is provably unchanged: skip the refit walk.
+        let skip_refit = core.num_levels() > 0 && {
+            let mbr = core.node_mbr(0, slot / node_size);
+            let old = &core.rects()[slot];
+            (0..D).all(|d| {
+                old.lo(d) > mbr.lo(d)
+                    && old.hi(d) < mbr.hi(d)
+                    && rect.lo(d) >= mbr.lo(d)
+                    && rect.hi(d) <= mbr.hi(d)
+            })
+        };
         {
             let Cols::Owned {
                 rects, curve_keys, ..
@@ -1895,6 +1966,9 @@ impl<K, const D: usize> PackedRTree<K, D> {
                     curve_keys[slot] = GridMapper::new(world).key(&rect) as u32;
                 }
             }
+        }
+        if skip_refit {
+            return;
         }
         let mut node = slot / node_size;
         for level in 0..core.num_levels() {
@@ -2054,6 +2128,297 @@ impl<K, const D: usize> PackedRTree<K, D> {
         found
     }
 
+    /// Moves one live `(key, old)` entry to rectangle `new` — the
+    /// mobility fast path. Packed entries whose new rectangle stays
+    /// inside their leaf subtree's region move **in place** via
+    /// [`PackedRTree::update`] (`O(log N)`, no allocation, slot
+    /// identity kept); everything else falls back to remove+reinsert
+    /// through the delta layer (tombstone or retire the old entry,
+    /// stage the new rectangle). A lease covering the entry follows it
+    /// to the new rectangle. Returns what happened so callers
+    /// maintaining slot- or stage-indexed side structures can patch
+    /// themselves, or `None` when no live entry matches.
+    pub fn update_entry(&mut self, key: &K, old: &Rect<D>, new: Rect<D>) -> Option<EntryUpdate<D>>
+    where
+        K: Clone + PartialEq,
+    {
+        if let Some(slot) = self.find_packed_slot(key, old) {
+            return Some(self.update_packed(slot, key, old, new));
+        }
+        let index = self
+            .staged_keys
+            .iter()
+            .zip(&self.staged_rects)
+            .enumerate()
+            .position(|(i, (k, r))| k == key && r == old && self.is_staged_live(i))?;
+        Some(self.update_staged_at(index, key, old, new))
+    }
+
+    /// [`PackedRTree::update_entry`] with the staged-tier linear scan
+    /// skipped: the delta-layer counterpart of
+    /// [`PackedRTree::update_slot`], for callers that cached `index`
+    /// from an earlier [`EntryUpdate::Staged`] / restage. The index is
+    /// re-verified against live `(key, old)` before acting, so a stale
+    /// cache (the buffer swap-removed or merged since) is a miss,
+    /// never a wrong move.
+    pub fn update_staged(
+        &mut self,
+        index: usize,
+        key: &K,
+        old: &Rect<D>,
+        new: Rect<D>,
+    ) -> Option<EntryUpdate<D>>
+    where
+        K: Clone + PartialEq,
+    {
+        if index >= self.staged_keys.len()
+            || !self.is_staged_live(index)
+            || self.staged_rects[index] != *old
+            || self.staged_keys[index] != *key
+        {
+            return None;
+        }
+        Some(self.update_staged_at(index, key, old, new))
+    }
+
+    /// The staged-tier move itself, after `index` is known to hold
+    /// live `(key, old)`.
+    fn update_staged_at(
+        &mut self,
+        index: usize,
+        key: &K,
+        old: &Rect<D>,
+        new: Rect<D>,
+    ) -> EntryUpdate<D>
+    where
+        K: Clone + PartialEq,
+    {
+        let frozen = matches!(&self.epoch, Some(e) if index < e.frozen_staged_len);
+        let result = if frozen {
+            // The frozen prefix is index-stable mid-compaction: retire
+            // the old rectangle in place (install re-removes it from
+            // the merged core) and stage the new one past the prefix.
+            let epoch = self.epoch.as_mut().expect("frozen implies epoch");
+            epoch.staged_dead[index >> 6] |= 1u64 << (index & 63);
+            epoch.staged_dead_count += 1;
+            let new_index = self.staged_keys.len();
+            self.stage_insert(key.clone(), new);
+            EntryUpdate::Restaged {
+                removal: DeltaRemoval::Retired { index },
+                index: new_index,
+            }
+        } else {
+            self.staged_rects[index] = new;
+            self.staged_mbr = Some(match self.staged_mbr {
+                Some(m) => m.union(&new),
+                None => new,
+            });
+            EntryUpdate::Staged { index }
+        };
+        self.move_lease(key, old, &new);
+        result
+    }
+
+    /// [`PackedRTree::update_entry`] with the packed-tier search
+    /// skipped: callers that cached `slot` from an earlier
+    /// [`EntryUpdate::InPlace`] verify it still holds live `(key, old)`
+    /// and move without any traversal — the hot path of a mover that
+    /// relocates every tick. Returns `None` (and touches nothing) when
+    /// the slot no longer matches, so a stale cache is a cache miss,
+    /// never a wrong move.
+    pub fn update_slot(
+        &mut self,
+        slot: usize,
+        key: &K,
+        old: &Rect<D>,
+        new: Rect<D>,
+    ) -> Option<EntryUpdate<D>>
+    where
+        K: Clone + PartialEq,
+    {
+        if slot >= self.core.len()
+            || bit_set(&self.tombstones, slot)
+            || self.core.rects()[slot] != *old
+            || self.core.keys()[slot] != *key
+        {
+            return None;
+        }
+        Some(self.update_packed(slot, key, old, new))
+    }
+
+    /// The packed-tier move itself, after `slot` is known to hold live
+    /// `(key, old)`: in place when eligible, tombstone + restage
+    /// otherwise, lease following either way.
+    fn update_packed(&mut self, slot: usize, key: &K, old: &Rect<D>, new: Rect<D>) -> EntryUpdate<D>
+    where
+        K: Clone + PartialEq,
+    {
+        // In-place needs an idle compaction (the merged core could
+        // not see the move) and a new rectangle that keeps packing
+        // degradation local to the slot's leaf subtree.
+        let result = if self.epoch.is_none() && self.stays_in_subtree(slot, &new) {
+            self.update(slot, new);
+            EntryUpdate::InPlace { slot }
+        } else {
+            self.tombstone(slot);
+            let index = self.staged_keys.len();
+            self.stage_insert(key.clone(), new);
+            EntryUpdate::Restaged {
+                removal: DeltaRemoval::Tombstoned { slot },
+                index,
+            }
+        };
+        self.move_lease(key, old, &new);
+        result
+    }
+
+    /// `true` when `rect` fits inside the region of `slot`'s leaf
+    /// subtree — the eligibility test for an in-place move. The tested
+    /// region is the slot's level-1 ancestor MBR (the root for one- or
+    /// zero-level trees), so an in-place move inflates at most the
+    /// leaf node under an unchanged subtree bound.
+    fn stays_in_subtree(&self, slot: usize, rect: &Rect<D>) -> bool {
+        let core = &*self.core;
+        let num_levels = core.num_levels();
+        if num_levels == 0 {
+            return false;
+        }
+        let level = 1.min(num_levels - 1);
+        let node = slot / core.node_size.pow(level as u32 + 1);
+        core.node_mbr(level, node).contains_rect(rect)
+    }
+
+    // ---- TTL leases --------------------------------------------------
+
+    /// Arms (or re-arms) a TTL lease on the entry `(key, rect)`: once a
+    /// caller-supplied logical clock reaches `deadline`,
+    /// [`PackedRTree::pop_expired_lease`] surfaces the entry for
+    /// eviction. One lease per entry identity — re-arming replaces the
+    /// deadline. The tree never evicts on its own; leases are
+    /// metadata until an owner drives expiry.
+    pub fn set_lease(&mut self, key: K, rect: Rect<D>, deadline: u64)
+    where
+        K: PartialEq,
+    {
+        if let Some(lease) = self
+            .leases
+            .iter_mut()
+            .find(|l| l.key == key && l.rect == rect)
+        {
+            lease.deadline = deadline;
+            return;
+        }
+        self.leases.push(LeaseRecord {
+            key,
+            rect,
+            deadline,
+        });
+    }
+
+    /// Removes the lease on `(key, rect)` and returns its deadline, if
+    /// one was armed.
+    pub fn take_lease(&mut self, key: &K, rect: &Rect<D>) -> Option<u64>
+    where
+        K: PartialEq,
+    {
+        let i = self
+            .leases
+            .iter()
+            .position(|l| l.key == *key && l.rect == *rect)?;
+        Some(self.leases.swap_remove(i).deadline)
+    }
+
+    /// Removes and returns one lease whose deadline is `<= now`
+    /// (arbitrary order), or `None` when nothing expired. The covered
+    /// entry itself is untouched — callers evict it through their
+    /// regular removal path, keeping side structures consistent.
+    pub fn pop_expired_lease(&mut self, now: u64) -> Option<(K, Rect<D>)> {
+        let i = self.leases.iter().position(|l| l.deadline <= now)?;
+        let lease = self.leases.swap_remove(i);
+        Some((lease.key, lease.rect))
+    }
+
+    /// Number of armed lease records (dangling ones awaiting a
+    /// compaction sweep included).
+    pub fn lease_count(&self) -> usize {
+        self.leases.len()
+    }
+
+    /// Moves every lease record out of the tree as
+    /// `(key, rect, deadline)` triples — the redistribute companion of
+    /// [`PackedRTree::drain_live`], which drops leases.
+    pub fn take_leases(&mut self) -> Vec<(K, Rect<D>, u64)> {
+        std::mem::take(&mut self.leases)
+            .into_iter()
+            .map(|l| (l.key, l.rect, l.deadline))
+            .collect()
+    }
+
+    /// `true` when a live entry `(key, rect)` exists in either tier.
+    pub fn contains_entry(&self, key: &K, rect: &Rect<D>) -> bool
+    where
+        K: PartialEq,
+    {
+        if self.find_packed_slot(key, rect).is_some() {
+            return true;
+        }
+        self.staged_keys
+            .iter()
+            .zip(&self.staged_rects)
+            .enumerate()
+            .any(|(i, (k, r))| k == key && r == rect && self.is_staged_live(i))
+    }
+
+    /// Re-points the lease on `(key, old)` (if any) at the entry's new
+    /// rectangle, keeping lease identity in step with a move.
+    fn move_lease(&mut self, key: &K, old: &Rect<D>, new: &Rect<D>)
+    where
+        K: PartialEq,
+    {
+        if let Some(lease) = self
+            .leases
+            .iter_mut()
+            .find(|l| l.key == *key && l.rect == *old)
+        {
+            lease.rect = *new;
+        }
+    }
+
+    /// Drops lease records whose entry no longer exists — the
+    /// compaction-time sweep ([`PackedRTree::compact`] /
+    /// [`PackedRTree::install`] call this after rebuilding).
+    fn sweep_leases(&mut self)
+    where
+        K: PartialEq,
+    {
+        if self.leases.is_empty() {
+            return;
+        }
+        let leases = std::mem::take(&mut self.leases);
+        self.leases = leases
+            .into_iter()
+            .filter(|l| self.contains_entry(&l.key, &l.rect))
+            .collect();
+    }
+
+    /// Deliberately flips a bit of packed `slot`'s stored curve key —
+    /// a test-only hook for exercising the
+    /// [`PackedValidationError::StaleCurveKey`] detector.
+    #[doc(hidden)]
+    pub fn debug_corrupt_curve_key(&mut self, slot: usize)
+    where
+        K: Clone,
+    {
+        let core = Arc::make_mut(&mut self.core);
+        core.make_owned();
+        let Cols::Owned { curve_keys, .. } = &mut core.cols else {
+            unreachable!("make_owned above")
+        };
+        if slot < curve_keys.len() {
+            curve_keys[slot] ^= 1;
+        }
+    }
+
     /// Sets the compaction trigger: the delta layer is considered
     /// oversized once it exceeds `fraction × packed_len()` entries.
     /// `0.0` compacts on any delta (rebuild-per-flush, the pre-delta
@@ -2086,7 +2451,7 @@ impl<K, const D: usize> PackedRTree<K, D> {
     /// Panics while a freeze snapshot is outstanding.
     pub fn compact(&mut self) -> DeltaCompaction
     where
-        K: Clone,
+        K: Clone + PartialEq,
     {
         assert!(
             self.epoch.is_none(),
@@ -2101,9 +2466,12 @@ impl<K, const D: usize> PackedRTree<K, D> {
         }
         let node_size = self.core.node_size;
         let fraction = self.delta_fraction;
+        let leases = std::mem::take(&mut self.leases);
         let entries = self.drain_live();
         *self = Self::bulk_load_with_node_size(node_size, entries);
         self.delta_fraction = fraction;
+        self.leases = leases;
+        self.sweep_leases();
         stats
     }
 
@@ -2114,7 +2482,7 @@ impl<K, const D: usize> PackedRTree<K, D> {
     /// is the snapshot holder's job).
     pub fn maybe_compact(&mut self) -> Option<DeltaCompaction>
     where
-        K: Clone,
+        K: Clone + PartialEq,
     {
         (!self.is_compacting() && self.needs_compaction()).then(|| self.compact())
     }
@@ -2279,8 +2647,10 @@ impl<K, const D: usize> PackedRTree<K, D> {
         let gen2_keys = self.staged_keys.split_off(epoch.frozen_staged_len);
         let gen2_rects = self.staged_rects.split_off(epoch.frozen_staged_len);
         let fraction = self.delta_fraction;
+        let leases = std::mem::take(&mut self.leases);
         *self = merged;
         self.delta_fraction = fraction;
+        self.leases = leases;
         self.staged_mbr = Rect::union_all(gen2_rects.iter());
         self.staged_keys = gen2_keys;
         self.staged_rects = gen2_rects;
@@ -2295,6 +2665,7 @@ impl<K, const D: usize> PackedRTree<K, D> {
                 None => debug_assert!(false, "mid-compaction removal lost by the merge"),
             }
         }
+        self.sweep_leases();
         stats
     }
 
@@ -2360,6 +2731,10 @@ impl<K, const D: usize> PackedRTree<K, D> {
         let tombstones = std::mem::take(&mut self.tombstones);
         self.tombstone_count = 0;
         self.staged_mbr = None;
+        // The entries leave the tree, so the leases covering them die
+        // with it; callers re-arming after a redistribute collect them
+        // first via [`PackedRTree::take_leases`].
+        self.leases.clear();
         let mut out: Vec<(K, Rect<D>)> = Vec::with_capacity(keys.len() + staged_keys.len());
         for (slot, (k, r)) in keys.into_iter().zip(rects).enumerate() {
             if !bit_set(&tombstones, slot) {
@@ -2602,9 +2977,10 @@ impl<K, const D: usize> PackedRTree<K, D> {
     }
 
     /// Checks the packed-level invariants — implicit-topology level
-    /// lengths, exact node MBRs at every level, array consistency —
-    /// plus the delta layer's: staged arrays in step, tombstone count
-    /// matching the bitmap, staged MBR covering every staged entry.
+    /// lengths, exact node MBRs at every level, array consistency,
+    /// curve keys fresh for their slot's current rectangle — plus the
+    /// delta layer's: staged arrays in step, tombstone count matching
+    /// the bitmap, staged MBR covering every staged entry.
     ///
     /// # Errors
     ///
@@ -2727,6 +3103,22 @@ impl<K, const D: usize> PackedRTree<K, D> {
                 }
             }
             below_len = found;
+        }
+        // Retained curve keys must stay fresh for their slot's current
+        // rectangle: bulk loads derive them at pack time and
+        // [`PackedRTree::update`] re-derives on every in-place move,
+        // so a mismatch means a move skipped its re-key and a later
+        // sorted-splice merge would order the entry by a stale
+        // position.
+        if !core.curve_keys().is_empty() {
+            if let Some(world) = &core.world {
+                let mapper = GridMapper::new(world);
+                for (slot, rect) in core.rects().iter().enumerate() {
+                    if core.curve_keys()[slot] != mapper.key(rect) as u32 {
+                        return Err(PackedValidationError::StaleCurveKey { slot });
+                    }
+                }
+            }
         }
         Ok(())
     }
@@ -2997,6 +3389,7 @@ impl<K, const D: usize> PackedRTree<K, D> {
             staged_mbr,
             delta_fraction,
             epoch: None,
+            leases: Vec::new(),
         })
     }
 

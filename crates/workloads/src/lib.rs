@@ -17,6 +17,9 @@
 //!   bursty) for the multi-publisher ingress latency experiments —
 //!   scheduled timestamps, so queue wait is measured instead of
 //!   coordinated away;
+//! * [`motion`] — seeded motion models (random waypoint, hotspot
+//!   drift, flash-crowd convergence) emitting per-tick bounding-box
+//!   translations for the moving-subscription experiments;
 //! * [`dist`] — the small samplers needed above (Zipf by inverse CDF,
 //!   Gaussian by Box–Muller), implemented locally to keep the
 //!   dependency closure minimal.
@@ -56,9 +59,11 @@ pub mod arrivals;
 pub mod churn;
 pub mod dist;
 pub mod events;
+pub mod motion;
 pub mod subscriptions;
 
 pub use arrivals::ArrivalSchedule;
 pub use churn::{ChurnEvent, ChurnOp, PoissonChurn};
 pub use events::EventWorkload;
+pub use motion::{MotionField, MotionModel};
 pub use subscriptions::SubscriptionWorkload;

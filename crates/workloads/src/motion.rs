@@ -1,0 +1,501 @@
+//! Seeded motion models for moving subscriptions.
+//!
+//! The mobility experiments translate subscriber bounding boxes every
+//! tick — the workload the in-place [`update_entry`] fast path exists
+//! for (`drtree_rtree::PackedRTree::update_entry`). Three trajectory
+//! families cover the regimes the related mobility literature spans
+//! (PAPERS.md: clustered and drifting peer populations):
+//!
+//! * [`MotionModel::RandomWaypoint`] — the classic ad-hoc-network
+//!   model: each mover walks in a straight line to a uniform waypoint,
+//!   then re-picks target and speed. Uncorrelated small deltas, the
+//!   friendliest case for in-place updates.
+//! * [`MotionModel::HotspotDrift`] — movers are pulled toward drifting
+//!   attraction centers with Gaussian jitter: spatially correlated
+//!   motion that slowly migrates whole populations across Hilbert
+//!   shard boundaries.
+//! * [`MotionModel::FlashCrowd`] — every mover converges on one event
+//!   point that periodically relocates: the adversarial case where a
+//!   large fraction of the population crosses shard boundaries at
+//!   once.
+//!
+//! All models are deterministic for a `(model, world, seed)` triple,
+//! and every emitted rectangle is clamped inside the world without
+//! ever inverting (lo ≤ hi per dimension) or producing non-finite
+//! coordinates — extents are preserved exactly, only positions move.
+//!
+//! [`update_entry`]: https://docs.rs/drtree-rtree
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use drtree_spatial::Rect;
+
+use crate::dist::standard_normal;
+
+/// Which trajectory family drives a [`MotionField`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MotionModel {
+    /// Straight-line walks to uniformly re-picked waypoints: each
+    /// mover holds a target and a per-tick speed drawn from
+    /// `[min_speed, max_speed]`, re-drawn on arrival.
+    RandomWaypoint {
+        /// Smallest per-tick speed (world distance units).
+        min_speed: f64,
+        /// Largest per-tick speed.
+        max_speed: f64,
+    },
+    /// Movers pulled toward drifting hotspots with Gaussian jitter.
+    /// Hotspots bounce off the world bounds.
+    HotspotDrift {
+        /// Number of drifting attraction centers (movers are assigned
+        /// round-robin-uniformly at construction).
+        hotspots: usize,
+        /// Fraction of the mover→hotspot distance covered per tick,
+        /// clamped to `(0, 1]`.
+        pull: f64,
+        /// Standard deviation of the per-tick Gaussian jitter.
+        jitter: f64,
+        /// Per-tick hotspot drift speed.
+        drift: f64,
+    },
+    /// Every mover converges on one event point that relocates
+    /// uniformly every `relocate_every` ticks — flash-crowd
+    /// convergence.
+    FlashCrowd {
+        /// Fraction of the mover→event distance covered per tick,
+        /// clamped to `(0, 1]`.
+        pull: f64,
+        /// Standard deviation of the per-tick Gaussian jitter.
+        jitter: f64,
+        /// Ticks between event relocations (0 relocates every tick).
+        relocate_every: u32,
+    },
+}
+
+/// A seeded population of moving rectangles: holds the current
+/// position of every mover and emits one `(mover, new_rect)`
+/// translation per mover per [`MotionField::step_into`] call.
+#[derive(Debug, Clone)]
+pub struct MotionField<const D: usize> {
+    model: MotionModel,
+    world: Rect<D>,
+    rects: Vec<Rect<D>>,
+    /// Random-waypoint per-mover targets (centers) and speeds.
+    targets: Vec<[f64; D]>,
+    speeds: Vec<f64>,
+    /// Hotspot-drift state: mover→hotspot assignment, hotspot centers
+    /// and velocities.
+    assignment: Vec<u32>,
+    hotspots: Vec<[f64; D]>,
+    hotspot_vel: Vec<[f64; D]>,
+    /// Flash-crowd event point.
+    event: [f64; D],
+    tick: u64,
+    rng: StdRng,
+}
+
+impl<const D: usize> MotionField<D> {
+    /// Builds a field over `initial` rectangles moving inside `world`,
+    /// deterministically from `seed`. Initial rectangles are clamped
+    /// into the world up front (preserving extents), so the first tick
+    /// already starts from legal positions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the world is degenerate (non-finite or inverted), or
+    /// if any initial rectangle is wider than the world in some
+    /// dimension (it could not be clamped inside).
+    pub fn new(model: MotionModel, world: Rect<D>, initial: Vec<Rect<D>>, seed: u64) -> Self {
+        for d in 0..D {
+            assert!(
+                world.lo(d).is_finite() && world.hi(d).is_finite() && world.lo(d) <= world.hi(d),
+                "degenerate world"
+            );
+        }
+        let rng = StdRng::seed_from_u64(seed);
+        let mut rects = initial;
+        for rect in &mut rects {
+            for d in 0..D {
+                assert!(
+                    rect.extent(d) <= world.extent(d),
+                    "mover wider than the world in dimension {d}"
+                );
+            }
+            *rect = clamp_center(&world, rect, *rect.center().coords());
+        }
+        let n = rects.len();
+        let mut field = MotionField {
+            model,
+            world,
+            rects,
+            targets: Vec::new(),
+            speeds: Vec::new(),
+            assignment: Vec::new(),
+            hotspots: Vec::new(),
+            hotspot_vel: Vec::new(),
+            event: [0.0; D],
+            tick: 0,
+            rng,
+        };
+        match model {
+            MotionModel::RandomWaypoint {
+                min_speed,
+                max_speed,
+            } => {
+                assert!(
+                    0.0 <= min_speed && min_speed <= max_speed && max_speed.is_finite(),
+                    "speed range must be finite and ordered"
+                );
+                field.targets = (0..n)
+                    .map(|_| field_point(&field.world, &mut field.rng))
+                    .collect();
+                field.speeds = (0..n)
+                    .map(|_| sample_speed(min_speed, max_speed, &mut field.rng))
+                    .collect();
+            }
+            MotionModel::HotspotDrift {
+                hotspots, drift, ..
+            } => {
+                let hotspots = hotspots.max(1);
+                field.hotspots = (0..hotspots)
+                    .map(|_| field_point(&field.world, &mut field.rng))
+                    .collect();
+                field.hotspot_vel = (0..hotspots)
+                    .map(|_| {
+                        let mut v = [0.0; D];
+                        for slot in &mut v {
+                            *slot = field.rng.gen_range(-1.0..=1.0) * drift.abs();
+                        }
+                        v
+                    })
+                    .collect();
+                field.assignment = (0..n)
+                    .map(|_| field.rng.gen_range(0..hotspots) as u32)
+                    .collect();
+            }
+            MotionModel::FlashCrowd { .. } => {
+                field.event = field_point(&field.world, &mut field.rng);
+            }
+        }
+        field
+    }
+
+    /// Number of movers.
+    pub fn len(&self) -> usize {
+        self.rects.len()
+    }
+
+    /// `true` when the field holds no movers.
+    pub fn is_empty(&self) -> bool {
+        self.rects.is_empty()
+    }
+
+    /// The world every rectangle is clamped into.
+    pub fn world(&self) -> &Rect<D> {
+        &self.world
+    }
+
+    /// Current mover rectangles, indexed by mover id.
+    pub fn rects(&self) -> &[Rect<D>] {
+        &self.rects
+    }
+
+    /// Advances one tick, appending one `(mover, new_rect)` pair per
+    /// mover to `out` (every mover moves every tick; ids are indexes
+    /// into [`MotionField::rects`]). The emitted rectangle is the
+    /// mover's post-clamp position, already recorded in the field.
+    pub fn step_into(&mut self, out: &mut Vec<(u32, Rect<D>)>) {
+        self.tick += 1;
+        match self.model {
+            MotionModel::RandomWaypoint {
+                min_speed,
+                max_speed,
+            } => {
+                for i in 0..self.rects.len() {
+                    let center = self.rects[i].center();
+                    let target = self.targets[i];
+                    let mut delta = [0.0; D];
+                    let mut dist2 = 0.0;
+                    for d in 0..D {
+                        delta[d] = target[d] - center.coord(d);
+                        dist2 += delta[d] * delta[d];
+                    }
+                    let dist = dist2.sqrt();
+                    let speed = self.speeds[i];
+                    let mut next = [0.0; D];
+                    if dist <= speed || dist == 0.0 {
+                        // Arrived: land on the waypoint and re-pick.
+                        next = target;
+                        self.targets[i] = field_point(&self.world, &mut self.rng);
+                        self.speeds[i] = sample_speed(min_speed, max_speed, &mut self.rng);
+                    } else {
+                        let scale = speed / dist;
+                        for d in 0..D {
+                            next[d] = center.coord(d) + delta[d] * scale;
+                        }
+                    }
+                    let moved = clamp_center(&self.world, &self.rects[i], next);
+                    self.rects[i] = moved;
+                    out.push((i as u32, moved));
+                }
+            }
+            MotionModel::HotspotDrift { pull, jitter, .. } => {
+                self.drift_hotspots();
+                let pull = pull.clamp(f64::MIN_POSITIVE, 1.0);
+                for i in 0..self.rects.len() {
+                    let hotspot = self.hotspots[self.assignment[i] as usize];
+                    let moved = self.pulled(i, &hotspot, pull, jitter);
+                    self.rects[i] = moved;
+                    out.push((i as u32, moved));
+                }
+            }
+            MotionModel::FlashCrowd {
+                pull,
+                jitter,
+                relocate_every,
+            } => {
+                if self.tick.is_multiple_of(u64::from(relocate_every.max(1))) {
+                    self.event = field_point(&self.world, &mut self.rng);
+                }
+                let pull = pull.clamp(f64::MIN_POSITIVE, 1.0);
+                let event = self.event;
+                for i in 0..self.rects.len() {
+                    let moved = self.pulled(i, &event, pull, jitter);
+                    self.rects[i] = moved;
+                    out.push((i as u32, moved));
+                }
+            }
+        }
+    }
+
+    /// [`MotionField::step_into`] into a fresh vector.
+    pub fn step(&mut self) -> Vec<(u32, Rect<D>)> {
+        let mut out = Vec::with_capacity(self.rects.len());
+        self.step_into(&mut out);
+        out
+    }
+
+    /// Moves mover `i`'s center a `pull` fraction toward `toward` plus
+    /// Gaussian jitter, clamped into the world.
+    fn pulled(&mut self, i: usize, toward: &[f64; D], pull: f64, jitter: f64) -> Rect<D> {
+        let center = self.rects[i].center();
+        let mut next = [0.0; D];
+        for d in 0..D {
+            let c = center.coord(d);
+            next[d] = c + pull * (toward[d] - c) + jitter * standard_normal(&mut self.rng);
+        }
+        clamp_center(&self.world, &self.rects[i], next)
+    }
+
+    /// Advances hotspot centers along their velocities, reflecting off
+    /// the world bounds.
+    fn drift_hotspots(&mut self) {
+        for (center, vel) in self.hotspots.iter_mut().zip(&mut self.hotspot_vel) {
+            for d in 0..D {
+                let mut c = center[d] + vel[d];
+                if c < self.world.lo(d) {
+                    c = self.world.lo(d) + (self.world.lo(d) - c).min(self.world.extent(d));
+                    vel[d] = -vel[d];
+                } else if c > self.world.hi(d) {
+                    c = self.world.hi(d) - (c - self.world.hi(d)).min(self.world.extent(d));
+                    vel[d] = -vel[d];
+                }
+                center[d] = c;
+            }
+        }
+    }
+}
+
+/// A uniform point inside `world` (component-wise; degenerate
+/// dimensions collapse to their single legal coordinate).
+fn field_point<const D: usize>(world: &Rect<D>, rng: &mut StdRng) -> [f64; D] {
+    let mut p = [0.0; D];
+    for (d, c) in p.iter_mut().enumerate() {
+        *c = if world.extent(d) > 0.0 {
+            rng.gen_range(world.lo(d)..=world.hi(d))
+        } else {
+            world.lo(d)
+        };
+    }
+    p
+}
+
+fn sample_speed(min_speed: f64, max_speed: f64, rng: &mut StdRng) -> f64 {
+    if max_speed > min_speed {
+        rng.gen_range(min_speed..=max_speed)
+    } else {
+        min_speed
+    }
+}
+
+/// Re-centers `rect` at `center` preserving its extents, then clamps
+/// the result inside `world`. Non-finite center components (possible
+/// only from pathological jitter inputs) collapse to the world's low
+/// corner, so the output is always a finite, non-inverted rectangle.
+fn clamp_center<const D: usize>(world: &Rect<D>, rect: &Rect<D>, center: [f64; D]) -> Rect<D> {
+    let mut lo = [0.0; D];
+    let mut hi = [0.0; D];
+    for d in 0..D {
+        let extent = rect.extent(d);
+        let c = if center[d].is_finite() {
+            center[d]
+        } else {
+            world.lo(d)
+        };
+        // Clamp the low edge into [world.lo, world.hi - extent]; the
+        // construction-time width assertion keeps that range non-empty.
+        let l = (c - extent * 0.5).clamp(world.lo(d), world.hi(d) - extent);
+        lo[d] = l;
+        hi[d] = l + extent;
+    }
+    Rect::new(lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn world() -> Rect<2> {
+        Rect::new([0.0, 0.0], [100.0, 100.0])
+    }
+
+    fn movers(n: usize, seed: u64) -> Vec<Rect<2>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let x = rng.gen_range(0.0..90.0);
+                let y = rng.gen_range(0.0..90.0);
+                let w = rng.gen_range(0.5..8.0);
+                let h = rng.gen_range(0.5..8.0);
+                Rect::new([x, y], [(x + w).min(100.0), (y + h).min(100.0)])
+            })
+            .collect()
+    }
+
+    fn models() -> [MotionModel; 3] {
+        [
+            MotionModel::RandomWaypoint {
+                min_speed: 0.5,
+                max_speed: 5.0,
+            },
+            MotionModel::HotspotDrift {
+                hotspots: 4,
+                pull: 0.2,
+                jitter: 1.5,
+                drift: 0.7,
+            },
+            MotionModel::FlashCrowd {
+                pull: 0.3,
+                jitter: 2.0,
+                relocate_every: 16,
+            },
+        ]
+    }
+
+    #[test]
+    fn same_seed_same_trajectory() {
+        for model in models() {
+            let mut a = MotionField::new(model, world(), movers(64, 3), 42);
+            let mut b = MotionField::new(model, world(), movers(64, 3), 42);
+            for _ in 0..50 {
+                assert_eq!(a.step(), b.step(), "{model:?} diverged under one seed");
+            }
+            let mut c = MotionField::new(model, world(), movers(64, 3), 43);
+            let diverged = (0..50).any(|_| {
+                let x = a.step();
+                x != c.step() || x.is_empty()
+            });
+            assert!(diverged, "{model:?} ignored its seed");
+        }
+    }
+
+    #[test]
+    fn every_tick_emits_every_mover_once() {
+        for model in models() {
+            let mut field = MotionField::new(model, world(), movers(33, 9), 7);
+            for _ in 0..20 {
+                let step = field.step();
+                let mut ids: Vec<u32> = step.iter().map(|(i, _)| *i).collect();
+                ids.sort_unstable();
+                assert_eq!(ids, (0..33).collect::<Vec<u32>>());
+            }
+        }
+    }
+
+    #[test]
+    fn clamping_never_inverts_or_escapes_under_extreme_motion() {
+        // Extreme speeds/jitter against a small world: every emitted
+        // rectangle must stay finite, non-inverted, inside the world,
+        // and keep its extents.
+        let world = Rect::new([0.0, 0.0], [10.0, 10.0]);
+        let extreme = [
+            MotionModel::RandomWaypoint {
+                min_speed: 50.0,
+                max_speed: 500.0,
+            },
+            MotionModel::HotspotDrift {
+                hotspots: 2,
+                pull: 1.0,
+                jitter: 100.0,
+                drift: 25.0,
+            },
+            MotionModel::FlashCrowd {
+                pull: 1.0,
+                jitter: 300.0,
+                relocate_every: 1,
+            },
+        ];
+        for model in extreme {
+            let initial: Vec<Rect<2>> = (0..40)
+                .map(|i| {
+                    let x = f64::from(i % 8);
+                    let y = f64::from(i / 8);
+                    Rect::new([x, y], [x + 2.0, y + 3.0])
+                })
+                .collect();
+            let extents: Vec<[f64; 2]> =
+                initial.iter().map(|r| [r.extent(0), r.extent(1)]).collect();
+            let mut field = MotionField::new(model, world, initial, 11);
+            for _ in 0..100 {
+                for (i, rect) in field.step() {
+                    for (d, extent) in extents[i as usize].iter().enumerate() {
+                        assert!(rect.lo(d).is_finite() && rect.hi(d).is_finite());
+                        assert!(rect.lo(d) <= rect.hi(d), "inverted rect from {model:?}");
+                        assert!(
+                            rect.lo(d) >= world.lo(d) - 1e-9 && rect.hi(d) <= world.hi(d) + 1e-9,
+                            "escaped world under {model:?}"
+                        );
+                        assert!(
+                            (rect.extent(d) - extent).abs() < 1e-9,
+                            "extent changed under {model:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn waypoint_walks_make_progress() {
+        let model = MotionModel::RandomWaypoint {
+            min_speed: 1.0,
+            max_speed: 1.0,
+        };
+        let start = Rect::new([50.0, 50.0], [52.0, 52.0]);
+        let mut field = MotionField::new(model, world(), vec![start], 5);
+        let mut total = 0.0;
+        let mut prev = start.center();
+        for _ in 0..200 {
+            field.step();
+            let next = field.rects()[0].center();
+            let dx = next.coord(0) - prev.coord(0);
+            let dy = next.coord(1) - prev.coord(1);
+            total += (dx * dx + dy * dy).sqrt();
+            prev = next;
+        }
+        // Unit speed for 200 ticks covers ~200 units of path (short
+        // only on the ticks that land exactly on a waypoint).
+        assert!(total > 100.0, "covered only {total}");
+    }
+}
