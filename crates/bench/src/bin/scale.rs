@@ -75,9 +75,9 @@
 //!   ```
 //!
 //! * **Fault schedules** (`faults`): the robustness mode. Drives the
-//!   five canonical adversarial [`FaultSchedule`]s (partition-then-
+//!   six canonical adversarial [`FaultSchedule`]s (partition-then-
 //!   heal, correlated regional crash, lossy burst, duplication +
-//!   reordering window, corruption volleys) against bulk-built
+//!   reordering window, corruption volleys, broker churn) against bulk-built
 //!   overlays at 64/256/1024 subscribers with pipelined background
 //!   publishes flowing *during* the faults, then measures
 //!   rounds-to-legal recovery against a per-scale budget, exact
@@ -131,6 +131,26 @@
 //!   cargo run -p drtree-bench --release --bin scale -- mobility [out.json] [--check <t>]
 //!   ```
 //!
+//! * **Federated fabric** (`federate`): the federation robustness
+//!   mode. Splits one million subscriptions across a
+//!   [`drtree_pubsub::FederatedFabric`] of 4/8/16 broker instances
+//!   (each owning a contiguous Hilbert range, replicated to its curve
+//!   neighbors) and drives the canonical broker-churn
+//!   [`FaultSchedule`] through
+//!   [`drtree_pubsub::run_federated_convergence`]: a broker crashes
+//!   and warm-rejoins from a checkpoint, another crashes and rejoins
+//!   cold, with client churn and publications flowing throughout.
+//!   Reports rounds-to-legal reconvergence against the schedule
+//!   budget, the in-fault and post-recovery publication latency
+//!   tails, forward amplification, and exactness: every post-recovery
+//!   probe's delivery set must equal the single-broker reference with
+//!   zero false negatives. Writes `BENCH_federate.json` (or the given
+//!   path).
+//!
+//!   ```text
+//!   cargo run -p drtree-bench --release --bin scale -- federate [out.json] [--check <t>]
+//!   ```
+//!
 //! # Emitted JSON
 //!
 //! The JSON files are committed at the repo root and refreshed
@@ -170,6 +190,11 @@
 //!   moved_in_place, rekeyed, update_compactions,
 //!   reinsert_compactions}` samples and the headline
 //!   `update_vs_reinsert_at_100k`.
+//! * `BENCH_federate.json` — per-broker-count `{recovery_rounds,
+//!   budget, crashes/rejoins, post_exact, fault/post p50/p99/p999,
+//!   forward amplification, populate throughput}` samples over the
+//!   broker-churn schedule at one million subscriptions, and the
+//!   headlines `min_budget_headroom` and `all_exact`.
 //!
 //! # `--check` (regression gates)
 //!
@@ -202,8 +227,12 @@
 //!   motion ticks ≥ `t`× faster per move than remove + reinsert at
 //!   100k movers (the in-place fast-path claim), with the exactness
 //!   prelude and counter accounting asserted unconditionally.
+//! * `federate --check t` — every broker count must reconverge from
+//!   broker churn with ≥ `t`× budget headroom, with every publication
+//!   resolved and post-recovery delivery equal to the single-broker
+//!   reference (zero false negatives) asserted unconditionally.
 //!
-//! CI runs all seven gates with thresholds *below* the steady state
+//! CI runs all eight gates with thresholds *below* the steady state
 //! (see `.github/workflows/ci.yml`) so shared-runner noise cannot
 //! flake a merge while a structural regression still fails the build.
 
@@ -215,7 +244,9 @@ use drtree_core::{
     DrTreeConfig, FaultProfile, FaultSchedule, LatencyDistribution, ProcessId,
 };
 use drtree_pubsub::{
-    BatchMatches, Broker, CompactionMode, IngressConfig, LatencySummary, MultiBroker, ShardedOracle,
+    run_federated_convergence, BatchMatches, Broker, CompactionMode, FedConfig,
+    FedConvergenceConfig, FedEngine, FederatedFabric, IngressConfig, LatencySummary, MultiBroker,
+    ShardedOracle,
 };
 use drtree_rtree::{PackedRTree, RTree, RTreeConfig, SplitMethod};
 use drtree_sim::{LatencyModel, NetConfig};
@@ -275,6 +306,10 @@ fn main() {
         Some("mobility") => {
             let (out, check) = parse_out_and_check(&args[1..], "BENCH_mobility.json");
             mobility_moves(&out, check);
+        }
+        Some("federate") => {
+            let (out, check) = parse_out_and_check(&args[1..], "BENCH_federate.json");
+            federated_fabric(&out, check);
         }
         other => {
             let max_n = other.and_then(|s| s.parse().ok()).unwrap_or(1024);
@@ -1456,7 +1491,7 @@ fn multipub_ingress(out_path: &str, check: Option<f64>) {
 }
 
 /// The adversarial robustness probe (see the module docs): drives the
-/// five canonical [`FaultSchedule`]s against bulk-built overlays at
+/// six canonical [`FaultSchedule`]s against bulk-built overlays at
 /// 64/256/1024 subscribers, measuring rounds-to-legal recovery,
 /// post-recovery delivery exactness (pipelined vs sequential), and the
 /// in-fault injection-to-quiescence latency tail; plus one
@@ -1602,9 +1637,10 @@ fn fault_schedules(out_path: &str, check: Option<f64>) {
         .field(
             "workload",
             "uniform 2d, extents 1-10, world scaled to ~10 matches per point query; \
-             bulk-built overlays; five canonical fault schedules (partition-heal, \
-             regional-crash, lossy-burst, dup-reorder, corruption-volley) with \
-             pipelined background publishes during the faulty phase",
+             bulk-built overlays; six canonical fault schedules (partition-heal, \
+             regional-crash, lossy-burst, dup-reorder, corruption-volley, \
+             broker-churn) with pipelined background publishes during the \
+             faulty phase",
         )
         .field(
             "query",
@@ -1661,6 +1697,179 @@ fn fault_schedules(out_path: &str, check: Option<f64>) {
         println!(
             "check passed: every schedule converged with >= {threshold}x budget headroom \
              and exact post-recovery delivery"
+        );
+    }
+}
+
+/// Federation robustness probe: one million subscriptions spread
+/// across a [`FederatedFabric`] of 4/8/16 brokers, each owning one
+/// contiguous Hilbert range replicated to its curve neighbors, driven
+/// through the canonical broker-churn [`FaultSchedule`] (crash → warm
+/// rejoin from checkpoint → second crash → cold rejoin) with client
+/// churn and publications flowing throughout. Writes
+/// `BENCH_federate.json` and gates `min_budget_headroom` (budget ÷
+/// reconvergence rounds, worst broker count); exactness — every
+/// publication resolved, post-recovery delivery equal to the
+/// single-broker reference, zero false negatives — is asserted
+/// unconditionally.
+fn federated_fabric(out_path: &str, check: Option<f64>) {
+    const SUBS: usize = 1_000_000;
+    const BROKERS: [usize; 3] = [4, 8, 16];
+
+    let rects = scaled_rects(SUBS, 11_000);
+    let world = Rect::union_all(rects.iter()).expect("rect pool is non-empty");
+    let cfg = FedConvergenceConfig::default();
+    let mut runs = Vec::new();
+    let mut min_headroom = f64::INFINITY;
+    let mut all_converged = true;
+    let mut all_exact = true;
+    println!(
+        "| brokers | populate (M subs/s) | recovery (rounds) | budget | crashes | warm/cold | \
+         exact | fault p99/p999 | post p999 | fwd/event |"
+    );
+    println!(
+        "|---------|---------------------|-------------------|--------|---------|-----------|\
+         -------|----------------|-----------|-----------|"
+    );
+    for k in BROKERS {
+        let schedule = FaultSchedule::broker_churn();
+        let mut fabric = FederatedFabric::new(
+            k,
+            &world,
+            11_100 + k as u64,
+            FedEngine::Rounds,
+            FedConfig::default(),
+        );
+        let t0 = Instant::now();
+        fabric.bulk_populate(&rects);
+        assert!(
+            fabric.settle(2_000),
+            "populated fabric (k={k}) never reached legal: {:?}",
+            fabric.check_legal()
+        );
+        let populate_ns = t0.elapsed().as_nanos() as u64;
+        let report = run_federated_convergence(&mut fabric, &schedule, &cfg);
+
+        let exact = report.post_matches_reference
+            && report.post_false_negatives == 0
+            && report.events_unresolved == 0;
+        all_exact &= exact;
+        match report.recovery_rounds {
+            Some(r) => min_headroom = min_headroom.min(report.budget as f64 / r.max(1) as f64),
+            None => all_converged = false,
+        }
+        let populate_rate = SUBS as f64 / (populate_ns as f64 / 1e9) / 1e6;
+        let fwd_per_event = report.forwarded as f64 / report.events_completed.max(1) as f64;
+        println!(
+            "| {k} | {populate_rate:.2} | {} | {} | {} | {}/{} | {} | {}/{} | {} | {fwd_per_event:.2} |",
+            report
+                .recovery_rounds
+                .map_or("DNF".into(), |r| r.to_string()),
+            report.budget,
+            report.broker_crashes,
+            report.warm_rejoins,
+            report.cold_rejoins + report.cold_fallbacks,
+            if exact { "yes" } else { "NO" },
+            report.fault_latency.p99,
+            report.fault_latency.p999,
+            report.post_latency.p999,
+        );
+        runs.push((k, populate_ns, report));
+    }
+    println!(
+        "worst budget headroom across broker counts: {}",
+        if all_converged {
+            format!("{min_headroom:.1}x")
+        } else {
+            "DNF".into()
+        }
+    );
+
+    let samples = Json::Array(
+        runs.iter()
+            .map(|(k, populate_ns, r)| {
+                Json::object()
+                    .field("brokers", *k as u64)
+                    .field("subscriptions", SUBS as u64)
+                    .field("populate_ns", *populate_ns)
+                    .field("recovery_rounds", r.recovery_rounds.unwrap_or(u64::MAX))
+                    .field("converged", u64::from(r.recovery_rounds.is_some()))
+                    .field("budget", r.budget)
+                    .field("broker_crashes", r.broker_crashes)
+                    .field("warm_rejoins", r.warm_rejoins)
+                    .field("cold_rejoins", r.cold_rejoins)
+                    .field("cold_fallbacks", r.cold_fallbacks)
+                    .field(
+                        "post_exact",
+                        u64::from(r.post_matches_reference && r.post_false_negatives == 0),
+                    )
+                    .field("post_false_negatives", r.post_false_negatives)
+                    .field("events_completed", r.events_completed)
+                    .field("events_unresolved", r.events_unresolved)
+                    .field("forwarded", r.forwarded)
+                    .field("delivered_matches", r.delivered_matches)
+                    .field("fault_p50", r.fault_latency.p50)
+                    .field("fault_p99", r.fault_latency.p99)
+                    .field("fault_p999", r.fault_latency.p999)
+                    .field("post_p50", r.post_latency.p50)
+                    .field("post_p99", r.post_latency.p99)
+                    .field("post_p999", r.post_latency.p999)
+            })
+            .collect(),
+    );
+    let json = Json::object()
+        .field("bench", "federated-fabric")
+        .field(
+            "workload",
+            "uniform 2d, extents 1-10, world scaled to ~10 matches per point query; \
+             1M subscriptions bulk-populated across K brokers (contiguous Hilbert \
+             ranges, curve-neighbor replication); canonical broker-churn schedule \
+             (crash -> warm rejoin from checkpoint -> crash -> cold rejoin) with \
+             client churn and publications flowing throughout",
+        )
+        .field(
+            "query",
+            "recovery_rounds = rounds from schedule end to check_legal == Ok with \
+             no publication outstanding (stride-quantized); fault/post percentiles \
+             are per-publication injection-to-resolution spans in rounds; \
+             post_exact = every post-recovery probe's delivery set equals the \
+             single-broker reference with zero false negatives",
+        )
+        .field("brokers", samples)
+        .field(
+            "min_budget_headroom",
+            if all_converged {
+                Json::fixed(min_headroom, 2)
+            } else {
+                Json::fixed(0.0, 2)
+            },
+        )
+        .field("all_exact", u64::from(all_exact));
+    std::fs::write(out_path, json.render()).expect("write BENCH_federate.json");
+    println!("wrote {out_path}");
+
+    if let Some(threshold) = check {
+        let mut failed = false;
+        if !all_converged {
+            eprintln!("REGRESSION: a broker count did not re-reach a legal configuration");
+            failed = true;
+        } else if min_headroom < threshold {
+            eprintln!(
+                "REGRESSION: broker-churn budget headroom fell below {threshold}x \
+                 (worst measured {min_headroom:.2}x)"
+            );
+            failed = true;
+        }
+        if !all_exact {
+            eprintln!("REGRESSION: federated post-recovery delivery is no longer exact");
+            failed = true;
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!(
+            "check passed: every broker count reconverged with >= {threshold}x budget \
+             headroom and exact post-recovery delivery"
         );
     }
 }

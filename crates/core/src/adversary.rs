@@ -33,11 +33,26 @@
 //! | `lossy-burst` | §2.1 fair-lossy links: stabilization outlives loss windows |
 //! | `dup-reorder` | §2.1 asynchrony: no FIFO/once-only assumptions in the protocol |
 //! | `corruption-volley` | Lemma 3.6 (transient memory corruption), repeated |
+//! | `broker-churn` | non-persistent peers (Bilgen & Wagner, PAPERS.md): a whole Hilbert-range broker crashes, then warm- or cold-rejoins |
+//!
+//! The broker-level faults ([`FaultEvent::BrokerCrash`] /
+//! [`FaultEvent::BrokerRejoin`]) script the federated fabric's
+//! crash/rejoin story (`drtree-pubsub::federation`). On a plain
+//! single-broker cluster this module interprets them spatially, so the
+//! same schedules exercise both layers: a broker crash takes down the
+//! processes whose filter-center Hilbert keys fall in the broker's
+//! contiguous curve chunk (capped like a regional crash), and a rejoin
+//! re-adds subscribers with exactly the crashed filters through the
+//! ordinary join protocol — warm and cold only differ one level up,
+//! where a warm rejoin restores a snapshot and catches up by delta.
+
+use std::collections::BTreeMap;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use drtree_sim::{FaultProfile, ProcessId};
+use drtree_spatial::hilbert::GridMapper;
 use drtree_spatial::{Point, Rect};
 
 use crate::cluster::DrTreeCluster;
@@ -77,6 +92,32 @@ pub enum FaultEvent<const D: usize> {
         /// Number of victims (drawn with the cluster's seeded RNG).
         count: usize,
     },
+    /// Crash federated broker `broker` of a fabric of `brokers`: the
+    /// whole instance — one contiguous Hilbert range of the
+    /// subscription space — departs uncontrolled. On a plain cluster
+    /// the chunk of processes whose filter-center curve keys fall in
+    /// that range crashes together (capped to keep two survivors and
+    /// at most `n/8` victims, like [`FaultEvent::RegionalCrash`]).
+    BrokerCrash {
+        /// Fabric index of the victim broker, `0..brokers`.
+        broker: usize,
+        /// Fabric size the index is relative to, so any consumer maps
+        /// the broker to the same curve chunk.
+        brokers: usize,
+    },
+    /// Rejoin a previously crashed broker. `warm` restarts from a
+    /// checkpoint buffer plus delta catch-up; `!warm` rebuilds cold by
+    /// peer re-replication. On a plain cluster both re-add subscribers
+    /// with exactly the filters the matching [`FaultEvent::BrokerCrash`]
+    /// took down, through the ordinary join protocol.
+    BrokerRejoin {
+        /// Fabric index of the rejoining broker, `0..brokers`.
+        broker: usize,
+        /// Fabric size the index is relative to.
+        brokers: usize,
+        /// Warm restart (snapshot + delta catch-up) vs cold rebuild.
+        warm: bool,
+    },
 }
 
 impl<const D: usize> std::fmt::Display for FaultEvent<D> {
@@ -98,6 +139,20 @@ impl<const D: usize> std::fmt::Display for FaultEvent<D> {
             FaultEvent::ClearFaults => write!(f, "clear-faults"),
             FaultEvent::Corruption { kind, count } => {
                 write!(f, "corruption kind={kind:?} count={count}")
+            }
+            FaultEvent::BrokerCrash { broker, brokers } => {
+                write!(f, "broker-crash {broker}/{brokers}")
+            }
+            FaultEvent::BrokerRejoin {
+                broker,
+                brokers,
+                warm,
+            } => {
+                write!(
+                    f,
+                    "broker-rejoin {broker}/{brokers} {}",
+                    if *warm { "warm" } else { "cold" }
+                )
             }
         }
     }
@@ -275,9 +330,55 @@ impl<const D: usize> FaultSchedule<D> {
         }
     }
 
-    /// The five canonical schedules over a world rectangle, sized for a
+    /// Broker churn on a four-broker fabric: crash one broker, let
+    /// traffic flow over the takeover window, warm-rejoin it, then
+    /// crash a *different* broker and cold-rejoin it — the
+    /// non-persistent-peers scenario (Bilgen & Wagner), both rejoin
+    /// flavors in one script.
+    pub fn broker_churn() -> Self {
+        const BROKERS: usize = 4;
+        Self {
+            name: "broker-churn".into(),
+            events: vec![
+                TimedFault {
+                    at: 2,
+                    event: FaultEvent::BrokerCrash {
+                        broker: 1,
+                        brokers: BROKERS,
+                    },
+                },
+                TimedFault {
+                    at: 14,
+                    event: FaultEvent::BrokerRejoin {
+                        broker: 1,
+                        brokers: BROKERS,
+                        warm: true,
+                    },
+                },
+                TimedFault {
+                    at: 24,
+                    event: FaultEvent::BrokerCrash {
+                        broker: 3,
+                        brokers: BROKERS,
+                    },
+                },
+                TimedFault {
+                    at: 36,
+                    event: FaultEvent::BrokerRejoin {
+                        broker: 3,
+                        brokers: BROKERS,
+                        warm: false,
+                    },
+                },
+            ],
+            duration: 46,
+            budget: Self::DEFAULT_BUDGET,
+        }
+    }
+
+    /// The six canonical schedules over a world rectangle, sized for a
     /// cluster of `n` subscribers (the regional crash takes up to
-    /// `n/8` victims).
+    /// `n/8` victims; broker crashes cap themselves the same way).
     pub fn canonical(world: &Rect<D>, n: usize) -> Vec<Self> {
         vec![
             Self::partition_heal(world),
@@ -285,6 +386,7 @@ impl<const D: usize> FaultSchedule<D> {
             Self::lossy_burst(),
             Self::dup_reorder(),
             Self::corruption_volley(),
+            Self::broker_churn(),
         ]
     }
 
@@ -299,7 +401,7 @@ impl<const D: usize> FaultSchedule<D> {
         let mut at = 0u64;
         for _ in 0..motifs {
             at += rng.gen_range(0..4);
-            match rng.gen_range(0..5) {
+            match rng.gen_range(0..6) {
                 0 => {
                     let region = if rng.gen_bool(0.5) {
                         lower_half(world)
@@ -357,13 +459,31 @@ impl<const D: usize> FaultSchedule<D> {
                         event: FaultEvent::ClearFaults,
                     });
                 }
-                _ => {
+                4 => {
                     let kinds = CorruptionKind::ALL;
                     events.push(TimedFault {
                         at,
                         event: FaultEvent::Corruption {
                             kind: kinds[rng.gen_range(0..kinds.len())],
                             count: rng.gen_range(1..=3),
+                        },
+                    });
+                    at += rng.gen_range(2..8);
+                }
+                _ => {
+                    let brokers = rng.gen_range(2..=4);
+                    let broker = rng.gen_range(0..brokers);
+                    events.push(TimedFault {
+                        at,
+                        event: FaultEvent::BrokerCrash { broker, brokers },
+                    });
+                    at += rng.gen_range(4..16);
+                    events.push(TimedFault {
+                        at,
+                        event: FaultEvent::BrokerRejoin {
+                            broker,
+                            brokers,
+                            warm: rng.gen_bool(0.5),
                         },
                     });
                     at += rng.gen_range(2..8);
@@ -495,8 +615,14 @@ impl ConvergenceReport {
 }
 
 /// Applies one fault event to the cluster; returns how many processes
-/// it crashed.
-fn apply_event<const D: usize>(cluster: &mut DrTreeCluster<D>, event: &FaultEvent<D>) -> usize {
+/// it crashed. `ledger` remembers, per broker index, which filters a
+/// [`FaultEvent::BrokerCrash`] took down so the matching
+/// [`FaultEvent::BrokerRejoin`] can re-add them.
+fn apply_event<const D: usize>(
+    cluster: &mut DrTreeCluster<D>,
+    event: &FaultEvent<D>,
+    ledger: &mut BTreeMap<usize, Vec<Rect<D>>>,
+) -> usize {
     match event {
         FaultEvent::Partition { region } => {
             let mut inside = Vec::new();
@@ -555,7 +681,81 @@ fn apply_event<const D: usize>(cluster: &mut DrTreeCluster<D>, event: &FaultEven
             }
             0
         }
+        FaultEvent::BrokerCrash { broker, brokers } => {
+            let brokers = (*brokers).max(1);
+            let broker = *broker % brokers;
+            let ids = cluster.ids();
+            let filters: Vec<Rect<D>> = ids
+                .iter()
+                .map(|&id| cluster.node(id).expect("live id").filter())
+                .collect();
+            let Some(world) = GridMapper::world_of(filters.iter()) else {
+                return 0;
+            };
+            let mapper = GridMapper::new(&world);
+            let mut keyed: Vec<(u128, ProcessId, Rect<D>)> = ids
+                .iter()
+                .zip(&filters)
+                .map(|(&id, f)| (mapper.key(f), id, *f))
+                .collect();
+            keyed.sort_unstable_by_key(|&(k, id, _)| (k, id.raw()));
+            // The broker's contiguous curve chunk, capped like a
+            // regional crash: two survivors always remain, and at most
+            // n/8 victims fall at once (Lemma 3.5 stays in scope).
+            let n = keyed.len();
+            let chunk = &keyed[broker * n / brokers..(broker + 1) * n / brokers];
+            let cap = chunk
+                .len()
+                .min(cluster.len().saturating_sub(2))
+                .min((n / 8).max(1));
+            let entry = ledger.entry(broker).or_default();
+            let mut crashed = 0;
+            for &(_, id, rect) in chunk.iter().take(cap) {
+                cluster.crash(id);
+                entry.push(rect);
+                crashed += 1;
+            }
+            crashed
+        }
+        FaultEvent::BrokerRejoin { broker, .. } => {
+            // Warm and cold only differ one level up (snapshot restore
+            // vs peer re-replication); on a plain cluster both re-add
+            // the crashed filters through the ordinary join protocol.
+            for rect in ledger.remove(broker).unwrap_or_default() {
+                cluster.add_subscriber(rect);
+            }
+            0
+        }
     }
+}
+
+/// A timestamp-free projection of the overlay structure: per process
+/// and level, the parent pointer, the instance MBR, and every cached
+/// child's id, MBR and count (heartbeat clocks excluded, so perpetual
+/// gossip does not perturb it). Two equal digests a check stride apart
+/// mean no reorganization is still playing out in the message queues.
+fn structure_digest<const D: usize>(cluster: &DrTreeCluster<D>) -> Vec<u64> {
+    fn eat_rect<const D: usize>(out: &mut Vec<u64>, r: &Rect<D>) {
+        for d in 0..D {
+            out.push(r.lo(d).to_bits());
+            out.push(r.hi(d).to_bits());
+        }
+    }
+    let mut out = Vec::new();
+    for (id, st) in cluster.snapshot() {
+        out.push(id.raw());
+        for (l, inst) in &st.levels {
+            out.push(u64::from(*l));
+            out.push(inst.parent.raw());
+            eat_rect(&mut out, &inst.mbr);
+            for (c, info) in &inst.children {
+                out.push(c.raw());
+                eat_rect(&mut out, &info.mbr);
+                out.push(info.count as u64);
+            }
+        }
+    }
+    out
 }
 
 /// Drives `schedule` against `cluster` with pipelined background
@@ -587,6 +787,7 @@ pub fn run_convergence<const D: usize>(
     events.sort_by_key(|e| e.at);
     let mut next_fault = 0usize;
     let mut crashed = 0usize;
+    let mut rejoin_ledger: BTreeMap<usize, Vec<Rect<D>>> = BTreeMap::new();
 
     // In-flight background events: (event id, injection offset).
     let mut live: Vec<(u64, u64)> = Vec::new();
@@ -594,7 +795,7 @@ pub fn run_convergence<const D: usize>(
 
     for r in 0..schedule.duration {
         while next_fault < events.len() && events[next_fault].at <= r {
-            crashed += apply_event(cluster, &events[next_fault].event);
+            crashed += apply_event(cluster, &events[next_fault].event, &mut rejoin_ledger);
             next_fault += 1;
         }
         for _ in 0..cfg.events_per_round {
@@ -623,7 +824,7 @@ pub fn run_convergence<const D: usize>(
     // The adversary's time is up: apply remaining scripted events
     // (usually heals), then force a perfect network for recovery.
     while next_fault < events.len() {
-        crashed += apply_event(cluster, &events[next_fault].event);
+        crashed += apply_event(cluster, &events[next_fault].event, &mut rejoin_ledger);
         next_fault += 1;
     }
     cluster.heal();
@@ -655,12 +856,28 @@ pub fn run_convergence<const D: usize>(
     cluster.net.retire_tags_below(cluster.next_event_id);
 
     // Recovery: rounds to the legality fixpoint, within the budget.
+    // `check_legal` sees only a state snapshot, and the message queues
+    // are never empty (heartbeats gossip forever) — so a configuration
+    // can look legal while an in-flight reorganization is about to
+    // rewire it, eating any event published meanwhile. Recovery is
+    // therefore declared only when legality holds at two consecutive
+    // checks with an unchanged structure digest; the recorded rounds
+    // are those to the first of the two.
     let mut recovery_rounds = None;
     let mut executed = 0u64;
+    let mut candidate: Option<(u64, Vec<u64>)> = None;
     loop {
         if cluster.check_legal().is_ok() {
-            recovery_rounds = Some(executed);
-            break;
+            let digest = structure_digest(cluster);
+            match &candidate {
+                Some((first, prev)) if *prev == digest => {
+                    recovery_rounds = Some(*first);
+                    break;
+                }
+                _ => candidate = Some((executed, digest)),
+            }
+        } else {
+            candidate = None;
         }
         if executed >= schedule.budget {
             break;

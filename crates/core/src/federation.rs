@@ -1,0 +1,287 @@
+//! Wire protocol of the federated broker fabric.
+//!
+//! A federation splits the subscription space across `K` broker
+//! instances, each owning one contiguous Hilbert range of a
+//! `ShardMap` used one level above its usual per-shard role (see
+//! `drtree-pubsub::federation` for the brokers themselves). This
+//! module is the *protocol shim*: the message vocabulary those brokers
+//! exchange over the simulation engines, kept in `drtree-core` so the
+//! inter-broker link layer reuses the same [`drtree_sim::FaultProfile`]
+//! machinery the adversary schedules already drive.
+//!
+//! The protocol has three planes:
+//!
+//! * **Control** — [`FedMessage::Heartbeat`] gossips a
+//!   [`RangeSummary`] per range: a monotone version (highest
+//!   contiguous op sequence applied), an entry count, a grow-only
+//!   summary MBR, and an order-independent XOR fingerprint. Peers use
+//!   summaries for liveness, for routing to the freshest holder, and
+//!   for detecting divergence that anti-entropy must repair.
+//! * **Replication** — client operations ([`FedOp`]) enter as
+//!   [`FedMessage::ClientOp`] carrying a harness-assigned per-range
+//!   sequence number; holders apply them in contiguous order, push
+//!   them eagerly to co-holders ([`FedMessage::PushOps`]) and close
+//!   gaps by pulling ([`FedMessage::PullRequest`], answered with a log
+//!   slice or a full [`FedMessage::PushSnapshot`]). Idempotence by
+//!   sequence number makes duplication, reordering and loss harmless —
+//!   the fair-lossy link assumption of paper §2.1, one level up.
+//! * **Dissemination** — a publication fans out as
+//!   [`FedMessage::Forward`] per candidate range (pruned by summary
+//!   MBRs: false positives allowed, false negatives never) and comes
+//!   back as [`FedMessage::Matches`]. Both carry the event id as a
+//!   billed [`MsgTag`], so per-event message bills and quiescence
+//!   tracking work exactly as for intra-broker dissemination.
+
+use drtree_sim::{MessageLabel, MsgTag};
+use drtree_spatial::{Point, Rect};
+
+/// One client-visible subscription operation, addressed by a
+/// fabric-global subscription id (not a [`drtree_sim::ProcessId`] —
+/// processes are brokers here, subscriptions are data).
+#[derive(Debug, Clone, PartialEq)]
+pub enum FedOp<const D: usize> {
+    /// Register subscription `sub` with filter `rect`.
+    Subscribe {
+        /// Fabric-global subscription id.
+        sub: u64,
+        /// The subscription's filter rectangle.
+        rect: Rect<D>,
+    },
+    /// Remove subscription `sub`; `rect` names the filter being
+    /// removed so holders can unindex without a lookup.
+    Unsubscribe {
+        /// Fabric-global subscription id.
+        sub: u64,
+        /// The filter rectangle being removed.
+        rect: Rect<D>,
+    },
+    /// Move subscription `sub` from `old` to `new` within one range
+    /// (a cross-range move is scripted as unsubscribe + subscribe by
+    /// the client layer, since the two halves replicate independently).
+    Move {
+        /// Fabric-global subscription id.
+        sub: u64,
+        /// The filter rectangle being replaced.
+        old: Rect<D>,
+        /// The replacement filter rectangle.
+        new: Rect<D>,
+    },
+}
+
+impl<const D: usize> FedOp<D> {
+    /// The subscription id the operation addresses.
+    pub fn sub(&self) -> u64 {
+        match *self {
+            FedOp::Subscribe { sub, .. }
+            | FedOp::Unsubscribe { sub, .. }
+            | FedOp::Move { sub, .. } => sub,
+        }
+    }
+}
+
+/// One range's advertised replication state, gossiped in heartbeats.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RangeSummary<const D: usize> {
+    /// Index of the Hilbert range (broker slot) this summarizes.
+    pub range: usize,
+    /// Highest contiguous op sequence applied (0 = nothing yet).
+    pub version: u64,
+    /// Live subscriptions held for the range.
+    pub len: u64,
+    /// Grow-only bounding rectangle of every filter ever held for the
+    /// range. Removes do not shrink it, so it stays a conservative
+    /// superset: pruning a publication against it can only produce
+    /// false positives, never false negatives.
+    pub mbr: Option<Rect<D>>,
+    /// Order-independent XOR fingerprint of the live entry set (see
+    /// [`entry_fingerprint`]). Equal versions with unequal
+    /// fingerprints mean silent divergence (e.g. memory corruption) —
+    /// anti-entropy answers with a full snapshot.
+    pub fingerprint: u64,
+}
+
+/// Inter-broker message of the federated fabric.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FedMessage<const D: usize> {
+    /// Periodic liveness + state advertisement: one [`RangeSummary`]
+    /// per range the sender holds.
+    Heartbeat {
+        /// Summaries of every range the sender holds.
+        summaries: Vec<RangeSummary<D>>,
+    },
+    /// Ask a peer for range ops with sequence `> from_seq`.
+    PullRequest {
+        /// Range being caught up.
+        range: usize,
+        /// Highest contiguous sequence the requester already applied.
+        from_seq: u64,
+    },
+    /// Sequenced ops for a range: eager replication on apply, or the
+    /// answer to a [`FedMessage::PullRequest`] the sender's log covers.
+    PushOps {
+        /// Range the ops belong to.
+        range: usize,
+        /// `(sequence, op)` pairs, any order; receivers apply the
+        /// contiguous prefix and buffer the rest.
+        ops: Vec<(u64, FedOp<D>)>,
+    },
+    /// Full-state answer when a pull reaches below the sender's log
+    /// floor (or fingerprints diverged): the entire live entry set at
+    /// `version`, replacing the receiver's state for the range.
+    PushSnapshot {
+        /// Range being resynced.
+        range: usize,
+        /// Version the entry set corresponds to.
+        version: u64,
+        /// The live `(subscription id, filter)` set.
+        entries: Vec<(u64, Rect<D>)>,
+    },
+    /// Route publication `event` at `point` to a holder of `range`.
+    /// Carries the event id as a billed tag.
+    Forward {
+        /// Fabric-global event id (also the message tag).
+        event: u64,
+        /// The published point.
+        point: Point<D>,
+        /// Range whose subscriptions should be matched.
+        range: usize,
+        /// Only answer if at least this version has been applied —
+        /// keeps a stale rejoiner from answering with a subset and
+        /// silently losing matches.
+        min_version: u64,
+    },
+    /// A holder's matching subscriptions for one forwarded event.
+    Matches {
+        /// The event being answered (also the message tag).
+        event: u64,
+        /// Range the matches come from.
+        range: usize,
+        /// Subscription ids whose filters contain the point.
+        subs: Vec<u64>,
+    },
+    /// A publication injected externally at an origin broker by the
+    /// client layer. The origin fans it out as [`FedMessage::Forward`]s
+    /// and unions the [`FedMessage::Matches`] answers. `min_versions`
+    /// pins exactness: for each range, the answering holder must have
+    /// applied at least the listed version (every op issued before this
+    /// event), and the origin may prune a range by its summary MBR only
+    /// when the summary is at least that fresh — so a stale view can
+    /// cost extra forwards but never a false negative. Carries the
+    /// event id as an *unbilled* tag (tracked for quiescence, not
+    /// charged), mirroring intra-broker publish injection.
+    Publish {
+        /// Fabric-global event id (also the message tag).
+        event: u64,
+        /// The published point.
+        point: Point<D>,
+        /// `(range, minimum version)` pairs for every range.
+        min_versions: Vec<(usize, u64)>,
+    },
+    /// A sequenced client operation, injected externally at any holder
+    /// of the range by the client layer (which owns the sequencer).
+    ClientOp {
+        /// Range the operation belongs to.
+        range: usize,
+        /// Per-range sequence number assigned by the client layer.
+        seq: u64,
+        /// The operation itself.
+        op: FedOp<D>,
+    },
+}
+
+impl<const D: usize> MessageLabel for FedMessage<D> {
+    fn label(&self) -> &'static str {
+        match self {
+            FedMessage::Heartbeat { .. } => "fed-heartbeat",
+            FedMessage::PullRequest { .. } => "fed-pull",
+            FedMessage::PushOps { .. } => "fed-push-ops",
+            FedMessage::PushSnapshot { .. } => "fed-push-snapshot",
+            FedMessage::Forward { .. } => "fed-forward",
+            FedMessage::Matches { .. } => "fed-matches",
+            FedMessage::Publish { .. } => "fed-publish",
+            FedMessage::ClientOp { .. } => "fed-client-op",
+        }
+    }
+
+    fn tag(&self) -> Option<MsgTag> {
+        match *self {
+            FedMessage::Forward { event, .. } | FedMessage::Matches { event, .. } => {
+                Some(MsgTag::billed(event))
+            }
+            FedMessage::Publish { event, .. } => Some(MsgTag::unbilled(event)),
+            _ => None,
+        }
+    }
+}
+
+/// Order-independent fingerprint contribution of one live entry.
+///
+/// Holders XOR these into a running range fingerprint: insert and
+/// remove are `fp ^= entry_fingerprint(..)`, a move is two XORs, and
+/// any two holders with the same live set agree regardless of apply
+/// order. FNV-1a over the subscription id and the filter's coordinate
+/// bits, then finalized with a 64-bit mix so single-bit rect changes
+/// flip about half the output bits.
+pub fn entry_fingerprint<const D: usize>(sub: u64, rect: &Rect<D>) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut eat = |word: u64| {
+        for byte in word.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    eat(sub);
+    for d in 0..D {
+        eat(rect.lo(d).to_bits());
+        eat(rect.hi(d).to_bits());
+    }
+    // splitmix64 finalizer.
+    let mut z = h;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_and_tags_classify_the_planes() {
+        let fwd: FedMessage<2> = FedMessage::Forward {
+            event: 9,
+            point: Point::new([1.0, 2.0]),
+            range: 0,
+            min_version: 3,
+        };
+        assert_eq!(fwd.label(), "fed-forward");
+        assert_eq!(fwd.tag(), Some(MsgTag::billed(9)));
+        let hb: FedMessage<2> = FedMessage::Heartbeat {
+            summaries: Vec::new(),
+        };
+        assert_eq!(hb.label(), "fed-heartbeat");
+        assert_eq!(hb.tag(), None);
+        let m: FedMessage<2> = FedMessage::Matches {
+            event: 9,
+            range: 1,
+            subs: vec![4],
+        };
+        assert_eq!(m.tag(), Some(MsgTag::billed(9)));
+    }
+
+    #[test]
+    fn fingerprints_commute_and_separate() {
+        let a = Rect::new([0.0, 0.0], [1.0, 1.0]);
+        let b = Rect::new([2.0, 2.0], [3.0, 3.0]);
+        let fa = entry_fingerprint(1, &a);
+        let fb = entry_fingerprint(2, &b);
+        assert_eq!(fa ^ fb, fb ^ fa);
+        assert_ne!(fa, fb);
+        assert_ne!(entry_fingerprint(1, &a), entry_fingerprint(2, &a));
+        assert_ne!(entry_fingerprint(1, &a), entry_fingerprint(1, &b));
+        // Insert-then-remove cancels exactly.
+        assert_eq!(fa ^ fb ^ fb, fa);
+    }
+}

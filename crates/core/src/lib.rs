@@ -69,6 +69,7 @@ mod cluster;
 mod cluster_async;
 mod config;
 pub mod corruption;
+pub mod federation;
 pub mod legal;
 mod message;
 pub mod protocol;
@@ -82,6 +83,7 @@ pub use adversary::{
 pub use cluster::{DrTreeCluster, PublishReport};
 pub use cluster_async::AsyncDrTreeCluster;
 pub use config::{DrTreeConfig, FpReorgConfig};
+pub use federation::{entry_fingerprint, FedMessage, FedOp, RangeSummary};
 pub use message::{ChildSummary, DrtMessage, DrtTimer, LevelTransfer, PubEvent};
 pub use protocol::node::DrtNode;
 pub use snapshot::TreeView;

@@ -1,5 +1,5 @@
 //! Adversarial fault-schedule integration tests: message duplication,
-//! reordering and partitions against a live overlay, the five canonical
+//! reordering and partitions against a live overlay, the six canonical
 //! [`FaultSchedule`]s end to end, and a property test over *random*
 //! seeded schedules — post-heal the overlay must re-reach a legal
 //! configuration within budget and survivor delivery must equal a
@@ -170,6 +170,7 @@ fn canonical_schedules_converge_with_exact_post_recovery_delivery() {
             "partition-heal" => assert!(report.partitioned_drops > 0),
             "dup-reorder" => assert!(report.duplicated > 0 && report.reordered > 0),
             "regional-crash" => assert!(report.crashed > 0),
+            "broker-churn" => assert!(report.crashed > 0),
             _ => {}
         }
     }

@@ -43,11 +43,16 @@
 #![warn(missing_docs)]
 
 mod broker;
+pub mod federation;
 mod ingress;
 mod shard;
 mod stats;
 
 pub use broker::{Broker, BrokerError};
+pub use federation::{
+    run_federated_convergence, CompletedEvent, FedConfig, FedConvergenceConfig,
+    FedConvergenceReport, FedEngine, FedNode, FederatedFabric, RangeView, RejoinOutcome,
+};
 pub use ingress::{
     AuditRecord, IngressConfig, IngressError, LatencyHistogram, LatencySummary, MultiBroker,
     PublisherHandle, RateMeter, RateSnapshot,

@@ -1414,6 +1414,86 @@ impl<const D: usize> ShardedOracle<D> {
         })
     }
 
+    /// [`ShardedOracle::restore_bytes`] with a staleness gate for the
+    /// federated warm-restart path: the snapshot's embedded
+    /// [`ShardMap`] (world rectangle and Hilbert range boundaries)
+    /// must agree *exactly* with `expected` — the assignment the
+    /// restoring owner currently prescribes (for a federated broker:
+    /// the oracle map its fabric recorded when the checkpoint was cut,
+    /// which the fabric re-derives whenever its own broker boundaries
+    /// move). A snapshot cut under a different assignment would
+    /// silently file entries into the wrong shards — or, one level up,
+    /// claim curve ranges that now belong to another broker — so it is
+    /// rejected with [`SnapshotError::StaleBoundaries`] and the caller
+    /// must fall back to a cold rebuild from its peers.
+    ///
+    /// A snapshot carrying no map at all (never flushed before the
+    /// checkpoint) cannot prove its assignment and is likewise
+    /// rejected.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`ShardedOracle::restore_bytes`] rejects, plus
+    /// [`SnapshotError::StaleBoundaries`] when the embedded map
+    /// diverges from `expected` in world bits, shard count, or any
+    /// boundary key.
+    pub fn restore_bytes_checked(
+        raw: Vec<u8>,
+        expected: &ShardMap<D>,
+    ) -> Result<Self, SnapshotError> {
+        let oracle = Self::restore_bytes(raw)?;
+        let stale = |found: u32| SnapshotError::StaleBoundaries {
+            found,
+            expected: expected.shards() as u32,
+        };
+        let Some(map) = &oracle.map else {
+            return Err(stale(0));
+        };
+        let same_world = (0..D).all(|d| {
+            map.world().lo(d).to_bits() == expected.world().lo(d).to_bits()
+                && map.world().hi(d).to_bits() == expected.world().hi(d).to_bits()
+        });
+        if !same_world || map.boundaries() != expected.boundaries() {
+            return Err(stale(map.shards() as u32));
+        }
+        Ok(oracle)
+    }
+
+    /// The live Hilbert shard assignment, if one has been established
+    /// (the first flush builds it; a restored oracle carries the
+    /// snapshot's). The federation layer records this when cutting a
+    /// warm-restart checkpoint, so
+    /// [`ShardedOracle::restore_bytes_checked`] can later prove the
+    /// buffer is not stale.
+    pub fn shard_map(&self) -> Option<&ShardMap<D>> {
+        self.map.as_ref()
+    }
+
+    /// Drains every pending mutation (one [`ShardedOracle::flush`])
+    /// and returns all live `(id, rect)` entries, staged ones
+    /// included, in unspecified order. This is the peer-re-replication
+    /// source of the federation layer: a broker cold-rebuilding a
+    /// crashed neighbor's range receives exactly this enumeration.
+    /// `O(len)`; allocates the returned vector only.
+    pub fn entries(&mut self) -> Vec<(ProcessId, Rect<D>)> {
+        self.flush();
+        let mut out = Vec::with_capacity(self.len);
+        for shard in &self.shards {
+            let packed = &shard.packed;
+            out.extend(packed.entries().map(|(_, id, rect)| (*id, *rect)));
+            out.extend(
+                packed
+                    .staged_keys()
+                    .iter()
+                    .zip(packed.staged_rects())
+                    .enumerate()
+                    .filter(|&(i, _)| packed.is_staged_live(i))
+                    .map(|(_, (id, rect))| (*id, *rect)),
+            );
+        }
+        out
+    }
+
     /// Verifies the deferred bulk checksum of every restored shard —
     /// the full-integrity pass [`ShardedOracle::restore_bytes`] skips
     /// to keep cold-start in the millisecond range. `Ok(())` for

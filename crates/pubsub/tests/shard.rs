@@ -306,3 +306,98 @@ fn unbounded_filters_and_outlier_probes_match_exactly() {
         }
     }
 }
+
+/// `restore_bytes_checked` — the federated warm-restart gate. A
+/// snapshot restored under the very shard assignment it was cut with
+/// round-trips; the same bytes presented against a map whose
+/// boundaries have since moved (or with a different shard count) are
+/// rejected with [`SnapshotError::StaleBoundaries`] instead of
+/// silently filing entries into the wrong shards.
+#[test]
+fn checked_restore_accepts_matching_map_and_rejects_moved_boundaries() {
+    use drtree_rtree::SnapshotError;
+    use drtree_spatial::hilbert::ShardMap;
+
+    let mut oracle: ShardedOracle<2> = ShardedOracle::new(4);
+    // Spread entries so every shard is populated and the first
+    // boundary sits well above the key floor (shiftable downward).
+    for i in 0..300u64 {
+        let x = (i % 20) as f64 * 19.0;
+        let y = (i / 20) as f64 * 24.0;
+        oracle.insert(
+            ProcessId::from_raw(i),
+            Rect::new([x, y], [x + 5.0, y + 5.0]),
+        );
+    }
+    oracle.flush();
+    let expected: ShardMap<2> = oracle
+        .shard_map()
+        .expect("flushed oracle has a map")
+        .clone();
+    let bytes = oracle.snapshot_bytes();
+
+    // Accept: same assignment, full state back.
+    let mut restored = ShardedOracle::restore_bytes_checked(bytes.clone(), &expected)
+        .expect("matching boundaries must restore");
+    assert_eq!(restored.entries().len(), 300);
+    assert_eq!(
+        restored.shard_map().expect("restored map").boundaries(),
+        expected.boundaries()
+    );
+
+    // Reject: one boundary moved since the checkpoint was cut.
+    let b = expected.boundaries();
+    assert!(b[0] > 0, "first boundary must be shiftable");
+    let moved = expected.with_boundary(0, b[0] - 1);
+    assert_ne!(moved.boundaries(), expected.boundaries());
+    match ShardedOracle::restore_bytes_checked(bytes.clone(), &moved) {
+        Err(SnapshotError::StaleBoundaries {
+            found,
+            expected: want,
+        }) => {
+            assert_eq!(found, 4);
+            assert_eq!(want, 4);
+        }
+        other => panic!("moved boundary must be rejected, got {other:?}"),
+    }
+
+    // Reject: the owner now prescribes a different shard count.
+    let rewidened = ShardMap::new(8, expected.world());
+    match ShardedOracle::restore_bytes_checked(bytes, &rewidened) {
+        Err(SnapshotError::StaleBoundaries {
+            found,
+            expected: want,
+        }) => {
+            assert_eq!(found, 4);
+            assert_eq!(want, 8);
+        }
+        other => panic!("different shard count must be rejected, got {other:?}"),
+    }
+}
+
+/// A snapshot cut before any flush carries no shard map and therefore
+/// cannot prove its assignment — the checked restore rejects it even
+/// though the unchecked one accepts it.
+#[test]
+fn checked_restore_rejects_maplessness() {
+    use drtree_rtree::SnapshotError;
+    use drtree_spatial::hilbert::ShardMap;
+
+    let mut oracle: ShardedOracle<2> = ShardedOracle::new(2);
+    oracle.insert(ProcessId::from_raw(1), Rect::new([0.0, 0.0], [1.0, 1.0]));
+    let bytes = oracle.snapshot_bytes();
+    assert!(oracle.shard_map().is_none(), "no flush yet, no map");
+    assert!(ShardedOracle::<2>::restore_bytes(bytes.clone()).is_ok());
+
+    let expected: ShardMap<2> = ShardMap::new(2, &Rect::new([0.0, 0.0], [10.0, 10.0]));
+    match ShardedOracle::restore_bytes_checked(bytes, &expected) {
+        Err(SnapshotError::StaleBoundaries {
+            found,
+            expected: want,
+        }) => {
+            assert_eq!(found, 0);
+            assert_eq!(want, 2);
+        }
+        other => panic!("mapless snapshot must be rejected, got {other:?}"),
+    }
+}

@@ -126,6 +126,19 @@ pub enum SnapshotError {
     /// A stored checksum does not match the recomputed one — the
     /// payload was corrupted in flight or at rest.
     ChecksumMismatch,
+    /// The snapshot's Hilbert shard assignment (world rectangle or
+    /// range boundaries) disagrees with the assignment the restoring
+    /// owner currently prescribes. Restoring it anyway would silently
+    /// route entries to the wrong shards — or, one level up, to the
+    /// wrong federated broker — so a warm restart from this buffer
+    /// must fall back to a cold rebuild instead.
+    StaleBoundaries {
+        /// Shards the snapshot's embedded map partitions the curve
+        /// into (0 when the snapshot carries no map at all).
+        found: u32,
+        /// Shards the expected assignment prescribes.
+        expected: u32,
+    },
     /// A header field is structurally impossible (node size out of
     /// range, level table disagreeing with the entry count, an invalid
     /// world rectangle, a count overflowing the format's limits, …).
@@ -154,6 +167,11 @@ impl fmt::Display for SnapshotError {
                 )
             }
             SnapshotError::ChecksumMismatch => f.write_str("snapshot checksum mismatch"),
+            SnapshotError::StaleBoundaries { found, expected } => write!(
+                f,
+                "snapshot shard boundaries are stale ({found} shards vs {expected} expected, \
+                 or diverged keys/world): restoring would mis-route entries"
+            ),
             SnapshotError::Corrupt(what) => write!(f, "snapshot header corrupt: {what}"),
         }
     }

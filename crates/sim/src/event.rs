@@ -273,6 +273,25 @@ impl<P: Process> EventNetwork<P> {
         self.procs.remove(&id)
     }
 
+    /// Reinstalls a process at a previously crashed id — the rejoin
+    /// half of the broker crash/rejoin fault pair. The caller supplies
+    /// the restarted state (warm: restored from a checkpoint; cold:
+    /// fresh and empty). [`Process::on_start`] runs again at the
+    /// current simulation time; in-flight messages addressed to the id
+    /// deliver normally once it is alive again. Returns `false` if the
+    /// id is still alive or was never allocated.
+    pub fn revive(&mut self, id: ProcessId, mut process: P) -> bool {
+        if id.raw() >= self.next_id || self.procs.contains_key(&id) {
+            return false;
+        }
+        let mut ctx = Context::new(id, self.time, &mut self.rng);
+        process.on_start(&mut ctx);
+        self.procs.insert(id, process);
+        let (outbox, timers) = ctx.into_effects();
+        self.apply_effects(id, outbox, timers);
+        true
+    }
+
     /// Applies an adversarial mutation to a live process's memory (the
     /// paper's *transient fault* / memory corruption). Returns `false`
     /// if the process is not alive.

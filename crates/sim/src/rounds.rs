@@ -205,6 +205,30 @@ impl<P: Process> RoundNetwork<P> {
         departed
     }
 
+    /// Reinstalls a process at a previously crashed id slot — the
+    /// rejoin half of the broker crash/rejoin fault pair. The caller
+    /// supplies the restarted state (warm: restored from a checkpoint;
+    /// cold: fresh and empty — the engine does not keep crashed
+    /// state). [`Process::on_start`] runs again, messages queued for
+    /// the id since the crash stay queued (the id was dangling, not
+    /// retired), and the id keeps its place in [`RoundNetwork::ids`].
+    /// Returns `false` if the slot is still alive or was never
+    /// allocated.
+    pub fn revive(&mut self, id: ProcessId, mut process: P) -> bool {
+        match self.procs.get_mut(id.raw() as usize) {
+            Some(slot @ None) => {
+                let mut ctx = Context::new(id, self.round, &mut self.rng);
+                process.on_start(&mut ctx);
+                *slot = Some(process);
+                self.live += 1;
+                let (outbox, timers) = ctx.into_effects();
+                self.apply_effects(id, outbox, timers);
+                true
+            }
+            _ => false,
+        }
+    }
+
     /// Blocks the directed link `from → to`: messages crossing it are
     /// dropped (settling their tags) until
     /// [`RoundNetwork::unblock_link`] or [`RoundNetwork::unblock_all`].

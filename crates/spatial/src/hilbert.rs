@@ -428,6 +428,45 @@ impl<const D: usize> ShardMap<D> {
         &self.boundaries
     }
 
+    /// The contiguous curve-key range shard `shard` owns, as a
+    /// half-open `(lo, hi)` pair: keys `k` with `lo <= k < hi` belong
+    /// to the shard. The rim shard's range is open-ended and reported
+    /// as `hi == u128::MAX` (consistent with [`ShardMap::shard_of_key`],
+    /// which assigns every key at or above the last boundary to the
+    /// rim). Used by the broker federation layer, where each broker
+    /// owns one such range of the whole subscription space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard >= self.shards()`.
+    pub fn range_of(&self, shard: usize) -> (u128, u128) {
+        assert!(shard < self.shards(), "shard {shard} out of range");
+        let lo = if shard == 0 {
+            0
+        } else {
+            self.boundaries[shard - 1]
+        };
+        let hi = self.boundaries.get(shard).copied().unwrap_or(u128::MAX);
+        (lo, hi)
+    }
+
+    /// The curve neighbors of `shard` on the shard ring, as
+    /// `(predecessor, successor)`. Contiguous curve ranges make curve
+    /// neighbors spatial neighbors too (the Hilbert locality the whole
+    /// sharding scheme rests on), so they are the natural holders of a
+    /// shard's replicas: when the owner of a range crashes, its ring
+    /// neighbors cover it. With two shards both neighbors coincide;
+    /// with one shard the shard is its own neighbor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard >= self.shards()`.
+    pub fn neighbors(&self, shard: usize) -> (usize, usize) {
+        let k = self.shards();
+        assert!(shard < k, "shard {shard} out of range");
+        ((shard + k - 1) % k, (shard + 1) % k)
+    }
+
     /// A copy of this map with boundary `index` moved to `key` — the
     /// delta-aware rebalancing primitive. Shifting one boundary
     /// re-splits only the two adjacent shards' curve ranges, so an
@@ -672,6 +711,47 @@ mod tests {
             let o = f64::from(i);
             assert!(map9.shard_of(&Rect::new([o; 9], [o + 0.4; 9])) < 5);
         }
+    }
+
+    #[test]
+    fn range_of_partitions_the_key_space_and_agrees_with_shard_of_key() {
+        let world: Rect<2> = Rect::new([0.0, 0.0], [1000.0, 1000.0]);
+        for shards in [1usize, 2, 4, 7] {
+            let map = ShardMap::new(shards, &world);
+            // Ranges tile the key space: consecutive, ascending, with
+            // the rim open-ended.
+            let mut expect_lo = 0u128;
+            for s in 0..shards {
+                let (lo, hi) = map.range_of(s);
+                assert_eq!(lo, expect_lo, "shard {s}/{shards} range gap");
+                assert!(lo < hi, "shard {s}/{shards} range empty");
+                expect_lo = hi;
+            }
+            assert_eq!(map.range_of(shards - 1).1, u128::MAX);
+            // Boundary keys and interior keys land where range_of says.
+            for s in 0..shards {
+                let (lo, hi) = map.range_of(s);
+                assert_eq!(map.shard_of_key(lo), s);
+                let mid = lo + (hi - lo) / 2;
+                assert_eq!(map.shard_of_key(mid), s);
+            }
+        }
+    }
+
+    #[test]
+    fn ring_neighbors_wrap_and_degenerate_sanely() {
+        let world: Rect<2> = Rect::new([0.0, 0.0], [100.0, 100.0]);
+        let map = ShardMap::new(4, &world);
+        assert_eq!(map.neighbors(0), (3, 1));
+        assert_eq!(map.neighbors(1), (0, 2));
+        assert_eq!(map.neighbors(3), (2, 0));
+        // Two shards: both neighbors are the single other shard.
+        let two = ShardMap::new(2, &world);
+        assert_eq!(two.neighbors(0), (1, 1));
+        assert_eq!(two.neighbors(1), (0, 0));
+        // One shard: self-neighboring, not a panic.
+        let one = ShardMap::new(1, &world);
+        assert_eq!(one.neighbors(0), (0, 0));
     }
 
     #[test]
